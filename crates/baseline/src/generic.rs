@@ -1,0 +1,231 @@
+//! The generic output-buffered VC router of Fig. 3 — the architecture the
+//! paper rejects for guaranteed services.
+//!
+//! "A P×P switch is followed by a split module... Since several input
+//! ports may attempt to access the same output port simultaneously,
+//! congestion may occur. This makes the architecture unsuitable for
+//! providing service guarantees." (Sec. 4.1)
+//!
+//! This model reproduces that congestion: flits queue per input port
+//! (connection-less — all flows share the input FIFO), the switch serves
+//! at most one flit per output per cycle with round-robin arbitration
+//! among inputs, and a tagged flow's latency therefore depends on the
+//! cross-traffic — unlike MANGO's reserved VC buffers, where the only
+//! waiting is bounded link-access arbitration.
+
+use mango_sim::{Ctx, Kernel, Model, SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// Number of ports in the model (matching the paper's 5-port router,
+/// with the local port carrying the tagged flow).
+pub const PORTS: usize = 5;
+
+/// One flit in the generic router model.
+#[derive(Debug, Clone, Copy)]
+struct GFlit {
+    arrived: SimTime,
+    output: usize,
+    tagged: bool,
+}
+
+/// Latency samples of the tagged flow through the congested router.
+#[derive(Debug, Clone, Default)]
+pub struct TaggedStats {
+    /// Per-flit waiting+service latencies, in ps.
+    pub latencies_ps: Vec<u64>,
+}
+
+impl TaggedStats {
+    /// Mean latency over the samples.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.latencies_ps.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.latencies_ps.iter().map(|&l| l as u128).sum();
+        Some(SimDuration::from_ps(
+            (sum / self.latencies_ps.len() as u128) as u64,
+        ))
+    }
+
+    /// Maximum latency over the samples.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.latencies_ps.iter().max().map(|&l| SimDuration::from_ps(l))
+    }
+}
+
+/// Configuration of a congestion experiment on the generic router.
+#[derive(Debug, Clone)]
+pub struct GenericConfig {
+    /// Switch cycle time (one flit per output per cycle).
+    pub cycle: SimDuration,
+    /// Tagged flow: one flit per `tagged_period` from input 0 to output 0.
+    pub tagged_period: SimDuration,
+    /// Background load per other input, as a fraction of link capacity
+    /// (Bernoulli per cycle); background flits pick outputs uniformly.
+    pub background_load: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+enum Ev {
+    /// Switch arbitration cycle.
+    Cycle,
+    /// Tagged flit arrives at input 0.
+    Tagged,
+}
+
+struct GenericModel {
+    cfg: GenericConfig,
+    inputs: Vec<VecDeque<GFlit>>,
+    rr: Vec<usize>,
+    rng: SimRng,
+    stats: TaggedStats,
+    horizon: SimTime,
+}
+
+impl Model for GenericModel {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+        match ev {
+            Ev::Tagged => {
+                self.inputs[0].push_back(GFlit {
+                    arrived: ctx.now(),
+                    output: 0,
+                    tagged: true,
+                });
+                if ctx.now() + self.cfg.tagged_period < self.horizon {
+                    ctx.schedule(self.cfg.tagged_period, Ev::Tagged);
+                }
+            }
+            Ev::Cycle => {
+                // Background arrivals on *every* input — in a
+                // connection-less router the tagged flow shares its input
+                // FIFO with transit traffic, so congestion reaches it both
+                // through switch contention and head-of-line blocking.
+                for input in 0..PORTS {
+                    if self.rng.gen_bool(self.cfg.background_load) {
+                        // Half the background heads for the tagged output —
+                        // a hotspot, the situation Fig. 3 cannot handle.
+                        let output = if self.rng.gen_bool(0.5) {
+                            0
+                        } else {
+                            1 + self.rng.gen_index(PORTS - 1)
+                        };
+                        self.inputs[input].push_back(GFlit {
+                            arrived: ctx.now(),
+                            output,
+                            tagged: false,
+                        });
+                    }
+                }
+                // Switch: one grant per output per cycle, RR over inputs;
+                // only the flit at the head of an input FIFO is eligible
+                // (FIFO head-of-line blocking, as in a connection-less
+                // router without per-flow queues).
+                let mut granted_input = [false; PORTS];
+                for output in 0..PORTS {
+                    let rr = self.rr[output];
+                    for off in 1..=PORTS {
+                        let input = (rr + off) % PORTS;
+                        if granted_input[input] {
+                            continue;
+                        }
+                        let head_matches = self.inputs[input]
+                            .front()
+                            .is_some_and(|f| f.output == output);
+                        if head_matches {
+                            let flit = self.inputs[input].pop_front().expect("head checked");
+                            granted_input[input] = true;
+                            self.rr[output] = input;
+                            if flit.tagged {
+                                let latency =
+                                    ctx.now().since(flit.arrived) + self.cfg.cycle;
+                                self.stats.latencies_ps.push(latency.as_ps());
+                            }
+                            break;
+                        }
+                    }
+                }
+                if ctx.now() + self.cfg.cycle < self.horizon {
+                    ctx.schedule(self.cfg.cycle, Ev::Cycle);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the congestion experiment for `duration`; returns the tagged
+/// flow's latency samples.
+pub fn run_generic_congestion(cfg: GenericConfig, duration: SimDuration) -> TaggedStats {
+    let horizon = SimTime::ZERO + duration;
+    let rng = SimRng::new(cfg.seed);
+    let mut kernel = Kernel::new(GenericModel {
+        inputs: (0..PORTS).map(|_| VecDeque::new()).collect(),
+        rr: vec![0; PORTS],
+        rng,
+        stats: TaggedStats::default(),
+        horizon,
+        cfg,
+    });
+    kernel.schedule(SimDuration::ZERO, Ev::Cycle);
+    kernel.schedule(SimDuration::ZERO, Ev::Tagged);
+    kernel.run_to_quiescence();
+    kernel.into_model().stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(load: f64) -> GenericConfig {
+        GenericConfig {
+            cycle: SimDuration::from_ps(1258),
+            tagged_period: SimDuration::from_ps(1258 * 8),
+            background_load: load,
+            seed: 1234,
+        }
+    }
+
+    #[test]
+    fn unloaded_router_has_minimal_constant_latency() {
+        let stats = run_generic_congestion(cfg(0.0), SimDuration::from_us(50));
+        assert!(stats.latencies_ps.len() > 1000);
+        let min = *stats.latencies_ps.iter().min().unwrap();
+        let max = *stats.latencies_ps.iter().max().unwrap();
+        // Without contention, latency is at most wait-for-cycle + service.
+        assert!(max <= 2 * 1258, "max {max} ps");
+        assert!(max - min <= 1258, "jitter without load");
+    }
+
+    #[test]
+    fn congestion_grows_with_background_load() {
+        let light = run_generic_congestion(cfg(0.2), SimDuration::from_us(50));
+        let heavy = run_generic_congestion(cfg(0.9), SimDuration::from_us(50));
+        let l = light.mean().unwrap();
+        let h = heavy.mean().unwrap();
+        assert!(
+            h > l * 2,
+            "heavy load must visibly congest: light {l}, heavy {h}"
+        );
+    }
+
+    #[test]
+    fn latency_is_unbounded_in_overload() {
+        // 4 inputs × 0.9 load × 0.5 toward output 0 ≈ 1.8 flits/cycle for
+        // one output: queues diverge, and so does the tagged flow.
+        let stats = run_generic_congestion(cfg(0.9), SimDuration::from_us(100));
+        let max = stats.max().unwrap();
+        assert!(
+            max > SimDuration::from_ns(100),
+            "overload must blow up tail latency, got {max}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_generic_congestion(cfg(0.5), SimDuration::from_us(20));
+        let b = run_generic_congestion(cfg(0.5), SimDuration::from_us(20));
+        assert_eq!(a.latencies_ps, b.latencies_ps);
+    }
+}

@@ -1,0 +1,19 @@
+//! Comparator architectures for the MANGO evaluation.
+//!
+//! Two baselines appear in the paper:
+//!
+//! * [`generic`] — the output-buffered VC router of **Fig. 3**, whose
+//!   shared, arbitrated switch congests under contention ("unsuitable for
+//!   providing service guarantees", Sec. 4.1);
+//! * [`tdm`] — an ÆTHEREAL-style TDM slot-table network, the
+//!   guaranteed-throughput comparator of **Sec. 6** (slot-granular
+//!   bandwidth, frame-coupled latency, shared buffers requiring
+//!   end-to-end credits, and per-packet header overhead).
+
+#![warn(missing_docs)]
+
+pub mod generic;
+pub mod tdm;
+
+pub use generic::{run_generic_congestion, GenericConfig, TaggedStats};
+pub use tdm::{AetherealReference, GtConnection, TdmConfig, TdmError, TdmNetwork};

@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks of the link arbiters — the paper's point
+//! that simple circuits implement GS (Sec. 2: "the circuits needed to
+//! implement GS also turn out to be simpler than those needed for BE")
+//! shows up as arbiter decision cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mango::core::{ArbiterKind, LinkSlot, VcId};
+use std::hint::black_box;
+
+fn ready_sets() -> Vec<Vec<LinkSlot>> {
+    let full: Vec<LinkSlot> = (0..7).map(|i| LinkSlot::Gs(VcId(i))).chain([LinkSlot::Be]).collect();
+    vec![
+        vec![LinkSlot::Gs(VcId(3))],
+        vec![LinkSlot::Gs(VcId(0)), LinkSlot::Gs(VcId(6)), LinkSlot::Be],
+        full,
+    ]
+}
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_select");
+    for kind in [
+        ArbiterKind::FairShare,
+        ArbiterKind::StaticPriority,
+        ArbiterKind::Alg { age_bound: 7 },
+    ] {
+        let mut arb = kind.build(7);
+        let sets = ready_sets();
+        group.bench_function(arb.name(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let ready = &sets[i % sets.len()];
+                i += 1;
+                black_box(arb.select(black_box(ready)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiters);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks of the BE path: header building/rotation and
+//! steering encode/decode — the per-flit hardware operations of Sec. 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mango::core::{BeHeader, Direction, Port, Steer, VcId};
+use std::hint::black_box;
+
+fn bench_be_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("be_routing");
+
+    let route: Vec<Direction> = (0..15)
+        .map(|i| [Direction::East, Direction::South][i % 2])
+        .collect();
+    group.bench_function("header_from_15_hop_route", |b| {
+        b.iter(|| black_box(BeHeader::from_route(black_box(&route)).unwrap()))
+    });
+
+    let header = BeHeader::from_route(&route).unwrap();
+    group.bench_function("route_decode_and_rotate", |b| {
+        b.iter(|| black_box(black_box(header).route(Some(Direction::West))))
+    });
+
+    group.bench_function("steer_pack_unpack", |b| {
+        let target = Steer::GsBuffer {
+            dir: Direction::South,
+            vc: VcId(5),
+        };
+        let arrival = Port::Net(Direction::West);
+        b.iter(|| {
+            let code = black_box(target).pack(arrival).unwrap();
+            black_box(Steer::unpack(code, arrival).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_be_routing);
+criterion_main!(benches);

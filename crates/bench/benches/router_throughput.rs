@@ -1,0 +1,24 @@
+//! Criterion bench of simulator performance on a saturated link: how
+//! much wall-clock the event model spends per simulated microsecond with
+//! all 7 GS VCs of one link backlogged.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mango::sim::SimDuration;
+use mango_bench::{funnel_sim, measure_gs};
+use std::hint::black_box;
+
+fn bench_saturated_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_throughput");
+    group.sample_size(10);
+    group.bench_function("saturated_link_100us", |b| {
+        b.iter(|| {
+            let (mut sim, tagged) = funnel_sim(6, 4242);
+            let run = measure_gs(&mut sim, tagged, SimDuration::from_ns(3), 2, 100);
+            black_box((run.throughput_m, sim.events_processed()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturated_link);
+criterion_main!(benches);

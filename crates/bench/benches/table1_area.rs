@@ -1,0 +1,33 @@
+//! Criterion bench for the Table 1 area model: cost of evaluating the
+//! per-module breakdown across design points (the model is used inside
+//! design-space sweeps, so evaluation speed matters), plus a correctness
+//! gate that the paper's numbers still reproduce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mango::hw::area::{AreaModel, RouterParams, Table1};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Gate: the calibration must hold before we bother timing it.
+    let breakdown = AreaModel::cmos_120nm().breakdown(&RouterParams::paper());
+    let err = (breakdown.total_mm2() - Table1::PAPER_TOTAL).abs() / Table1::PAPER_TOTAL;
+    assert!(err < 0.02, "Table 1 calibration drifted: {err:.4}");
+
+    let model = AreaModel::cmos_120nm();
+    let mut group = c.benchmark_group("table1_area");
+    group.bench_function("paper_design_point", |b| {
+        let params = RouterParams::paper();
+        b.iter(|| black_box(model.breakdown(black_box(&params))))
+    });
+    for v in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("sweep_vcs", v), &v, |b, &v| {
+            let mut params = RouterParams::paper();
+            params.gs_vcs = v;
+            b.iter(|| black_box(model.breakdown(black_box(&params))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

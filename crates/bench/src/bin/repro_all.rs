@@ -1,0 +1,45 @@
+//! Runs every reproduction binary in sequence — the full experimental
+//! record behind `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release -p mango-bench --bin repro_all`
+
+use std::process::Command;
+
+fn main() {
+    let repros = [
+        "repro_table1",
+        "repro_port_speed",
+        "repro_fig4_nonblocking",
+        "repro_fig5_switching",
+        "repro_fig6_vc_control",
+        "repro_fig7_be",
+        "repro_fig8_gs_vs_be",
+        "repro_fairshare",
+        "repro_alg_latency",
+        "repro_aethereal",
+        "repro_scaling",
+        "repro_saturation",
+        "repro_pipelined_links",
+        "repro_buffer_depth",
+        "repro_di_links",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in repros {
+        println!("\n{:=^78}", format!(" {name} "));
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e} (build all bins first)"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    println!("\n{:=^78}", " summary ");
+    if failures.is_empty() {
+        println!("all {} reproductions passed", repros.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

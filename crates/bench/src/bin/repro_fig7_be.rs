@@ -1,0 +1,105 @@
+//! Reproduces **Fig. 7 / Sec. 5** (the BE router): source-routed packets
+//! follow their headers hop by hop up to the 15-hop limit; latency grows
+//! linearly with hops; outputs arbitrate fairly between inputs while
+//! keeping packet coherency.
+//!
+//! Run with: `cargo run --release -p mango-bench --bin repro_fig7_be`
+
+use mango::core::RouterId;
+use mango::hw::Table;
+use mango::net::{EmitWindow, NocSim, Pattern};
+use mango::sim::SimDuration;
+
+fn main() {
+    // Latency vs hop count on a 16x1 mesh, idle network.
+    println!("BE packet latency vs hop count (4-flit packets, idle network)\n");
+    let mut t = Table::new(vec!["hops", "mean [ns]", "per-hop delta [ns]"]);
+    let mut prev: Option<f64> = None;
+    let mut deltas = Vec::new();
+    for hops in [1u8, 2, 4, 8, 15] {
+        let mut sim = NocSim::paper_mesh(16, 1, 21);
+        sim.begin_measurement();
+        let flow = sim.add_be_source(
+            RouterId::new(0, 0),
+            vec![RouterId::new(hops, 0)],
+            3,
+            Pattern::cbr(SimDuration::from_ns(100)),
+            "hops",
+            EmitWindow {
+                limit: Some(300),
+                ..Default::default()
+            },
+        );
+        sim.run_to_quiescence();
+        let s = sim.flow(flow);
+        assert_eq!(s.delivered, 300, "lossless at {hops} hops");
+        let mean = s.latency.mean().unwrap().as_ns_f64();
+        let delta = prev.map(|p| (mean - p) / (hops as f64 - prev_hops(hops)));
+        if let Some(d) = delta {
+            deltas.push(d);
+        }
+        t.add_row(vec![
+            hops.to_string(),
+            format!("{mean:.2}"),
+            delta.map_or("-".into(), |d| format!("{d:.2}")),
+        ]);
+        prev = Some(mean);
+    }
+    print!("{t}");
+    let spread = deltas
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+    println!(
+        "\nper-hop delta spread: {:.2}..{:.2} ns (constant per-hop cost)",
+        spread.0, spread.1
+    );
+    assert!((spread.1 - spread.0) / spread.0 < 0.25, "per-hop cost must be ~constant");
+
+    // Fair input arbitration: four senders into one sink, equal service.
+    println!("\nFair arbitration: 4 senders -> 1 sink, saturating offered load\n");
+    let mut sim = NocSim::paper_mesh(3, 3, 23);
+    let sink = RouterId::new(1, 1);
+    let senders = [
+        RouterId::new(0, 1),
+        RouterId::new(2, 1),
+        RouterId::new(1, 0),
+        RouterId::new(1, 2),
+    ];
+    sim.run_for(SimDuration::from_us(5));
+    sim.begin_measurement();
+    let flows: Vec<u32> = senders
+        .iter()
+        .map(|s| {
+            sim.add_be_source(
+                *s,
+                vec![sink],
+                3,
+                Pattern::cbr(SimDuration::from_ns(8)),
+                format!("from-{s}"),
+                EmitWindow::default(),
+            )
+        })
+        .collect();
+    sim.run_for(SimDuration::from_us(150));
+    let rates: Vec<f64> = flows.iter().map(|f| sim.flow_throughput_m(*f)).collect();
+    let mut t = Table::new(vec!["sender", "Mpkt/s"]);
+    for (s, r) in senders.iter().zip(&rates) {
+        t.add_row(vec![s.to_string(), format!("{r:.2}")]);
+    }
+    print!("{t}");
+    let (lo, hi) = rates
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+    println!("\nmin/max sender rate ratio: {:.3} (1.0 = perfectly fair)", lo / hi);
+    assert!(lo / hi > 0.9, "BE output arbitration must be fair");
+}
+
+fn prev_hops(current: u8) -> f64 {
+    match current {
+        2 => 1.0,
+        4 => 2.0,
+        8 => 4.0,
+        15 => 8.0,
+        _ => 0.0,
+    }
+}

@@ -1,0 +1,86 @@
+//! Reproduces the **scaling remarks of Sec. 4.2/4.3**: router area as a
+//! function of ports, VCs, flit width and buffer depth — the switching
+//! module linear in V, the VC-control wire switch quadratic (motivating
+//! the Clos-network suggestion for large V).
+//!
+//! Run with: `cargo run --release -p mango-bench --bin repro_scaling`
+
+use mango::hw::area::{AreaModel, RouterParams};
+use mango::hw::power::PowerModel;
+use mango::hw::Table;
+
+fn main() {
+    let model = AreaModel::cmos_120nm();
+    let base = model.breakdown(&RouterParams::paper());
+
+    println!("Router area scaling (paper design point = 1.00x)\n");
+    let mut t = Table::new(vec![
+        "configuration",
+        "total [mm2]",
+        "vs paper",
+        "switching",
+        "VC control",
+        "buffers",
+    ]);
+    let mut add = |name: &str, p: RouterParams| {
+        let b = model.breakdown(&p);
+        t.add_row(vec![
+            name.to_string(),
+            format!("{:.3}", b.total_mm2()),
+            format!("{:.2}x", b.total_um2() / base.total_um2()),
+            format!("{:.3}", b.switching / 1e6),
+            format!("{:.3}", b.vc_control / 1e6),
+            format!("{:.3}", b.vc_buffers / 1e6),
+        ]);
+    };
+    add("paper: P=5 V=8 W=32 D=1", RouterParams::paper());
+    let mut p = RouterParams::paper();
+    p.gs_vcs = 4;
+    add("V=4 (fewer connections)", p);
+    let mut p = RouterParams::paper();
+    p.gs_vcs = 16;
+    add("V=16", p);
+    let mut p = RouterParams::paper();
+    p.gs_vcs = 32;
+    add("V=32 (Clos territory)", p);
+    let mut p = RouterParams::paper();
+    p.flit_data_bits = 64;
+    add("W=64", p);
+    let mut p = RouterParams::paper();
+    p.buffer_depth = 4;
+    add("D=4 (deeper buffers)", p);
+    print!("{t}");
+
+    // The Clos motivation: fraction of area spent on the unlock-wire
+    // switch as V grows.
+    println!("\nVC-control share of total area vs V (Sec. 4.3)\n");
+    let mut t = Table::new(vec!["V", "VC control [mm2]", "share of total"]);
+    for v in [8usize, 16, 32, 64] {
+        let mut p = RouterParams::paper();
+        p.gs_vcs = v;
+        let b = model.breakdown(&p);
+        t.add_row(vec![
+            v.to_string(),
+            format!("{:.3}", b.vc_control / 1e6),
+            format!("{:.1}%", b.vc_control / b.total_um2() * 100.0),
+        ]);
+    }
+    print!("{t}");
+
+    // Idle power: the clockless argument of Sec. 1.
+    let power = PowerModel::cmos_120nm();
+    let area = base.total_mm2();
+    println!("\nIdle power at the paper's router area ({area:.3} mm2):");
+    println!(
+        "  clockless (leakage only): {:.1} uW — \"zero dynamic power consumption when idle\"",
+        power.idle_power_clockless_uw(area)
+    );
+    println!(
+        "  equivalent clocked router (free-running clock tree): {:.0} uW",
+        power.idle_power_clocked_uw(area)
+    );
+    println!(
+        "  energy per flit-hop: {:.2} pJ",
+        power.flit_hop_energy_pj(&RouterParams::paper())
+    );
+}

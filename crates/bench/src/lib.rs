@@ -1,0 +1,125 @@
+//! Shared harness for the benchmark and reproduction binaries.
+//!
+//! Every table and figure of the paper has a `repro_*` binary in
+//! `src/bin/` that regenerates it (see `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results).
+//! This library holds the experiment set-ups they share.
+
+use mango::core::RouterId;
+use mango::net::{EmitWindow, NocSim, Pattern};
+use mango::sim::SimDuration;
+
+/// Result of driving one GS connection under a given environment.
+#[derive(Debug, Clone)]
+pub struct GsRun {
+    /// Delivered throughput, Mflit/s.
+    pub throughput_m: f64,
+    /// Mean end-to-end latency, ns.
+    pub mean_ns: f64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: f64,
+    /// Worst observed latency, ns.
+    pub max_ns: f64,
+    /// Jitter (max − min), ns.
+    pub jitter_ns: f64,
+}
+
+/// The funnel geometry: on an 8×1 line, a tagged connection
+/// (0,0)→(2,0) plus up to 6 contender connections all crossing link
+/// (1,0)→East (the paper's full-contention scenario: 7 GS VCs + BE on
+/// one link). Contenders terminate at spread-out destinations so that
+/// **only the head link saturates** — downstream links stay below
+/// capacity and do not add second-order arbitration waits to the
+/// measurement.
+///
+/// Returns the sim (connections settled, contenders saturated at
+/// ~333 Mflit/s offered each) and the tagged connection id.
+pub fn funnel_sim(contenders: usize, seed: u64) -> (NocSim, mango::core::ConnectionId) {
+    assert!(contenders <= 6, "6 contender VCs + tagged fill the link");
+    let mut sim = NocSim::paper_mesh(8, 1, seed);
+    let tagged = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .expect("tagged connection");
+    // Contenders: 3 more from (0,0), 3 from (1,0) — all share (1,0)→E.
+    let plan = [
+        (RouterId::new(0, 0), RouterId::new(3, 0)),
+        (RouterId::new(0, 0), RouterId::new(4, 0)),
+        (RouterId::new(0, 0), RouterId::new(5, 0)),
+        (RouterId::new(1, 0), RouterId::new(6, 0)),
+        (RouterId::new(1, 0), RouterId::new(7, 0)),
+        (RouterId::new(1, 0), RouterId::new(3, 0)),
+    ];
+    let cross: Vec<_> = plan[..contenders]
+        .iter()
+        .map(|(s, d)| sim.open_connection(*s, *d).expect("contender fits"))
+        .collect();
+    sim.wait_connections_settled().expect("programming settles");
+    for (i, c) in cross.iter().enumerate() {
+        sim.add_gs_source(
+            *c,
+            Pattern::cbr(SimDuration::from_ns(3)),
+            format!("cross-{i}"),
+            EmitWindow::default(),
+        );
+    }
+    (sim, tagged)
+}
+
+/// Measures a GS connection at `period` per flit for `measure_us`, after
+/// `warmup_us` of warmup.
+pub fn measure_gs(
+    sim: &mut NocSim,
+    conn: mango::core::ConnectionId,
+    period: SimDuration,
+    warmup_us: u64,
+    measure_us: u64,
+) -> GsRun {
+    sim.run_for(SimDuration::from_us(warmup_us));
+    sim.begin_measurement();
+    let flow = sim.add_gs_source(conn, Pattern::cbr(period), "tagged", EmitWindow::default());
+    sim.run_for(SimDuration::from_us(measure_us));
+    let stats = sim.flow(flow);
+    GsRun {
+        throughput_m: sim.flow_throughput_m(flow),
+        mean_ns: stats.latency.mean().map_or(0.0, |d| d.as_ns_f64()),
+        p99_ns: stats.latency.quantile(0.99).map_or(0.0, |d| d.as_ns_f64()),
+        max_ns: stats.latency.max().map_or(0.0, |d| d.as_ns_f64()),
+        jitter_ns: stats.latency.jitter().map_or(0.0, |d| d.as_ns_f64()),
+    }
+}
+
+/// Adds uniform-random BE background traffic at `mean_gap` per node.
+pub fn add_be_background(sim: &mut NocSim, mean_gap: SimDuration) {
+    let all: Vec<RouterId> = sim.network().grid().ids().collect();
+    for node in all.clone() {
+        let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
+        sim.add_be_source(
+            node,
+            dests,
+            4,
+            Pattern::poisson(mean_gap),
+            format!("bg-{node}"),
+            EmitWindow::default(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn funnel_sim_builds_and_measures() {
+        let (mut sim, tagged) = funnel_sim(6, 1);
+        let run = measure_gs(&mut sim, tagged, SimDuration::from_ns(10), 2, 20);
+        assert!(run.throughput_m > 0.0);
+    }
+
+    #[test]
+    fn be_background_attaches() {
+        let mut sim = NocSim::paper_mesh(2, 2, 2);
+        add_be_background(&mut sim, SimDuration::from_us(1));
+        sim.run_for(SimDuration::from_us(10));
+        assert!(sim.events_processed() > 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Best-effort router unit state (Fig. 7).
+//!
+//! The BE router has an input per direction (four network inputs fed by the
+//! split stage's BE target, the local NA interface, and — our extension —
+//! the programming interface, which injects acknowledgment packets). Each
+//! input holds a small latch FIFO (unsharebox + staging) and a routing
+//! decision for the packet currently passing through. Each network output
+//! holds a small output stage that contends for the shared link through the
+//! link arbiter (Fig. 8: the BE router is integrated into the GS router as
+//! one more channel), plus the credit counter of the credit-based BE flow
+//! control (Sec. 5). Outputs arbitrate fairly between inputs and keep the
+//! grant until a packet's last flit ("packet coherency").
+
+use crate::flit::Flit;
+use crate::ids::Direction;
+use crate::packet::BeDest;
+use mango_sim::Fifo;
+use std::fmt;
+
+/// A BE router input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BeInput {
+    /// From the split stage of network input port `dir`.
+    Net(Direction),
+    /// From the local NA's BE interface.
+    LocalNa,
+    /// From the programming interface (acknowledgment packets).
+    Prog,
+}
+
+impl BeInput {
+    /// All inputs in index order.
+    pub const ALL: [BeInput; 6] = [
+        BeInput::Net(Direction::North),
+        BeInput::Net(Direction::East),
+        BeInput::Net(Direction::South),
+        BeInput::Net(Direction::West),
+        BeInput::LocalNa,
+        BeInput::Prog,
+    ];
+
+    /// Dense index in `0..6`.
+    pub fn index(self) -> usize {
+        match self {
+            BeInput::Net(d) => d.index(),
+            BeInput::LocalNa => 4,
+            BeInput::Prog => 5,
+        }
+    }
+
+    /// The arrival direction seen by the header-routing logic (`None` for
+    /// locally injected packets).
+    pub fn arrival_dir(self) -> Option<Direction> {
+        match self {
+            BeInput::Net(d) => Some(d),
+            BeInput::LocalNa | BeInput::Prog => None,
+        }
+    }
+}
+
+impl fmt::Display for BeInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeInput::Net(d) => write!(f, "be-in-{d}"),
+            BeInput::LocalNa => f.write_str("be-in-local"),
+            BeInput::Prog => f.write_str("be-in-prog"),
+        }
+    }
+}
+
+/// Per-input state.
+#[derive(Debug, Clone)]
+pub struct BeInputState {
+    /// Latch FIFO (unsharebox + staging).
+    pub latch: Fifo<Flit>,
+    /// Routing decision for the packet currently in progress.
+    pub in_progress: Option<BeDest>,
+    /// A `BeRouted` event is in flight.
+    pub routing: bool,
+    /// A `BeMoved` event is in flight.
+    pub moving: bool,
+}
+
+impl BeInputState {
+    fn new(depth: usize) -> Self {
+        BeInputState {
+            latch: Fifo::new(depth),
+            in_progress: None,
+            routing: false,
+            moving: false,
+        }
+    }
+
+    /// True if the input is between packets and a newly arrived flit would
+    /// be a header needing route decode.
+    pub fn needs_routing(&self) -> bool {
+        self.in_progress.is_none() && !self.routing && !self.latch.is_empty()
+    }
+
+    /// True if the input can move its front flit right now (has a decision,
+    /// no event in flight, flit present).
+    pub fn can_move(&self) -> bool {
+        self.in_progress.is_some() && !self.routing && !self.moving && !self.latch.is_empty()
+    }
+}
+
+/// Per-network-output state.
+#[derive(Debug, Clone)]
+pub struct BeOutputState {
+    /// Output stage FIFO feeding the link arbiter.
+    pub buf: Fifo<Flit>,
+    /// Credits for the downstream router's BE input latch.
+    pub credits: usize,
+    credits_max: usize,
+    /// Input currently holding this output (packet coherency).
+    pub locked_to: Option<BeInput>,
+    /// Round-robin pointer for fair input arbitration.
+    pub rr: usize,
+}
+
+impl BeOutputState {
+    fn new(depth: usize, credits: usize) -> Self {
+        BeOutputState {
+            buf: Fifo::new(depth),
+            credits,
+            credits_max: credits,
+            locked_to: None,
+            rr: 0,
+        }
+    }
+
+    /// True if this output's link-arbiter slot is ready: a flit staged and
+    /// a credit available.
+    pub fn link_ready(&self) -> bool {
+        !self.buf.is_empty() && self.credits > 0
+    }
+
+    /// A credit returned from downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if credits exceed the initial allocation — a credit
+    /// accounting bug.
+    pub fn add_credit(&mut self) {
+        self.credits += 1;
+        assert!(
+            self.credits <= self.credits_max,
+            "BE credit overflow: more credits than buffer slots"
+        );
+    }
+}
+
+/// The local output (delivery to the NA / programming interface): no
+/// buffering — delivery is immediate — but it still needs the coherency
+/// lock and fair arbitration so packets from different inputs do not
+/// interleave.
+#[derive(Debug, Clone, Default)]
+pub struct BeLocalOut {
+    /// Input currently delivering a packet.
+    pub locked_to: Option<BeInput>,
+    /// Round-robin pointer.
+    pub rr: usize,
+}
+
+/// The complete BE unit state.
+#[derive(Debug, Clone)]
+pub struct BeUnit {
+    /// Input latches, indexed by [`BeInput::index`].
+    pub inputs: [BeInputState; 6],
+    /// Network output stages, indexed by [`Direction::index`].
+    pub outputs: [BeOutputState; 4],
+    /// The local delivery output.
+    pub local_out: BeLocalOut,
+    /// Programming-interface receive buffer (config payload words).
+    pub prog_rx: Vec<u32>,
+}
+
+impl BeUnit {
+    /// Creates the BE unit with the given latch depth, output depth and
+    /// initial per-link credits.
+    pub fn new(input_depth: usize, output_depth: usize, credits: usize) -> Self {
+        BeUnit {
+            inputs: std::array::from_fn(|_| BeInputState::new(input_depth)),
+            outputs: std::array::from_fn(|_| BeOutputState::new(output_depth, credits)),
+            local_out: BeLocalOut::default(),
+            prog_rx: Vec::new(),
+        }
+    }
+
+    /// Shared access to an input.
+    pub fn input(&self, i: BeInput) -> &BeInputState {
+        &self.inputs[i.index()]
+    }
+
+    /// Exclusive access to an input.
+    pub fn input_mut(&mut self, i: BeInput) -> &mut BeInputState {
+        &mut self.inputs[i.index()]
+    }
+
+    /// The inputs currently contending for `dest` (decision made, flit
+    /// staged, no event in flight), in index order.
+    pub fn contenders(&self, dest: BeDest) -> Vec<BeInput> {
+        BeInput::ALL
+            .into_iter()
+            .filter(|i| {
+                let s = self.input(*i);
+                s.in_progress == Some(dest) && s.can_move()
+            })
+            .collect()
+    }
+
+    /// Fair round-robin pick among `contenders` for an output whose
+    /// round-robin pointer is `rr`; returns the chosen input and the new
+    /// pointer value.
+    pub fn rr_pick(contenders: &[BeInput], rr: usize) -> Option<(BeInput, usize)> {
+        if contenders.is_empty() {
+            return None;
+        }
+        let n = BeInput::ALL.len();
+        for off in 1..=n {
+            let idx = (rr + off) % n;
+            if let Some(&input) = contenders.iter().find(|c| c.index() == idx) {
+                return Some((input, idx));
+            }
+        }
+        unreachable!("non-empty contender list")
+    }
+
+    /// True if any flit or decision state is held anywhere in the unit.
+    pub fn has_work(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|i| !i.latch.is_empty() || i.routing || i.moving || i.in_progress.is_some())
+            || self.outputs.iter().any(|o| !o.buf.is_empty())
+            || !self.prog_rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_indexing_is_dense_and_stable() {
+        for (expect, input) in BeInput::ALL.into_iter().enumerate() {
+            assert_eq!(input.index(), expect);
+        }
+    }
+
+    #[test]
+    fn arrival_dir_distinguishes_network_and_local() {
+        assert_eq!(
+            BeInput::Net(Direction::West).arrival_dir(),
+            Some(Direction::West)
+        );
+        assert_eq!(BeInput::LocalNa.arrival_dir(), None);
+        assert_eq!(BeInput::Prog.arrival_dir(), None);
+    }
+
+    #[test]
+    fn needs_routing_only_between_packets() {
+        let mut unit = BeUnit::new(2, 2, 2);
+        let input = BeInput::LocalNa;
+        assert!(!unit.input(input).needs_routing(), "empty latch");
+        unit.input_mut(input).latch.push(Flit::be(0, false));
+        assert!(unit.input(input).needs_routing());
+        unit.input_mut(input).routing = true;
+        assert!(!unit.input(input).needs_routing(), "decode in flight");
+        unit.input_mut(input).routing = false;
+        unit.input_mut(input).in_progress = Some(BeDest::Local);
+        assert!(!unit.input(input).needs_routing(), "packet in progress");
+    }
+
+    #[test]
+    fn can_move_requires_decision_and_idle_pipeline() {
+        let mut unit = BeUnit::new(2, 2, 2);
+        let i = BeInput::Net(Direction::North);
+        unit.input_mut(i).latch.push(Flit::be(0, true));
+        assert!(!unit.input(i).can_move(), "no decision yet");
+        unit.input_mut(i).in_progress = Some(BeDest::Net(Direction::South));
+        assert!(unit.input(i).can_move());
+        unit.input_mut(i).moving = true;
+        assert!(!unit.input(i).can_move());
+    }
+
+    #[test]
+    fn link_ready_needs_flit_and_credit() {
+        let mut unit = BeUnit::new(2, 2, 1);
+        let out = &mut unit.outputs[0];
+        assert!(!out.link_ready());
+        out.buf.push(Flit::be(0, true));
+        assert!(out.link_ready());
+        out.credits = 0;
+        assert!(!out.link_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn credit_overflow_is_detected() {
+        let mut unit = BeUnit::new(2, 2, 1);
+        unit.outputs[0].add_credit();
+    }
+
+    #[test]
+    fn credit_decrement_and_return_roundtrip() {
+        let mut unit = BeUnit::new(2, 2, 2);
+        unit.outputs[1].credits -= 1;
+        unit.outputs[1].credits -= 1;
+        assert!(!unit.outputs[1].link_ready());
+        unit.outputs[1].add_credit();
+        unit.outputs[1].buf.push(Flit::be(0, true));
+        assert!(unit.outputs[1].link_ready());
+    }
+
+    #[test]
+    fn rr_pick_rotates_fairly() {
+        let contenders = vec![
+            BeInput::Net(Direction::North), // 0
+            BeInput::Net(Direction::South), // 2
+            BeInput::LocalNa,               // 4
+        ];
+        let (first, rr) = BeUnit::rr_pick(&contenders, 5).unwrap();
+        assert_eq!(first, BeInput::Net(Direction::North), "wraps past 5");
+        let (second, rr) = BeUnit::rr_pick(&contenders, rr).unwrap();
+        assert_eq!(second, BeInput::Net(Direction::South));
+        let (third, rr) = BeUnit::rr_pick(&contenders, rr).unwrap();
+        assert_eq!(third, BeInput::LocalNa);
+        let (wrap, _) = BeUnit::rr_pick(&contenders, rr).unwrap();
+        assert_eq!(wrap, BeInput::Net(Direction::North));
+    }
+
+    #[test]
+    fn rr_pick_empty_is_none() {
+        assert_eq!(BeUnit::rr_pick(&[], 0), None);
+    }
+
+    #[test]
+    fn has_work_tracks_all_stages() {
+        let mut unit = BeUnit::new(2, 2, 2);
+        assert!(!unit.has_work());
+        unit.prog_rx.push(1);
+        assert!(unit.has_work());
+        unit.prog_rx.clear();
+        unit.outputs[3].buf.push(Flit::be(0, true));
+        assert!(unit.has_work());
+    }
+}

@@ -1,0 +1,265 @@
+//! Identifier types for routers, ports, virtual channels and connections.
+
+use std::fmt;
+
+/// A compass direction naming a network port: the port connects to the
+/// neighbor router lying in that direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Toward the neighbor with smaller y.
+    North,
+    /// Toward the neighbor with larger x.
+    East,
+    /// Toward the neighbor with larger y.
+    South,
+    /// Toward the neighbor with smaller x.
+    West,
+}
+
+impl Direction {
+    /// All four directions in index order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// A stable index in `0..4` (N=0, E=1, S=2, W=3) — also the 2-bit code
+    /// used in BE packet headers.
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+        }
+    }
+
+    /// The direction for an index in `0..4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn from_index(i: usize) -> Direction {
+        Direction::ALL[i]
+    }
+
+    /// The opposite direction: a flit leaving a router on port `d` arrives
+    /// at the neighbor's port `d.opposite()`.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A router's position in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RouterId {
+    /// Column, increasing eastward.
+    pub x: u8,
+    /// Row, increasing southward.
+    pub y: u8,
+}
+
+impl RouterId {
+    /// Creates a router id at `(x, y)`.
+    pub const fn new(x: u8, y: u8) -> Self {
+        RouterId { x, y }
+    }
+
+    /// The neighbor in direction `d`, if it stays within `0..=u8::MAX`
+    /// coordinates (grid bounds are enforced by the topology layer).
+    pub fn step(self, d: Direction) -> Option<RouterId> {
+        let (x, y) = (self.x as i16, self.y as i16);
+        let (nx, ny) = match d {
+            Direction::North => (x, y - 1),
+            Direction::East => (x + 1, y),
+            Direction::South => (x, y + 1),
+            Direction::West => (x - 1, y),
+        };
+        if (0..=u8::MAX as i16).contains(&nx) && (0..=u8::MAX as i16).contains(&ny) {
+            Some(RouterId::new(nx as u8, ny as u8))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A virtual-channel index on a link (`0..V`, paper: `V = 8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VcId(pub u8);
+
+impl VcId {
+    /// The index as `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{}", self.0)
+    }
+}
+
+/// A GS connection identifier, unique per [`super::Router`] network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnectionId(pub u32);
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// One of a router's five port pairs: four network ports plus the local
+/// port connecting to the network adapter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// A network port, named by the direction of its neighbor.
+    Net(Direction),
+    /// The local port (port 0 in the paper).
+    Local,
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::Net(d) => write!(f, "{d}"),
+            Port::Local => f.write_str("L"),
+        }
+    }
+}
+
+/// Reference to a GS buffer inside one router: either a VC buffer at a
+/// network output port or a local-port GS interface buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GsBufferRef {
+    /// VC buffer `vc` at network output port `dir`.
+    Net {
+        /// Output port direction.
+        dir: Direction,
+        /// VC index at that port.
+        vc: VcId,
+    },
+    /// Output buffer of local GS interface `iface` (paper: `0..4`).
+    Local {
+        /// Local GS interface index.
+        iface: u8,
+    },
+}
+
+impl fmt::Display for GsBufferRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsBufferRef::Net { dir, vc } => write!(f, "{dir}/{vc}"),
+            GsBufferRef::Local { iface } => write!(f, "local/{iface}"),
+        }
+    }
+}
+
+/// Where a GS buffer's unlock wire leads: one step back on the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpstreamRef {
+    /// The previous hop is a neighbor router: toggle unlock wire `wire` on
+    /// the link attached to input port `in_dir` (the wire index is the VC
+    /// index in the *upstream* router's output port).
+    Link {
+        /// Input port whose link carries the unlock wire.
+        in_dir: Direction,
+        /// Unlock wire index = upstream VC index.
+        wire: VcId,
+    },
+    /// The connection originates here: unlock the local network adapter's
+    /// GS TX interface `iface`.
+    Na {
+        /// NA transmit interface index.
+        iface: u8,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_index_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn step_moves_one_cell() {
+        let r = RouterId::new(2, 2);
+        assert_eq!(r.step(Direction::North), Some(RouterId::new(2, 1)));
+        assert_eq!(r.step(Direction::East), Some(RouterId::new(3, 2)));
+        assert_eq!(r.step(Direction::South), Some(RouterId::new(2, 3)));
+        assert_eq!(r.step(Direction::West), Some(RouterId::new(1, 2)));
+    }
+
+    #[test]
+    fn step_respects_coordinate_bounds() {
+        assert_eq!(RouterId::new(0, 0).step(Direction::West), None);
+        assert_eq!(RouterId::new(0, 0).step(Direction::North), None);
+        assert_eq!(RouterId::new(255, 255).step(Direction::East), None);
+        assert_eq!(RouterId::new(255, 255).step(Direction::South), None);
+    }
+
+    #[test]
+    fn step_then_back_is_identity() {
+        let r = RouterId::new(5, 7);
+        for d in Direction::ALL {
+            let there = r.step(d).unwrap();
+            assert_eq!(there.step(d.opposite()), Some(r));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Direction::North.to_string(), "N");
+        assert_eq!(RouterId::new(1, 2).to_string(), "(1,2)");
+        assert_eq!(VcId(3).to_string(), "vc3");
+        assert_eq!(ConnectionId(9).to_string(), "conn9");
+        assert_eq!(
+            GsBufferRef::Net {
+                dir: Direction::East,
+                vc: VcId(5)
+            }
+            .to_string(),
+            "E/vc5"
+        );
+        assert_eq!(GsBufferRef::Local { iface: 2 }.to_string(), "local/2");
+    }
+}

@@ -1,0 +1,415 @@
+//! The programming interface (Sec. 3–4): GS connections are set up by
+//! sending BE packets that carry connection-table writes.
+//!
+//! The paper implements this interface "as an extension on port 0, the
+//! local port" and leaves the packet format open. We define one:
+//!
+//! * a BE packet whose flits have the spare header bit set (see
+//!   [`crate::flit::Flit::be_vc`]) is consumed by the receiving router's
+//!   programming interface instead of being delivered to its NA;
+//! * each payload word encodes one table write (set/clear steering,
+//!   set/clear unlock mapping), applied in order;
+//! * an optional trailing `AckRequest` word, followed by a verbatim return
+//!   [`BeHeader`], asks the router to emit an acknowledgment BE packet
+//!   back to the programmer — BE delivery is lossless but the programmer
+//!   needs to know *when* the path is live before streaming header-less GS
+//!   flits into it.
+
+use crate::ids::{Direction, GsBufferRef, UpstreamRef, VcId};
+use crate::packet::BeHeader;
+use crate::steer::Steer;
+use crate::table::{ConnectionTable, TableError};
+use std::fmt;
+
+/// Magic prefix of the acknowledgment payload word (low 16 bits carry the
+/// token).
+pub const ACK_MAGIC: u32 = 0xAC00_0000;
+
+/// One connection-table write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgWrite {
+    /// Program steering bits for flits leaving on (`dir`, `vc`).
+    SetSteer {
+        /// Output port.
+        dir: Direction,
+        /// VC at that port.
+        vc: VcId,
+        /// Steering target in the next router.
+        steer: Steer,
+    },
+    /// Clear a steering entry.
+    ClearSteer {
+        /// Output port.
+        dir: Direction,
+        /// VC at that port.
+        vc: VcId,
+    },
+    /// Program the unlock-wire mapping of a GS buffer.
+    SetUnlock {
+        /// The buffer whose unlock wire is being routed.
+        buffer: GsBufferRef,
+        /// Where the wire leads (previous hop).
+        upstream: UpstreamRef,
+    },
+    /// Clear an unlock mapping.
+    ClearUnlock {
+        /// The buffer whose mapping is cleared.
+        buffer: GsBufferRef,
+    },
+}
+
+impl ProgWrite {
+    /// Applies this write to a connection table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TableError`] (range/occupancy violations).
+    pub fn apply(self, table: &mut ConnectionTable) -> Result<(), TableError> {
+        match self {
+            ProgWrite::SetSteer { dir, vc, steer } => table.set_steer(dir, vc, steer),
+            ProgWrite::ClearSteer { dir, vc } => table.clear_steer(dir, vc),
+            ProgWrite::SetUnlock { buffer, upstream } => table.set_unlock(buffer, upstream),
+            ProgWrite::ClearUnlock { buffer } => table.clear_unlock(buffer),
+        }
+    }
+}
+
+/// A request for an acknowledgment packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckPlan {
+    /// Token echoed in the ack payload.
+    pub token: u16,
+    /// Pre-built source-route header from the programmed router back to
+    /// the programmer.
+    pub return_header: BeHeader,
+}
+
+/// Decode errors for configuration payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgError {
+    /// Unknown opcode nibble.
+    BadOpcode(u32),
+    /// Reserved field had a nonzero value.
+    BadEncoding(u32),
+    /// `AckRequest` was the last word — the return header is missing.
+    MissingReturnHeader,
+    /// Words followed the return header.
+    TrailingWords,
+}
+
+impl fmt::Display for ProgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgError::BadOpcode(w) => write!(f, "unknown config opcode in word {w:#010x}"),
+            ProgError::BadEncoding(w) => write!(f, "malformed config word {w:#010x}"),
+            ProgError::MissingReturnHeader => f.write_str("ack request missing return header"),
+            ProgError::TrailingWords => f.write_str("config words after return header"),
+        }
+    }
+}
+
+impl std::error::Error for ProgError {}
+
+const OP_SET_STEER: u32 = 0;
+const OP_CLEAR_STEER: u32 = 1;
+const OP_SET_UNLOCK: u32 = 2;
+const OP_CLEAR_UNLOCK: u32 = 3;
+const OP_ACK_REQUEST: u32 = 4;
+
+fn encode_steer(steer: Steer) -> u32 {
+    // kind(2) | dir(2) | vc-or-iface(3)
+    match steer {
+        Steer::GsBuffer { dir, vc } => (dir.index() as u32) << 3 | vc.0 as u32,
+        Steer::LocalGs { iface } => 1 << 5 | iface as u32,
+        Steer::BeUnit => 2 << 5,
+    }
+}
+
+fn decode_steer(bits: u32, word: u32) -> Result<Steer, ProgError> {
+    match bits >> 5 {
+        0 => Ok(Steer::GsBuffer {
+            dir: Direction::from_index(((bits >> 3) & 0b11) as usize),
+            vc: VcId((bits & 0b111) as u8),
+        }),
+        1 => Ok(Steer::LocalGs {
+            iface: (bits & 0b11) as u8,
+        }),
+        2 if bits & 0b11111 == 0 => Ok(Steer::BeUnit),
+        _ => Err(ProgError::BadEncoding(word)),
+    }
+}
+
+fn encode_buffer(buffer: GsBufferRef) -> u32 {
+    // kind(1) | dir(2) | vc(3)  /  kind(1) | iface(2)
+    match buffer {
+        GsBufferRef::Net { dir, vc } => (dir.index() as u32) << 3 | vc.0 as u32,
+        GsBufferRef::Local { iface } => 1 << 5 | iface as u32,
+    }
+}
+
+fn decode_buffer(bits: u32) -> GsBufferRef {
+    if bits >> 5 == 0 {
+        GsBufferRef::Net {
+            dir: Direction::from_index(((bits >> 3) & 0b11) as usize),
+            vc: VcId((bits & 0b111) as u8),
+        }
+    } else {
+        GsBufferRef::Local {
+            iface: (bits & 0b11) as u8,
+        }
+    }
+}
+
+fn encode_upstream(up: UpstreamRef) -> u32 {
+    match up {
+        UpstreamRef::Link { in_dir, wire } => (in_dir.index() as u32) << 3 | wire.0 as u32,
+        UpstreamRef::Na { iface } => 1 << 5 | iface as u32,
+    }
+}
+
+fn decode_upstream(bits: u32) -> UpstreamRef {
+    if bits >> 5 == 0 {
+        UpstreamRef::Link {
+            in_dir: Direction::from_index(((bits >> 3) & 0b11) as usize),
+            wire: VcId((bits & 0b111) as u8),
+        }
+    } else {
+        UpstreamRef::Na {
+            iface: (bits & 0b11) as u8,
+        }
+    }
+}
+
+/// Encodes one table write into a 32-bit config word.
+pub fn encode_write(write: ProgWrite) -> u32 {
+    match write {
+        ProgWrite::SetSteer { dir, vc, steer } => {
+            OP_SET_STEER << 28
+                | (dir.index() as u32) << 24
+                | (vc.0 as u32) << 20
+                | encode_steer(steer)
+        }
+        ProgWrite::ClearSteer { dir, vc } => {
+            OP_CLEAR_STEER << 28 | (dir.index() as u32) << 24 | (vc.0 as u32) << 20
+        }
+        ProgWrite::SetUnlock { buffer, upstream } => {
+            OP_SET_UNLOCK << 28 | encode_buffer(buffer) << 16 | encode_upstream(upstream)
+        }
+        ProgWrite::ClearUnlock { buffer } => OP_CLEAR_UNLOCK << 28 | encode_buffer(buffer) << 16,
+    }
+}
+
+fn decode_write(word: u32) -> Result<ProgWrite, ProgError> {
+    match word >> 28 {
+        OP_SET_STEER => Ok(ProgWrite::SetSteer {
+            dir: Direction::from_index(((word >> 24) & 0b11) as usize),
+            vc: VcId(((word >> 20) & 0b111) as u8),
+            steer: decode_steer(word & 0xff, word)?,
+        }),
+        OP_CLEAR_STEER => Ok(ProgWrite::ClearSteer {
+            dir: Direction::from_index(((word >> 24) & 0b11) as usize),
+            vc: VcId(((word >> 20) & 0b111) as u8),
+        }),
+        OP_SET_UNLOCK => Ok(ProgWrite::SetUnlock {
+            buffer: decode_buffer((word >> 16) & 0xff),
+            upstream: decode_upstream(word & 0xff),
+        }),
+        OP_CLEAR_UNLOCK => Ok(ProgWrite::ClearUnlock {
+            buffer: decode_buffer((word >> 16) & 0xff),
+        }),
+        op => Err(ProgError::BadOpcode(op)),
+    }
+}
+
+/// Encodes a full configuration payload: the writes, then an optional
+/// `AckRequest` + return header.
+pub fn encode_payload(writes: &[ProgWrite], ack: Option<AckPlan>) -> Vec<u32> {
+    let mut words: Vec<u32> = writes.iter().map(|w| encode_write(*w)).collect();
+    if let Some(plan) = ack {
+        words.push(OP_ACK_REQUEST << 28 | plan.token as u32);
+        words.push(plan.return_header.0);
+    }
+    words
+}
+
+/// Decodes a configuration payload into table writes and an optional ack
+/// plan.
+///
+/// # Errors
+///
+/// Returns [`ProgError`] on malformed words; nothing is applied on error.
+pub fn decode_payload(words: &[u32]) -> Result<(Vec<ProgWrite>, Option<AckPlan>), ProgError> {
+    let mut writes = Vec::new();
+    let mut iter = words.iter().copied().peekable();
+    while let Some(word) = iter.next() {
+        if word >> 28 == OP_ACK_REQUEST {
+            let header = iter.next().ok_or(ProgError::MissingReturnHeader)?;
+            if iter.next().is_some() {
+                return Err(ProgError::TrailingWords);
+            }
+            return Ok((
+                writes,
+                Some(AckPlan {
+                    token: (word & 0xffff) as u16,
+                    return_header: BeHeader(header),
+                }),
+            ));
+        }
+        writes.push(decode_write(word)?);
+    }
+    Ok((writes, None))
+}
+
+/// Builds the acknowledgment payload word for `token`.
+pub fn ack_word(token: u16) -> u32 {
+    ACK_MAGIC | token as u32
+}
+
+/// Extracts the token from an acknowledgment payload word, if it is one.
+pub fn parse_ack_word(word: u32) -> Option<u16> {
+    if word & 0xffff_0000 == ACK_MAGIC {
+        Some((word & 0xffff) as u16)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::*;
+
+    fn sample_writes() -> Vec<ProgWrite> {
+        vec![
+            ProgWrite::SetSteer {
+                dir: East,
+                vc: VcId(3),
+                steer: Steer::GsBuffer {
+                    dir: South,
+                    vc: VcId(7),
+                },
+            },
+            ProgWrite::SetSteer {
+                dir: West,
+                vc: VcId(0),
+                steer: Steer::LocalGs { iface: 2 },
+            },
+            ProgWrite::SetSteer {
+                dir: North,
+                vc: VcId(5),
+                steer: Steer::BeUnit,
+            },
+            ProgWrite::SetUnlock {
+                buffer: GsBufferRef::Net {
+                    dir: South,
+                    vc: VcId(6),
+                },
+                upstream: UpstreamRef::Link {
+                    in_dir: North,
+                    wire: VcId(1),
+                },
+            },
+            ProgWrite::SetUnlock {
+                buffer: GsBufferRef::Local { iface: 3 },
+                upstream: UpstreamRef::Na { iface: 1 },
+            },
+            ProgWrite::ClearSteer {
+                dir: East,
+                vc: VcId(3),
+            },
+            ProgWrite::ClearUnlock {
+                buffer: GsBufferRef::Net {
+                    dir: South,
+                    vc: VcId(6),
+                },
+            },
+            ProgWrite::ClearUnlock {
+                buffer: GsBufferRef::Local { iface: 0 },
+            },
+        ]
+    }
+
+    #[test]
+    fn write_words_roundtrip() {
+        for w in sample_writes() {
+            let word = encode_write(w);
+            assert_eq!(decode_write(word), Ok(w), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip_without_ack() {
+        let writes = sample_writes();
+        let words = encode_payload(&writes, None);
+        let (decoded, ack) = decode_payload(&words).unwrap();
+        assert_eq!(decoded, writes);
+        assert_eq!(ack, None);
+    }
+
+    #[test]
+    fn payload_roundtrip_with_ack() {
+        let writes = sample_writes();
+        let plan = AckPlan {
+            token: 0xBEEF,
+            return_header: BeHeader::from_route(&[West, North]).unwrap(),
+        };
+        let words = encode_payload(&writes, Some(plan));
+        let (decoded, ack) = decode_payload(&words).unwrap();
+        assert_eq!(decoded, writes);
+        assert_eq!(ack, Some(plan));
+    }
+
+    #[test]
+    fn ack_without_header_is_error() {
+        let words = vec![OP_ACK_REQUEST << 28 | 7];
+        assert_eq!(decode_payload(&words), Err(ProgError::MissingReturnHeader));
+    }
+
+    #[test]
+    fn words_after_return_header_are_error() {
+        let words = vec![OP_ACK_REQUEST << 28, 0x1234, 0x5678];
+        assert_eq!(decode_payload(&words), Err(ProgError::TrailingWords));
+    }
+
+    #[test]
+    fn unknown_opcode_is_error() {
+        assert_eq!(decode_payload(&[0xF000_0000]), Err(ProgError::BadOpcode(0xF)));
+    }
+
+    #[test]
+    fn malformed_steer_kind_is_error() {
+        // Steer kind 3 does not exist.
+        let word = OP_SET_STEER << 28 | 3 << 5;
+        assert!(matches!(decode_payload(&[word]), Err(ProgError::BadEncoding(_))));
+    }
+
+    #[test]
+    fn apply_writes_to_table() {
+        let mut t = ConnectionTable::new(8, 4);
+        for w in sample_writes() {
+            w.apply(&mut t).unwrap();
+        }
+        // After the sets and clears above: steers W/0 and N/5 remain,
+        // unlock local/3 remains.
+        assert_eq!(t.steer_entries(), 2);
+        assert_eq!(t.unlock_entries(), 1);
+        assert_eq!(t.steer(West, VcId(0)), Some(Steer::LocalGs { iface: 2 }));
+        assert_eq!(
+            t.unlock(GsBufferRef::Local { iface: 3 }),
+            Some(UpstreamRef::Na { iface: 1 })
+        );
+    }
+
+    #[test]
+    fn ack_word_roundtrip() {
+        assert_eq!(parse_ack_word(ack_word(0x1234)), Some(0x1234));
+        assert_eq!(parse_ack_word(0xAB00_0001), None);
+        assert_eq!(parse_ack_word(0x0000_0007), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgError::BadOpcode(15).to_string().contains("opcode"));
+        assert!(ProgError::MissingReturnHeader.to_string().contains("return header"));
+    }
+}

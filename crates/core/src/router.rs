@@ -1,0 +1,1259 @@
+//! The MANGO router: assembly of the non-blocking switching module, the
+//! share-based VC control, the link arbiters and the BE unit (Fig. 8).
+//!
+//! The router is a passive, environment-driven state machine. Every `on_*`
+//! method takes the current time and an action sink; the environment (the
+//! network layer in `mango-net`, or a unit test) delivers link flits,
+//! unlock toggles, credits and NA traffic, redelivers [`InternalEvent`]s
+//! after the delays the router requests, and forwards outputs to neighbor
+//! routers.
+//!
+//! # Event flow of one GS hop
+//!
+//! 1. A link grant in the upstream router produced a
+//!    [`RouterAction::SendFlit`]; after `hop_forward` the flit arrives here
+//!    via [`Router::on_link_flit`], already steered through the split and
+//!    switch stages into its reserved VC buffer's unsharebox (the switch is
+//!    non-blocking: no arbitration happened on the way).
+//! 2. When the buffer stage has space, the flit advances
+//!    ([`InternalEvent::GsAdvance`]); leaving the unsharebox toggles the
+//!    unlock wire back to the upstream sharebox
+//!    ([`RouterAction::SendUnlock`]).
+//! 3. A buffered flit with an open sharebox makes the VC *ready*; the link
+//!    arbiter picks among ready channels whenever the output link is free,
+//!    implementing the configured GS discipline.
+//! 4. On grant the flit leaves with fresh steering bits from the connection
+//!    table, the sharebox locks, and the link stays busy for one
+//!    `link_cycle`.
+
+use crate::arb::{LinkArbiter, LinkSlot};
+use crate::be::{BeInput, BeUnit};
+use crate::config::RouterConfig;
+use crate::events::{InternalEvent, RouterAction};
+use crate::flit::{Flit, LinkFlit};
+use crate::ids::{Direction, GsBufferRef, RouterId, UpstreamRef, VcId};
+use crate::packet::{BeDest, BeHeader, build_be_packet};
+use crate::prog::{self, ProgWrite};
+use crate::stats::RouterStats;
+use crate::steer::Steer;
+use crate::table::ConnectionTable;
+use crate::vc::{LocalGsState, VcBufferState};
+use mango_sim::{SimTime, Tracer};
+use std::collections::VecDeque;
+
+/// One MANGO router.
+pub struct Router {
+    id: RouterId,
+    cfg: RouterConfig,
+    table: ConnectionTable,
+    /// GS VC buffers: `vcs[dir][vc]`.
+    vcs: [Vec<VcBufferState>; 4],
+    /// Local GS interface buffers.
+    local_gs: Vec<LocalGsState>,
+    /// Output link busy flags.
+    link_busy: [bool; 4],
+    /// An `ArbDecide` event is in flight for the port.
+    arb_pending: [bool; 4],
+    arbiters: [Box<dyn LinkArbiter>; 4],
+    be: BeUnit,
+    /// Staging queue of acknowledgment flits awaiting space in the BE
+    /// unit's programming-interface input latch.
+    prog_tx: VecDeque<Flit>,
+    stats: RouterStats,
+    /// Mirror of the last event timestamp, for tracing.
+    now: SimTime,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("id", &self.id)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Creates a router with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`RouterConfig::validate`].
+    pub fn new(id: RouterId, cfg: RouterConfig) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid router config: {e}"));
+        let gs_vcs = cfg.gs_vcs();
+        let depth = cfg.buffer_depth();
+        Router {
+            id,
+            table: ConnectionTable::new(gs_vcs, cfg.local_gs_ifaces()),
+            vcs: std::array::from_fn(|_| {
+                (0..gs_vcs).map(|_| VcBufferState::new(depth)).collect()
+            }),
+            local_gs: (0..cfg.local_gs_ifaces())
+                .map(|_| LocalGsState::new(depth, cfg.na_rx_depth))
+                .collect(),
+            link_busy: [false; 4],
+            arb_pending: [false; 4],
+            arbiters: std::array::from_fn(|_| cfg.arbiter.build(gs_vcs)),
+            be: BeUnit::new(cfg.be_input_depth, cfg.be_output_depth, cfg.be_link_credits),
+            prog_tx: VecDeque::new(),
+            cfg,
+            stats: RouterStats::default(),
+            now: SimTime::ZERO,
+            tracer: Tracer::Off,
+        }
+    }
+
+    /// The router's position.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// The connection table (read access for tests/tools).
+    pub fn table(&self) -> &ConnectionTable {
+        &self.table
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// The link arbitration policy name (for reports).
+    pub fn arbiter_name(&self) -> &'static str {
+        self.arbiters[0].name()
+    }
+
+    /// Enables or disables event tracing (disabled by default; tracing
+    /// collects grant/unlock/BE-routing records for debugging).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer = if enabled {
+            Tracer::collecting()
+        } else {
+            Tracer::Off
+        };
+    }
+
+    /// The collected trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Applies programming writes directly (the local NA drives the
+    /// programming interface without network transit — it is an extension
+    /// of the local port).
+    ///
+    /// # Panics
+    ///
+    /// Panics on table violations: local programming is under the
+    /// caller's control, so a violation is a caller bug.
+    pub fn program(&mut self, writes: &[ProgWrite]) {
+        for w in writes {
+            w.apply(&mut self.table)
+                .unwrap_or_else(|e| panic!("programming error at {}: {e}", self.id));
+            self.stats.prog_writes += 1;
+        }
+    }
+
+    /// True if no flit is stored or in flight anywhere in this router.
+    pub fn is_quiescent(&self) -> bool {
+        self.vcs.iter().flatten().all(|vc| vc.is_empty())
+            && self.local_gs.iter().all(|l| l.is_empty())
+            && !self.be.has_work()
+            && self.prog_tx.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Environment inputs
+    // ------------------------------------------------------------------
+
+    /// A flit arrives from the neighbor on input port `from` (having
+    /// traversed the link, the split stage and — for GS — the switch).
+    pub fn on_link_flit(
+        &mut self,
+        now: SimTime,
+        from: Direction,
+        lf: LinkFlit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        match lf.steer {
+            Steer::GsBuffer { dir, vc } => {
+                debug_assert_ne!(dir, from, "U-turn steering at {}", self.id);
+                self.stats.gs_flits_in[from.index()] += 1;
+                self.check_vc(dir, vc);
+                self.vcs[dir.index()][vc.index()].arrive(lf.flit);
+                self.gs_try_advance(GsBufferRef::Net { dir, vc }, act);
+            }
+            Steer::LocalGs { iface } => {
+                self.stats.gs_flits_in[from.index()] += 1;
+                self.check_iface(iface);
+                self.local_gs[iface as usize].arrive(lf.flit);
+                self.gs_try_advance(GsBufferRef::Local { iface }, act);
+            }
+            Steer::BeUnit => {
+                self.stats.be_flits_in[from.index()] += 1;
+                self.be_arrive(BeInput::Net(from), lf.flit, act);
+            }
+        }
+    }
+
+    /// An unlock toggle arrives on output port `dir` for VC `wire` (sent
+    /// by the downstream router when the flit left its unsharebox).
+    pub fn on_unlock(
+        &mut self,
+        now: SimTime,
+        dir: Direction,
+        wire: VcId,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        self.check_vc(dir, wire);
+        self.vcs[dir.index()][wire.index()].unlock();
+        self.kick_arb(dir, act);
+    }
+
+    /// A BE credit arrives on output port `dir`.
+    pub fn on_credit(&mut self, now: SimTime, dir: Direction, act: &mut Vec<RouterAction>) {
+        self.now = now;
+        self.be.outputs[dir.index()].add_credit();
+        self.kick_arb(dir, act);
+    }
+
+    /// The local NA injects a GS flit steered at the connection's first-hop
+    /// VC buffer (the NA stores the initial steering bits and models the
+    /// first sharebox; it must respect [`RouterAction::NaUnlock`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steer` does not name a network VC buffer: connections
+    /// start at a network output port of the source router.
+    pub fn on_local_gs_inject(
+        &mut self,
+        now: SimTime,
+        steer: Steer,
+        flit: Flit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        let Steer::GsBuffer { dir, vc } = steer else {
+            panic!("NA GS injection must target a network VC buffer, got {steer}");
+        };
+        self.stats.gs_injected += 1;
+        self.check_vc(dir, vc);
+        self.vcs[dir.index()][vc.index()].arrive(flit);
+        self.gs_try_advance(GsBufferRef::Net { dir, vc }, act);
+    }
+
+    /// The local NA injects a BE flit (credit-controlled: the NA must hold
+    /// a credit, returned via [`RouterAction::NaCredit`]).
+    pub fn on_local_be_inject(&mut self, now: SimTime, flit: Flit, act: &mut Vec<RouterAction>) {
+        self.now = now;
+        self.stats.be_injected += 1;
+        self.be_arrive(BeInput::LocalNa, flit, act);
+    }
+
+    /// The local NA finished consuming a delivered GS flit on `iface`,
+    /// freeing one delivery slot.
+    pub fn on_local_gs_consume(&mut self, now: SimTime, iface: u8, act: &mut Vec<RouterAction>) {
+        self.now = now;
+        self.check_iface(iface);
+        self.local_gs[iface as usize].na_consumed(self.cfg.na_rx_depth);
+        self.local_try_deliver(iface, act);
+    }
+
+    /// Redelivery of a deferred internal event.
+    pub fn on_internal(&mut self, now: SimTime, ev: InternalEvent, act: &mut Vec<RouterAction>) {
+        self.now = now;
+        match ev {
+            InternalEvent::GsAdvance { buffer } => self.gs_advance(buffer, act),
+            InternalEvent::LinkFree { dir } => {
+                self.link_busy[dir.index()] = false;
+                self.try_grant(dir, act);
+            }
+            InternalEvent::ArbDecide { dir } => {
+                self.arb_pending[dir.index()] = false;
+                self.try_grant(dir, act);
+            }
+            InternalEvent::BeRouted { input } => self.be_routed(input, act),
+            InternalEvent::BeMoved { input, dest, flit } => {
+                self.be_moved(input, dest, flit, act)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GS path
+    // ------------------------------------------------------------------
+
+    fn check_vc(&self, dir: Direction, vc: VcId) {
+        assert!(
+            vc.index() < self.cfg.gs_vcs(),
+            "{}: GS VC {vc} out of range on port {dir}",
+            self.id
+        );
+    }
+
+    fn check_iface(&self, iface: u8) {
+        assert!(
+            (iface as usize) < self.cfg.local_gs_ifaces(),
+            "{}: local GS interface {iface} out of range",
+            self.id
+        );
+    }
+
+    fn gs_try_advance(&mut self, buffer: GsBufferRef, act: &mut Vec<RouterAction>) {
+        let can = match buffer {
+            GsBufferRef::Net { dir, vc } => {
+                let st = &mut self.vcs[dir.index()][vc.index()];
+                st.can_advance() && {
+                    st.begin_advance();
+                    true
+                }
+            }
+            GsBufferRef::Local { iface } => {
+                let st = &mut self.local_gs[iface as usize];
+                st.can_advance() && {
+                    st.begin_advance();
+                    true
+                }
+            }
+        };
+        if can {
+            act.push(RouterAction::Internal {
+                delay: self.cfg.timing.buffer_advance,
+                event: InternalEvent::GsAdvance { buffer },
+            });
+        }
+    }
+
+    fn gs_advance(&mut self, buffer: GsBufferRef, act: &mut Vec<RouterAction>) {
+        match buffer {
+            GsBufferRef::Net { dir, vc } => {
+                self.vcs[dir.index()][vc.index()].complete_advance();
+            }
+            GsBufferRef::Local { iface } => {
+                self.local_gs[iface as usize].complete_advance();
+            }
+        }
+        // Leaving the unsharebox toggles the unlock wire one step back on
+        // the connection (Sec. 4.3).
+        let upstream = self.table.unlock(buffer).unwrap_or_else(|| {
+            panic!(
+                "{}: flit advanced on unprogrammed GS buffer {buffer} (missing unlock mapping)",
+                self.id
+            )
+        });
+        self.stats.unlocks_sent += 1;
+        self.tracer
+            .record(self.now, "vc.unlock", || format!("{buffer}"));
+        match upstream {
+            UpstreamRef::Link { in_dir, wire } => act.push(RouterAction::SendUnlock {
+                dir: in_dir,
+                wire,
+                delay: self.cfg.timing.unlock_path,
+            }),
+            UpstreamRef::Na { iface } => act.push(RouterAction::NaUnlock { iface }),
+        }
+        match buffer {
+            GsBufferRef::Net { dir, .. } => self.kick_arb(dir, act),
+            GsBufferRef::Local { iface } => self.local_try_deliver(iface, act),
+        }
+    }
+
+    fn local_try_deliver(&mut self, iface: u8, act: &mut Vec<RouterAction>) {
+        while let Some(flit) = self.local_gs[iface as usize].try_deliver() {
+            self.stats.gs_delivered += 1;
+            act.push(RouterAction::DeliverGs { iface, flit });
+            self.gs_try_advance(GsBufferRef::Local { iface }, act);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Link access (Sec. 4.4)
+    // ------------------------------------------------------------------
+
+    fn ready_slots(&self, dir: Direction) -> Vec<LinkSlot> {
+        let mut ready = Vec::with_capacity(self.cfg.gs_vcs() + 1);
+        for (i, st) in self.vcs[dir.index()].iter().enumerate() {
+            if st.is_ready() {
+                ready.push(LinkSlot::Gs(VcId(i as u8)));
+            }
+        }
+        if self.be.outputs[dir.index()].link_ready() {
+            ready.push(LinkSlot::Be);
+        }
+        ready
+    }
+
+    /// A slot may have become ready: arrange for an arbitration decision
+    /// if the link is idle (the decision overlaps the link cycle when the
+    /// link is busy).
+    fn kick_arb(&mut self, dir: Direction, act: &mut Vec<RouterAction>) {
+        let d = dir.index();
+        if self.link_busy[d] || self.arb_pending[d] {
+            return;
+        }
+        if self.ready_slots(dir).is_empty() {
+            return;
+        }
+        self.arb_pending[d] = true;
+        act.push(RouterAction::Internal {
+            delay: self.cfg.timing.arb_decision,
+            event: InternalEvent::ArbDecide { dir },
+        });
+    }
+
+    fn try_grant(&mut self, dir: Direction, act: &mut Vec<RouterAction>) {
+        let d = dir.index();
+        if self.link_busy[d] {
+            return;
+        }
+        let ready = self.ready_slots(dir);
+        if ready.is_empty() {
+            return;
+        }
+        let slot = self.arbiters[d].select(&ready);
+        self.link_busy[d] = true;
+        act.push(RouterAction::Internal {
+            delay: self.cfg.timing.link_cycle,
+            event: InternalEvent::LinkFree { dir },
+        });
+        match slot {
+            LinkSlot::Gs(vc) => {
+                let steer = self.table.steer(dir, vc).unwrap_or_else(|| {
+                    panic!(
+                        "{}: grant on GS VC {dir}/{vc} without steering entry",
+                        self.id
+                    )
+                });
+                let flit = self.vcs[d][vc.index()].grant();
+                self.stats.gs_grants[d] += 1;
+                self.tracer
+                    .record(self.now, "gs.grant", || format!("{dir}/{vc} {flit}"));
+                act.push(RouterAction::SendFlit {
+                    dir,
+                    lf: LinkFlit { steer, flit },
+                    delay: self.cfg.timing.hop_forward,
+                });
+                // The buffer slot just freed: a waiting unsharebox flit can
+                // advance.
+                self.gs_try_advance(GsBufferRef::Net { dir, vc }, act);
+            }
+            LinkSlot::Be => {
+                let out = &mut self.be.outputs[d];
+                let flit = out.buf.pop().expect("BE slot ready implies staged flit");
+                out.credits -= 1;
+                self.stats.be_grants[d] += 1;
+                self.tracer
+                    .record(self.now, "be.grant", || format!("{dir} {flit}"));
+                act.push(RouterAction::SendFlit {
+                    dir,
+                    lf: LinkFlit {
+                        steer: Steer::BeUnit,
+                        flit,
+                    },
+                    delay: self.cfg.timing.hop_forward,
+                });
+                // Output stage drained: the input holding this output may
+                // push its next flit.
+                self.be_try_output(BeDest::Net(dir), act);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // BE unit (Sec. 5)
+    // ------------------------------------------------------------------
+
+    fn be_arrive(&mut self, input: BeInput, flit: Flit, act: &mut Vec<RouterAction>) {
+        self.be.input_mut(input).latch.push(flit);
+        self.be_service(input, act);
+    }
+
+    /// Advances an input: start header decode between packets, or contend
+    /// for the current packet's output.
+    fn be_service(&mut self, input: BeInput, act: &mut Vec<RouterAction>) {
+        let st = self.be.input(input);
+        if st.routing || st.moving {
+            return;
+        }
+        match st.in_progress {
+            None => {
+                if !st.latch.is_empty() {
+                    self.be.input_mut(input).routing = true;
+                    act.push(RouterAction::Internal {
+                        delay: self.cfg.timing.be_route,
+                        event: InternalEvent::BeRouted { input },
+                    });
+                }
+            }
+            Some(dest) => self.be_try_output(dest, act),
+        }
+    }
+
+    /// Route decode finished: read the header's two MSBs, rotate it, and
+    /// record the decision.
+    fn be_routed(&mut self, input: BeInput, act: &mut Vec<RouterAction>) {
+        let arrival = input.arrival_dir();
+        let st = self.be.input_mut(input);
+        st.routing = false;
+        let header_flit = st
+            .latch
+            .front_mut()
+            .expect("BeRouted with empty latch: decode raced a pop");
+        let (dest, rotated) = BeHeader(header_flit.data).route(arrival);
+        header_flit.data = rotated.0;
+        st.in_progress = Some(dest);
+        self.tracer
+            .record(self.now, "be.route", || format!("{input} -> {dest}"));
+        self.be_try_output(dest, act);
+    }
+
+    /// Output-side fair arbitration with packet coherency: the lock holder
+    /// pumps; a free output picks the next contender round-robin.
+    fn be_try_output(&mut self, dest: BeDest, act: &mut Vec<RouterAction>) {
+        let holder = match dest {
+            BeDest::Net(d) => self.be.outputs[d.index()].locked_to,
+            BeDest::Local => self.be.local_out.locked_to,
+        };
+        let input = match holder {
+            Some(input) => input,
+            None => {
+                let contenders = self.be.contenders(dest);
+                let rr = match dest {
+                    BeDest::Net(d) => self.be.outputs[d.index()].rr,
+                    BeDest::Local => self.be.local_out.rr,
+                };
+                let Some((input, new_rr)) = BeUnit::rr_pick(&contenders, rr) else {
+                    return;
+                };
+                match dest {
+                    BeDest::Net(d) => {
+                        let out = &mut self.be.outputs[d.index()];
+                        out.locked_to = Some(input);
+                        out.rr = new_rr;
+                    }
+                    BeDest::Local => {
+                        self.be.local_out.locked_to = Some(input);
+                        self.be.local_out.rr = new_rr;
+                    }
+                }
+                input
+            }
+        };
+        self.be_pump(input, dest, act);
+    }
+
+    /// Moves the lock holder's next flit toward the output if everything
+    /// is in place.
+    fn be_pump(&mut self, input: BeInput, dest: BeDest, act: &mut Vec<RouterAction>) {
+        let st = self.be.input(input);
+        if st.moving || st.routing || st.latch.is_empty() {
+            return;
+        }
+        debug_assert_eq!(st.in_progress, Some(dest));
+        if let BeDest::Net(d) = dest {
+            if self.be.outputs[d.index()].buf.is_full() {
+                return; // kicked again when the link drains the stage
+            }
+        }
+        let flit = self
+            .be
+            .input_mut(input)
+            .latch
+            .pop()
+            .expect("checked non-empty");
+        self.be.input_mut(input).moving = true;
+        // Popping the latch frees a slot: return the flow-control credit
+        // one hop back.
+        match input {
+            BeInput::Net(d) => {
+                self.stats.credits_sent += 1;
+                act.push(RouterAction::SendCredit {
+                    dir: d,
+                    delay: self.cfg.timing.credit_return,
+                });
+            }
+            BeInput::LocalNa => {
+                self.stats.credits_sent += 1;
+                act.push(RouterAction::NaCredit);
+            }
+            BeInput::Prog => {
+                // The latch freed a slot: staged ack flits may enter.
+                self.prog_pump(act);
+            }
+        }
+        act.push(RouterAction::Internal {
+            delay: self.cfg.timing.be_arb,
+            event: InternalEvent::BeMoved { input, dest, flit },
+        });
+    }
+
+    /// A flit completed the input→output move.
+    fn be_moved(
+        &mut self,
+        input: BeInput,
+        dest: BeDest,
+        flit: Flit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.be.input_mut(input).moving = false;
+        match dest {
+            BeDest::Net(d) => {
+                self.be.outputs[d.index()].buf.push(flit);
+                self.kick_arb(d, act);
+            }
+            BeDest::Local => self.be_deliver_local(flit, act),
+        }
+        if flit.eop {
+            // Packet done: release the coherency lock and the decision.
+            self.be.input_mut(input).in_progress = None;
+            match dest {
+                BeDest::Net(d) => self.be.outputs[d.index()].locked_to = None,
+                BeDest::Local => self.be.local_out.locked_to = None,
+            }
+            // The next packet in this latch needs a fresh route decode...
+            self.be_service(input, act);
+            // ...and other inputs may take the freed output.
+            self.be_try_output(dest, act);
+        } else {
+            self.be_pump(input, dest, act);
+        }
+    }
+
+    /// Local BE delivery: NA traffic goes to the NA; flits with the config
+    /// marker are consumed by the programming interface (Sec. 3: "The GS
+    /// connections are set up by programming these into the GS router via
+    /// the BE router").
+    fn be_deliver_local(&mut self, flit: Flit, act: &mut Vec<RouterAction>) {
+        if flit.be_vc {
+            self.be.prog_rx.push(flit.data);
+            if flit.eop {
+                let words = std::mem::take(&mut self.be.prog_rx);
+                // Drop the header word: it carried the route here.
+                self.prog_consume(&words[1..], act);
+            }
+        } else {
+            self.stats.be_flits_delivered += 1;
+            if flit.eop {
+                self.stats.be_packets_delivered += 1;
+            }
+            act.push(RouterAction::DeliverBe { flit });
+        }
+    }
+
+    /// Applies a received configuration payload and emits the requested
+    /// acknowledgment packet.
+    fn prog_consume(&mut self, words: &[u32], act: &mut Vec<RouterAction>) {
+        self.stats.prog_packets += 1;
+        self.tracer
+            .record(self.now, "prog.packet", || format!("{} words", words.len()));
+        match prog::decode_payload(words) {
+            Ok((writes, ack)) => {
+                for w in writes {
+                    match w.apply(&mut self.table) {
+                        Ok(()) => self.stats.prog_writes += 1,
+                        Err(_) => self.stats.prog_errors += 1,
+                    }
+                }
+                if let Some(plan) = ack {
+                    let flits =
+                        build_be_packet(plan.return_header, &[prog::ack_word(plan.token)], false);
+                    self.prog_tx.extend(flits);
+                    self.prog_pump(act);
+                }
+            }
+            Err(_) => self.stats.prog_errors += 1,
+        }
+    }
+
+    /// Test/tool access to apply a programming payload as if it had
+    /// arrived in a config packet.
+    pub fn prog_inject(&mut self, _now: SimTime, words: &[u32], act: &mut Vec<RouterAction>) {
+        // A synthetic header word stands in for the consumed route header.
+        let mut with_header = Vec::with_capacity(words.len() + 1);
+        with_header.push(0);
+        with_header.extend_from_slice(words);
+        self.prog_consume(&with_header[1..], act);
+    }
+
+    /// Moves staged acknowledgment flits into the BE unit's programming
+    /// input while it has space. Called when acks are generated and when
+    /// the Prog latch drains.
+    fn prog_pump(&mut self, act: &mut Vec<RouterAction>) {
+        while !self.prog_tx.is_empty() && !self.be.input(BeInput::Prog).latch.is_full() {
+            let flit = self.prog_tx.pop_front().expect("checked non-empty");
+            self.be_arrive(BeInput::Prog, flit, act);
+        }
+    }
+}
+
+/// One table write for the first hop of a connection originating at this
+/// router: helper used by the connection manager.
+pub fn source_hop_writes(first_dir: Direction, first_vc: VcId, na_iface: u8) -> Vec<ProgWrite> {
+    vec![ProgWrite::SetUnlock {
+        buffer: GsBufferRef::Net {
+            dir: first_dir,
+            vc: first_vc,
+        },
+        upstream: UpstreamRef::Na { iface: na_iface },
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RouterAction as A;
+
+    fn router() -> Router {
+        Router::new(RouterId::new(1, 1), RouterConfig::paper())
+    }
+
+    /// Programs a pass-through hop: flits arriving from `from` on VC `vc`
+    /// leave on `out` with steering `next`, and the unlock wire maps back
+    /// across `from`.
+    fn program_hop(r: &mut Router, from: Direction, out: Direction, vc: VcId, next: Steer) {
+        r.program(&[
+            ProgWrite::SetSteer {
+                dir: out,
+                vc,
+                steer: next,
+            },
+            ProgWrite::SetUnlock {
+                buffer: GsBufferRef::Net { dir: out, vc },
+                upstream: UpstreamRef::Link {
+                    in_dir: from,
+                    wire: vc,
+                },
+            },
+        ]);
+    }
+
+    /// Drives the router standalone: internal actions are executed
+    /// immediately in time order (delays collapsed), external actions are
+    /// collected. Good enough for single-router semantics tests; timing
+    /// behaviour is tested at the network level.
+    fn drain(r: &mut Router, mut pending: Vec<RouterAction>) -> Vec<RouterAction> {
+        let mut external = Vec::new();
+        let mut guard = 0;
+        while let Some(action) = pending.first().cloned() {
+            pending.remove(0);
+            guard += 1;
+            assert!(guard < 10_000, "router action storm");
+            match action {
+                A::Internal { event, .. } => {
+                    let mut out = Vec::new();
+                    r.on_internal(SimTime::ZERO, event, &mut out);
+                    pending.extend(out);
+                }
+                other => external.push(other),
+            }
+        }
+        external
+    }
+
+    #[test]
+    fn gs_flit_forwards_with_new_steering_and_unlocks_upstream() {
+        let mut r = router();
+        let next = Steer::GsBuffer {
+            dir: Direction::East,
+            vc: VcId(4),
+        };
+        program_hop(&mut r, Direction::West, Direction::East, VcId(2), next);
+
+        let mut act = Vec::new();
+        r.on_link_flit(
+            SimTime::ZERO,
+            Direction::West,
+            LinkFlit {
+                steer: Steer::GsBuffer {
+                    dir: Direction::East,
+                    vc: VcId(2),
+                },
+                flit: Flit::gs(0xAB),
+            },
+            &mut act,
+        );
+        let external = drain(&mut r, act);
+
+        // Expect: an unlock back toward West (wire 2) and the flit out East
+        // with the next-hop steering.
+        assert!(external.iter().any(|a| matches!(
+            a,
+            A::SendUnlock { dir: Direction::West, wire: VcId(2), .. }
+        )));
+        let sent: Vec<_> = external
+            .iter()
+            .filter_map(|a| match a {
+                A::SendFlit { dir, lf, .. } => Some((*dir, *lf)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, Direction::East);
+        assert_eq!(sent[0].1.steer, next);
+        assert_eq!(sent[0].1.flit.data, 0xAB);
+        assert_eq!(r.stats().gs_grants[Direction::East.index()], 1);
+    }
+
+    #[test]
+    fn second_flit_waits_for_unlock() {
+        let mut r = router();
+        let next = Steer::GsBuffer {
+            dir: Direction::East,
+            vc: VcId(0),
+        };
+        program_hop(&mut r, Direction::West, Direction::East, VcId(0), next);
+        let arrival = LinkFlit {
+            steer: Steer::GsBuffer {
+                dir: Direction::East,
+                vc: VcId(0),
+            },
+            flit: Flit::gs(1),
+        };
+
+        let mut act = Vec::new();
+        r.on_link_flit(SimTime::ZERO, Direction::West, arrival, &mut act);
+        let ext1 = drain(&mut r, act);
+        assert_eq!(
+            ext1.iter().filter(|a| matches!(a, A::SendFlit { .. })).count(),
+            1
+        );
+
+        // Second flit arrives; the sharebox is locked, so it advances to
+        // the buffer (unlock upstream) but is NOT sent.
+        let mut act = Vec::new();
+        r.on_link_flit(
+            SimTime::ZERO,
+            Direction::West,
+            LinkFlit {
+                steer: arrival.steer,
+                flit: Flit::gs(2),
+            },
+            &mut act,
+        );
+        let ext2 = drain(&mut r, act);
+        assert!(ext2.iter().all(|a| !matches!(a, A::SendFlit { .. })));
+        assert!(ext2
+            .iter()
+            .any(|a| matches!(a, A::SendUnlock { dir: Direction::West, .. })));
+
+        // Unlock arrives: flit 2 goes out.
+        let mut act = Vec::new();
+        r.on_unlock(SimTime::ZERO, Direction::East, VcId(0), &mut act);
+        let ext3 = drain(&mut r, act);
+        let sent: Vec<_> = ext3
+            .iter()
+            .filter_map(|a| match a {
+                A::SendFlit { lf, .. } => Some(lf.flit.data),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent, vec![2]);
+    }
+
+    #[test]
+    fn local_delivery_and_end_to_end_backpressure() {
+        let mut r = router();
+        // Deliver to local iface 1; connection enters from North.
+        r.program(&[ProgWrite::SetUnlock {
+            buffer: GsBufferRef::Local { iface: 1 },
+            upstream: UpstreamRef::Link {
+                in_dir: Direction::North,
+                wire: VcId(3),
+            },
+        }]);
+        let lf = |n: u32| LinkFlit {
+            steer: Steer::LocalGs { iface: 1 },
+            flit: Flit::gs(n),
+        };
+
+        let mut act = Vec::new();
+        r.on_link_flit(SimTime::ZERO, Direction::North, lf(1), &mut act);
+        let ext = drain(&mut r, act);
+        assert!(ext.iter().any(|a| matches!(a, A::DeliverGs { iface: 1, flit } if flit.data == 1)));
+
+        // NA has one rx slot (paper default) and has not consumed: flit 2
+        // advances into the buffer (unlock) but is not delivered.
+        let mut act = Vec::new();
+        r.on_link_flit(SimTime::ZERO, Direction::North, lf(2), &mut act);
+        let ext = drain(&mut r, act);
+        assert!(ext.iter().all(|a| !matches!(a, A::DeliverGs { .. })));
+
+        // Flit 3 parks in the unsharebox: no unlock goes upstream — the
+        // stall propagates back, which is the inherent end-to-end flow
+        // control of Sec. 6.
+        let mut act = Vec::new();
+        r.on_link_flit(SimTime::ZERO, Direction::North, lf(3), &mut act);
+        let ext = drain(&mut r, act);
+        assert!(ext.iter().all(|a| !matches!(a, A::SendUnlock { .. })));
+
+        // NA consumes: flit 2 delivers, flit 3 advances, unlock resumes.
+        let mut act = Vec::new();
+        r.on_local_gs_consume(SimTime::ZERO, 1, &mut act);
+        let ext = drain(&mut r, act);
+        assert!(ext.iter().any(|a| matches!(a, A::DeliverGs { flit, .. } if flit.data == 2)));
+        assert!(ext.iter().any(|a| matches!(a, A::SendUnlock { .. })));
+    }
+
+    #[test]
+    fn na_injection_flows_to_link() {
+        let mut r = router();
+        r.program(&[
+            ProgWrite::SetSteer {
+                dir: Direction::South,
+                vc: VcId(5),
+                steer: Steer::LocalGs { iface: 0 },
+            },
+            ProgWrite::SetUnlock {
+                buffer: GsBufferRef::Net {
+                    dir: Direction::South,
+                    vc: VcId(5),
+                },
+                upstream: UpstreamRef::Na { iface: 2 },
+            },
+        ]);
+        let mut act = Vec::new();
+        r.on_local_gs_inject(
+            SimTime::ZERO,
+            Steer::GsBuffer {
+                dir: Direction::South,
+                vc: VcId(5),
+            },
+            Flit::gs(0x77),
+            &mut act,
+        );
+        let ext = drain(&mut r, act);
+        assert!(ext.iter().any(|a| matches!(a, A::NaUnlock { iface: 2 })));
+        assert!(ext.iter().any(
+            |a| matches!(a, A::SendFlit { dir: Direction::South, lf, .. } if lf.flit.data == 0x77)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unprogrammed GS buffer")]
+    fn flit_on_unprogrammed_vc_panics() {
+        let mut r = router();
+        let mut act = Vec::new();
+        r.on_link_flit(
+            SimTime::ZERO,
+            Direction::West,
+            LinkFlit {
+                steer: Steer::GsBuffer {
+                    dir: Direction::East,
+                    vc: VcId(0),
+                },
+                flit: Flit::gs(0),
+            },
+            &mut act,
+        );
+        drain(&mut r, act);
+    }
+
+    /// Drains actions like [`drain`], additionally acting as an
+    /// always-ready downstream neighbor: every `SendFlit` on a network port
+    /// is answered with a BE credit (as the real neighbor would once the
+    /// flit leaves its BE input latch).
+    fn drain_with_credits(r: &mut Router, pending: Vec<RouterAction>) -> Vec<RouterAction> {
+        let mut external = Vec::new();
+        let mut todo = pending;
+        let mut guard = 0;
+        while !todo.is_empty() {
+            guard += 1;
+            assert!(guard < 10_000, "router action storm");
+            let ext = drain(r, todo);
+            todo = Vec::new();
+            for a in ext {
+                if let A::SendFlit { dir, .. } = &a {
+                    let mut act = Vec::new();
+                    r.on_credit(SimTime::ZERO, *dir, &mut act);
+                    todo.extend(act);
+                }
+                external.push(a);
+            }
+        }
+        external
+    }
+
+    #[test]
+    fn be_packet_forwards_toward_header_direction() {
+        let mut r = router();
+        // Two-link route: East, East (delivery code appended by builder).
+        let header = BeHeader::from_route(&[Direction::East, Direction::East]).unwrap();
+        let flits = build_be_packet(header, &[0x11, 0x22], false);
+
+        let mut external = Vec::new();
+        for f in flits {
+            let mut act = Vec::new();
+            r.on_link_flit(
+                SimTime::ZERO,
+                Direction::West,
+                LinkFlit {
+                    steer: Steer::BeUnit,
+                    flit: f,
+                },
+                &mut act,
+            );
+            external.extend(drain_with_credits(&mut r, act));
+        }
+        let sent: Vec<_> = external
+            .iter()
+            .filter_map(|a| match a {
+                A::SendFlit { dir, lf, .. } => Some((*dir, lf.steer, lf.flit.data)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent.len(), 3, "header + 2 payload flits forwarded");
+        for (dir, steer, _) in &sent {
+            assert_eq!(*dir, Direction::East);
+            assert_eq!(*steer, Steer::BeUnit);
+        }
+        // Header was rotated: next hop's code (East) now in the MSBs.
+        assert_eq!(sent[0].2 >> 30, Direction::East.index() as u32);
+        // Credits returned upstream for all three flits.
+        let credits = external
+            .iter()
+            .filter(|a| matches!(a, A::SendCredit { dir: Direction::West, .. }))
+            .count();
+        assert_eq!(credits, 3);
+    }
+
+    #[test]
+    fn be_uturn_code_delivers_locally() {
+        let mut r = router();
+        let header = BeHeader::from_route(&[Direction::East]).unwrap();
+        let flits = build_be_packet(header, &[0xAA], false);
+        let mut external = Vec::new();
+        // Arrives on the East port one hop later: the next code is West
+        // — wait, from_route(&[East]) appends delivery code West, consumed
+        // at the *neighbor*. Simulate the neighbor: flits arrive on its
+        // West port with the header already rotated once.
+        let mut rotated = flits.clone();
+        rotated[0].data = BeHeader(rotated[0].data).rotate().0;
+        for f in rotated {
+            let mut act = Vec::new();
+            r.on_link_flit(
+                SimTime::ZERO,
+                Direction::West,
+                LinkFlit {
+                    steer: Steer::BeUnit,
+                    flit: f,
+                },
+                &mut act,
+            );
+            external.extend(drain(&mut r, act));
+        }
+        let delivered: Vec<u32> = external
+            .iter()
+            .filter_map(|a| match a {
+                A::DeliverBe { flit } => Some(flit.data),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered.len(), 2, "header + payload delivered locally");
+        assert_eq!(delivered[1], 0xAA);
+        assert_eq!(r.stats().be_packets_delivered, 1);
+    }
+
+    #[test]
+    fn config_packet_programs_table_and_acks() {
+        let mut r = router();
+        let writes = vec![ProgWrite::SetSteer {
+            dir: Direction::North,
+            vc: VcId(1),
+            steer: Steer::BeUnit,
+        }];
+        let payload = prog::encode_payload(
+            &writes,
+            Some(prog::AckPlan {
+                token: 42,
+                return_header: BeHeader::from_route(&[Direction::West]).unwrap(),
+            }),
+        );
+        // Build a config packet as if it arrived with its route consumed:
+        // header flit (already used for routing) + payload, all marked
+        // be_vc. Deliver via the BE local path: arrive on East port with a
+        // U-turn code (East) in the header MSBs.
+        let mut header_word = 0u32;
+        header_word |= (Direction::East.index() as u32) << 30;
+        let mut flits = vec![Flit::be(header_word, false).with_be_vc(true)];
+        for (i, w) in payload.iter().enumerate() {
+            flits.push(Flit::be(*w, i + 1 == payload.len()).with_be_vc(true));
+        }
+
+        let mut external = Vec::new();
+        for f in flits {
+            let mut act = Vec::new();
+            r.on_link_flit(
+                SimTime::ZERO,
+                Direction::East,
+                LinkFlit {
+                    steer: Steer::BeUnit,
+                    flit: f,
+                },
+                &mut act,
+            );
+            external.extend(drain(&mut r, act));
+        }
+        // Table programmed.
+        assert_eq!(
+            r.table().steer(Direction::North, VcId(1)),
+            Some(Steer::BeUnit)
+        );
+        assert_eq!(r.stats().prog_packets, 1);
+        assert_eq!(r.stats().prog_errors, 0);
+        // Ack packet left toward West carrying the token.
+        let acks: Vec<_> = external
+            .iter()
+            .filter_map(|a| match a {
+                A::SendFlit { dir: Direction::West, lf, .. } => Some(lf.flit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks.len(), 2, "ack header + token word");
+        assert_eq!(prog::parse_ack_word(acks[1].data), Some(42));
+        // Nothing was delivered to the NA.
+        assert!(external.iter().all(|a| !matches!(a, A::DeliverBe { .. })));
+    }
+
+    #[test]
+    fn malformed_config_packet_counts_error_and_is_dropped() {
+        let mut r = router();
+        let mut act = Vec::new();
+        r.prog_inject(SimTime::ZERO, &[0xF000_0000], &mut act);
+        assert_eq!(r.stats().prog_errors, 1);
+        assert!(drain(&mut r, act).is_empty());
+    }
+
+    #[test]
+    fn be_credit_exhaustion_throttles_link() {
+        let mut r = router();
+        // Fill the East BE output: credits = 2 by default.
+        let header = BeHeader::from_route(&[Direction::East; 3]).unwrap();
+        let flits = build_be_packet(header, &[1, 2, 3, 4, 5], false);
+        let mut external = Vec::new();
+        for f in &flits[..4] {
+            let mut act = Vec::new();
+            r.on_local_be_inject(SimTime::ZERO, *f, &mut act);
+            external.extend(drain(&mut r, act));
+        }
+        let sent = external
+            .iter()
+            .filter(|a| matches!(a, A::SendFlit { .. }))
+            .count();
+        assert_eq!(sent, 2, "only two credits available");
+
+        // A credit from downstream releases the next flit.
+        let mut act = Vec::new();
+        r.on_credit(SimTime::ZERO, Direction::East, &mut act);
+        let ext = drain(&mut r, act);
+        assert_eq!(
+            ext.iter().filter(|a| matches!(a, A::SendFlit { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn be_outputs_arbitrate_fairly_and_keep_packet_coherency() {
+        let mut r = router();
+        // Two 2-flit packets from North and South, both heading East, with
+        // interleaved arrival.
+        let header = BeHeader::from_route(&[Direction::East, Direction::East]).unwrap();
+        let p1 = build_be_packet(header, &[0xA1], false);
+        let p2 = build_be_packet(header, &[0xB2], false);
+        let mut external = Vec::new();
+        for i in 0..2 {
+            for (src, p) in [(Direction::North, &p1), (Direction::South, &p2)] {
+                let mut act = Vec::new();
+                r.on_link_flit(
+                    SimTime::ZERO,
+                    src,
+                    LinkFlit {
+                        steer: Steer::BeUnit,
+                        flit: p[i],
+                    },
+                    &mut act,
+                );
+                external.extend(drain_with_credits(&mut r, act));
+            }
+        }
+        let sent: Vec<(u32, bool)> = external
+            .iter()
+            .filter_map(|a| match a {
+                A::SendFlit { lf, .. } => Some((lf.flit.data, lf.flit.eop)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent.len(), 4);
+        // Coherency: header/payload pairs stay adjacent — EOP alternates.
+        let eops: Vec<bool> = sent.iter().map(|(_, e)| *e).collect();
+        assert_eq!(eops, vec![false, true, false, true], "packets interleaved");
+        // Both payloads made it out.
+        let payloads: std::collections::HashSet<u32> = [sent[1].0, sent[3].0].into();
+        assert_eq!(payloads, [0xA1u32, 0xB2].into());
+    }
+
+    #[test]
+    fn tracing_records_the_flit_lifecycle() {
+        let mut r = router();
+        r.set_tracing(true);
+        let next = Steer::LocalGs { iface: 0 };
+        program_hop(&mut r, Direction::West, Direction::East, VcId(1), next);
+        let mut act = Vec::new();
+        r.on_link_flit(
+            SimTime::ZERO,
+            Direction::West,
+            LinkFlit {
+                steer: Steer::GsBuffer {
+                    dir: Direction::East,
+                    vc: VcId(1),
+                },
+                flit: Flit::gs(0x55),
+            },
+            &mut act,
+        );
+        drain(&mut r, act);
+        let tags: Vec<&str> = r.tracer().events().iter().map(|e| e.tag).collect();
+        assert!(tags.contains(&"vc.unlock"), "unlock traced: {tags:?}");
+        assert!(tags.contains(&"gs.grant"), "grant traced: {tags:?}");
+        // Disabling clears collection.
+        r.set_tracing(false);
+        assert!(r.tracer().events().is_empty());
+    }
+
+    #[test]
+    fn quiescence_reflects_stored_flits() {
+        let mut r = router();
+        assert!(r.is_quiescent());
+        program_hop(
+            &mut r,
+            Direction::West,
+            Direction::East,
+            VcId(0),
+            Steer::LocalGs { iface: 0 },
+        );
+        let mut act = Vec::new();
+        r.on_link_flit(
+            SimTime::ZERO,
+            Direction::West,
+            LinkFlit {
+                steer: Steer::GsBuffer {
+                    dir: Direction::East,
+                    vc: VcId(0),
+                },
+                flit: Flit::gs(1),
+            },
+            &mut act,
+        );
+        // Flit now in flight inside the router.
+        assert!(!r.is_quiescent());
+    }
+}

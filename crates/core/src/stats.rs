@@ -1,0 +1,72 @@
+//! Per-router counters for experiments and invariant checks.
+
+/// Counters maintained by one router.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// GS flits that arrived on each network input port (N, E, S, W).
+    pub gs_flits_in: [u64; 4],
+    /// GS link grants issued per output port.
+    pub gs_grants: [u64; 4],
+    /// BE link grants issued per output port.
+    pub be_grants: [u64; 4],
+    /// BE flits that arrived on each network input port.
+    pub be_flits_in: [u64; 4],
+    /// GS flits delivered to the local NA.
+    pub gs_delivered: u64,
+    /// BE flits delivered to the local NA.
+    pub be_flits_delivered: u64,
+    /// BE packets delivered to the local NA (EOP count).
+    pub be_packets_delivered: u64,
+    /// GS flits injected by the local NA.
+    pub gs_injected: u64,
+    /// BE flits injected by the local NA.
+    pub be_injected: u64,
+    /// Configuration packets consumed by the programming interface.
+    pub prog_packets: u64,
+    /// Malformed or inapplicable configuration packets dropped.
+    pub prog_errors: u64,
+    /// Table writes applied.
+    pub prog_writes: u64,
+    /// Unlock toggles sent upstream (network + NA).
+    pub unlocks_sent: u64,
+    /// BE credits sent upstream (network + NA).
+    pub credits_sent: u64,
+}
+
+impl RouterStats {
+    /// Total link grants (GS + BE) on output port `dir_index`.
+    pub fn grants(&self, dir_index: usize) -> u64 {
+        self.gs_grants[dir_index] + self.be_grants[dir_index]
+    }
+
+    /// Total GS flits that entered the router (network + local injection).
+    pub fn gs_in_total(&self) -> u64 {
+        self.gs_flits_in.iter().sum::<u64>() + self.gs_injected
+    }
+
+    /// Total BE flits that entered the router (network + local injection).
+    pub fn be_in_total(&self) -> u64 {
+        self.be_flits_in.iter().sum::<u64>() + self.be_injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_sources() {
+        let mut s = RouterStats {
+            gs_flits_in: [1, 2, 3, 4],
+            gs_injected: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.gs_in_total(), 15);
+        s.be_flits_in = [1, 0, 0, 0];
+        s.be_injected = 2;
+        assert_eq!(s.be_in_total(), 3);
+        s.gs_grants[1] = 7;
+        s.be_grants[1] = 3;
+        assert_eq!(s.grants(1), 10);
+    }
+}

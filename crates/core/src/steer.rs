@@ -1,0 +1,337 @@
+//! Steering bits: the 5-bit field that routes a flit through the
+//! non-blocking switching module (Fig. 5).
+//!
+//! A flit's steering field is appended by the *previous* router at link
+//! access and consumed progressively inside the receiving router:
+//!
+//! * the first **3 split bits** direct the flit from the input port to one
+//!   of eight targets — one of two 4×4 switch planes at each of the legal
+//!   output ports, the local-GS switch, or the BE router — and are
+//!   stripped by the split stage;
+//! * the remaining **2 switch bits** select one of four VC buffers behind
+//!   the chosen switch plane (or one of the four local GS interfaces) and
+//!   are stripped by the switch stage.
+//!
+//! The encoding is *relative to the arrival port*: a network input never
+//! routes back out the port it arrived on, so its 3 split bits address
+//! {3 other network directions} × {2 switch planes} + local-GS + BE-unit =
+//! exactly 8 targets; the local input addresses {4 network directions} ×
+//! {2 planes} = 8. The simulator carries the decoded [`Steer`] value and
+//! [`Steer::pack`]/[`Steer::unpack`] prove it fits the paper's 5-bit wire
+//! format.
+
+use crate::ids::{Direction, Port, VcId};
+use std::fmt;
+
+/// A decoded steering target: where the flit goes inside the next router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Steer {
+    /// A GS VC buffer at a network output port.
+    GsBuffer {
+        /// Output port direction in the receiving router.
+        dir: Direction,
+        /// VC buffer index at that port.
+        vc: VcId,
+    },
+    /// A local-port GS interface buffer (delivery to the NA).
+    LocalGs {
+        /// Local GS interface index (paper: `0..4`).
+        iface: u8,
+    },
+    /// The BE router unit.
+    BeUnit,
+}
+
+impl fmt::Display for Steer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Steer::GsBuffer { dir, vc } => write!(f, "{dir}/{vc}"),
+            Steer::LocalGs { iface } => write!(f, "localGS/{iface}"),
+            Steer::BeUnit => f.write_str("BE"),
+        }
+    }
+}
+
+/// Why a [`Steer`] value cannot be packed into / unpacked from the 5-bit
+/// wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerCodeError {
+    /// The target routes back out the arrival port (U-turn).
+    UTurn,
+    /// A local-input flit addressed the local GS port or the BE code
+    /// (the NA injects BE traffic directly into the BE unit).
+    LocalToLocal,
+    /// VC index ≥ 8 or iface ≥ 4: outside the paper's wire format.
+    OutOfRange,
+    /// The 5-bit code is not valid for this arrival port.
+    BadCode,
+}
+
+impl fmt::Display for SteerCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SteerCodeError::UTurn => "steering target routes back out the arrival port",
+            SteerCodeError::LocalToLocal => "local input cannot address the local port",
+            SteerCodeError::OutOfRange => "vc or iface outside the 5-bit wire format",
+            SteerCodeError::BadCode => "invalid 5-bit steering code for this arrival port",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SteerCodeError {}
+
+/// The three network directions a flit arriving on `from` may leave by,
+/// in index order.
+fn legal_dirs(from: Direction) -> impl Iterator<Item = Direction> {
+    Direction::ALL.into_iter().filter(move |&d| d != from)
+}
+
+impl Steer {
+    /// Packs the target into the 5-bit wire format, given the port the
+    /// flit will *arrive on* at the receiving router.
+    ///
+    /// Layout: `split(3 bits) << 2 | sub(2 bits)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteerCodeError`] if the combination is not representable
+    /// (U-turn, local-to-local, or indices outside the paper's 8-VC /
+    /// 4-interface configuration).
+    pub fn pack(self, arrival: Port) -> Result<u8, SteerCodeError> {
+        match arrival {
+            Port::Net(from) => match self {
+                Steer::GsBuffer { dir, vc } => {
+                    if dir == from {
+                        return Err(SteerCodeError::UTurn);
+                    }
+                    if vc.index() >= 8 {
+                        return Err(SteerCodeError::OutOfRange);
+                    }
+                    let rank = legal_dirs(from)
+                        .position(|d| d == dir)
+                        .expect("dir != from implies membership");
+                    let half = vc.index() / 4;
+                    let split = (rank * 2 + half) as u8; // codes 0..=5
+                    Ok(split << 2 | (vc.index() % 4) as u8)
+                }
+                Steer::LocalGs { iface } => {
+                    if iface >= 4 {
+                        return Err(SteerCodeError::OutOfRange);
+                    }
+                    Ok(6 << 2 | iface)
+                }
+                Steer::BeUnit => Ok(7 << 2),
+            },
+            Port::Local => match self {
+                Steer::GsBuffer { dir, vc } => {
+                    if vc.index() >= 8 {
+                        return Err(SteerCodeError::OutOfRange);
+                    }
+                    let half = vc.index() / 4;
+                    let split = (dir.index() * 2 + half) as u8; // codes 0..=7
+                    Ok(split << 2 | (vc.index() % 4) as u8)
+                }
+                Steer::LocalGs { .. } | Steer::BeUnit => Err(SteerCodeError::LocalToLocal),
+            },
+        }
+    }
+
+    /// Decodes a 5-bit wire code for a flit arriving on `arrival`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SteerCodeError::BadCode`] if the code is outside the
+    /// 5-bit range or names an invalid target for this port.
+    pub fn unpack(code: u8, arrival: Port) -> Result<Steer, SteerCodeError> {
+        if code >= 32 {
+            return Err(SteerCodeError::BadCode);
+        }
+        let split = (code >> 2) as usize;
+        let sub = (code & 0b11) as usize;
+        match arrival {
+            Port::Net(from) => match split {
+                0..=5 => {
+                    let rank = split / 2;
+                    let half = split % 2;
+                    let dir = legal_dirs(from).nth(rank).expect("rank in 0..3");
+                    Ok(Steer::GsBuffer {
+                        dir,
+                        vc: VcId((half * 4 + sub) as u8),
+                    })
+                }
+                6 => Ok(Steer::LocalGs { iface: sub as u8 }),
+                7 => {
+                    if sub == 0 {
+                        Ok(Steer::BeUnit)
+                    } else {
+                        Err(SteerCodeError::BadCode)
+                    }
+                }
+                _ => unreachable!("split is 3 bits"),
+            },
+            Port::Local => {
+                let dir = Direction::from_index(split / 2);
+                let half = split % 2;
+                Ok(Steer::GsBuffer {
+                    dir,
+                    vc: VcId((half * 4 + sub) as u8),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_network_targets() -> Vec<Steer> {
+        let mut v = Vec::new();
+        for dir in Direction::ALL {
+            for vc in 0..8 {
+                v.push(Steer::GsBuffer {
+                    dir,
+                    vc: VcId(vc),
+                });
+            }
+        }
+        for iface in 0..4 {
+            v.push(Steer::LocalGs { iface });
+        }
+        v.push(Steer::BeUnit);
+        v
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_from_network_ports() {
+        for from in Direction::ALL {
+            for target in all_network_targets() {
+                let arrival = Port::Net(from);
+                match target.pack(arrival) {
+                    Ok(code) => {
+                        assert!(code < 32, "5-bit format violated: {code}");
+                        assert_eq!(
+                            Steer::unpack(code, arrival),
+                            Ok(target),
+                            "roundtrip failed from {from} code {code}"
+                        );
+                    }
+                    Err(SteerCodeError::UTurn) => {
+                        assert!(
+                            matches!(target, Steer::GsBuffer { dir, .. } if dir == from),
+                            "unexpected U-turn error for {target}"
+                        );
+                    }
+                    Err(e) => panic!("unexpected pack error {e} for {target} from {from}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_from_local_port() {
+        for dir in Direction::ALL {
+            for vc in 0..8 {
+                let target = Steer::GsBuffer {
+                    dir,
+                    vc: VcId(vc),
+                };
+                let code = target.pack(Port::Local).unwrap();
+                assert!(code < 32);
+                assert_eq!(Steer::unpack(code, Port::Local), Ok(target));
+            }
+        }
+    }
+
+    #[test]
+    fn every_code_decodes_uniquely_per_port() {
+        // From any port, distinct valid codes decode to distinct targets.
+        for arrival in [
+            Port::Local,
+            Port::Net(Direction::North),
+            Port::Net(Direction::West),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for code in 0u8..32 {
+                if let Ok(t) = Steer::unpack(code, arrival) {
+                    assert!(seen.insert(t), "code {code} aliases target {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_input_uses_exactly_eight_split_targets() {
+        // Fig. 5: 3 split bits address 6 switch planes + local GS + BE.
+        let mut split_codes = std::collections::HashSet::new();
+        for target in all_network_targets() {
+            if let Ok(code) = target.pack(Port::Net(Direction::North)) {
+                split_codes.insert(code >> 2);
+            }
+        }
+        assert_eq!(split_codes.len(), 8);
+    }
+
+    #[test]
+    fn uturn_is_rejected() {
+        let t = Steer::GsBuffer {
+            dir: Direction::East,
+            vc: VcId(0),
+        };
+        assert_eq!(t.pack(Port::Net(Direction::East)), Err(SteerCodeError::UTurn));
+        assert!(t.pack(Port::Net(Direction::West)).is_ok());
+    }
+
+    #[test]
+    fn local_cannot_address_local_or_be() {
+        assert_eq!(
+            Steer::LocalGs { iface: 0 }.pack(Port::Local),
+            Err(SteerCodeError::LocalToLocal)
+        );
+        assert_eq!(Steer::BeUnit.pack(Port::Local), Err(SteerCodeError::LocalToLocal));
+    }
+
+    #[test]
+    fn out_of_range_indices_rejected() {
+        assert_eq!(
+            Steer::GsBuffer {
+                dir: Direction::East,
+                vc: VcId(8)
+            }
+            .pack(Port::Net(Direction::North)),
+            Err(SteerCodeError::OutOfRange)
+        );
+        assert_eq!(
+            Steer::LocalGs { iface: 4 }.pack(Port::Net(Direction::North)),
+            Err(SteerCodeError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn bad_codes_rejected() {
+        assert_eq!(
+            Steer::unpack(32, Port::Local),
+            Err(SteerCodeError::BadCode)
+        );
+        // BE split code with nonzero sub bits is invalid.
+        assert_eq!(
+            Steer::unpack(7 << 2 | 1, Port::Net(Direction::North)),
+            Err(SteerCodeError::BadCode)
+        );
+    }
+
+    #[test]
+    fn be_code_is_split_seven() {
+        // "When a flit enters the BE router, three steering bits have been
+        // stripped" — BE is one of the eight split targets.
+        let code = Steer::BeUnit.pack(Port::Net(Direction::South)).unwrap();
+        assert_eq!(code >> 2, 7);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SteerCodeError::UTurn.to_string().contains("arrival port"));
+        assert!(SteerCodeError::BadCode.to_string().contains("5-bit"));
+    }
+}

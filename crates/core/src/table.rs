@@ -1,0 +1,298 @@
+//! The connection table (Sec. 4.1).
+//!
+//! For each hop of a GS connection, setup information is stored in two
+//! places:
+//!
+//! * **steering bits** in the *previous* router, per (output port, VC):
+//!   appended to each flit at link access, they guide it to the VC buffer
+//!   reserved in the next router;
+//! * **control-channel bits** in the *current* router, per GS buffer: they
+//!   map the buffer's unlock wire back through the VC control module onto
+//!   the per-VC unlock wire of the input port facing the previous router
+//!   (or to the local NA interface where the connection originates).
+
+use crate::ids::{Direction, GsBufferRef, UpstreamRef, VcId};
+use crate::steer::Steer;
+use std::fmt;
+
+/// Per-router connection state: steering entries and unlock-wire mappings.
+#[derive(Debug, Clone)]
+pub struct ConnectionTable {
+    gs_vcs: usize,
+    local_ifaces: usize,
+    /// `steer[dir][vc]`: steering bits appended to flits leaving on
+    /// (network output `dir`, VC `vc`).
+    steer: [Vec<Option<Steer>>; 4],
+    /// Unlock mapping for network-output VC buffers: `unlock_net[dir][vc]`.
+    unlock_net: [Vec<Option<UpstreamRef>>; 4],
+    /// Unlock mapping for local GS interface buffers.
+    unlock_local: Vec<Option<UpstreamRef>>,
+}
+
+/// Errors from table programming operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// VC index out of range.
+    BadVc(VcId),
+    /// Local interface index out of range.
+    BadIface(u8),
+    /// The entry is already programmed (connections must be torn down
+    /// before their VCs are reused).
+    Occupied(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::BadVc(vc) => write!(f, "vc index {vc} out of range"),
+            TableError::BadIface(i) => write!(f, "local iface {i} out of range"),
+            TableError::Occupied(what) => write!(f, "table entry {what} already programmed"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl ConnectionTable {
+    /// An empty table for a router with `gs_vcs` VCs per network port and
+    /// `local_ifaces` local GS interfaces.
+    pub fn new(gs_vcs: usize, local_ifaces: usize) -> Self {
+        ConnectionTable {
+            gs_vcs,
+            local_ifaces,
+            steer: std::array::from_fn(|_| vec![None; gs_vcs]),
+            unlock_net: std::array::from_fn(|_| vec![None; gs_vcs]),
+            unlock_local: vec![None; local_ifaces],
+        }
+    }
+
+    fn check_vc(&self, vc: VcId) -> Result<(), TableError> {
+        if vc.index() < self.gs_vcs {
+            Ok(())
+        } else {
+            Err(TableError::BadVc(vc))
+        }
+    }
+
+    fn check_iface(&self, iface: u8) -> Result<(), TableError> {
+        if (iface as usize) < self.local_ifaces {
+            Ok(())
+        } else {
+            Err(TableError::BadIface(iface))
+        }
+    }
+
+    /// Programs the steering bits for flits leaving on (`dir`, `vc`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `vc` is out of range or the entry is occupied.
+    pub fn set_steer(&mut self, dir: Direction, vc: VcId, steer: Steer) -> Result<(), TableError> {
+        self.check_vc(vc)?;
+        let slot = &mut self.steer[dir.index()][vc.index()];
+        if slot.is_some() {
+            return Err(TableError::Occupied(format!("steer {dir}/{vc}")));
+        }
+        *slot = Some(steer);
+        Ok(())
+    }
+
+    /// Clears a steering entry (connection teardown).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `vc` is out of range.
+    pub fn clear_steer(&mut self, dir: Direction, vc: VcId) -> Result<(), TableError> {
+        self.check_vc(vc)?;
+        self.steer[dir.index()][vc.index()] = None;
+        Ok(())
+    }
+
+    /// The steering bits for (`dir`, `vc`), if programmed.
+    pub fn steer(&self, dir: Direction, vc: VcId) -> Option<Steer> {
+        self.steer[dir.index()].get(vc.index()).copied().flatten()
+    }
+
+    /// Programs the unlock-wire mapping for a GS buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer reference is out of range or occupied.
+    pub fn set_unlock(
+        &mut self,
+        buffer: GsBufferRef,
+        upstream: UpstreamRef,
+    ) -> Result<(), TableError> {
+        let slot = match buffer {
+            GsBufferRef::Net { dir, vc } => {
+                self.check_vc(vc)?;
+                &mut self.unlock_net[dir.index()][vc.index()]
+            }
+            GsBufferRef::Local { iface } => {
+                self.check_iface(iface)?;
+                &mut self.unlock_local[iface as usize]
+            }
+        };
+        if slot.is_some() {
+            return Err(TableError::Occupied(format!("unlock {buffer}")));
+        }
+        *slot = Some(upstream);
+        Ok(())
+    }
+
+    /// Clears an unlock mapping (connection teardown).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer reference is out of range.
+    pub fn clear_unlock(&mut self, buffer: GsBufferRef) -> Result<(), TableError> {
+        match buffer {
+            GsBufferRef::Net { dir, vc } => {
+                self.check_vc(vc)?;
+                self.unlock_net[dir.index()][vc.index()] = None;
+            }
+            GsBufferRef::Local { iface } => {
+                self.check_iface(iface)?;
+                self.unlock_local[iface as usize] = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// The unlock mapping for a GS buffer, if programmed.
+    pub fn unlock(&self, buffer: GsBufferRef) -> Option<UpstreamRef> {
+        match buffer {
+            GsBufferRef::Net { dir, vc } => self.unlock_net[dir.index()]
+                .get(vc.index())
+                .copied()
+                .flatten(),
+            GsBufferRef::Local { iface } => {
+                self.unlock_local.get(iface as usize).copied().flatten()
+            }
+        }
+    }
+
+    /// Number of programmed steering entries (for stats/tests).
+    pub fn steer_entries(&self) -> usize {
+        self.steer
+            .iter()
+            .map(|v| v.iter().filter(|e| e.is_some()).count())
+            .sum()
+    }
+
+    /// Number of programmed unlock entries (for stats/tests).
+    pub fn unlock_entries(&self) -> usize {
+        let net: usize = self
+            .unlock_net
+            .iter()
+            .map(|v| v.iter().filter(|e| e.is_some()).count())
+            .sum();
+        net + self.unlock_local.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::*;
+
+    fn table() -> ConnectionTable {
+        ConnectionTable::new(8, 4)
+    }
+
+    #[test]
+    fn steer_set_get_clear() {
+        let mut t = table();
+        let s = Steer::GsBuffer {
+            dir: South,
+            vc: VcId(3),
+        };
+        assert_eq!(t.steer(East, VcId(1)), None);
+        t.set_steer(East, VcId(1), s).unwrap();
+        assert_eq!(t.steer(East, VcId(1)), Some(s));
+        assert_eq!(t.steer_entries(), 1);
+        t.clear_steer(East, VcId(1)).unwrap();
+        assert_eq!(t.steer(East, VcId(1)), None);
+        assert_eq!(t.steer_entries(), 0);
+    }
+
+    #[test]
+    fn double_programming_is_rejected() {
+        let mut t = table();
+        let s = Steer::BeUnit;
+        t.set_steer(North, VcId(0), s).unwrap();
+        assert!(matches!(
+            t.set_steer(North, VcId(0), s),
+            Err(TableError::Occupied(_))
+        ));
+        let up = UpstreamRef::Na { iface: 0 };
+        t.set_unlock(GsBufferRef::Local { iface: 1 }, up).unwrap();
+        assert!(matches!(
+            t.set_unlock(GsBufferRef::Local { iface: 1 }, up),
+            Err(TableError::Occupied(_))
+        ));
+    }
+
+    #[test]
+    fn reprogram_after_clear_succeeds() {
+        let mut t = table();
+        let s = Steer::LocalGs { iface: 2 };
+        t.set_steer(West, VcId(7), s).unwrap();
+        t.clear_steer(West, VcId(7)).unwrap();
+        t.set_steer(West, VcId(7), s).unwrap();
+        assert_eq!(t.steer(West, VcId(7)), Some(s));
+    }
+
+    #[test]
+    fn unlock_net_and_local_are_separate_spaces() {
+        let mut t = table();
+        let up1 = UpstreamRef::Link {
+            in_dir: West,
+            wire: VcId(2),
+        };
+        let up2 = UpstreamRef::Na { iface: 3 };
+        t.set_unlock(
+            GsBufferRef::Net {
+                dir: East,
+                vc: VcId(0),
+            },
+            up1,
+        )
+        .unwrap();
+        t.set_unlock(GsBufferRef::Local { iface: 0 }, up2).unwrap();
+        assert_eq!(
+            t.unlock(GsBufferRef::Net {
+                dir: East,
+                vc: VcId(0)
+            }),
+            Some(up1)
+        );
+        assert_eq!(t.unlock(GsBufferRef::Local { iface: 0 }), Some(up2));
+        assert_eq!(t.unlock_entries(), 2);
+        t.clear_unlock(GsBufferRef::Local { iface: 0 }).unwrap();
+        assert_eq!(t.unlock_entries(), 1);
+    }
+
+    #[test]
+    fn out_of_range_indices_rejected() {
+        let mut t = table();
+        assert_eq!(
+            t.set_steer(East, VcId(8), Steer::BeUnit),
+            Err(TableError::BadVc(VcId(8)))
+        );
+        assert_eq!(
+            t.set_unlock(
+                GsBufferRef::Local { iface: 4 },
+                UpstreamRef::Na { iface: 0 }
+            ),
+            Err(TableError::BadIface(4))
+        );
+        assert_eq!(t.steer(East, VcId(200)), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TableError::BadVc(VcId(9)).to_string().contains("vc9"));
+        assert!(TableError::Occupied("x".into()).to_string().contains("already"));
+    }
+}

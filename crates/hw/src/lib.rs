@@ -1,0 +1,45 @@
+//! Hardware cost models for the MANGO clockless NoC router.
+//!
+//! The paper (Bjerregaard & Sparsø, DATE 2005) reports a 0.12 µm CMOS
+//! standard-cell implementation: per-module pre-layout area (Table 1) and
+//! netlist-simulated port speeds (515 MHz worst-case at 1.08 V/125 °C,
+//! 795 MHz typical). We cannot synthesize a netlist, so this crate provides
+//! the standard first-order substitutes:
+//!
+//! * [`area`] — a gate-equivalent area model, structural in the router
+//!   parameters (ports, VCs, flit width, buffer depth) and calibrated at the
+//!   paper's design point so it regenerates Table 1;
+//! * [`timing`] — a 4-phase bundled-data stage-delay model with process
+//!   corners, calibrated to the paper's port speeds; the same profile drives
+//!   the discrete-event simulation in `mango-core`;
+//! * [`power`] — an energy-per-flit and idle-power model supporting the
+//!   paper's "zero dynamic idle power" argument;
+//! * [`report`] — plain-text table rendering used by every `repro_*` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use mango_hw::area::{AreaModel, RouterParams};
+//! use mango_hw::timing::{Corner, TimingModel};
+//!
+//! let breakdown = AreaModel::cmos_120nm().breakdown(&RouterParams::paper());
+//! assert!((breakdown.total_mm2() - 0.188).abs() < 0.004);
+//!
+//! let timing = TimingModel::cmos_120nm();
+//! let wc = timing.port_speed_mhz(Corner::WorstCase);
+//! assert!((wc - 515.0).abs() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod link;
+pub mod power;
+pub mod report;
+pub mod timing;
+
+pub use area::{AreaBreakdown, AreaModel, RouterParams};
+pub use link::LinkEncoding;
+pub use report::Table;
+pub use timing::{Corner, RouterTiming, TimingModel};

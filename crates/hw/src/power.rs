@@ -1,0 +1,108 @@
+//! Energy and idle-power model.
+//!
+//! The paper's Section 1 argues that clockless circuits "have zero dynamic
+//! power consumption when idle" — a clocked router keeps toggling its clock
+//! tree even with no traffic, while the data-driven MANGO router only
+//! dissipates leakage. This module provides the first-order numbers that
+//! make the comparison quantitative: switched-capacitance energy per
+//! flit-hop, plus idle power for clockless vs. clocked control.
+
+use crate::area::RouterParams;
+
+/// First-order energy/power model for one router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Energy to toggle one data bit through one router + link hop, in
+    /// femtojoules. ~50 fJ/bit-hop is representative for 0.12 µm wires of a
+    /// few hundred µm.
+    pub energy_per_bit_hop_fj: f64,
+    /// Control (handshake + arbitration) overhead as a fraction of the data
+    /// energy.
+    pub control_overhead: f64,
+    /// Leakage power per mm² of standard cells, in µW (0.12 µm-era
+    /// libraries leak little).
+    pub leakage_uw_per_mm2: f64,
+    /// Clock-tree power per mm² for an equivalent *clocked* router at its
+    /// operating frequency, in µW — the cost MANGO avoids when idle.
+    pub clock_tree_uw_per_mm2: f64,
+}
+
+impl PowerModel {
+    /// Representative constants for the paper's 0.12 µm node.
+    pub fn cmos_120nm() -> Self {
+        PowerModel {
+            energy_per_bit_hop_fj: 50.0,
+            control_overhead: 0.25,
+            leakage_uw_per_mm2: 40.0,
+            clock_tree_uw_per_mm2: 12_000.0,
+        }
+    }
+
+    /// Energy for one flit to traverse one router + link hop, in picojoules.
+    pub fn flit_hop_energy_pj(&self, params: &RouterParams) -> f64 {
+        let bits = params.link_bits() as f64;
+        bits * self.energy_per_bit_hop_fj * (1.0 + self.control_overhead) / 1000.0
+    }
+
+    /// Dynamic power of one router at a given aggregate flit rate
+    /// (flits/s summed over all ports), in milliwatts.
+    pub fn dynamic_power_mw(&self, params: &RouterParams, flits_per_second: f64) -> f64 {
+        self.flit_hop_energy_pj(params) * flits_per_second / 1e9
+    }
+
+    /// Idle power of the clockless router, in µW: leakage only — the
+    /// paper's "zero dynamic idle power".
+    pub fn idle_power_clockless_uw(&self, area_mm2: f64) -> f64 {
+        self.leakage_uw_per_mm2 * area_mm2
+    }
+
+    /// Idle power of an equivalent clocked router, in µW: leakage plus the
+    /// free-running clock tree.
+    pub fn idle_power_clocked_uw(&self, area_mm2: f64) -> f64 {
+        (self.leakage_uw_per_mm2 + self.clock_tree_uw_per_mm2) * area_mm2
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::cmos_120nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_energy_scales_with_width() {
+        let m = PowerModel::cmos_120nm();
+        let narrow = RouterParams::paper();
+        let mut wide = RouterParams::paper();
+        wide.flit_data_bits = 64;
+        assert!(m.flit_hop_energy_pj(&wide) > m.flit_hop_energy_pj(&narrow));
+        // 37 bits × 50 fJ × 1.25 = 2.3125 pJ.
+        assert!((m.flit_hop_energy_pj(&narrow) - 2.3125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_is_linear_in_rate() {
+        let m = PowerModel::cmos_120nm();
+        let p = RouterParams::paper();
+        let at_1g = m.dynamic_power_mw(&p, 1e9);
+        let at_2g = m.dynamic_power_mw(&p, 2e9);
+        assert!((at_2g - 2.0 * at_1g).abs() < 1e-12);
+        assert_eq!(m.dynamic_power_mw(&p, 0.0), 0.0);
+    }
+
+    #[test]
+    fn clockless_idle_beats_clocked_by_orders_of_magnitude() {
+        let m = PowerModel::cmos_120nm();
+        let area = 0.188; // the paper's router
+        let clockless = m.idle_power_clockless_uw(area);
+        let clocked = m.idle_power_clocked_uw(area);
+        assert!(
+            clocked / clockless > 100.0,
+            "clockless {clockless} µW vs clocked {clocked} µW"
+        );
+    }
+}

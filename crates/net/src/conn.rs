@@ -1,0 +1,615 @@
+//! The connection manager: allocates VC sequences, generates the
+//! programming traffic that opens GS connections, and tracks their
+//! lifecycle.
+//!
+//! "In MANGO, a connection implements a logical point-to-point circuit
+//! between two different local ports in the network, by reserving a
+//! sequence of independently buffered VCs" (Sec. 3). Opening a connection
+//! therefore means: pick an XY path, reserve one free GS VC on every link
+//! of the path plus a local GS interface at each end, then program each
+//! router on the path — the source router directly through its local
+//! programming interface, the others with BE config packets that request
+//! acknowledgments. The connection becomes [`ConnState::Open`] when every
+//! ack has returned; only then may the source NA stream header-less flits.
+
+use crate::route::{xy_path, xy_route, RouteError};
+use crate::topology::Grid;
+use mango_core::{
+    build_be_packet, AckPlan, BeHeader, ConnectionId, Direction, Flit, GsBufferRef, ProgWrite,
+    RouterId, Steer, UpstreamRef, VcId,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Lifecycle of a GS connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Programming packets are in flight.
+    Opening,
+    /// All routers acknowledged: the circuit is live.
+    Open,
+    /// Teardown packets are in flight.
+    Closing,
+    /// Resources released.
+    Closed,
+}
+
+/// Errors opening or closing connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// Route computation failed.
+    Route(RouteError),
+    /// No free GS VC on a link of the path.
+    NoFreeVc(RouterId, Direction),
+    /// No free GS TX interface at the source NA.
+    NoFreeTxIface(RouterId),
+    /// No free local GS interface at the destination router.
+    NoFreeRxIface(RouterId),
+    /// The connection is not in the required state.
+    BadState(ConnectionId, ConnState),
+    /// Unknown connection id.
+    Unknown(ConnectionId),
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnError::Route(e) => write!(f, "routing failed: {e}"),
+            ConnError::NoFreeVc(r, d) => write!(f, "no free GS VC on link {r}->{d}"),
+            ConnError::NoFreeTxIface(r) => write!(f, "no free GS TX interface at {r}"),
+            ConnError::NoFreeRxIface(r) => write!(f, "no free local GS interface at {r}"),
+            ConnError::BadState(id, s) => write!(f, "{id} is {s:?}"),
+            ConnError::Unknown(id) => write!(f, "unknown connection {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<RouteError> for ConnError {
+    fn from(e: RouteError) -> Self {
+        ConnError::Route(e)
+    }
+}
+
+/// A live connection record.
+#[derive(Debug, Clone)]
+pub struct ConnRecord {
+    /// Connection id.
+    pub id: ConnectionId,
+    /// Source router (whose NA transmits).
+    pub src: RouterId,
+    /// Destination router (whose NA receives).
+    pub dst: RouterId,
+    /// Link directions along the path.
+    pub dirs: Vec<Direction>,
+    /// Reserved VC on each link.
+    pub vcs: Vec<VcId>,
+    /// Source NA TX interface.
+    pub tx_iface: u8,
+    /// Destination local GS interface.
+    pub rx_iface: u8,
+    /// Lifecycle state.
+    pub state: ConnState,
+    /// Ack tokens still outstanding.
+    outstanding: Vec<u16>,
+}
+
+impl ConnRecord {
+    /// Number of links the connection traverses.
+    pub fn hops(&self) -> usize {
+        self.dirs.len()
+    }
+}
+
+/// Everything the caller must do to open a connection: apply the local
+/// writes at the source router, bind the NA TX interface, and inject the
+/// config packets from the source NA.
+#[derive(Debug, Clone)]
+pub struct OpenPlan {
+    /// The new connection's id.
+    pub id: ConnectionId,
+    /// Writes to apply directly at the source router.
+    pub local_writes: Vec<ProgWrite>,
+    /// NA TX interface to bind.
+    pub tx_iface: u8,
+    /// First-hop steering for the NA TX interface.
+    pub tx_steer: Steer,
+    /// Config packets (flit sequences) to enqueue at the source NA.
+    pub config_packets: Vec<Vec<Flit>>,
+}
+
+/// Everything the caller must do to close a connection.
+#[derive(Debug, Clone)]
+pub struct ClosePlan {
+    /// The closing connection's id.
+    pub id: ConnectionId,
+    /// Writes to apply directly at the source router.
+    pub local_writes: Vec<ProgWrite>,
+    /// NA TX interface to unbind once the plan is issued.
+    pub tx_iface: u8,
+    /// Teardown packets to enqueue at the source NA.
+    pub config_packets: Vec<Vec<Flit>>,
+}
+
+/// Allocates and tracks GS connections over one grid.
+#[derive(Debug)]
+pub struct ConnectionManager {
+    gs_vcs: usize,
+    local_ifaces: usize,
+    next_id: u32,
+    next_token: u16,
+    conns: HashMap<ConnectionId, ConnRecord>,
+    tokens: HashMap<u16, ConnectionId>,
+    /// Bitmask of used VCs per directed link.
+    vc_used: HashMap<(RouterId, Direction), u16>,
+    /// Bitmask of used NA TX interfaces per router.
+    tx_used: HashMap<RouterId, u16>,
+    /// Bitmask of used local GS (delivery) interfaces per router.
+    rx_used: HashMap<RouterId, u16>,
+}
+
+impl ConnectionManager {
+    /// A manager for routers with `gs_vcs` VCs per link and `local_ifaces`
+    /// local GS interfaces (paper: 7 and 4).
+    pub fn new(gs_vcs: usize, local_ifaces: usize) -> Self {
+        ConnectionManager {
+            gs_vcs,
+            local_ifaces,
+            next_id: 0,
+            next_token: 1,
+            conns: HashMap::new(),
+            tokens: HashMap::new(),
+            vc_used: HashMap::new(),
+            tx_used: HashMap::new(),
+            rx_used: HashMap::new(),
+        }
+    }
+
+    /// The record for `id`.
+    pub fn get(&self, id: ConnectionId) -> Option<&ConnRecord> {
+        self.conns.get(&id)
+    }
+
+    /// The state of `id`, if known.
+    pub fn state(&self, id: ConnectionId) -> Option<ConnState> {
+        self.conns.get(&id).map(|c| c.state)
+    }
+
+    /// True if every connection is `Open` or `Closed` (no programming in
+    /// flight).
+    pub fn all_settled(&self) -> bool {
+        self.conns
+            .values()
+            .all(|c| matches!(c.state, ConnState::Open | ConnState::Closed))
+    }
+
+    /// Ids of all connections.
+    pub fn ids(&self) -> Vec<ConnectionId> {
+        let mut v: Vec<_> = self.conns.keys().copied().collect();
+        v.sort_by_key(|c| c.0);
+        v
+    }
+
+    fn alloc_bit(mask: &mut u16, limit: usize) -> Option<u8> {
+        for bit in 0..limit {
+            if *mask & (1 << bit) == 0 {
+                *mask |= 1 << bit;
+                return Some(bit as u8);
+            }
+        }
+        None
+    }
+
+    /// Plans the opening of a connection from `src` to `dst`, reserving
+    /// all resources.
+    ///
+    /// # Errors
+    ///
+    /// Fails (reserving nothing) if routing fails or any VC/interface on
+    /// the path is exhausted.
+    pub fn open(&mut self, grid: &Grid, src: RouterId, dst: RouterId) -> Result<OpenPlan, ConnError> {
+        let dirs = xy_route(grid, src, dst)?;
+        let path = xy_path(grid, src, dst)?;
+        let hops = dirs.len();
+
+        // Dry-run allocation: find everything before committing.
+        let mut vcs = Vec::with_capacity(hops);
+        for (i, &d) in dirs.iter().enumerate() {
+            let mut mask = self.vc_used.get(&(path[i], d)).copied().unwrap_or(0);
+            match Self::alloc_bit(&mut mask, self.gs_vcs) {
+                Some(vc) => vcs.push(VcId(vc)),
+                None => return Err(ConnError::NoFreeVc(path[i], d)),
+            }
+        }
+        let mut tx_mask = self.tx_used.get(&src).copied().unwrap_or(0);
+        let Some(tx_iface) = Self::alloc_bit(&mut tx_mask, self.local_ifaces) else {
+            return Err(ConnError::NoFreeTxIface(src));
+        };
+        let mut rx_mask = self.rx_used.get(&dst).copied().unwrap_or(0);
+        let Some(rx_iface) = Self::alloc_bit(&mut rx_mask, self.local_ifaces) else {
+            return Err(ConnError::NoFreeRxIface(dst));
+        };
+
+        // Commit allocations.
+        for (i, &d) in dirs.iter().enumerate() {
+            *self.vc_used.entry((path[i], d)).or_insert(0) |= 1 << vcs[i].0;
+        }
+        self.tx_used.insert(src, tx_mask);
+        self.rx_used.insert(dst, rx_mask);
+
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+
+        // Steering target inside router path[i] (the buffer hop i lands in).
+        let target = |i: usize| -> Steer {
+            if i == hops {
+                Steer::LocalGs { iface: rx_iface }
+            } else {
+                Steer::GsBuffer {
+                    dir: dirs[i],
+                    vc: vcs[i],
+                }
+            }
+        };
+
+        // Source router: programmed directly via its local port.
+        let local_writes = vec![
+            ProgWrite::SetUnlock {
+                buffer: GsBufferRef::Net {
+                    dir: dirs[0],
+                    vc: vcs[0],
+                },
+                upstream: UpstreamRef::Na { iface: tx_iface },
+            },
+            ProgWrite::SetSteer {
+                dir: dirs[0],
+                vc: vcs[0],
+                steer: target(1),
+            },
+        ];
+
+        // Remote routers path[1..=hops]: config packets with acks.
+        let mut config_packets = Vec::new();
+        let mut outstanding = Vec::new();
+        for (i, &router) in path.iter().enumerate().take(hops + 1).skip(1) {
+            let mut writes = Vec::new();
+            let buffer = if i == hops {
+                GsBufferRef::Local { iface: rx_iface }
+            } else {
+                GsBufferRef::Net {
+                    dir: dirs[i],
+                    vc: vcs[i],
+                }
+            };
+            writes.push(ProgWrite::SetUnlock {
+                buffer,
+                upstream: UpstreamRef::Link {
+                    in_dir: dirs[i - 1].opposite(),
+                    wire: vcs[i - 1],
+                },
+            });
+            if i < hops {
+                writes.push(ProgWrite::SetSteer {
+                    dir: dirs[i],
+                    vc: vcs[i],
+                    steer: target(i + 1),
+                });
+            }
+            let token = self.next_token;
+            self.next_token = self.next_token.wrapping_add(1).max(1);
+            outstanding.push(token);
+            self.tokens.insert(token, id);
+            let return_route = xy_route(grid, router, src).expect("path routers differ from src");
+            let plan = AckPlan {
+                token,
+                return_header: BeHeader::from_route(&return_route)
+                    .expect("return route within hop limit"),
+            };
+            let payload = mango_core::prog::encode_payload(&writes, Some(plan));
+            let header = BeHeader::from_route(&xy_route(grid, src, router)?)
+                .expect("forward route within hop limit");
+            config_packets.push(build_be_packet(header, &payload, true));
+        }
+
+        let tx_steer = Steer::GsBuffer {
+            dir: dirs[0],
+            vc: vcs[0],
+        };
+        let state = if outstanding.is_empty() {
+            ConnState::Open
+        } else {
+            ConnState::Opening
+        };
+        self.conns.insert(
+            id,
+            ConnRecord {
+                id,
+                src,
+                dst,
+                dirs,
+                vcs,
+                tx_iface,
+                rx_iface,
+                state,
+                outstanding,
+            },
+        );
+
+        Ok(OpenPlan {
+            id,
+            local_writes,
+            tx_iface,
+            tx_steer,
+            config_packets,
+        })
+    }
+
+    /// Plans the teardown of an open connection. Traffic must be drained
+    /// first; the caller unbinds the NA TX interface.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown or not open.
+    pub fn close(&mut self, grid: &Grid, id: ConnectionId) -> Result<ClosePlan, ConnError> {
+        let conn = self.conns.get_mut(&id).ok_or(ConnError::Unknown(id))?;
+        if conn.state != ConnState::Open {
+            return Err(ConnError::BadState(id, conn.state));
+        }
+        let hops = conn.hops();
+        let path = xy_path(grid, conn.src, conn.dst)?;
+
+        let local_writes = vec![
+            ProgWrite::ClearUnlock {
+                buffer: GsBufferRef::Net {
+                    dir: conn.dirs[0],
+                    vc: conn.vcs[0],
+                },
+            },
+            ProgWrite::ClearSteer {
+                dir: conn.dirs[0],
+                vc: conn.vcs[0],
+            },
+        ];
+
+        let mut config_packets = Vec::new();
+        let mut outstanding = Vec::new();
+        for (i, &router) in path.iter().enumerate().take(hops + 1).skip(1) {
+            let mut writes = Vec::new();
+            let buffer = if i == hops {
+                GsBufferRef::Local {
+                    iface: conn.rx_iface,
+                }
+            } else {
+                GsBufferRef::Net {
+                    dir: conn.dirs[i],
+                    vc: conn.vcs[i],
+                }
+            };
+            writes.push(ProgWrite::ClearUnlock { buffer });
+            if i < hops {
+                writes.push(ProgWrite::ClearSteer {
+                    dir: conn.dirs[i],
+                    vc: conn.vcs[i],
+                });
+            }
+            let token = self.next_token;
+            self.next_token = self.next_token.wrapping_add(1).max(1);
+            outstanding.push(token);
+            self.tokens.insert(token, id);
+            let return_route = xy_route(grid, router, conn.src)?;
+            let plan = AckPlan {
+                token,
+                return_header: BeHeader::from_route(&return_route)
+                    .expect("return route within hop limit"),
+            };
+            let payload = mango_core::prog::encode_payload(&writes, Some(plan));
+            let header = BeHeader::from_route(&xy_route(grid, conn.src, router)?)
+                .expect("forward route within hop limit");
+            config_packets.push(build_be_packet(header, &payload, true));
+        }
+
+        conn.state = if outstanding.is_empty() {
+            ConnState::Closed
+        } else {
+            ConnState::Closing
+        };
+        conn.outstanding = outstanding;
+        let tx_iface = conn.tx_iface;
+        if conn.state == ConnState::Closed {
+            self.release(id, grid);
+        }
+        Ok(ClosePlan {
+            id,
+            local_writes,
+            tx_iface,
+            config_packets,
+        })
+    }
+
+    /// True if `token` belongs to an outstanding programming request.
+    pub fn known_token(&self, token: u16) -> bool {
+        self.tokens.contains_key(&token)
+    }
+
+    /// Processes an acknowledgment token; returns the connection and its
+    /// new state if the token completed a transition.
+    pub fn on_ack(&mut self, token: u16, grid: &Grid) -> Option<(ConnectionId, ConnState)> {
+        let id = self.tokens.remove(&token)?;
+        let conn = self.conns.get_mut(&id).expect("token maps to connection");
+        conn.outstanding.retain(|&t| t != token);
+        if !conn.outstanding.is_empty() {
+            return None;
+        }
+        match conn.state {
+            ConnState::Opening => {
+                conn.state = ConnState::Open;
+                Some((id, ConnState::Open))
+            }
+            ConnState::Closing => {
+                conn.state = ConnState::Closed;
+                self.release(id, grid);
+                Some((id, ConnState::Closed))
+            }
+            s => panic!("ack for connection in state {s:?}"),
+        }
+    }
+
+    fn release(&mut self, id: ConnectionId, grid: &Grid) {
+        let conn = self.conns.get(&id).expect("releasing unknown connection");
+        let path = xy_path(grid, conn.src, conn.dst).expect("path still valid");
+        for (i, &d) in conn.dirs.iter().enumerate() {
+            let mask = self
+                .vc_used
+                .get_mut(&(path[i], d))
+                .expect("allocated link mask");
+            *mask &= !(1 << conn.vcs[i].0);
+        }
+        if let Some(mask) = self.tx_used.get_mut(&conn.src) {
+            *mask &= !(1 << conn.tx_iface);
+        }
+        if let Some(mask) = self.rx_used.get_mut(&conn.dst) {
+            *mask &= !(1 << conn.rx_iface);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Grid, ConnectionManager) {
+        (Grid::new(4, 4), ConnectionManager::new(7, 4))
+    }
+
+    #[test]
+    fn open_reserves_distinct_vcs_per_link() {
+        let (g, mut m) = setup();
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(2, 0);
+        let p1 = m.open(&g, src, dst).unwrap();
+        let p2 = m.open(&g, src, dst).unwrap();
+        let c1 = m.get(p1.id).unwrap();
+        let c2 = m.get(p2.id).unwrap();
+        assert_ne!(c1.vcs[0], c2.vcs[0], "same link must use distinct VCs");
+        assert_ne!(c1.tx_iface, c2.tx_iface);
+        assert_ne!(c1.rx_iface, c2.rx_iface);
+    }
+
+    #[test]
+    fn open_plan_has_writes_and_packets_per_remote_router() {
+        let (g, mut m) = setup();
+        let plan = m
+            .open(&g, RouterId::new(0, 0), RouterId::new(2, 1))
+            .unwrap();
+        // 3 links → routers (1,0), (2,0), (2,1) are remote.
+        assert_eq!(plan.config_packets.len(), 3);
+        assert_eq!(plan.local_writes.len(), 2);
+        assert!(matches!(plan.tx_steer, Steer::GsBuffer { .. }));
+        assert_eq!(m.state(plan.id), Some(ConnState::Opening));
+        // All packets are config-marked.
+        for pkt in &plan.config_packets {
+            assert!(pkt.iter().all(|f| f.be_vc));
+            assert!(pkt.last().unwrap().eop);
+        }
+    }
+
+    #[test]
+    fn vc_exhaustion_reported() {
+        let (g, mut m) = setup();
+        // 7 GS VCs per link but only 4 local interfaces: interface
+        // exhaustion hits first from a single source.
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(1, 0);
+        for _ in 0..4 {
+            m.open(&g, src, dst).unwrap();
+        }
+        let err = m.open(&g, src, dst).unwrap_err();
+        assert_eq!(err, ConnError::NoFreeTxIface(src));
+
+        // Different sources can still exhaust the shared link VCs.
+        let mut m = ConnectionManager::new(2, 4);
+        m.open(&g, src, dst).unwrap();
+        m.open(&g, src, dst).unwrap();
+        let err = m.open(&g, src, dst).unwrap_err();
+        assert_eq!(err, ConnError::NoFreeVc(src, Direction::East));
+    }
+
+    #[test]
+    fn acks_drive_opening_to_open() {
+        let (g, mut m) = setup();
+        let plan = m
+            .open(&g, RouterId::new(0, 0), RouterId::new(2, 0))
+            .unwrap();
+        let conn = m.get(plan.id).unwrap();
+        let tokens: Vec<u16> = conn.outstanding.clone();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(m.on_ack(tokens[0], &g), None, "still one outstanding");
+        assert_eq!(
+            m.on_ack(tokens[1], &g),
+            Some((plan.id, ConnState::Open))
+        );
+        assert!(m.all_settled());
+        assert_eq!(m.on_ack(tokens[1], &g), None, "duplicate ack ignored");
+    }
+
+    #[test]
+    fn close_releases_resources_for_reuse() {
+        let (g, mut m) = setup();
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(1, 0);
+        let plan = m.open(&g, src, dst).unwrap();
+        let tokens = m.get(plan.id).unwrap().outstanding.clone();
+        for t in tokens {
+            m.on_ack(t, &g);
+        }
+        let close = m.close(&g, plan.id).unwrap();
+        assert_eq!(close.config_packets.len(), 1);
+        let tokens = m.get(plan.id).unwrap().outstanding.clone();
+        for t in tokens {
+            m.on_ack(t, &g);
+        }
+        assert_eq!(m.state(plan.id), Some(ConnState::Closed));
+        // Everything freed: 4 more connections fit again.
+        for _ in 0..4 {
+            m.open(&g, src, dst).unwrap();
+        }
+    }
+
+    #[test]
+    fn close_requires_open_state() {
+        let (g, mut m) = setup();
+        let plan = m
+            .open(&g, RouterId::new(0, 0), RouterId::new(3, 3))
+            .unwrap();
+        let err = m.close(&g, plan.id).unwrap_err();
+        assert!(matches!(err, ConnError::BadState(_, ConnState::Opening)));
+        assert!(matches!(
+            m.close(&g, ConnectionId(999)),
+            Err(ConnError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn same_router_connection_rejected() {
+        let (g, mut m) = setup();
+        let r = RouterId::new(1, 1);
+        assert!(matches!(
+            m.open(&g, r, r),
+            Err(ConnError::Route(RouteError::SameRouter(_)))
+        ));
+    }
+
+    #[test]
+    fn failed_open_reserves_nothing() {
+        let (g, _) = setup();
+        let mut m = ConnectionManager::new(1, 4);
+        let a = RouterId::new(0, 0);
+        let b = RouterId::new(2, 0);
+        m.open(&g, a, b).unwrap();
+        // Second connection fails on the first link...
+        assert!(m.open(&g, a, b).is_err());
+        // ...but a disjoint path is unaffected.
+        m.open(&g, RouterId::new(0, 1), RouterId::new(2, 1)).unwrap();
+    }
+}

@@ -1,0 +1,201 @@
+//! Experiment utilities: offered-load sweeps and saturation curves.
+//!
+//! The classic NoC characterization — latency vs. offered load up to and
+//! past saturation — is not in the paper (its guarantees are analytic),
+//! but every downstream user of a NoC model wants it. These helpers keep
+//! the sweep methodology in one place: fresh network per point, warmup,
+//! measurement window, deliveries counted in-window and latency sampled
+//! for in-window injections only.
+
+use crate::sim::{EmitWindow, NocSim};
+use crate::traffic::Pattern;
+use mango_core::{RouterConfig, RouterId};
+use mango_sim::SimDuration;
+
+/// One point of a load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Offered load per source, Mpkt/s (BE) or Mflit/s (GS).
+    pub offered_m: f64,
+    /// Delivered aggregate throughput over all flows, in the same unit.
+    pub delivered_m: f64,
+    /// Mean end-to-end latency, ns (packets injected in the window).
+    pub mean_ns: f64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: f64,
+}
+
+/// Sweep configuration for uniform-random BE traffic.
+#[derive(Debug, Clone)]
+pub struct BeSweep {
+    /// Mesh width.
+    pub width: u8,
+    /// Mesh height.
+    pub height: u8,
+    /// Payload words per packet.
+    pub payload_words: usize,
+    /// Warmup before measuring.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// Router configuration for every node.
+    pub router_cfg: RouterConfig,
+    /// Base random seed (per-point seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for BeSweep {
+    fn default() -> Self {
+        BeSweep {
+            width: 4,
+            height: 4,
+            payload_words: 3,
+            warmup: SimDuration::from_us(20),
+            measure: SimDuration::from_us(100),
+            router_cfg: RouterConfig::paper(),
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl BeSweep {
+    /// Runs one point: every node sources uniform-random BE packets with
+    /// Poisson gaps of `gap` (offered per-node rate = 1/gap).
+    pub fn run_point(&self, gap: SimDuration) -> LoadPoint {
+        let mut sim = NocSim::mesh_with(
+            self.width,
+            self.height,
+            self.router_cfg.clone(),
+            self.seed ^ gap.as_ps(),
+        );
+        let all: Vec<RouterId> = sim.network().grid().ids().collect();
+        let mut flows = Vec::new();
+        for node in all.clone() {
+            let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
+            flows.push(sim.add_be_source(
+                node,
+                dests,
+                self.payload_words,
+                Pattern::poisson(gap),
+                format!("sweep-{node}"),
+                EmitWindow::default(),
+            ));
+        }
+        sim.run_for(self.warmup);
+        sim.begin_measurement();
+        sim.run_for(self.measure);
+
+        let mut delivered = 0.0;
+        let mut lat_sum = 0.0;
+        let mut lat_n = 0u64;
+        let mut p99_worst: f64 = 0.0;
+        for f in &flows {
+            delivered += sim.flow_throughput_m(*f);
+            let s = sim.flow(*f);
+            if let Some(mean) = s.latency.mean() {
+                lat_sum += mean.as_ns_f64() * s.latency.count() as f64;
+                lat_n += s.latency.count();
+            }
+            if let Some(p99) = s.latency.quantile(0.99) {
+                p99_worst = p99_worst.max(p99.as_ns_f64());
+            }
+        }
+        LoadPoint {
+            offered_m: gap.as_rate_mhz(),
+            delivered_m: delivered,
+            mean_ns: if lat_n > 0 { lat_sum / lat_n as f64 } else { 0.0 },
+            p99_ns: p99_worst,
+        }
+    }
+
+    /// Runs the sweep over per-node packet gaps, densest load last.
+    pub fn run(&self, gaps: &[SimDuration]) -> Vec<LoadPoint> {
+        gaps.iter().map(|&g| self.run_point(g)).collect()
+    }
+}
+
+/// Measures the saturation throughput of a single GS connection as a
+/// function of output-buffer depth.
+///
+/// Under share-based VC control this is **depth-independent**: the
+/// sharebox admits one flit per VC into the shared media at a time, so a
+/// lone VC is pinned to one flit per share loop no matter how much
+/// buffering sits behind it — the quantitative backing for the paper's
+/// depth-1 choice ("To keep the area down... This is enough", Sec. 4.4).
+pub fn gs_depth_throughput(depth: usize, seed: u64) -> f64 {
+    let mut cfg = RouterConfig::paper();
+    cfg.params.buffer_depth = depth;
+    let mut sim = NocSim::mesh_with(3, 1, cfg, seed);
+    let conn = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .expect("VCs free");
+    sim.wait_connections_settled().expect("settles");
+    sim.run_for(SimDuration::from_us(2));
+    sim.begin_measurement();
+    let flow = sim.add_gs_source(
+        conn,
+        Pattern::cbr(SimDuration::from_ns(1)),
+        "depth",
+        EmitWindow::default(),
+    );
+    sim.run_for(SimDuration::from_us(50));
+    sim.flow_throughput_m(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_reports_sane_numbers() {
+        let sweep = BeSweep {
+            width: 3,
+            height: 3,
+            warmup: SimDuration::from_us(5),
+            measure: SimDuration::from_us(30),
+            ..Default::default()
+        };
+        let light = sweep.run_point(SimDuration::from_us(2));
+        assert!(light.delivered_m > 0.0);
+        assert!(light.mean_ns > 0.0);
+        assert!(light.p99_ns >= light.mean_ns * 0.5);
+        // At light load, delivery ≈ offered × nodes.
+        let expected = light.offered_m * 9.0;
+        assert!(
+            (light.delivered_m - expected).abs() / expected < 0.2,
+            "delivered {:.2} vs offered {expected:.2}",
+            light.delivered_m
+        );
+    }
+
+    #[test]
+    fn heavier_load_means_higher_latency() {
+        let sweep = BeSweep {
+            width: 3,
+            height: 3,
+            warmup: SimDuration::from_us(5),
+            measure: SimDuration::from_us(30),
+            ..Default::default()
+        };
+        let light = sweep.run_point(SimDuration::from_ns(2000));
+        let heavy = sweep.run_point(SimDuration::from_ns(150));
+        assert!(
+            heavy.mean_ns > light.mean_ns,
+            "latency must rise with load: {:.1} vs {:.1}",
+            heavy.mean_ns,
+            light.mean_ns
+        );
+    }
+
+    #[test]
+    fn single_vc_throughput_is_buffer_depth_independent() {
+        // The sharebox, not the buffer, is the serialization point: one
+        // flit per VC in the media until the unlock returns.
+        let d1 = gs_depth_throughput(1, 5);
+        let d4 = gs_depth_throughput(4, 5);
+        assert!(
+            (d4 - d1).abs() / d1 < 0.01,
+            "share-based control pins a lone VC regardless of depth: {d1:.1} vs {d4:.1}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Network layer for the MANGO clockless NoC: topologies, links, network
+//! adapters, connection management, traffic generation and measurement.
+//!
+//! This crate assembles [`mango_core::Router`]s into a mesh (Fig. 1),
+//! provides the network adapters that bridge clocked cores to the
+//! clockless network, implements the connection manager that reserves VC
+//! sequences and programs them through BE config packets (Sec. 3), and
+//! offers the experiment harness used by every benchmark that reproduces
+//! the paper's results.
+//!
+//! # Example
+//!
+//! Open a GS connection across a 3×3 mesh and stream flits over it:
+//!
+//! ```
+//! use mango_net::{EmitWindow, NocSim, Pattern};
+//! use mango_core::RouterId;
+//! use mango_sim::SimDuration;
+//!
+//! let mut sim = NocSim::paper_mesh(3, 3, 42);
+//! let conn = sim
+//!     .open_connection(RouterId::new(0, 0), RouterId::new(2, 2))
+//!     .expect("resources available");
+//! sim.wait_connections_settled().expect("programming completes");
+//! sim.begin_measurement();
+//! let flow = sim.add_gs_source(
+//!     conn,
+//!     Pattern::cbr(SimDuration::from_ns(10)),
+//!     "quickstart",
+//!     EmitWindow { limit: Some(100), ..Default::default() },
+//! );
+//! sim.run_to_quiescence();
+//! assert_eq!(sim.flow(flow).delivered, 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod experiment;
+pub mod na;
+pub mod network;
+pub mod ocp;
+pub mod route;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod traffic;
+
+pub use conn::{ConnError, ConnRecord, ConnState, ConnectionManager};
+pub use experiment::{BeSweep, LoadPoint};
+pub use na::{Na, NaConfig};
+pub use network::{AppPacket, NaApp, NetEvent, Network, Node};
+pub use ocp::{OcpMessage, OcpSlave};
+pub use route::{xy_header, xy_path, xy_route, RouteError};
+pub use sim::{EmitWindow, NocSim};
+pub use stats::{FlowStats, Histogram, LatencyRecorder, NetStats};
+pub use topology::Grid;
+pub use traffic::{Pattern, Source, SourceKind};

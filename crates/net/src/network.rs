@@ -1,0 +1,519 @@
+//! The network model: routers, links and NAs assembled on the simulation
+//! kernel.
+//!
+//! The whole mesh is one [`mango_sim::Model`]: each event names its target
+//! node and the handler translates [`RouterAction`]s into further events
+//! (link traversals, unlock toggles, credits, NA activity). Cross-node
+//! interaction happens exclusively through events, which keeps the model
+//! single-borrow and the simulation deterministic.
+
+use crate::conn::ConnectionManager;
+use crate::na::{Na, NaConfig};
+use crate::route::xy_header;
+use crate::stats::NetStats;
+use crate::topology::Grid;
+use crate::traffic::{Source, SourceKind};
+use mango_core::{
+    build_be_packet, prog, Direction, Flit, InternalEvent, LinkFlit, Router, RouterAction,
+    RouterConfig, RouterId, VcId,
+};
+use mango_sim::{Ctx, Model, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// An event in the network simulation.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// Deferred router-internal event.
+    Router {
+        /// Target router.
+        id: RouterId,
+        /// The event.
+        ev: InternalEvent,
+    },
+    /// A flit arrives at a router's input port.
+    LinkFlit {
+        /// Receiving router.
+        to: RouterId,
+        /// Input port it arrives on.
+        from: Direction,
+        /// The flit and its steering.
+        lf: LinkFlit,
+    },
+    /// An unlock toggle arrives at a router's output port.
+    Unlock {
+        /// Receiving router.
+        to: RouterId,
+        /// Output port.
+        dir: Direction,
+        /// VC wire index.
+        wire: VcId,
+    },
+    /// A BE credit arrives at a router's output port.
+    Credit {
+        /// Receiving router.
+        to: RouterId,
+        /// Output port.
+        dir: Direction,
+    },
+    /// The NA injects the next GS flit on an interface.
+    NaGsInject {
+        /// The node.
+        id: RouterId,
+        /// TX interface.
+        iface: u8,
+    },
+    /// The NA injects the next BE flit.
+    NaBeInject {
+        /// The node.
+        id: RouterId,
+    },
+    /// The core finished consuming a delivered GS flit.
+    NaGsConsumed {
+        /// The node.
+        id: RouterId,
+        /// Local GS interface.
+        iface: u8,
+    },
+    /// A traffic source emits.
+    SourceTick {
+        /// Index into the source table.
+        idx: usize,
+    },
+}
+
+/// A node: one router plus its network adapter.
+#[derive(Debug)]
+pub struct Node {
+    /// The router.
+    pub router: Router,
+    /// The network adapter.
+    pub na: Na,
+}
+
+/// An application packet produced by an [`NaApp`].
+#[derive(Debug, Clone)]
+pub struct AppPacket {
+    /// Destination router.
+    pub dest: RouterId,
+    /// Payload words.
+    pub payload: Vec<u32>,
+    /// Flow to account the packet under, if any.
+    pub flow: Option<u32>,
+}
+
+/// Application logic attached to an NA: reacts to delivered BE packets
+/// (e.g. an OCP slave turning requests into responses).
+pub trait NaApp: std::fmt::Debug {
+    /// Handles a delivered packet (header flit first); returns packets to
+    /// send in response.
+    fn on_packet(&mut self, now: SimTime, packet: &[Flit]) -> Vec<AppPacket>;
+}
+
+/// The complete network state.
+#[derive(Debug)]
+pub struct Network {
+    grid: Grid,
+    nodes: Vec<Node>,
+    sources: Vec<Source>,
+    stats: NetStats,
+    conn: ConnectionManager,
+    apps: HashMap<usize, Box<dyn NaApp>>,
+    scratch: Vec<RouterAction>,
+    router_cfg: RouterConfig,
+    na_cfg: NaConfig,
+}
+
+impl Network {
+    /// Builds a homogeneous mesh of the paper's routers.
+    pub fn new(grid: Grid, router_cfg: RouterConfig, na_cfg: NaConfig) -> Self {
+        router_cfg
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid router config: {e}"));
+        let nodes = grid
+            .ids()
+            .map(|id| Node {
+                router: Router::new(id, router_cfg.clone()),
+                na: Na::new(router_cfg.local_gs_ifaces(), na_cfg.clone()),
+            })
+            .collect();
+        Network {
+            conn: ConnectionManager::new(router_cfg.gs_vcs(), router_cfg.local_gs_ifaces()),
+            grid,
+            nodes,
+            sources: Vec::new(),
+            stats: NetStats::new(),
+            apps: HashMap::new(),
+            scratch: Vec::new(),
+            router_cfg,
+            na_cfg,
+        }
+    }
+
+    /// The topology.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The router configuration shared by all nodes.
+    pub fn router_cfg(&self) -> &RouterConfig {
+        &self.router_cfg
+    }
+
+    /// The NA configuration shared by all nodes.
+    pub fn na_cfg(&self) -> &NaConfig {
+        &self.na_cfg
+    }
+
+    /// Statistics registry.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable statistics registry (for measurement-window control).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// The connection manager.
+    pub fn connections(&self) -> &ConnectionManager {
+        &self.conn
+    }
+
+    /// Mutable connection manager (used by the harness to plan opens).
+    pub fn connections_mut(&mut self) -> &mut ConnectionManager {
+        &mut self.conn
+    }
+
+    /// The node at `id`.
+    pub fn node(&self, id: RouterId) -> &Node {
+        &self.nodes[self.grid.index(id)]
+    }
+
+    /// Mutable node access (harness: programming, NA binding).
+    pub fn node_mut(&mut self, id: RouterId) -> &mut Node {
+        let idx = self.grid.index(id);
+        &mut self.nodes[idx]
+    }
+
+    /// All nodes, row-major.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Attaches application logic to a node's NA.
+    pub fn set_app(&mut self, id: RouterId, app: Box<dyn NaApp>) {
+        let idx = self.grid.index(id);
+        self.apps.insert(idx, app);
+    }
+
+    /// Registers a traffic source; returns its index for `SourceTick`.
+    pub fn add_source(&mut self, source: Source) -> usize {
+        self.sources.push(source);
+        self.sources.len() - 1
+    }
+
+    /// The source table.
+    pub fn sources(&self) -> &[Source] {
+        &self.sources
+    }
+
+    fn timing(&self) -> &mango_hw::RouterTiming {
+        &self.router_cfg.timing
+    }
+
+    /// GS injection latency: clock-domain crossing + local-port forward
+    /// path.
+    pub fn inject_delay(&self) -> SimDuration {
+        self.na_cfg.sync_delay + self.timing().hop_forward
+    }
+
+    /// Builds a BE packet and queues it at `src`'s NA; returns `true` if
+    /// the caller must schedule a [`NetEvent::NaBeInject`] for `src` after
+    /// [`Network::inject_delay`].
+    pub fn enqueue_be_packet(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        payload: &[u32],
+        flow: Option<u32>,
+        now: SimTime,
+    ) -> bool {
+        let header = xy_header(&self.grid, src, dst)
+            .unwrap_or_else(|e| panic!("BE packet route failed: {e}"));
+        let mut flits = build_be_packet(header, payload, false);
+        if let Some(flow) = flow {
+            let seq = self.stats.on_inject(flow);
+            for f in &mut flits {
+                *f = f.with_meta(now, seq, flow);
+            }
+        }
+        let idx = self.grid.index(src);
+        self.nodes[idx].na.enqueue_be(flits)
+    }
+
+    fn call_router(
+        &mut self,
+        id: RouterId,
+        ctx: &mut Ctx<NetEvent>,
+        f: impl FnOnce(&mut Router, &mut Vec<RouterAction>),
+    ) {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        let idx = self.grid.index(id);
+        f(&mut self.nodes[idx].router, &mut buf);
+        self.process_actions(id, &buf, ctx);
+        self.scratch = buf;
+    }
+
+    fn process_actions(&mut self, id: RouterId, actions: &[RouterAction], ctx: &mut Ctx<NetEvent>) {
+        for action in actions {
+            match action {
+                RouterAction::Internal { delay, event } => {
+                    ctx.schedule(*delay, NetEvent::Router { id, ev: *event });
+                }
+                RouterAction::SendFlit { dir, lf, delay } => {
+                    let to = self
+                        .grid
+                        .neighbor(id, *dir)
+                        .unwrap_or_else(|| panic!("{id}: flit sent off-grid toward {dir}"));
+                    let extra = self.grid.link_extra(id, *dir);
+                    ctx.schedule(
+                        *delay + extra,
+                        NetEvent::LinkFlit {
+                            to,
+                            from: dir.opposite(),
+                            lf: *lf,
+                        },
+                    );
+                }
+                RouterAction::SendUnlock { dir, wire, delay } => {
+                    let to = self
+                        .grid
+                        .neighbor(id, *dir)
+                        .unwrap_or_else(|| panic!("{id}: unlock sent off-grid toward {dir}"));
+                    let extra = self.grid.link_extra(id, *dir);
+                    ctx.schedule(
+                        *delay + extra,
+                        NetEvent::Unlock {
+                            to,
+                            dir: dir.opposite(),
+                            wire: *wire,
+                        },
+                    );
+                }
+                RouterAction::SendCredit { dir, delay } => {
+                    let to = self
+                        .grid
+                        .neighbor(id, *dir)
+                        .unwrap_or_else(|| panic!("{id}: credit sent off-grid toward {dir}"));
+                    let extra = self.grid.link_extra(id, *dir);
+                    ctx.schedule(
+                        *delay + extra,
+                        NetEvent::Credit {
+                            to,
+                            dir: dir.opposite(),
+                        },
+                    );
+                }
+                RouterAction::DeliverGs { iface, flit } => {
+                    let meta = flit.meta;
+                    if meta.flow != u32::MAX {
+                        self.stats
+                            .on_deliver(meta.flow, meta.seq, meta.injected_at, ctx.now());
+                    }
+                    // The core consumes the flit, then frees the delivery
+                    // slot.
+                    let delay = self.na_cfg.consume_delay;
+                    ctx.schedule(
+                        delay,
+                        NetEvent::NaGsConsumed {
+                            id,
+                            iface: *iface,
+                        },
+                    );
+                }
+                RouterAction::DeliverBe { flit } => {
+                    let idx = self.grid.index(id);
+                    if let Some(packet) = self.nodes[idx].na.be_deliver(*flit) {
+                        self.on_be_packet(id, packet, ctx);
+                    }
+                }
+                RouterAction::NaUnlock { iface } => {
+                    let idx = self.grid.index(id);
+                    if self.nodes[idx].na.gs_unlocked(*iface) {
+                        ctx.schedule(
+                            self.inject_delay(),
+                            NetEvent::NaGsInject { id, iface: *iface },
+                        );
+                    }
+                }
+                RouterAction::NaCredit => {
+                    let idx = self.grid.index(id);
+                    if self.nodes[idx].na.be_credit() {
+                        ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id });
+                    }
+                }
+            }
+        }
+    }
+
+    /// A complete BE packet was delivered at `id`'s NA.
+    fn on_be_packet(&mut self, id: RouterId, packet: Vec<Flit>, ctx: &mut Ctx<NetEvent>) {
+        let header = packet[0];
+        // Acknowledgments complete connection programming. An ack is a
+        // two-flit packet whose payload parses as a *known* token — the
+        // token check keeps application payloads that alias the ack magic
+        // from being misclassified.
+        let mut is_ack = false;
+        if packet.len() == 2 {
+            if let Some(token) = prog::parse_ack_word(packet[1].data) {
+                if self.conn.known_token(token) {
+                    self.conn.on_ack(token, &self.grid);
+                    is_ack = true;
+                }
+            }
+        }
+        if header.meta.flow != u32::MAX {
+            self.stats.on_deliver(
+                header.meta.flow,
+                header.meta.seq,
+                header.meta.injected_at,
+                ctx.now(),
+            );
+        }
+        if !is_ack {
+            let idx = self.grid.index(id);
+            if let Some(mut app) = self.apps.remove(&idx) {
+                let responses = app.on_packet(ctx.now(), &packet);
+                self.apps.insert(idx, app);
+                for resp in responses {
+                    self.send_be_packet(id, resp.dest, &resp.payload, resp.flow, ctx.now(), ctx);
+                }
+            }
+        }
+    }
+
+    /// Builds and enqueues a BE packet from `src` to `dst` at the source
+    /// NA, scheduling injection if the NA was idle.
+    pub fn send_be_packet(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        payload: &[u32],
+        flow: Option<u32>,
+        now: SimTime,
+        ctx: &mut Ctx<NetEvent>,
+    ) {
+        if self.enqueue_be_packet(src, dst, payload, flow, now) {
+            ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id: src });
+        }
+    }
+
+    fn on_source_tick(&mut self, idx: usize, ctx: &mut Ctx<NetEvent>) {
+        let now = ctx.now();
+        if !self.sources[idx].may_emit(now) {
+            // Throttled by stop/limit; try to schedule a later tick (start
+            // gating is handled at add time).
+            if let Some(next) = self.sources[idx].schedule_next(now) {
+                ctx.schedule_at(next, NetEvent::SourceTick { idx });
+            }
+            return;
+        }
+        self.sources[idx].emitted += 1;
+        let kind = self.sources[idx].kind.clone();
+        let flow = self.sources[idx].flow;
+        match kind {
+            SourceKind::Gs { router, iface, .. } => {
+                let seq = self.stats.on_inject(flow);
+                let flit = Flit::gs(seq as u32).with_meta(now, seq, flow);
+                let node = self.grid.index(router);
+                if self.nodes[node].na.enqueue_gs(iface, flit) {
+                    ctx.schedule(self.inject_delay(), NetEvent::NaGsInject { id: router, iface });
+                }
+            }
+            SourceKind::Be {
+                router,
+                dests,
+                payload_words,
+            } => {
+                let dest = *self.sources[idx]
+                    .rng
+                    .choose(&dests)
+                    .expect("BE source needs at least one destination");
+                let payload: Vec<u32> = (0..payload_words as u32).collect();
+                self.send_be_packet(router, dest, &payload, Some(flow), now, ctx);
+            }
+        }
+        if let Some(next) = self.sources[idx].schedule_next(now) {
+            ctx.schedule_at(next, NetEvent::SourceTick { idx });
+        }
+    }
+}
+
+impl Model for Network {
+    type Event = NetEvent;
+
+    fn handle(&mut self, event: NetEvent, ctx: &mut Ctx<NetEvent>) {
+        let now = ctx.now();
+        match event {
+            NetEvent::Router { id, ev } => {
+                self.call_router(id, ctx, |r, act| r.on_internal(now, ev, act))
+            }
+            NetEvent::LinkFlit { to, from, lf } => {
+                self.call_router(to, ctx, |r, act| r.on_link_flit(now, from, lf, act))
+            }
+            NetEvent::Unlock { to, dir, wire } => {
+                self.call_router(to, ctx, |r, act| r.on_unlock(now, dir, wire, act))
+            }
+            NetEvent::Credit { to, dir } => {
+                self.call_router(to, ctx, |r, act| r.on_credit(now, dir, act))
+            }
+            NetEvent::NaGsInject { id, iface } => {
+                let idx = self.grid.index(id);
+                let (steer, flit) = self.nodes[idx].na.take_gs(iface);
+                self.call_router(id, ctx, |r, act| {
+                    r.on_local_gs_inject(now, steer, flit, act)
+                });
+            }
+            NetEvent::NaBeInject { id } => {
+                let idx = self.grid.index(id);
+                let (flit, more) = self.nodes[idx].na.take_be();
+                if more {
+                    ctx.schedule(self.na_cfg.be_inject_gap, NetEvent::NaBeInject { id });
+                }
+                self.call_router(id, ctx, |r, act| r.on_local_be_inject(now, flit, act));
+            }
+            NetEvent::NaGsConsumed { id, iface } => {
+                self.call_router(id, ctx, |r, act| r.on_local_gs_consume(now, iface, act));
+            }
+            NetEvent::SourceTick { idx } => self.on_source_tick(idx, ctx),
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.router.is_quiescent() && n.na.is_quiescent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_builds_paper_mesh() {
+        let net = Network::new(Grid::new(3, 3), RouterConfig::paper(), NaConfig::paper());
+        assert_eq!(net.nodes().len(), 9);
+        assert!(net.quiescent());
+        assert_eq!(net.node(RouterId::new(2, 2)).router.id(), RouterId::new(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid router config")]
+    fn invalid_config_rejected() {
+        let mut cfg = RouterConfig::paper();
+        cfg.params.ports = 3;
+        let _ = Network::new(Grid::new(2, 2), cfg, NaConfig::paper());
+    }
+}

@@ -1,0 +1,316 @@
+//! OCP-lite transactions over the BE network.
+//!
+//! MANGO's NAs expose OCP (Open Core Protocol) transactions to the IP
+//! cores (Sec. 3: "providing high level communication services, i.e. OCP
+//! transactions, on the basis of primitive services implemented by the
+//! network"). This module implements a compact request/response layer:
+//! read and write bursts are packetized onto BE packets and a memory-model
+//! slave ([`OcpSlave`]) answers them. The full OCP signal set is out of
+//! the paper's scope; what matters architecturally — transaction
+//! packetization, tags, and request/response pairing over the network —
+//! is captured.
+
+use crate::network::{AppPacket, NaApp};
+use mango_core::{Flit, RouterId};
+use mango_sim::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An OCP-lite transaction or its response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcpMessage {
+    /// Read `burst` words from `addr`.
+    ReadReq {
+        /// Transaction tag (matched in the response).
+        tag: u16,
+        /// Requester, for the response route.
+        requester: RouterId,
+        /// Word-aligned address.
+        addr: u32,
+        /// Words to read.
+        burst: u16,
+    },
+    /// Write `data` starting at `addr`.
+    WriteReq {
+        /// Transaction tag.
+        tag: u16,
+        /// Requester, for the response route.
+        requester: RouterId,
+        /// Word-aligned address.
+        addr: u32,
+        /// Words to write.
+        data: Vec<u32>,
+    },
+    /// Response to a read: the data.
+    ReadResp {
+        /// Transaction tag.
+        tag: u16,
+        /// The data read.
+        data: Vec<u32>,
+    },
+    /// Response to a write: completion.
+    WriteResp {
+        /// Transaction tag.
+        tag: u16,
+    },
+}
+
+/// Decode errors for OCP payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcpError {
+    /// Payload too short for its opcode.
+    Truncated,
+    /// Unknown opcode nibble.
+    BadOpcode(u32),
+}
+
+impl fmt::Display for OcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OcpError::Truncated => f.write_str("truncated OCP payload"),
+            OcpError::BadOpcode(op) => write!(f, "unknown OCP opcode {op}"),
+        }
+    }
+}
+
+impl std::error::Error for OcpError {}
+
+impl OcpMessage {
+    /// Encodes the message as BE payload words.
+    pub fn encode(&self) -> Vec<u32> {
+        fn head(op: u32, tag: u16, len: u16) -> u32 {
+            op << 28 | (tag as u32) << 12 | len as u32
+        }
+        fn router_word(r: RouterId) -> u32 {
+            (r.x as u32) << 8 | r.y as u32
+        }
+        match self {
+            OcpMessage::ReadReq {
+                tag,
+                requester,
+                addr,
+                burst,
+            } => vec![head(1, *tag, *burst), router_word(*requester), *addr],
+            OcpMessage::WriteReq {
+                tag,
+                requester,
+                addr,
+                data,
+            } => {
+                let mut w = vec![
+                    head(2, *tag, data.len() as u16),
+                    router_word(*requester),
+                    *addr,
+                ];
+                w.extend_from_slice(data);
+                w
+            }
+            OcpMessage::ReadResp { tag, data } => {
+                let mut w = vec![head(3, *tag, data.len() as u16)];
+                w.extend_from_slice(data);
+                w
+            }
+            OcpMessage::WriteResp { tag } => vec![head(4, *tag, 0)],
+        }
+    }
+
+    /// Decodes BE payload words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OcpError`] for malformed payloads.
+    pub fn decode(words: &[u32]) -> Result<OcpMessage, OcpError> {
+        let head = *words.first().ok_or(OcpError::Truncated)?;
+        let op = head >> 28;
+        let tag = ((head >> 12) & 0xffff) as u16;
+        let len = (head & 0xfff) as usize;
+        let router = |w: u32| RouterId::new(((w >> 8) & 0xff) as u8, (w & 0xff) as u8);
+        match op {
+            1 => {
+                if words.len() < 3 {
+                    return Err(OcpError::Truncated);
+                }
+                Ok(OcpMessage::ReadReq {
+                    tag,
+                    requester: router(words[1]),
+                    addr: words[2],
+                    burst: len as u16,
+                })
+            }
+            2 => {
+                if words.len() < 3 + len {
+                    return Err(OcpError::Truncated);
+                }
+                Ok(OcpMessage::WriteReq {
+                    tag,
+                    requester: router(words[1]),
+                    addr: words[2],
+                    data: words[3..3 + len].to_vec(),
+                })
+            }
+            3 => {
+                if words.len() < 1 + len {
+                    return Err(OcpError::Truncated);
+                }
+                Ok(OcpMessage::ReadResp {
+                    tag,
+                    data: words[1..1 + len].to_vec(),
+                })
+            }
+            4 => Ok(OcpMessage::WriteResp { tag }),
+            op => Err(OcpError::BadOpcode(op)),
+        }
+    }
+}
+
+/// A memory-model OCP slave attachable to an NA.
+#[derive(Debug, Default)]
+pub struct OcpSlave {
+    memory: HashMap<u32, u32>,
+    /// Flow id to account responses under, if any.
+    pub response_flow: Option<u32>,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl OcpSlave {
+    /// An empty-memory slave.
+    pub fn new() -> Self {
+        OcpSlave::default()
+    }
+
+    /// Reads a word (unwritten addresses read zero).
+    pub fn peek(&self, addr: u32) -> u32 {
+        self.memory.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+impl NaApp for OcpSlave {
+    fn on_packet(&mut self, _now: SimTime, packet: &[Flit]) -> Vec<AppPacket> {
+        let words: Vec<u32> = packet[1..].iter().map(|f| f.data).collect();
+        let Ok(msg) = OcpMessage::decode(&words) else {
+            return Vec::new(); // not an OCP packet; ignore
+        };
+        self.served += 1;
+        match msg {
+            OcpMessage::ReadReq {
+                tag,
+                requester,
+                addr,
+                burst,
+            } => {
+                let data: Vec<u32> = (0..burst as u32).map(|i| self.peek(addr + i)).collect();
+                vec![AppPacket {
+                    dest: requester,
+                    payload: OcpMessage::ReadResp { tag, data }.encode(),
+                    flow: self.response_flow,
+                }]
+            }
+            OcpMessage::WriteReq {
+                tag,
+                requester,
+                addr,
+                data,
+            } => {
+                for (i, w) in data.into_iter().enumerate() {
+                    self.memory.insert(addr + i as u32, w);
+                }
+                vec![AppPacket {
+                    dest: requester,
+                    payload: OcpMessage::WriteResp { tag }.encode(),
+                    flow: self.response_flow,
+                }]
+            }
+            OcpMessage::ReadResp { .. } | OcpMessage::WriteResp { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let msgs = vec![
+            OcpMessage::ReadReq {
+                tag: 7,
+                requester: RouterId::new(2, 3),
+                addr: 0x1000,
+                burst: 4,
+            },
+            OcpMessage::WriteReq {
+                tag: 8,
+                requester: RouterId::new(0, 0),
+                addr: 0x2000,
+                data: vec![1, 2, 3],
+            },
+            OcpMessage::ReadResp {
+                tag: 7,
+                data: vec![9, 8, 7, 6],
+            },
+            OcpMessage::WriteResp { tag: 8 },
+        ];
+        for m in msgs {
+            assert_eq!(OcpMessage::decode(&m.encode()), Ok(m));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(OcpMessage::decode(&[]), Err(OcpError::Truncated));
+        assert_eq!(OcpMessage::decode(&[9 << 28]), Err(OcpError::BadOpcode(9)));
+        // Write claiming 4 data words but carrying none.
+        let bad = vec![2 << 28 | 4, 0, 0];
+        assert_eq!(OcpMessage::decode(&bad), Err(OcpError::Truncated));
+    }
+
+    #[test]
+    fn slave_serves_write_then_read() {
+        let mut slave = OcpSlave::new();
+        let requester = RouterId::new(1, 1);
+        let write = OcpMessage::WriteReq {
+            tag: 1,
+            requester,
+            addr: 0x40,
+            data: vec![0xAA, 0xBB],
+        };
+        let mut packet = vec![Flit::be(0, false)]; // header stand-in
+        packet.extend(write.encode().iter().map(|&w| Flit::be(w, false)));
+        let resp = slave.on_packet(SimTime::ZERO, &packet);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].dest, requester);
+        assert_eq!(
+            OcpMessage::decode(&resp[0].payload),
+            Ok(OcpMessage::WriteResp { tag: 1 })
+        );
+        assert_eq!(slave.peek(0x40), 0xAA);
+        assert_eq!(slave.peek(0x41), 0xBB);
+
+        let read = OcpMessage::ReadReq {
+            tag: 2,
+            requester,
+            addr: 0x40,
+            burst: 2,
+        };
+        let mut packet = vec![Flit::be(0, false)];
+        packet.extend(read.encode().iter().map(|&w| Flit::be(w, false)));
+        let resp = slave.on_packet(SimTime::ZERO, &packet);
+        assert_eq!(
+            OcpMessage::decode(&resp[0].payload),
+            Ok(OcpMessage::ReadResp {
+                tag: 2,
+                data: vec![0xAA, 0xBB]
+            })
+        );
+        assert_eq!(slave.served, 2);
+    }
+
+    #[test]
+    fn slave_ignores_non_ocp_packets() {
+        let mut slave = OcpSlave::new();
+        let packet = vec![Flit::be(0, false), Flit::be(0xFFFF_FFFF, true)];
+        assert!(slave.on_packet(SimTime::ZERO, &packet).is_empty());
+        assert_eq!(slave.served, 0);
+    }
+}

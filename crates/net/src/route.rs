@@ -1,0 +1,193 @@
+//! Dimension-ordered (XY) routing (Sec. 5: "To avoid deadlocks XY-routing
+//! is employed").
+//!
+//! XY routes move fully in X first, then in Y. On a mesh this admits no
+//! cyclic channel dependencies, so BE worm-hole routing cannot deadlock and
+//! GS connection paths never cross themselves.
+
+use crate::topology::Grid;
+use mango_core::{BeHeader, BeRouteError, Direction, RouterId, MAX_BE_HOPS};
+
+/// Errors computing a route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Source and destination are the same router.
+    SameRouter(RouterId),
+    /// An endpoint lies outside the grid.
+    OffGrid(RouterId),
+    /// The route is longer than a BE header can encode.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::SameRouter(r) => write!(f, "source and destination are both {r}"),
+            RouteError::OffGrid(r) => write!(f, "router {r} outside the grid"),
+            RouteError::TooLong(n) => {
+                write!(f, "route of {n} links exceeds the {MAX_BE_HOPS}-hop limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Computes the XY route from `src` to `dst` as a list of link directions.
+///
+/// # Errors
+///
+/// Fails if the endpoints coincide or leave the grid.
+pub fn xy_route(grid: &Grid, src: RouterId, dst: RouterId) -> Result<Vec<Direction>, RouteError> {
+    if !grid.contains(src) {
+        return Err(RouteError::OffGrid(src));
+    }
+    if !grid.contains(dst) {
+        return Err(RouteError::OffGrid(dst));
+    }
+    if src == dst {
+        return Err(RouteError::SameRouter(src));
+    }
+    let mut route = Vec::new();
+    let (mut x, mut y) = (src.x, src.y);
+    while x != dst.x {
+        if x < dst.x {
+            route.push(Direction::East);
+            x += 1;
+        } else {
+            route.push(Direction::West);
+            x -= 1;
+        }
+    }
+    while y != dst.y {
+        if y < dst.y {
+            route.push(Direction::South);
+            y += 1;
+        } else {
+            route.push(Direction::North);
+            y -= 1;
+        }
+    }
+    Ok(route)
+}
+
+/// Builds a BE source-routing header for the XY route from `src` to `dst`.
+///
+/// # Errors
+///
+/// Fails as [`xy_route`] does, or if the route exceeds the header's 15-hop
+/// capacity.
+pub fn xy_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHeader, RouteError> {
+    let route = xy_route(grid, src, dst)?;
+    BeHeader::from_route(&route).map_err(|e| match e {
+        BeRouteError::TooManyHops(n) => RouteError::TooLong(n),
+        BeRouteError::Empty => RouteError::SameRouter(src),
+        BeRouteError::Backtrack(_) => unreachable!("XY routes never backtrack"),
+    })
+}
+
+/// The routers an XY route visits, including both endpoints.
+pub fn xy_path(grid: &Grid, src: RouterId, dst: RouterId) -> Result<Vec<RouterId>, RouteError> {
+    let route = xy_route(grid, src, dst)?;
+    let mut path = vec![src];
+    let mut cur = src;
+    for dir in route {
+        cur = grid
+            .neighbor(cur, dir)
+            .expect("XY route stays inside the grid");
+        path.push(cur);
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::*;
+
+    fn grid() -> Grid {
+        Grid::new(4, 4)
+    }
+
+    #[test]
+    fn straight_routes() {
+        let g = grid();
+        assert_eq!(
+            xy_route(&g, RouterId::new(0, 0), RouterId::new(3, 0)).unwrap(),
+            vec![East, East, East]
+        );
+        assert_eq!(
+            xy_route(&g, RouterId::new(0, 3), RouterId::new(0, 0)).unwrap(),
+            vec![North, North, North]
+        );
+    }
+
+    #[test]
+    fn l_shaped_route_is_x_then_y() {
+        let g = grid();
+        assert_eq!(
+            xy_route(&g, RouterId::new(0, 0), RouterId::new(2, 2)).unwrap(),
+            vec![East, East, South, South]
+        );
+        assert_eq!(
+            xy_route(&g, RouterId::new(3, 3), RouterId::new(1, 1)).unwrap(),
+            vec![West, West, North, North]
+        );
+    }
+
+    #[test]
+    fn path_lists_every_visited_router() {
+        let g = grid();
+        let path = xy_path(&g, RouterId::new(0, 0), RouterId::new(2, 1)).unwrap();
+        assert_eq!(
+            path,
+            vec![
+                RouterId::new(0, 0),
+                RouterId::new(1, 0),
+                RouterId::new(2, 0),
+                RouterId::new(2, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let g = Grid::new(8, 8);
+        for (sx, sy, dx, dy) in [(0, 0, 7, 7), (3, 2, 3, 6), (5, 5, 0, 0)] {
+            let src = RouterId::new(sx, sy);
+            let dst = RouterId::new(dx, dy);
+            let route = xy_route(&g, src, dst).unwrap();
+            let manhattan = (sx as i16 - dx as i16).unsigned_abs() as usize
+                + (sy as i16 - dy as i16).unsigned_abs() as usize;
+            assert_eq!(route.len(), manhattan);
+        }
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        let g = grid();
+        let r = RouterId::new(1, 1);
+        assert_eq!(xy_route(&g, r, r), Err(RouteError::SameRouter(r)));
+        let out = RouterId::new(9, 0);
+        assert_eq!(xy_route(&g, out, r), Err(RouteError::OffGrid(out)));
+        assert_eq!(xy_route(&g, r, out), Err(RouteError::OffGrid(out)));
+    }
+
+    #[test]
+    fn header_matches_route() {
+        let g = grid();
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(2, 0);
+        let header = xy_header(&g, src, dst).unwrap();
+        // First code must be East (injected locally).
+        let (dest, _) = header.route(None);
+        assert_eq!(dest, mango_core::BeDest::Net(East));
+    }
+
+    #[test]
+    fn too_long_route_rejected() {
+        let g = Grid::new(17, 2);
+        let err = xy_header(&g, RouterId::new(0, 0), RouterId::new(16, 0));
+        assert_eq!(err, Err(RouteError::TooLong(16)));
+    }
+}

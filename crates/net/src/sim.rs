@@ -1,0 +1,503 @@
+//! The simulation harness: a [`Kernel`] wrapping a [`Network`] with
+//! convenience operations for experiments — opening connections, attaching
+//! traffic, running warmup/measurement phases and reading statistics.
+
+use crate::conn::{ConnError, ConnState};
+use crate::na::NaConfig;
+use crate::network::{NetEvent, Network};
+use crate::stats::FlowStats;
+use crate::topology::Grid;
+use crate::traffic::{Pattern, Source, SourceKind};
+use mango_core::{ConnectionId, RouterConfig, RouterId};
+use mango_sim::{Kernel, RunOutcome, SimDuration, SimRng, SimTime};
+
+/// Emission bounds for a traffic source.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmitWindow {
+    /// Delay before the first emission (from the current time).
+    pub start_after: Option<SimDuration>,
+    /// Stop emitting at this absolute time.
+    pub stop_at: Option<SimTime>,
+    /// Emit at most this many flits/packets.
+    pub limit: Option<u64>,
+}
+
+/// A ready-to-run NoC simulation.
+#[derive(Debug)]
+pub struct NocSim {
+    kernel: Kernel<Network>,
+    rng: SimRng,
+    next_stream: u64,
+}
+
+impl NocSim {
+    /// Builds a simulation over `network` with the given random seed.
+    pub fn new(network: Network, seed: u64) -> Self {
+        NocSim {
+            kernel: Kernel::new(network),
+            rng: SimRng::new(seed),
+            next_stream: 0,
+        }
+    }
+
+    /// A `width × height` mesh of the paper's routers with default NAs.
+    pub fn paper_mesh(width: u8, height: u8, seed: u64) -> Self {
+        NocSim::new(
+            Network::new(Grid::new(width, height), RouterConfig::paper(), NaConfig::paper()),
+            seed,
+        )
+    }
+
+    /// A mesh with a custom router configuration.
+    pub fn mesh_with(width: u8, height: u8, cfg: RouterConfig, seed: u64) -> Self {
+        NocSim::new(
+            Network::new(Grid::new(width, height), cfg, NaConfig::paper()),
+            seed,
+        )
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &Network {
+        self.kernel.model()
+    }
+
+    /// Mutable network access.
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.kernel.model_mut()
+    }
+
+    /// Events processed so far (simulator effort metric).
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.events_processed()
+    }
+
+    /// Runs for `span` of simulated time.
+    pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        self.kernel.run_for(span)
+    }
+
+    /// Runs until the event queue drains; reports stall (deadlock) if
+    /// flits remain stuck.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.kernel.run_to_quiescence()
+    }
+
+    /// Runs with an event budget (livelock backstop for tests).
+    pub fn run_with_budget(&mut self, horizon: SimTime, budget: u64) -> RunOutcome {
+        self.kernel.run_with_budget(horizon, budget)
+    }
+
+    /// Schedules a raw network event — a hook for tests that drive the
+    /// model below the public traffic API (e.g. hand-built BE routes).
+    pub fn schedule_raw(&mut self, delay: SimDuration, event: NetEvent) {
+        self.kernel.schedule(delay, event);
+    }
+
+    // ------------------------------------------------------------------
+    // Connections
+    // ------------------------------------------------------------------
+
+    /// Opens a GS connection from `src` to `dst`: reserves the VC
+    /// sequence, programs the source router directly, and launches config
+    /// packets to the remaining routers. The connection is usable once
+    /// [`NocSim::connection_state`] reports [`ConnState::Open`] (drive the
+    /// simulation with [`NocSim::wait_connections_settled`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/routing failures; nothing is reserved then.
+    pub fn open_connection(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+    ) -> Result<ConnectionId, ConnError> {
+        let now = self.kernel.now();
+        let net = self.kernel.model_mut();
+        let grid = net.grid().clone();
+        let plan = net.connections_mut().open(&grid, src, dst)?;
+        let node = net.node_mut(src);
+        node.router.program(&plan.local_writes);
+        node.na.bind_tx(plan.tx_iface, plan.tx_steer);
+        let delay = net.inject_delay();
+        let mut need_kick = false;
+        for packet in plan.config_packets {
+            let node = net.node_mut(src);
+            if node.na.enqueue_be(packet) {
+                need_kick = true;
+            }
+        }
+        let _ = now;
+        if need_kick {
+            self.kernel.schedule(delay, NetEvent::NaBeInject { id: src });
+        }
+        Ok(plan.id)
+    }
+
+    /// Closes an open connection (traffic must be drained).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is not open.
+    pub fn close_connection(&mut self, id: ConnectionId) -> Result<(), ConnError> {
+        let net = self.kernel.model_mut();
+        let grid = net.grid().clone();
+        let plan = net.connections_mut().close(&grid, id)?;
+        let record = net
+            .connections()
+            .get(id)
+            .expect("connection exists")
+            .clone();
+        let src = record.src;
+        let node = net.node_mut(src);
+        node.router.program(&plan.local_writes);
+        node.na.unbind_tx(plan.tx_iface);
+        let delay = net.inject_delay();
+        let mut need_kick = false;
+        for packet in plan.config_packets {
+            let node = net.node_mut(src);
+            if node.na.enqueue_be(packet) {
+                need_kick = true;
+            }
+        }
+        if need_kick {
+            self.kernel.schedule(delay, NetEvent::NaBeInject { id: src });
+        }
+        Ok(())
+    }
+
+    /// The lifecycle state of a connection.
+    pub fn connection_state(&self, id: ConnectionId) -> Option<ConnState> {
+        self.network().connections().state(id)
+    }
+
+    /// Drives the simulation until every connection is `Open`/`Closed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if programming traffic stalls (returns the offending
+    /// outcome).
+    pub fn wait_connections_settled(&mut self) -> Result<(), String> {
+        for _ in 0..10_000 {
+            if self.network().connections().all_settled() {
+                return Ok(());
+            }
+            let outcome = self.kernel.run_for(SimDuration::from_us(1));
+            if matches!(outcome, RunOutcome::Stalled) {
+                return Err("programming traffic stalled (deadlock?)".into());
+            }
+            if matches!(outcome, RunOutcome::Quiescent)
+                && !self.network().connections().all_settled()
+            {
+                return Err("simulation drained but connections never settled".into());
+            }
+        }
+        Err("connections did not settle within 10 ms".into())
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic
+    // ------------------------------------------------------------------
+
+    fn fork_rng(&mut self) -> SimRng {
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        self.rng.fork(stream)
+    }
+
+    /// Attaches a GS flit source to an **open** connection; returns its
+    /// flow id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is not open.
+    pub fn add_gs_source(
+        &mut self,
+        conn: ConnectionId,
+        pattern: Pattern,
+        name: impl Into<String>,
+        window: EmitWindow,
+    ) -> u32 {
+        let state = self.connection_state(conn);
+        assert_eq!(
+            state,
+            Some(ConnState::Open),
+            "GS source needs an open connection, {conn} is {state:?}"
+        );
+        let record = self
+            .network()
+            .connections()
+            .get(conn)
+            .expect("state checked")
+            .clone();
+        let rng = self.fork_rng();
+        let now = self.kernel.now();
+        let net = self.kernel.model_mut();
+        let flow = net.stats_mut().register_flow(name);
+        let start = now + window.start_after.unwrap_or(SimDuration::ZERO);
+        let idx = net.add_source(Source {
+            kind: SourceKind::Gs {
+                conn,
+                router: record.src,
+                iface: record.tx_iface,
+            },
+            pattern,
+            flow,
+            start,
+            stop: window.stop_at,
+            limit: window.limit,
+            emitted: 0,
+            rng,
+            done: false,
+        });
+        self.kernel
+            .schedule(start.since(now), NetEvent::SourceTick { idx });
+        flow
+    }
+
+    /// Attaches a BE packet source; returns its flow id. Destinations are
+    /// picked uniformly from `dests` (repeat an entry to weight it).
+    pub fn add_be_source(
+        &mut self,
+        src: RouterId,
+        dests: Vec<RouterId>,
+        payload_words: usize,
+        pattern: Pattern,
+        name: impl Into<String>,
+        window: EmitWindow,
+    ) -> u32 {
+        assert!(!dests.is_empty(), "BE source needs destinations");
+        let rng = self.fork_rng();
+        let now = self.kernel.now();
+        let net = self.kernel.model_mut();
+        let flow = net.stats_mut().register_flow(name);
+        let start = now + window.start_after.unwrap_or(SimDuration::ZERO);
+        let idx = net.add_source(Source {
+            kind: SourceKind::Be {
+                router: src,
+                dests,
+                payload_words,
+            },
+            pattern,
+            flow,
+            start,
+            stop: window.stop_at,
+            limit: window.limit,
+            emitted: 0,
+            rng,
+            done: false,
+        });
+        self.kernel
+            .schedule(start.since(now), NetEvent::SourceTick { idx });
+        flow
+    }
+
+    /// Sends one BE packet immediately (outside any source).
+    pub fn send_be(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        payload: &[u32],
+        flow: Option<u32>,
+    ) {
+        let now = self.kernel.now();
+        let net = self.kernel.model_mut();
+        if net.enqueue_be_packet(src, dst, payload, flow, now) {
+            let delay = net.inject_delay();
+            self.kernel.schedule(delay, NetEvent::NaBeInject { id: src });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    /// Starts the measurement window now.
+    pub fn begin_measurement(&mut self) {
+        let now = self.kernel.now();
+        self.kernel.model_mut().stats_mut().begin_measurement(now);
+    }
+
+    /// Elapsed measurement window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if measurement was never begun.
+    pub fn measured_window(&self) -> SimDuration {
+        let start = self
+            .network()
+            .stats()
+            .measure_start()
+            .expect("begin_measurement not called");
+        self.now().since(start)
+    }
+
+    /// Statistics for a flow.
+    pub fn flow(&self, flow: u32) -> &FlowStats {
+        self.network().stats().flow(flow)
+    }
+
+    /// Delivered throughput of a flow over the measurement window, in
+    /// Mflit/s (GS) or Mpackets/s (BE).
+    pub fn flow_throughput_m(&self, flow: u32) -> f64 {
+        self.flow(flow).throughput_mfps(self.measured_window())
+    }
+
+    /// The link capacity implied by the router timing, in Mflit/s —
+    /// the paper's "port speed".
+    pub fn link_capacity_m(&self) -> f64 {
+        self.network().router_cfg().timing.link_cycle.as_rate_mhz()
+    }
+
+    /// Utilization of the directed link leaving `router` toward `dir`
+    /// since simulation start: grants × link-cycle ÷ elapsed time.
+    pub fn link_utilization(&self, router: RouterId, dir: mango_core::Direction) -> f64 {
+        let elapsed = self.now().as_ps();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let stats = self.network().node(router).router.stats();
+        let grants = stats.grants(dir.index());
+        let cycle = self.network().router_cfg().timing.link_cycle.as_ps();
+        (grants as f64 * cycle as f64) / elapsed as f64
+    }
+
+    /// A per-flow summary table (name, injected, delivered, throughput,
+    /// latency) over the measurement window — ready to print.
+    pub fn flow_summary(&self) -> mango_hw::Table {
+        let window = self.measured_window();
+        let mut t = mango_hw::Table::new(vec![
+            "flow",
+            "injected",
+            "delivered",
+            "M/s",
+            "mean lat",
+            "p99 lat",
+        ]);
+        for (_, f) in self.network().stats().flows() {
+            t.add_row(vec![
+                f.name.clone(),
+                f.injected.to_string(),
+                f.delivered.to_string(),
+                format!("{:.1}", f.throughput_mfps(window)),
+                f.latency
+                    .mean()
+                    .map_or("-".into(), |d| d.to_string()),
+                f.latency
+                    .quantile(0.99)
+                    .map_or("-".into(), |d| d.to_string()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_construction_and_time_flow() {
+        let mut sim = NocSim::paper_mesh(2, 2, 42);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.run_for(SimDuration::from_ns(100));
+        assert_eq!(sim.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn open_connection_settles_via_programming_traffic() {
+        let mut sim = NocSim::paper_mesh(3, 3, 1);
+        let id = sim
+            .open_connection(RouterId::new(0, 0), RouterId::new(2, 1))
+            .unwrap();
+        assert_eq!(sim.connection_state(id), Some(ConnState::Opening));
+        sim.wait_connections_settled().unwrap();
+        assert_eq!(sim.connection_state(id), Some(ConnState::Open));
+        // Each of the three remote routers consumed one config packet.
+        let hops = sim.network().connections().get(id).unwrap().hops();
+        assert_eq!(hops, 3);
+        let programmed: u64 = sim
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| n.router.stats().prog_packets)
+            .sum();
+        assert_eq!(programmed, 3);
+        let errors: u64 = sim
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| n.router.stats().prog_errors)
+            .sum();
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn gs_traffic_flows_end_to_end() {
+        let mut sim = NocSim::paper_mesh(3, 3, 7);
+        let id = sim
+            .open_connection(RouterId::new(0, 0), RouterId::new(2, 2))
+            .unwrap();
+        sim.wait_connections_settled().unwrap();
+        sim.begin_measurement();
+        let flow = sim.add_gs_source(
+            id,
+            Pattern::cbr(SimDuration::from_ns(10)),
+            "test-gs",
+            EmitWindow {
+                limit: Some(100),
+                ..Default::default()
+            },
+        );
+        let outcome = sim.run_to_quiescence();
+        assert_eq!(outcome, RunOutcome::Quiescent, "traffic must drain");
+        let stats = sim.flow(flow);
+        assert_eq!(stats.injected, 100);
+        assert_eq!(stats.delivered, 100, "GS delivery is lossless");
+        assert_eq!(stats.sequence_errors, 0, "GS delivery is in-order");
+        assert!(stats.latency.count() > 0);
+    }
+
+    #[test]
+    fn be_traffic_flows_end_to_end() {
+        let mut sim = NocSim::paper_mesh(3, 3, 9);
+        let flow = sim.add_be_source(
+            RouterId::new(0, 0),
+            vec![RouterId::new(2, 2)],
+            4,
+            Pattern::cbr(SimDuration::from_ns(50)),
+            "test-be",
+            EmitWindow {
+                limit: Some(50),
+                ..Default::default()
+            },
+        );
+        sim.begin_measurement();
+        let outcome = sim.run_to_quiescence();
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        let stats = sim.flow(flow);
+        assert_eq!(stats.injected, 50);
+        assert_eq!(stats.delivered, 50, "BE packets are lossless");
+        assert_eq!(stats.sequence_errors, 0);
+    }
+
+    #[test]
+    fn close_connection_releases_resources() {
+        let mut sim = NocSim::paper_mesh(2, 2, 3);
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(1, 1);
+        let id = sim.open_connection(src, dst).unwrap();
+        sim.wait_connections_settled().unwrap();
+        sim.close_connection(id).unwrap();
+        sim.wait_connections_settled().unwrap();
+        assert_eq!(sim.connection_state(id), Some(ConnState::Closed));
+        // The VCs can be reused.
+        let id2 = sim.open_connection(src, dst).unwrap();
+        sim.wait_connections_settled().unwrap();
+        assert_eq!(sim.connection_state(id2), Some(ConnState::Open));
+    }
+}

@@ -1,0 +1,444 @@
+//! Measurement infrastructure: latency recorders, histograms and per-flow
+//! statistics.
+
+use mango_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An exponential-bucket latency histogram.
+///
+/// Buckets span `[min × factor^i, min × factor^(i+1))`; values below the
+/// first bucket land in it, values beyond the last in the last.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min_ps: f64,
+    factor: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram from `min` with `buckets` buckets growing by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1`, `buckets == 0`, or `min` is zero.
+    pub fn new(min: SimDuration, factor: f64, buckets: usize) -> Self {
+        assert!(factor > 1.0, "histogram factor must exceed 1");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(!min.is_zero(), "histogram minimum must be positive");
+        Histogram {
+            min_ps: min.as_ps() as f64,
+            factor,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// A default latency histogram: 100 ps to ~100 µs in 60 buckets.
+    pub fn latency_default() -> Self {
+        Histogram::new(SimDuration::from_ps(100), 1.26, 60)
+    }
+
+    fn bucket_of(&self, value: SimDuration) -> usize {
+        let v = value.as_ps() as f64;
+        if v < self.min_ps {
+            return 0;
+        }
+        let idx = (v / self.min_ps).log(self.factor).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: SimDuration) {
+        let bucket = self.bucket_of(value);
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// (`0 < q <= 1`), or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = self.min_ps * self.factor.powi(i as i32 + 1);
+                return Some(SimDuration::from_ps(upper as u64));
+            }
+        }
+        unreachable!("quantile target exceeds total")
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
+/// Streaming latency statistics: count, mean, min, max plus a histogram
+/// for quantiles.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    count: u64,
+    sum_ps: u128,
+    min: SimDuration,
+    max: SimDuration,
+    histogram: Histogram,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder with the default histogram.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            count: 0,
+            sum_ps: 0,
+            min: SimDuration::MAX,
+            max: SimDuration::ZERO,
+            histogram: Histogram::latency_default(),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.count += 1;
+        self.sum_ps += latency.as_ps() as u128;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        self.histogram.record(latency);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or `None` if empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(SimDuration::from_ps((self.sum_ps / self.count as u128) as u64))
+        }
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Histogram quantile (bucket upper bound), or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        self.histogram.quantile(q)
+    }
+
+    /// Max − min: the latency jitter observed.
+    pub fn jitter(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| self.max - self.min)
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = LatencyRecorder::new();
+    }
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for LatencyRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.mean(), self.max()) {
+            (Some(min), Some(mean), Some(max)) => write!(
+                f,
+                "n={} min={min} mean={mean} p99={} max={max}",
+                self.count,
+                self.quantile(0.99).expect("non-empty")
+            ),
+            _ => f.write_str("n=0"),
+        }
+    }
+}
+
+/// Statistics for one traffic flow (a GS connection or a BE stream).
+#[derive(Debug, Clone)]
+pub struct FlowStats {
+    /// Human-readable flow name.
+    pub name: String,
+    /// Flits injected at the source (including warmup).
+    pub injected: u64,
+    /// Flits delivered at the destination (including warmup).
+    pub delivered: u64,
+    /// Out-of-order or gap events detected via sequence numbers.
+    pub sequence_errors: u64,
+    next_seq: u64,
+    /// End-to-end flit latency during the measurement window.
+    pub latency: LatencyRecorder,
+    /// Deliveries during the measurement window.
+    pub delivered_measured: u64,
+}
+
+impl FlowStats {
+    fn new(name: String) -> Self {
+        FlowStats {
+            name,
+            injected: 0,
+            delivered: 0,
+            sequence_errors: 0,
+            next_seq: 0,
+            latency: LatencyRecorder::new(),
+            delivered_measured: 0,
+        }
+    }
+
+    /// Delivered throughput in flits/s over the measurement window.
+    pub fn throughput_fps(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.delivered_measured as f64 / window.as_secs_f64()
+    }
+
+    /// Delivered throughput in Mflits/s — comparable to link MHz.
+    pub fn throughput_mfps(&self, window: SimDuration) -> f64 {
+        self.throughput_fps(window) / 1e6
+    }
+}
+
+/// Central statistics registry for a simulated network.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    flows: HashMap<u32, FlowStats>,
+    next_flow: u32,
+    measure_start: Option<SimTime>,
+}
+
+impl NetStats {
+    /// An empty registry.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Registers a flow and returns its id.
+    pub fn register_flow(&mut self, name: impl Into<String>) -> u32 {
+        let id = self.next_flow;
+        self.next_flow += 1;
+        self.flows.insert(id, FlowStats::new(name.into()));
+        id
+    }
+
+    /// Starts the measurement window: latency samples and windowed
+    /// throughput only accumulate after this.
+    pub fn begin_measurement(&mut self, now: SimTime) {
+        self.measure_start = Some(now);
+        for flow in self.flows.values_mut() {
+            flow.latency.reset();
+            flow.delivered_measured = 0;
+        }
+    }
+
+    /// The measurement window start, if begun.
+    pub fn measure_start(&self) -> Option<SimTime> {
+        self.measure_start
+    }
+
+    /// Records an injection for `flow`. Returns the per-flow sequence
+    /// number to stamp on the flit.
+    pub fn on_inject(&mut self, flow: u32) -> u64 {
+        let f = self.flow_mut(flow);
+        let seq = f.injected;
+        f.injected += 1;
+        seq
+    }
+
+    /// Records a delivery for `flow`.
+    ///
+    /// Windowed throughput counts every delivery that *occurs* during the
+    /// measurement window; latency samples only flits *injected* during
+    /// it (so warmup queueing cannot contaminate latency, and saturated
+    /// flows whose queueing delay exceeds the window still report their
+    /// true service rate).
+    pub fn on_deliver(&mut self, flow: u32, seq: u64, injected_at: SimTime, now: SimTime) {
+        let measuring = self.measure_start.is_some();
+        let fresh = self.measure_start.is_some_and(|s| injected_at >= s);
+        let f = self.flow_mut(flow);
+        f.delivered += 1;
+        if seq != f.next_seq {
+            f.sequence_errors += 1;
+        }
+        f.next_seq = seq + 1;
+        if fresh {
+            f.latency.record(now.since(injected_at));
+        }
+        if measuring {
+            f.delivered_measured += 1;
+        }
+    }
+
+    fn flow_mut(&mut self, flow: u32) -> &mut FlowStats {
+        self.flows
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("unregistered flow id {flow}"))
+    }
+
+    /// The statistics for `flow`.
+    pub fn flow(&self, flow: u32) -> &FlowStats {
+        self.flows
+            .get(&flow)
+            .unwrap_or_else(|| panic!("unregistered flow id {flow}"))
+    }
+
+    /// All flows in id order.
+    pub fn flows(&self) -> Vec<(u32, &FlowStats)> {
+        let mut v: Vec<_> = self.flows.iter().map(|(k, f)| (*k, f)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Sum of `injected − delivered` over all flows: flits still inside
+    /// the network (or lost, which the tests rule out).
+    pub fn in_flight(&self) -> u64 {
+        self.flows
+            .values()
+            .map(|f| f.injected - f.delivered)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ps: u64) -> SimDuration {
+        SimDuration::from_ps(ps)
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(d(100), 2.0, 10);
+        for _ in 0..90 {
+            h.record(d(150)); // bucket 0 [100, 200)
+        }
+        for _ in 0..10 {
+            h.record(d(10_000));
+        }
+        assert_eq!(h.total(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert_eq!(p50, d(200), "median in first bucket, upper bound 200");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= d(10_000), "tail in a high bucket: {p99}");
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(d(100), 2.0, 4);
+        h.record(d(1)); // below min → bucket 0
+        h.record(d(1_000_000)); // above max → last bucket
+        assert_eq!(h.total(), 2);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_none() {
+        let h = Histogram::new(d(100), 2.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn recorder_tracks_min_mean_max_jitter() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.mean(), None);
+        for ps in [100, 200, 300] {
+            r.record(d(ps));
+        }
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.min(), Some(d(100)));
+        assert_eq!(r.max(), Some(d(300)));
+        assert_eq!(r.mean(), Some(d(200)));
+        assert_eq!(r.jitter(), Some(d(200)));
+        r.reset();
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn flow_lifecycle_counts_and_latency() {
+        let mut s = NetStats::new();
+        let f = s.register_flow("test");
+        // Warmup injection (before measurement).
+        let seq0 = s.on_inject(f);
+        assert_eq!(seq0, 0);
+        s.on_deliver(f, 0, SimTime::ZERO, SimTime::from_ns(1));
+        assert_eq!(s.flow(f).delivered, 1);
+        assert_eq!(s.flow(f).latency.count(), 0, "not measuring yet");
+
+        s.begin_measurement(SimTime::from_ns(10));
+        let seq1 = s.on_inject(f);
+        s.on_deliver(f, seq1, SimTime::from_ns(11), SimTime::from_ns(13));
+        assert_eq!(s.flow(f).latency.count(), 1);
+        assert_eq!(s.flow(f).latency.mean(), Some(SimDuration::from_ns(2)));
+        assert_eq!(s.flow(f).delivered_measured, 1);
+        assert_eq!(s.flow(f).sequence_errors, 0);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn sequence_errors_detected() {
+        let mut s = NetStats::new();
+        let f = s.register_flow("seq");
+        s.on_inject(f);
+        s.on_inject(f);
+        s.on_inject(f);
+        s.on_deliver(f, 0, SimTime::ZERO, SimTime::ZERO);
+        s.on_deliver(f, 2, SimTime::ZERO, SimTime::ZERO); // gap: seq 1 missing
+        assert_eq!(s.flow(f).sequence_errors, 1);
+        s.on_deliver(f, 3, SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(s.flow(f).sequence_errors, 1);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn throughput_uses_measurement_window() {
+        let mut s = NetStats::new();
+        let f = s.register_flow("tput");
+        s.begin_measurement(SimTime::ZERO);
+        for i in 0..1000u64 {
+            let seq = s.on_inject(f);
+            s.on_deliver(
+                f,
+                seq,
+                SimTime::from_ns(i),
+                SimTime::from_ns(i + 1),
+            );
+        }
+        // 1000 flits in 1 µs = 1 Gflit/s = 1000 Mfps.
+        let window = SimDuration::from_us(1);
+        let mfps = s.flow(f).throughput_mfps(window);
+        assert!((mfps - 1000.0).abs() < 1.0, "got {mfps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered flow")]
+    fn unknown_flow_panics() {
+        let s = NetStats::new();
+        let _ = s.flow(99);
+    }
+}

@@ -1,0 +1,188 @@
+//! Mesh topologies: routers in a grid connected by point-to-point links
+//! (Fig. 1: "The routers are connected by links in a grid-type structure,
+//! either homogeneous or heterogeneous").
+//!
+//! Long links can be pipelined (Sec. 3: "To keep speed up, long links can
+//! be implemented as pipelines"); each pipeline stage adds forward latency
+//! without reducing throughput. A heterogeneous grid assigns extra stages
+//! per link.
+
+use mango_core::{Direction, RouterId};
+use mango_sim::SimDuration;
+use std::collections::HashMap;
+
+/// A rectangular mesh of routers.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    width: u8,
+    height: u8,
+    /// Extra forward delay on specific links (heterogeneous pipelining);
+    /// key is `(from, direction)`.
+    link_extra: HashMap<(RouterId, Direction), SimDuration>,
+    /// Extra forward delay applied to every link.
+    default_extra: SimDuration,
+}
+
+impl Grid {
+    /// A homogeneous `width × height` mesh with no extra link delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u8, height: u8) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        Grid {
+            width,
+            height,
+            link_extra: HashMap::new(),
+            default_extra: SimDuration::ZERO,
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// True for a degenerate 0-router grid (never constructed; for
+    /// `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sets the default extra forward delay on all links (homogeneous
+    /// pipelining).
+    pub fn set_default_link_extra(&mut self, extra: SimDuration) {
+        self.default_extra = extra;
+    }
+
+    /// Sets extra forward delay on one directed link (heterogeneous
+    /// pipelining). Both directions of a physical channel are configured
+    /// separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link leaves the grid.
+    pub fn set_link_extra(&mut self, from: RouterId, dir: Direction, extra: SimDuration) {
+        assert!(
+            self.neighbor(from, dir).is_some(),
+            "link {from}->{dir} leaves the grid"
+        );
+        self.link_extra.insert((from, dir), extra);
+    }
+
+    /// The extra forward delay on a directed link.
+    pub fn link_extra(&self, from: RouterId, dir: Direction) -> SimDuration {
+        self.link_extra
+            .get(&(from, dir))
+            .copied()
+            .unwrap_or(self.default_extra)
+    }
+
+    /// True if `id` lies within the grid.
+    pub fn contains(&self, id: RouterId) -> bool {
+        id.x < self.width && id.y < self.height
+    }
+
+    /// The neighbor of `id` in direction `dir`, if it exists.
+    pub fn neighbor(&self, id: RouterId, dir: Direction) -> Option<RouterId> {
+        debug_assert!(self.contains(id), "router {id} outside grid");
+        id.step(dir).filter(|n| self.contains(*n))
+    }
+
+    /// Dense index of a router (row-major).
+    pub fn index(&self, id: RouterId) -> usize {
+        assert!(self.contains(id), "router {id} outside grid");
+        id.y as usize * self.width as usize + id.x as usize
+    }
+
+    /// Router id for a dense index.
+    pub fn id_at(&self, index: usize) -> RouterId {
+        assert!(index < self.len(), "index {index} out of range");
+        RouterId::new(
+            (index % self.width as usize) as u8,
+            (index / self.width as usize) as u8,
+        )
+    }
+
+    /// Iterates over all router ids, row-major.
+    pub fn ids(&self) -> impl Iterator<Item = RouterId> + '_ {
+        (0..self.len()).map(|i| self.id_at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrips() {
+        let g = Grid::new(4, 3);
+        assert_eq!(g.len(), 12);
+        for i in 0..g.len() {
+            assert_eq!(g.index(g.id_at(i)), i);
+        }
+        assert_eq!(g.ids().count(), 12);
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let g = Grid::new(3, 3);
+        let corner = RouterId::new(0, 0);
+        assert_eq!(g.neighbor(corner, Direction::North), None);
+        assert_eq!(g.neighbor(corner, Direction::West), None);
+        assert_eq!(
+            g.neighbor(corner, Direction::East),
+            Some(RouterId::new(1, 0))
+        );
+        assert_eq!(
+            g.neighbor(corner, Direction::South),
+            Some(RouterId::new(0, 1))
+        );
+        let far = RouterId::new(2, 2);
+        assert_eq!(g.neighbor(far, Direction::East), None);
+        assert_eq!(g.neighbor(far, Direction::South), None);
+    }
+
+    #[test]
+    fn link_extra_defaults_and_overrides() {
+        let mut g = Grid::new(2, 2);
+        let a = RouterId::new(0, 0);
+        assert_eq!(g.link_extra(a, Direction::East), SimDuration::ZERO);
+        g.set_default_link_extra(SimDuration::from_ps(500));
+        assert_eq!(
+            g.link_extra(a, Direction::East),
+            SimDuration::from_ps(500)
+        );
+        g.set_link_extra(a, Direction::East, SimDuration::from_ns(2));
+        assert_eq!(g.link_extra(a, Direction::East), SimDuration::from_ns(2));
+        // The reverse direction keeps the default.
+        assert_eq!(
+            g.link_extra(RouterId::new(1, 0), Direction::West),
+            SimDuration::from_ps(500)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the grid")]
+    fn off_grid_link_extra_rejected() {
+        let mut g = Grid::new(2, 2);
+        g.set_link_extra(RouterId::new(0, 0), Direction::North, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Grid::new(0, 3);
+    }
+}

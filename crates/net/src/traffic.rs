@@ -1,0 +1,258 @@
+//! Traffic generators: constant-bit-rate and Poisson GS streams, uniform
+//! random / hotspot / point-to-point BE packet traffic, and bursty on-off
+//! sources.
+
+use mango_core::{ConnectionId, RouterId};
+use mango_sim::{SimDuration, SimRng, SimTime};
+
+/// Inter-emission timing pattern.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// Constant rate: one emission every `period`.
+    Cbr {
+        /// Emission period.
+        period: SimDuration,
+    },
+    /// Poisson process with exponential gaps of the given mean.
+    Poisson {
+        /// Mean inter-emission gap.
+        mean: SimDuration,
+    },
+    /// Bursts: `burst_len` emissions spaced `period`, then an `off` gap.
+    OnOff {
+        /// Emissions per burst.
+        burst_len: u64,
+        /// Spacing within a burst.
+        period: SimDuration,
+        /// Gap between bursts.
+        off: SimDuration,
+        /// Position within the current burst (start at 0).
+        pos: u64,
+    },
+}
+
+impl Pattern {
+    /// A constant-bit-rate pattern.
+    pub fn cbr(period: SimDuration) -> Self {
+        Pattern::Cbr { period }
+    }
+
+    /// A Poisson pattern with the given mean gap.
+    pub fn poisson(mean: SimDuration) -> Self {
+        Pattern::Poisson { mean }
+    }
+
+    /// An on-off bursty pattern.
+    pub fn on_off(burst_len: u64, period: SimDuration, off: SimDuration) -> Self {
+        assert!(burst_len > 0, "burst length must be positive");
+        Pattern::OnOff {
+            burst_len,
+            period,
+            off,
+            pos: 0,
+        }
+    }
+
+    /// The gap to wait after the current emission.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            Pattern::Cbr { period } => *period,
+            Pattern::Poisson { mean } => {
+                SimDuration::from_ps(rng.gen_exp(mean.as_ps() as f64).round().max(1.0) as u64)
+            }
+            Pattern::OnOff {
+                burst_len,
+                period,
+                off,
+                pos,
+            } => {
+                *pos += 1;
+                if *pos % *burst_len == 0 {
+                    *off
+                } else {
+                    *period
+                }
+            }
+        }
+    }
+
+    /// The long-run mean gap (for computing offered load).
+    pub fn mean_gap(&self) -> SimDuration {
+        match self {
+            Pattern::Cbr { period } => *period,
+            Pattern::Poisson { mean } => *mean,
+            Pattern::OnOff {
+                burst_len,
+                period,
+                off,
+                ..
+            } => (*period * (*burst_len - 1) + *off) / *burst_len,
+        }
+    }
+}
+
+/// What a source emits.
+#[derive(Debug, Clone)]
+pub enum SourceKind {
+    /// Header-less GS flits on an open connection.
+    Gs {
+        /// The connection to stream on.
+        conn: ConnectionId,
+        /// Source router (resolved from the connection at add time).
+        router: RouterId,
+        /// NA TX interface (resolved from the connection).
+        iface: u8,
+    },
+    /// BE packets to one of the given destinations (uniform pick; repeat a
+    /// destination for hotspot weighting).
+    Be {
+        /// Source router.
+        router: RouterId,
+        /// Destination pool.
+        dests: Vec<RouterId>,
+        /// Payload words per packet (flits = payload + header).
+        payload_words: usize,
+    },
+}
+
+/// A traffic source driving one flow.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// What to emit.
+    pub kind: SourceKind,
+    /// When to emit.
+    pub pattern: Pattern,
+    /// Flow id in the statistics registry.
+    pub flow: u32,
+    /// First emission time.
+    pub start: SimTime,
+    /// No emissions at or after this time.
+    pub stop: Option<SimTime>,
+    /// Maximum emissions.
+    pub limit: Option<u64>,
+    /// Emissions so far.
+    pub emitted: u64,
+    /// Private random stream.
+    pub rng: SimRng,
+    /// The source has finished.
+    pub done: bool,
+}
+
+impl Source {
+    /// True if the source may emit at `now`.
+    pub fn may_emit(&self, now: SimTime) -> bool {
+        !self.done
+            && now >= self.start
+            && self.stop.is_none_or(|s| now < s)
+            && self.limit.is_none_or(|l| self.emitted < l)
+    }
+
+    /// Computes the next tick time after an emission at `now`, marking the
+    /// source done if it hit a bound.
+    pub fn schedule_next(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.limit.is_some_and(|l| self.emitted >= l) {
+            self.done = true;
+            return None;
+        }
+        let mut pattern = self.pattern.clone();
+        let gap = pattern.next_gap(&mut self.rng);
+        self.pattern = pattern;
+        let next = now + gap;
+        if self.stop.is_some_and(|s| next >= s) {
+            self.done = true;
+            return None;
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    #[test]
+    fn cbr_gap_is_constant() {
+        let mut p = Pattern::cbr(SimDuration::from_ns(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(p.next_gap(&mut r), SimDuration::from_ns(5));
+        }
+        assert_eq!(p.mean_gap(), SimDuration::from_ns(5));
+    }
+
+    #[test]
+    fn poisson_gap_mean_converges() {
+        let mut p = Pattern::poisson(SimDuration::from_ns(10));
+        let mut r = rng();
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut r).as_ps()).sum();
+        let mean_ns = total as f64 / n as f64 / 1000.0;
+        assert!((mean_ns - 10.0).abs() < 0.3, "mean {mean_ns} ns");
+        assert_eq!(p.mean_gap(), SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn on_off_alternates_burst_and_gap() {
+        let mut p = Pattern::on_off(3, SimDuration::from_ns(1), SimDuration::from_ns(10));
+        let mut r = rng();
+        let gaps: Vec<u64> = (0..6).map(|_| p.next_gap(&mut r).as_ps() / 1000).collect();
+        assert_eq!(gaps, vec![1, 1, 10, 1, 1, 10]);
+        // Mean gap = (2×1 + 10)/3 = 4 ns.
+        assert_eq!(p.mean_gap(), SimDuration::from_ns(4));
+    }
+
+    #[test]
+    fn source_bounds_enforced() {
+        let mut s = Source {
+            kind: SourceKind::Be {
+                router: RouterId::new(0, 0),
+                dests: vec![RouterId::new(1, 0)],
+                payload_words: 2,
+            },
+            pattern: Pattern::cbr(SimDuration::from_ns(1)),
+            flow: 0,
+            start: SimTime::from_ns(10),
+            stop: Some(SimTime::from_ns(20)),
+            limit: Some(3),
+            emitted: 0,
+            rng: rng(),
+            done: false,
+        };
+        assert!(!s.may_emit(SimTime::from_ns(5)), "before start");
+        assert!(s.may_emit(SimTime::from_ns(10)));
+        assert!(!s.may_emit(SimTime::from_ns(20)), "at stop");
+        s.emitted = 3;
+        assert!(!s.may_emit(SimTime::from_ns(15)), "limit hit");
+        assert_eq!(s.schedule_next(SimTime::from_ns(15)), None);
+        assert!(s.done);
+    }
+
+    #[test]
+    fn schedule_next_respects_stop() {
+        let mut s = Source {
+            kind: SourceKind::Be {
+                router: RouterId::new(0, 0),
+                dests: vec![RouterId::new(1, 0)],
+                payload_words: 1,
+            },
+            pattern: Pattern::cbr(SimDuration::from_ns(8)),
+            flow: 0,
+            start: SimTime::ZERO,
+            stop: Some(SimTime::from_ns(10)),
+            limit: None,
+            emitted: 1,
+            rng: rng(),
+            done: false,
+        };
+        assert_eq!(
+            s.schedule_next(SimTime::from_ns(1)),
+            Some(SimTime::from_ns(9))
+        );
+        assert_eq!(s.schedule_next(SimTime::from_ns(9)), None, "9+8 >= stop");
+        assert!(s.done);
+    }
+}

@@ -1,0 +1,355 @@
+//! The simulation kernel: event dispatch loop and scheduling context.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A complete simulated system.
+///
+/// The whole network — routers, links, network adapters, traffic sources —
+/// is one `Model` with a single event enum. This keeps dispatch monomorphic
+/// and avoids shared-ownership webs between components.
+pub trait Model {
+    /// The event type dispatched to this model.
+    type Event;
+
+    /// Handles one event at the current simulation time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<Self::Event>);
+
+    /// Reports whether the model is quiescent (has no outstanding work)
+    /// when the event queue drains.
+    ///
+    /// A model that still has work pending (e.g. flits buffered in a
+    /// deadlocked network) should return `false` so
+    /// [`Kernel::run_to_quiescence`] can report a stall instead of
+    /// silently terminating. The default is `true`.
+    fn quiescent(&self) -> bool {
+        true
+    }
+}
+
+/// Scheduling context handed to [`Model::handle`].
+///
+/// Allows the model to read the current time and schedule future events.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — clockless hardware is causal.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {now})",
+            now = self.now
+        );
+        self.queue.push(at, event);
+    }
+}
+
+impl<'a, E> std::fmt::Debug for Ctx<'a, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("now", &self.now).finish()
+    }
+}
+
+/// Why a [`Kernel`] run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event queue drained and the model reported itself quiescent.
+    Quiescent,
+    /// The event queue drained but the model still has outstanding work —
+    /// the simulated system is stalled (e.g. deadlocked).
+    Stalled,
+    /// The event budget was exhausted before the horizon.
+    EventBudgetExhausted,
+}
+
+impl RunOutcome {
+    /// True for the healthy terminations (`HorizonReached` / `Quiescent`).
+    pub fn is_ok(self) -> bool {
+        matches!(self, RunOutcome::HorizonReached | RunOutcome::Quiescent)
+    }
+}
+
+/// The discrete-event simulation kernel.
+///
+/// Owns the model and the event queue and runs the dispatch loop.
+pub struct Kernel<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Kernel<M> {
+    /// Creates a kernel for `model` at time zero with an empty queue.
+    pub fn new(model: M) -> Self {
+        Kernel {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the kernel, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, event: M::Event) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Dispatches events until `horizon` (exclusive for later events: the
+    /// clock stops exactly at `horizon` if events remain beyond it).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run_inner(horizon, u64::MAX)
+    }
+
+    /// Dispatches events for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        self.run_until(self.now + span)
+    }
+
+    /// Dispatches events until the queue drains, reporting whether the model
+    /// ended quiescent or stalled.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.run_inner(SimTime::MAX, u64::MAX)
+    }
+
+    /// Dispatches at most `budget` further events (or until drain/horizon).
+    ///
+    /// Useful as a runaway backstop in tests that would otherwise hang on a
+    /// livelocked model.
+    pub fn run_with_budget(&mut self, horizon: SimTime, budget: u64) -> RunOutcome {
+        self.run_inner(horizon, budget)
+    }
+
+    fn run_inner(&mut self, horizon: SimTime, budget: u64) -> RunOutcome {
+        let mut remaining = budget;
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    // Queue drained: advance the clock to the horizon (if
+                    // finite) so back-to-back runs see consistent time.
+                    if horizon != SimTime::MAX {
+                        self.now = horizon;
+                    }
+                    return if self.model.quiescent() {
+                        RunOutcome::Quiescent
+                    } else {
+                        RunOutcome::Stalled
+                    };
+                }
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if remaining == 0 {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            remaining -= 1;
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "event queue delivered out of order");
+            self.now = t;
+            let mut ctx = Ctx {
+                now: t,
+                queue: &mut self.queue,
+            };
+            self.model.handle(ev, &mut ctx);
+            self.processed += 1;
+        }
+    }
+}
+
+impl<M: Model> std::fmt::Debug for Kernel<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that relays N ping-pong events with 10 ps spacing.
+    struct PingPong {
+        remaining: u32,
+        done: bool,
+        log: Vec<(SimTime, u32)>,
+    }
+
+    enum Ev {
+        Ping(u32),
+    }
+
+    impl Model for PingPong {
+        type Event = Ev;
+        fn handle(&mut self, Ev::Ping(id): Ev, ctx: &mut Ctx<Ev>) {
+            self.log.push((ctx.now(), id));
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule(SimDuration::from_ps(10), Ev::Ping(id + 1));
+            } else {
+                self.done = true;
+            }
+        }
+        fn quiescent(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn kernel(n: u32) -> Kernel<PingPong> {
+        let mut k = Kernel::new(PingPong {
+            remaining: n,
+            done: false,
+            log: Vec::new(),
+        });
+        k.schedule(SimDuration::ZERO, Ev::Ping(0));
+        k
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut k = kernel(5);
+        assert_eq!(k.run_to_quiescence(), RunOutcome::Quiescent);
+        assert_eq!(k.events_processed(), 6);
+        assert_eq!(k.now(), SimTime::from_ps(50));
+        assert_eq!(k.model().log.len(), 6);
+    }
+
+    #[test]
+    fn horizon_stops_the_clock_exactly() {
+        let mut k = kernel(100);
+        assert_eq!(k.run_until(SimTime::from_ps(25)), RunOutcome::HorizonReached);
+        assert_eq!(k.now(), SimTime::from_ps(25));
+        // Events at 0, 10, 20 fired; 30+ pending.
+        assert_eq!(k.events_processed(), 3);
+        assert_eq!(k.run_until(SimTime::from_ps(30)), RunOutcome::HorizonReached);
+        assert_eq!(k.events_processed(), 4);
+    }
+
+    #[test]
+    fn event_at_horizon_is_delivered() {
+        let mut k = kernel(3);
+        // Events at 0,10,20,30. Horizon exactly 30 must include the last one.
+        assert_eq!(k.run_until(SimTime::from_ps(30)), RunOutcome::Quiescent);
+        assert_eq!(k.events_processed(), 4);
+    }
+
+    #[test]
+    fn stall_detected_when_model_not_quiescent() {
+        struct Stuck;
+        impl Model for Stuck {
+            type Event = ();
+            fn handle(&mut self, _: (), _: &mut Ctx<()>) {}
+            fn quiescent(&self) -> bool {
+                false // pretends to always have outstanding work
+            }
+        }
+        let mut k = Kernel::new(Stuck);
+        k.schedule(SimDuration::ZERO, ());
+        assert_eq!(k.run_to_quiescence(), RunOutcome::Stalled);
+    }
+
+    #[test]
+    fn event_budget_is_a_backstop() {
+        let mut k = kernel(1_000_000);
+        assert_eq!(
+            k.run_with_budget(SimTime::MAX, 10),
+            RunOutcome::EventBudgetExhausted
+        );
+        assert_eq!(k.events_processed(), 10);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = || {
+            let mut k = kernel(50);
+            k.run_to_quiescence();
+            k.into_model().log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_for_advances_relative_to_now() {
+        let mut k = kernel(100);
+        k.run_for(SimDuration::from_ps(15));
+        assert_eq!(k.now(), SimTime::from_ps(15));
+        k.run_for(SimDuration::from_ps(15));
+        assert_eq!(k.now(), SimTime::from_ps(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Ctx<()>) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut k = Kernel::new(Bad);
+        k.schedule(SimDuration::from_ps(5), ());
+        k.run_to_quiescence();
+    }
+
+    #[test]
+    fn quiescent_drain_advances_clock_to_finite_horizon() {
+        let mut k = kernel(2); // events at 0,10,20
+        assert_eq!(k.run_until(SimTime::from_ps(1000)), RunOutcome::Quiescent);
+        assert_eq!(k.now(), SimTime::from_ps(1000));
+    }
+}

@@ -1,0 +1,130 @@
+//! Lightweight event tracing for debugging simulations.
+//!
+//! Tracing is off by default and costs one branch per record call. When
+//! enabled it collects `(time, tag, detail)` tuples that tests and examples
+//! can dump or assert on.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// A short static category, e.g. `"link.grant"`.
+    pub tag: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.tag, self.detail)
+    }
+}
+
+/// A trace sink: either disabled or collecting into memory.
+#[derive(Debug, Default)]
+pub enum Tracer {
+    /// Discard all records (the default).
+    #[default]
+    Off,
+    /// Collect records in memory.
+    Collect(Vec<TraceEvent>),
+}
+
+impl Tracer {
+    /// Creates a collecting tracer.
+    pub fn collecting() -> Self {
+        Tracer::Collect(Vec::new())
+    }
+
+    /// True if records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, Tracer::Collect(_))
+    }
+
+    /// Records an event if collecting. `detail` is only evaluated when
+    /// enabled, so hot paths pass a closure.
+    pub fn record(&mut self, time: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if let Tracer::Collect(events) = self {
+            events.push(TraceEvent {
+                time,
+                tag,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// All collected events (empty slice when disabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        match self {
+            Tracer::Off => &[],
+            Tracer::Collect(events) => events,
+        }
+    }
+
+    /// Events matching `tag`.
+    pub fn events_tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events().iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Drops all collected events, keeping the tracer enabled.
+    pub fn clear(&mut self) {
+        if let Tracer::Collect(events) = self {
+            events.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_discards_and_skips_formatting() {
+        let mut t = Tracer::Off;
+        let mut evaluated = false;
+        t.record(SimTime::ZERO, "x", || {
+            evaluated = true;
+            String::new()
+        });
+        assert!(!evaluated, "detail closure must not run when disabled");
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn collecting_tracer_keeps_records_in_order() {
+        let mut t = Tracer::collecting();
+        t.record(SimTime::from_ps(1), "a", || "one".into());
+        t.record(SimTime::from_ps(2), "b", || "two".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].tag, "a");
+        assert_eq!(t.events()[1].detail, "two");
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn tag_filter_and_clear() {
+        let mut t = Tracer::collecting();
+        t.record(SimTime::ZERO, "keep", || "1".into());
+        t.record(SimTime::ZERO, "drop", || "2".into());
+        t.record(SimTime::ZERO, "keep", || "3".into());
+        assert_eq!(t.events_tagged("keep").count(), 2);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ev = TraceEvent {
+            time: SimTime::from_ps(1500),
+            tag: "link.grant",
+            detail: "vc 3".into(),
+        };
+        assert_eq!(ev.to_string(), "[1.500 ns] link.grant: vc 3");
+    }
+}

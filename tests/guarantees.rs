@@ -1,0 +1,399 @@
+//! Integration tests for the guaranteed-service properties the paper
+//! claims: hard bandwidth floors under full contention, bounded latency,
+//! GS/BE independence, and inherent end-to-end flow control.
+
+use mango::core::RouterId;
+use mango::net::{EmitWindow, Grid, NaConfig, Network, NocSim, Pattern};
+use mango::sim::{SimDuration, SimTime};
+
+/// Seven connections funnel through one shared link, all backlogged:
+/// every one must get at least its fair-share floor (1/8 of link
+/// bandwidth), and together they saturate the link.
+#[test]
+fn fair_share_floor_under_full_contention() {
+    let mut sim = NocSim::paper_mesh(3, 4, 11);
+    // All these routes cross link (1,0) -> East (XY routing goes east
+    // along row 0 first, then south in column 2).
+    let pairs = [
+        (RouterId::new(0, 0), RouterId::new(2, 0)),
+        (RouterId::new(0, 0), RouterId::new(2, 1)),
+        (RouterId::new(0, 0), RouterId::new(2, 2)),
+        (RouterId::new(0, 0), RouterId::new(2, 3)),
+        (RouterId::new(1, 0), RouterId::new(2, 0)),
+        (RouterId::new(1, 0), RouterId::new(2, 1)),
+        (RouterId::new(1, 0), RouterId::new(2, 2)),
+    ];
+    let conns: Vec<_> = pairs
+        .iter()
+        .map(|(s, d)| sim.open_connection(*s, *d).expect("7 VCs fit"))
+        .collect();
+    sim.wait_connections_settled().expect("programming completes");
+
+    // Offer 200 Mflit/s per connection — far beyond the shared link.
+    sim.run_for(SimDuration::from_us(5));
+    sim.begin_measurement();
+    let flows: Vec<u32> = conns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            sim.add_gs_source(
+                *c,
+                Pattern::cbr(SimDuration::from_ns(5)),
+                format!("contender-{i}"),
+                EmitWindow::default(),
+            )
+        })
+        .collect();
+    sim.run_for(SimDuration::from_us(100));
+
+    let link_m = sim.link_capacity_m(); // ≈ 795
+    let floor = link_m / 8.0;
+    let mut total = 0.0;
+    for (i, flow) in flows.iter().enumerate() {
+        let rate = sim.flow_throughput_m(*flow);
+        total += rate;
+        assert!(
+            rate >= floor * 0.95,
+            "connection {i} got {rate:.1} Mf/s, below the 1/8 floor {floor:.1}"
+        );
+    }
+    // Work conservation: the seven backlogged connections share the whole
+    // link (BE idle ⇒ its slot is redistributed).
+    assert!(
+        total >= link_m * 0.95,
+        "aggregate {total:.1} must saturate the {link_m:.1} Mf/s link"
+    );
+}
+
+/// Idle connections' bandwidth is redistributed: with only two contenders
+/// backlogged, each gets far more than the floor.
+#[test]
+fn idle_share_redistribution() {
+    let mut sim = NocSim::paper_mesh(3, 1, 13);
+    let c1 = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .unwrap();
+    let c2 = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .unwrap();
+    sim.wait_connections_settled().unwrap();
+    sim.run_for(SimDuration::from_us(2));
+    sim.begin_measurement();
+    let f1 = sim.add_gs_source(
+        c1,
+        Pattern::cbr(SimDuration::from_ns(2)),
+        "a",
+        EmitWindow::default(),
+    );
+    let f2 = sim.add_gs_source(
+        c2,
+        Pattern::cbr(SimDuration::from_ns(2)),
+        "b",
+        EmitWindow::default(),
+    );
+    sim.run_for(SimDuration::from_us(50));
+    let floor = sim.link_capacity_m() / 8.0;
+    for f in [f1, f2] {
+        let rate = sim.flow_throughput_m(f);
+        assert!(
+            rate > 2.0 * floor,
+            "with 2 contenders each must exceed twice the floor, got {rate:.1}"
+        );
+    }
+}
+
+/// The headline property (Fig. 8): a GS connection's bandwidth and
+/// latency are unaffected by any amount of BE traffic.
+#[test]
+fn gs_unaffected_by_be_saturation() {
+    let measure = |be: bool| -> (f64, f64, f64) {
+        let mut sim = NocSim::paper_mesh(4, 4, 17);
+        let conn = sim
+            .open_connection(RouterId::new(0, 0), RouterId::new(3, 3))
+            .unwrap();
+        sim.wait_connections_settled().unwrap();
+        if be {
+            let all: Vec<RouterId> = sim.network().grid().ids().collect();
+            for node in all.clone() {
+                let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
+                sim.add_be_source(
+                    node,
+                    dests,
+                    4,
+                    Pattern::poisson(SimDuration::from_ns(100)),
+                    format!("be-{node}"),
+                    EmitWindow::default(),
+                );
+            }
+        }
+        sim.run_for(SimDuration::from_us(10));
+        sim.begin_measurement();
+        let flow = sim.add_gs_source(
+            conn,
+            Pattern::cbr(SimDuration::from_ns(12)), // ~83 Mf/s, inside the floor
+            "gs",
+            EmitWindow::default(),
+        );
+        sim.run_for(SimDuration::from_us(100));
+        let s = sim.flow(flow);
+        (
+            sim.flow_throughput_m(flow),
+            s.latency.mean().unwrap().as_ns_f64(),
+            s.latency.max().unwrap().as_ns_f64(),
+        )
+    };
+
+    let (bw0, mean0, _max0) = measure(false);
+    let (bw1, mean1, max1) = measure(true);
+    assert!(
+        (bw1 - bw0).abs() / bw0 < 0.01,
+        "GS throughput shifted under BE: {bw0:.2} -> {bw1:.2}"
+    );
+    // Latency may shift by bounded arbitration interference only: the
+    // per-hop wait is bounded by the fair-share round, so the mean must
+    // stay within one round per hop.
+    let hops = 6.0;
+    let round_ns = 8.0 * 1.258;
+    assert!(
+        mean1 - mean0 <= hops * round_ns,
+        "GS mean latency blew up: {mean0:.1} -> {mean1:.1} ns"
+    );
+    // Hard bound: even the worst flit obeys per-hop wait ≤ one fair-share
+    // round (+ injection and forward paths).
+    let per_hop_ns = 8.0 * 1.258 + 0.95 + 0.18 + 0.62;
+    let bound = (hops + 1.0) * per_hop_ns + 20.0;
+    assert!(
+        max1 <= bound,
+        "worst-case latency {max1:.1} ns exceeds analytic bound {bound:.1} ns"
+    );
+}
+
+/// Latency grows linearly with hop count (constant per-hop forwarding —
+/// the non-blocking switch at work).
+#[test]
+fn unloaded_latency_scales_linearly_with_hops() {
+    let mut means = Vec::new();
+    for hops in [1u8, 2, 4, 7] {
+        let mut sim = NocSim::paper_mesh(8, 1, 23);
+        let conn = sim
+            .open_connection(RouterId::new(0, 0), RouterId::new(hops, 0))
+            .unwrap();
+        sim.wait_connections_settled().unwrap();
+        sim.begin_measurement();
+        let flow = sim.add_gs_source(
+            conn,
+            Pattern::cbr(SimDuration::from_ns(50)),
+            "lat",
+            EmitWindow {
+                limit: Some(500),
+                ..Default::default()
+            },
+        );
+        sim.run_to_quiescence();
+        means.push(sim.flow(flow).latency.mean().unwrap().as_ns_f64());
+    }
+    // Fit increments: each extra hop adds the same delta (within 5%).
+    let d1 = (means[1] - means[0]) / 1.0; // 1→2: 1 hop
+    let d2 = (means[3] - means[2]) / 3.0; // 4→7: 3 hops
+    assert!(
+        (d1 - d2).abs() / d1 < 0.05,
+        "per-hop latency not constant: {means:?}"
+    );
+    // And an unloaded flit is never queued: max == min per configuration.
+    assert!(means[0] > 0.0);
+}
+
+/// End-to-end flow control is inherent (Sec. 6): a slow consumer
+/// throttles the source through the unlock chain with zero loss.
+#[test]
+fn slow_consumer_backpressures_source() {
+    let consume = SimDuration::from_ns(100); // 10 Mflit/s consumer
+    let na_cfg = NaConfig {
+        consume_delay: consume,
+        ..NaConfig::paper()
+    };
+    let net = Network::new(
+        Grid::new(3, 1),
+        mango::core::RouterConfig::paper(),
+        na_cfg,
+    );
+    let mut sim = NocSim::new(net, 31);
+    let conn = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .unwrap();
+    sim.wait_connections_settled().unwrap();
+    sim.run_for(SimDuration::from_us(2));
+    sim.begin_measurement();
+    // Offer 200 Mflit/s against a 10 Mflit/s consumer.
+    let flow = sim.add_gs_source(
+        conn,
+        Pattern::cbr(SimDuration::from_ns(5)),
+        "fast-into-slow",
+        EmitWindow::default(),
+    );
+    sim.run_for(SimDuration::from_us(200));
+    let delivered_rate = sim.flow_throughput_m(flow);
+    assert!(
+        (delivered_rate - 10.0).abs() < 1.0,
+        "delivery rate {delivered_rate:.1} must match the 10 Mf/s consumer"
+    );
+    // Nothing was lost: everything not delivered is queued at the source
+    // or in the (tiny) in-network buffers.
+    let s = sim.flow(flow);
+    let in_network = s.injected - s.delivered;
+    let src_queue = sim
+        .network()
+        .node(RouterId::new(0, 0))
+        .na
+        .gs_queue_len(0) as u64;
+    // Per hop at most 2 flits + NA slot + in-flight: the network holds
+    // only a handful — the rest waits at the source.
+    assert!(
+        in_network - src_queue < 20,
+        "flits unaccounted for: {in_network} in flight, {src_queue} queued at source"
+    );
+}
+
+/// GS connections are independent of each other too: a saturated
+/// neighbour VC cannot push a polite connection below its floor, and a
+/// quiet one keeps its low latency.
+#[test]
+fn gs_connections_isolated_from_each_other() {
+    let mut sim = NocSim::paper_mesh(3, 1, 37);
+    let polite = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .unwrap();
+    let greedy = sim
+        .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
+        .unwrap();
+    sim.wait_connections_settled().unwrap();
+    sim.run_for(SimDuration::from_us(2));
+    sim.begin_measurement();
+    // Polite: 60 Mf/s (inside its floor). Greedy: 500 Mf/s (way over).
+    let polite_flow = sim.add_gs_source(
+        polite,
+        Pattern::cbr(SimDuration::from_ps(16_667)),
+        "polite",
+        EmitWindow::default(),
+    );
+    let _greedy_flow = sim.add_gs_source(
+        greedy,
+        Pattern::cbr(SimDuration::from_ns(2)),
+        "greedy",
+        EmitWindow::default(),
+    );
+    sim.run_for(SimDuration::from_us(100));
+    let rate = sim.flow_throughput_m(polite_flow);
+    assert!(
+        (rate - 60.0).abs() < 1.0,
+        "polite connection must keep its 60 Mf/s, got {rate:.1}"
+    );
+    let max = sim.flow(polite_flow).latency.max().unwrap();
+    // 2 hops: injection + 2 × (fair-share round + forward) is a generous
+    // analytic ceiling.
+    assert!(
+        max < SimDuration::from_ns(60),
+        "polite worst-case latency {max} out of bounds"
+    );
+}
+
+/// Measurement sanity: the harness accounts every injected flit exactly
+/// once.
+#[test]
+fn no_flit_loss_or_duplication_across_flows() {
+    let mut sim = NocSim::paper_mesh(3, 3, 41);
+    let mut flows = Vec::new();
+    for (s, d) in [
+        (RouterId::new(0, 0), RouterId::new(2, 2)),
+        (RouterId::new(2, 0), RouterId::new(0, 2)),
+        (RouterId::new(1, 1), RouterId::new(0, 0)),
+    ] {
+        let c = sim.open_connection(s, d).unwrap();
+        sim.wait_connections_settled().unwrap();
+        flows.push(sim.add_gs_source(
+            c,
+            Pattern::poisson(SimDuration::from_ns(15)),
+            format!("{s}->{d}"),
+            EmitWindow {
+                limit: Some(2_000),
+                ..Default::default()
+            },
+        ));
+    }
+    let outcome = sim.run_to_quiescence();
+    assert_eq!(outcome, mango::sim::RunOutcome::Quiescent);
+    for f in flows {
+        let s = sim.flow(f);
+        assert_eq!(s.injected, 2_000);
+        assert_eq!(s.delivered, 2_000, "flow {} lost flits", s.name);
+        assert_eq!(s.sequence_errors, 0, "flow {} reordered", s.name);
+    }
+    let _ = SimTime::ZERO;
+}
+
+/// Heterogeneous pipelined links (Sec. 3: "long links can be implemented
+/// as pipelines"): extra forward stages on one link add exactly their
+/// latency to connections crossing it, in both directions independently,
+/// without affecting other paths.
+#[test]
+fn heterogeneous_link_delay_adds_exactly_per_crossing() {
+    use mango::core::Direction;
+    use mango::net::{Grid, NaConfig, Network};
+
+    let measure = |extra_ps: u64| -> (f64, f64) {
+        let mut grid = Grid::new(3, 1);
+        grid.set_link_extra(
+            RouterId::new(0, 0),
+            Direction::East,
+            SimDuration::from_ps(extra_ps),
+        );
+        let net = Network::new(grid, mango::core::RouterConfig::paper(), NaConfig::paper());
+        let mut sim = mango::net::NocSim::new(net, 51);
+        // Crosses the slow link.
+        let slow = sim
+            .open_connection(RouterId::new(0, 0), RouterId::new(1, 0))
+            .unwrap();
+        // Does not.
+        let fast = sim
+            .open_connection(RouterId::new(1, 0), RouterId::new(2, 0))
+            .unwrap();
+        sim.wait_connections_settled().unwrap();
+        sim.begin_measurement();
+        let fs = sim.add_gs_source(
+            slow,
+            Pattern::cbr(SimDuration::from_ns(50)),
+            "slow",
+            EmitWindow {
+                limit: Some(200),
+                ..Default::default()
+            },
+        );
+        let ff = sim.add_gs_source(
+            fast,
+            Pattern::cbr(SimDuration::from_ns(50)),
+            "fast",
+            EmitWindow {
+                limit: Some(200),
+                ..Default::default()
+            },
+        );
+        sim.run_to_quiescence();
+        (
+            sim.flow(fs).latency.mean().unwrap().as_ns_f64(),
+            sim.flow(ff).latency.mean().unwrap().as_ns_f64(),
+        )
+    };
+
+    let (slow0, fast0) = measure(0);
+    let (slow2, fast2) = measure(2_000);
+    // The slow connection gains exactly the 2 ns stage...
+    assert!(
+        (slow2 - slow0 - 2.0).abs() < 0.01,
+        "expected +2 ns on the pipelined link: {slow0:.3} -> {slow2:.3}"
+    );
+    // ...while the other path is untouched.
+    assert!(
+        (fast2 - fast0).abs() < 0.01,
+        "unrelated path shifted: {fast0:.3} -> {fast2:.3}"
+    );
+}

@@ -1,0 +1,361 @@
+//! Property-based tests over the core data structures and whole-network
+//! invariants.
+
+use mango::core::{
+    BeDest, BeHeader, Direction, Flit, GsBufferRef, Port, ProgWrite, RouterId, Steer,
+    UpstreamRef, VcId,
+};
+use mango::net::{EmitWindow, NocSim, Pattern};
+use mango::sim::{RunOutcome, SimDuration, SimRng};
+use proptest::prelude::*;
+
+fn direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::North),
+        Just(Direction::East),
+        Just(Direction::South),
+        Just(Direction::West),
+    ]
+}
+
+fn steer_target() -> impl Strategy<Value = Steer> {
+    prop_oneof![
+        (direction(), 0u8..8).prop_map(|(dir, vc)| Steer::GsBuffer { dir, vc: VcId(vc) }),
+        (0u8..4).prop_map(|iface| Steer::LocalGs { iface }),
+        Just(Steer::BeUnit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every packable steering target round-trips through the 5-bit wire
+    /// format from every arrival port.
+    #[test]
+    fn steer_pack_unpack_roundtrip(target in steer_target(), from in direction(), local in any::<bool>()) {
+        let arrival = if local { Port::Local } else { Port::Net(from) };
+        if let Ok(code) = target.pack(arrival) {
+            prop_assert!(code < 32);
+            prop_assert_eq!(Steer::unpack(code, arrival), Ok(target));
+        }
+    }
+
+    /// BE headers decode back to exactly the route they encode, hop by
+    /// hop, and then deliver locally. Routes never reverse direction
+    /// (a 180° turn encodes local delivery, so `from_route` rejects it);
+    /// generate them as an initial direction plus turn choices.
+    #[test]
+    fn be_header_follows_its_route(
+        first in direction(),
+        turns in prop::collection::vec(0u8..3, 0..14),
+    ) {
+        let mut route = vec![first];
+        for t in turns {
+            let prev = *route.last().unwrap();
+            // 0 = straight, 1 = left, 2 = right — never the opposite.
+            let next = match t {
+                0 => prev,
+                1 => Direction::from_index((prev.index() + 3) % 4),
+                _ => Direction::from_index((prev.index() + 1) % 4),
+            };
+            route.push(next);
+        }
+        let header = BeHeader::from_route(&route).unwrap();
+        let mut h = header;
+        let mut from = None;
+        for &dir in &route {
+            let (dest, next) = h.route(from);
+            prop_assert_eq!(dest, BeDest::Net(dir));
+            h = next;
+            from = Some(dir.opposite());
+        }
+        let (dest, _) = h.route(from);
+        prop_assert_eq!(dest, BeDest::Local);
+    }
+}
+
+fn gs_buffer() -> impl Strategy<Value = GsBufferRef> {
+    prop_oneof![
+        (direction(), 0u8..8).prop_map(|(dir, vc)| GsBufferRef::Net { dir, vc: VcId(vc) }),
+        (0u8..4).prop_map(|iface| GsBufferRef::Local { iface }),
+    ]
+}
+
+fn upstream() -> impl Strategy<Value = UpstreamRef> {
+    prop_oneof![
+        (direction(), 0u8..8).prop_map(|(in_dir, wire)| UpstreamRef::Link {
+            in_dir,
+            wire: VcId(wire)
+        }),
+        (0u8..4).prop_map(|iface| UpstreamRef::Na { iface }),
+    ]
+}
+
+fn prog_write() -> impl Strategy<Value = ProgWrite> {
+    prop_oneof![
+        (direction(), 0u8..8, steer_target())
+            .prop_map(|(dir, vc, steer)| ProgWrite::SetSteer { dir, vc: VcId(vc), steer }),
+        (direction(), 0u8..8).prop_map(|(dir, vc)| ProgWrite::ClearSteer { dir, vc: VcId(vc) }),
+        (gs_buffer(), upstream())
+            .prop_map(|(buffer, upstream)| ProgWrite::SetUnlock { buffer, upstream }),
+        gs_buffer().prop_map(|buffer| ProgWrite::ClearUnlock { buffer }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sequence of programming writes survives the 32-bit config-word
+    /// encoding.
+    #[test]
+    fn prog_payload_roundtrip(writes in prop::collection::vec(prog_write(), 0..12)) {
+        let words = mango::core::prog::encode_payload(&writes, None);
+        let (decoded, ack) = mango::core::prog::decode_payload(&words).unwrap();
+        prop_assert_eq!(decoded, writes);
+        prop_assert_eq!(ack, None);
+    }
+
+    /// The deterministic RNG respects bounds and reproduces streams.
+    #[test]
+    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = a.gen_range(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.gen_range(bound));
+        }
+    }
+}
+
+proptest! {
+    // Whole-network properties are expensive: fewer, bigger cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any single GS connection on any mesh delivers every flit, in
+    /// order, regardless of endpoints, rate and count.
+    #[test]
+    fn gs_delivery_is_lossless_and_ordered(
+        w in 2u8..5,
+        h in 2u8..5,
+        sx in 0u8..4,
+        sy in 0u8..4,
+        dx in 0u8..4,
+        dy in 0u8..4,
+        period_ns in 2u64..40,
+        count in 50u64..400,
+        seed in any::<u64>(),
+    ) {
+        let (sx, sy) = (sx % w, sy % h);
+        let (dx, dy) = (dx % w, dy % h);
+        prop_assume!((sx, sy) != (dx, dy));
+        let mut sim = NocSim::paper_mesh(w, h, seed);
+        let conn = sim
+            .open_connection(RouterId::new(sx, sy), RouterId::new(dx, dy))
+            .unwrap();
+        sim.wait_connections_settled().unwrap();
+        let flow = sim.add_gs_source(
+            conn,
+            Pattern::cbr(SimDuration::from_ns(period_ns)),
+            "prop",
+            EmitWindow { limit: Some(count), ..Default::default() },
+        );
+        let outcome = sim.run_to_quiescence();
+        prop_assert_eq!(outcome, RunOutcome::Quiescent);
+        let s = sim.flow(flow);
+        prop_assert_eq!(s.injected, count);
+        prop_assert_eq!(s.delivered, count);
+        prop_assert_eq!(s.sequence_errors, 0);
+    }
+
+    /// Random BE packet sets between random endpoint pairs always drain
+    /// (XY deadlock freedom) with nothing lost.
+    #[test]
+    fn be_xy_traffic_always_drains(
+        w in 2u8..5,
+        h in 2u8..5,
+        pairs in prop::collection::vec((0u8..16, 0u8..16, 1u64..6, 1usize..6), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = NocSim::paper_mesh(w, h, seed);
+        let n = w as u16 * h as u16;
+        let mut flows = Vec::new();
+        for (a, b, count, words) in pairs {
+            let src_i = (a as u16 % n) as usize;
+            let dst_i = (b as u16 % n) as usize;
+            if src_i == dst_i {
+                continue;
+            }
+            let src = sim.network().grid().id_at(src_i);
+            let dst = sim.network().grid().id_at(dst_i);
+            let flow = sim.add_be_source(
+                src,
+                vec![dst],
+                words,
+                Pattern::cbr(SimDuration::from_ns(30)),
+                "prop-be",
+                EmitWindow { limit: Some(count), ..Default::default() },
+            );
+            flows.push((flow, count));
+        }
+        let outcome = sim.run_to_quiescence();
+        prop_assert_eq!(outcome, RunOutcome::Quiescent);
+        for (flow, count) in flows {
+            prop_assert_eq!(sim.flow(flow).delivered, count);
+        }
+    }
+
+    /// Flit instrumentation survives arbitrary metadata.
+    #[test]
+    fn flit_meta_is_preserved(data in any::<u32>(), seq in any::<u64>(), flow in any::<u32>()) {
+        let f = Flit::gs(data).with_meta(mango::sim::SimTime::from_ps(1), seq, flow);
+        prop_assert_eq!(f.data, data);
+        prop_assert_eq!(f.meta.seq, seq);
+        prop_assert_eq!(f.meta.flow, flow);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TDM baseline and OCP-layer properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random GT connection sets never double-book a slot, and every
+    /// accepted connection's slots respect the wave rule.
+    #[test]
+    fn tdm_slot_allocation_is_conflict_free(
+        requests in prop::collection::vec((0u8..4, 0u8..4, 0u8..4, 0u8..4, 1usize..4), 1..12),
+    ) {
+        use mango::baseline::{TdmConfig, TdmNetwork};
+        use std::collections::HashMap;
+        let grid = mango::net::Grid::new(4, 4);
+        let mut net = TdmNetwork::new(grid.clone(), TdmConfig::aethereal());
+        let mut accepted = Vec::new();
+        for (sx, sy, dx, dy, slots) in requests {
+            let src = RouterId::new(sx, sy);
+            let dst = RouterId::new(dx, dy);
+            if src == dst {
+                continue;
+            }
+            if let Ok(id) = net.open_gt(src, dst, slots) {
+                accepted.push(id);
+            }
+        }
+        // Rebuild the global slot map from the connection records and
+        // check exclusivity + the wave rule.
+        let mut occupancy: HashMap<(RouterId, Direction, usize), mango::core::ConnectionId> =
+            HashMap::new();
+        let slots_per_frame = 8usize;
+        for id in accepted {
+            let conn = net.connection(id).clone();
+            let path = mango::net::xy_path(&grid, conn.src, conn.dst).unwrap();
+            for &start in &conn.slots {
+                for (i, &dir) in conn.dirs.iter().enumerate() {
+                    let slot = (start + i) % slots_per_frame;
+                    let key = (path[i], dir, slot);
+                    prop_assert!(
+                        occupancy.insert(key, id).is_none(),
+                        "slot double-booked at {key:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// OCP messages survive encode/decode for arbitrary fields.
+    #[test]
+    fn ocp_roundtrip(
+        tag in any::<u16>(),
+        x in 0u8..16,
+        y in 0u8..16,
+        addr in any::<u32>(),
+        data in prop::collection::vec(any::<u32>(), 0..8),
+        burst in 1u16..16,
+    ) {
+        use mango::net::OcpMessage;
+        let requester = RouterId::new(x, y);
+        for msg in [
+            OcpMessage::ReadReq { tag, requester, addr, burst },
+            OcpMessage::WriteReq { tag, requester, addr, data: data.clone() },
+            OcpMessage::ReadResp { tag, data },
+            OcpMessage::WriteResp { tag },
+        ] {
+            prop_assert_eq!(OcpMessage::decode(&msg.encode()), Ok(msg));
+        }
+    }
+
+    /// Area model: monotone in every parameter, always finite/positive.
+    #[test]
+    fn area_model_is_monotone_and_finite(
+        ports in 2usize..8,
+        vcs in 2usize..32,
+        bits in 8usize..128,
+        depth in 1usize..8,
+    ) {
+        use mango::hw::area::{AreaModel, RouterParams};
+        let model = AreaModel::cmos_120nm();
+        let p = RouterParams {
+            ports,
+            gs_vcs: vcs,
+            flit_data_bits: bits,
+            buffer_depth: depth,
+            local_gs_ifaces: 4,
+        };
+        let base = model.breakdown(&p).total_um2();
+        prop_assert!(base.is_finite() && base > 0.0);
+        let mut bigger = p.clone();
+        bigger.gs_vcs += 1;
+        prop_assert!(model.breakdown(&bigger).total_um2() > base);
+        let mut bigger = p.clone();
+        bigger.flit_data_bits += 8;
+        prop_assert!(model.breakdown(&bigger).total_um2() > base);
+        let mut bigger = p;
+        bigger.buffer_depth += 1;
+        prop_assert!(model.breakdown(&bigger).total_um2() > base);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue is a stable priority queue: pops are globally
+    /// time-ordered and FIFO within equal timestamps, for arbitrary
+    /// push/pop interleavings (checked against a reference model).
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in prop::collection::vec((any::<bool>(), 0u64..50), 1..200),
+    ) {
+        use mango::sim::{EventQueue, SimTime};
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, usize)> = Vec::new(); // (time, seq)
+        let mut seq = 0usize;
+        for (push, t) in ops {
+            if push || model.is_empty() {
+                q.push(SimTime::from_ps(t), seq);
+                model.push((t, seq));
+                seq += 1;
+            } else {
+                let (qt, qv) = q.pop().expect("model non-empty");
+                // Reference: earliest time, then earliest insertion.
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(mt, ms))| (mt, ms))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let (mt, ms) = model.remove(best);
+                prop_assert_eq!(qt, SimTime::from_ps(mt));
+                prop_assert_eq!(qv, ms);
+            }
+        }
+        // Drain: remaining pops come out fully sorted.
+        let mut last = (0u64, 0usize);
+        while let Some((t, v)) = q.pop() {
+            let cur = (t.as_ps(), v);
+            prop_assert!(cur >= last, "out of order: {last:?} then {cur:?}");
+            last = cur;
+        }
+    }
+}
