@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of the simulation event queue — the single
+//! hottest structure in the simulator (every flit hop is at least one
+//! push/pop pair).
+//!
+//! The workload is hold-model churn, the access pattern the kernel
+//! produces: pop the earliest event, then schedule a successor a bounded
+//! delay into the future, keeping the pending-set size constant. Three
+//! delay distributions cover the simulator's regimes:
+//!
+//! * `hop` — 100 ps – 3 ns deltas, the router/link hop latencies that
+//!   dominate a running mesh (all within the calendar wheel span);
+//! * `mixed` — 90% hop deltas plus 10% far deltas up to 2 µs, the
+//!   pattern produced by source ticks and watchdogs (exercises the
+//!   overflow heap);
+//! * `ties` — 50% zero-delay reschedules, stressing same-instant
+//!   FIFO ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mango::sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+#[derive(Clone, Copy)]
+enum Dist {
+    Hop,
+    Mixed,
+    Ties,
+}
+
+impl Dist {
+    fn name(self) -> &'static str {
+        match self {
+            Dist::Hop => "hop",
+            Dist::Mixed => "mixed",
+            Dist::Ties => "ties",
+        }
+    }
+
+    fn delta(self, rng: &mut SimRng) -> SimDuration {
+        let ps = match self {
+            Dist::Hop => 100 + rng.gen_range(2900),
+            Dist::Mixed => {
+                if rng.gen_range(10) == 0 {
+                    50_000 + rng.gen_range(1_950_000)
+                } else {
+                    100 + rng.gen_range(2900)
+                }
+            }
+            Dist::Ties => {
+                if rng.gen_range(2) == 0 {
+                    0
+                } else {
+                    100 + rng.gen_range(2900)
+                }
+            }
+        };
+        SimDuration::from_ps(ps)
+    }
+}
+
+fn prefill(pending: usize, dist: Dist, rng: &mut SimRng) -> EventQueue<u64> {
+    let mut q = EventQueue::new();
+    let mut t = SimTime::from_ps(1);
+    for i in 0..pending {
+        q.push(t, i as u64);
+        t += dist.delta(rng);
+    }
+    q
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &pending in &[256usize, 4096, 32768] {
+        for dist in [Dist::Hop, Dist::Mixed, Dist::Ties] {
+            let id = BenchmarkId::new(format!("churn_{}", dist.name()), pending);
+            group.bench_with_input(id, &pending, |b, &pending| {
+                let mut rng = SimRng::new(0xE0E0);
+                let mut q = prefill(pending, dist, &mut rng);
+                b.iter(|| {
+                    let (t, v) = q.pop().expect("hold model never drains");
+                    q.push(t + dist.delta(&mut rng), v);
+                    black_box(t)
+                })
+            });
+        }
+    }
+    // Build-and-drain: the pattern of short experiment set-ups.
+    group.bench_function("fill_then_drain_8192", |b| {
+        let mut rng = SimRng::new(0xD12A);
+        b.iter(|| {
+            let mut q = prefill(8192, Dist::Mixed, &mut rng);
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -2,41 +2,16 @@
 //! GS + BE traffic, measuring wall-clock per simulated window.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mango::core::RouterId;
-use mango::net::{EmitWindow, NocSim, Pattern};
 use mango::sim::SimDuration;
-use mango_bench::add_be_background;
+use mango_bench::mixed_mesh_4x4;
 use std::hint::black_box;
-
-fn build_loaded_mesh(seed: u64) -> NocSim {
-    let mut sim = NocSim::paper_mesh(4, 4, seed);
-    for (s, d) in [
-        ((0, 0), (3, 3)),
-        ((3, 0), (0, 3)),
-        ((1, 1), (2, 2)),
-        ((2, 1), (1, 2)),
-    ] {
-        let c = sim
-            .open_connection(RouterId::new(s.0, s.1), RouterId::new(d.0, d.1))
-            .expect("fits");
-        sim.wait_connections_settled().expect("settles");
-        sim.add_gs_source(
-            c,
-            Pattern::cbr(SimDuration::from_ns(12)),
-            "gs",
-            EmitWindow::default(),
-        );
-    }
-    add_be_background(&mut sim, SimDuration::from_ns(300));
-    sim
-}
 
 fn bench_network(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_sim");
     group.sample_size(10);
     group.bench_function("mixed_4x4_50us", |b| {
         b.iter(|| {
-            let mut sim = build_loaded_mesh(99);
+            let mut sim = mixed_mesh_4x4(99);
             sim.run_for(SimDuration::from_us(50));
             black_box(sim.events_processed())
         })

@@ -1,0 +1,34 @@
+//! Simulator throughput probe: runs the `network_sim` benchmark scenario
+//! (mixed GS + BE on a 4×4 mesh) and reports raw events/second, the
+//! number the simulator-performance roadmap track is measured in.
+//!
+//! Usage: `sim_rate [simulated_us] [repeats]` (defaults: 50 µs × 5).
+
+use mango::sim::SimDuration;
+use mango_bench::mixed_mesh_4x4;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sim_us: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let repeats: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    println!("mixed 4x4 mesh, {sim_us} us simulated, {repeats} runs");
+    let mut best = f64::MIN;
+    for run in 0..repeats {
+        let mut sim = mixed_mesh_4x4(99);
+        let setup_events = sim.events_processed();
+        let start = Instant::now();
+        sim.run_for(SimDuration::from_us(sim_us));
+        let wall = start.elapsed().as_secs_f64();
+        let events = sim.events_processed() - setup_events;
+        let rate = events as f64 / wall;
+        best = best.max(rate);
+        println!(
+            "  run {run}: {events} events in {:.1} ms  ->  {:.2} Mevents/s",
+            wall * 1e3,
+            rate / 1e6
+        );
+    }
+    println!("best: {:.2} Mevents/s", best / 1e6);
+}

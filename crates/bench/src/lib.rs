@@ -88,6 +88,33 @@ pub fn measure_gs(
     }
 }
 
+/// The `network_sim` benchmark scenario: a 4×4 mesh with four crossing
+/// GS connections at 12 ns per flit plus uniform-random BE background at
+/// 300 ns per node — the mixed workload the simulator performance track
+/// is measured on.
+pub fn mixed_mesh_4x4(seed: u64) -> NocSim {
+    let mut sim = NocSim::paper_mesh(4, 4, seed);
+    for (s, d) in [
+        ((0, 0), (3, 3)),
+        ((3, 0), (0, 3)),
+        ((1, 1), (2, 2)),
+        ((2, 1), (1, 2)),
+    ] {
+        let c = sim
+            .open_connection(RouterId::new(s.0, s.1), RouterId::new(d.0, d.1))
+            .expect("fits");
+        sim.wait_connections_settled().expect("settles");
+        sim.add_gs_source(
+            c,
+            Pattern::cbr(SimDuration::from_ns(12)),
+            "gs",
+            EmitWindow::default(),
+        );
+    }
+    add_be_background(&mut sim, SimDuration::from_ns(300));
+    sim
+}
+
 /// Adds uniform-random BE background traffic at `mean_gap` per node.
 pub fn add_be_background(sim: &mut NocSim, mean_gap: SimDuration) {
     let all: Vec<RouterId> = sim.network().grid().ids().collect();

@@ -76,6 +76,33 @@ pub trait LinkArbiter: fmt::Debug {
     /// arbitrates when at least one requester is ready.
     fn select(&mut self, ready: &[LinkSlot]) -> LinkSlot;
 
+    /// Bitmask form of [`LinkArbiter::select`]: bit `i` set means dense
+    /// slot `i` is ready (bit `gs_vcs` is the BE channel). The router's
+    /// hot path calls this — one grant per link cycle — so the built-in
+    /// policies override it allocation-free; the default materializes the
+    /// slice on the stack for custom arbiters.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `ready_mask` is zero.
+    fn select_mask(&mut self, ready_mask: u128, gs_vcs: usize) -> LinkSlot {
+        debug_assert!(ready_mask != 0, "select_mask with no ready slots");
+        let mut buf = [LinkSlot::Be; 128];
+        let mut n = 0;
+        let mut m = ready_mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            buf[n] = if i == gs_vcs {
+                LinkSlot::Be
+            } else {
+                LinkSlot::Gs(VcId(i as u8))
+            };
+            n += 1;
+            m &= m - 1;
+        }
+        self.select(&buf[..n])
+    }
+
     /// The policy's name, for reports.
     fn name(&self) -> &'static str;
 }
@@ -128,23 +155,58 @@ impl FairShareArbiter {
 impl LinkArbiter for FairShareArbiter {
     fn select(&mut self, ready: &[LinkSlot]) -> LinkSlot {
         assert!(!ready.is_empty(), "select called with no ready slots");
-        let n = LinkSlot::count(self.gs_vcs);
-        let mut ready_mask = vec![false; n];
+        let mut ready_mask: u128 = 0;
         for &slot in ready {
-            ready_mask[slot.dense_index(self.gs_vcs)] = true;
+            ready_mask |= 1 << slot.dense_index(self.gs_vcs);
         }
-        for off in 1..=n {
-            let idx = (self.pointer + off) % n;
-            if ready_mask[idx] {
-                self.pointer = idx;
-                return if idx == self.gs_vcs {
-                    LinkSlot::Be
-                } else {
-                    LinkSlot::Gs(VcId(idx as u8))
-                };
+        self.select_mask(ready_mask, self.gs_vcs)
+    }
+
+    fn select_mask(&mut self, ready_mask: u128, _gs_vcs: usize) -> LinkSlot {
+        let n = LinkSlot::count(self.gs_vcs);
+        assert!(n <= 128, "fair-share arbiter supports at most 127 GS VCs");
+        assert!(ready_mask != 0, "select called with no ready slots");
+        // Rotate so the slot after `pointer` becomes bit 0 and pick the
+        // lowest set bit. The u64 path covers every practical width (the
+        // paper's router has 8 slots) without 128-bit shifts, and the
+        // branches replace runtime `%` — this runs once per link grant.
+        let mut start = self.pointer + 1;
+        if start == n {
+            start = 0;
+        }
+        let idx = if n <= 64 {
+            let mask = ready_mask as u64;
+            let rotated = if start == 0 {
+                mask
+            } else {
+                // Bits of slots < start move to [n-start, n); bits of
+                // slots ≥ start that fall off the top are duplicates of
+                // positions already covered by the right shift.
+                (mask >> start) | (mask << (n - start))
+            };
+            let mut idx = start + rotated.trailing_zeros() as usize;
+            if idx >= n {
+                idx -= n;
             }
+            idx
+        } else {
+            let rotated = if start == 0 {
+                ready_mask
+            } else {
+                (ready_mask >> start) | (ready_mask << (n - start))
+            };
+            let mut idx = start + rotated.trailing_zeros() as usize;
+            if idx >= n {
+                idx -= n;
+            }
+            idx
+        };
+        self.pointer = idx;
+        if idx == self.gs_vcs {
+            LinkSlot::Be
+        } else {
+            LinkSlot::Gs(VcId(idx as u8))
         }
-        unreachable!("ready non-empty but no slot found");
     }
 
     fn name(&self) -> &'static str {
@@ -164,6 +226,18 @@ impl StaticPriorityArbiter {
 }
 
 impl LinkArbiter for StaticPriorityArbiter {
+    fn select_mask(&mut self, ready_mask: u128, gs_vcs: usize) -> LinkSlot {
+        assert!(ready_mask != 0, "select called with no ready slots");
+        // BE has the highest dense index, so lowest-set-bit is exactly
+        // "highest-priority GS, else BE".
+        let idx = ready_mask.trailing_zeros() as usize;
+        if idx == gs_vcs {
+            LinkSlot::Be
+        } else {
+            LinkSlot::Gs(VcId(idx as u8))
+        }
+    }
+
     fn select(&mut self, ready: &[LinkSlot]) -> LinkSlot {
         assert!(!ready.is_empty(), "select called with no ready slots");
         *ready
@@ -230,20 +304,38 @@ impl AlgArbiter {
 impl LinkArbiter for AlgArbiter {
     fn select(&mut self, ready: &[LinkSlot]) -> LinkSlot {
         assert!(!ready.is_empty(), "select called with no ready slots");
-        let ready_idx: Vec<usize> = ready
-            .iter()
-            .map(|s| s.dense_index(self.gs_vcs))
-            .collect();
-        // Force-grant the most-overdue requester, if any has hit the bound.
-        let overdue = ready_idx
-            .iter()
-            .copied()
-            .filter(|&i| self.ages[i] >= self.age_bound)
-            .max_by_key(|&i| (self.ages[i], usize::MAX - i));
-        // Otherwise: highest priority (lowest index).
-        let granted =
-            overdue.unwrap_or_else(|| ready_idx.iter().copied().min().expect("non-empty"));
-        for &i in &ready_idx {
+        let mut ready_mask: u128 = 0;
+        for &slot in ready {
+            ready_mask |= 1 << slot.dense_index(self.gs_vcs);
+        }
+        self.select_mask(ready_mask, self.gs_vcs)
+    }
+
+    fn select_mask(&mut self, ready_mask: u128, _gs_vcs: usize) -> LinkSlot {
+        assert!(ready_mask != 0, "select called with no ready slots");
+        // Force-grant the most-overdue requester, if any has hit the
+        // bound; otherwise the highest priority (lowest index).
+        let mut overdue: Option<usize> = None;
+        let mut m = ready_mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.ages[i] >= self.age_bound {
+                // Oldest first; on equal age the earlier (lower) index
+                // wins, matching `max_by_key` with `usize::MAX - i`.
+                let beats = overdue
+                    .map(|o| (self.ages[i], usize::MAX - i) > (self.ages[o], usize::MAX - o))
+                    .unwrap_or(true);
+                if beats {
+                    overdue = Some(i);
+                }
+            }
+        }
+        let granted = overdue.unwrap_or(ready_mask.trailing_zeros() as usize);
+        let mut m = ready_mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
             if i == granted {
                 self.ages[i] = 0;
             } else {

@@ -209,21 +209,42 @@ impl BeUnit {
             .collect()
     }
 
+    /// [`BeUnit::contenders`] as a bitmask over [`BeInput::ALL`] indices —
+    /// the allocation-free form the router's arbitration hot path uses.
+    pub fn contender_mask(&self, dest: BeDest) -> u8 {
+        let mut mask = 0u8;
+        for (bit, s) in self.inputs.iter().enumerate() {
+            if s.in_progress == Some(dest) && s.can_move() {
+                mask |= 1 << bit;
+            }
+        }
+        mask
+    }
+
     /// Fair round-robin pick among `contenders` for an output whose
     /// round-robin pointer is `rr`; returns the chosen input and the new
     /// pointer value.
     pub fn rr_pick(contenders: &[BeInput], rr: usize) -> Option<(BeInput, usize)> {
-        if contenders.is_empty() {
+        let mut mask = 0u8;
+        for c in contenders {
+            mask |= 1 << c.index();
+        }
+        Self::rr_pick_mask(mask, rr)
+    }
+
+    /// [`BeUnit::rr_pick`] over a [`BeUnit::contender_mask`] bitmask.
+    pub fn rr_pick_mask(contenders: u8, rr: usize) -> Option<(BeInput, usize)> {
+        if contenders == 0 {
             return None;
         }
         let n = BeInput::ALL.len();
-        for off in 1..=n {
-            let idx = (rr + off) % n;
-            if let Some(&input) = contenders.iter().find(|c| c.index() == idx) {
-                return Some((input, idx));
-            }
-        }
-        unreachable!("non-empty contender list")
+        // Rotate so the input after `rr` becomes bit 0 and take the
+        // lowest set bit.
+        let start = (rr + 1) % n;
+        let m = contenders as u32;
+        let rotated = (m >> start) | (m << (n - start));
+        let idx = (start + rotated.trailing_zeros() as usize) % n;
+        Some((BeInput::ALL[idx], idx))
     }
 
     /// True if any flit or decision state is held anywhere in the unit.

@@ -152,13 +152,20 @@ impl fmt::Display for BeDest {
 /// its NA (our use of the bit Sec. 5 leaves free).
 pub fn build_be_packet(header: BeHeader, payload: &[u32], config: bool) -> Vec<Flit> {
     let mut flits = Vec::with_capacity(payload.len() + 1);
+    build_be_packet_into(header, payload, config, &mut flits);
+    flits
+}
+
+/// [`build_be_packet`] into a caller-owned buffer (cleared first), so
+/// per-packet hot paths can reuse one allocation.
+pub fn build_be_packet_into(header: BeHeader, payload: &[u32], config: bool, flits: &mut Vec<Flit>) {
+    flits.clear();
     let header_is_last = payload.is_empty();
     flits.push(Flit::be(header.0, header_is_last).with_be_vc(config));
     for (i, &word) in payload.iter().enumerate() {
         let eop = i + 1 == payload.len();
         flits.push(Flit::be(word, eop).with_be_vc(config));
     }
-    flits
 }
 
 #[cfg(test)]

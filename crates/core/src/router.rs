@@ -52,6 +52,10 @@ pub struct Router {
     local_gs: Vec<LocalGsState>,
     /// Output link busy flags.
     link_busy: [bool; 4],
+    /// Per-output-port ready bitmask (bit `i` = GS VC `i`, bit `gs_vcs` =
+    /// BE), kept in sync with the VC/BE state transitions so arbitration
+    /// reads one word instead of scanning every channel.
+    ready: [u128; 4],
     /// An `ArbDecide` event is in flight for the port.
     arb_pending: [bool; 4],
     arbiters: [Box<dyn LinkArbiter>; 4],
@@ -95,6 +99,7 @@ impl Router {
                 .map(|_| LocalGsState::new(depth, cfg.na_rx_depth))
                 .collect(),
             link_busy: [false; 4],
+            ready: [0; 4],
             arb_pending: [false; 4],
             arbiters: std::array::from_fn(|_| cfg.arbiter.build(gs_vcs)),
             be: BeUnit::new(cfg.be_input_depth, cfg.be_output_depth, cfg.be_link_credits),
@@ -217,6 +222,7 @@ impl Router {
         self.now = now;
         self.check_vc(dir, wire);
         self.vcs[dir.index()][wire.index()].unlock();
+        self.update_gs_ready(dir, wire);
         self.kick_arb(dir, act);
     }
 
@@ -224,6 +230,7 @@ impl Router {
     pub fn on_credit(&mut self, now: SimTime, dir: Direction, act: &mut Vec<RouterAction>) {
         self.now = now;
         self.be.outputs[dir.index()].add_credit();
+        self.update_be_ready(dir);
         self.kick_arb(dir, act);
     }
 
@@ -338,6 +345,7 @@ impl Router {
         match buffer {
             GsBufferRef::Net { dir, vc } => {
                 self.vcs[dir.index()][vc.index()].complete_advance();
+                self.update_gs_ready(dir, vc);
             }
             GsBufferRef::Local { iface } => {
                 self.local_gs[iface as usize].complete_advance();
@@ -380,17 +388,48 @@ impl Router {
     // Link access (Sec. 4.4)
     // ------------------------------------------------------------------
 
-    fn ready_slots(&self, dir: Direction) -> Vec<LinkSlot> {
-        let mut ready = Vec::with_capacity(self.cfg.gs_vcs() + 1);
-        for (i, st) in self.vcs[dir.index()].iter().enumerate() {
+    /// Re-derives the ready bit for GS VC `vc` on output `dir`; must run
+    /// after every state transition that can change
+    /// [`VcBufferState::is_ready`] (advance completion, grant, unlock).
+    #[inline]
+    fn update_gs_ready(&mut self, dir: Direction, vc: VcId) {
+        let d = dir.index();
+        let bit = 1u128 << vc.index();
+        if self.vcs[d][vc.index()].is_ready() {
+            self.ready[d] |= bit;
+        } else {
+            self.ready[d] &= !bit;
+        }
+    }
+
+    /// The ready mask recomputed from scratch — the debug cross-check for
+    /// the incremental mask (compiled out of release arbitration).
+    fn rederive_ready(&self, dir: Direction) -> u128 {
+        let d = dir.index();
+        let mut mask: u128 = 0;
+        for (i, st) in self.vcs[d].iter().enumerate() {
             if st.is_ready() {
-                ready.push(LinkSlot::Gs(VcId(i as u8)));
+                mask |= 1 << i;
             }
         }
-        if self.be.outputs[dir.index()].link_ready() {
-            ready.push(LinkSlot::Be);
+        if self.be.outputs[d].link_ready() {
+            mask |= 1 << self.cfg.gs_vcs();
         }
-        ready
+        mask
+    }
+
+    /// Re-derives the BE ready bit on output `dir`; must run after every
+    /// transition that can change the BE output's `link_ready` (stage
+    /// push, grant, credit return).
+    #[inline]
+    fn update_be_ready(&mut self, dir: Direction) {
+        let d = dir.index();
+        let bit = 1u128 << self.cfg.gs_vcs();
+        if self.be.outputs[d].link_ready() {
+            self.ready[d] |= bit;
+        } else {
+            self.ready[d] &= !bit;
+        }
     }
 
     /// A slot may have become ready: arrange for an arbitration decision
@@ -401,7 +440,7 @@ impl Router {
         if self.link_busy[d] || self.arb_pending[d] {
             return;
         }
-        if self.ready_slots(dir).is_empty() {
+        if self.ready[d] == 0 {
             return;
         }
         self.arb_pending[d] = true;
@@ -416,11 +455,16 @@ impl Router {
         if self.link_busy[d] {
             return;
         }
-        let ready = self.ready_slots(dir);
-        if ready.is_empty() {
+        let ready = self.ready[d];
+        debug_assert_eq!(
+            ready,
+            self.rederive_ready(dir),
+            "incremental ready mask out of sync on {dir}"
+        );
+        if ready == 0 {
             return;
         }
-        let slot = self.arbiters[d].select(&ready);
+        let slot = self.arbiters[d].select_mask(ready, self.cfg.gs_vcs());
         self.link_busy[d] = true;
         act.push(RouterAction::Internal {
             delay: self.cfg.timing.link_cycle,
@@ -435,6 +479,7 @@ impl Router {
                     )
                 });
                 let flit = self.vcs[d][vc.index()].grant();
+                self.update_gs_ready(dir, vc);
                 self.stats.gs_grants[d] += 1;
                 self.tracer
                     .record(self.now, "gs.grant", || format!("{dir}/{vc} {flit}"));
@@ -451,6 +496,7 @@ impl Router {
                 let out = &mut self.be.outputs[d];
                 let flit = out.buf.pop().expect("BE slot ready implies staged flit");
                 out.credits -= 1;
+                self.update_be_ready(dir);
                 self.stats.be_grants[d] += 1;
                 self.tracer
                     .record(self.now, "be.grant", || format!("{dir} {flit}"));
@@ -527,12 +573,12 @@ impl Router {
         let input = match holder {
             Some(input) => input,
             None => {
-                let contenders = self.be.contenders(dest);
+                let contenders = self.be.contender_mask(dest);
                 let rr = match dest {
                     BeDest::Net(d) => self.be.outputs[d.index()].rr,
                     BeDest::Local => self.be.local_out.rr,
                 };
-                let Some((input, new_rr)) = BeUnit::rr_pick(&contenders, rr) else {
+                let Some((input, new_rr)) = BeUnit::rr_pick_mask(contenders, rr) else {
                     return;
                 };
                 match dest {
@@ -609,6 +655,7 @@ impl Router {
         match dest {
             BeDest::Net(d) => {
                 self.be.outputs[d.index()].buf.push(flit);
+                self.update_be_ready(d);
                 self.kick_arb(d, act);
             }
             BeDest::Local => self.be_deliver_local(flit, act),
@@ -1036,7 +1083,7 @@ mod tests {
         // — wait, from_route(&[East]) appends delivery code West, consumed
         // at the *neighbor*. Simulate the neighbor: flits arrive on its
         // West port with the header already rotated once.
-        let mut rotated = flits.clone();
+        let mut rotated = flits;
         rotated[0].data = BeHeader(rotated[0].data).rotate().0;
         for f in rotated {
             let mut act = Vec::new();

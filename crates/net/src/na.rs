@@ -247,14 +247,19 @@ impl Na {
     // BE receive
     // ------------------------------------------------------------------
 
-    /// Accepts a delivered BE flit; returns the full packet when its EOP
-    /// flit arrives.
-    pub fn be_deliver(&mut self, flit: Flit) -> Option<Vec<Flit>> {
+    /// Accepts a delivered BE flit. When its EOP flit completes a packet,
+    /// copies the packet into `packet` (cleared first) and returns `true`.
+    /// The caller owns `packet` so the assembly buffer can be reused —
+    /// this runs once per delivered flit.
+    pub fn be_deliver(&mut self, flit: Flit, packet: &mut Vec<Flit>) -> bool {
         self.rx_asm.push(flit);
         if flit.eop {
-            Some(std::mem::take(&mut self.rx_asm))
+            packet.clear();
+            packet.extend_from_slice(&self.rx_asm);
+            self.rx_asm.clear();
+            true
         } else {
-            None
+            false
         }
     }
 
@@ -373,9 +378,10 @@ mod tests {
     #[test]
     fn be_reassembly_returns_complete_packets() {
         let mut na = na();
-        assert_eq!(na.be_deliver(Flit::be(1, false)), None);
-        assert_eq!(na.be_deliver(Flit::be(2, false)), None);
-        let pkt = na.be_deliver(Flit::be(3, true)).expect("EOP completes");
+        let mut pkt = Vec::new();
+        assert!(!na.be_deliver(Flit::be(1, false), &mut pkt));
+        assert!(!na.be_deliver(Flit::be(2, false), &mut pkt));
+        assert!(na.be_deliver(Flit::be(3, true), &mut pkt), "EOP completes");
         assert_eq!(pkt.len(), 3);
         assert!(na.is_quiescent());
     }

@@ -14,11 +14,10 @@ use crate::stats::NetStats;
 use crate::topology::Grid;
 use crate::traffic::{Source, SourceKind};
 use mango_core::{
-    build_be_packet, prog, Direction, Flit, InternalEvent, LinkFlit, Router, RouterAction,
+    build_be_packet_into, prog, Direction, Flit, InternalEvent, LinkFlit, Router, RouterAction,
     RouterConfig, RouterId, VcId,
 };
 use mango_sim::{Ctx, Model, SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// An event in the network simulation.
 #[derive(Debug, Clone)]
@@ -117,8 +116,15 @@ pub struct Network {
     sources: Vec<Source>,
     stats: NetStats,
     conn: ConnectionManager,
-    apps: HashMap<usize, Box<dyn NaApp>>,
+    /// Application logic per node, indexed densely like `nodes`.
+    apps: Vec<Option<Box<dyn NaApp>>>,
     scratch: Vec<RouterAction>,
+    /// Reusable BE payload buffer for source ticks.
+    payload_scratch: Vec<u32>,
+    /// Reusable buffer for assembled BE packets at delivery.
+    packet_scratch: Vec<Flit>,
+    /// Reusable buffer for building BE packets at injection.
+    flit_scratch: Vec<Flit>,
     router_cfg: RouterConfig,
     na_cfg: NaConfig,
 }
@@ -129,21 +135,25 @@ impl Network {
         router_cfg
             .validate()
             .unwrap_or_else(|e| panic!("invalid router config: {e}"));
-        let nodes = grid
+        let nodes: Vec<Node> = grid
             .ids()
             .map(|id| Node {
                 router: Router::new(id, router_cfg.clone()),
                 na: Na::new(router_cfg.local_gs_ifaces(), na_cfg.clone()),
             })
             .collect();
+        let apps = (0..nodes.len()).map(|_| None).collect();
         Network {
             conn: ConnectionManager::new(router_cfg.gs_vcs(), router_cfg.local_gs_ifaces()),
             grid,
             nodes,
             sources: Vec::new(),
             stats: NetStats::new(),
-            apps: HashMap::new(),
+            apps,
             scratch: Vec::new(),
+            payload_scratch: Vec::new(),
+            packet_scratch: Vec::new(),
+            flit_scratch: Vec::new(),
             router_cfg,
             na_cfg,
         }
@@ -203,7 +213,7 @@ impl Network {
     /// Attaches application logic to a node's NA.
     pub fn set_app(&mut self, id: RouterId, app: Box<dyn NaApp>) {
         let idx = self.grid.index(id);
-        self.apps.insert(idx, app);
+        self.apps[idx] = Some(app);
     }
 
     /// Registers a traffic source; returns its index for `SourceTick`.
@@ -240,7 +250,8 @@ impl Network {
     ) -> bool {
         let header = xy_header(&self.grid, src, dst)
             .unwrap_or_else(|e| panic!("BE packet route failed: {e}"));
-        let mut flits = build_be_packet(header, payload, false);
+        let mut flits = std::mem::take(&mut self.flit_scratch);
+        build_be_packet_into(header, payload, false, &mut flits);
         if let Some(flow) = flow {
             let seq = self.stats.on_inject(flow);
             for f in &mut flits {
@@ -248,7 +259,9 @@ impl Network {
             }
         }
         let idx = self.grid.index(src);
-        self.nodes[idx].na.enqueue_be(flits)
+        let inject = self.nodes[idx].na.enqueue_be(flits.iter().copied());
+        self.flit_scratch = flits;
+        inject
     }
 
     fn call_router(
@@ -334,9 +347,11 @@ impl Network {
                 }
                 RouterAction::DeliverBe { flit } => {
                     let idx = self.grid.index(id);
-                    if let Some(packet) = self.nodes[idx].na.be_deliver(*flit) {
-                        self.on_be_packet(id, packet, ctx);
+                    let mut packet = std::mem::take(&mut self.packet_scratch);
+                    if self.nodes[idx].na.be_deliver(*flit, &mut packet) {
+                        self.on_be_packet(id, &packet, ctx);
                     }
+                    self.packet_scratch = packet;
                 }
                 RouterAction::NaUnlock { iface } => {
                     let idx = self.grid.index(id);
@@ -358,7 +373,7 @@ impl Network {
     }
 
     /// A complete BE packet was delivered at `id`'s NA.
-    fn on_be_packet(&mut self, id: RouterId, packet: Vec<Flit>, ctx: &mut Ctx<NetEvent>) {
+    fn on_be_packet(&mut self, id: RouterId, packet: &[Flit], ctx: &mut Ctx<NetEvent>) {
         let header = packet[0];
         // Acknowledgments complete connection programming. An ack is a
         // two-flit packet whose payload parses as a *known* token — the
@@ -383,9 +398,10 @@ impl Network {
         }
         if !is_ack {
             let idx = self.grid.index(id);
-            if let Some(mut app) = self.apps.remove(&idx) {
-                let responses = app.on_packet(ctx.now(), &packet);
-                self.apps.insert(idx, app);
+            // Take the app out so it can borrow `self` for responses.
+            if let Some(mut app) = self.apps[idx].take() {
+                let responses = app.on_packet(ctx.now(), packet);
+                self.apps[idx] = Some(app);
                 for resp in responses {
                     self.send_be_packet(id, resp.dest, &resp.payload, resp.flow, ctx.now(), ctx);
                 }
@@ -420,9 +436,11 @@ impl Network {
             return;
         }
         self.sources[idx].emitted += 1;
-        let kind = self.sources[idx].kind.clone();
         let flow = self.sources[idx].flow;
-        match kind {
+        // Read what this tick emits without cloning the source kind (the
+        // BE destination pool is a Vec; cloning it per tick is a hot-path
+        // allocation).
+        match self.sources[idx].kind {
             SourceKind::Gs { router, iface, .. } => {
                 let seq = self.stats.on_inject(flow);
                 let flit = Flit::gs(seq as u32).with_meta(now, seq, flow);
@@ -431,17 +449,25 @@ impl Network {
                     ctx.schedule(self.inject_delay(), NetEvent::NaGsInject { id: router, iface });
                 }
             }
-            SourceKind::Be {
-                router,
-                dests,
-                payload_words,
-            } => {
-                let dest = *self.sources[idx]
+            SourceKind::Be { .. } => {
+                let source = &mut self.sources[idx];
+                let SourceKind::Be {
+                    router,
+                    ref dests,
+                    payload_words,
+                } = source.kind
+                else {
+                    unreachable!()
+                };
+                let dest = *source
                     .rng
-                    .choose(&dests)
+                    .choose(dests)
                     .expect("BE source needs at least one destination");
-                let payload: Vec<u32> = (0..payload_words as u32).collect();
+                let mut payload = std::mem::take(&mut self.payload_scratch);
+                payload.clear();
+                payload.extend(0..payload_words as u32);
                 self.send_be_packet(router, dest, &payload, Some(flow), now, ctx);
+                self.payload_scratch = payload;
             }
         }
         if let Some(next) = self.sources[idx].schedule_next(now) {

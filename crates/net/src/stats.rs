@@ -2,7 +2,6 @@
 //! statistics.
 
 use mango_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 use std::fmt;
 
 /// An exponential-bucket latency histogram.
@@ -225,10 +224,13 @@ impl FlowStats {
 }
 
 /// Central statistics registry for a simulated network.
+///
+/// Flow ids are dense (`0..n` in registration order), so per-flow state
+/// lives in a `Vec` — `on_inject`/`on_deliver` run for every instrumented
+/// flit and must stay an index away, not a hash away.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    flows: HashMap<u32, FlowStats>,
-    next_flow: u32,
+    flows: Vec<FlowStats>,
     measure_start: Option<SimTime>,
 }
 
@@ -240,9 +242,8 @@ impl NetStats {
 
     /// Registers a flow and returns its id.
     pub fn register_flow(&mut self, name: impl Into<String>) -> u32 {
-        let id = self.next_flow;
-        self.next_flow += 1;
-        self.flows.insert(id, FlowStats::new(name.into()));
+        let id = self.flows.len() as u32;
+        self.flows.push(FlowStats::new(name.into()));
         id
     }
 
@@ -250,7 +251,7 @@ impl NetStats {
     /// throughput only accumulate after this.
     pub fn begin_measurement(&mut self, now: SimTime) {
         self.measure_start = Some(now);
-        for flow in self.flows.values_mut() {
+        for flow in &mut self.flows {
             flow.latency.reset();
             flow.delivered_measured = 0;
         }
@@ -294,33 +295,33 @@ impl NetStats {
         }
     }
 
+    #[inline]
     fn flow_mut(&mut self, flow: u32) -> &mut FlowStats {
         self.flows
-            .get_mut(&flow)
+            .get_mut(flow as usize)
             .unwrap_or_else(|| panic!("unregistered flow id {flow}"))
     }
 
     /// The statistics for `flow`.
     pub fn flow(&self, flow: u32) -> &FlowStats {
         self.flows
-            .get(&flow)
+            .get(flow as usize)
             .unwrap_or_else(|| panic!("unregistered flow id {flow}"))
     }
 
     /// All flows in id order.
     pub fn flows(&self) -> Vec<(u32, &FlowStats)> {
-        let mut v: Vec<_> = self.flows.iter().map(|(k, f)| (*k, f)).collect();
-        v.sort_by_key(|(k, _)| *k);
-        v
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(k, f)| (k as u32, f))
+            .collect()
     }
 
     /// Sum of `injected − delivered` over all flows: flits still inside
     /// the network (or lost, which the tests rule out).
     pub fn in_flight(&self) -> u64 {
-        self.flows
-            .values()
-            .map(|f| f.injected - f.delivered)
-            .sum()
+        self.flows.iter().map(|f| f.injected - f.delivered).sum()
     }
 }
 

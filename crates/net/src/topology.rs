@@ -82,7 +82,13 @@ impl Grid {
     }
 
     /// The extra forward delay on a directed link.
+    #[inline]
     pub fn link_extra(&self, from: RouterId, dir: Direction) -> SimDuration {
+        // Homogeneous grids (the common case) never touch the map; this
+        // lookup runs once per flit hop.
+        if self.link_extra.is_empty() {
+            return self.default_extra;
+        }
         self.link_extra
             .get(&(from, dir))
             .copied()

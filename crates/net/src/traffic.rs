@@ -154,9 +154,8 @@ impl Source {
             self.done = true;
             return None;
         }
-        let mut pattern = self.pattern.clone();
-        let gap = pattern.next_gap(&mut self.rng);
-        self.pattern = pattern;
+        let Source { pattern, rng, .. } = self;
+        let gap = pattern.next_gap(rng);
         let next = now + gap;
         if self.stop.is_some_and(|s| next >= s) {
             self.done = true;

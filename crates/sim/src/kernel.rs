@@ -172,30 +172,27 @@ impl<M: Model> Kernel<M> {
     fn run_inner(&mut self, horizon: SimTime, budget: u64) -> RunOutcome {
         let mut remaining = budget;
         loop {
-            match self.queue.peek_time() {
-                None => {
-                    // Queue drained: advance the clock to the horizon (if
-                    // finite) so back-to-back runs see consistent time.
-                    if horizon != SimTime::MAX {
-                        self.now = horizon;
-                    }
-                    return if self.model.quiescent() {
-                        RunOutcome::Quiescent
-                    } else {
-                        RunOutcome::Stalled
-                    };
-                }
-                Some(t) if t > horizon => {
-                    self.now = horizon;
-                    return RunOutcome::HorizonReached;
-                }
-                Some(_) => {}
-            }
             if remaining == 0 {
-                return RunOutcome::EventBudgetExhausted;
+                // Exhaustion only counts if an event was actually due;
+                // drain/horizon outcomes take precedence (rare path —
+                // real runs use an unlimited budget).
+                return match self.queue.peek_time() {
+                    None => self.drained_outcome(horizon),
+                    Some(t) if t > horizon => {
+                        self.now = horizon;
+                        RunOutcome::HorizonReached
+                    }
+                    Some(_) => RunOutcome::EventBudgetExhausted,
+                };
             }
+            let Some((t, ev)) = self.queue.pop_at_or_before(horizon) else {
+                if self.queue.is_empty() {
+                    return self.drained_outcome(horizon);
+                }
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            };
             remaining -= 1;
-            let (t, ev) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(t >= self.now, "event queue delivered out of order");
             self.now = t;
             let mut ctx = Ctx {
@@ -204,6 +201,20 @@ impl<M: Model> Kernel<M> {
             };
             self.model.handle(ev, &mut ctx);
             self.processed += 1;
+        }
+    }
+
+    /// The outcome when the queue drained: advance the clock to a finite
+    /// horizon so back-to-back runs see consistent time, and report
+    /// whether the model has outstanding work.
+    fn drained_outcome(&mut self, horizon: SimTime) -> RunOutcome {
+        if horizon != SimTime::MAX {
+            self.now = horizon;
+        }
+        if self.model.quiescent() {
+            RunOutcome::Quiescent
+        } else {
+            RunOutcome::Stalled
         }
     }
 }

@@ -323,9 +323,17 @@ proptest! {
     /// The event queue is a stable priority queue: pops are globally
     /// time-ordered and FIFO within equal timestamps, for arbitrary
     /// push/pop interleavings (checked against a reference model).
+    ///
+    /// Times mix three scales so the calendar queue's tiers all get
+    /// exercised: a tie-heavy band (same-bucket FIFO order), a band
+    /// around the wheel span (bucket wrap), and a far band (overflow
+    /// promotion) — plus pushes *below* earlier pops (the past tier).
     #[test]
     fn event_queue_matches_reference_model(
-        ops in prop::collection::vec((any::<bool>(), 0u64..50), 1..200),
+        ops in prop::collection::vec(
+            (any::<bool>(), prop_oneof![0u64..50, 0u64..100_000, 0u64..10_000_000]),
+            1..200,
+        ),
     ) {
         use mango::sim::{EventQueue, SimTime};
         let mut q = EventQueue::new();

@@ -1,0 +1,244 @@
+//! A self-contained stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness, implementing the subset of its API this workspace
+//! uses (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`).
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched; this stub keeps the bench sources unchanged
+//! while providing honest wall-clock measurements: each benchmark is
+//! auto-calibrated so one sample takes a meaningful slice of time, then
+//! `sample_size` samples are collected and the median / mean / min are
+//! reported in adaptive units.
+//!
+//! It is intentionally *not* statistically rigorous (no outlier analysis,
+//! no regression bookkeeping) — it exists so `cargo bench` produces stable,
+//! comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches via `criterion::black_box` in the real crate.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one sample, before dividing into iterations.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+
+/// The benchmark manager: holds global settings and the CLI filter.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench executables as `<bin> --bench [filter]`;
+        // ignore flags, treat the first free argument as a substring
+        // filter like the real criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named parameterized benchmark id (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(&full_id, samples, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing left to do).
+    pub fn finish(self) {}
+}
+
+/// Conversion of the various id forms `bench_function` accepts.
+pub trait IntoBenchmarkId {
+    /// The `function[/parameter]` part of the full benchmark id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; times the routine it is given.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_one_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(full_id: &str, samples: usize, f: &mut F) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // costs at least TARGET_SAMPLE_TIME (or a single iteration already
+    // exceeds it).
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_one_sample(f, iters);
+        if t >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+            break;
+        }
+        if t < Duration::from_micros(50) {
+            iters = iters.saturating_mul(16);
+        } else {
+            // Overshoot slightly so the next probe usually terminates.
+            let scale = TARGET_SAMPLE_TIME.as_secs_f64() / t.as_secs_f64() * 1.2;
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| time_one_sample(f, iters).as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter[0];
+
+    println!(
+        "{:<44} time: [median {} | mean {} | min {}]  ({} samples x {} iters)",
+        full_id,
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(min),
+        samples,
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

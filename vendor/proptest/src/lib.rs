@@ -1,0 +1,155 @@
+//! A self-contained stand-in for the [proptest](https://docs.rs/proptest)
+//! property-testing crate, implementing the subset of its API this
+//! workspace uses: the `proptest!` macro, `Strategy` with `prop_map`,
+//! ranges and `any::<T>()` as strategies, tuples, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched. Differences from real proptest:
+//!
+//! * **No shrinking** — a failing case panics with its case number; rerun
+//!   with the same binary to reproduce (generation is deterministic, the
+//!   RNG is seeded from the test's module path and name).
+//! * Value generation is simple uniform sampling, not proptest's
+//!   bias-toward-edge-cases regime.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec(element, len_range)` support.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, len)
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
+}
+
+/// Runs every `fn name(arg in strategy, ..) { body }` item as a `#[test]`
+/// over `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(16).saturating_add(1024),
+                        "too many cases rejected by prop_assume!"
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                    )+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match result {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(e) if e.is_reject() => {}
+                        ::std::result::Result::Err(e) => {
+                            panic!("proptest case {} failed: {}", attempts, e)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Like `assert!` but fails the current generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Like `assert_ne!` but fails the current generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current generated case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Picks one of the given strategies uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

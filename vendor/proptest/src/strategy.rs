@@ -1,0 +1,209 @@
+//! Value-generation strategies: the `Strategy` trait and the combinators
+//! the workspace uses (`prop_map`, ranges, tuples, `Just`, unions,
+//! `any::<T>()`, vectors).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Generates values of an output type from the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range_usize(self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+/// `Vec` generation: length drawn from a range, then that many elements.
+#[derive(Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, len: Range<usize>) -> Self {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end - self.len.start;
+        let n = self.len.start + rng.gen_range_usize(span);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.gen_range_u64(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn new_value(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.gen_range_u64(self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Any")
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
