@@ -49,7 +49,10 @@ impl TaggedStats {
 
     /// Maximum latency over the samples.
     pub fn max(&self) -> Option<SimDuration> {
-        self.latencies_ps.iter().max().map(|&l| SimDuration::from_ps(l))
+        self.latencies_ps
+            .iter()
+            .max()
+            .map(|&l| SimDuration::from_ps(l))
     }
 }
 
@@ -139,8 +142,7 @@ impl Model for GenericModel {
                             granted_input[input] = true;
                             self.rr[output] = input;
                             if flit.tagged {
-                                let latency =
-                                    ctx.now().since(flit.arrived) + self.cfg.cycle;
+                                let latency = ctx.now().since(flit.arrived) + self.cfg.cycle;
                                 self.stats.latencies_ps.push(latency.as_ps());
                             }
                             break;

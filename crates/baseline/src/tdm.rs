@@ -281,9 +281,7 @@ impl TdmNetwork {
     pub fn link_gt_utilization(&self, router: RouterId, dir: Direction) -> f64 {
         match self.tables.get(&(router, dir)) {
             None => 0.0,
-            Some(t) => {
-                t.iter().filter(|s| s.is_some()).count() as f64 / t.len() as f64
-            }
+            Some(t) => t.iter().filter(|s| s.is_some()).count() as f64 / t.len() as f64,
         }
     }
 }
@@ -340,9 +338,7 @@ mod tests {
             n.open_gt(RouterId::new(0, 0), RouterId::new(3, 0), 1),
             Err(TdmError::NoFreeSlot)
         );
-        assert!(
-            (n.link_gt_utilization(RouterId::new(0, 0), Direction::East) - 1.0).abs() < 1e-9
-        );
+        assert!((n.link_gt_utilization(RouterId::new(0, 0), Direction::East) - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -369,7 +365,10 @@ mod tests {
             .unwrap();
         let raw = n.gt_raw_bandwidth_fps(id);
         let payload = n.gt_payload_bandwidth_fps(id);
-        assert!((payload / raw - 0.75).abs() < 1e-9, "3-of-4 flits are payload");
+        assert!(
+            (payload / raw - 0.75).abs() < 1e-9,
+            "3-of-4 flits are payload"
+        );
     }
 
     #[test]

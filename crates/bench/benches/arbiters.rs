@@ -8,7 +8,10 @@ use mango::core::{ArbiterKind, LinkSlot, VcId};
 use std::hint::black_box;
 
 fn ready_sets() -> Vec<Vec<LinkSlot>> {
-    let full: Vec<LinkSlot> = (0..7).map(|i| LinkSlot::Gs(VcId(i))).chain([LinkSlot::Be]).collect();
+    let full: Vec<LinkSlot> = (0..7)
+        .map(|i| LinkSlot::Gs(VcId(i)))
+        .chain([LinkSlot::Be])
+        .collect();
     vec![
         vec![LinkSlot::Gs(VcId(3))],
         vec![LinkSlot::Gs(VcId(0)), LinkSlot::Gs(VcId(6)), LinkSlot::Be],

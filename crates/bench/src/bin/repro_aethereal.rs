@@ -27,9 +27,11 @@ fn main() {
     ]);
     t.add_row(vec![
         "port speed [MHz]".into(),
-        format!("{:.0} (wc) / {:.0} (typ)",
+        format!(
+            "{:.0} (wc) / {:.0} (typ)",
             timing.port_speed_mhz(Corner::WorstCase),
-            timing.port_speed_mhz(Corner::Typical)),
+            timing.port_speed_mhz(Corner::Typical)
+        ),
         format!("{:.0}", AetherealReference::PORT_SPEED_MHZ),
     ]);
     t.add_row(vec![

@@ -23,11 +23,7 @@ fn main() {
     }
 
     println!("Link signaling: bundled data (implemented) vs 1-of-4 DI (future work)\n");
-    let mut t = Table::new(vec![
-        "property",
-        "bundled data",
-        "1-of-4 DI",
-    ]);
+    let mut t = Table::new(vec!["property", "bundled data", "1-of-4 DI"]);
     let b = LinkEncoding::BundledData;
     let d = LinkEncoding::OneOfFour;
     t.add_row(vec![

@@ -66,7 +66,10 @@ fn main() {
             format!("{:.2}", rate / floor),
             (rate >= 0.95 * floor).to_string(),
         ]);
-        assert!(rate >= 0.95 * floor, "GS channel {i} below floor: {rate:.1}");
+        assert!(
+            rate >= 0.95 * floor,
+            "GS channel {i} below floor: {rate:.1}"
+        );
     }
     let be_rate = sim.flow_throughput_m(be_flow) * 4.0; // flits incl. header
     aggregate += be_rate;
@@ -77,7 +80,10 @@ fn main() {
         (be_rate >= 0.8 * floor).to_string(),
     ]);
     print!("{t}");
-    println!("\naggregate {aggregate:.1} Mflit/s = {:.1}% of link capacity", aggregate / link_m * 100.0);
+    println!(
+        "\naggregate {aggregate:.1} Mflit/s = {:.1}% of link capacity",
+        aggregate / link_m * 100.0
+    );
     assert!(be_rate >= 0.8 * floor, "BE below floor: {be_rate:.1}");
 
     // Redistribution: stop at 2 contenders — each gets far more than 1/8.
@@ -91,8 +97,18 @@ fn main() {
     sim.wait_connections_settled().unwrap();
     sim.run_for(SimDuration::from_us(2));
     sim.begin_measurement();
-    let fa = sim.add_gs_source(a, Pattern::cbr(SimDuration::from_ns(2)), "a", EmitWindow::default());
-    let fb = sim.add_gs_source(b, Pattern::cbr(SimDuration::from_ns(2)), "b", EmitWindow::default());
+    let fa = sim.add_gs_source(
+        a,
+        Pattern::cbr(SimDuration::from_ns(2)),
+        "a",
+        EmitWindow::default(),
+    );
+    let fb = sim.add_gs_source(
+        b,
+        Pattern::cbr(SimDuration::from_ns(2)),
+        "b",
+        EmitWindow::default(),
+    );
     sim.run_for(SimDuration::from_us(100));
     let ra = sim.flow_throughput_m(fa);
     let rb = sim.flow_throughput_m(fb);

@@ -12,7 +12,13 @@ use mango::hw::Table;
 fn main() {
     // Enumerate the full steering space from each arrival port.
     println!("Steering-bit coverage (Fig. 5: 3 split bits + 2 switch bits)\n");
-    let mut t = Table::new(vec!["arrival port", "valid codes", "GS targets", "local", "BE"]);
+    let mut t = Table::new(vec![
+        "arrival port",
+        "valid codes",
+        "GS targets",
+        "local",
+        "BE",
+    ]);
     for arrival in [
         Port::Net(Direction::North),
         Port::Net(Direction::East),
@@ -106,7 +112,10 @@ fn main() {
         d2 / d1
     );
     println!("VC control doubling V: x{vc_ratio:.2} (quadratic = 4)");
-    assert!((d2 / d1 - 2.0).abs() < 0.1, "switching must be ~linear in V");
+    assert!(
+        (d2 / d1 - 2.0).abs() < 0.1,
+        "switching must be ~linear in V"
+    );
     assert!((vc_ratio - 4.0).abs() < 1e-9);
     let _ = VcId(0);
 }

@@ -3,12 +3,19 @@
 //! stream's throughput and latency stay flat as BE injection sweeps from
 //! idle to saturation, while BE latency degrades.
 //!
-//! Run with: `cargo run --release -p mango-bench --bin repro_fig8_gs_vs_be`
+//! Run with: `cargo run --release -p mango_bench --bin repro_fig8_gs_vs_be`
+//! `[-- --threads N] [--smoke] [--csv PATH] [--json PATH]`
+//!
+//! The BE load axis is a [`SweepSpec`] grid: one GS connection
+//! (0,0)→(3,3) at 12 ns CBR against a BE background dimension, fanned
+//! out across worker threads and merged in job order.
 
-use mango::core::RouterId;
 use mango::hw::Table;
-use mango::net::{EmitWindow, NocSim, Pattern};
-use mango::sim::SimDuration;
+use mango::net::ScenarioMetrics;
+use mango_sweep::{
+    run_parallel, write_csv, write_json, RuntimeInfo, SweepArgs, SweepRecord, SweepSpec,
+};
+use std::time::Instant;
 
 struct Row {
     label: String,
@@ -18,64 +25,49 @@ struct Row {
     be_mean: f64,
 }
 
-fn run(be_gap_ns: Option<u64>) -> Row {
-    let mut sim = NocSim::paper_mesh(4, 4, 55);
-    let conn = sim
-        .open_connection(RouterId::new(0, 0), RouterId::new(3, 3))
-        .expect("VCs free");
-    sim.wait_connections_settled().expect("settles");
-    let mut be_flows = Vec::new();
-    if let Some(gap) = be_gap_ns {
-        let all: Vec<RouterId> = sim.network().grid().ids().collect();
-        for node in all.clone() {
-            let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
-            be_flows.push(sim.add_be_source(
-                node,
-                dests,
-                4,
-                Pattern::poisson(SimDuration::from_ns(gap)),
-                format!("be-{node}"),
-                EmitWindow::default(),
-            ));
-        }
-    }
-    sim.run_for(SimDuration::from_us(20));
-    sim.begin_measurement();
-    let gs = sim.add_gs_source(
-        conn,
-        Pattern::cbr(SimDuration::from_ns(12)), // ~83 Mf/s, inside the floor
-        "gs",
-        EmitWindow::default(),
-    );
-    sim.run_for(SimDuration::from_us(150));
-    let s = sim.flow(gs);
-    let be_mean = if be_flows.is_empty() {
-        0.0
-    } else {
-        let (sum, n) = be_flows
-            .iter()
-            .filter_map(|f| sim.flow(*f).latency.mean())
-            .fold((0.0, 0u32), |(s, n), d| (s + d.as_ns_f64(), n + 1));
-        if n > 0 {
-            sum / n as f64
-        } else {
-            0.0
-        }
-    };
-    Row {
-        label: match be_gap_ns {
-            None => "BE idle".into(),
-            Some(g) => format!("BE 1 pkt/{g} ns/node"),
-        },
-        gs_tput: sim.flow_throughput_m(gs),
-        gs_mean: s.latency.mean().unwrap().as_ns_f64(),
-        gs_max: s.latency.max().unwrap().as_ns_f64(),
-        be_mean,
-    }
-}
-
 fn main() {
+    let args = SweepArgs::from_env();
+    args.reject_rest().expect("no extra flags");
+    let be_gaps: &[Option<u64>] = if args.smoke {
+        &[None, Some(300), Some(50)]
+    } else {
+        &[None, Some(1000), Some(300), Some(100), Some(50)]
+    };
+    // The historical Fig. 8 experiment as a declarative grid: the
+    // auto-placed first connection of a 4×4 mesh is exactly the
+    // (0,0)→(3,3) six-hop stream the figure tags.
+    let spec = SweepSpec {
+        meshes: vec![(4, 4)],
+        gs_conns: vec![1],
+        be_gaps_ns: be_gaps.to_vec(),
+        gs_periods_ns: vec![12], // ~83 Mf/s, inside the floor
+        measures_us: vec![150],
+        seeds: vec![55],
+        warmup_us: 20,
+        payload_words: 4,
+        mix_gap_into_seed: false,
+    };
+    let jobs = spec.expand();
+    let start = Instant::now();
+    let metrics: Vec<ScenarioMetrics> =
+        run_parallel(&jobs, args.threads, |_, job| spec.scenario(job).run());
+    let wall = start.elapsed().as_secs_f64();
+
     println!("GS independence from BE load (Fig. 8): 6-hop GS stream at 83 Mflit/s\n");
+    let rows: Vec<Row> = jobs
+        .iter()
+        .zip(&metrics)
+        .map(|(job, m)| Row {
+            label: match job.be_gap_ns {
+                None => "BE idle".into(),
+                Some(g) => format!("BE 1 pkt/{g} ns/node"),
+            },
+            gs_tput: m.gs(0).throughput_m,
+            gs_mean: m.gs(0).mean_ns.expect("GS latency recorded"),
+            gs_max: m.gs(0).max_ns.expect("GS latency recorded"),
+            be_mean: m.be_mean_of_means_ns(),
+        })
+        .collect();
     let mut t = Table::new(vec![
         "BE background",
         "GS [Mflit/s]",
@@ -83,10 +75,6 @@ fn main() {
         "GS max [ns]",
         "BE mean [ns]",
     ]);
-    let rows: Vec<Row> = [None, Some(1000), Some(300), Some(100), Some(50)]
-        .into_iter()
-        .map(run)
-        .collect();
     for r in &rows {
         t.add_row(vec![
             r.label.clone(),
@@ -101,6 +89,26 @@ fn main() {
         ]);
     }
     print!("{t}");
+
+    if args.csv.is_some() || args.json.is_some() {
+        let records: Vec<SweepRecord> = jobs
+            .iter()
+            .zip(&metrics)
+            .map(|(job, m)| SweepRecord::measure(job.clone(), m))
+            .collect();
+        if let Some(path) = &args.csv {
+            write_csv(path, &records).expect("write CSV");
+        }
+        if let Some(path) = &args.json {
+            let runtime = RuntimeInfo {
+                threads: args.threads,
+                wall_seconds: wall,
+                total_events: metrics.iter().map(|m| m.events).sum(),
+            };
+            write_json(path, &records, &runtime).expect("write JSON");
+        }
+    }
+
     let base = &rows[0];
     let worst = rows.last().unwrap();
     println!(

@@ -18,7 +18,10 @@ fn run(extra: SimDuration) -> (f64, f64) {
     let build = || {
         let mut grid = Grid::new(8, 1);
         grid.set_default_link_extra(extra);
-        NocSim::new(Network::new(grid, RouterConfig::paper(), NaConfig::paper()), 7)
+        NocSim::new(
+            Network::new(grid, RouterConfig::paper(), NaConfig::paper()),
+            7,
+        )
     };
 
     // Single VC.
@@ -97,7 +100,10 @@ fn main() {
     print!("{t}");
 
     // Single-VC throughput falls with the longer share loop...
-    assert!(results[3].1 < results[0].1 * 0.5, "long loop must slow a lone VC");
+    assert!(
+        results[3].1 < results[0].1 * 0.5,
+        "long loop must slow a lone VC"
+    );
     // ...but overlapping VCs keep the link near capacity while the loop
     // fits the fair-share round (loop ≈ 1.75 ns + 2×extra ≤ 10.06 ns ⇒
     // extra ≤ ~4.2 ns; the 5 ns point exceeds it and dips).

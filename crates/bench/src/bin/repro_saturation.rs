@@ -4,24 +4,53 @@
 //! analytic), but the characterization any adopter runs first, and a
 //! stress test of the credit-based BE flow control.
 //!
-//! Run with: `cargo run --release -p mango-bench --bin repro_saturation`
+//! Run with: `cargo run --release -p mango_bench --bin repro_saturation`
+//! `[-- --threads N] [--smoke] [--csv PATH] [--json PATH]`
+//!
+//! Each load point is an independent simulation; points fan out across
+//! worker threads and merge deterministically — the printed curve is
+//! identical for every `--threads` value.
 
 use mango::hw::Table;
-use mango::net::BeSweep;
+use mango::net::{BeSweep, LoadPoint};
 use mango::sim::SimDuration;
+use mango_sweep::{
+    run_parallel, write_csv, write_json, RuntimeInfo, SweepArgs, SweepJob, SweepRecord,
+};
+use std::time::Instant;
 
 fn main() {
+    let args = SweepArgs::from_env();
+    args.reject_rest().expect("no extra flags");
     println!("BE saturation curve: uniform random traffic, 4x4 mesh, 4-flit packets\n");
     let sweep = BeSweep::default();
     // The BE fabric is fast: with GS idle every link gives BE its full
     // capacity, so uniform-random traffic only saturates once per-node
     // injection approaches the NA's own limit (~199 Mpkt/s for 4-flit
-    // packets). Sweep all the way there.
-    let gaps: Vec<SimDuration> = [2000, 500, 150, 50, 20, 10, 6]
-        .into_iter()
-        .map(SimDuration::from_ns)
+    // packets). Sweep all the way there. The smoke grid keeps the curve
+    // ends (the shape assertions below need them) and drops the middle.
+    let gap_ns: &[u64] = if args.smoke {
+        &[2000, 50, 6]
+    } else {
+        &[2000, 500, 150, 50, 20, 10, 6]
+    };
+    let gaps: Vec<SimDuration> = gap_ns.iter().copied().map(SimDuration::from_ns).collect();
+
+    let specs: Vec<_> = gaps.iter().map(|&g| sweep.scenario(g)).collect();
+    let start = Instant::now();
+    let metrics = run_parallel(&specs, args.threads, |_, spec| spec.run());
+    let wall = start.elapsed().as_secs_f64();
+
+    let points: Vec<LoadPoint> = gaps
+        .iter()
+        .zip(&metrics)
+        .map(|(gap, m)| LoadPoint {
+            offered_m: gap.as_rate_mhz(),
+            delivered_m: m.be_throughput_m(),
+            mean_ns: m.be_weighted_mean_ns(),
+            p99_ns: m.be_p99_worst_ns(),
+        })
         .collect();
-    let points = sweep.run(&gaps);
 
     let mut t = Table::new(vec![
         "offered/node [Mpkt/s]",
@@ -38,6 +67,43 @@ fn main() {
         ]);
     }
     print!("{t}");
+
+    if args.csv.is_some() || args.json.is_some() {
+        // Job metadata comes from the scenarios that actually ran (the
+        // derived seed in particular), not from re-deriving BeSweep's
+        // internals here.
+        let records: Vec<SweepRecord> = specs
+            .iter()
+            .zip(&metrics)
+            .enumerate()
+            .map(|(id, (spec, m))| {
+                SweepRecord::measure(
+                    SweepJob {
+                        id,
+                        width: spec.width,
+                        height: spec.height,
+                        gs_conns: 0,
+                        be_gap_ns: Some(gaps[id].as_ps() / 1000),
+                        gs_period_ns: 0,
+                        measure_us: sweep.measure.as_ps() / 1_000_000,
+                        seed: spec.seed,
+                    },
+                    m,
+                )
+            })
+            .collect();
+        let runtime = RuntimeInfo {
+            threads: args.threads,
+            wall_seconds: wall,
+            total_events: metrics.iter().map(|m| m.events).sum(),
+        };
+        if let Some(path) = &args.csv {
+            write_csv(path, &records).expect("write CSV");
+        }
+        if let Some(path) = &args.json {
+            write_json(path, &records, &runtime).expect("write JSON");
+        }
+    }
 
     // Shape checks: linear region then saturation.
     let light = &points[0];

@@ -3,13 +3,26 @@
 //! module linear in V, the VC-control wire switch quadratic (motivating
 //! the Clos-network suggestion for large V).
 //!
-//! Run with: `cargo run --release -p mango-bench --bin repro_scaling`
+//! Run with: `cargo run --release -p mango_bench --bin repro_scaling`
+//! `[-- --threads N]`
+//!
+//! The configuration grid is evaluated through the sweep runner — each
+//! design point is an independent analytic job, merged in grid order.
+//! (The model is closed-form, so this is parallelism for uniformity with
+//! the simulation sweeps, not for speed.)
 
 use mango::hw::area::{AreaModel, RouterParams};
 use mango::hw::power::PowerModel;
 use mango::hw::Table;
+use mango_sweep::{run_parallel, SweepArgs};
 
 fn main() {
+    let args = SweepArgs::from_env();
+    args.reject_rest().expect("no extra flags");
+    assert!(
+        !args.smoke && args.csv.is_none() && args.json.is_none(),
+        "repro_scaling is analytic and table-only; --smoke/--csv/--json are not supported"
+    );
     let model = AreaModel::cmos_120nm();
     let base = model.breakdown(&RouterParams::paper());
 
@@ -22,48 +35,67 @@ fn main() {
         "VC control",
         "buffers",
     ]);
-    let mut add = |name: &str, p: RouterParams| {
-        let b = model.breakdown(&p);
-        t.add_row(vec![
+    let grid: Vec<(&str, RouterParams)> = vec![
+        ("paper: P=5 V=8 W=32 D=1", RouterParams::paper()),
+        ("V=4 (fewer connections)", {
+            let mut p = RouterParams::paper();
+            p.gs_vcs = 4;
+            p
+        }),
+        ("V=16", {
+            let mut p = RouterParams::paper();
+            p.gs_vcs = 16;
+            p
+        }),
+        ("V=32 (Clos territory)", {
+            let mut p = RouterParams::paper();
+            p.gs_vcs = 32;
+            p
+        }),
+        ("W=64", {
+            let mut p = RouterParams::paper();
+            p.flit_data_bits = 64;
+            p
+        }),
+        ("D=4 (deeper buffers)", {
+            let mut p = RouterParams::paper();
+            p.buffer_depth = 4;
+            p
+        }),
+    ];
+    let rows = run_parallel(&grid, args.threads, |_, (name, p)| {
+        let b = AreaModel::cmos_120nm().breakdown(p);
+        vec![
             name.to_string(),
             format!("{:.3}", b.total_mm2()),
             format!("{:.2}x", b.total_um2() / base.total_um2()),
             format!("{:.3}", b.switching / 1e6),
             format!("{:.3}", b.vc_control / 1e6),
             format!("{:.3}", b.vc_buffers / 1e6),
-        ]);
-    };
-    add("paper: P=5 V=8 W=32 D=1", RouterParams::paper());
-    let mut p = RouterParams::paper();
-    p.gs_vcs = 4;
-    add("V=4 (fewer connections)", p);
-    let mut p = RouterParams::paper();
-    p.gs_vcs = 16;
-    add("V=16", p);
-    let mut p = RouterParams::paper();
-    p.gs_vcs = 32;
-    add("V=32 (Clos territory)", p);
-    let mut p = RouterParams::paper();
-    p.flit_data_bits = 64;
-    add("W=64", p);
-    let mut p = RouterParams::paper();
-    p.buffer_depth = 4;
-    add("D=4 (deeper buffers)", p);
+        ]
+    });
+    for row in rows {
+        t.add_row(row);
+    }
     print!("{t}");
 
     // The Clos motivation: fraction of area spent on the unlock-wire
     // switch as V grows.
     println!("\nVC-control share of total area vs V (Sec. 4.3)\n");
     let mut t = Table::new(vec!["V", "VC control [mm2]", "share of total"]);
-    for v in [8usize, 16, 32, 64] {
+    let vs = [8usize, 16, 32, 64];
+    let rows = run_parallel(&vs, args.threads, |_, &v| {
         let mut p = RouterParams::paper();
         p.gs_vcs = v;
-        let b = model.breakdown(&p);
-        t.add_row(vec![
+        let b = AreaModel::cmos_120nm().breakdown(&p);
+        vec![
             v.to_string(),
             format!("{:.3}", b.vc_control / 1e6),
             format!("{:.1}%", b.vc_control / b.total_um2() * 100.0),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.add_row(row);
     }
     print!("{t}");
 

@@ -2,19 +2,41 @@
 //! (mixed GS + BE on a 4×4 mesh) and reports raw events/second, the
 //! number the simulator-performance roadmap track is measured in.
 //!
-//! Usage: `sim_rate [simulated_us] [repeats]` (defaults: 50 µs × 5).
+//! Usage: `sim_rate [simulated_us] [repeats] [--json]`
+//! (defaults: 50 µs × 5). `--json` emits one machine-readable object on
+//! stdout so CI can record the rate without scraping logs.
 
 use mango::sim::SimDuration;
 use mango_bench::mixed_mesh_4x4;
 use std::time::Instant;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let sim_us: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
-    let repeats: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let mut json = false;
+    let positional: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("usage: sim_rate [simulated_us] [repeats] [--json]");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let sim_us = positional.first().copied().unwrap_or(50);
+    let repeats = positional.get(1).copied().unwrap_or(5);
 
-    println!("mixed 4x4 mesh, {sim_us} us simulated, {repeats} runs");
+    if !json {
+        println!("mixed 4x4 mesh, {sim_us} us simulated, {repeats} runs");
+    }
     let mut best = f64::MIN;
+    let mut runs = Vec::new();
     for run in 0..repeats {
         let mut sim = mixed_mesh_4x4(99);
         let setup_events = sim.events_processed();
@@ -24,11 +46,28 @@ fn main() {
         let events = sim.events_processed() - setup_events;
         let rate = events as f64 / wall;
         best = best.max(rate);
-        println!(
-            "  run {run}: {events} events in {:.1} ms  ->  {:.2} Mevents/s",
+        runs.push(format!(
+            "{{\"events\":{events},\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}}",
             wall * 1e3,
-            rate / 1e6
-        );
+            rate
+        ));
+        if !json {
+            println!(
+                "  run {run}: {events} events in {:.1} ms  ->  {:.2} Mevents/s",
+                wall * 1e3,
+                rate / 1e6
+            );
+        }
     }
-    println!("best: {:.2} Mevents/s", best / 1e6);
+    if json {
+        println!(
+            "{{\"scenario\":\"mixed_4x4\",\"sim_us\":{sim_us},\"repeats\":{repeats},\
+             \"runs\":[{}],\"best_events_per_sec\":{:.0},\"best_mevents_per_sec\":{:.2}}}",
+            runs.join(","),
+            best,
+            best / 1e6
+        );
+    } else {
+        println!("best: {:.2} Mevents/s", best / 1e6);
+    }
 }

@@ -1,0 +1,139 @@
+//! Free-form parameter-sweep driver: declare a grid on the command line,
+//! fan it out over worker threads, get a summary table plus CSV/JSON.
+//!
+//! ```text
+//! cargo run --release -p mango_bench --bin sweep -- \
+//!     --mesh 4x4,8x8 --gs 0,4 --be-gap idle,300,100 --period 12 \
+//!     --measure 100 --seeds 1,2,3 --threads 4 --csv out.csv --json out.json
+//! ```
+//!
+//! `--smoke` runs the fixed smoke grid (the CI determinism gate's
+//! workload), `--full` the weekly characterization grid. Output is
+//! byte-identical for every `--threads` value — see the `mango_sweep`
+//! crate docs for the determinism contract.
+
+use mango_sweep::{run_sweep, write_csv, write_json, RuntimeInfo, SweepArgs, SweepSpec};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--smoke | --full] [--mesh WxH[,WxH..]] [--gs N[,N..]]\n\
+         \x20            [--be-gap idle|NS[,..]] [--period NS[,..]] [--measure US[,..]]\n\
+         \x20            [--seeds S[,S..]] [--warmup US] [--payload WORDS]\n\
+         \x20            [--threads N] [--csv PATH] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T>(value: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    value
+        .split(',')
+        .map(|part| {
+            parse(part.trim()).unwrap_or_else(|| {
+                eprintln!("error: bad {what} entry {part:?}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args = SweepArgs::from_env();
+    let mut spec = if args.smoke {
+        SweepSpec::smoke()
+    } else {
+        SweepSpec::full()
+    };
+    let mut full = false;
+    let mut rest = args.rest.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || {
+            rest.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--full" => full = true,
+            "--mesh" => {
+                spec.meshes = parse_list(value(), "mesh", |s| {
+                    let (w, h) = s.split_once('x')?;
+                    Some((w.parse().ok()?, h.parse().ok()?))
+                });
+            }
+            "--gs" => spec.gs_conns = parse_list(value(), "GS count", |s| s.parse().ok()),
+            "--be-gap" => {
+                spec.be_gaps_ns = parse_list(value(), "BE gap", |s| match s {
+                    "idle" | "none" => Some(None),
+                    _ => s.parse().ok().map(Some),
+                });
+            }
+            "--period" => {
+                spec.gs_periods_ns = parse_list(value(), "GS period", |s| s.parse().ok());
+            }
+            "--measure" => {
+                spec.measures_us = parse_list(value(), "measure window", |s| s.parse().ok());
+            }
+            "--seeds" => spec.seeds = parse_list(value(), "seed", |s| s.parse().ok()),
+            "--warmup" => {
+                spec.warmup_us = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--payload" => {
+                spec.payload_words = value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => {
+                eprintln!("error: unrecognized argument {flag:?}");
+                usage();
+            }
+        }
+    }
+    if args.smoke && full {
+        eprintln!("error: --smoke and --full are mutually exclusive");
+        usage();
+    }
+    if spec.is_empty() {
+        eprintln!("error: the grid is empty (an empty dimension)");
+        std::process::exit(2);
+    }
+
+    let grid_name = if args.smoke {
+        "smoke"
+    } else if full || args.rest.is_empty() {
+        "full"
+    } else {
+        "custom"
+    };
+    println!(
+        "sweep: {} grid, {} jobs on {} threads\n",
+        grid_name,
+        spec.len(),
+        args.threads
+    );
+    let start = Instant::now();
+    let records = run_sweep(&spec, args.threads);
+    let wall = start.elapsed().as_secs_f64();
+    let runtime = RuntimeInfo {
+        threads: args.threads,
+        wall_seconds: wall,
+        total_events: records.iter().map(|r| r.events).sum(),
+    };
+
+    print!("{}", mango_sweep::record::summary_table(&records));
+    println!(
+        "\n{} jobs, {} events in {:.2} s on {} threads  ->  {:.2} Mevents/s",
+        records.len(),
+        runtime.total_events,
+        wall,
+        runtime.threads,
+        runtime.events_per_sec() / 1e6
+    );
+
+    if let Some(path) = &args.csv {
+        write_csv(path, &records).expect("write CSV");
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.json {
+        write_json(path, &records, &runtime).expect("write JSON");
+        println!("wrote {}", path.display());
+    }
+}

@@ -67,7 +67,10 @@ impl fmt::Display for LinkSlot {
 /// requesters (a flit buffered and flow control permitting) each time the
 /// link can issue a grant; the policy keeps whatever internal state it
 /// needs (round-robin pointer, ages).
-pub trait LinkArbiter: fmt::Debug {
+///
+/// `Send` is a supertrait so routers (and the networks holding them) can
+/// move to worker threads for parallel parameter sweeps.
+pub trait LinkArbiter: fmt::Debug + Send {
     /// Chooses the slot to grant from `ready`.
     ///
     /// # Panics
@@ -500,7 +503,9 @@ mod tests {
         let mut wait = 0u32;
         let mut x = 99u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut ready = vec![gs(6)];
             for i in 0..6u8 {
                 if (x >> (i + 3)) & 1 == 1 {

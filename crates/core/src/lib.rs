@@ -79,7 +79,9 @@ pub use config::RouterConfig;
 pub use events::{InternalEvent, RouterAction};
 pub use flit::{Flit, FlitMeta, LinkFlit};
 pub use ids::{ConnectionId, Direction, GsBufferRef, Port, RouterId, UpstreamRef, VcId};
-pub use packet::{build_be_packet, build_be_packet_into, BeDest, BeHeader, BeRouteError, MAX_BE_HOPS};
+pub use packet::{
+    build_be_packet, build_be_packet_into, BeDest, BeHeader, BeRouteError, MAX_BE_HOPS,
+};
 pub use prog::{AckPlan, ProgWrite};
 pub use router::Router;
 pub use stats::RouterStats;

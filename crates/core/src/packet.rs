@@ -40,7 +40,10 @@ impl fmt::Display for BeRouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BeRouteError::TooManyHops(n) => {
-                write!(f, "route of {n} links exceeds the {MAX_BE_HOPS}-hop header capacity")
+                write!(
+                    f,
+                    "route of {n} links exceeds the {MAX_BE_HOPS}-hop header capacity"
+                )
             }
             BeRouteError::Empty => f.write_str("route must traverse at least one link"),
             BeRouteError::Backtrack(i) => write!(
@@ -158,7 +161,12 @@ pub fn build_be_packet(header: BeHeader, payload: &[u32], config: bool) -> Vec<F
 
 /// [`build_be_packet`] into a caller-owned buffer (cleared first), so
 /// per-packet hot paths can reuse one allocation.
-pub fn build_be_packet_into(header: BeHeader, payload: &[u32], config: bool, flits: &mut Vec<Flit>) {
+pub fn build_be_packet_into(
+    header: BeHeader,
+    payload: &[u32],
+    config: bool,
+    flits: &mut Vec<Flit>,
+) {
     flits.clear();
     let header_is_last = payload.is_empty();
     flits.push(Flit::be(header.0, header_is_last).with_be_vc(config));

@@ -373,14 +373,20 @@ mod tests {
 
     #[test]
     fn unknown_opcode_is_error() {
-        assert_eq!(decode_payload(&[0xF000_0000]), Err(ProgError::BadOpcode(0xF)));
+        assert_eq!(
+            decode_payload(&[0xF000_0000]),
+            Err(ProgError::BadOpcode(0xF))
+        );
     }
 
     #[test]
     fn malformed_steer_kind_is_error() {
         // Steer kind 3 does not exist.
         let word = OP_SET_STEER << 28 | 3 << 5;
-        assert!(matches!(decode_payload(&[word]), Err(ProgError::BadEncoding(_))));
+        assert!(matches!(
+            decode_payload(&[word]),
+            Err(ProgError::BadEncoding(_))
+        ));
     }
 
     #[test]
@@ -410,6 +416,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ProgError::BadOpcode(15).to_string().contains("opcode"));
-        assert!(ProgError::MissingReturnHeader.to_string().contains("return header"));
+        assert!(ProgError::MissingReturnHeader
+            .to_string()
+            .contains("return header"));
     }
 }

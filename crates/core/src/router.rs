@@ -32,7 +32,7 @@ use crate::config::RouterConfig;
 use crate::events::{InternalEvent, RouterAction};
 use crate::flit::{Flit, LinkFlit};
 use crate::ids::{Direction, GsBufferRef, RouterId, UpstreamRef, VcId};
-use crate::packet::{BeDest, BeHeader, build_be_packet};
+use crate::packet::{build_be_packet, BeDest, BeHeader};
 use crate::prog::{self, ProgWrite};
 use crate::stats::RouterStats;
 use crate::steer::Steer;
@@ -92,9 +92,7 @@ impl Router {
         Router {
             id,
             table: ConnectionTable::new(gs_vcs, cfg.local_gs_ifaces()),
-            vcs: std::array::from_fn(|_| {
-                (0..gs_vcs).map(|_| VcBufferState::new(depth)).collect()
-            }),
+            vcs: std::array::from_fn(|_| (0..gs_vcs).map(|_| VcBufferState::new(depth)).collect()),
             local_gs: (0..cfg.local_gs_ifaces())
                 .map(|_| LocalGsState::new(depth, cfg.na_rx_depth))
                 .collect(),
@@ -290,9 +288,7 @@ impl Router {
                 self.try_grant(dir, act);
             }
             InternalEvent::BeRouted { input } => self.be_routed(input, act),
-            InternalEvent::BeMoved { input, dest, flit } => {
-                self.be_moved(input, dest, flit, act)
-            }
+            InternalEvent::BeMoved { input, dest, flit } => self.be_moved(input, dest, flit, act),
         }
     }
 
@@ -644,13 +640,7 @@ impl Router {
     }
 
     /// A flit completed the input→output move.
-    fn be_moved(
-        &mut self,
-        input: BeInput,
-        dest: BeDest,
-        flit: Flit,
-        act: &mut Vec<RouterAction>,
-    ) {
+    fn be_moved(&mut self, input: BeInput, dest: BeDest, flit: Flit, act: &mut Vec<RouterAction>) {
         self.be.input_mut(input).moving = false;
         match dest {
             BeDest::Net(d) => {
@@ -835,7 +825,11 @@ mod tests {
         // with the next-hop steering.
         assert!(external.iter().any(|a| matches!(
             a,
-            A::SendUnlock { dir: Direction::West, wire: VcId(2), .. }
+            A::SendUnlock {
+                dir: Direction::West,
+                wire: VcId(2),
+                ..
+            }
         )));
         let sent: Vec<_> = external
             .iter()
@@ -871,7 +865,9 @@ mod tests {
         r.on_link_flit(SimTime::ZERO, Direction::West, arrival, &mut act);
         let ext1 = drain(&mut r, act);
         assert_eq!(
-            ext1.iter().filter(|a| matches!(a, A::SendFlit { .. })).count(),
+            ext1.iter()
+                .filter(|a| matches!(a, A::SendFlit { .. }))
+                .count(),
             1
         );
 
@@ -889,9 +885,13 @@ mod tests {
         );
         let ext2 = drain(&mut r, act);
         assert!(ext2.iter().all(|a| !matches!(a, A::SendFlit { .. })));
-        assert!(ext2
-            .iter()
-            .any(|a| matches!(a, A::SendUnlock { dir: Direction::West, .. })));
+        assert!(ext2.iter().any(|a| matches!(
+            a,
+            A::SendUnlock {
+                dir: Direction::West,
+                ..
+            }
+        )));
 
         // Unlock arrives: flit 2 goes out.
         let mut act = Vec::new();
@@ -926,7 +926,9 @@ mod tests {
         let mut act = Vec::new();
         r.on_link_flit(SimTime::ZERO, Direction::North, lf(1), &mut act);
         let ext = drain(&mut r, act);
-        assert!(ext.iter().any(|a| matches!(a, A::DeliverGs { iface: 1, flit } if flit.data == 1)));
+        assert!(ext
+            .iter()
+            .any(|a| matches!(a, A::DeliverGs { iface: 1, flit } if flit.data == 1)));
 
         // NA has one rx slot (paper default) and has not consumed: flit 2
         // advances into the buffer (unlock) but is not delivered.
@@ -947,7 +949,9 @@ mod tests {
         let mut act = Vec::new();
         r.on_local_gs_consume(SimTime::ZERO, 1, &mut act);
         let ext = drain(&mut r, act);
-        assert!(ext.iter().any(|a| matches!(a, A::DeliverGs { flit, .. } if flit.data == 2)));
+        assert!(ext
+            .iter()
+            .any(|a| matches!(a, A::DeliverGs { flit, .. } if flit.data == 2)));
         assert!(ext.iter().any(|a| matches!(a, A::SendUnlock { .. })));
     }
 
@@ -1068,7 +1072,15 @@ mod tests {
         // Credits returned upstream for all three flits.
         let credits = external
             .iter()
-            .filter(|a| matches!(a, A::SendCredit { dir: Direction::West, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    A::SendCredit {
+                        dir: Direction::West,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(credits, 3);
     }
@@ -1161,7 +1173,11 @@ mod tests {
         let acks: Vec<_> = external
             .iter()
             .filter_map(|a| match a {
-                A::SendFlit { dir: Direction::West, lf, .. } => Some(lf.flit),
+                A::SendFlit {
+                    dir: Direction::West,
+                    lf,
+                    ..
+                } => Some(lf.flit),
                 _ => None,
             })
             .collect();
@@ -1203,7 +1219,9 @@ mod tests {
         r.on_credit(SimTime::ZERO, Direction::East, &mut act);
         let ext = drain(&mut r, act);
         assert_eq!(
-            ext.iter().filter(|a| matches!(a, A::SendFlit { .. })).count(),
+            ext.iter()
+                .filter(|a| matches!(a, A::SendFlit { .. }))
+                .count(),
             1
         );
     }

@@ -190,10 +190,7 @@ mod tests {
         let mut v = Vec::new();
         for dir in Direction::ALL {
             for vc in 0..8 {
-                v.push(Steer::GsBuffer {
-                    dir,
-                    vc: VcId(vc),
-                });
+                v.push(Steer::GsBuffer { dir, vc: VcId(vc) });
             }
         }
         for iface in 0..4 {
@@ -233,10 +230,7 @@ mod tests {
     fn pack_unpack_roundtrip_from_local_port() {
         for dir in Direction::ALL {
             for vc in 0..8 {
-                let target = Steer::GsBuffer {
-                    dir,
-                    vc: VcId(vc),
-                };
+                let target = Steer::GsBuffer { dir, vc: VcId(vc) };
                 let code = target.pack(Port::Local).unwrap();
                 assert!(code < 32);
                 assert_eq!(Steer::unpack(code, Port::Local), Ok(target));
@@ -279,7 +273,10 @@ mod tests {
             dir: Direction::East,
             vc: VcId(0),
         };
-        assert_eq!(t.pack(Port::Net(Direction::East)), Err(SteerCodeError::UTurn));
+        assert_eq!(
+            t.pack(Port::Net(Direction::East)),
+            Err(SteerCodeError::UTurn)
+        );
         assert!(t.pack(Port::Net(Direction::West)).is_ok());
     }
 
@@ -289,7 +286,10 @@ mod tests {
             Steer::LocalGs { iface: 0 }.pack(Port::Local),
             Err(SteerCodeError::LocalToLocal)
         );
-        assert_eq!(Steer::BeUnit.pack(Port::Local), Err(SteerCodeError::LocalToLocal));
+        assert_eq!(
+            Steer::BeUnit.pack(Port::Local),
+            Err(SteerCodeError::LocalToLocal)
+        );
     }
 
     #[test]
@@ -310,10 +310,7 @@ mod tests {
 
     #[test]
     fn bad_codes_rejected() {
-        assert_eq!(
-            Steer::unpack(32, Port::Local),
-            Err(SteerCodeError::BadCode)
-        );
+        assert_eq!(Steer::unpack(32, Port::Local), Err(SteerCodeError::BadCode));
         // BE split code with nonzero sub bits is invalid.
         assert_eq!(
             Steer::unpack(7 << 2 | 1, Port::Net(Direction::North)),

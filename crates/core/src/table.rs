@@ -293,6 +293,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(TableError::BadVc(VcId(9)).to_string().contains("vc9"));
-        assert!(TableError::Occupied("x".into()).to_string().contains("already"));
+        assert!(TableError::Occupied("x".into())
+            .to_string()
+            .contains("already"));
     }
 }

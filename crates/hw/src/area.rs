@@ -106,7 +106,8 @@ impl RouterParams {
     /// BE payload (data + EOP + BE-VC) and the GS form (data + switch
     /// steering bits). Both are 34 for the paper's configuration (Sec. 5).
     pub fn post_split_bits(&self) -> usize {
-        self.be_payload_bits().max(self.flit_data_bits + self.switch_bits())
+        self.be_payload_bits()
+            .max(self.flit_data_bits + self.switch_bits())
     }
 
     /// Physical link width in bits: split bits + post-split flit
@@ -281,7 +282,10 @@ impl AreaBreakdown {
                 "Total".to_string(),
                 format!("{total:.3}"),
                 format!("{:.3}", Table1::PAPER_TOTAL),
-                format!("{:+.1}%", (total - Table1::PAPER_TOTAL) / Table1::PAPER_TOTAL * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (total - Table1::PAPER_TOTAL) / Table1::PAPER_TOTAL * 100.0
+                ),
             ]);
         } else {
             t.add_row(vec!["Total".to_string(), format!("{total:.3}")]);

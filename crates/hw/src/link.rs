@@ -89,7 +89,10 @@ impl LinkEncoding {
 ///
 /// Panics if `bits` is zero, odd, or exceeds 32.
 pub fn encode_1of4(data: u32, bits: usize) -> Vec<u8> {
-    assert!(bits > 0 && bits.is_multiple_of(2) && bits <= 32, "bits must be even, 2..=32");
+    assert!(
+        bits > 0 && bits.is_multiple_of(2) && bits <= 32,
+        "bits must be even, 2..=32"
+    );
     (0..bits / 2)
         .map(|g| ((data >> (2 * g)) & 0b11) as u8)
         .collect()
@@ -145,8 +148,8 @@ mod tests {
         assert_eq!(LinkEncoding::BundledData.wires(34), 36);
         assert_eq!(LinkEncoding::OneOfFour.wires(34), 69);
         // DI costs ~2x the wires.
-        let ratio = LinkEncoding::OneOfFour.wires(34) as f64
-            / LinkEncoding::BundledData.wires(34) as f64;
+        let ratio =
+            LinkEncoding::OneOfFour.wires(34) as f64 / LinkEncoding::BundledData.wires(34) as f64;
         assert!(ratio > 1.8 && ratio < 2.0);
     }
 

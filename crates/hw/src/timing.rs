@@ -261,8 +261,7 @@ mod tests {
     fn link_cycle_is_stage_sum() {
         let m = TimingModel::cmos_120nm();
         let s = m.stages();
-        let expected =
-            s.arb_decision + s.merge + s.steer_append + s.link_wire + s.handshake_return;
+        let expected = s.arb_decision + s.merge + s.steer_append + s.link_wire + s.handshake_return;
         assert_eq!(m.link_cycle(Corner::Typical).as_ps(), expected);
         assert_eq!(expected, 1258);
     }
@@ -310,7 +309,10 @@ mod tests {
     #[test]
     fn paper_shortcuts_match_model() {
         let m = TimingModel::cmos_120nm();
-        assert_eq!(RouterTiming::paper_typical(), m.router_timing(Corner::Typical));
+        assert_eq!(
+            RouterTiming::paper_typical(),
+            m.router_timing(Corner::Typical)
+        );
         assert_eq!(
             RouterTiming::paper_worst_case(),
             m.router_timing(Corner::WorstCase)
@@ -328,6 +330,9 @@ mod tests {
         let mut stages = StageDelays::cmos_120nm_typical();
         stages.arb_decision = 1000;
         let m = TimingModel::with_stages(stages);
-        assert_eq!(m.link_cycle(Corner::Typical).as_ps(), 1000 + 200 + 150 + 400 + 258);
+        assert_eq!(
+            m.link_cycle(Corner::Typical).as_ps(),
+            1000 + 200 + 150 + 400 + 258
+        );
     }
 }

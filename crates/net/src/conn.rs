@@ -208,7 +208,12 @@ impl ConnectionManager {
     ///
     /// Fails (reserving nothing) if routing fails or any VC/interface on
     /// the path is exhausted.
-    pub fn open(&mut self, grid: &Grid, src: RouterId, dst: RouterId) -> Result<OpenPlan, ConnError> {
+    pub fn open(
+        &mut self,
+        grid: &Grid,
+        src: RouterId,
+        dst: RouterId,
+    ) -> Result<OpenPlan, ConnError> {
         let dirs = xy_route(grid, src, dst)?;
         let path = xy_path(grid, src, dst)?;
         let hops = dirs.len();
@@ -545,10 +550,7 @@ mod tests {
         let tokens: Vec<u16> = conn.outstanding.clone();
         assert_eq!(tokens.len(), 2);
         assert_eq!(m.on_ack(tokens[0], &g), None, "still one outstanding");
-        assert_eq!(
-            m.on_ack(tokens[1], &g),
-            Some((plan.id, ConnState::Open))
-        );
+        assert_eq!(m.on_ack(tokens[1], &g), Some((plan.id, ConnState::Open)));
         assert!(m.all_settled());
         assert_eq!(m.on_ack(tokens[1], &g), None, "duplicate ack ignored");
     }
@@ -610,6 +612,7 @@ mod tests {
         // Second connection fails on the first link...
         assert!(m.open(&g, a, b).is_err());
         // ...but a disjoint path is unaffected.
-        m.open(&g, RouterId::new(0, 1), RouterId::new(2, 1)).unwrap();
+        m.open(&g, RouterId::new(0, 1), RouterId::new(2, 1))
+            .unwrap();
     }
 }

@@ -7,6 +7,7 @@
 //! measurement window, deliveries counted in-window and latency sampled
 //! for in-window injections only.
 
+use crate::scenario::{BeBackgroundSpec, MeasureBound, Phase, ScenarioSpec};
 use crate::sim::{EmitWindow, NocSim};
 use crate::traffic::Pattern;
 use mango_core::{RouterConfig, RouterId};
@@ -59,52 +60,37 @@ impl Default for BeSweep {
 }
 
 impl BeSweep {
-    /// Runs one point: every node sources uniform-random BE packets with
-    /// Poisson gaps of `gap` (offered per-node rate = 1/gap).
-    pub fn run_point(&self, gap: SimDuration) -> LoadPoint {
-        let mut sim = NocSim::mesh_with(
-            self.width,
-            self.height,
-            self.router_cfg.clone(),
-            self.seed ^ gap.as_ps(),
-        );
-        let all: Vec<RouterId> = sim.network().grid().ids().collect();
-        let mut flows = Vec::new();
-        for node in all.clone() {
-            let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
-            flows.push(sim.add_be_source(
-                node,
-                dests,
-                self.payload_words,
-                Pattern::poisson(gap),
-                format!("sweep-{node}"),
-                EmitWindow::default(),
-            ));
+    /// The [`ScenarioSpec`] for one load point: every node sources
+    /// uniform-random BE packets with Poisson gaps of `gap` (offered
+    /// per-node rate = 1/gap). The point seed mixes the gap into the base
+    /// seed so each load level gets an independent random stream.
+    pub fn scenario(&self, gap: SimDuration) -> ScenarioSpec {
+        ScenarioSpec {
+            width: self.width,
+            height: self.height,
+            router_cfg: self.router_cfg.clone(),
+            seed: self.seed ^ gap.as_ps(),
+            warmup: self.warmup,
+            measure: MeasureBound::For(self.measure),
+            gs: Vec::new(),
+            be: Vec::new(),
+            background: Some(BeBackgroundSpec {
+                pattern: Pattern::poisson(gap),
+                payload_words: self.payload_words,
+                name_prefix: "sweep-".into(),
+                phase: Phase::Setup,
+            }),
         }
-        sim.run_for(self.warmup);
-        sim.begin_measurement();
-        sim.run_for(self.measure);
+    }
 
-        let mut delivered = 0.0;
-        let mut lat_sum = 0.0;
-        let mut lat_n = 0u64;
-        let mut p99_worst: f64 = 0.0;
-        for f in &flows {
-            delivered += sim.flow_throughput_m(*f);
-            let s = sim.flow(*f);
-            if let Some(mean) = s.latency.mean() {
-                lat_sum += mean.as_ns_f64() * s.latency.count() as f64;
-                lat_n += s.latency.count();
-            }
-            if let Some(p99) = s.latency.quantile(0.99) {
-                p99_worst = p99_worst.max(p99.as_ns_f64());
-            }
-        }
+    /// Runs one point of [`BeSweep::scenario`].
+    pub fn run_point(&self, gap: SimDuration) -> LoadPoint {
+        let m = self.scenario(gap).run();
         LoadPoint {
             offered_m: gap.as_rate_mhz(),
-            delivered_m: delivered,
-            mean_ns: if lat_n > 0 { lat_sum / lat_n as f64 } else { 0.0 },
-            p99_ns: p99_worst,
+            delivered_m: m.be_throughput_m(),
+            mean_ns: m.be_weighted_mean_ns(),
+            p99_ns: m.be_p99_worst_ns(),
         }
     }
 

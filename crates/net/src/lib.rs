@@ -41,6 +41,7 @@ pub mod na;
 pub mod network;
 pub mod ocp;
 pub mod route;
+pub mod scenario;
 pub mod sim;
 pub mod stats;
 pub mod topology;
@@ -52,6 +53,10 @@ pub use na::{Na, NaConfig};
 pub use network::{AppPacket, NaApp, NetEvent, Network, Node};
 pub use ocp::{OcpMessage, OcpSlave};
 pub use route::{xy_header, xy_path, xy_route, RouteError};
+pub use scenario::{
+    BeBackgroundSpec, BeFlowSpec, FlowKind, FlowMetric, GsFlowSpec, MeasureBound, Phase,
+    ScenarioMetrics, ScenarioSpec,
+};
 pub use sim::{EmitWindow, NocSim};
 pub use stats::{FlowStats, Histogram, LatencyRecorder, NetStats};
 pub use topology::Grid;

@@ -102,7 +102,10 @@ pub struct AppPacket {
 
 /// Application logic attached to an NA: reacts to delivered BE packets
 /// (e.g. an OCP slave turning requests into responses).
-pub trait NaApp: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a whole [`Network`] can move to a worker
+/// thread — parameter sweeps run one independent network per thread.
+pub trait NaApp: std::fmt::Debug + Send {
     /// Handles a delivered packet (header flit first); returns packets to
     /// send in response.
     fn on_packet(&mut self, now: SimTime, packet: &[Flit]) -> Vec<AppPacket>;
@@ -337,13 +340,7 @@ impl Network {
                     // The core consumes the flit, then frees the delivery
                     // slot.
                     let delay = self.na_cfg.consume_delay;
-                    ctx.schedule(
-                        delay,
-                        NetEvent::NaGsConsumed {
-                            id,
-                            iface: *iface,
-                        },
-                    );
+                    ctx.schedule(delay, NetEvent::NaGsConsumed { id, iface: *iface });
                 }
                 RouterAction::DeliverBe { flit } => {
                     let idx = self.grid.index(id);
@@ -446,7 +443,10 @@ impl Network {
                 let flit = Flit::gs(seq as u32).with_meta(now, seq, flow);
                 let node = self.grid.index(router);
                 if self.nodes[node].na.enqueue_gs(iface, flit) {
-                    ctx.schedule(self.inject_delay(), NetEvent::NaGsInject { id: router, iface });
+                    ctx.schedule(
+                        self.inject_delay(),
+                        NetEvent::NaGsInject { id: router, iface },
+                    );
                 }
             }
             SourceKind::Be { .. } => {
@@ -532,7 +532,10 @@ mod tests {
         let net = Network::new(Grid::new(3, 3), RouterConfig::paper(), NaConfig::paper());
         assert_eq!(net.nodes().len(), 9);
         assert!(net.quiescent());
-        assert_eq!(net.node(RouterId::new(2, 2)).router.id(), RouterId::new(2, 2));
+        assert_eq!(
+            net.node(RouterId::new(2, 2)).router.id(),
+            RouterId::new(2, 2)
+        );
     }
 
     #[test]

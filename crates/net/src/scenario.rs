@@ -1,0 +1,570 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`ScenarioSpec`] is a complete, self-contained description of one
+//! simulation run: mesh geometry, GS connections with their sources, BE
+//! flows, uniform-random background traffic, warmup and measurement
+//! phases. [`ScenarioSpec::run`] builds a fresh [`NocSim`], executes the
+//! scenario and returns typed [`ScenarioMetrics`] — so a scenario can be
+//! shipped to a worker thread and run with **zero shared state**, which
+//! is what makes parameter sweeps embarrassingly parallel.
+//!
+//! # Determinism contract
+//!
+//! Two runs of an identical `ScenarioSpec` produce bit-identical
+//! [`ScenarioMetrics`], on any thread, regardless of what other scenarios
+//! run concurrently. This holds because the construction sequence is
+//! fixed and documented (below), every traffic source draws from an RNG
+//! stream forked deterministically from the scenario seed in attachment
+//! order, and the simulation kernel itself is sequential and
+//! deterministic.
+//!
+//! Construction order (the RNG stream a source receives is its position
+//! in this sequence):
+//!
+//! 1. build the mesh from `(width, height, router_cfg, seed)`;
+//! 2. open every GS connection in `gs` order, then settle programming
+//!    traffic (skipped when there are no connections);
+//! 3. attach [`Phase::Setup`] sources: GS flows in `gs` order, explicit
+//!    BE flows in `be` order, then background sources in grid-id order;
+//! 4. run for `warmup` (skipped when zero);
+//! 5. begin the measurement window;
+//! 6. attach [`Phase::Measure`] sources in the same within-phase order;
+//! 7. run to the `measure` bound (fixed span or quiescence).
+//!
+//! This sequence reproduces, step for step, what the original repro
+//! binaries did imperatively — their outputs are bit-identical to a
+//! hand-rolled `NocSim` driven the same way.
+
+use crate::conn::ConnState;
+use crate::na::NaConfig;
+use crate::network::Network;
+use crate::sim::{EmitWindow, NocSim};
+use crate::topology::Grid;
+use crate::traffic::Pattern;
+use mango_core::{RouterConfig, RouterId};
+use mango_sim::{RunOutcome, SimDuration};
+
+/// When a source is attached: before warmup or at measurement start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Attached before the warmup run (traffic present during warmup).
+    Setup,
+    /// Attached immediately after the measurement window opens.
+    Measure,
+}
+
+/// How the measurement run terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureBound {
+    /// Run for a fixed span of simulated time.
+    For(SimDuration),
+    /// Run until the event queue drains (bounded sources required).
+    ToQuiescence,
+}
+
+/// A GS connection with an attached CBR/Poisson flit source.
+#[derive(Debug, Clone)]
+pub struct GsFlowSpec {
+    /// Connection source router.
+    pub src: RouterId,
+    /// Connection destination router.
+    pub dst: RouterId,
+    /// Emission pattern.
+    pub pattern: Pattern,
+    /// Flow name in the statistics registry.
+    pub name: String,
+    /// Emission bounds.
+    pub window: EmitWindow,
+    /// Attachment phase.
+    pub phase: Phase,
+}
+
+/// An explicit BE packet flow.
+#[derive(Debug, Clone)]
+pub struct BeFlowSpec {
+    /// Source router.
+    pub src: RouterId,
+    /// Destination pool (uniform pick; repeat to weight).
+    pub dests: Vec<RouterId>,
+    /// Payload words per packet.
+    pub payload_words: usize,
+    /// Emission pattern.
+    pub pattern: Pattern,
+    /// Flow name in the statistics registry.
+    pub name: String,
+    /// Emission bounds.
+    pub window: EmitWindow,
+    /// Attachment phase.
+    pub phase: Phase,
+}
+
+/// Uniform-random all-to-all BE background traffic: one source per node,
+/// destinations drawn uniformly from every other node.
+#[derive(Debug, Clone)]
+pub struct BeBackgroundSpec {
+    /// Per-node emission pattern.
+    pub pattern: Pattern,
+    /// Payload words per packet.
+    pub payload_words: usize,
+    /// Flow-name prefix; the node id is appended (e.g. `"bg-"` →
+    /// `"bg-(1,2)"`).
+    pub name_prefix: String,
+    /// Attachment phase.
+    pub phase: Phase,
+}
+
+/// A complete, runnable experiment description.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Mesh width.
+    pub width: u8,
+    /// Mesh height.
+    pub height: u8,
+    /// Router configuration for every node.
+    pub router_cfg: RouterConfig,
+    /// Simulation seed (every source stream forks from it).
+    pub seed: u64,
+    /// Warmup span before the measurement window (zero = none).
+    pub warmup: SimDuration,
+    /// Measurement termination.
+    pub measure: MeasureBound,
+    /// GS connections with sources.
+    pub gs: Vec<GsFlowSpec>,
+    /// Explicit BE flows.
+    pub be: Vec<BeFlowSpec>,
+    /// Optional uniform-random background traffic.
+    pub background: Option<BeBackgroundSpec>,
+}
+
+impl ScenarioSpec {
+    /// A scenario skeleton on a `width × height` paper mesh: no traffic,
+    /// no warmup, fixed measurement span.
+    pub fn mesh(width: u8, height: u8, seed: u64) -> Self {
+        ScenarioSpec {
+            width,
+            height,
+            router_cfg: RouterConfig::paper(),
+            seed,
+            warmup: SimDuration::ZERO,
+            measure: MeasureBound::For(SimDuration::from_us(100)),
+            gs: Vec::new(),
+            be: Vec::new(),
+            background: None,
+        }
+    }
+
+    /// Builds the simulation, executes every phase and collects metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GS connection cannot be opened or programming traffic
+    /// fails to settle — a sweep point with an infeasible configuration
+    /// is a spec bug, not a measurement.
+    pub fn run(&self) -> ScenarioMetrics {
+        let mut sim = NocSim::new(
+            Network::new(
+                Grid::new(self.width, self.height),
+                self.router_cfg.clone(),
+                NaConfig::paper(),
+            ),
+            self.seed,
+        );
+
+        // Open connections up front; sources attach later by phase.
+        let conns: Vec<_> = self
+            .gs
+            .iter()
+            .map(|g| {
+                sim.open_connection(g.src, g.dst).unwrap_or_else(|e| {
+                    panic!("scenario GS connection {}->{} failed: {e}", g.src, g.dst)
+                })
+            })
+            .collect();
+        if !conns.is_empty() {
+            sim.wait_connections_settled()
+                .expect("scenario programming traffic settles");
+            for (g, c) in self.gs.iter().zip(&conns) {
+                assert_eq!(
+                    sim.connection_state(*c),
+                    Some(ConnState::Open),
+                    "scenario connection {}->{} did not open",
+                    g.src,
+                    g.dst
+                );
+            }
+        }
+
+        let mut flows = Vec::new();
+        let mut gs_flows = Vec::new();
+        let mut be_flows = Vec::new();
+        let mut background_flows = Vec::new();
+        self.attach_phase(
+            &mut sim,
+            &conns,
+            Phase::Setup,
+            &mut flows,
+            &mut gs_flows,
+            &mut be_flows,
+            &mut background_flows,
+        );
+
+        if !self.warmup.is_zero() {
+            sim.run_for(self.warmup);
+        }
+        sim.begin_measurement();
+        self.attach_phase(
+            &mut sim,
+            &conns,
+            Phase::Measure,
+            &mut flows,
+            &mut gs_flows,
+            &mut be_flows,
+            &mut background_flows,
+        );
+
+        let outcome = match self.measure {
+            MeasureBound::For(span) => sim.run_for(span),
+            MeasureBound::ToQuiescence => sim.run_to_quiescence(),
+        };
+
+        let window = sim.measured_window();
+        let flow_metrics = flows
+            .iter()
+            .map(|&(id, kind)| {
+                let s = sim.flow(id);
+                FlowMetric {
+                    name: s.name.clone(),
+                    kind,
+                    injected: s.injected,
+                    delivered: s.delivered,
+                    sequence_errors: s.sequence_errors,
+                    latency_count: s.latency.count(),
+                    throughput_m: s.throughput_mfps(window),
+                    mean_ns: s.latency.mean().map(|d| d.as_ns_f64()),
+                    p99_ns: s.latency.quantile(0.99).map(|d| d.as_ns_f64()),
+                    max_ns: s.latency.max().map(|d| d.as_ns_f64()),
+                    jitter_ns: s.latency.jitter().map(|d| d.as_ns_f64()),
+                }
+            })
+            .collect();
+        ScenarioMetrics {
+            flows: flow_metrics,
+            gs_flows,
+            be_flows,
+            background_flows,
+            events: sim.events_processed(),
+            outcome,
+            window,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn attach_phase(
+        &self,
+        sim: &mut NocSim,
+        conns: &[mango_core::ConnectionId],
+        phase: Phase,
+        flows: &mut Vec<(u32, FlowKind)>,
+        gs_flows: &mut Vec<usize>,
+        be_flows: &mut Vec<usize>,
+        background_flows: &mut Vec<usize>,
+    ) {
+        for (g, c) in self.gs.iter().zip(conns) {
+            if g.phase == phase {
+                let f = sim.add_gs_source(*c, g.pattern.clone(), g.name.clone(), g.window);
+                gs_flows.push(flows.len());
+                flows.push((f, FlowKind::Gs));
+            }
+        }
+        for b in &self.be {
+            if b.phase == phase {
+                let f = sim.add_be_source(
+                    b.src,
+                    b.dests.clone(),
+                    b.payload_words,
+                    b.pattern.clone(),
+                    b.name.clone(),
+                    b.window,
+                );
+                be_flows.push(flows.len());
+                flows.push((f, FlowKind::Be));
+            }
+        }
+        if let Some(bg) = &self.background {
+            if bg.phase == phase {
+                let all: Vec<RouterId> = sim.network().grid().ids().collect();
+                for node in all.clone() {
+                    let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
+                    let f = sim.add_be_source(
+                        node,
+                        dests,
+                        bg.payload_words,
+                        bg.pattern.clone(),
+                        format!("{}{node}", bg.name_prefix),
+                        EmitWindow::default(),
+                    );
+                    background_flows.push(flows.len());
+                    flows.push((f, FlowKind::Be));
+                }
+            }
+        }
+    }
+}
+
+/// The service class a measured flow belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Guaranteed-service flit stream on a connection.
+    Gs,
+    /// Best-effort packet flow.
+    Be,
+}
+
+/// Measured statistics for one flow, in attachment order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMetric {
+    /// Flow name.
+    pub name: String,
+    /// Service class.
+    pub kind: FlowKind,
+    /// Flits/packets injected (including warmup).
+    pub injected: u64,
+    /// Flits/packets delivered (including warmup).
+    pub delivered: u64,
+    /// Sequence-order violations observed.
+    pub sequence_errors: u64,
+    /// Latency samples recorded in the measurement window.
+    pub latency_count: u64,
+    /// Delivered throughput over the window, Mflit/s (GS) or Mpkt/s (BE).
+    pub throughput_m: f64,
+    /// Mean in-window latency, ns.
+    pub mean_ns: Option<f64>,
+    /// 99th-percentile in-window latency, ns.
+    pub p99_ns: Option<f64>,
+    /// Worst in-window latency, ns.
+    pub max_ns: Option<f64>,
+    /// Jitter (max − min), ns.
+    pub jitter_ns: Option<f64>,
+}
+
+/// Everything measured by one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMetrics {
+    /// Per-flow metrics, in attachment order.
+    pub flows: Vec<FlowMetric>,
+    /// Indices into `flows` for GS sources, in spec order.
+    pub gs_flows: Vec<usize>,
+    /// Indices into `flows` for explicit BE flows, in spec order.
+    pub be_flows: Vec<usize>,
+    /// Indices into `flows` for background sources, in grid-id order.
+    pub background_flows: Vec<usize>,
+    /// Total kernel events processed (simulator effort).
+    pub events: u64,
+    /// How the measurement run terminated.
+    pub outcome: RunOutcome,
+    /// Elapsed measurement window.
+    pub window: SimDuration,
+}
+
+impl ScenarioMetrics {
+    /// Metrics for the `i`-th GS flow of the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario had fewer GS flows.
+    pub fn gs(&self, i: usize) -> &FlowMetric {
+        &self.flows[self.gs_flows[i]]
+    }
+
+    /// Metrics for the `i`-th explicit BE flow of the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario had fewer BE flows.
+    pub fn be(&self, i: usize) -> &FlowMetric {
+        &self.flows[self.be_flows[i]]
+    }
+
+    /// Every BE-class flow (explicit and background), in attachment order.
+    pub fn be_all(&self) -> impl Iterator<Item = &FlowMetric> {
+        self.flows.iter().filter(|f| f.kind == FlowKind::Be)
+    }
+
+    /// Aggregate delivered GS throughput, Mflit/s.
+    pub fn gs_throughput_m(&self) -> f64 {
+        // fold, not sum: f64's Sum identity is -0.0, which would leak
+        // "-0" into the CSV of GS-free jobs.
+        self.gs_flows
+            .iter()
+            .map(|&i| self.flows[i].throughput_m)
+            .fold(0.0, |a, b| a + b)
+    }
+
+    /// Aggregate delivered BE throughput, Mpkt/s.
+    pub fn be_throughput_m(&self) -> f64 {
+        self.be_all()
+            .map(|f| f.throughput_m)
+            .fold(0.0, |a, b| a + b)
+    }
+
+    /// Sample-weighted mean BE latency over all BE flows, ns (the
+    /// saturation-curve aggregation: each latency sample counts once).
+    pub fn be_weighted_mean_ns(&self) -> f64 {
+        let (sum, n) = self
+            .be_all()
+            .filter_map(|f| f.mean_ns.map(|m| (m, f.latency_count)))
+            .fold((0.0, 0u64), |(s, n), (m, c)| (s + m * c as f64, n + c));
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Unweighted mean of per-flow mean BE latencies, ns (the Fig. 8
+    /// aggregation: each *flow* counts once).
+    pub fn be_mean_of_means_ns(&self) -> f64 {
+        let (sum, n) = self
+            .be_all()
+            .filter_map(|f| f.mean_ns)
+            .fold((0.0, 0u32), |(s, n), m| (s + m, n + 1));
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst per-flow p99 BE latency, ns.
+    pub fn be_p99_worst_ns(&self) -> f64 {
+        self.be_all().filter_map(|f| f.p99_ns).fold(0.0, f64::max)
+    }
+
+    /// Total BE packets injected (including warmup).
+    pub fn be_injected(&self) -> u64 {
+        self.be_all().map(|f| f.injected).sum()
+    }
+
+    /// Total BE packets delivered (including warmup).
+    pub fn be_delivered(&self) -> u64 {
+        self.be_all().map(|f| f.delivered).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::Pattern;
+
+    /// `ScenarioSpec` and every type a sweep worker moves across threads
+    /// must stay `Send` — this is the compile-time contract the parallel
+    /// sweep runner relies on.
+    #[test]
+    fn scenario_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ScenarioSpec>();
+        assert_send::<ScenarioMetrics>();
+        assert_send::<NocSim>();
+    }
+
+    fn fig8_like(seed: u64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::mesh(4, 4, seed);
+        spec.warmup = SimDuration::from_us(5);
+        spec.measure = MeasureBound::For(SimDuration::from_us(30));
+        spec.gs.push(GsFlowSpec {
+            src: RouterId::new(0, 0),
+            dst: RouterId::new(3, 3),
+            pattern: Pattern::cbr(SimDuration::from_ns(12)),
+            name: "gs".into(),
+            window: EmitWindow::default(),
+            phase: Phase::Measure,
+        });
+        spec.background = Some(BeBackgroundSpec {
+            pattern: Pattern::poisson(SimDuration::from_ns(300)),
+            payload_words: 4,
+            name_prefix: "be-".into(),
+            phase: Phase::Setup,
+        });
+        spec
+    }
+
+    #[test]
+    fn scenario_matches_imperative_construction() {
+        // The scenario runner must reproduce a hand-driven NocSim
+        // bit-for-bit; this is the backbone of the "rewritten binaries
+        // emit identical output" guarantee.
+        let spec = fig8_like(55);
+        let m = spec.run();
+
+        let mut sim = NocSim::paper_mesh(4, 4, 55);
+        let conn = sim
+            .open_connection(RouterId::new(0, 0), RouterId::new(3, 3))
+            .unwrap();
+        sim.wait_connections_settled().unwrap();
+        let all: Vec<RouterId> = sim.network().grid().ids().collect();
+        let mut be = Vec::new();
+        for node in all.clone() {
+            let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
+            be.push(sim.add_be_source(
+                node,
+                dests,
+                4,
+                Pattern::poisson(SimDuration::from_ns(300)),
+                format!("be-{node}"),
+                EmitWindow::default(),
+            ));
+        }
+        sim.run_for(SimDuration::from_us(5));
+        sim.begin_measurement();
+        let gs = sim.add_gs_source(
+            conn,
+            Pattern::cbr(SimDuration::from_ns(12)),
+            "gs",
+            EmitWindow::default(),
+        );
+        sim.run_for(SimDuration::from_us(30));
+
+        assert_eq!(m.events, sim.events_processed());
+        let g = sim.flow(gs);
+        assert_eq!(m.gs(0).injected, g.injected);
+        assert_eq!(m.gs(0).delivered, g.delivered);
+        assert_eq!(m.gs(0).throughput_m, sim.flow_throughput_m(gs));
+        assert_eq!(m.gs(0).mean_ns, g.latency.mean().map(|d| d.as_ns_f64()));
+        for (i, f) in be.iter().enumerate() {
+            let s = sim.flow(*f);
+            let fm = &m.flows[m.background_flows[i]];
+            assert_eq!(fm.injected, s.injected);
+            assert_eq!(fm.delivered, s.delivered);
+            assert_eq!(fm.mean_ns, s.latency.mean().map(|d| d.as_ns_f64()));
+        }
+    }
+
+    #[test]
+    fn identical_specs_produce_identical_metrics() {
+        let a = fig8_like(7).run();
+        let b = fig8_like(7).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiescence_scenario_with_bounded_source_drains() {
+        let mut spec = ScenarioSpec::mesh(4, 1, 21);
+        spec.measure = MeasureBound::ToQuiescence;
+        spec.be.push(BeFlowSpec {
+            src: RouterId::new(0, 0),
+            dests: vec![RouterId::new(3, 0)],
+            payload_words: 3,
+            pattern: Pattern::cbr(SimDuration::from_ns(100)),
+            name: "hops".into(),
+            window: EmitWindow {
+                limit: Some(20),
+                ..Default::default()
+            },
+            phase: Phase::Measure,
+        });
+        let m = spec.run();
+        assert_eq!(m.outcome, RunOutcome::Quiescent);
+        assert_eq!(m.be(0).injected, 20);
+        assert_eq!(m.be(0).delivered, 20);
+    }
+}

@@ -43,7 +43,11 @@ impl NocSim {
     /// A `width × height` mesh of the paper's routers with default NAs.
     pub fn paper_mesh(width: u8, height: u8, seed: u64) -> Self {
         NocSim::new(
-            Network::new(Grid::new(width, height), RouterConfig::paper(), NaConfig::paper()),
+            Network::new(
+                Grid::new(width, height),
+                RouterConfig::paper(),
+                NaConfig::paper(),
+            ),
             seed,
         )
     }
@@ -133,7 +137,8 @@ impl NocSim {
         }
         let _ = now;
         if need_kick {
-            self.kernel.schedule(delay, NetEvent::NaBeInject { id: src });
+            self.kernel
+                .schedule(delay, NetEvent::NaBeInject { id: src });
         }
         Ok(plan.id)
     }
@@ -165,7 +170,8 @@ impl NocSim {
             }
         }
         if need_kick {
-            self.kernel.schedule(delay, NetEvent::NaBeInject { id: src });
+            self.kernel
+                .schedule(delay, NetEvent::NaBeInject { id: src });
         }
         Ok(())
     }
@@ -297,18 +303,13 @@ impl NocSim {
     }
 
     /// Sends one BE packet immediately (outside any source).
-    pub fn send_be(
-        &mut self,
-        src: RouterId,
-        dst: RouterId,
-        payload: &[u32],
-        flow: Option<u32>,
-    ) {
+    pub fn send_be(&mut self, src: RouterId, dst: RouterId, payload: &[u32], flow: Option<u32>) {
         let now = self.kernel.now();
         let net = self.kernel.model_mut();
         if net.enqueue_be_packet(src, dst, payload, flow, now) {
             let delay = net.inject_delay();
-            self.kernel.schedule(delay, NetEvent::NaBeInject { id: src });
+            self.kernel
+                .schedule(delay, NetEvent::NaBeInject { id: src });
         }
     }
 
@@ -384,9 +385,7 @@ impl NocSim {
                 f.injected.to_string(),
                 f.delivered.to_string(),
                 format!("{:.1}", f.throughput_mfps(window)),
-                f.latency
-                    .mean()
-                    .map_or("-".into(), |d| d.to_string()),
+                f.latency.mean().map_or("-".into(), |d| d.to_string()),
                 f.latency
                     .quantile(0.99)
                     .map_or("-".into(), |d| d.to_string()),

@@ -128,7 +128,9 @@ impl LatencyRecorder {
         if self.count == 0 {
             None
         } else {
-            Some(SimDuration::from_ps((self.sum_ps / self.count as u128) as u64))
+            Some(SimDuration::from_ps(
+                (self.sum_ps / self.count as u128) as u64,
+            ))
         }
     }
 
@@ -423,12 +425,7 @@ mod tests {
         s.begin_measurement(SimTime::ZERO);
         for i in 0..1000u64 {
             let seq = s.on_inject(f);
-            s.on_deliver(
-                f,
-                seq,
-                SimTime::from_ns(i),
-                SimTime::from_ns(i + 1),
-            );
+            s.on_deliver(f, seq, SimTime::from_ns(i), SimTime::from_ns(i + 1));
         }
         // 1000 flits in 1 µs = 1 Gflit/s = 1000 Mfps.
         let window = SimDuration::from_us(1);

@@ -166,10 +166,7 @@ mod tests {
         let a = RouterId::new(0, 0);
         assert_eq!(g.link_extra(a, Direction::East), SimDuration::ZERO);
         g.set_default_link_extra(SimDuration::from_ps(500));
-        assert_eq!(
-            g.link_extra(a, Direction::East),
-            SimDuration::from_ps(500)
-        );
+        assert_eq!(g.link_extra(a, Direction::East), SimDuration::from_ps(500));
         g.set_link_extra(a, Direction::East, SimDuration::from_ns(2));
         assert_eq!(g.link_extra(a, Direction::East), SimDuration::from_ns(2));
         // The reverse direction keeps the default.

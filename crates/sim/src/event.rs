@@ -214,7 +214,9 @@ impl<E> EventQueue<E> {
             return None;
         }
         let bucket = &mut self.buckets[self.cursor];
-        let e = bucket.pop().expect("cursor bucket empty despite near_count");
+        let e = bucket
+            .pop()
+            .expect("cursor bucket empty despite near_count");
         self.near_count -= 1;
         if bucket.is_empty() {
             self.clear_bit(self.cursor);
@@ -339,8 +341,7 @@ impl<E> EventQueue<E> {
     fn sort_cursor_bucket(&mut self) {
         // (time, seq) pairs are unique, so an unstable sort is
         // deterministic.
-        self.buckets[self.cursor]
-            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        self.buckets[self.cursor].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
     }
 
     /// The next non-empty bucket strictly after `start` in ring order.
@@ -407,7 +408,6 @@ mod tests {
             self.heap.pop().map(|e| (e.time, e.event))
         }
     }
-
 
     #[test]
     fn pops_in_time_order() {
@@ -533,10 +533,10 @@ mod tests {
         let mut now = 0u64;
         for i in 0..50_000u64 {
             let delta = match rng.gen_range(10) {
-                0 => 0,                                   // same-instant tie
-                1..=6 => 100 + rng.gen_range(2_900),      // hop latency
-                7 | 8 => rng.gen_range(2 * SPAN_PS),      // around the span
-                _ => SPAN_PS * (2 + rng.gen_range(20)),   // far future
+                0 => 0,                                 // same-instant tie
+                1..=6 => 100 + rng.gen_range(2_900),    // hop latency
+                7 | 8 => rng.gen_range(2 * SPAN_PS),    // around the span
+                _ => SPAN_PS * (2 + rng.gen_range(20)), // far future
             };
             let t = SimTime::from_ps(now + delta);
             q.push(t, i);

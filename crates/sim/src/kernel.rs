@@ -270,6 +270,14 @@ mod tests {
         k
     }
 
+    /// A kernel over a `Send` model must itself be `Send`: parallel
+    /// parameter sweeps hand one kernel to each worker thread.
+    #[test]
+    fn kernel_is_send_for_send_models() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Kernel<PingPong>>();
+    }
+
     #[test]
     fn runs_to_quiescence() {
         let mut k = kernel(5);
@@ -282,11 +290,17 @@ mod tests {
     #[test]
     fn horizon_stops_the_clock_exactly() {
         let mut k = kernel(100);
-        assert_eq!(k.run_until(SimTime::from_ps(25)), RunOutcome::HorizonReached);
+        assert_eq!(
+            k.run_until(SimTime::from_ps(25)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(k.now(), SimTime::from_ps(25));
         // Events at 0, 10, 20 fired; 30+ pending.
         assert_eq!(k.events_processed(), 3);
-        assert_eq!(k.run_until(SimTime::from_ps(30)), RunOutcome::HorizonReached);
+        assert_eq!(
+            k.run_until(SimTime::from_ps(30)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(k.events_processed(), 4);
     }
 

@@ -339,7 +339,10 @@ mod tests {
             SimTime::from_ns(1).saturating_since(SimTime::from_ns(2)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ps(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_ps(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_ps(5).saturating_sub(SimDuration::from_ps(9)),
             SimDuration::ZERO

@@ -1,0 +1,133 @@
+//! The shared command-line surface of the sweep binaries:
+//! `--threads N`, `--smoke`, `--csv PATH`, `--json PATH`.
+//!
+//! No external argument-parsing dependency: the grammar is four flags.
+//! Binary-specific flags are returned unparsed in [`SweepArgs::rest`].
+
+use crate::runner::default_threads;
+use std::path::PathBuf;
+
+/// Parsed common sweep flags.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Worker threads (`--threads N`, default: available parallelism).
+    pub threads: usize,
+    /// Run the reduced smoke grid (`--smoke`).
+    pub smoke: bool,
+    /// Write records as CSV to this path (`--csv PATH`).
+    pub csv: Option<PathBuf>,
+    /// Write records as JSON to this path (`--json PATH`).
+    pub json: Option<PathBuf>,
+    /// Arguments the common parser did not consume, in original order.
+    pub rest: Vec<String>,
+}
+
+impl SweepArgs {
+    /// Parses the common flags out of `args` (exclusive of the program
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag is malformed or missing its
+    /// value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<SweepArgs, String> {
+        let mut out = SweepArgs {
+            threads: default_threads(),
+            smoke: false,
+            csv: None,
+            json: None,
+            rest: Vec::new(),
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    out.threads = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("--threads: bad value {v:?}"))?;
+                }
+                "--smoke" => out.smoke = true,
+                "--csv" => out.csv = Some(args.next().ok_or("--csv needs a path")?.into()),
+                "--json" => out.json = Some(args.next().ok_or("--json needs a path")?.into()),
+                _ => out.rest.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with the usage message on
+    /// error — the standard `main()` entry point.
+    pub fn from_env() -> SweepArgs {
+        match SweepArgs::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("common flags: [--threads N] [--smoke] [--csv PATH] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fails on any unconsumed argument — for binaries with no flags of
+    /// their own.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrecognized argument.
+    pub fn reject_rest(&self) -> Result<(), String> {
+        match self.rest.first() {
+            None => Ok(()),
+            Some(arg) => Err(format!("unrecognized argument {arg:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SweepArgs, String> {
+        SweepArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.smoke);
+        assert!(a.threads >= 1);
+        assert!(a.csv.is_none() && a.json.is_none() && a.rest.is_empty());
+
+        let a = parse(&[
+            "--threads",
+            "4",
+            "--smoke",
+            "--csv",
+            "o.csv",
+            "--json",
+            "o.json",
+        ])
+        .unwrap();
+        assert_eq!(a.threads, 4);
+        assert!(a.smoke);
+        assert_eq!(a.csv.as_deref(), Some(std::path::Path::new("o.csv")));
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("o.json")));
+    }
+
+    #[test]
+    fn unknown_args_pass_through_in_order() {
+        let a = parse(&["--mesh", "8x8", "--threads", "2", "--seeds", "1,2"]).unwrap();
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.rest, vec!["--mesh", "8x8", "--seeds", "1,2"]);
+        assert!(a.reject_rest().is_err());
+    }
+
+    #[test]
+    fn bad_thread_counts_are_rejected() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+    }
+}

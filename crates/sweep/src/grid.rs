@@ -1,0 +1,333 @@
+//! Declarative sweep grids: dimensions, expansion and job→scenario
+//! mapping.
+
+use mango_core::{RouterConfig, RouterId};
+use mango_net::{
+    BeBackgroundSpec, EmitWindow, GsFlowSpec, MeasureBound, Pattern, Phase, ScenarioSpec,
+};
+use mango_sim::SimDuration;
+
+/// A declarative parameter-sweep grid.
+///
+/// Every `Vec` field is one grid dimension; [`SweepSpec::expand`] takes
+/// the cartesian product in the documented order. An empty dimension
+/// yields an empty grid (nothing to run), mirroring cartesian-product
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Mesh geometries `(width, height)`.
+    pub meshes: Vec<(u8, u8)>,
+    /// GS connection counts (auto-placed via [`auto_gs_pairs`]).
+    pub gs_conns: Vec<u32>,
+    /// Per-node BE Poisson mean gaps in ns; `None` = BE idle.
+    pub be_gaps_ns: Vec<Option<u64>>,
+    /// GS source CBR periods in ns (ignored by jobs with zero GS
+    /// connections, but still a grid dimension).
+    pub gs_periods_ns: Vec<u64>,
+    /// Measurement window lengths in µs.
+    pub measures_us: Vec<u64>,
+    /// Base seeds.
+    pub seeds: Vec<u64>,
+    /// Warmup before every measurement window, µs.
+    pub warmup_us: u64,
+    /// BE payload words per packet.
+    pub payload_words: usize,
+    /// Mix the BE gap into the job seed (`seed ^ gap_ps`), giving each
+    /// load level an independent random stream — the historical
+    /// `BeSweep` seeding that the saturation curve is recorded with.
+    pub mix_gap_into_seed: bool,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            meshes: vec![(4, 4)],
+            gs_conns: vec![0],
+            be_gaps_ns: vec![Some(300)],
+            gs_periods_ns: vec![12],
+            measures_us: vec![100],
+            seeds: vec![1],
+            warmup_us: 20,
+            payload_words: 4,
+            mix_gap_into_seed: false,
+        }
+    }
+}
+
+/// One expanded grid point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Ordinal in expansion order (the CSV row order).
+    pub id: usize,
+    /// Mesh width.
+    pub width: u8,
+    /// Mesh height.
+    pub height: u8,
+    /// GS connections to open.
+    pub gs_conns: u32,
+    /// Per-node BE mean gap, ns (`None` = idle).
+    pub be_gap_ns: Option<u64>,
+    /// GS CBR period, ns.
+    pub gs_period_ns: u64,
+    /// Measurement window, µs.
+    pub measure_us: u64,
+    /// Final job seed (base seed, gap-mixed when configured).
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The smoke grid: small and fast (sub-second per thread), used by
+    /// the CI determinism gate — 2 GS counts × 2 BE loads × 2 seeds on a
+    /// 4×4 mesh, 20 µs windows.
+    pub fn smoke() -> Self {
+        SweepSpec {
+            meshes: vec![(4, 4)],
+            gs_conns: vec![0, 2],
+            be_gaps_ns: vec![Some(300), Some(100)],
+            gs_periods_ns: vec![12],
+            measures_us: vec![20],
+            seeds: vec![1, 2],
+            warmup_us: 5,
+            payload_words: 4,
+            mix_gap_into_seed: false,
+        }
+    }
+
+    /// The full characterization grid the weekly CI run executes: 4×4
+    /// and 8×8 meshes, idle→saturating BE, with and without GS
+    /// foreground, three seeds.
+    pub fn full() -> Self {
+        SweepSpec {
+            meshes: vec![(4, 4), (8, 8)],
+            gs_conns: vec![0, 4],
+            be_gaps_ns: vec![None, Some(1000), Some(300), Some(100), Some(50)],
+            gs_periods_ns: vec![12],
+            measures_us: vec![100],
+            seeds: vec![1, 2, 3],
+            warmup_us: 20,
+            payload_words: 4,
+            mix_gap_into_seed: false,
+        }
+    }
+
+    /// Number of grid points (product of dimension sizes).
+    pub fn len(&self) -> usize {
+        self.meshes.len()
+            * self.gs_conns.len()
+            * self.be_gaps_ns.len()
+            * self.gs_periods_ns.len()
+            * self.measures_us.len()
+            * self.seeds.len()
+    }
+
+    /// True when any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid to jobs in a fixed nesting order — mesh
+    /// outermost, then GS count, BE gap, GS period, measure window, seed
+    /// innermost. Job ids are ordinals in this order; the order **is**
+    /// the output order of every writer, so it is part of the
+    /// determinism contract.
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for &(width, height) in &self.meshes {
+            for &gs_conns in &self.gs_conns {
+                for &be_gap_ns in &self.be_gaps_ns {
+                    for &gs_period_ns in &self.gs_periods_ns {
+                        for &measure_us in &self.measures_us {
+                            for &base_seed in &self.seeds {
+                                let seed = if self.mix_gap_into_seed {
+                                    base_seed
+                                        ^ be_gap_ns
+                                            .map(|ns| SimDuration::from_ns(ns).as_ps())
+                                            .unwrap_or(0)
+                                } else {
+                                    base_seed
+                                };
+                                jobs.push(SweepJob {
+                                    id: jobs.len(),
+                                    width,
+                                    height,
+                                    gs_conns,
+                                    be_gap_ns,
+                                    gs_period_ns,
+                                    measure_us,
+                                    seed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// The [`ScenarioSpec`] for one grid point: GS connections opened
+    /// during setup with CBR sources attached at measurement start, BE
+    /// background present from setup (so warmup loads the network).
+    pub fn scenario(&self, job: &SweepJob) -> ScenarioSpec {
+        let gs = auto_gs_pairs(job.width, job.height, job.gs_conns)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst))| GsFlowSpec {
+                src,
+                dst,
+                pattern: Pattern::cbr(SimDuration::from_ns(job.gs_period_ns)),
+                name: format!("gs-{i}"),
+                window: EmitWindow::default(),
+                phase: Phase::Measure,
+            })
+            .collect();
+        ScenarioSpec {
+            width: job.width,
+            height: job.height,
+            router_cfg: RouterConfig::paper(),
+            seed: job.seed,
+            warmup: SimDuration::from_us(self.warmup_us),
+            measure: MeasureBound::For(SimDuration::from_us(job.measure_us)),
+            gs,
+            be: Vec::new(),
+            background: job.be_gap_ns.map(|gap| BeBackgroundSpec {
+                pattern: Pattern::poisson(SimDuration::from_ns(gap)),
+                payload_words: self.payload_words,
+                name_prefix: "bg-".into(),
+                phase: Phase::Setup,
+            }),
+        }
+    }
+}
+
+/// Deterministic GS connection placement for auto-generated grid points:
+/// node `k` (row-major order) connects to its point reflection through
+/// the mesh center, skipping self-pairs (the center of an odd×odd mesh).
+/// The first `n` such crossing diagonals load the mesh bisection — the
+/// natural stress placement for guarantee-envelope sweeps.
+///
+/// # Panics
+///
+/// Panics if the mesh has fewer than `n` valid pairs.
+pub fn auto_gs_pairs(width: u8, height: u8, n: u32) -> Vec<(RouterId, RouterId)> {
+    let mut pairs = Vec::with_capacity(n as usize);
+    for k in 0..u32::from(width) * u32::from(height) {
+        if pairs.len() as u32 == n {
+            break;
+        }
+        let (x, y) = ((k % u32::from(width)) as u8, (k / u32::from(width)) as u8);
+        let (mx, my) = (width - 1 - x, height - 1 - y);
+        if (x, y) != (mx, my) {
+            pairs.push((RouterId::new(x, y), RouterId::new(mx, my)));
+        }
+    }
+    assert!(
+        pairs.len() as u32 == n,
+        "mesh {width}x{height} cannot host {n} auto-placed GS connections"
+    );
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_count_is_cartesian_product() {
+        let spec = SweepSpec {
+            meshes: vec![(4, 4), (8, 8)],
+            gs_conns: vec![0, 2, 4],
+            be_gaps_ns: vec![None, Some(100)],
+            gs_periods_ns: vec![12],
+            measures_us: vec![20, 100],
+            seeds: vec![1, 2, 3],
+            ..Default::default()
+        };
+        assert_eq!(spec.len(), 2 * 3 * 2 * 2 * 3);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.len());
+        // Ids are the ordinals of expansion order.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+        // Seed is the innermost dimension: the first jobs differ only by
+        // seed.
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[1].seed, 2);
+        assert_eq!(jobs[2].seed, 3);
+        assert_eq!(jobs[0].width, jobs[1].width);
+        // Mesh is outermost: the second half of the grid is 8×8.
+        assert_eq!(jobs[jobs.len() / 2].width, 8);
+    }
+
+    #[test]
+    fn empty_dimension_empties_the_grid() {
+        let spec = SweepSpec {
+            seeds: Vec::new(),
+            ..Default::default()
+        };
+        assert!(spec.is_empty());
+        assert_eq!(spec.expand(), Vec::new());
+    }
+
+    #[test]
+    fn single_point_grid_has_one_job() {
+        let spec = SweepSpec::default();
+        assert_eq!(spec.len(), 1);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(
+            jobs[0],
+            SweepJob {
+                id: 0,
+                width: 4,
+                height: 4,
+                gs_conns: 0,
+                be_gap_ns: Some(300),
+                gs_period_ns: 12,
+                measure_us: 100,
+                seed: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn gap_mixed_seeds_match_the_historical_be_sweep() {
+        let spec = SweepSpec {
+            be_gaps_ns: vec![Some(2000), Some(6)],
+            seeds: vec![0xBEEF],
+            mix_gap_into_seed: true,
+            ..Default::default()
+        };
+        let jobs = spec.expand();
+        assert_eq!(jobs[0].seed, 0xBEEF ^ SimDuration::from_ns(2000).as_ps());
+        assert_eq!(jobs[1].seed, 0xBEEF ^ SimDuration::from_ns(6).as_ps());
+    }
+
+    #[test]
+    fn auto_pairs_cross_the_mesh_center() {
+        let pairs = auto_gs_pairs(4, 4, 4);
+        assert_eq!(pairs[0], (RouterId::new(0, 0), RouterId::new(3, 3)),);
+        assert_eq!(pairs.len(), 4);
+        for (s, d) in pairs {
+            assert_ne!(s, d);
+        }
+        // Odd×odd center is skipped, not self-paired.
+        let odd = auto_gs_pairs(3, 3, 8);
+        assert!(odd.iter().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn too_many_auto_pairs_panics() {
+        auto_gs_pairs(2, 2, 5);
+    }
+
+    #[test]
+    fn smoke_grid_stays_small() {
+        assert!(
+            SweepSpec::smoke().len() <= 16,
+            "smoke grid must stay CI-fast"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Parallel parameter-sweep runner for the MANGO NoC model.
+//!
+//! The paper's headline results (Fig. 7 BE saturation, Fig. 8 GS-vs-BE,
+//! the scaling tables) are parameter sweeps: many independent simulations
+//! over a grid of configurations. Each point builds its own
+//! [`mango_net::NocSim`] from a [`mango_net::ScenarioSpec`] — no shared
+//! mutable state whatsoever — so the sweep is embarrassingly parallel.
+//! This crate provides:
+//!
+//! * [`runner::run_parallel`] — a deterministic fan-out over
+//!   `std::thread::scope` workers (no external thread-pool dependency);
+//! * [`grid::SweepSpec`] — a declarative job grid (mesh sizes, GS
+//!   connection counts, BE injection gaps, CBR periods, durations,
+//!   seeds) that expands to [`grid::SweepJob`]s;
+//! * [`record::SweepRecord`] — typed per-job results with CSV and JSON
+//!   writers and a summary-table printer;
+//! * [`cli`] — the shared `--threads N` / `--smoke` / `--csv` / `--json`
+//!   argument surface of the sweep binaries.
+//!
+//! # Determinism contract
+//!
+//! **Sweep output is a pure function of the [`grid::SweepSpec`]** — byte
+//! identical no matter how many worker threads run it, in what order the
+//! OS schedules them, or on which host. Three properties compose to give
+//! this:
+//!
+//! 1. *Job isolation*: each [`grid::SweepJob`] carries its own seed and
+//!    expands to a self-contained [`mango_net::ScenarioSpec`]; a worker
+//!    builds a private kernel + network per job and shares nothing
+//!    mutable with its siblings (enforced at compile time — the model is
+//!    `Send`, and the job closure borrows only immutable spec data).
+//! 2. *Deterministic simulation*: for a fixed seed a scenario run is
+//!    bit-reproducible (sequential event kernel, stable RNG streams).
+//! 3. *Order-preserving merge*: workers claim jobs from a shared atomic
+//!    counter and tag every result with its job index; the merge step
+//!    reorders results into expansion order before anything is written.
+//!    Per-job floating-point aggregation happens inside the job, so no
+//!    cross-thread reduction-order effects exist.
+//!
+//! Wall-clock measurements (the one legitimately nondeterministic
+//! output) are kept out of [`record::SweepRecord`] and the CSV schema;
+//! they travel in the JSON `runtime` section only. CI enforces the
+//! contract by diffing `--threads 1` against `--threads 4` CSVs on every
+//! push.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod grid;
+pub mod record;
+pub mod runner;
+
+pub use cli::SweepArgs;
+pub use grid::{auto_gs_pairs, SweepJob, SweepSpec};
+pub use record::{write_csv, write_json, RuntimeInfo, SweepRecord};
+pub use runner::{default_threads, run_parallel, run_sweep};

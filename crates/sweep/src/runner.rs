@@ -1,0 +1,136 @@
+//! The deterministic fan-out: scoped worker threads over a job list.
+
+use crate::grid::SweepSpec;
+use crate::record::SweepRecord;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default worker count: the host's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every job on `threads` workers and returns the results
+/// **in job order** — element `i` of the output is `f(i, &jobs[i])`, no
+/// matter which worker computed it or when it finished.
+///
+/// Workers claim jobs from a shared atomic counter (dynamic load
+/// balancing: a slow 16×16 point does not hold up a queue of 4×4
+/// points), tag each result with its job index, and the merge step
+/// reorders into expansion order. `f` must be a pure function of
+/// `(index, job)` for the sweep determinism contract to hold.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_parallel<J, R, F>(jobs: &[J], threads: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            return done;
+                        }
+                        done.push((i, f(i, &jobs[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("sweep worker panicked") {
+                debug_assert!(slots[i].is_none(), "job {i} ran twice");
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never ran")))
+        .collect()
+}
+
+/// Expands `spec` to its job grid and runs every job on `threads`
+/// workers, returning one [`SweepRecord`] per job in expansion order.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepRecord> {
+    let jobs = spec.expand();
+    run_parallel(&jobs, threads, |_, job| {
+        SweepRecord::measure(job.clone(), &spec.scenario(job).run())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        // Stagger job durations so completion order differs from claim
+        // order on real parallelism (and exercises the merge path even
+        // without it).
+        let run = |threads| {
+            run_parallel(&jobs, threads, |i, &j| {
+                std::thread::sleep(std::time::Duration::from_micros((64 - i as u64) * 10));
+                j * j
+            })
+        };
+        let expected: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(run(threads), expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_exceeding_jobs_is_fine() {
+        let jobs = vec![1u32, 2, 3];
+        let out = run_parallel(&jobs, 16, |_, &j| j + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_job_list_returns_empty() {
+        let jobs: Vec<u32> = Vec::new();
+        let out = run_parallel(&jobs, 4, |_, &j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let jobs = vec![5u32];
+        assert_eq!(run_parallel(&jobs, 0, |_, &j| j), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let jobs = vec![0u32, 1];
+        run_parallel(&jobs, 2, |i, _| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

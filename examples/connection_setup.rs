@@ -21,10 +21,14 @@ fn main() {
 
     println!("== opening {} -> {} ==", src, dst);
     let conn = sim.open_connection(src, dst).expect("VCs available");
-    println!("state after open(): {:?}", sim.connection_state(conn).unwrap());
+    println!(
+        "state after open(): {:?}",
+        sim.connection_state(conn).unwrap()
+    );
     assert_eq!(sim.connection_state(conn), Some(ConnState::Opening));
 
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
     println!(
         "state after programming settled: {:?} (t = {})",
         sim.connection_state(conn).unwrap(),
@@ -79,13 +83,20 @@ fn main() {
     // Tear down and reopen: the same VCs come back.
     println!("\n== closing ==");
     sim.close_connection(conn).expect("open connection");
-    println!("state after close(): {:?}", sim.connection_state(conn).unwrap());
+    println!(
+        "state after close(): {:?}",
+        sim.connection_state(conn).unwrap()
+    );
     sim.wait_connections_settled().expect("teardown completes");
-    println!("state after teardown settled: {:?}", sim.connection_state(conn).unwrap());
+    println!(
+        "state after teardown settled: {:?}",
+        sim.connection_state(conn).unwrap()
+    );
     assert_eq!(sim.connection_state(conn), Some(ConnState::Closed));
 
     let conn2 = sim.open_connection(src, dst).expect("resources recycled");
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
     let record2 = sim.network().connections().get(conn2).unwrap().clone();
     println!(
         "\nreopened as {} with VCs {:?} (recycled: {})",

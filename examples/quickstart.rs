@@ -22,7 +22,8 @@ fn main() {
     let src = RouterId::new(0, 0);
     let dst = RouterId::new(3, 3);
     let conn = sim.open_connection(src, dst).expect("VCs available");
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
     let record = sim.network().connections().get(conn).unwrap().clone();
     println!(
         "connection {} open: {} -> {} over {} links, VCs {:?}",

@@ -32,7 +32,8 @@ fn main() {
 
     // DSP → video GS stream.
     let stream = sim.open_connection(dsp, video).expect("VCs available");
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
     sim.begin_measurement();
     let stream_flow = sim.add_gs_source(
         stream,

@@ -23,7 +23,8 @@ fn main() {
     // --- MANGO: GS connection at its fair-share floor. ---
     let mut sim = NocSim::paper_mesh(4, 4, 5);
     let conn = sim.open_connection(src, dst).expect("VCs available");
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
     sim.run_for(SimDuration::from_us(5));
     sim.begin_measurement();
     let flow = sim.add_gs_source(
@@ -67,9 +68,7 @@ fn main() {
     );
     println!(
         "{:<36} {:>14.1} {:>14.1}",
-        "payload bandwidth [Mflit/s]",
-        mango_bw,
-        tdm_payload
+        "payload bandwidth [Mflit/s]", mango_bw, tdm_payload
     );
     println!(
         "{:<36} {:>14.1} {:>14.1}",
@@ -113,6 +112,8 @@ fn main() {
         mango_bw > tdm_payload,
         "header-less GS streams beat TDM payload bandwidth at equal reservation"
     );
-    println!("\nMANGO payload advantage at equal reservation: {:+.1}%",
-        (mango_bw / tdm_payload - 1.0) * 100.0);
+    println!(
+        "\nMANGO payload advantage at equal reservation: {:+.1}%",
+        (mango_bw / tdm_payload - 1.0) * 100.0
+    );
 }

@@ -22,7 +22,8 @@ fn run_at_be_load(be_period: Option<SimDuration>) -> (f64, f64, f64) {
     let conn = sim
         .open_connection(RouterId::new(0, 0), RouterId::new(3, 3))
         .expect("VCs available");
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
 
     // Background BE: every node sprays packets at random nodes.
     if let Some(period) = be_period {
@@ -68,7 +69,10 @@ fn main() {
         ("none", None),
         ("light (1 pkt/us/node)", Some(SimDuration::from_us(1))),
         ("heavy (1 pkt/200ns/node)", Some(SimDuration::from_ns(200))),
-        ("saturating (1 pkt/60ns/node)", Some(SimDuration::from_ns(60))),
+        (
+            "saturating (1 pkt/60ns/node)",
+            Some(SimDuration::from_ns(60)),
+        ),
     ];
     let mut results = Vec::new();
     for (name, period) in cases {

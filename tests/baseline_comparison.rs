@@ -134,7 +134,11 @@ fn mango_payload_beats_tdm_at_equal_reservation() {
         .open_connection(RouterId::new(0, 0), RouterId::new(3, 0))
         .unwrap();
     let mut cross = Vec::new();
-    for dst in [RouterId::new(3, 1), RouterId::new(3, 2), RouterId::new(3, 3)] {
+    for dst in [
+        RouterId::new(3, 1),
+        RouterId::new(3, 2),
+        RouterId::new(3, 3),
+    ] {
         cross.push(sim.open_connection(RouterId::new(0, 0), dst).unwrap());
         cross.push(sim.open_connection(RouterId::new(0, 1), dst).unwrap());
     }

@@ -5,8 +5,7 @@
 use mango::core::{BeHeader, Direction, RouterId};
 use mango::net::{AppPacket, EmitWindow, NaApp, NetEvent, NocSim, Pattern};
 use mango::sim::{RunOutcome, SimDuration, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Uniform random BE traffic on a 4×4 mesh: every packet arrives, intact
 /// and unfragmented.
@@ -57,13 +56,14 @@ fn fifteen_hop_packet_traverses_the_mesh() {
 /// An app that records every packet payload it receives.
 #[derive(Debug, Default)]
 struct Recorder {
-    packets: Rc<RefCell<Vec<Vec<u32>>>>,
+    packets: Arc<Mutex<Vec<Vec<u32>>>>,
 }
 
 impl NaApp for Recorder {
     fn on_packet(&mut self, _now: SimTime, packet: &[mango::core::Flit]) -> Vec<AppPacket> {
         self.packets
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(packet[1..].iter().map(|f| f.data).collect());
         Vec::new()
     }
@@ -75,7 +75,7 @@ impl NaApp for Recorder {
 fn concurrent_packets_arrive_intact_and_unmixed() {
     let mut sim = NocSim::paper_mesh(3, 3, 107);
     let sink = RouterId::new(1, 1);
-    let packets = Rc::new(RefCell::new(Vec::new()));
+    let packets = Arc::new(Mutex::new(Vec::new()));
     sim.network_mut().set_app(
         sink,
         Box::new(Recorder {
@@ -84,12 +84,22 @@ fn concurrent_packets_arrive_intact_and_unmixed() {
     );
     // Two senders each send 30 packets with distinctive payloads.
     for i in 0..30u32 {
-        sim.send_be(RouterId::new(0, 0), sink, &[0xA000 + i, 0xA100 + i, 0xA200 + i], None);
-        sim.send_be(RouterId::new(2, 2), sink, &[0xB000 + i, 0xB100 + i, 0xB200 + i], None);
+        sim.send_be(
+            RouterId::new(0, 0),
+            sink,
+            &[0xA000 + i, 0xA100 + i, 0xA200 + i],
+            None,
+        );
+        sim.send_be(
+            RouterId::new(2, 2),
+            sink,
+            &[0xB000 + i, 0xB100 + i, 0xB200 + i],
+            None,
+        );
     }
     let outcome = sim.run_to_quiescence();
     assert_eq!(outcome, RunOutcome::Quiescent);
-    let received = packets.borrow();
+    let received = packets.lock().unwrap();
     assert_eq!(received.len(), 60);
     for p in received.iter() {
         assert_eq!(p.len(), 3, "packet fragmented or merged: {p:x?}");
@@ -98,8 +108,16 @@ fn concurrent_packets_arrive_intact_and_unmixed() {
         assert_eq!(p[2], base + 0x200, "payload corrupted: {p:x?}");
     }
     // Both senders' packets all arrived, in per-sender order.
-    let from_a: Vec<u32> = received.iter().filter(|p| p[0] < 0xB000).map(|p| p[0]).collect();
-    let from_b: Vec<u32> = received.iter().filter(|p| p[0] >= 0xB000).map(|p| p[0]).collect();
+    let from_a: Vec<u32> = received
+        .iter()
+        .filter(|p| p[0] < 0xB000)
+        .map(|p| p[0])
+        .collect();
+    let from_b: Vec<u32> = received
+        .iter()
+        .filter(|p| p[0] >= 0xB000)
+        .map(|p| p[0])
+        .collect();
     assert_eq!(from_a.len(), 30);
     assert_eq!(from_b.len(), 30);
     assert!(from_a.windows(2).all(|w| w[0] < w[1]), "sender A reordered");
@@ -161,7 +179,11 @@ fn non_xy_routes_deadlock_and_are_detected() {
         flows.push(f);
     }
     let outcome = sim.run_to_quiescence();
-    assert_eq!(outcome, RunOutcome::Quiescent, "XY routing is deadlock-free");
+    assert_eq!(
+        outcome,
+        RunOutcome::Quiescent,
+        "XY routing is deadlock-free"
+    );
     for f in flows {
         assert_eq!(sim.flow(f).delivered, 3);
     }

@@ -28,7 +28,10 @@ fn malformed_config_packet_is_counted_and_dropped() {
     send_config_packet(&mut sim, src, victim, &[0xFFFF_FFFF, 0x1234_5678]);
     sim.run_for(SimDuration::from_us(5));
     let stats = sim.network().node(victim).router.stats();
-    assert_eq!(stats.prog_packets, 1, "packet consumed by the prog interface");
+    assert_eq!(
+        stats.prog_packets, 1,
+        "packet consumed by the prog interface"
+    );
     assert_eq!(stats.prog_errors, 1, "and counted as an error");
     assert_eq!(
         sim.network().node(victim).router.table().steer_entries(),
@@ -122,7 +125,10 @@ fn forged_ack_words_are_ignored() {
     // second open still works.
     let conn2 = sim.open_connection(src, dst).unwrap();
     sim.wait_connections_settled().unwrap();
-    assert_eq!(sim.connection_state(conn2), Some(mango::net::ConnState::Open));
+    assert_eq!(
+        sim.connection_state(conn2),
+        Some(mango::net::ConnState::Open)
+    );
 }
 
 /// Flits on an unprogrammed VC are a hard protocol violation and panic
@@ -130,10 +136,8 @@ fn forged_ack_words_are_ignored() {
 #[test]
 fn unprogrammed_vc_panics_with_diagnosis() {
     let result = std::panic::catch_unwind(|| {
-        let mut router = mango::core::Router::new(
-            RouterId::new(1, 1),
-            mango::core::RouterConfig::paper(),
-        );
+        let mut router =
+            mango::core::Router::new(RouterId::new(1, 1), mango::core::RouterConfig::paper());
         let mut act = Vec::new();
         router.on_link_flit(
             mango::sim::SimTime::ZERO,
@@ -156,10 +160,7 @@ fn unprogrammed_vc_panics_with_diagnosis() {
         }
     });
     let err = result.expect_err("must panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("unprogrammed GS buffer"),
         "diagnosis missing: {msg}"
@@ -188,7 +189,11 @@ fn be_overload_drains_after_sources_stop() {
         ));
     }
     let outcome = sim.run_to_quiescence();
-    assert_eq!(outcome, RunOutcome::Quiescent, "overload must drain, not wedge");
+    assert_eq!(
+        outcome,
+        RunOutcome::Quiescent,
+        "overload must drain, not wedge"
+    );
     for f in flows {
         // Multi-destination flows reorder across destinations (different
         // path lengths) — per-pair ordering is covered in

@@ -27,7 +27,8 @@ fn fair_share_floor_under_full_contention() {
         .iter()
         .map(|(s, d)| sim.open_connection(*s, *d).expect("7 VCs fit"))
         .collect();
-    sim.wait_connections_settled().expect("programming completes");
+    sim.wait_connections_settled()
+        .expect("programming completes");
 
     // Offer 200 Mflit/s per connection — far beyond the shared link.
     sim.run_for(SimDuration::from_us(5));
@@ -212,11 +213,7 @@ fn slow_consumer_backpressures_source() {
         consume_delay: consume,
         ..NaConfig::paper()
     };
-    let net = Network::new(
-        Grid::new(3, 1),
-        mango::core::RouterConfig::paper(),
-        na_cfg,
-    );
+    let net = Network::new(Grid::new(3, 1), mango::core::RouterConfig::paper(), na_cfg);
     let mut sim = NocSim::new(net, 31);
     let conn = sim
         .open_connection(RouterId::new(0, 0), RouterId::new(2, 0))
@@ -241,11 +238,7 @@ fn slow_consumer_backpressures_source() {
     // or in the (tiny) in-network buffers.
     let s = sim.flow(flow);
     let in_network = s.injected - s.delivered;
-    let src_queue = sim
-        .network()
-        .node(RouterId::new(0, 0))
-        .na
-        .gs_queue_len(0) as u64;
+    let src_queue = sim.network().node(RouterId::new(0, 0)).na.gs_queue_len(0) as u64;
     // Per hop at most 2 flits + NA slot + in-flight: the network holds
     // only a handful — the rest waits at the source.
     assert!(

@@ -52,8 +52,18 @@ fn corner_ratio_flows_through_simulation() {
         sim.wait_connections_settled().unwrap();
         sim.run_for(SimDuration::from_us(2));
         sim.begin_measurement();
-        let fa = sim.add_gs_source(a, Pattern::cbr(SimDuration::from_ns(1)), "a", EmitWindow::default());
-        let fb = sim.add_gs_source(b, Pattern::cbr(SimDuration::from_ns(1)), "b", EmitWindow::default());
+        let fa = sim.add_gs_source(
+            a,
+            Pattern::cbr(SimDuration::from_ns(1)),
+            "a",
+            EmitWindow::default(),
+        );
+        let fb = sim.add_gs_source(
+            b,
+            Pattern::cbr(SimDuration::from_ns(1)),
+            "b",
+            EmitWindow::default(),
+        );
         sim.run_for(SimDuration::from_us(50));
         sim.flow_throughput_m(fa) + sim.flow_throughput_m(fb)
     };

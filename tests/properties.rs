@@ -2,8 +2,8 @@
 //! invariants.
 
 use mango::core::{
-    BeDest, BeHeader, Direction, Flit, GsBufferRef, Port, ProgWrite, RouterId, Steer,
-    UpstreamRef, VcId,
+    BeDest, BeHeader, Direction, Flit, GsBufferRef, Port, ProgWrite, RouterId, Steer, UpstreamRef,
+    VcId,
 };
 use mango::net::{EmitWindow, NocSim, Pattern};
 use mango::sim::{RunOutcome, SimDuration, SimRng};
@@ -93,8 +93,11 @@ fn upstream() -> impl Strategy<Value = UpstreamRef> {
 
 fn prog_write() -> impl Strategy<Value = ProgWrite> {
     prop_oneof![
-        (direction(), 0u8..8, steer_target())
-            .prop_map(|(dir, vc, steer)| ProgWrite::SetSteer { dir, vc: VcId(vc), steer }),
+        (direction(), 0u8..8, steer_target()).prop_map(|(dir, vc, steer)| ProgWrite::SetSteer {
+            dir,
+            vc: VcId(vc),
+            steer
+        }),
         (direction(), 0u8..8).prop_map(|(dir, vc)| ProgWrite::ClearSteer { dir, vc: VcId(vc) }),
         (gs_buffer(), upstream())
             .prop_map(|(buffer, upstream)| ProgWrite::SetUnlock { buffer, upstream }),

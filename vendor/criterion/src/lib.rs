@@ -35,9 +35,7 @@ impl Default for Criterion {
         // Cargo invokes bench executables as `<bin> --bench [filter]`;
         // ignore flags, treat the first free argument as a substring
         // filter like the real criterion does.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             filter,
             default_sample_size: 20,
