@@ -20,7 +20,7 @@ fn usage() -> ! {
         "usage: sweep [--smoke | --full] [--mesh WxH[,WxH..]] [--gs N[,N..]]\n\
          \x20            [--be-gap idle|NS[,..]] [--period NS[,..]] [--measure US[,..]]\n\
          \x20            [--seeds S[,S..]] [--warmup US] [--payload WORDS]\n\
-         \x20            [--threads N] [--csv PATH] [--json PATH]"
+         \x20            [--threads N] [--list] [--csv PATH] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -103,6 +103,17 @@ fn main() {
     } else {
         "custom"
     };
+    if args.list {
+        println!(
+            "sweep: {} grid, {} jobs (listing, not running)",
+            grid_name,
+            spec.len()
+        );
+        for job in spec.expand() {
+            println!("{job}");
+        }
+        return;
+    }
     println!(
         "sweep: {} grid, {} jobs on {} threads\n",
         grid_name,

@@ -12,6 +12,8 @@
 //!   interface;
 //! * [`net`] — mesh topologies, network adapters, connection management,
 //!   traffic generation, measurement and the [`net::NocSim`] harness;
+//! * [`qos`] — analytical guarantee bounds, admission control and
+//!   connection-churn workloads;
 //! * [`baseline`] — the Fig. 3 blocking router and the ÆTHEREAL-style
 //!   TDM comparator.
 //!
@@ -53,4 +55,5 @@ pub use mango_baseline as baseline;
 pub use mango_core as core;
 pub use mango_hw as hw;
 pub use mango_net as net;
+pub use mango_qos as qos;
 pub use mango_sim as sim;

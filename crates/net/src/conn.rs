@@ -12,12 +12,13 @@
 //! acknowledgments. The connection becomes [`ConnState::Open`] when every
 //! ack has returned; only then may the source NA stream header-less flits.
 
-use crate::route::{xy_path, xy_route, RouteError};
+use crate::route::{xy_route, RouteError};
 use crate::topology::Grid;
 use mango_core::{
     build_be_packet, AckPlan, BeHeader, ConnectionId, Direction, Flit, GsBufferRef, ProgWrite,
     RouterId, Steer, UpstreamRef, VcId,
 };
+use mango_sim::SimTime;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -49,6 +50,9 @@ pub enum ConnError {
     BadState(ConnectionId, ConnState),
     /// Unknown connection id.
     Unknown(ConnectionId),
+    /// An explicit path is malformed (leaves the grid, revisits a router,
+    /// or misses the destination).
+    BadPath(String),
 }
 
 impl fmt::Display for ConnError {
@@ -60,6 +64,7 @@ impl fmt::Display for ConnError {
             ConnError::NoFreeRxIface(r) => write!(f, "no free local GS interface at {r}"),
             ConnError::BadState(id, s) => write!(f, "{id} is {s:?}"),
             ConnError::Unknown(id) => write!(f, "unknown connection {id}"),
+            ConnError::BadPath(why) => write!(f, "bad explicit path: {why}"),
         }
     }
 }
@@ -91,6 +96,10 @@ pub struct ConnRecord {
     pub rx_iface: u8,
     /// Lifecycle state.
     pub state: ConnState,
+    /// When the last opening ack returned (the circuit went live).
+    pub opened_at: Option<SimTime>,
+    /// When the last teardown ack returned (resources released).
+    pub closed_at: Option<SimTime>,
     /// Ack tokens still outstanding.
     outstanding: Vec<u16>,
 }
@@ -100,6 +109,44 @@ impl ConnRecord {
     pub fn hops(&self) -> usize {
         self.dirs.len()
     }
+
+    /// The routers the connection visits, both endpoints included —
+    /// reconstructed by walking the stored link directions (the path is
+    /// not necessarily XY: the QoS admission controller may have routed
+    /// around congested links).
+    pub fn path(&self, grid: &Grid) -> Vec<RouterId> {
+        walk_dirs(grid, self.src, &self.dirs).expect("stored connection path stays valid")
+    }
+}
+
+/// Walks `dirs` from `src`, returning every visited router (endpoints
+/// included).
+///
+/// # Errors
+///
+/// Fails if the walk is empty, leaves the grid, or revisits a router
+/// (GS paths must be simple: each hop reserves a distinct VC buffer).
+pub fn walk_dirs(
+    grid: &Grid,
+    src: RouterId,
+    dirs: &[Direction],
+) -> Result<Vec<RouterId>, ConnError> {
+    if dirs.is_empty() {
+        return Err(ConnError::BadPath("empty path".into()));
+    }
+    let mut path = Vec::with_capacity(dirs.len() + 1);
+    path.push(src);
+    let mut cur = src;
+    for &d in dirs {
+        cur = grid
+            .neighbor(cur, d)
+            .ok_or_else(|| ConnError::BadPath(format!("{cur} has no {d} neighbor")))?;
+        if path.contains(&cur) {
+            return Err(ConnError::BadPath(format!("path revisits {cur}")));
+        }
+        path.push(cur);
+    }
+    Ok(path)
 }
 
 /// Everything the caller must do to open a connection: apply the local
@@ -184,6 +231,17 @@ impl ConnectionManager {
             .all(|c| matches!(c.state, ConnState::Open | ConnState::Closed))
     }
 
+    /// True when no VC, TX-interface or RX-interface budget is reserved
+    /// — every allocation has been returned. Together with every
+    /// connection reading `Closed`, this is the teardown leak-check
+    /// invariant: the manager is back in its initial-state budget
+    /// position.
+    pub fn nothing_reserved(&self) -> bool {
+        self.vc_used.values().all(|m| *m == 0)
+            && self.tx_used.values().all(|m| *m == 0)
+            && self.rx_used.values().all(|m| *m == 0)
+    }
+
     /// Ids of all connections.
     pub fn ids(&self) -> Vec<ConnectionId> {
         let mut v: Vec<_> = self.conns.keys().copied().collect();
@@ -201,8 +259,8 @@ impl ConnectionManager {
         None
     }
 
-    /// Plans the opening of a connection from `src` to `dst`, reserving
-    /// all resources.
+    /// Plans the opening of a connection from `src` to `dst` along the
+    /// default XY route, reserving all resources.
     ///
     /// # Errors
     ///
@@ -215,7 +273,36 @@ impl ConnectionManager {
         dst: RouterId,
     ) -> Result<OpenPlan, ConnError> {
         let dirs = xy_route(grid, src, dst)?;
-        let path = xy_path(grid, src, dst)?;
+        self.open_along(grid, src, dst, &dirs)
+    }
+
+    /// Plans the opening of a connection along an explicit link path.
+    ///
+    /// Any simple (router-disjoint) path is legal for GS traffic: every
+    /// hop reserves an independently buffered VC, so GS streams cannot
+    /// deadlock regardless of route shape (Sec. 3) — only BE worm-hole
+    /// routing needs the XY restriction. The programming packets that set
+    /// the path up are BE and still travel XY, independent of `dirs`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (reserving nothing) if the path is malformed, does not end
+    /// at `dst`, or any VC/interface along it is exhausted.
+    pub fn open_along(
+        &mut self,
+        grid: &Grid,
+        src: RouterId,
+        dst: RouterId,
+        dirs: &[Direction],
+    ) -> Result<OpenPlan, ConnError> {
+        let path = walk_dirs(grid, src, dirs)?;
+        if *path.last().expect("walk includes src") != dst {
+            return Err(ConnError::BadPath(format!(
+                "path from {src} ends at {} not {dst}",
+                path.last().expect("walk includes src")
+            )));
+        }
+        let dirs = dirs.to_vec();
         let hops = dirs.len();
 
         // Dry-run allocation: find everything before committing.
@@ -337,6 +424,8 @@ impl ConnectionManager {
                 tx_iface,
                 rx_iface,
                 state,
+                opened_at: None,
+                closed_at: None,
                 outstanding,
             },
         );
@@ -362,7 +451,7 @@ impl ConnectionManager {
             return Err(ConnError::BadState(id, conn.state));
         }
         let hops = conn.hops();
-        let path = xy_path(grid, conn.src, conn.dst)?;
+        let path = conn.path(grid);
 
         let local_writes = vec![
             ProgWrite::ClearUnlock {
@@ -437,9 +526,16 @@ impl ConnectionManager {
         self.tokens.contains_key(&token)
     }
 
-    /// Processes an acknowledgment token; returns the connection and its
-    /// new state if the token completed a transition.
-    pub fn on_ack(&mut self, token: u16, grid: &Grid) -> Option<(ConnectionId, ConnState)> {
+    /// Processes an acknowledgment token at simulation time `now`;
+    /// returns the connection and its new state if the token completed a
+    /// transition (the transition time is recorded in the record's
+    /// `opened_at`/`closed_at`).
+    pub fn on_ack(
+        &mut self,
+        token: u16,
+        grid: &Grid,
+        now: SimTime,
+    ) -> Option<(ConnectionId, ConnState)> {
         let id = self.tokens.remove(&token)?;
         let conn = self.conns.get_mut(&id).expect("token maps to connection");
         conn.outstanding.retain(|&t| t != token);
@@ -449,10 +545,12 @@ impl ConnectionManager {
         match conn.state {
             ConnState::Opening => {
                 conn.state = ConnState::Open;
+                conn.opened_at = Some(now);
                 Some((id, ConnState::Open))
             }
             ConnState::Closing => {
                 conn.state = ConnState::Closed;
+                conn.closed_at = Some(now);
                 self.release(id, grid);
                 Some((id, ConnState::Closed))
             }
@@ -462,7 +560,7 @@ impl ConnectionManager {
 
     fn release(&mut self, id: ConnectionId, grid: &Grid) {
         let conn = self.conns.get(&id).expect("releasing unknown connection");
-        let path = xy_path(grid, conn.src, conn.dst).expect("path still valid");
+        let path = conn.path(grid);
         for (i, &d) in conn.dirs.iter().enumerate() {
             let mask = self
                 .vc_used
@@ -549,10 +647,21 @@ mod tests {
         let conn = m.get(plan.id).unwrap();
         let tokens: Vec<u16> = conn.outstanding.clone();
         assert_eq!(tokens.len(), 2);
-        assert_eq!(m.on_ack(tokens[0], &g), None, "still one outstanding");
-        assert_eq!(m.on_ack(tokens[1], &g), Some((plan.id, ConnState::Open)));
+        assert_eq!(
+            m.on_ack(tokens[0], &g, SimTime::ZERO),
+            None,
+            "still one outstanding"
+        );
+        assert_eq!(
+            m.on_ack(tokens[1], &g, SimTime::ZERO),
+            Some((plan.id, ConnState::Open))
+        );
         assert!(m.all_settled());
-        assert_eq!(m.on_ack(tokens[1], &g), None, "duplicate ack ignored");
+        assert_eq!(
+            m.on_ack(tokens[1], &g, SimTime::ZERO),
+            None,
+            "duplicate ack ignored"
+        );
     }
 
     #[test]
@@ -563,13 +672,13 @@ mod tests {
         let plan = m.open(&g, src, dst).unwrap();
         let tokens = m.get(plan.id).unwrap().outstanding.clone();
         for t in tokens {
-            m.on_ack(t, &g);
+            m.on_ack(t, &g, SimTime::ZERO);
         }
         let close = m.close(&g, plan.id).unwrap();
         assert_eq!(close.config_packets.len(), 1);
         let tokens = m.get(plan.id).unwrap().outstanding.clone();
         for t in tokens {
-            m.on_ack(t, &g);
+            m.on_ack(t, &g, SimTime::ZERO);
         }
         assert_eq!(m.state(plan.id), Some(ConnState::Closed));
         // Everything freed: 4 more connections fit again.

@@ -47,7 +47,7 @@ pub mod stats;
 pub mod topology;
 pub mod traffic;
 
-pub use conn::{ConnError, ConnRecord, ConnState, ConnectionManager};
+pub use conn::{walk_dirs, ConnError, ConnRecord, ConnState, ConnectionManager};
 pub use experiment::{BeSweep, LoadPoint};
 pub use na::{Na, NaConfig};
 pub use network::{AppPacket, NaApp, NetEvent, Network, Node};
@@ -55,7 +55,7 @@ pub use ocp::{OcpMessage, OcpSlave};
 pub use route::{xy_header, xy_path, xy_route, RouteError};
 pub use scenario::{
     BeBackgroundSpec, BeFlowSpec, FlowKind, FlowMetric, GsFlowSpec, MeasureBound, Phase,
-    ScenarioMetrics, ScenarioSpec,
+    PreparedScenario, ScenarioMetrics, ScenarioSpec,
 };
 pub use sim::{EmitWindow, NocSim};
 pub use stats::{FlowStats, Histogram, LatencyRecorder, NetStats};

@@ -332,10 +332,13 @@ impl Network {
                     );
                 }
                 RouterAction::DeliverGs { iface, flit } => {
-                    let meta = flit.meta;
-                    if meta.flow != u32::MAX {
-                        self.stats
-                            .on_deliver(meta.flow, meta.seq, meta.injected_at, ctx.now());
+                    if flit.flow() != u32::MAX {
+                        self.stats.on_deliver(
+                            flit.flow(),
+                            flit.seq(),
+                            flit.injected_at(),
+                            ctx.now(),
+                        );
                     }
                     // The core consumes the flit, then frees the delivery
                     // slot.
@@ -380,18 +383,14 @@ impl Network {
         if packet.len() == 2 {
             if let Some(token) = prog::parse_ack_word(packet[1].data) {
                 if self.conn.known_token(token) {
-                    self.conn.on_ack(token, &self.grid);
+                    self.conn.on_ack(token, &self.grid, ctx.now());
                     is_ack = true;
                 }
             }
         }
-        if header.meta.flow != u32::MAX {
-            self.stats.on_deliver(
-                header.meta.flow,
-                header.meta.seq,
-                header.meta.injected_at,
-                ctx.now(),
-            );
+        if header.flow() != u32::MAX {
+            self.stats
+                .on_deliver(header.flow(), header.seq(), header.injected_at(), ctx.now());
         }
         if !is_ack {
             let idx = self.grid.index(id);

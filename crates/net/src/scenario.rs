@@ -161,6 +161,23 @@ impl ScenarioSpec {
     /// fails to settle — a sweep point with an infeasible configuration
     /// is a spec bug, not a measurement.
     pub fn run(&self) -> ScenarioMetrics {
+        let mut prepared = self.prepare();
+        prepared.start_measurement();
+        let outcome = prepared.run_to_bound();
+        prepared.finish(outcome)
+    }
+
+    /// Executes construction steps 1–3 (mesh, static connections, `Setup`
+    /// sources) and hands back the mid-flight scenario, so a driver can
+    /// interleave its own activity — the QoS churn engine opens and
+    /// closes further connections between run segments — while keeping
+    /// the documented construction order (and therefore bit-identical
+    /// results for an untouched scenario).
+    ///
+    /// # Panics
+    ///
+    /// As [`ScenarioSpec::run`].
+    pub fn prepare(&self) -> PreparedScenario {
         let mut sim = NocSim::new(
             Network::new(
                 Grid::new(self.width, self.height),
@@ -194,44 +211,97 @@ impl ScenarioSpec {
             }
         }
 
-        let mut flows = Vec::new();
-        let mut gs_flows = Vec::new();
-        let mut be_flows = Vec::new();
-        let mut background_flows = Vec::new();
-        self.attach_phase(
-            &mut sim,
-            &conns,
-            Phase::Setup,
-            &mut flows,
-            &mut gs_flows,
-            &mut be_flows,
-            &mut background_flows,
-        );
-
-        if !self.warmup.is_zero() {
-            sim.run_for(self.warmup);
-        }
-        sim.begin_measurement();
-        self.attach_phase(
-            &mut sim,
-            &conns,
-            Phase::Measure,
-            &mut flows,
-            &mut gs_flows,
-            &mut be_flows,
-            &mut background_flows,
-        );
-
-        let outcome = match self.measure {
-            MeasureBound::For(span) => sim.run_for(span),
-            MeasureBound::ToQuiescence => sim.run_to_quiescence(),
+        let mut prepared = PreparedScenario {
+            spec: self.clone(),
+            sim,
+            conns,
+            flows: Vec::new(),
+            gs_flows: Vec::new(),
+            be_flows: Vec::new(),
+            background_flows: Vec::new(),
         };
+        prepared.attach_phase(Phase::Setup);
+        prepared
+    }
+}
 
-        let window = sim.measured_window();
-        let flow_metrics = flows
+/// A scenario mid-flight: simulation built, static connections open,
+/// [`Phase::Setup`] sources attached. Produced by
+/// [`ScenarioSpec::prepare`]; the canonical sequence is
+/// [`PreparedScenario::start_measurement`], then either
+/// [`PreparedScenario::run_to_bound`] or caller-driven run segments via
+/// [`PreparedScenario::sim_mut`], then [`PreparedScenario::finish`].
+#[derive(Debug)]
+pub struct PreparedScenario {
+    spec: ScenarioSpec,
+    sim: NocSim,
+    conns: Vec<mango_core::ConnectionId>,
+    flows: Vec<(u32, FlowKind)>,
+    gs_flows: Vec<usize>,
+    be_flows: Vec<usize>,
+    background_flows: Vec<usize>,
+}
+
+impl PreparedScenario {
+    /// The spec this scenario was prepared from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The running simulation.
+    pub fn sim(&self) -> &NocSim {
+        &self.sim
+    }
+
+    /// Mutable simulation access for caller-driven run segments.
+    pub fn sim_mut(&mut self) -> &mut NocSim {
+        &mut self.sim
+    }
+
+    /// Ids of the static GS connections, in spec order.
+    pub fn connections(&self) -> &[mango_core::ConnectionId] {
+        &self.conns
+    }
+
+    /// Construction steps 4–6: run warmup, open the measurement window
+    /// and attach the [`Phase::Measure`] sources.
+    pub fn start_measurement(&mut self) {
+        if !self.spec.warmup.is_zero() {
+            self.sim.run_for(self.spec.warmup);
+        }
+        self.sim.begin_measurement();
+        self.attach_phase(Phase::Measure);
+    }
+
+    /// Runs the measurement phase to the spec's [`MeasureBound`].
+    pub fn run_to_bound(&mut self) -> RunOutcome {
+        match self.spec.measure {
+            MeasureBound::For(span) => self.sim.run_for(span),
+            MeasureBound::ToQuiescence => self.sim.run_to_quiescence(),
+        }
+    }
+
+    /// Registers a flow the caller attached itself (e.g. a churn-engine
+    /// GS stream) so it appears in the final metrics; returns its index
+    /// in [`ScenarioMetrics::flows`].
+    pub fn track_flow(&mut self, flow: u32, kind: FlowKind) -> usize {
+        let idx = self.flows.len();
+        self.flows.push((flow, kind));
+        match kind {
+            FlowKind::Gs => self.gs_flows.push(idx),
+            FlowKind::Be => self.be_flows.push(idx),
+        }
+        idx
+    }
+
+    /// Collects the final metrics.
+    pub fn finish(self, outcome: RunOutcome) -> ScenarioMetrics {
+        let window = self.sim.measured_window();
+        let flow_metrics = self
+            .flows
             .iter()
             .map(|&(id, kind)| {
-                let s = sim.flow(id);
+                let s = self.sim.flow(id);
                 FlowMetric {
                     name: s.name.clone(),
                     kind,
@@ -249,34 +319,33 @@ impl ScenarioSpec {
             .collect();
         ScenarioMetrics {
             flows: flow_metrics,
-            gs_flows,
-            be_flows,
-            background_flows,
-            events: sim.events_processed(),
+            gs_flows: self.gs_flows,
+            be_flows: self.be_flows,
+            background_flows: self.background_flows,
+            events: self.sim.events_processed(),
             outcome,
             window,
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn attach_phase(
-        &self,
-        sim: &mut NocSim,
-        conns: &[mango_core::ConnectionId],
-        phase: Phase,
-        flows: &mut Vec<(u32, FlowKind)>,
-        gs_flows: &mut Vec<usize>,
-        be_flows: &mut Vec<usize>,
-        background_flows: &mut Vec<usize>,
-    ) {
-        for (g, c) in self.gs.iter().zip(conns) {
+    fn attach_phase(&mut self, phase: Phase) {
+        let PreparedScenario {
+            spec,
+            sim,
+            conns,
+            flows,
+            gs_flows,
+            be_flows,
+            background_flows,
+        } = self;
+        for (g, c) in spec.gs.iter().zip(conns.iter()) {
             if g.phase == phase {
                 let f = sim.add_gs_source(*c, g.pattern.clone(), g.name.clone(), g.window);
                 gs_flows.push(flows.len());
                 flows.push((f, FlowKind::Gs));
             }
         }
-        for b in &self.be {
+        for b in &spec.be {
             if b.phase == phase {
                 let f = sim.add_be_source(
                     b.src,
@@ -290,7 +359,7 @@ impl ScenarioSpec {
                 flows.push((f, FlowKind::Be));
             }
         }
-        if let Some(bg) = &self.background {
+        if let Some(bg) = &spec.background {
             if bg.phase == phase {
                 let all: Vec<RouterId> = sim.network().grid().ids().collect();
                 for node in all.clone() {

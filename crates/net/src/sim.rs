@@ -120,10 +120,37 @@ impl NocSim {
         src: RouterId,
         dst: RouterId,
     ) -> Result<ConnectionId, ConnError> {
-        let now = self.kernel.now();
         let net = self.kernel.model_mut();
         let grid = net.grid().clone();
         let plan = net.connections_mut().open(&grid, src, dst)?;
+        Ok(self.issue_open_plan(src, plan))
+    }
+
+    /// Opens a GS connection along an explicit link path (not necessarily
+    /// XY — the QoS admission controller routes around congested links).
+    /// Programming proceeds exactly as for [`NocSim::open_connection`];
+    /// the config packets themselves still travel XY as BE traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/path-validation failures; nothing is
+    /// reserved then.
+    pub fn open_connection_along(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        dirs: &[mango_core::Direction],
+    ) -> Result<ConnectionId, ConnError> {
+        let net = self.kernel.model_mut();
+        let grid = net.grid().clone();
+        let plan = net.connections_mut().open_along(&grid, src, dst, dirs)?;
+        Ok(self.issue_open_plan(src, plan))
+    }
+
+    /// Applies an [`crate::conn::OpenPlan`]: program the source router,
+    /// bind the NA interface, launch the config packets.
+    fn issue_open_plan(&mut self, src: RouterId, plan: crate::conn::OpenPlan) -> ConnectionId {
+        let net = self.kernel.model_mut();
         let node = net.node_mut(src);
         node.router.program(&plan.local_writes);
         node.na.bind_tx(plan.tx_iface, plan.tx_steer);
@@ -135,12 +162,11 @@ impl NocSim {
                 need_kick = true;
             }
         }
-        let _ = now;
         if need_kick {
             self.kernel
                 .schedule(delay, NetEvent::NaBeInject { id: src });
         }
-        Ok(plan.id)
+        plan.id
     }
 
     /// Closes an open connection (traffic must be drained).

@@ -1,0 +1,109 @@
+//! Teardown leak checks: open→close over random paths must return every
+//! link/VC budget and every `ConnectionTable` entry exactly to its
+//! initial state. A leak here silently shrinks the admittable workload
+//! over a churn run, so the property is load-bearing for the QoS layer.
+
+use mango_core::RouterId;
+use mango_net::{ConnState, ConnectionManager, Grid, NocSim};
+use mango_sim::SimTime;
+use proptest::prelude::*;
+
+/// Drives every outstanding ack of `id`'s current transition.
+fn ack_all(m: &mut ConnectionManager, grid: &Grid, id: mango_core::ConnectionId) {
+    // Tokens are internal; replay acks until the connection settles.
+    // `known_token` + `on_ack` is the public surface the network uses.
+    for token in 0..u16::MAX {
+        if m.known_token(token) {
+            m.on_ack(token, grid, SimTime::ZERO);
+        }
+        if matches!(m.state(id), Some(ConnState::Open) | Some(ConnState::Closed)) {
+            return;
+        }
+    }
+    panic!("connection never settled");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of opens over random endpoint pairs, fully acked and
+    /// then fully closed, leaves the manager with zero reserved budgets
+    /// and every record `Closed`.
+    #[test]
+    fn open_close_returns_budgets_exactly(
+        width in 2u8..7,
+        height in 2u8..7,
+        pairs in prop::collection::vec((0u32..49, 0u32..49), 1..10),
+    ) {
+        let grid = Grid::new(width, height);
+        let mut m = ConnectionManager::new(7, 4);
+        prop_assert!(m.nothing_reserved(), "fresh manager reserves nothing");
+
+        let n = u32::from(width) * u32::from(height);
+        let mut opened = Vec::new();
+        for (a, b) in pairs {
+            let src_i = a % n;
+            let dst_i = b % n;
+            if src_i == dst_i {
+                continue;
+            }
+            let src = RouterId::new((src_i % u32::from(width)) as u8, (src_i / u32::from(width)) as u8);
+            let dst = RouterId::new((dst_i % u32::from(width)) as u8, (dst_i / u32::from(width)) as u8);
+            // Budget exhaustion is a legitimate answer; leaks are not.
+            if let Ok(plan) = m.open(&grid, src, dst) {
+                ack_all(&mut m, &grid, plan.id);
+                prop_assert_eq!(m.state(plan.id), Some(ConnState::Open));
+                opened.push(plan.id);
+            }
+        }
+
+        for id in &opened {
+            m.close(&grid, *id).expect("open connections close");
+            ack_all(&mut m, &grid, *id);
+            prop_assert_eq!(m.state(*id), Some(ConnState::Closed));
+        }
+
+        prop_assert!(
+            m.nothing_reserved(),
+            "open→close must return all budgets"
+        );
+        prop_assert!(m.all_settled());
+    }
+
+    /// The same property end-to-end through the simulator: after the
+    /// programming and teardown packets of random connections complete,
+    /// every router's `ConnectionTable` is empty again and the manager
+    /// holds no budgets.
+    #[test]
+    fn sim_open_close_clears_router_tables(
+        seed in 0u64..1000,
+        pairs in prop::collection::vec((0u32..16, 0u32..16), 1..4),
+    ) {
+        let mut sim = NocSim::paper_mesh(4, 4, seed);
+        let mut conns = Vec::new();
+        for (a, b) in pairs {
+            let (src_i, dst_i) = (a % 16, b % 16);
+            if src_i == dst_i {
+                continue;
+            }
+            let src = RouterId::new((src_i % 4) as u8, (src_i / 4) as u8);
+            let dst = RouterId::new((dst_i % 4) as u8, (dst_i / 4) as u8);
+            if let Ok(id) = sim.open_connection(src, dst) {
+                conns.push(id);
+            }
+        }
+        sim.wait_connections_settled().expect("programming settles");
+        for id in &conns {
+            sim.close_connection(*id).expect("open connections close");
+            // Teardowns from a shared source NA serialize; settle each.
+            sim.wait_connections_settled().expect("teardown settles");
+        }
+
+        prop_assert!(sim.network().connections().nothing_reserved());
+        for node in sim.network().nodes() {
+            // Entry counts back to the initial (empty) table state.
+            prop_assert_eq!(node.router.table().steer_entries(), 0);
+            prop_assert_eq!(node.router.table().unlock_entries(), 0);
+        }
+    }
+}

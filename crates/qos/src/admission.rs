@@ -1,0 +1,519 @@
+//! Admission control: residual per-link budgets and capacity-aware path
+//! search for GS connection requests.
+//!
+//! The controller mirrors the resources a connection consumes — one GS
+//! VC per directed link, guaranteed bandwidth per link, one NA TX
+//! interface at the source and one local GS interface at the destination
+//! — and accepts a [`ConnRequest`] only when a path with residual
+//! capacity exists. Path search tries the XY route first (the network's
+//! default); when a link on it is exhausted it falls back to a
+//! breadth-first search over links with residual capacity. Non-XY paths
+//! are legal for GS traffic because every hop is independently buffered
+//! (Sec. 3) — no cyclic channel dependency can form — while the BE
+//! programming packets that set the path up still travel XY.
+//!
+//! Budgets are tracked in integer flits/second, so open/close cycles
+//! return them *exactly* (no floating-point drift), and every decision
+//! is a deterministic function of the request sequence.
+
+use crate::bound::{GuaranteeReport, ServiceModel};
+use mango_core::{Direction, RouterConfig, RouterId};
+use mango_net::{xy_route, Grid, NaConfig};
+use mango_sim::SimDuration;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A request to open a GS connection streaming one flit per `period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnRequest {
+    /// Source router (whose NA transmits).
+    pub src: RouterId,
+    /// Destination router (whose NA receives).
+    pub dst: RouterId,
+    /// CBR emission period of the stream.
+    pub period: SimDuration,
+}
+
+/// Why a request was refused. Rejection is a *service answer*, not an
+/// error: the caller may retry later or at a lower rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// Source and destination coincide.
+    SameRouter,
+    /// The requested rate exceeds what the arbiter can guarantee.
+    Unguaranteeable,
+    /// No free NA TX interface at the source.
+    NoTxIface,
+    /// No free local GS interface at the destination.
+    NoRxIface,
+    /// No path with a free VC and sufficient residual bandwidth on
+    /// every link (XY and BFS fallback both failed).
+    NoPath,
+}
+
+impl RejectReason {
+    /// All reasons, in reporting order.
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::SameRouter,
+        RejectReason::Unguaranteeable,
+        RejectReason::NoTxIface,
+        RejectReason::NoRxIface,
+        RejectReason::NoPath,
+    ];
+
+    /// The reason's slot in [`RejectReason::ALL`] — the index shared by
+    /// every per-reason counter array.
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::SameRouter => 0,
+            RejectReason::Unguaranteeable => 1,
+            RejectReason::NoTxIface => 2,
+            RejectReason::NoRxIface => 3,
+            RejectReason::NoPath => 4,
+        }
+    }
+
+    /// Stable short name for CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::SameRouter => "same-router",
+            RejectReason::Unguaranteeable => "unguaranteeable",
+            RejectReason::NoTxIface => "no-tx-iface",
+            RejectReason::NoRxIface => "no-rx-iface",
+            RejectReason::NoPath => "no-path",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A granted admission: the reserved path and its analytical guarantee.
+/// Hand the `dirs` to the connection machinery
+/// ([`mango_net::NocSim::open_connection_along`]) and return the ticket
+/// to [`AdmissionController::release`] once the connection closes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// Source router.
+    pub src: RouterId,
+    /// Destination router.
+    pub dst: RouterId,
+    /// The reserved link path.
+    pub dirs: Vec<Direction>,
+    /// Whether the path is the plain XY route.
+    pub xy: bool,
+    /// Reserved bandwidth, flits/second.
+    pub rate_fps: u64,
+    /// The analytical guarantee for this path and rate.
+    pub report: GuaranteeReport,
+}
+
+impl Admission {
+    /// Links the admitted path traverses.
+    pub fn hops(&self) -> usize {
+        self.dirs.len()
+    }
+}
+
+/// Tracks residual GS budgets for one mesh and answers requests.
+#[derive(Debug)]
+pub struct AdmissionController {
+    grid: Grid,
+    model: ServiceModel,
+    /// Free GS VCs per directed link, indexed `node_index × 4 + dir`.
+    free_vcs: Vec<u8>,
+    /// Residual reservable bandwidth per directed link, flits/second.
+    residual_fps: Vec<u64>,
+    /// Free NA TX interfaces per node.
+    tx_free: Vec<u8>,
+    /// Free local GS interfaces per node.
+    rx_free: Vec<u8>,
+    /// BFS scratch: predecessor direction per node (None = unvisited).
+    bfs_from: Vec<Option<Direction>>,
+}
+
+impl AdmissionController {
+    /// A controller for `grid` meshes of `cfg` routers. `max_gs_frac`
+    /// caps the fraction of each link's capacity reservable by GS
+    /// connections (the rest is headroom for BE and programming
+    /// traffic); the paper's fair-share arbiter dedicates 1/8 of the
+    /// link to BE, so `7/8 = 0.875` is the architectural maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_gs_frac` is outside `(0, 1]`.
+    pub fn new(grid: Grid, cfg: &RouterConfig, na: &NaConfig, max_gs_frac: f64) -> Self {
+        assert!(
+            max_gs_frac > 0.0 && max_gs_frac <= 1.0,
+            "max_gs_frac must be in (0, 1], got {max_gs_frac}"
+        );
+        let nodes = grid.ids().count();
+        let capacity_fps = cfg.timing.link_cycle.as_rate_hz();
+        let budget_fps = (capacity_fps * max_gs_frac) as u64;
+        AdmissionController {
+            model: ServiceModel::new(cfg, na),
+            free_vcs: vec![cfg.gs_vcs() as u8; nodes * 4],
+            residual_fps: vec![budget_fps; nodes * 4],
+            tx_free: vec![cfg.local_gs_ifaces() as u8; nodes],
+            rx_free: vec![cfg.local_gs_ifaces() as u8; nodes],
+            bfs_from: vec![None; nodes],
+            grid,
+        }
+    }
+
+    /// The per-hop service model the controller's guarantees use.
+    pub fn model(&self) -> &ServiceModel {
+        &self.model
+    }
+
+    /// Free GS VCs on the directed link `from → dir`.
+    pub fn free_vcs(&self, from: RouterId, dir: Direction) -> u8 {
+        self.free_vcs[self.link_index(from, dir)]
+    }
+
+    /// Residual reservable bandwidth on `from → dir`, flits/second.
+    pub fn residual_fps(&self, from: RouterId, dir: Direction) -> u64 {
+        self.residual_fps[self.link_index(from, dir)]
+    }
+
+    fn link_index(&self, from: RouterId, dir: Direction) -> usize {
+        self.grid.index(from) * 4 + dir.index()
+    }
+
+    /// The reserved rate for `period`, flits/second (rounded up — the
+    /// conservative side for admission).
+    pub fn rate_fps(period: SimDuration) -> u64 {
+        let ps = period.as_ps().max(1);
+        1_000_000_000_000u64.div_ceil(ps)
+    }
+
+    fn link_admits(&self, from: RouterId, dir: Direction, rate_fps: u64) -> bool {
+        let i = self.link_index(from, dir);
+        self.free_vcs[i] > 0 && self.residual_fps[i] >= rate_fps
+    }
+
+    fn path_admits(&self, src: RouterId, dirs: &[Direction], rate_fps: u64) -> bool {
+        let mut cur = src;
+        for &d in dirs {
+            if !self.link_admits(cur, d, rate_fps) {
+                return false;
+            }
+            cur = self.grid.neighbor(cur, d).expect("path stays on grid");
+        }
+        true
+    }
+
+    /// Shortest path from `src` to `dst` over links with residual
+    /// capacity. Deterministic: FIFO BFS, neighbors visited in
+    /// [`Direction::ALL`] order, so equal-length paths tie-break
+    /// identically on every run.
+    fn bfs(&mut self, src: RouterId, dst: RouterId, rate_fps: u64) -> Option<Vec<Direction>> {
+        self.bfs_from.fill(None);
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        'search: while let Some(cur) = queue.pop_front() {
+            for dir in Direction::ALL {
+                let Some(next) = self.grid.neighbor(cur, dir) else {
+                    continue;
+                };
+                if next == src || self.bfs_from[self.grid.index(next)].is_some() {
+                    continue;
+                }
+                if !self.link_admits(cur, dir, rate_fps) {
+                    continue;
+                }
+                self.bfs_from[self.grid.index(next)] = Some(dir);
+                if next == dst {
+                    break 'search;
+                }
+                queue.push_back(next);
+            }
+        }
+        self.bfs_from[self.grid.index(dst)]?;
+        // Walk predecessors back from dst.
+        let mut dirs = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let dir = self.bfs_from[self.grid.index(cur)].expect("reached nodes have parents");
+            dirs.push(dir);
+            cur = self
+                .grid
+                .neighbor(cur, dir.opposite())
+                .expect("parent stays on grid");
+        }
+        dirs.reverse();
+        Some(dirs)
+    }
+
+    /// Decides a request. On success all budgets along the returned path
+    /// (plus the endpoint interfaces) are debited; pass the ticket to
+    /// [`AdmissionController::release`] when the connection has closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (deterministic) [`RejectReason`] without reserving
+    /// anything.
+    pub fn request(&mut self, req: &ConnRequest) -> Result<Admission, RejectReason> {
+        if req.src == req.dst {
+            return Err(RejectReason::SameRouter);
+        }
+        let rate_fps = Self::rate_fps(req.period);
+        let Some(interval) = self.model.service_interval() else {
+            return Err(RejectReason::Unguaranteeable);
+        };
+        if req.period < interval {
+            return Err(RejectReason::Unguaranteeable);
+        }
+        if self.tx_free[self.grid.index(req.src)] == 0 {
+            return Err(RejectReason::NoTxIface);
+        }
+        if self.rx_free[self.grid.index(req.dst)] == 0 {
+            return Err(RejectReason::NoRxIface);
+        }
+        let xy = xy_route(&self.grid, req.src, req.dst).map_err(|_| RejectReason::NoPath)?;
+        let (dirs, is_xy) = if self.path_admits(req.src, &xy, rate_fps) {
+            (xy, true)
+        } else {
+            match self.bfs(req.src, req.dst, rate_fps) {
+                Some(dirs) => (dirs, false),
+                None => return Err(RejectReason::NoPath),
+            }
+        };
+
+        // Commit.
+        let mut cur = req.src;
+        for &d in &dirs {
+            let i = self.link_index(cur, d);
+            self.free_vcs[i] -= 1;
+            self.residual_fps[i] -= rate_fps;
+            cur = self.grid.neighbor(cur, d).expect("path stays on grid");
+        }
+        self.tx_free[self.grid.index(req.src)] -= 1;
+        self.rx_free[self.grid.index(req.dst)] -= 1;
+
+        let report = self.model.report(dirs.len(), req.period);
+        Ok(Admission {
+            src: req.src,
+            dst: req.dst,
+            xy: is_xy,
+            rate_fps,
+            report,
+            dirs,
+        })
+    }
+
+    /// Debits budgets for a connection that already exists outside the
+    /// controller's own decisions — e.g. a scenario's static GS
+    /// connections, opened before the controller was built — so later
+    /// requests see the true residual capacity. Bandwidth saturates at
+    /// zero (a static connection may exceed the reservable GS budget);
+    /// VC and interface budgets must genuinely be free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VC or interface budget underflows — the controller
+    /// and the network's connection state disagree.
+    pub fn reserve_existing(&mut self, src: RouterId, dirs: &[Direction], rate_fps: u64) {
+        let mut cur = src;
+        for &d in dirs {
+            let i = self.link_index(cur, d);
+            self.free_vcs[i] = self.free_vcs[i]
+                .checked_sub(1)
+                .expect("existing connection exceeds the link VC budget");
+            self.residual_fps[i] = self.residual_fps[i].saturating_sub(rate_fps);
+            cur = self.grid.neighbor(cur, d).expect("path stays on grid");
+        }
+        let src_i = self.grid.index(src);
+        self.tx_free[src_i] = self.tx_free[src_i]
+            .checked_sub(1)
+            .expect("existing connection exceeds the TX interface budget");
+        let dst_i = self.grid.index(cur);
+        self.rx_free[dst_i] = self.rx_free[dst_i]
+            .checked_sub(1)
+            .expect("existing connection exceeds the RX interface budget");
+    }
+
+    /// Returns an admission's budgets (exact integer credits — the state
+    /// after any open→close sequence equals the initial state).
+    pub fn release(&mut self, adm: &Admission) {
+        let mut cur = adm.src;
+        for &d in &adm.dirs {
+            let i = self.link_index(cur, d);
+            self.free_vcs[i] += 1;
+            self.residual_fps[i] += adm.rate_fps;
+            cur = self.grid.neighbor(cur, d).expect("path stays on grid");
+        }
+        self.tx_free[self.grid.index(adm.src)] += 1;
+        self.rx_free[self.grid.index(adm.dst)] += 1;
+    }
+
+    /// A snapshot of every budget counter, for exact state comparison in
+    /// tests (leak detection).
+    pub fn snapshot(&self) -> (Vec<u8>, Vec<u64>, Vec<u8>, Vec<u8>) {
+        (
+            self.free_vcs.clone(),
+            self.residual_fps.clone(),
+            self.tx_free.clone(),
+            self.rx_free.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(w: u8, h: u8) -> AdmissionController {
+        AdmissionController::new(
+            Grid::new(w, h),
+            &RouterConfig::paper(),
+            &NaConfig::paper(),
+            0.875,
+        )
+    }
+
+    fn req(sx: u8, sy: u8, dx: u8, dy: u8, period_ns: u64) -> ConnRequest {
+        ConnRequest {
+            src: RouterId::new(sx, sy),
+            dst: RouterId::new(dx, dy),
+            period: SimDuration::from_ns(period_ns),
+        }
+    }
+
+    #[test]
+    fn xy_path_preferred_when_free() {
+        let mut c = controller(4, 4);
+        let adm = c.request(&req(0, 0, 2, 1, 20)).unwrap();
+        assert!(adm.xy);
+        assert_eq!(adm.hops(), 3);
+        assert_eq!(
+            adm.dirs,
+            vec![Direction::East, Direction::East, Direction::South]
+        );
+        assert!(adm.report.conforming);
+    }
+
+    #[test]
+    fn bfs_routes_around_exhausted_link() {
+        let mut c = controller(4, 1);
+        // 4×1 line: no detour exists, so exhausting (0,0)→E kills paths.
+        for _ in 0..4 {
+            c.request(&req(0, 0, 1, 0, 20)).unwrap();
+        }
+        // TX interfaces at (0,0) are now gone too (4 of them).
+        assert_eq!(
+            c.request(&req(0, 0, 3, 0, 20)),
+            Err(RejectReason::NoTxIface)
+        );
+
+        // On a 2D mesh a detour exists: exhaust the 7 VCs of (0,0)→E
+        // using distinct sources... simpler: artificially drain the link.
+        let mut c = controller(3, 3);
+        let i = c.link_index(RouterId::new(0, 0), Direction::East);
+        c.free_vcs[i] = 0;
+        let adm = c.request(&req(0, 0, 2, 0, 20)).unwrap();
+        assert!(!adm.xy, "XY blocked, BFS detour expected");
+        assert_eq!(adm.hops(), 4, "shortest detour has 4 links");
+        // BFS visits neighbors in N,E,S,W order, so the deterministic
+        // detour drops south, runs east with a kink, and comes back up.
+        assert_eq!(
+            adm.dirs,
+            vec![
+                Direction::South,
+                Direction::East,
+                Direction::North,
+                Direction::East
+            ]
+        );
+    }
+
+    #[test]
+    fn rate_checks_and_bandwidth_budget() {
+        let mut c = controller(4, 4);
+        // 3 ns per flit can never be guaranteed by fair share (≥10.3 ns).
+        assert_eq!(
+            c.request(&req(0, 0, 3, 3, 3)),
+            Err(RejectReason::Unguaranteeable)
+        );
+        // Bandwidth budget: 0.875 × 794.9 Mflit/s ≈ 695 Mfps per link...
+        // with ~97 Mfps per conforming connection the 7-VC budget binds
+        // first; shrink the budget to see bandwidth rejections.
+        let mut c = AdmissionController::new(
+            Grid::new(4, 1),
+            &RouterConfig::paper(),
+            &NaConfig::paper(),
+            0.2, // 159 Mfps budget: one 97 Mfps connection fits, not two
+        );
+        c.request(&req(0, 0, 3, 0, 11)).unwrap();
+        assert_eq!(
+            c.request(&req(1, 0, 3, 0, 11)),
+            Err(RejectReason::NoPath),
+            "second reservation exceeds the link bandwidth budget"
+        );
+    }
+
+    #[test]
+    fn release_restores_exact_state() {
+        let mut c = controller(4, 4);
+        let before = c.snapshot();
+        let a = c.request(&req(0, 0, 3, 3, 15)).unwrap();
+        let b = c.request(&req(1, 2, 2, 0, 20)).unwrap();
+        assert_ne!(c.snapshot(), before);
+        c.release(&a);
+        c.release(&b);
+        assert_eq!(c.snapshot(), before, "budgets must return exactly");
+    }
+
+    #[test]
+    fn endpoint_interface_budgets_bind() {
+        let mut c = controller(2, 2);
+        for _ in 0..4 {
+            c.request(&req(0, 0, 1, 1, 20)).unwrap();
+        }
+        assert_eq!(
+            c.request(&req(0, 0, 1, 1, 20)),
+            Err(RejectReason::NoTxIface)
+        );
+        // The destination still has 0 RX left for others too.
+        assert_eq!(
+            c.request(&req(0, 1, 1, 1, 20)),
+            Err(RejectReason::NoRxIface)
+        );
+    }
+
+    #[test]
+    fn same_router_rejected() {
+        let mut c = controller(2, 2);
+        assert_eq!(
+            c.request(&req(1, 1, 1, 1, 20)),
+            Err(RejectReason::SameRouter)
+        );
+    }
+
+    #[test]
+    fn reason_index_matches_all_order() {
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn reserve_existing_debits_and_releases_like_a_request() {
+        let mut c = controller(3, 3);
+        let dirs = [Direction::East, Direction::South];
+        c.reserve_existing(RouterId::new(0, 0), &dirs, 100_000_000);
+        assert_eq!(c.free_vcs(RouterId::new(0, 0), Direction::East), 6);
+        assert_eq!(c.free_vcs(RouterId::new(1, 0), Direction::South), 6);
+        // Endpoint interfaces debited: three more exhaust the source.
+        for _ in 0..3 {
+            c.reserve_existing(RouterId::new(0, 0), &dirs, 100_000_000);
+        }
+        assert_eq!(
+            c.request(&req(0, 0, 2, 2, 20)),
+            Err(RejectReason::NoTxIface)
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The analytical guarantee model: per-connection worst-case latency and
+//! guaranteed bandwidth, computed from the reserved VC chain.
+//!
+//! A GS connection reserves one independently buffered VC on every link
+//! of its path (Sec. 3), so its service composes per hop: at each link
+//! the flit waits for the arbiter to grant its VC, then traverses the
+//! forward path into the next hop's buffer. The arbitration policy
+//! determines the worst-case wait (Sec. 4.4):
+//!
+//! * **fair-share** — round-robin over the link's `slots = gs_vcs + 1`
+//!   channels: a continuously ready VC is granted within `slots` link
+//!   cycles (its own grant included), giving it ≥ `1/slots` of link
+//!   bandwidth;
+//! * **ALG** — priority with age bound `B`: granted within
+//!   `B + slots` link cycles;
+//! * **static priority** — no bound for any VC but the highest: the
+//!   report carries `None` and admission control refuses to guarantee.
+//!
+//! A single VC is additionally rate-limited by the share-based VC
+//! control loop ([`mango_hw::RouterTiming::vc_loop`]): the sharebox
+//! stays locked until the downstream unsharebox empties, so consecutive
+//! flits of one connection are spaced by at least the larger of the
+//! VC loop and the worst-case grant spacing. The reciprocal of that
+//! spacing is the connection's **guaranteed bandwidth**.
+//!
+//! The latency bound is intentionally *conservative* (sound, not tight):
+//! every stage contributes its worst case simultaneously, which no real
+//! schedule achieves. The simulation-facing contract — checked in tests
+//! and by `repro_churn` — is `observed max ≤ bound` for every admitted,
+//! rate-conforming connection.
+
+use mango_core::{ArbiterKind, RouterConfig};
+use mango_net::NaConfig;
+use mango_sim::SimDuration;
+
+/// The per-hop service model shared by every connection of one network
+/// (one router + NA configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceModel {
+    /// Channels contending for each link: GS VCs + the BE channel.
+    pub slots: usize,
+    /// Link cycle time (1 / port speed).
+    pub link_cycle: SimDuration,
+    /// Arbiter reaction to a newly ready request.
+    pub arb_decision: SimDuration,
+    /// Grant → flit latched in the next router's unsharebox.
+    pub hop_forward: SimDuration,
+    /// Unsharebox → buffer advance.
+    pub buffer_advance: SimDuration,
+    /// The share-based VC control loop (per-VC grant-to-grant floor).
+    pub vc_loop: SimDuration,
+    /// NA clock-domain-crossing delay on injection.
+    pub sync_delay: SimDuration,
+    /// Core-side consume delay per delivered flit.
+    pub consume_delay: SimDuration,
+    /// Worst-case grants-until-served for a continuously ready VC (its
+    /// own grant included); `None` when the arbiter gives no bound.
+    pub grant_bound: Option<u64>,
+}
+
+impl ServiceModel {
+    /// Derives the model from a router + NA configuration.
+    pub fn new(cfg: &RouterConfig, na: &NaConfig) -> Self {
+        let slots = cfg.gs_vcs() + 1;
+        let grant_bound = match cfg.arbiter {
+            ArbiterKind::FairShare => Some(slots as u64),
+            ArbiterKind::Alg { age_bound } => Some(u64::from(age_bound) + slots as u64),
+            ArbiterKind::StaticPriority => None,
+        };
+        ServiceModel {
+            slots,
+            link_cycle: cfg.timing.link_cycle,
+            arb_decision: cfg.timing.arb_decision,
+            hop_forward: cfg.timing.hop_forward,
+            buffer_advance: cfg.timing.buffer_advance,
+            vc_loop: cfg.timing.vc_loop(),
+            sync_delay: na.sync_delay,
+            consume_delay: na.consume_delay,
+            grant_bound,
+        }
+    }
+
+    /// Worst-case spacing between consecutive grants to one VC while it
+    /// stays backlogged: the arbitration round, floored by the VC
+    /// control loop. `None` when the arbiter is unbounded.
+    pub fn service_interval(&self) -> Option<SimDuration> {
+        let grants = self.grant_bound?;
+        let round = self.arb_decision + self.link_cycle * grants;
+        Some(round.max(self.vc_loop))
+    }
+
+    /// Guaranteed bandwidth of one connection, Mflit/s (zero when the
+    /// arbiter gives no bound).
+    pub fn guaranteed_mfps(&self) -> f64 {
+        self.service_interval()
+            .map_or(0.0, |interval| interval.as_rate_mhz())
+    }
+
+    /// Worst-case wait-plus-transfer for one hop: arbitration round,
+    /// then the forward path into the next buffer.
+    fn per_hop(&self) -> Option<SimDuration> {
+        let grants = self.grant_bound?;
+        Some(self.arb_decision + self.link_cycle * grants + self.hop_forward + self.buffer_advance)
+    }
+
+    /// The guarantee report for a connection of `hops` links streaming
+    /// one flit per `period`.
+    pub fn report(&self, hops: usize, period: SimDuration) -> GuaranteeReport {
+        let requested_mfps = period.as_rate_mhz();
+        let guaranteed_mfps = self.guaranteed_mfps();
+        let conforming = self
+            .service_interval()
+            .is_some_and(|interval| period >= interval);
+        // Sound only for conforming sources: a faster source grows its
+        // NA queue without bound and no per-flit latency bound exists.
+        let worst_latency = if conforming {
+            let interval = self.service_interval().expect("conforming implies bounded");
+            let per_hop = self.per_hop().expect("conforming implies bounded");
+            Some(
+                // NA queue: at most one service interval ahead of us.
+                interval
+                    // Injection: crossing + local forward path + latch.
+                    + self.sync_delay + self.hop_forward + self.buffer_advance
+                    // Every link: arbitration round + forward path.
+                    + per_hop * hops as u64
+                    // Delivery: the NA's receive slot may be mid-consume.
+                    + self.consume_delay,
+            )
+        } else {
+            None
+        };
+        GuaranteeReport {
+            hops,
+            slots: self.slots,
+            requested_mfps,
+            guaranteed_mfps,
+            conforming,
+            service_interval: self.service_interval(),
+            worst_latency,
+        }
+    }
+}
+
+/// The analytical guarantees of one GS connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuaranteeReport {
+    /// Links the connection traverses.
+    pub hops: usize,
+    /// Channels contending for each link.
+    pub slots: usize,
+    /// Offered rate, Mflit/s.
+    pub requested_mfps: f64,
+    /// Guaranteed bandwidth, Mflit/s (zero when unbounded arbiter).
+    pub guaranteed_mfps: f64,
+    /// The offered rate fits inside the guarantee.
+    pub conforming: bool,
+    /// Worst-case per-VC grant spacing (`None` for unbounded arbiters).
+    pub service_interval: Option<SimDuration>,
+    /// Worst-case end-to-end latency; `None` when the source does not
+    /// conform or the arbiter gives no bound.
+    pub worst_latency: Option<SimDuration>,
+}
+
+impl GuaranteeReport {
+    /// The latency bound in nanoseconds, if one exists.
+    pub fn worst_latency_ns(&self) -> Option<f64> {
+        self.worst_latency.map(|d| d.as_ns_f64())
+    }
+
+    /// Checks an observed worst latency (ns) against the bound: `true`
+    /// when a bound exists and holds.
+    pub fn admits_observation(&self, observed_max_ns: f64) -> bool {
+        self.worst_latency_ns()
+            .is_some_and(|bound| observed_max_ns <= bound)
+    }
+}
+
+/// Convenience: the report for a connection on the paper's router.
+pub fn report_for(
+    cfg: &RouterConfig,
+    na: &NaConfig,
+    hops: usize,
+    period: SimDuration,
+) -> GuaranteeReport {
+    ServiceModel::new(cfg, na).report(hops, period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mango_core::ArbiterKind;
+
+    fn model() -> ServiceModel {
+        ServiceModel::new(&RouterConfig::paper(), &NaConfig::paper())
+    }
+
+    /// Hand-computed pins for the paper's typical-corner configuration.
+    ///
+    /// Stage delays (crates/hw/timing.rs, typical): link_cycle 1258 ps,
+    /// arb_decision 250 ps, hop_forward 950 ps, buffer_advance 180 ps,
+    /// vc_loop 950+180+620 = 1750 ps. 7 GS VCs + BE ⇒ 8 slots.
+    #[test]
+    fn paper_service_model_numbers() {
+        let m = model();
+        assert_eq!(m.slots, 8);
+        assert_eq!(m.link_cycle.as_ps(), 1258);
+        assert_eq!(m.arb_decision.as_ps(), 250);
+        assert_eq!(m.hop_forward.as_ps(), 950);
+        assert_eq!(m.buffer_advance.as_ps(), 180);
+        assert_eq!(m.vc_loop.as_ps(), 1750);
+        // Fair share: 8 grants × 1258 + 250 = 10314 ps round, above the
+        // 1750 ps VC loop.
+        assert_eq!(m.grant_bound, Some(8));
+        assert_eq!(m.service_interval().unwrap().as_ps(), 10_314);
+        // Guaranteed bandwidth ≈ 96.96 Mflit/s (1/10314 ps).
+        assert!((m.guaranteed_mfps() - 96.955).abs() < 0.01);
+    }
+
+    #[test]
+    fn one_hop_bound_is_hand_computed_sum() {
+        // Conforming CBR at 12 ns ≥ 10.314 ns service interval.
+        let r = model().report(1, SimDuration::from_ns(12));
+        assert!(r.conforming);
+        // queue 10314 + inject (0 + 950 + 180) + hop (250 + 8×1258 +
+        // 950 + 180) + consume 0 = 22 888 ps.
+        assert_eq!(r.worst_latency.unwrap().as_ps(), 22_888);
+    }
+
+    #[test]
+    fn three_hop_bound_adds_two_more_hops() {
+        let one = model().report(1, SimDuration::from_ns(12));
+        let three = model().report(3, SimDuration::from_ns(12));
+        // Each extra hop adds exactly 250 + 8×1258 + 950 + 180 = 11 444 ps.
+        assert_eq!(
+            three.worst_latency.unwrap().as_ps(),
+            one.worst_latency.unwrap().as_ps() + 2 * 11_444
+        );
+        assert_eq!(three.worst_latency.unwrap().as_ps(), 45_776);
+    }
+
+    #[test]
+    fn non_conforming_source_has_no_bound() {
+        // 3 ns per flit (333 Mflit/s) exceeds the ~97 Mflit/s guarantee.
+        let r = model().report(4, SimDuration::from_ns(3));
+        assert!(!r.conforming);
+        assert_eq!(r.worst_latency, None);
+        assert!(!r.admits_observation(0.0));
+    }
+
+    #[test]
+    fn static_priority_gives_no_guarantee() {
+        let mut cfg = RouterConfig::paper();
+        cfg.arbiter = ArbiterKind::StaticPriority;
+        let m = ServiceModel::new(&cfg, &NaConfig::paper());
+        assert_eq!(m.grant_bound, None);
+        assert_eq!(m.service_interval(), None);
+        assert_eq!(m.guaranteed_mfps(), 0.0);
+        assert_eq!(m.report(2, SimDuration::from_ns(50)).worst_latency, None);
+    }
+
+    #[test]
+    fn alg_bound_scales_with_age_bound() {
+        let mut cfg = RouterConfig::paper();
+        cfg.arbiter = ArbiterKind::Alg { age_bound: 4 };
+        let m = ServiceModel::new(&cfg, &NaConfig::paper());
+        // 4 + 8 = 12 grants worst case.
+        assert_eq!(m.grant_bound, Some(12));
+        assert_eq!(m.service_interval().unwrap().as_ps(), 250 + 12 * 1258);
+    }
+
+    #[test]
+    fn vc_loop_floors_the_interval_for_tiny_arbitration_rounds() {
+        // A single-GS-VC router: 2 slots, round = 250 + 2×1258 = 2766 ps,
+        // still above the 1750 ps loop; squeeze the cycle to see the
+        // floor bite.
+        let mut cfg = RouterConfig::paper();
+        cfg.timing.link_cycle = SimDuration::from_ps(100);
+        cfg.timing.arb_decision = SimDuration::from_ps(10);
+        let m = ServiceModel::new(&cfg, &NaConfig::paper());
+        // Round = 10 + 8×100 = 810 < vc_loop 1750 ⇒ floored.
+        assert_eq!(m.service_interval().unwrap(), m.vc_loop);
+    }
+
+    #[test]
+    fn observation_check_compares_in_ns() {
+        let r = model().report(1, SimDuration::from_ns(12));
+        assert!(r.admits_observation(22.888));
+        assert!(!r.admits_observation(22.889));
+    }
+}

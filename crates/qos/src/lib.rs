@@ -1,0 +1,72 @@
+//! QoS layer for the MANGO NoC model: analytical service guarantees,
+//! admission control and connection-churn workloads.
+//!
+//! The paper's thesis is *connection-oriented service guarantees*: a GS
+//! connection reserves a chain of independently buffered VCs whose
+//! scheduling discipline yields hard latency and bandwidth bounds
+//! (Sec. 3–4). This crate makes those guarantees first-class:
+//!
+//! * [`bound`] — the analytical model: [`bound::ServiceModel`] derives
+//!   per-hop worst cases from the calibrated timing profile, and a
+//!   [`bound::GuaranteeReport`] states each connection's guaranteed
+//!   bandwidth and worst-case latency;
+//! * [`admission`] — [`admission::AdmissionController`] tracks residual
+//!   GS-VC, bandwidth and interface budgets per link/node, answers
+//!   [`admission::ConnRequest`]s, and searches paths capacity-aware (XY
+//!   first, BFS over residual capacity as fallback — legal for GS since
+//!   every VC is independently buffered);
+//! * [`churn`] — [`churn::ChurnSpec`] layers a Poisson
+//!   open→stream→close connection workload over any base
+//!   [`mango_net::ScenarioSpec`], driving the real in-band BE
+//!   programming packets, and measures setup latency, rejection rate,
+//!   programming overhead and observed-vs-bound latency.
+//!
+//! # Example
+//!
+//! Admit a connection, open it along the admitted path, and compare the
+//! simulated worst case against the analytical bound:
+//!
+//! ```
+//! use mango_net::{EmitWindow, NocSim, Pattern};
+//! use mango_qos::{AdmissionController, ConnRequest};
+//! use mango_core::RouterId;
+//! use mango_sim::SimDuration;
+//!
+//! let mut sim = NocSim::paper_mesh(4, 4, 9);
+//! let mut ctl = AdmissionController::new(
+//!     sim.network().grid().clone(),
+//!     sim.network().router_cfg(),
+//!     sim.network().na_cfg(),
+//!     0.875,
+//! );
+//! let req = ConnRequest {
+//!     src: RouterId::new(0, 0),
+//!     dst: RouterId::new(3, 3),
+//!     period: SimDuration::from_ns(15),
+//! };
+//! let adm = ctl.request(&req).expect("an idle mesh admits");
+//! let conn = sim
+//!     .open_connection_along(req.src, req.dst, &adm.dirs)
+//!     .expect("admission reserved the path");
+//! sim.wait_connections_settled().expect("programming completes");
+//! sim.begin_measurement();
+//! let flow = sim.add_gs_source(
+//!     conn,
+//!     Pattern::cbr(req.period),
+//!     "bounded",
+//!     EmitWindow { limit: Some(200), ..Default::default() },
+//! );
+//! sim.run_to_quiescence();
+//! let observed = sim.flow(flow).latency.max().unwrap().as_ns_f64();
+//! assert!(adm.report.admits_observation(observed));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod bound;
+pub mod churn;
+
+pub use admission::{Admission, AdmissionController, ConnRequest, RejectReason};
+pub use bound::{report_for, GuaranteeReport, ServiceModel};
+pub use churn::{ChurnMetrics, ChurnSpec, ConnOutcome};

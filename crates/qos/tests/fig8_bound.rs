@@ -1,0 +1,86 @@
+//! The guarantee contract on the paper's Fig. 8 scenario: a GS
+//! connection crossing a 4×4 mesh diagonally under saturating BE
+//! background must never exceed its analytical worst-case latency —
+//! that is the claim "service guarantees" makes, and the reason BE
+//! load cannot perturb GS in Fig. 8.
+
+use mango_core::{RouterConfig, RouterId};
+use mango_net::{
+    BeBackgroundSpec, EmitWindow, GsFlowSpec, MeasureBound, NaConfig, Pattern, Phase, ScenarioSpec,
+};
+use mango_qos::report_for;
+use mango_sim::SimDuration;
+
+/// The Fig. 8 setup: one GS stream (0,0)→(3,3) at 12 ns per flit, BE
+/// background from every node at `be_gap` mean.
+fn fig8(seed: u64, be_gap_ns: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::mesh(4, 4, seed);
+    spec.warmup = SimDuration::from_us(5);
+    spec.measure = MeasureBound::For(SimDuration::from_us(40));
+    spec.gs.push(GsFlowSpec {
+        src: RouterId::new(0, 0),
+        dst: RouterId::new(3, 3),
+        pattern: Pattern::cbr(SimDuration::from_ns(12)),
+        name: "gs".into(),
+        window: EmitWindow::default(),
+        phase: Phase::Measure,
+    });
+    spec.background = Some(BeBackgroundSpec {
+        pattern: Pattern::poisson(SimDuration::from_ns(be_gap_ns)),
+        payload_words: 4,
+        name_prefix: "be-".into(),
+        phase: Phase::Setup,
+    });
+    spec
+}
+
+#[test]
+fn observed_max_gs_latency_stays_under_analytical_bound() {
+    // 6 hops, conforming CBR (12 ns ≥ 10.314 ns service interval).
+    let report = report_for(
+        &RouterConfig::paper(),
+        &NaConfig::paper(),
+        6,
+        SimDuration::from_ns(12),
+    );
+    assert!(report.conforming);
+    let bound_ns = report.worst_latency_ns().expect("conforming has a bound");
+
+    // Sweep BE load from light to saturating: the guarantee must hold
+    // at every level and for several seeds.
+    for seed in [1, 7, 55] {
+        for be_gap_ns in [1000, 300, 100] {
+            let m = fig8(seed, be_gap_ns).run();
+            let gs = m.gs(0);
+            assert!(gs.delivered > 0, "GS stream must flow");
+            assert_eq!(gs.sequence_errors, 0);
+            let observed = gs.max_ns.expect("latency samples recorded");
+            assert!(
+                report.admits_observation(observed),
+                "seed {seed}, BE gap {be_gap_ns} ns: observed max \
+                 {observed:.1} ns exceeds bound {bound_ns:.1} ns"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_is_not_vacuous() {
+    // The conservative bound should still be within an order of
+    // magnitude of reality: under saturating BE the observed max must
+    // land above a tenth of the bound's scale — otherwise the model is
+    // so loose it bounds nothing interesting.
+    let report = report_for(
+        &RouterConfig::paper(),
+        &NaConfig::paper(),
+        6,
+        SimDuration::from_ns(12),
+    );
+    let bound_ns = report.worst_latency_ns().unwrap();
+    let m = fig8(1, 100).run();
+    let observed = m.gs(0).max_ns.unwrap();
+    assert!(
+        observed > bound_ns / 20.0,
+        "observed {observed:.1} ns vs bound {bound_ns:.1} ns: bound uselessly loose"
+    );
+}

@@ -1,7 +1,7 @@
 //! The shared command-line surface of the sweep binaries:
-//! `--threads N`, `--smoke`, `--csv PATH`, `--json PATH`.
+//! `--threads N`, `--smoke`, `--list`, `--csv PATH`, `--json PATH`.
 //!
-//! No external argument-parsing dependency: the grammar is four flags.
+//! No external argument-parsing dependency: the grammar is five flags.
 //! Binary-specific flags are returned unparsed in [`SweepArgs::rest`].
 
 use crate::runner::default_threads;
@@ -14,6 +14,9 @@ pub struct SweepArgs {
     pub threads: usize,
     /// Run the reduced smoke grid (`--smoke`).
     pub smoke: bool,
+    /// Print the expanded grid (job id → parameters) and exit without
+    /// running anything (`--list`) — for debugging sweep specs.
+    pub list: bool,
     /// Write records as CSV to this path (`--csv PATH`).
     pub csv: Option<PathBuf>,
     /// Write records as JSON to this path (`--json PATH`).
@@ -34,6 +37,7 @@ impl SweepArgs {
         let mut out = SweepArgs {
             threads: default_threads(),
             smoke: false,
+            list: false,
             csv: None,
             json: None,
             rest: Vec::new(),
@@ -50,6 +54,7 @@ impl SweepArgs {
                         .ok_or_else(|| format!("--threads: bad value {v:?}"))?;
                 }
                 "--smoke" => out.smoke = true,
+                "--list" => out.list = true,
                 "--csv" => out.csv = Some(args.next().ok_or("--csv needs a path")?.into()),
                 "--json" => out.json = Some(args.next().ok_or("--json needs a path")?.into()),
                 _ => out.rest.push(arg),
@@ -65,7 +70,9 @@ impl SweepArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("common flags: [--threads N] [--smoke] [--csv PATH] [--json PATH]");
+                eprintln!(
+                    "common flags: [--threads N] [--smoke] [--list] [--csv PATH] [--json PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -97,8 +104,10 @@ mod tests {
     fn defaults_and_flags() {
         let a = parse(&[]).unwrap();
         assert!(!a.smoke);
+        assert!(!a.list);
         assert!(a.threads >= 1);
         assert!(a.csv.is_none() && a.json.is_none() && a.rest.is_empty());
+        assert!(parse(&["--list"]).unwrap().list);
 
         let a = parse(&[
             "--threads",

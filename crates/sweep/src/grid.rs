@@ -54,7 +54,8 @@ impl Default for SweepSpec {
     }
 }
 
-/// One expanded grid point.
+/// One expanded grid point. `Display` prints the `--list` line:
+/// `job 3: 8x8 gs=4 be_gap=300 period=12 measure=100 seed=2`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepJob {
     /// Ordinal in expansion order (the CSV row order).
@@ -73,6 +74,24 @@ pub struct SweepJob {
     pub measure_us: u64,
     /// Final job seed (base seed, gap-mixed when configured).
     pub seed: u64,
+}
+
+impl std::fmt::Display for SweepJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {}: {}x{} gs={} be_gap={} period={} measure={} seed={}",
+            self.id,
+            self.width,
+            self.height,
+            self.gs_conns,
+            self.be_gap_ns
+                .map_or_else(|| "idle".into(), |g| g.to_string()),
+            self.gs_period_ns,
+            self.measure_us,
+            self.seed
+        )
+    }
 }
 
 impl SweepSpec {

@@ -14,8 +14,11 @@
 //!   seeds) that expands to [`grid::SweepJob`]s;
 //! * [`record::SweepRecord`] — typed per-job results with CSV and JSON
 //!   writers and a summary-table printer;
-//! * [`cli`] — the shared `--threads N` / `--smoke` / `--csv` / `--json`
-//!   argument surface of the sweep binaries.
+//! * [`churn_grid::ChurnSweepSpec`] — churn axes (arrival rate ×
+//!   holding time × offered GS load) over [`mango_qos::ChurnSpec`]
+//!   connection-churn experiments, with their own typed records;
+//! * [`cli`] — the shared `--threads N` / `--smoke` / `--list` /
+//!   `--csv` / `--json` argument surface of the sweep binaries.
 //!
 //! # Determinism contract
 //!
@@ -45,11 +48,15 @@
 
 #![warn(missing_docs)]
 
+pub mod churn_grid;
 pub mod cli;
 pub mod grid;
 pub mod record;
 pub mod runner;
 
+pub use churn_grid::{
+    churn_summary_table, run_churn_sweep, write_churn_csv, ChurnJob, ChurnRecord, ChurnSweepSpec,
+};
 pub use cli::SweepArgs;
 pub use grid::{auto_gs_pairs, SweepJob, SweepSpec};
 pub use record::{write_csv, write_json, RuntimeInfo, SweepRecord};

@@ -213,8 +213,8 @@ proptest! {
     fn flit_meta_is_preserved(data in any::<u32>(), seq in any::<u64>(), flow in any::<u32>()) {
         let f = Flit::gs(data).with_meta(mango::sim::SimTime::from_ps(1), seq, flow);
         prop_assert_eq!(f.data, data);
-        prop_assert_eq!(f.meta.seq, seq);
-        prop_assert_eq!(f.meta.flow, flow);
+        prop_assert_eq!(f.seq(), seq);
+        prop_assert_eq!(f.flow(), flow);
     }
 }
 
