@@ -95,6 +95,29 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    // The same set-up pattern through the bulk build path
+    // (`EventQueue::extend`): one pre-sorted run instead of 8192
+    // overflow-heap detours.
+    group.bench_function("bulk_fill_then_drain_8192", |b| {
+        let mut rng = SimRng::new(0xD12A);
+        b.iter(|| {
+            let mut t = SimTime::from_ps(1);
+            let batch: Vec<(SimTime, u64)> = (0..8192u64)
+                .map(|i| {
+                    let e = (t, i);
+                    t += Dist::Mixed.delta(&mut rng);
+                    e
+                })
+                .collect();
+            let mut q = EventQueue::new();
+            q.extend(batch);
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
     group.finish();
 }
 

@@ -1,28 +1,80 @@
-//! Reproduces the **scaling remarks of Sec. 4.2/4.3**: router area as a
-//! function of ports, VCs, flit width and buffer depth — the switching
-//! module linear in V, the VC-control wire switch quadratic (motivating
-//! the Clos-network suggestion for large V).
+//! Reproduces the **scaling remarks of Sec. 4.2/4.3** — router area as a
+//! function of ports, VCs, flit width and buffer depth (the switching
+//! module linear in V, the VC-control wire switch quadratic, motivating
+//! the Clos-network suggestion for large V) — and extends them with a
+//! **simulated mesh-scaling section**: the same mixed GS + uniform-BE
+//! workload run on 4×4 through 32×32 meshes, the axis the paper's
+//! "larger networks" discussion implies but never measures.
 //!
 //! Run with: `cargo run --release -p mango_bench --bin repro_scaling`
-//! `[-- --threads N]`
+//! `[-- --threads N] [--smoke]`
 //!
-//! The configuration grid is evaluated through the sweep runner — each
-//! design point is an independent analytic job, merged in grid order.
-//! (The model is closed-form, so this is parallelism for uniformity with
-//! the simulation sweeps, not for speed.)
+//! `--smoke` runs only the 16×16 simulation point (the CI `scaling-smoke`
+//! golden). Everything on stdout is deterministic — independent of wall
+//! clock, thread count and event-wheel geometry — and byte-diffed in CI;
+//! wall-clock rates go to stderr.
+//!
+//! The analytic grid is evaluated through the sweep runner — each design
+//! point is an independent job, merged in grid order. (The area model is
+//! closed-form, so that part is parallelism for uniformity with the
+//! simulation sweeps, not for speed.)
 
+use mango::core::RouterConfig;
 use mango::hw::area::{AreaModel, RouterParams};
 use mango::hw::power::PowerModel;
 use mango::hw::Table;
-use mango_sweep::{run_parallel, SweepArgs};
+use mango::net::{BeBackgroundSpec, MeasureBound, Pattern, Phase, ScenarioSpec};
+use mango::sim::SimDuration;
+use mango_sweep::{auto_gs_pairs, run_parallel, SweepArgs};
+use std::time::Instant;
+
+/// One simulated mesh-scaling point: the mixed workload (two
+/// center-crossing GS connections at 12 ns CBR plus uniform-random BE
+/// background at 300 ns per node) on a `side × side` mesh, measured for
+/// `measure_us` (larger meshes get shorter windows to bound runtime; the
+/// per-node event density is size-independent, so rates stay comparable).
+fn scaling_spec(side: u8, measure_us: u64) -> ScenarioSpec {
+    let gs = auto_gs_pairs(side, side, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (src, dst))| mango::net::GsFlowSpec {
+            src,
+            dst,
+            pattern: Pattern::cbr(SimDuration::from_ns(12)),
+            name: format!("gs-{i}"),
+            window: Default::default(),
+            phase: Phase::Measure,
+        })
+        .collect();
+    ScenarioSpec {
+        width: side,
+        height: side,
+        router_cfg: RouterConfig::paper(),
+        seed: 77,
+        warmup: SimDuration::from_us(2),
+        measure: MeasureBound::For(SimDuration::from_us(measure_us)),
+        gs,
+        be: Vec::new(),
+        background: Some(BeBackgroundSpec {
+            pattern: Pattern::poisson(SimDuration::from_ns(300)),
+            payload_words: 4,
+            name_prefix: "bg-".into(),
+            phase: Phase::Setup,
+        }),
+    }
+}
 
 fn main() {
     let args = SweepArgs::from_env();
     args.reject_rest().expect("no extra flags");
     assert!(
-        !args.smoke && args.csv.is_none() && args.json.is_none(),
-        "repro_scaling is analytic and table-only; --smoke/--csv/--json are not supported"
+        args.csv.is_none() && args.json.is_none(),
+        "repro_scaling is table-only; --csv/--json are not supported"
     );
+    if args.smoke {
+        mesh_scaling_section(&args, &[(16, 20)]);
+        return;
+    }
     let model = AreaModel::cmos_120nm();
     let base = model.breakdown(&RouterParams::paper());
 
@@ -115,4 +167,50 @@ fn main() {
         "  energy per flit-hop: {:.2} pJ",
         power.flit_hop_energy_pj(&RouterParams::paper())
     );
+
+    // The mesh axis the ROADMAP scaling track asks for: 4×4 (the paper's
+    // repro grid) through 32×32 (the smoke ceiling).
+    mesh_scaling_section(&args, &[(4, 50), (8, 50), (16, 20), (32, 5)]);
+}
+
+/// Runs the simulated mesh-scaling points and prints the deterministic
+/// results table (stdout) plus wall-clock rates (stderr).
+fn mesh_scaling_section(args: &SweepArgs, points: &[(u8, u64)]) {
+    println!(
+        "\nMesh scaling (simulated): 2 crossing GS conns @ 12 ns + uniform BE @ 300 ns/node\n"
+    );
+    let results = run_parallel(points, args.threads, |_, &(side, measure_us)| {
+        let start = Instant::now();
+        let metrics = scaling_spec(side, measure_us).run();
+        (metrics, start.elapsed().as_secs_f64())
+    });
+    let mut t = Table::new(vec![
+        "mesh",
+        "window [us]",
+        "events",
+        "GS [Mflit/s]",
+        "GS mean [ns]",
+        "GS max [ns]",
+        "BE delivered",
+        "BE mean [ns]",
+    ]);
+    for (&(side, measure_us), (m, wall)) in points.iter().zip(&results) {
+        t.add_row(vec![
+            format!("{side}x{side}"),
+            measure_us.to_string(),
+            m.events.to_string(),
+            format!("{:.1}", m.gs_throughput_m()),
+            format!("{:.1}", m.gs(0).mean_ns.expect("GS latency recorded")),
+            format!("{:.1}", m.gs(0).max_ns.expect("GS latency recorded")),
+            m.be_delivered().to_string(),
+            format!("{:.1}", m.be_mean_of_means_ns()),
+        ]);
+        eprintln!(
+            "[{side}x{side}: {} events in {:.2} s -> {:.2} Mevents/s]",
+            m.events,
+            wall,
+            m.events as f64 / wall / 1e6
+        );
+    }
+    print!("{t}");
 }

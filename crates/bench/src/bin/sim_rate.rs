@@ -1,44 +1,79 @@
 //! Simulator throughput probe: runs the `network_sim` benchmark scenario
-//! (mixed GS + BE on a 4×4 mesh) and reports raw events/second, the
-//! number the simulator-performance roadmap track is measured in.
+//! (mixed GS + BE, four crossing connections plus uniform BE background)
+//! and reports raw events/second, the number the simulator-performance
+//! roadmap track is measured in.
 //!
-//! Usage: `sim_rate [simulated_us] [repeats] [--json]`
-//! (defaults: 50 µs × 5). `--json` emits one machine-readable object on
-//! stdout so CI can record the rate without scraping logs.
+//! Usage:
+//! `sim_rate [simulated_us] [repeats] [--mesh N] [--buckets B] [--width-log2 W] [--json]`
+//! (defaults: 50 µs × 5 on a 4×4 mesh). `--mesh N` runs the same mixed
+//! workload on an N×N mesh — the mesh-scaling probe. `--buckets` /
+//! `--width-log2` override the event-wheel geometry (default: the
+//! per-scenario heuristic) for wheel-geometry validation sweeps; results
+//! are geometry-independent, only the rate moves. `--json` emits one
+//! machine-readable object on stdout so CI can record the rate without
+//! scraping logs.
 
-use mango::sim::SimDuration;
-use mango_bench::mixed_mesh_4x4;
+use mango::sim::{SimDuration, WheelGeometry};
+use mango_bench::mixed_mesh_geom;
 use std::time::Instant;
 
 fn main() {
     let mut json = false;
-    let positional: Vec<u64> = std::env::args()
-        .skip(1)
-        .filter(|a| {
-            if a == "--json" {
-                json = true;
-                false
-            } else {
-                true
-            }
-        })
-        .map(|a| {
-            a.parse().unwrap_or_else(|_| {
-                eprintln!("usage: sim_rate [simulated_us] [repeats] [--json]");
-                std::process::exit(2);
-            })
-        })
-        .collect();
+    let mut mesh: u8 = 4;
+    let mut buckets: Option<usize> = None;
+    let mut width_log2: Option<u32> = None;
+    let mut positional: Vec<u64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    fn usage() -> ! {
+        eprintln!(
+            "usage: sim_rate [simulated_us] [repeats] [--mesh N] \
+             [--buckets B] [--width-log2 W] [--json]"
+        );
+        std::process::exit(2);
+    }
+    fn flag_val<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+        match args.next().and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => usage(),
+        }
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--mesh" => mesh = flag_val(&mut args),
+            "--buckets" => buckets = Some(flag_val(&mut args)),
+            "--width-log2" => width_log2 = Some(flag_val(&mut args)),
+            _ => positional.push(a.parse().unwrap_or_else(|_| usage())),
+        }
+    }
     let sim_us = positional.first().copied().unwrap_or(50);
     let repeats = positional.get(1).copied().unwrap_or(5);
+    let geometry = (buckets.is_some() || width_log2.is_some()).then(|| WheelGeometry {
+        num_buckets: buckets.unwrap_or(WheelGeometry::DEFAULT.num_buckets),
+        width_log2: width_log2.unwrap_or(WheelGeometry::DEFAULT.width_log2),
+    });
 
+    let geom = geometry.unwrap_or_else(|| {
+        WheelGeometry::for_mesh(
+            mesh as usize * mesh as usize,
+            mango::hw::RouterTiming::paper_typical()
+                .min_event_delay()
+                .as_ps(),
+        )
+    });
     if !json {
-        println!("mixed 4x4 mesh, {sim_us} us simulated, {repeats} runs");
+        println!(
+            "mixed {mesh}x{mesh} mesh, {sim_us} us simulated, {repeats} runs, \
+             wheel {}x{} ps",
+            geom.num_buckets,
+            geom.width_ps()
+        );
     }
     let mut best = f64::MIN;
     let mut runs = Vec::new();
     for run in 0..repeats {
-        let mut sim = mixed_mesh_4x4(99);
+        let mut sim = mixed_mesh_geom(mesh, mesh, 99, geometry);
+        assert_eq!(sim.wheel_geometry(), geom, "banner geometry out of sync");
         let setup_events = sim.events_processed();
         let start = Instant::now();
         sim.run_for(SimDuration::from_us(sim_us));
@@ -61,8 +96,11 @@ fn main() {
     }
     if json {
         println!(
-            "{{\"scenario\":\"mixed_4x4\",\"sim_us\":{sim_us},\"repeats\":{repeats},\
+            "{{\"scenario\":\"mixed_{mesh}x{mesh}\",\"mesh\":{mesh},\"sim_us\":{sim_us},\
+             \"repeats\":{repeats},\"wheel_buckets\":{},\"wheel_width_ps\":{},\
              \"runs\":[{}],\"best_events_per_sec\":{:.0},\"best_mevents_per_sec\":{:.2}}}",
+            geom.num_buckets,
+            geom.width_ps(),
             runs.join(","),
             best,
             best / 1e6

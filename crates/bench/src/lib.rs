@@ -93,12 +93,51 @@ pub fn measure_gs(
 /// 300 ns per node — the mixed workload the simulator performance track
 /// is measured on.
 pub fn mixed_mesh_4x4(seed: u64) -> NocSim {
-    let mut sim = NocSim::paper_mesh(4, 4, seed);
+    mixed_mesh(4, 4, seed)
+}
+
+/// The mixed workload generalized to a `width × height` mesh (the
+/// mesh-scaling probe): four corner-crossing GS connections at 12 ns per
+/// flit — the same placement `mixed_mesh_4x4` uses, scaled to the mesh —
+/// plus uniform-random BE background at 300 ns per node. Requires
+/// `width, height ≥ 4` so the two connection rings stay distinct.
+///
+/// For `(4, 4)` this reproduces `mixed_mesh_4x4` construction step for
+/// construction step, so the two probes are directly comparable.
+pub fn mixed_mesh(width: u8, height: u8, seed: u64) -> NocSim {
+    mixed_mesh_geom(width, height, seed, None)
+}
+
+/// [`mixed_mesh`] with an explicit event-wheel geometry override
+/// (`None` = the scenario heuristic) — the wheel-geometry validation
+/// probe behind `sim_rate --buckets`.
+pub fn mixed_mesh_geom(
+    width: u8,
+    height: u8,
+    seed: u64,
+    geometry: Option<mango::sim::WheelGeometry>,
+) -> NocSim {
+    assert!(
+        width >= 4 && height >= 4,
+        "mixed_mesh needs a mesh of at least 4x4"
+    );
+    use mango::core::RouterConfig;
+    use mango::net::{Grid, NaConfig, Network};
+    let network = Network::new(
+        Grid::new(width, height),
+        RouterConfig::paper(),
+        NaConfig::paper(),
+    );
+    let mut sim = match geometry {
+        Some(g) => NocSim::with_geometry(network, seed, g),
+        None => NocSim::new(network, seed),
+    };
+    let (w, h) = (width - 1, height - 1);
     for (s, d) in [
-        ((0, 0), (3, 3)),
-        ((3, 0), (0, 3)),
-        ((1, 1), (2, 2)),
-        ((2, 1), (1, 2)),
+        ((0, 0), (w, h)),
+        ((w, 0), (0, h)),
+        ((1, 1), (w - 1, h - 1)),
+        ((w - 1, 1), (1, h - 1)),
     ] {
         let c = sim
             .open_connection(RouterId::new(s.0, s.1), RouterId::new(d.0, d.1))

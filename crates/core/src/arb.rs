@@ -127,13 +127,91 @@ pub enum ArbiterKind {
 }
 
 impl ArbiterKind {
-    /// Instantiates the policy for a link with `gs_vcs` GS VCs.
+    /// Instantiates the policy for a link with `gs_vcs` GS VCs as a boxed
+    /// trait object — the extension point for custom policies and the
+    /// reference implementation the enum-dispatched [`ArbiterImpl`] is
+    /// tested against.
     pub fn build(self, gs_vcs: usize) -> Box<dyn LinkArbiter> {
         match self {
             ArbiterKind::FairShare => Box::new(FairShareArbiter::new(gs_vcs)),
             ArbiterKind::StaticPriority => Box::new(StaticPriorityArbiter::new()),
             ArbiterKind::Alg { age_bound } => Box::new(AlgArbiter::new(gs_vcs, age_bound)),
         }
+    }
+}
+
+/// The built-in arbitration policies as an enum — the router's hot path.
+///
+/// Every link grant goes through one `select_mask` call; with the boxed
+/// [`LinkArbiter`] that was an indirect call through a per-router heap
+/// allocation. The enum keeps the three built-in policies inline in the
+/// router struct (no heap, no vtable) and lets the match inline into the
+/// grant path. The [`LinkArbiter`] trait remains for tests and for
+/// extension with out-of-tree policies; [`ArbiterImpl`] implements it, and
+/// a property test pins enum decisions to the boxed reference
+/// implementations decision for decision.
+#[derive(Debug, Clone)]
+pub enum ArbiterImpl {
+    /// Round-robin fair share (the paper's scheme).
+    FairShare(FairShareArbiter),
+    /// Strict priority by slot index.
+    StaticPriority(StaticPriorityArbiter),
+    /// Priority with a hard age bound.
+    Alg(AlgArbiter),
+}
+
+impl ArbiterImpl {
+    /// Instantiates the policy for a link with `gs_vcs` GS VCs.
+    pub fn new(kind: ArbiterKind, gs_vcs: usize) -> Self {
+        match kind {
+            ArbiterKind::FairShare => ArbiterImpl::FairShare(FairShareArbiter::new(gs_vcs)),
+            ArbiterKind::StaticPriority => {
+                ArbiterImpl::StaticPriority(StaticPriorityArbiter::new())
+            }
+            ArbiterKind::Alg { age_bound } => ArbiterImpl::Alg(AlgArbiter::new(gs_vcs, age_bound)),
+        }
+    }
+
+    /// Chooses the slot to grant from the ready bitmask (bit `i` = dense
+    /// slot `i`, bit `gs_vcs` = BE). Statically dispatched.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `ready_mask` is zero.
+    #[inline]
+    pub fn select_mask(&mut self, ready_mask: u128, gs_vcs: usize) -> LinkSlot {
+        match self {
+            ArbiterImpl::FairShare(a) => a.select_mask(ready_mask, gs_vcs),
+            ArbiterImpl::StaticPriority(a) => a.select_mask(ready_mask, gs_vcs),
+            ArbiterImpl::Alg(a) => a.select_mask(ready_mask, gs_vcs),
+        }
+    }
+
+    /// The policy's name, for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArbiterImpl::FairShare(a) => a.name(),
+            ArbiterImpl::StaticPriority(a) => a.name(),
+            ArbiterImpl::Alg(a) => a.name(),
+        }
+    }
+}
+
+impl LinkArbiter for ArbiterImpl {
+    fn select(&mut self, ready: &[LinkSlot]) -> LinkSlot {
+        match self {
+            ArbiterImpl::FairShare(a) => a.select(ready),
+            ArbiterImpl::StaticPriority(a) => a.select(ready),
+            ArbiterImpl::Alg(a) => a.select(ready),
+        }
+    }
+
+    fn select_mask(&mut self, ready_mask: u128, gs_vcs: usize) -> LinkSlot {
+        ArbiterImpl::select_mask(self, ready_mask, gs_vcs)
+    }
+
+    fn name(&self) -> &'static str {
+        ArbiterImpl::name(self)
     }
 }
 
@@ -271,22 +349,36 @@ impl LinkArbiter for StaticPriorityArbiter {
 pub struct AlgArbiter {
     gs_vcs: usize,
     age_bound: u32,
-    /// Grants each slot has waited through while ready.
-    ages: Vec<u32>,
+    /// Grants each slot has waited through while ready. Inline (not a
+    /// `Vec`) so four arbiters fit flat in a router with no per-router
+    /// heap allocations; [`MAX_ALG_SLOTS`] comfortably covers the 5-bit
+    /// steering format's 8-VC-per-port ceiling.
+    ages: [u32; MAX_ALG_SLOTS],
 }
+
+/// Upper bound on link slots (GS VCs + BE) the inline ALG age table
+/// supports. The router wire format caps VCs per port at 8, so 16 leaves
+/// headroom for experimental configs while keeping the arbiter flat.
+pub const MAX_ALG_SLOTS: usize = 16;
 
 impl AlgArbiter {
     /// Creates the arbiter for a link with `gs_vcs` GS VCs.
     ///
     /// # Panics
     ///
-    /// Panics if `age_bound` is zero (that would be plain FIFO-by-age).
+    /// Panics if `age_bound` is zero (that would be plain FIFO-by-age) or
+    /// if the link has more than [`MAX_ALG_SLOTS`] slots.
     pub fn new(gs_vcs: usize, age_bound: u32) -> Self {
         assert!(age_bound > 0, "ALG age bound must be positive");
+        assert!(
+            LinkSlot::count(gs_vcs) <= MAX_ALG_SLOTS,
+            "ALG arbiter supports at most {} link slots",
+            MAX_ALG_SLOTS
+        );
         AlgArbiter {
             gs_vcs,
             age_bound,
-            ages: vec![0; LinkSlot::count(gs_vcs)],
+            ages: [0; MAX_ALG_SLOTS],
         }
     }
 

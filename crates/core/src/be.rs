@@ -14,7 +14,7 @@
 use crate::flit::Flit;
 use crate::ids::Direction;
 use crate::packet::BeDest;
-use mango_sim::Fifo;
+use mango_sim::InlineFifo;
 use std::fmt;
 
 /// A BE router input.
@@ -68,11 +68,17 @@ impl fmt::Display for BeInput {
     }
 }
 
+/// Compile-time bound on the BE latch/output stage depths — the paper's
+/// stages are two flits deep; the inline rings leave headroom for
+/// experimental configs while keeping router state contiguous (no
+/// per-stage heap allocation).
+pub const BE_STAGE_MAX: usize = 4;
+
 /// Per-input state.
 #[derive(Debug, Clone)]
 pub struct BeInputState {
-    /// Latch FIFO (unsharebox + staging).
-    pub latch: Fifo<Flit>,
+    /// Latch FIFO (unsharebox + staging), inline in the router.
+    pub latch: InlineFifo<Flit, BE_STAGE_MAX>,
     /// Routing decision for the packet currently in progress.
     pub in_progress: Option<BeDest>,
     /// A `BeRouted` event is in flight.
@@ -84,7 +90,7 @@ pub struct BeInputState {
 impl BeInputState {
     fn new(depth: usize) -> Self {
         BeInputState {
-            latch: Fifo::new(depth),
+            latch: InlineFifo::new(depth),
             in_progress: None,
             routing: false,
             moving: false,
@@ -107,8 +113,8 @@ impl BeInputState {
 /// Per-network-output state.
 #[derive(Debug, Clone)]
 pub struct BeOutputState {
-    /// Output stage FIFO feeding the link arbiter.
-    pub buf: Fifo<Flit>,
+    /// Output stage FIFO feeding the link arbiter, inline in the router.
+    pub buf: InlineFifo<Flit, BE_STAGE_MAX>,
     /// Credits for the downstream router's BE input latch.
     pub credits: usize,
     credits_max: usize,
@@ -121,7 +127,7 @@ pub struct BeOutputState {
 impl BeOutputState {
     fn new(depth: usize, credits: usize) -> Self {
         BeOutputState {
-            buf: Fifo::new(depth),
+            buf: InlineFifo::new(depth),
             credits,
             credits_max: credits,
             locked_to: None,

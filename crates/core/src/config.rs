@@ -91,11 +91,22 @@ impl RouterConfig {
         if self.be_input_depth == 0 || self.be_output_depth == 0 {
             return Err("BE buffer depths must be positive".into());
         }
+        if self.be_input_depth > crate::be::BE_STAGE_MAX
+            || self.be_output_depth > crate::be::BE_STAGE_MAX
+        {
+            return Err(format!(
+                "BE stage depths are inline rings of at most {} flits",
+                crate::be::BE_STAGE_MAX
+            ));
+        }
         if self.be_link_credits == 0 {
             return Err("BE links need at least one credit".into());
         }
         if self.na_rx_depth == 0 {
             return Err("NA delivery needs at least one slot".into());
+        }
+        if self.buffer_depth() >= 256 || self.na_rx_depth >= 256 {
+            return Err("GS buffer and NA delivery depths are limited to 255 (u8 cursors)".into());
         }
         Ok(())
     }

@@ -103,6 +103,11 @@ pub struct Flit {
     /// BE VC select / config-packet marker (Sec. 5 leaves this bit free;
     /// we use it on BE headers to address the programming interface).
     pub be_vc: bool,
+    /// NA-relay continuation marker (a model-level spare wire, like
+    /// `be_vc`): set only on the continuation word the network layer
+    /// prefixes to relayed BE packets, so application payloads can never
+    /// alias a relay ticket. No paper semantics.
+    pub relay: bool,
     /// Simulator instrumentation (zero hardware width).
     pub meta: FlitMeta,
 }
@@ -114,6 +119,7 @@ impl Flit {
             data,
             eop: false,
             be_vc: false,
+            relay: false,
             meta: FlitMeta::none(),
         }
     }
@@ -124,6 +130,7 @@ impl Flit {
             data,
             eop,
             be_vc: false,
+            relay: false,
             meta: FlitMeta::none(),
         }
     }
@@ -165,6 +172,12 @@ impl Flit {
     /// Returns the flit with the BE-VC / config marker bit set.
     pub fn with_be_vc(mut self, set: bool) -> Self {
         self.be_vc = set;
+        self
+    }
+
+    /// Returns the flit with the NA-relay continuation marker set.
+    pub fn with_relay(mut self, set: bool) -> Self {
+        self.relay = set;
         self
     }
 }

@@ -32,7 +32,7 @@
 //! };
 //! use mango_sim::SimTime;
 //!
-//! let mut router = Router::new(RouterId::new(0, 0), RouterConfig::paper());
+//! let (mut router, mut bufs) = Router::standalone(RouterId::new(0, 0), RouterConfig::paper());
 //! router.program(&[
 //!     ProgWrite::SetSteer {
 //!         dir: Direction::East,
@@ -46,6 +46,7 @@
 //! ]);
 //! let mut actions = Vec::new();
 //! router.on_link_flit(
+//!     &mut bufs,
 //!     SimTime::ZERO,
 //!     Direction::West,
 //!     LinkFlit {
@@ -60,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod arb;
+pub mod arena;
 pub mod be;
 pub mod config;
 pub mod events;
@@ -73,7 +75,8 @@ pub mod steer;
 pub mod table;
 pub mod vc;
 
-pub use arb::{ArbiterKind, LinkArbiter, LinkSlot};
+pub use arb::{ArbiterImpl, ArbiterKind, LinkArbiter, LinkSlot};
+pub use arena::{GsArena, RouterSlots};
 pub use be::BeInput;
 pub use config::RouterConfig;
 pub use events::{InternalEvent, RouterAction};
@@ -83,7 +86,7 @@ pub use packet::{
     build_be_packet, build_be_packet_into, BeDest, BeHeader, BeRouteError, MAX_BE_HOPS,
 };
 pub use prog::{AckPlan, ProgWrite};
-pub use router::Router;
+pub use router::{source_hop_writes, Router};
 pub use stats::RouterStats;
 pub use steer::{Steer, SteerCodeError};
 pub use table::{ConnectionTable, TableError};

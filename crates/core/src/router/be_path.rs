@@ -1,0 +1,188 @@
+//! The best-effort unit (Sec. 5): header-rotation routing, fair output
+//! arbitration with packet coherency, and credit-based flow control.
+
+use super::Router;
+use crate::be::{BeInput, BeUnit};
+use crate::events::{InternalEvent, RouterAction};
+use crate::flit::Flit;
+use crate::packet::{BeDest, BeHeader};
+
+impl Router {
+    pub(super) fn be_arrive(&mut self, input: BeInput, flit: Flit, act: &mut Vec<RouterAction>) {
+        self.be.input_mut(input).latch.push(flit);
+        self.be_service(input, act);
+    }
+
+    /// Advances an input: start header decode between packets, or contend
+    /// for the current packet's output.
+    pub(super) fn be_service(&mut self, input: BeInput, act: &mut Vec<RouterAction>) {
+        let st = self.be.input(input);
+        if st.routing || st.moving {
+            return;
+        }
+        match st.in_progress {
+            None => {
+                if !st.latch.is_empty() {
+                    self.be.input_mut(input).routing = true;
+                    act.push(RouterAction::Internal {
+                        delay: self.cfg.timing.be_route,
+                        event: InternalEvent::BeRouted { input },
+                    });
+                }
+            }
+            Some(dest) => self.be_try_output(dest, act),
+        }
+    }
+
+    /// Route decode finished: read the header's two MSBs, rotate it, and
+    /// record the decision.
+    pub(super) fn be_routed(&mut self, input: BeInput, act: &mut Vec<RouterAction>) {
+        let arrival = input.arrival_dir();
+        let st = self.be.input_mut(input);
+        st.routing = false;
+        let header_flit = st
+            .latch
+            .front_mut()
+            .expect("BeRouted with empty latch: decode raced a pop");
+        let (dest, rotated) = BeHeader(header_flit.data).route(arrival);
+        header_flit.data = rotated.0;
+        st.in_progress = Some(dest);
+        self.tracer
+            .record(self.now, "be.route", || format!("{input} -> {dest}"));
+        self.be_try_output(dest, act);
+    }
+
+    /// Output-side fair arbitration with packet coherency: the lock holder
+    /// pumps; a free output picks the next contender round-robin.
+    pub(super) fn be_try_output(&mut self, dest: BeDest, act: &mut Vec<RouterAction>) {
+        let holder = match dest {
+            BeDest::Net(d) => self.be.outputs[d.index()].locked_to,
+            BeDest::Local => self.be.local_out.locked_to,
+        };
+        let input = match holder {
+            Some(input) => input,
+            None => {
+                let contenders = self.be.contender_mask(dest);
+                let rr = match dest {
+                    BeDest::Net(d) => self.be.outputs[d.index()].rr,
+                    BeDest::Local => self.be.local_out.rr,
+                };
+                let Some((input, new_rr)) = BeUnit::rr_pick_mask(contenders, rr) else {
+                    return;
+                };
+                match dest {
+                    BeDest::Net(d) => {
+                        let out = &mut self.be.outputs[d.index()];
+                        out.locked_to = Some(input);
+                        out.rr = new_rr;
+                    }
+                    BeDest::Local => {
+                        self.be.local_out.locked_to = Some(input);
+                        self.be.local_out.rr = new_rr;
+                    }
+                }
+                input
+            }
+        };
+        self.be_pump(input, dest, act);
+    }
+
+    /// Moves the lock holder's next flit toward the output if everything
+    /// is in place.
+    pub(super) fn be_pump(&mut self, input: BeInput, dest: BeDest, act: &mut Vec<RouterAction>) {
+        let st = self.be.input(input);
+        if st.moving || st.routing || st.latch.is_empty() {
+            return;
+        }
+        debug_assert_eq!(st.in_progress, Some(dest));
+        if let BeDest::Net(d) = dest {
+            if self.be.outputs[d.index()].buf.is_full() {
+                return; // kicked again when the link drains the stage
+            }
+        }
+        let flit = self
+            .be
+            .input_mut(input)
+            .latch
+            .pop()
+            .expect("checked non-empty");
+        self.be.input_mut(input).moving = true;
+        // Popping the latch frees a slot: return the flow-control credit
+        // one hop back.
+        match input {
+            BeInput::Net(d) => {
+                self.stats.credits_sent += 1;
+                act.push(RouterAction::SendCredit {
+                    dir: d,
+                    delay: self.cfg.timing.credit_return,
+                });
+            }
+            BeInput::LocalNa => {
+                self.stats.credits_sent += 1;
+                act.push(RouterAction::NaCredit);
+            }
+            BeInput::Prog => {
+                // The latch freed a slot: staged ack flits may enter.
+                self.prog_pump(act);
+            }
+        }
+        act.push(RouterAction::Internal {
+            delay: self.cfg.timing.be_arb,
+            event: InternalEvent::BeMoved { input, dest, flit },
+        });
+    }
+
+    /// A flit completed the input→output move.
+    pub(super) fn be_moved(
+        &mut self,
+        input: BeInput,
+        dest: BeDest,
+        flit: Flit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.be.input_mut(input).moving = false;
+        match dest {
+            BeDest::Net(d) => {
+                self.be.outputs[d.index()].buf.push(flit);
+                self.update_be_ready(d);
+                self.kick_arb(d, act);
+            }
+            BeDest::Local => self.be_deliver_local(flit, act),
+        }
+        if flit.eop {
+            // Packet done: release the coherency lock and the decision.
+            self.be.input_mut(input).in_progress = None;
+            match dest {
+                BeDest::Net(d) => self.be.outputs[d.index()].locked_to = None,
+                BeDest::Local => self.be.local_out.locked_to = None,
+            }
+            // The next packet in this latch needs a fresh route decode...
+            self.be_service(input, act);
+            // ...and other inputs may take the freed output.
+            self.be_try_output(dest, act);
+        } else {
+            self.be_pump(input, dest, act);
+        }
+    }
+
+    /// Local BE delivery: NA traffic goes to the NA; flits with the config
+    /// marker are consumed by the programming interface (Sec. 3: "The GS
+    /// connections are set up by programming these into the GS router via
+    /// the BE router").
+    pub(super) fn be_deliver_local(&mut self, flit: Flit, act: &mut Vec<RouterAction>) {
+        if flit.be_vc {
+            self.be.prog_rx.push(flit.data);
+            if flit.eop {
+                let words = std::mem::take(&mut self.be.prog_rx);
+                // Drop the header word: it carried the route here.
+                self.prog_consume(&words[1..], act);
+            }
+        } else {
+            self.stats.be_flits_delivered += 1;
+            if flit.eop {
+                self.stats.be_packets_delivered += 1;
+            }
+            act.push(RouterAction::DeliverBe { flit });
+        }
+    }
+}

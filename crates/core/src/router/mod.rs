@@ -1,0 +1,362 @@
+//! The MANGO router: assembly of the non-blocking switching module, the
+//! share-based VC control, the link arbiters and the BE unit (Fig. 8).
+//!
+//! The router is a passive, environment-driven state machine. Every `on_*`
+//! method takes the current time and an action sink; the environment (the
+//! network layer in `mango-net`, or a unit test) delivers link flits,
+//! unlock toggles, credits and NA traffic, redelivers [`InternalEvent`]s
+//! after the delays the router requests, and forwards outputs to neighbor
+//! routers.
+//!
+//! # Buffer ownership
+//!
+//! The router holds **no flit storage of its own**: its GS VC buffers and
+//! local-interface buffers live in the environment-owned [`GsArena`] (one
+//! flat slab for the whole mesh), and the router addresses its slots via
+//! the [`RouterSlots`] bases handed out at construction. Every `on_*`
+//! call therefore receives `&mut GsArena` alongside the action sink. The
+//! BE unit's latches, the connection table and the statistics stay inside
+//! the router — they are cold relative to the per-flit GS path.
+//!
+//! # Module layout
+//!
+//! * [`mod@self`] — the `Router` struct, construction and the
+//!   environment-input dispatch (`on_*`);
+//! * `gs` — the guaranteed-service buffer path (arrival, advance,
+//!   unlock propagation, local delivery);
+//! * `ports` — output-link access: ready masks, arbitration kicks and
+//!   grants (Sec. 4.4);
+//! * `be_path` — the best-effort unit's routing and pumping (Sec. 5);
+//! * `prog_io` — the BE-packet programming interface (Sec. 3).
+//!
+//! # Event flow of one GS hop
+//!
+//! 1. A link grant in the upstream router produced a
+//!    [`RouterAction::SendFlit`]; after `hop_forward` the flit arrives here
+//!    via [`Router::on_link_flit`], already steered through the split and
+//!    switch stages into its reserved VC buffer's unsharebox (the switch is
+//!    non-blocking: no arbitration happened on the way).
+//! 2. When the buffer stage has space, the flit advances
+//!    ([`InternalEvent::GsAdvance`]); leaving the unsharebox toggles the
+//!    unlock wire back to the upstream sharebox
+//!    ([`RouterAction::SendUnlock`]).
+//! 3. A buffered flit with an open sharebox makes the VC *ready*; the link
+//!    arbiter picks among ready channels whenever the output link is free,
+//!    implementing the configured GS discipline.
+//! 4. On grant the flit leaves with fresh steering bits from the connection
+//!    table, the sharebox locks, and the link stays busy for one
+//!    `link_cycle`.
+
+mod be_path;
+mod gs;
+mod ports;
+mod prog_io;
+#[cfg(test)]
+mod tests;
+
+pub use prog_io::source_hop_writes;
+
+use crate::arb::ArbiterImpl;
+use crate::arena::{GsArena, RouterSlots};
+use crate::be::{BeInput, BeUnit};
+use crate::config::RouterConfig;
+use crate::events::{InternalEvent, RouterAction};
+use crate::flit::{Flit, LinkFlit};
+use crate::ids::{Direction, GsBufferRef, RouterId, VcId};
+use crate::stats::RouterStats;
+use crate::steer::Steer;
+use crate::table::ConnectionTable;
+use mango_sim::{SimTime, Tracer};
+use std::collections::VecDeque;
+
+/// One MANGO router.
+pub struct Router {
+    id: RouterId,
+    cfg: RouterConfig,
+    table: ConnectionTable,
+    /// Arena bases of this router's GS buffers (storage lives in the
+    /// network-owned [`GsArena`]).
+    slots: RouterSlots,
+    /// Output link busy flags.
+    link_busy: [bool; 4],
+    /// Per-output-port ready bitmask (bit `i` = GS VC `i`, bit `gs_vcs` =
+    /// BE), kept in sync with the VC/BE state transitions so arbitration
+    /// reads one word instead of scanning every channel.
+    ready: [u16; 4],
+    /// An `ArbDecide` event is in flight for the port.
+    arb_pending: [bool; 4],
+    /// Enum-dispatched link arbiters, one per output port — flat in the
+    /// struct, no heap or vtable on the grant path.
+    arbiters: [ArbiterImpl; 4],
+    be: BeUnit,
+    /// Staging queue of acknowledgment flits awaiting space in the BE
+    /// unit's programming-interface input latch.
+    prog_tx: VecDeque<Flit>,
+    stats: RouterStats,
+    /// Mirror of the last event timestamp, for tracing.
+    now: SimTime,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("id", &self.id)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Creates a router with the given configuration, allocating its GS
+    /// buffer slots from `arena`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`RouterConfig::validate`] or
+    /// does not match the arena's dimensions.
+    pub fn new_in(id: RouterId, cfg: RouterConfig, arena: &mut GsArena) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid router config: {e}"));
+        assert!(
+            arena.gs_vcs() == cfg.gs_vcs()
+                && arena.ifaces() == cfg.local_gs_ifaces()
+                && arena.depth() == cfg.buffer_depth(),
+            "arena dimensions do not match the router config"
+        );
+        let gs_vcs = cfg.gs_vcs();
+        let slots = arena.add_router();
+        Router {
+            id,
+            table: ConnectionTable::new(gs_vcs, cfg.local_gs_ifaces()),
+            slots,
+            link_busy: [false; 4],
+            ready: [0; 4],
+            arb_pending: [false; 4],
+            arbiters: std::array::from_fn(|_| ArbiterImpl::new(cfg.arbiter, gs_vcs)),
+            be: BeUnit::new(cfg.be_input_depth, cfg.be_output_depth, cfg.be_link_credits),
+            prog_tx: VecDeque::new(),
+            cfg,
+            stats: RouterStats::default(),
+            now: SimTime::ZERO,
+            tracer: Tracer::Off,
+        }
+    }
+
+    /// Creates a router together with a private single-router arena —
+    /// the standalone form unit tests and examples drive directly.
+    pub fn standalone(id: RouterId, cfg: RouterConfig) -> (Self, GsArena) {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid router config: {e}"));
+        let mut arena = GsArena::new(
+            cfg.gs_vcs(),
+            cfg.local_gs_ifaces(),
+            cfg.buffer_depth(),
+            cfg.na_rx_depth,
+        );
+        let router = Router::new_in(id, cfg, &mut arena);
+        (router, arena)
+    }
+
+    /// The router's position.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// The arena bases of this router's GS buffers.
+    pub fn slots(&self) -> RouterSlots {
+        self.slots
+    }
+
+    /// The connection table (read access for tests/tools).
+    pub fn table(&self) -> &ConnectionTable {
+        &self.table
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// The link arbitration policy name (for reports).
+    pub fn arbiter_name(&self) -> &'static str {
+        self.arbiters[0].name()
+    }
+
+    /// Enables or disables event tracing (disabled by default; tracing
+    /// collects grant/unlock/BE-routing records for debugging).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer = if enabled {
+            Tracer::collecting()
+        } else {
+            Tracer::Off
+        };
+    }
+
+    /// The collected trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// True if no flit is stored or in flight anywhere in this router.
+    pub fn is_quiescent(&self, bufs: &GsArena) -> bool {
+        bufs.router_is_empty(self.slots) && !self.be.has_work() && self.prog_tx.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Environment inputs
+    // ------------------------------------------------------------------
+
+    /// A flit arrives from the neighbor on input port `from` (having
+    /// traversed the link, the split stage and — for GS — the switch).
+    pub fn on_link_flit(
+        &mut self,
+        bufs: &mut GsArena,
+        now: SimTime,
+        from: Direction,
+        lf: LinkFlit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        match lf.steer {
+            Steer::GsBuffer { dir, vc } => {
+                debug_assert_ne!(dir, from, "U-turn steering at {}", self.id);
+                self.stats.gs_flits_in[from.index()] += 1;
+                self.check_vc(dir, vc);
+                bufs.vc_arrive(self.vc_slot(bufs, dir, vc), lf.flit);
+                self.gs_try_advance(bufs, GsBufferRef::Net { dir, vc }, act);
+            }
+            Steer::LocalGs { iface } => {
+                self.stats.gs_flits_in[from.index()] += 1;
+                self.check_iface(iface);
+                bufs.local_arrive(bufs.local_slot(self.slots, iface as usize), lf.flit);
+                self.gs_try_advance(bufs, GsBufferRef::Local { iface }, act);
+            }
+            Steer::BeUnit => {
+                self.stats.be_flits_in[from.index()] += 1;
+                self.be_arrive(BeInput::Net(from), lf.flit, act);
+            }
+        }
+    }
+
+    /// An unlock toggle arrives on output port `dir` for VC `wire` (sent
+    /// by the downstream router when the flit left its unsharebox).
+    pub fn on_unlock(
+        &mut self,
+        bufs: &mut GsArena,
+        now: SimTime,
+        dir: Direction,
+        wire: VcId,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        self.check_vc(dir, wire);
+        bufs.vc_unlock(self.vc_slot(bufs, dir, wire));
+        self.update_gs_ready(bufs, dir, wire);
+        self.kick_arb(dir, act);
+    }
+
+    /// A BE credit arrives on output port `dir`.
+    pub fn on_credit(
+        &mut self,
+        _bufs: &mut GsArena,
+        now: SimTime,
+        dir: Direction,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        self.be.outputs[dir.index()].add_credit();
+        self.update_be_ready(dir);
+        self.kick_arb(dir, act);
+    }
+
+    /// The local NA injects a GS flit steered at the connection's first-hop
+    /// VC buffer (the NA stores the initial steering bits and models the
+    /// first sharebox; it must respect [`RouterAction::NaUnlock`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steer` does not name a network VC buffer: connections
+    /// start at a network output port of the source router.
+    pub fn on_local_gs_inject(
+        &mut self,
+        bufs: &mut GsArena,
+        now: SimTime,
+        steer: Steer,
+        flit: Flit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        let Steer::GsBuffer { dir, vc } = steer else {
+            panic!("NA GS injection must target a network VC buffer, got {steer}");
+        };
+        self.stats.gs_injected += 1;
+        self.check_vc(dir, vc);
+        bufs.vc_arrive(self.vc_slot(bufs, dir, vc), flit);
+        self.gs_try_advance(bufs, GsBufferRef::Net { dir, vc }, act);
+    }
+
+    /// The local NA injects a BE flit (credit-controlled: the NA must hold
+    /// a credit, returned via [`RouterAction::NaCredit`]).
+    pub fn on_local_be_inject(
+        &mut self,
+        _bufs: &mut GsArena,
+        now: SimTime,
+        flit: Flit,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        self.stats.be_injected += 1;
+        self.be_arrive(BeInput::LocalNa, flit, act);
+    }
+
+    /// The local NA finished consuming a delivered GS flit on `iface`,
+    /// freeing one delivery slot.
+    pub fn on_local_gs_consume(
+        &mut self,
+        bufs: &mut GsArena,
+        now: SimTime,
+        iface: u8,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        self.check_iface(iface);
+        bufs.local_na_consumed(bufs.local_slot(self.slots, iface as usize));
+        self.local_try_deliver(bufs, iface, act);
+    }
+
+    /// Redelivery of a deferred internal event.
+    pub fn on_internal(
+        &mut self,
+        bufs: &mut GsArena,
+        now: SimTime,
+        ev: InternalEvent,
+        act: &mut Vec<RouterAction>,
+    ) {
+        self.now = now;
+        match ev {
+            InternalEvent::GsAdvance { buffer } => self.gs_advance(bufs, buffer, act),
+            InternalEvent::LinkFree { dir } => {
+                self.link_busy[dir.index()] = false;
+                self.try_grant(bufs, dir, act);
+            }
+            InternalEvent::ArbDecide { dir } => {
+                self.arb_pending[dir.index()] = false;
+                self.try_grant(bufs, dir, act);
+            }
+            InternalEvent::BeRouted { input } => self.be_routed(input, act),
+            InternalEvent::BeMoved { input, dest, flit } => self.be_moved(input, dest, flit, act),
+        }
+    }
+
+    /// The arena slot of this router's network VC `(dir, vc)`.
+    #[inline]
+    fn vc_slot(&self, bufs: &GsArena, dir: Direction, vc: VcId) -> usize {
+        bufs.vc_slot(self.slots, dir.index(), vc.index())
+    }
+}

@@ -215,6 +215,26 @@ impl RouterTiming {
         TimingModel::cmos_120nm().router_timing(Corner::WorstCase)
     }
 
+    /// The shortest per-event delay in the model — the minimum spacing
+    /// between consecutive events of one causal chain, which sizes the
+    /// simulator's calendar-wheel bucket width
+    /// (`mango_sim::WheelGeometry::for_mesh`).
+    pub fn min_event_delay(&self) -> SimDuration {
+        [
+            self.link_cycle,
+            self.hop_forward,
+            self.buffer_advance,
+            self.unlock_path,
+            self.arb_decision,
+            self.be_route,
+            self.be_arb,
+            self.credit_return,
+        ]
+        .into_iter()
+        .min()
+        .expect("delay list is non-empty")
+    }
+
     /// The share-based VC-control loop time: grant → flit reaches the
     /// unsharebox → advances into the buffer → unlock toggles back → the
     /// sharebox can admit the next flit.

@@ -12,11 +12,12 @@
 //! acknowledgments. The connection becomes [`ConnState::Open`] when every
 //! ack has returned; only then may the source NA stream header-less flits.
 
+use crate::relay::{ack_leg_header, build_segmented_packet, RelayTable};
 use crate::route::{xy_route, RouteError};
 use crate::topology::Grid;
 use mango_core::{
-    build_be_packet, AckPlan, BeHeader, ConnectionId, Direction, Flit, GsBufferRef, ProgWrite,
-    RouterId, Steer, UpstreamRef, VcId,
+    AckPlan, ConnectionId, Direction, Flit, GsBufferRef, ProgWrite, RouterId, Steer, UpstreamRef,
+    VcId,
 };
 use mango_sim::SimTime;
 use std::collections::HashMap;
@@ -269,11 +270,12 @@ impl ConnectionManager {
     pub fn open(
         &mut self,
         grid: &Grid,
+        relays: &mut RelayTable,
         src: RouterId,
         dst: RouterId,
     ) -> Result<OpenPlan, ConnError> {
         let dirs = xy_route(grid, src, dst)?;
-        self.open_along(grid, src, dst, &dirs)
+        self.open_along(grid, relays, src, dst, &dirs)
     }
 
     /// Plans the opening of a connection along an explicit link path.
@@ -291,6 +293,7 @@ impl ConnectionManager {
     pub fn open_along(
         &mut self,
         grid: &Grid,
+        relays: &mut RelayTable,
         src: RouterId,
         dst: RouterId,
         dirs: &[Direction],
@@ -392,16 +395,15 @@ impl ConnectionManager {
             self.next_token = self.next_token.wrapping_add(1).max(1);
             outstanding.push(token);
             self.tokens.insert(token, id);
-            let return_route = xy_route(grid, router, src).expect("path routers differ from src");
             let plan = AckPlan {
                 token,
-                return_header: BeHeader::from_route(&return_route)
-                    .expect("return route within hop limit"),
+                return_header: ack_leg_header(grid, router, src)
+                    .expect("path routers differ from src"),
             };
             let payload = mango_core::prog::encode_payload(&writes, Some(plan));
-            let header = BeHeader::from_route(&xy_route(grid, src, router)?)
-                .expect("forward route within hop limit");
-            config_packets.push(build_be_packet(header, &payload, true));
+            config_packets.push(build_segmented_packet(
+                grid, relays, src, router, &payload, true,
+            )?);
         }
 
         let tx_steer = Steer::GsBuffer {
@@ -445,7 +447,12 @@ impl ConnectionManager {
     /// # Errors
     ///
     /// Fails if the connection is unknown or not open.
-    pub fn close(&mut self, grid: &Grid, id: ConnectionId) -> Result<ClosePlan, ConnError> {
+    pub fn close(
+        &mut self,
+        grid: &Grid,
+        relays: &mut RelayTable,
+        id: ConnectionId,
+    ) -> Result<ClosePlan, ConnError> {
         let conn = self.conns.get_mut(&id).ok_or(ConnError::Unknown(id))?;
         if conn.state != ConnState::Open {
             return Err(ConnError::BadState(id, conn.state));
@@ -491,16 +498,14 @@ impl ConnectionManager {
             self.next_token = self.next_token.wrapping_add(1).max(1);
             outstanding.push(token);
             self.tokens.insert(token, id);
-            let return_route = xy_route(grid, router, conn.src)?;
             let plan = AckPlan {
                 token,
-                return_header: BeHeader::from_route(&return_route)
-                    .expect("return route within hop limit"),
+                return_header: ack_leg_header(grid, router, conn.src)?,
             };
             let payload = mango_core::prog::encode_payload(&writes, Some(plan));
-            let header = BeHeader::from_route(&xy_route(grid, conn.src, router)?)
-                .expect("forward route within hop limit");
-            config_packets.push(build_be_packet(header, &payload, true));
+            config_packets.push(build_segmented_packet(
+                grid, relays, conn.src, router, &payload, true,
+            )?);
         }
 
         conn.state = if outstanding.is_empty() {
@@ -524,6 +529,16 @@ impl ConnectionManager {
     /// True if `token` belongs to an outstanding programming request.
     pub fn known_token(&self, token: u16) -> bool {
         self.tokens.contains_key(&token)
+    }
+
+    /// The source router an outstanding token's acknowledgment must reach
+    /// (acks delivered at intermediate relay NAs are re-launched toward
+    /// it).
+    pub fn token_src(&self, token: u16) -> Option<RouterId> {
+        self.tokens
+            .get(&token)
+            .and_then(|id| self.conns.get(id))
+            .map(|c| c.src)
     }
 
     /// Processes an acknowledgment token at simulation time `now`;
@@ -581,17 +596,21 @@ impl ConnectionManager {
 mod tests {
     use super::*;
 
-    fn setup() -> (Grid, ConnectionManager) {
-        (Grid::new(4, 4), ConnectionManager::new(7, 4))
+    fn setup() -> (Grid, ConnectionManager, RelayTable) {
+        (
+            Grid::new(4, 4),
+            ConnectionManager::new(7, 4),
+            RelayTable::new(),
+        )
     }
 
     #[test]
     fn open_reserves_distinct_vcs_per_link() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         let src = RouterId::new(0, 0);
         let dst = RouterId::new(2, 0);
-        let p1 = m.open(&g, src, dst).unwrap();
-        let p2 = m.open(&g, src, dst).unwrap();
+        let p1 = m.open(&g, &mut rl, src, dst).unwrap();
+        let p2 = m.open(&g, &mut rl, src, dst).unwrap();
         let c1 = m.get(p1.id).unwrap();
         let c2 = m.get(p2.id).unwrap();
         assert_ne!(c1.vcs[0], c2.vcs[0], "same link must use distinct VCs");
@@ -601,9 +620,9 @@ mod tests {
 
     #[test]
     fn open_plan_has_writes_and_packets_per_remote_router() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         let plan = m
-            .open(&g, RouterId::new(0, 0), RouterId::new(2, 1))
+            .open(&g, &mut rl, RouterId::new(0, 0), RouterId::new(2, 1))
             .unwrap();
         // 3 links → routers (1,0), (2,0), (2,1) are remote.
         assert_eq!(plan.config_packets.len(), 3);
@@ -619,30 +638,30 @@ mod tests {
 
     #[test]
     fn vc_exhaustion_reported() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         // 7 GS VCs per link but only 4 local interfaces: interface
         // exhaustion hits first from a single source.
         let src = RouterId::new(0, 0);
         let dst = RouterId::new(1, 0);
         for _ in 0..4 {
-            m.open(&g, src, dst).unwrap();
+            m.open(&g, &mut rl, src, dst).unwrap();
         }
-        let err = m.open(&g, src, dst).unwrap_err();
+        let err = m.open(&g, &mut rl, src, dst).unwrap_err();
         assert_eq!(err, ConnError::NoFreeTxIface(src));
 
         // Different sources can still exhaust the shared link VCs.
         let mut m = ConnectionManager::new(2, 4);
-        m.open(&g, src, dst).unwrap();
-        m.open(&g, src, dst).unwrap();
-        let err = m.open(&g, src, dst).unwrap_err();
+        m.open(&g, &mut rl, src, dst).unwrap();
+        m.open(&g, &mut rl, src, dst).unwrap();
+        let err = m.open(&g, &mut rl, src, dst).unwrap_err();
         assert_eq!(err, ConnError::NoFreeVc(src, Direction::East));
     }
 
     #[test]
     fn acks_drive_opening_to_open() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         let plan = m
-            .open(&g, RouterId::new(0, 0), RouterId::new(2, 0))
+            .open(&g, &mut rl, RouterId::new(0, 0), RouterId::new(2, 0))
             .unwrap();
         let conn = m.get(plan.id).unwrap();
         let tokens: Vec<u16> = conn.outstanding.clone();
@@ -666,15 +685,15 @@ mod tests {
 
     #[test]
     fn close_releases_resources_for_reuse() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         let src = RouterId::new(0, 0);
         let dst = RouterId::new(1, 0);
-        let plan = m.open(&g, src, dst).unwrap();
+        let plan = m.open(&g, &mut rl, src, dst).unwrap();
         let tokens = m.get(plan.id).unwrap().outstanding.clone();
         for t in tokens {
             m.on_ack(t, &g, SimTime::ZERO);
         }
-        let close = m.close(&g, plan.id).unwrap();
+        let close = m.close(&g, &mut rl, plan.id).unwrap();
         assert_eq!(close.config_packets.len(), 1);
         let tokens = m.get(plan.id).unwrap().outstanding.clone();
         for t in tokens {
@@ -683,45 +702,45 @@ mod tests {
         assert_eq!(m.state(plan.id), Some(ConnState::Closed));
         // Everything freed: 4 more connections fit again.
         for _ in 0..4 {
-            m.open(&g, src, dst).unwrap();
+            m.open(&g, &mut rl, src, dst).unwrap();
         }
     }
 
     #[test]
     fn close_requires_open_state() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         let plan = m
-            .open(&g, RouterId::new(0, 0), RouterId::new(3, 3))
+            .open(&g, &mut rl, RouterId::new(0, 0), RouterId::new(3, 3))
             .unwrap();
-        let err = m.close(&g, plan.id).unwrap_err();
+        let err = m.close(&g, &mut rl, plan.id).unwrap_err();
         assert!(matches!(err, ConnError::BadState(_, ConnState::Opening)));
         assert!(matches!(
-            m.close(&g, ConnectionId(999)),
+            m.close(&g, &mut rl, ConnectionId(999)),
             Err(ConnError::Unknown(_))
         ));
     }
 
     #[test]
     fn same_router_connection_rejected() {
-        let (g, mut m) = setup();
+        let (g, mut m, mut rl) = setup();
         let r = RouterId::new(1, 1);
         assert!(matches!(
-            m.open(&g, r, r),
+            m.open(&g, &mut rl, r, r),
             Err(ConnError::Route(RouteError::SameRouter(_)))
         ));
     }
 
     #[test]
     fn failed_open_reserves_nothing() {
-        let (g, _) = setup();
+        let (g, _, mut rl) = setup();
         let mut m = ConnectionManager::new(1, 4);
         let a = RouterId::new(0, 0);
         let b = RouterId::new(2, 0);
-        m.open(&g, a, b).unwrap();
+        m.open(&g, &mut rl, a, b).unwrap();
         // Second connection fails on the first link...
-        assert!(m.open(&g, a, b).is_err());
+        assert!(m.open(&g, &mut rl, a, b).is_err());
         // ...but a disjoint path is unaffected.
-        m.open(&g, RouterId::new(0, 1), RouterId::new(2, 1))
+        m.open(&g, &mut rl, RouterId::new(0, 1), RouterId::new(2, 1))
             .unwrap();
     }
 }

@@ -40,6 +40,7 @@ pub mod experiment;
 pub mod na;
 pub mod network;
 pub mod ocp;
+pub mod relay;
 pub mod route;
 pub mod scenario;
 pub mod sim;
@@ -52,6 +53,7 @@ pub use experiment::{BeSweep, LoadPoint};
 pub use na::{Na, NaConfig};
 pub use network::{AppPacket, NaApp, NetEvent, Network, Node};
 pub use ocp::{OcpMessage, OcpSlave};
+pub use relay::{RelayTable, RelayTicket};
 pub use route::{xy_header, xy_path, xy_route, RouteError};
 pub use scenario::{
     BeBackgroundSpec, BeFlowSpec, FlowKind, FlowMetric, GsFlowSpec, MeasureBound, Phase,

@@ -7,15 +7,15 @@
 //! interaction happens exclusively through events, which keeps the model
 //! single-borrow and the simulation deterministic.
 
-use crate::conn::ConnectionManager;
+use crate::conn::{ConnectionManager, OpenPlan};
 use crate::na::{Na, NaConfig};
-use crate::route::xy_header;
+use crate::relay::{self, RelayTable, RelayTicket};
 use crate::stats::NetStats;
 use crate::topology::Grid;
 use crate::traffic::{Source, SourceKind};
 use mango_core::{
-    build_be_packet_into, prog, Direction, Flit, InternalEvent, LinkFlit, Router, RouterAction,
-    RouterConfig, RouterId, VcId,
+    prog, Direction, Flit, GsArena, InternalEvent, LinkFlit, Router, RouterAction, RouterConfig,
+    RouterId, VcId,
 };
 use mango_sim::{Ctx, Model, SimDuration, SimTime};
 
@@ -116,6 +116,11 @@ pub trait NaApp: std::fmt::Debug + Send {
 pub struct Network {
     grid: Grid,
     nodes: Vec<Node>,
+    /// Flat storage for every router's GS buffers (one slab for the
+    /// mesh; routers address it via their [`mango_core::RouterSlots`]).
+    arena: GsArena,
+    /// Live relay tickets for BE packets beyond the 15-hop header.
+    relays: RelayTable,
     sources: Vec<Source>,
     stats: NetStats,
     conn: ConnectionManager,
@@ -133,15 +138,23 @@ pub struct Network {
 }
 
 impl Network {
-    /// Builds a homogeneous mesh of the paper's routers.
+    /// Builds a homogeneous mesh of the paper's routers over one flat
+    /// buffer arena.
     pub fn new(grid: Grid, router_cfg: RouterConfig, na_cfg: NaConfig) -> Self {
         router_cfg
             .validate()
             .unwrap_or_else(|e| panic!("invalid router config: {e}"));
+        let mut arena = GsArena::with_capacity(
+            router_cfg.gs_vcs(),
+            router_cfg.local_gs_ifaces(),
+            router_cfg.buffer_depth(),
+            router_cfg.na_rx_depth,
+            grid.len(),
+        );
         let nodes: Vec<Node> = grid
             .ids()
             .map(|id| Node {
-                router: Router::new(id, router_cfg.clone()),
+                router: Router::new_in(id, router_cfg.clone(), &mut arena),
                 na: Na::new(router_cfg.local_gs_ifaces(), na_cfg.clone()),
             })
             .collect();
@@ -150,6 +163,8 @@ impl Network {
             conn: ConnectionManager::new(router_cfg.gs_vcs(), router_cfg.local_gs_ifaces()),
             grid,
             nodes,
+            arena,
+            relays: RelayTable::new(),
             sources: Vec::new(),
             stats: NetStats::new(),
             apps,
@@ -197,6 +212,54 @@ impl Network {
         &mut self.conn
     }
 
+    /// The shared GS buffer arena.
+    pub fn arena(&self) -> &GsArena {
+        &self.arena
+    }
+
+    /// Plans a connection open along the default XY route (see
+    /// [`ConnectionManager::open`]); the network lends its relay table so
+    /// config packets can cross meshes wider than the BE header radius.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/routing failures; nothing is reserved then.
+    pub fn plan_open(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+    ) -> Result<OpenPlan, crate::conn::ConnError> {
+        self.conn.open(&self.grid, &mut self.relays, src, dst)
+    }
+
+    /// Plans a connection open along an explicit path (see
+    /// [`ConnectionManager::open_along`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/path-validation failures.
+    pub fn plan_open_along(
+        &mut self,
+        src: RouterId,
+        dst: RouterId,
+        dirs: &[Direction],
+    ) -> Result<OpenPlan, crate::conn::ConnError> {
+        self.conn
+            .open_along(&self.grid, &mut self.relays, src, dst, dirs)
+    }
+
+    /// Plans a connection close (see [`ConnectionManager::close`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown or not open.
+    pub fn plan_close(
+        &mut self,
+        id: mango_core::ConnectionId,
+    ) -> Result<crate::conn::ClosePlan, crate::conn::ConnError> {
+        self.conn.close(&self.grid, &mut self.relays, id)
+    }
+
     /// The node at `id`.
     pub fn node(&self, id: RouterId) -> &Node {
         &self.nodes[self.grid.index(id)]
@@ -230,14 +293,15 @@ impl Network {
         &self.sources
     }
 
-    fn timing(&self) -> &mango_hw::RouterTiming {
+    /// The router stage delays driving the event model.
+    pub fn router_timing(&self) -> &mango_hw::RouterTiming {
         &self.router_cfg.timing
     }
 
     /// GS injection latency: clock-domain crossing + local-port forward
     /// path.
     pub fn inject_delay(&self) -> SimDuration {
-        self.na_cfg.sync_delay + self.timing().hop_forward
+        self.na_cfg.sync_delay + self.router_timing().hop_forward
     }
 
     /// Builds a BE packet and queues it at `src`'s NA; returns `true` if
@@ -251,10 +315,17 @@ impl Network {
         flow: Option<u32>,
         now: SimTime,
     ) -> bool {
-        let header = xy_header(&self.grid, src, dst)
-            .unwrap_or_else(|e| panic!("BE packet route failed: {e}"));
         let mut flits = std::mem::take(&mut self.flit_scratch);
-        build_be_packet_into(header, payload, false, &mut flits);
+        relay::build_segmented_packet_into(
+            &self.grid,
+            &mut self.relays,
+            src,
+            dst,
+            payload,
+            false,
+            &mut flits,
+        )
+        .unwrap_or_else(|e| panic!("BE packet route failed: {e}"));
         if let Some(flow) = flow {
             let seq = self.stats.on_inject(flow);
             for f in &mut flits {
@@ -271,12 +342,12 @@ impl Network {
         &mut self,
         id: RouterId,
         ctx: &mut Ctx<NetEvent>,
-        f: impl FnOnce(&mut Router, &mut Vec<RouterAction>),
+        f: impl FnOnce(&mut Router, &mut GsArena, &mut Vec<RouterAction>),
     ) {
         let mut buf = std::mem::take(&mut self.scratch);
         buf.clear();
         let idx = self.grid.index(id);
-        f(&mut self.nodes[idx].router, &mut buf);
+        f(&mut self.nodes[idx].router, &mut self.arena, &mut buf);
         self.process_actions(id, &buf, ctx);
         self.scratch = buf;
     }
@@ -378,31 +449,115 @@ impl Network {
         // Acknowledgments complete connection programming. An ack is a
         // two-flit packet whose payload parses as a *known* token — the
         // token check keeps application payloads that alias the ack magic
-        // from being misclassified.
-        let mut is_ack = false;
+        // from being misclassified. On large meshes the ack travels in
+        // ≤15-link legs: delivered short of the connection source, it is
+        // re-launched toward it from here.
         if packet.len() == 2 {
             if let Some(token) = prog::parse_ack_word(packet[1].data) {
                 if self.conn.known_token(token) {
-                    self.conn.on_ack(token, &self.grid, ctx.now());
-                    is_ack = true;
+                    let target = self
+                        .conn
+                        .token_src(token)
+                        .expect("known token has a source");
+                    if target == id {
+                        self.conn.on_ack(token, &self.grid, ctx.now());
+                    } else {
+                        self.forward_ack(id, target, token, ctx);
+                    }
+                    // Acks carry no flow metadata and never reach apps.
+                    return;
                 }
             }
+        }
+        // Relay continuations: a packet bound beyond the header radius
+        // delivered at this intermediate NA — rebuild the next segment
+        // and re-inject. Not a final delivery: no stats, no app. The
+        // `relay` flit wire is set only by the segment builder, so an
+        // application payload can never alias a continuation word.
+        if packet.len() >= 2 && packet[1].relay {
+            let ticket = relay::parse_relay_word(packet[1].data)
+                .and_then(|t| self.relays.take(t))
+                .expect("relay wire set on a word that is not a live continuation");
+            self.forward_relay(id, ticket, packet, ctx);
+            return;
         }
         if header.flow() != u32::MAX {
             self.stats
                 .on_deliver(header.flow(), header.seq(), header.injected_at(), ctx.now());
         }
-        if !is_ack {
-            let idx = self.grid.index(id);
-            // Take the app out so it can borrow `self` for responses.
-            if let Some(mut app) = self.apps[idx].take() {
-                let responses = app.on_packet(ctx.now(), packet);
-                self.apps[idx] = Some(app);
-                for resp in responses {
-                    self.send_be_packet(id, resp.dest, &resp.payload, resp.flow, ctx.now(), ctx);
-                }
+        let idx = self.grid.index(id);
+        // Take the app out so it can borrow `self` for responses.
+        if let Some(mut app) = self.apps[idx].take() {
+            let responses = app.on_packet(ctx.now(), packet);
+            self.apps[idx] = Some(app);
+            for resp in responses {
+                self.send_be_packet(id, resp.dest, &resp.payload, resp.flow, ctx.now(), ctx);
             }
         }
+    }
+
+    /// Re-launches an acknowledgment from relay node `from` toward the
+    /// connection source it must reach (one more ≤15-link leg).
+    fn forward_ack(
+        &mut self,
+        from: RouterId,
+        target: RouterId,
+        token: u16,
+        ctx: &mut Ctx<NetEvent>,
+    ) {
+        let header = relay::ack_leg_header(&self.grid, from, target)
+            .unwrap_or_else(|e| panic!("ack leg route failed: {e}"));
+        let mut flits = std::mem::take(&mut self.flit_scratch);
+        mango_core::build_be_packet_into(header, &[prog::ack_word(token)], false, &mut flits);
+        let idx = self.grid.index(from);
+        if self.nodes[idx].na.enqueue_be(flits.iter().copied()) {
+            ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id: from });
+        }
+        self.flit_scratch = flits;
+    }
+
+    /// Rebuilds a relayed packet's next segment at relay node `from` and
+    /// re-injects it, preserving per-flit instrumentation metadata so
+    /// end-to-end latency spans the whole journey.
+    fn forward_relay(
+        &mut self,
+        from: RouterId,
+        ticket: RelayTicket,
+        packet: &[Flit],
+        ctx: &mut Ctx<NetEvent>,
+    ) {
+        // Incoming layout: [header, continuation, payload...].
+        let mut payload = std::mem::take(&mut self.payload_scratch);
+        payload.clear();
+        payload.extend(packet[2..].iter().map(|f| f.data));
+        let mut flits = std::mem::take(&mut self.flit_scratch);
+        relay::build_segmented_packet_into(
+            &self.grid,
+            &mut self.relays,
+            from,
+            ticket.dst,
+            &payload,
+            ticket.config,
+            &mut flits,
+        )
+        .unwrap_or_else(|e| panic!("relay segment route failed: {e}"));
+        // Copy metadata: header from header, and the tail (payload, plus
+        // the fresh continuation word if the route relays again) from the
+        // incoming tail, aligned at the packet ends.
+        let out_len = flits.len();
+        for i in 0..out_len - 1 {
+            let src = &packet[packet.len() - 1 - i];
+            let dst = &mut flits[out_len - 1 - i];
+            *dst = dst.with_meta(src.injected_at(), src.seq(), src.flow());
+        }
+        let hdr = &packet[0];
+        flits[0] = flits[0].with_meta(hdr.injected_at(), hdr.seq(), hdr.flow());
+        let idx = self.grid.index(from);
+        if self.nodes[idx].na.enqueue_be(flits.iter().copied()) {
+            ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id: from });
+        }
+        self.flit_scratch = flits;
+        self.payload_scratch = payload;
     }
 
     /// Builds and enqueues a BE packet from `src` to `dst` at the source
@@ -482,22 +637,22 @@ impl Model for Network {
         let now = ctx.now();
         match event {
             NetEvent::Router { id, ev } => {
-                self.call_router(id, ctx, |r, act| r.on_internal(now, ev, act))
+                self.call_router(id, ctx, |r, bufs, act| r.on_internal(bufs, now, ev, act))
             }
-            NetEvent::LinkFlit { to, from, lf } => {
-                self.call_router(to, ctx, |r, act| r.on_link_flit(now, from, lf, act))
-            }
-            NetEvent::Unlock { to, dir, wire } => {
-                self.call_router(to, ctx, |r, act| r.on_unlock(now, dir, wire, act))
-            }
+            NetEvent::LinkFlit { to, from, lf } => self.call_router(to, ctx, |r, bufs, act| {
+                r.on_link_flit(bufs, now, from, lf, act)
+            }),
+            NetEvent::Unlock { to, dir, wire } => self.call_router(to, ctx, |r, bufs, act| {
+                r.on_unlock(bufs, now, dir, wire, act)
+            }),
             NetEvent::Credit { to, dir } => {
-                self.call_router(to, ctx, |r, act| r.on_credit(now, dir, act))
+                self.call_router(to, ctx, |r, bufs, act| r.on_credit(bufs, now, dir, act))
             }
             NetEvent::NaGsInject { id, iface } => {
                 let idx = self.grid.index(id);
                 let (steer, flit) = self.nodes[idx].na.take_gs(iface);
-                self.call_router(id, ctx, |r, act| {
-                    r.on_local_gs_inject(now, steer, flit, act)
+                self.call_router(id, ctx, |r, bufs, act| {
+                    r.on_local_gs_inject(bufs, now, steer, flit, act)
                 });
             }
             NetEvent::NaBeInject { id } => {
@@ -506,10 +661,14 @@ impl Model for Network {
                 if more {
                     ctx.schedule(self.na_cfg.be_inject_gap, NetEvent::NaBeInject { id });
                 }
-                self.call_router(id, ctx, |r, act| r.on_local_be_inject(now, flit, act));
+                self.call_router(id, ctx, |r, bufs, act| {
+                    r.on_local_be_inject(bufs, now, flit, act)
+                });
             }
             NetEvent::NaGsConsumed { id, iface } => {
-                self.call_router(id, ctx, |r, act| r.on_local_gs_consume(now, iface, act));
+                self.call_router(id, ctx, |r, bufs, act| {
+                    r.on_local_gs_consume(bufs, now, iface, act)
+                });
             }
             NetEvent::SourceTick { idx } => self.on_source_tick(idx, ctx),
         }
@@ -518,7 +677,7 @@ impl Model for Network {
     fn quiescent(&self) -> bool {
         self.nodes
             .iter()
-            .all(|n| n.router.is_quiescent() && n.na.is_quiescent())
+            .all(|n| n.router.is_quiescent(&self.arena) && n.na.is_quiescent())
     }
 }
 

@@ -1,0 +1,289 @@
+//! NA-level relaying of BE packets beyond the 15-hop header capacity.
+//!
+//! The paper's BE source-routing header is one 32-bit rotating word: 15
+//! link codes plus the final local-delivery code
+//! ([`mango_core::MAX_BE_HOPS`]). On meshes up to 8×8 every XY route
+//! fits; at 16×16 and beyond, cross-mesh routes do not — and neither BE
+//! background traffic nor the GS *programming* packets (which are BE)
+//! could reach far routers, capping every workload at the header radius.
+//!
+//! Rather than invent a wider header (the router hardware model stays
+//! exactly the paper's), long routes are split into ≤15-link **segments
+//! relayed at intermediate NAs**: the network layer addresses the packet
+//! to the NA of the router 15 links along the XY route and prefixes the
+//! payload with a continuation word naming a [`RelayTable`] ticket. When
+//! that NA's node delivers the packet, the network recognizes the ticket,
+//! rebuilds the packet for the next segment (copying per-flit
+//! instrumentation metadata, so end-to-end latency accounting spans the
+//! whole journey), and re-injects it — store-and-forward at the relay.
+//! Each segment is XY-routed and relay queues consume unconditionally, so
+//! the extension introduces no new channel-dependency cycles.
+//!
+//! Routes that fit a single header take the pre-relay fast path,
+//! bit-identical to the original implementation.
+//!
+//! Acknowledgment packets (built *by routers* from a single
+//! [`mango_core::AckPlan`] header word) cannot carry tickets; they hop
+//! between NAs by truncation instead: the ack return header routes to the
+//! farthest on-route NA within 15 links, where ack interception (which
+//! already exists for final delivery) re-launches the ack toward the
+//! connection source — see `Network::on_be_packet`.
+
+use crate::route::{xy_len, xy_segment_header, RouteError};
+use crate::topology::Grid;
+use mango_core::{build_be_packet_into, BeHeader, Flit, RouterId, MAX_BE_HOPS};
+use std::collections::HashMap;
+
+/// Magic prefix of a relay continuation word (`"RL"` in the top bytes);
+/// the low 16 bits carry the ticket id. Continuation words are recognized
+/// by the dedicated `relay` flit wire (set only by the segment builder,
+/// so application payloads can never alias one); the magic + live-ticket
+/// check is a secondary integrity guard.
+const RELAY_MAGIC: u32 = 0x524C_0000;
+
+/// Encodes a ticket as a continuation word.
+#[inline]
+pub fn relay_word(ticket: u16) -> u32 {
+    RELAY_MAGIC | ticket as u32
+}
+
+/// Decodes a continuation word, if the magic matches.
+#[inline]
+pub fn parse_relay_word(word: u32) -> Option<u16> {
+    (word & 0xFFFF_0000 == RELAY_MAGIC).then_some(word as u16)
+}
+
+/// The out-of-band state of one in-flight relayed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayTicket {
+    /// Final destination router.
+    pub dst: RouterId,
+    /// Rebuild the final segment as a config packet (`be_vc` marker,
+    /// addressed to the destination's programming interface).
+    pub config: bool,
+}
+
+/// Registry of live relay tickets, owned by the network.
+///
+/// Tickets are issued when a long route's first segment is built and
+/// consumed when the relay node forwards the packet (possibly issuing a
+/// fresh ticket for the next segment). The registry holds only routing
+/// facts — the payload itself always travels in the packet, so relaying
+/// costs the honest number of flit-hops.
+#[derive(Debug, Default)]
+pub struct RelayTable {
+    next: u16,
+    live: HashMap<u16, RelayTicket>,
+}
+
+impl RelayTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issues a ticket for a packet ultimately bound for `dst`.
+    ///
+    /// Ids are 16-bit and reused after release; long runs wrap the
+    /// counter, so allocation skips over ids still live in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if all 65 536 ids are simultaneously in flight.
+    pub fn issue(&mut self, dst: RouterId, config: bool) -> u16 {
+        for _ in 0..=u16::MAX {
+            let id = self.next;
+            self.next = self.next.wrapping_add(1);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.live.entry(id) {
+                e.insert(RelayTicket { dst, config });
+                return id;
+            }
+        }
+        panic!("relay ticket id space exhausted in flight");
+    }
+
+    /// Consumes a live ticket.
+    pub fn take(&mut self, ticket: u16) -> Option<RelayTicket> {
+        self.live.remove(&ticket)
+    }
+
+    /// Tickets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Builds the flits of a BE packet from `src` to `dst` into `flits`
+/// (cleared first), relaying through intermediate NAs when the XY route
+/// exceeds the single-header capacity.
+///
+/// Routes within [`MAX_BE_HOPS`] links produce exactly the packet the
+/// pre-relay implementation produced. Longer routes produce the first
+/// ≤15-link segment with a fresh ticket's continuation word prefixed to
+/// the payload; the `config` marker is deferred to the final segment
+/// (intermediate segments must reach relay *NAs*, not programming
+/// interfaces).
+///
+/// # Errors
+///
+/// Propagates route-computation failures.
+pub fn build_segmented_packet_into(
+    grid: &Grid,
+    relays: &mut RelayTable,
+    src: RouterId,
+    dst: RouterId,
+    payload: &[u32],
+    config: bool,
+    flits: &mut Vec<Flit>,
+) -> Result<(), RouteError> {
+    let links = xy_len(grid, src, dst)?;
+    if links <= MAX_BE_HOPS {
+        let header = xy_segment_header(src, dst, links);
+        build_be_packet_into(header, payload, config, flits);
+        return Ok(());
+    }
+    let header = xy_segment_header(src, dst, MAX_BE_HOPS);
+    let ticket = relays.issue(dst, config);
+    flits.clear();
+    flits.push(Flit::be(header.0, false));
+    flits.push(Flit::be(relay_word(ticket), payload.is_empty()).with_relay(true));
+    for (i, &word) in payload.iter().enumerate() {
+        flits.push(Flit::be(word, i + 1 == payload.len()));
+    }
+    Ok(())
+}
+
+/// [`build_segmented_packet_into`] returning a fresh `Vec` — the form the
+/// connection manager uses for config packets.
+///
+/// # Errors
+///
+/// Propagates route-computation failures.
+pub fn build_segmented_packet(
+    grid: &Grid,
+    relays: &mut RelayTable,
+    src: RouterId,
+    dst: RouterId,
+    payload: &[u32],
+    config: bool,
+) -> Result<Vec<Flit>, RouteError> {
+    let mut flits = Vec::new();
+    build_segmented_packet_into(grid, relays, src, dst, payload, config, &mut flits)?;
+    Ok(flits)
+}
+
+/// The header for an acknowledgment's next leg: routes along the XY route
+/// from `src` toward `dst`, truncated to the single-header capacity. The
+/// ack is intercepted wherever it delivers and re-launched until it
+/// reaches `dst`.
+///
+/// # Errors
+///
+/// Propagates route-computation failures.
+pub fn ack_leg_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHeader, RouteError> {
+    let links = xy_len(grid, src, dst)?;
+    Ok(xy_segment_header(src, dst, links.min(MAX_BE_HOPS)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_word_round_trips() {
+        for t in [0u16, 1, 0x1234, u16::MAX] {
+            assert_eq!(parse_relay_word(relay_word(t)), Some(t));
+        }
+        assert_eq!(parse_relay_word(0xDEAD_BEEF), None);
+        assert_eq!(parse_relay_word(0), None);
+    }
+
+    #[test]
+    fn tickets_are_single_use() {
+        let mut t = RelayTable::new();
+        let dst = RouterId::new(3, 3);
+        let id = t.issue(dst, true);
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.take(id), Some(RelayTicket { dst, config: true }));
+        assert_eq!(t.take(id), None);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn short_routes_build_the_classic_packet() {
+        let g = Grid::new(4, 4);
+        let mut relays = RelayTable::new();
+        let mut flits = Vec::new();
+        build_segmented_packet_into(
+            &g,
+            &mut relays,
+            RouterId::new(0, 0),
+            RouterId::new(3, 3),
+            &[7, 8],
+            false,
+            &mut flits,
+        )
+        .unwrap();
+        let classic = mango_core::build_be_packet(
+            crate::route::xy_header(&g, RouterId::new(0, 0), RouterId::new(3, 3)).unwrap(),
+            &[7, 8],
+            false,
+        );
+        assert_eq!(flits, classic, "fast path is bit-identical");
+        assert_eq!(relays.in_flight(), 0, "no ticket issued");
+    }
+
+    #[test]
+    fn long_routes_get_a_continuation_word() {
+        let g = Grid::new(32, 1);
+        let mut relays = RelayTable::new();
+        let mut flits = Vec::new();
+        build_segmented_packet_into(
+            &g,
+            &mut relays,
+            RouterId::new(0, 0),
+            RouterId::new(31, 0),
+            &[1, 2, 3],
+            true,
+            &mut flits,
+        )
+        .unwrap();
+        assert_eq!(relays.in_flight(), 1);
+        assert_eq!(flits.len(), 5, "header + continuation + 3 payload");
+        let ticket = parse_relay_word(flits[1].data).expect("continuation word");
+        assert_eq!(
+            relays.take(ticket),
+            Some(RelayTicket {
+                dst: RouterId::new(31, 0),
+                config: true
+            })
+        );
+        assert!(
+            flits.iter().all(|f| !f.be_vc),
+            "config marker deferred to the final segment"
+        );
+        assert!(flits.last().unwrap().eop);
+        assert!(flits[..4].iter().all(|f| !f.eop));
+    }
+
+    #[test]
+    fn ack_leg_truncates_to_header_capacity() {
+        let g = Grid::new(32, 1);
+        // 31 links: the first leg covers 15 and delivers at (15,0).
+        let h = ack_leg_header(&g, RouterId::new(31, 0), RouterId::new(0, 0)).unwrap();
+        let mut header = h;
+        let mut from = None;
+        for _ in 0..MAX_BE_HOPS {
+            let (dest, next) = header.route(from);
+            assert_eq!(dest, mango_core::BeDest::Net(mango_core::Direction::West));
+            header = next;
+            from = Some(mango_core::Direction::East);
+        }
+        let (dest, _) = header.route(from);
+        assert_eq!(dest, mango_core::BeDest::Local, "leg ends in a delivery");
+        // A short remainder fits directly.
+        let h = ack_leg_header(&g, RouterId::new(5, 0), RouterId::new(0, 0)).unwrap();
+        let (dest, _) = h.route(None);
+        assert_eq!(dest, mango_core::BeDest::Net(mango_core::Direction::West));
+    }
+}

@@ -6,7 +6,7 @@
 //! GS connection paths never cross themselves.
 
 use crate::topology::Grid;
-use mango_core::{BeHeader, BeRouteError, Direction, RouterId, MAX_BE_HOPS};
+use mango_core::{BeHeader, Direction, RouterId, MAX_BE_HOPS};
 
 /// Errors computing a route.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +71,25 @@ pub fn xy_route(grid: &Grid, src: RouterId, dst: RouterId) -> Result<Vec<Directi
     Ok(route)
 }
 
+/// The XY route's link count — the Manhattan distance, computed without
+/// materializing the route.
+///
+/// # Errors
+///
+/// Fails if the endpoints coincide or leave the grid.
+pub fn xy_len(grid: &Grid, src: RouterId, dst: RouterId) -> Result<usize, RouteError> {
+    if !grid.contains(src) {
+        return Err(RouteError::OffGrid(src));
+    }
+    if !grid.contains(dst) {
+        return Err(RouteError::OffGrid(dst));
+    }
+    if src == dst {
+        return Err(RouteError::SameRouter(src));
+    }
+    Ok(src.x.abs_diff(dst.x) as usize + src.y.abs_diff(dst.y) as usize)
+}
+
 /// Builds a BE source-routing header for the XY route from `src` to `dst`.
 ///
 /// # Errors
@@ -78,12 +97,49 @@ pub fn xy_route(grid: &Grid, src: RouterId, dst: RouterId) -> Result<Vec<Directi
 /// Fails as [`xy_route`] does, or if the route exceeds the header's 15-hop
 /// capacity.
 pub fn xy_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHeader, RouteError> {
-    let route = xy_route(grid, src, dst)?;
-    BeHeader::from_route(&route).map_err(|e| match e {
-        BeRouteError::TooManyHops(n) => RouteError::TooLong(n),
-        BeRouteError::Empty => RouteError::SameRouter(src),
-        BeRouteError::Backtrack(_) => unreachable!("XY routes never backtrack"),
-    })
+    let links = xy_len(grid, src, dst)?;
+    if links > MAX_BE_HOPS {
+        return Err(RouteError::TooLong(links));
+    }
+    Ok(xy_segment_header(src, dst, links))
+}
+
+/// The BE header for the first `links` links of the XY route from `src`
+/// toward `dst`, built allocation-free — the per-packet hot path
+/// (`BeHeader::from_route(&xy_route(..)[..links])` bit for bit, without
+/// the route `Vec`).
+///
+/// Endpoints must be validated (distinct, on-grid) and `links` must be in
+/// `1..=min(route length, MAX_BE_HOPS)`; use [`xy_len`] first.
+pub fn xy_segment_header(src: RouterId, dst: RouterId, links: usize) -> BeHeader {
+    let dx = src.x.abs_diff(dst.x) as usize;
+    let dy = src.y.abs_diff(dst.y) as usize;
+    debug_assert!((1..=(dx + dy).min(MAX_BE_HOPS)).contains(&links));
+    let xdir = if src.x < dst.x {
+        Direction::East
+    } else {
+        Direction::West
+    };
+    let ydir = if src.y < dst.y {
+        Direction::South
+    } else {
+        Direction::North
+    };
+    // XY: the x-run precedes the y-run; the delivery code is the U-turn
+    // against the last travel direction (see `BeHeader::from_route`).
+    let x_links = links.min(dx);
+    let y_links = links - x_links;
+    let mut word: u32 = 0;
+    for _ in 0..x_links {
+        word = (word << 2) | xdir.index() as u32;
+    }
+    for _ in 0..y_links {
+        word = (word << 2) | ydir.index() as u32;
+    }
+    let last = if y_links > 0 { ydir } else { xdir };
+    word = (word << 2) | last.opposite().index() as u32;
+    let used = 2 * (links as u32 + 1);
+    BeHeader(word << (32 - used))
 }
 
 /// The routers an XY route visits, including both endpoints.
@@ -189,5 +245,31 @@ mod tests {
         let g = Grid::new(17, 2);
         let err = xy_header(&g, RouterId::new(0, 0), RouterId::new(16, 0));
         assert_eq!(err, Err(RouteError::TooLong(16)));
+    }
+
+    /// The allocation-free segment builder must reproduce the reference
+    /// `BeHeader::from_route` encoding bit for bit, for every pair and
+    /// every legal segment length of a mesh that exercises all four
+    /// direction combinations and the hop cap.
+    #[test]
+    fn segment_header_matches_reference_for_all_pairs() {
+        let g = Grid::new(9, 9);
+        for src in g.ids() {
+            for dst in g.ids() {
+                if src == dst {
+                    continue;
+                }
+                let route = xy_route(&g, src, dst).unwrap();
+                assert_eq!(xy_len(&g, src, dst).unwrap(), route.len());
+                for links in 1..=route.len().min(MAX_BE_HOPS) {
+                    let want = BeHeader::from_route(&route[..links]).unwrap();
+                    assert_eq!(
+                        xy_segment_header(src, dst, links),
+                        want,
+                        "{src}->{dst} truncated to {links}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,7 +9,7 @@ use crate::stats::FlowStats;
 use crate::topology::Grid;
 use crate::traffic::{Pattern, Source, SourceKind};
 use mango_core::{ConnectionId, RouterConfig, RouterId};
-use mango_sim::{Kernel, RunOutcome, SimDuration, SimRng, SimTime};
+use mango_sim::{Kernel, RunOutcome, SimDuration, SimRng, SimTime, WheelGeometry};
 
 /// Emission bounds for a traffic source.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,12 +32,35 @@ pub struct NocSim {
 
 impl NocSim {
     /// Builds a simulation over `network` with the given random seed.
+    ///
+    /// The event-wheel geometry is chosen by
+    /// [`WheelGeometry::for_mesh`] from the mesh size and the router
+    /// timing — every mesh up to 8×8 gets the tuned default, larger
+    /// meshes a proportionally wider wheel. Geometry never affects
+    /// results (event order is a pure function of `(time, seq)`), only
+    /// events/second.
     pub fn new(network: Network, seed: u64) -> Self {
+        let geometry = WheelGeometry::for_mesh(
+            network.grid().len(),
+            network.router_timing().min_event_delay().as_ps(),
+        );
+        Self::with_geometry(network, seed, geometry)
+    }
+
+    /// Builds a simulation with an explicit event-wheel geometry — the
+    /// probe knob for wheel-geometry validation experiments
+    /// (`sim_rate --buckets N`).
+    pub fn with_geometry(network: Network, seed: u64, geometry: WheelGeometry) -> Self {
         NocSim {
-            kernel: Kernel::new(network),
+            kernel: Kernel::with_geometry(network, geometry),
             rng: SimRng::new(seed),
             next_stream: 0,
         }
+    }
+
+    /// The event-wheel geometry the kernel runs on.
+    pub fn wheel_geometry(&self) -> WheelGeometry {
+        self.kernel.queue_geometry()
     }
 
     /// A `width × height` mesh of the paper's routers with default NAs.
@@ -80,6 +103,11 @@ impl NocSim {
         self.kernel.events_processed()
     }
 
+    /// Events currently pending in the queue (concurrency probe).
+    pub fn events_pending(&self) -> usize {
+        self.kernel.events_pending()
+    }
+
     /// Runs for `span` of simulated time.
     pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
         self.kernel.run_for(span)
@@ -120,9 +148,7 @@ impl NocSim {
         src: RouterId,
         dst: RouterId,
     ) -> Result<ConnectionId, ConnError> {
-        let net = self.kernel.model_mut();
-        let grid = net.grid().clone();
-        let plan = net.connections_mut().open(&grid, src, dst)?;
+        let plan = self.kernel.model_mut().plan_open(src, dst)?;
         Ok(self.issue_open_plan(src, plan))
     }
 
@@ -141,9 +167,7 @@ impl NocSim {
         dst: RouterId,
         dirs: &[mango_core::Direction],
     ) -> Result<ConnectionId, ConnError> {
-        let net = self.kernel.model_mut();
-        let grid = net.grid().clone();
-        let plan = net.connections_mut().open_along(&grid, src, dst, dirs)?;
+        let plan = self.kernel.model_mut().plan_open_along(src, dst, dirs)?;
         Ok(self.issue_open_plan(src, plan))
     }
 
@@ -176,8 +200,7 @@ impl NocSim {
     /// Fails if the connection is not open.
     pub fn close_connection(&mut self, id: ConnectionId) -> Result<(), ConnError> {
         let net = self.kernel.model_mut();
-        let grid = net.grid().clone();
-        let plan = net.connections_mut().close(&grid, id)?;
+        let plan = net.plan_close(id)?;
         let record = net
             .connections()
             .get(id)

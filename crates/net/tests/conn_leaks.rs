@@ -4,7 +4,7 @@
 //! over a churn run, so the property is load-bearing for the QoS layer.
 
 use mango_core::RouterId;
-use mango_net::{ConnState, ConnectionManager, Grid, NocSim};
+use mango_net::{ConnState, ConnectionManager, Grid, NocSim, RelayTable};
 use mango_sim::SimTime;
 use proptest::prelude::*;
 
@@ -36,6 +36,7 @@ proptest! {
         pairs in prop::collection::vec((0u32..49, 0u32..49), 1..10),
     ) {
         let grid = Grid::new(width, height);
+        let mut relays = RelayTable::new();
         let mut m = ConnectionManager::new(7, 4);
         prop_assert!(m.nothing_reserved(), "fresh manager reserves nothing");
 
@@ -50,7 +51,7 @@ proptest! {
             let src = RouterId::new((src_i % u32::from(width)) as u8, (src_i / u32::from(width)) as u8);
             let dst = RouterId::new((dst_i % u32::from(width)) as u8, (dst_i / u32::from(width)) as u8);
             // Budget exhaustion is a legitimate answer; leaks are not.
-            if let Ok(plan) = m.open(&grid, src, dst) {
+            if let Ok(plan) = m.open(&grid, &mut relays, src, dst) {
                 ack_all(&mut m, &grid, plan.id);
                 prop_assert_eq!(m.state(plan.id), Some(ConnState::Open));
                 opened.push(plan.id);
@@ -58,7 +59,7 @@ proptest! {
         }
 
         for id in &opened {
-            m.close(&grid, *id).expect("open connections close");
+            m.close(&grid, &mut relays, *id).expect("open connections close");
             ack_all(&mut m, &grid, *id);
             prop_assert_eq!(m.state(*id), Some(ConnState::Closed));
         }

@@ -1,4 +1,5 @@
-//! The time-ordered event queue: a deterministic two-level calendar queue.
+//! The time-ordered event queue: a deterministic two-level calendar queue
+//! with a runtime-chosen wheel geometry and a bulk build path.
 //!
 //! # Design
 //!
@@ -6,10 +7,10 @@
 //! at least one push/pop pair — so it is built as a classic discrete-event
 //! *calendar queue* (a time wheel) instead of a binary heap:
 //!
-//! * **Near future — the wheel.** A ring of [`NUM_BUCKETS`] buckets, each
-//!   covering a window of [`BUCKET_WIDTH_PS`] picoseconds, spans
-//!   [`SPAN_PS`] (≈65 ns) from the current *epoch* (the window start of
-//!   the bucket under the cursor). An event due at `t` lands in bucket
+//! * **Near future — the wheel.** A ring of `num_buckets` buckets, each
+//!   covering a window of `2^width_log2` picoseconds, spans the wheel's
+//!   *span* from the current *epoch* (the window start of the bucket under
+//!   the cursor). An event due at `t` lands in bucket
 //!   `(t / width) mod buckets` with a plain `Vec` push — O(1), no sifting.
 //!   A 64-bit occupancy bitmap per 64 buckets lets the cursor skip runs of
 //!   empty buckets in a few instructions.
@@ -22,14 +23,35 @@
 //!   past, but the queue API allows pushes at arbitrary times (tests and
 //!   reference-model comparisons do). Events earlier than the current
 //!   epoch go to a small heap that is always drained first.
+//! * **Staged — the bulk-build run.** [`EventQueue::extend`] routes batch
+//!   inserts into one pre-sorted side run instead of per-event tier
+//!   dispatch, so a driver that builds a large far-future schedule up
+//!   front (the `fill_then_drain` set-up pattern the build benchmarks
+//!   measure) skips the overflow-heap detour entirely. The run
+//!   participates in every pop as a fourth tier and is usually empty,
+//!   costing the hot path one length check. (The standard scenarios
+//!   schedule incrementally — one self-rechaining tick per source — and
+//!   cannot batch without renumbering tie order, so they never touch
+//!   this tier.)
+//!
+//! # Geometry
+//!
+//! The wheel shape is a [`WheelGeometry`] chosen at construction.
+//! [`WheelGeometry::DEFAULT`] (2048 × 32 ps) is tuned for the paper's 4×4
+//! probe; [`WheelGeometry::for_mesh`] scales the bucket count with the
+//! expected concurrent-event population of larger meshes (see its docs
+//! for the heuristic). Geometry affects performance only: delivery order
+//! is a pure function of `(time, sequence)` for every legal geometry,
+//! which a property test pins by driving adversarial schedules through
+//! divergent geometries.
 //!
 //! # Determinism
 //!
 //! Delivery order is a pure function of `(time, sequence)`: the bucket
 //! under the cursor is kept sorted by that pair (sorted once when the
 //! cursor arrives, binary-search–inserted for same-window pushes while it
-//! drains), both heaps order by the same pair, and the three tiers are
-//! disjoint in time (past < epoch ≤ wheel < epoch + span ≤ overflow).
+//! drains), both heaps order by the same pair, the staged run is sorted at
+//! build time, and every pop takes the tier-front minimum of that pair.
 //! Two events at the same instant therefore pop in the order they were
 //! scheduled — the same guarantee the previous `BinaryHeap` core gave —
 //! regardless of which tier an event passed through, which makes
@@ -39,24 +61,106 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Number of wheel buckets (power of two). Sized so the bucket headers
-/// (~48 KB) stay cache-resident — a larger wheel turns every push into a
-/// cache miss, which costs more than it saves in overflow traffic.
-/// Geometry chosen by sweeping the `network_sim` benchmark: 2048×32 ps
-/// beat 1024×256 ps by ~8% and 4096×64 ps by ~6%.
-const NUM_BUCKETS: usize = 2048;
-/// log2 of the bucket window width in picoseconds.
-const BUCKET_WIDTH_LOG2: u32 = 5;
-/// The time window one bucket covers: 32 ps — well under the paper's
-/// 100 ps – 2 ns stage delays, so consecutive hop events land in distinct
-/// buckets and per-bucket sorts stay one or two elements deep.
-const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_WIDTH_LOG2;
-/// The total near-future span of the wheel (≈65 ns), covering hop
-/// latencies and CBR source periods; slower periodic work (BE background
-/// at hundreds of ns, watchdogs) batches through the overflow heap.
-const SPAN_PS: u64 = (NUM_BUCKETS as u64) << BUCKET_WIDTH_LOG2;
-/// Words in the occupancy bitmap.
-const BITMAP_WORDS: usize = NUM_BUCKETS / 64;
+/// The shape of the calendar wheel: bucket count × bucket width.
+///
+/// The two parameters trade cache footprint against per-bucket occupancy:
+///
+/// * `width` (2^`width_log2` ps) should sit **below the minimum event
+///   spacing** of the model so consecutive events of one causal chain land
+///   in distinct buckets and per-bucket sorts stay one or two elements
+///   deep. The paper's shortest stage delay is 180 ps (typical-corner
+///   buffer advance), so the default 32 ps window keeps even
+///   worst-case-derated chains apart.
+/// * `num_buckets` fixes the span (`buckets × width`) and the bucket-header
+///   working set. More buckets spread a denser concurrent-event population
+///   thinner (shorter per-bucket sorts) at the price of cache footprint —
+///   past ~64 K headers every push is a cache miss, which costs more than
+///   the sort it saves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelGeometry {
+    /// Number of wheel buckets (a power of two).
+    pub num_buckets: usize,
+    /// log2 of the bucket window width in picoseconds.
+    pub width_log2: u32,
+}
+
+impl WheelGeometry {
+    /// The tuned default: 2048 buckets × 32 ps (span ≈ 65 ns).
+    ///
+    /// Chosen by sweeping the 4×4 `network_sim` benchmark: 2048×32 ps beat
+    /// 1024×256 ps by ~8% and 4096×64 ps by ~6%. The span covers hop
+    /// latencies and CBR source periods; slower periodic work (BE
+    /// background at hundreds of ns, watchdogs) batches through the
+    /// overflow heap.
+    pub const DEFAULT: WheelGeometry = WheelGeometry {
+        num_buckets: 2048,
+        width_log2: 5,
+    };
+
+    /// Chooses a geometry for a mesh scenario from its expected event
+    /// density.
+    ///
+    /// The heuristic, term by term:
+    ///
+    /// * **Width from timing.** Consecutive events of one causal chain are
+    ///   at least `min_event_delay_ps` apart (the model's shortest stage
+    ///   delay). The width is the largest power of two not above a quarter
+    ///   of that, clamped to [8 ps, 256 ps] — comfortably below the chain
+    ///   spacing, so same-bucket collisions come only from *independent*
+    ///   chains. For the paper's 180 ps minimum stage delay this yields
+    ///   the default 32 ps.
+    /// * **Buckets from concurrency.** A running mesh keeps roughly one
+    ///   in-flight event per active channel: four link ports plus a local
+    ///   interface per node ⇒ ~5·nodes concurrent events spread over the
+    ///   span. Provisioning `4 × 5·nodes` buckets keeps expected per-bucket
+    ///   occupancy well under one as the mesh grows (the wheel-geometry
+    ///   scaling validated on the 16×16/32×32 probes), clamped between the
+    ///   tuned 2048 floor and a 32 768 cache-footprint ceiling.
+    ///
+    /// For every mesh up to 8×8 the clamps reproduce
+    /// [`WheelGeometry::DEFAULT`] exactly — pinned by a regression test —
+    /// so the historical repro outputs and their goldens are untouched.
+    pub fn for_mesh(nodes: usize, min_event_delay_ps: u64) -> WheelGeometry {
+        let width_log2 = (min_event_delay_ps / 4).max(1).ilog2().clamp(3, 8);
+        let num_buckets = (20 * nodes).next_power_of_two().clamp(2048, 32_768);
+        WheelGeometry {
+            num_buckets,
+            width_log2,
+        }
+    }
+
+    /// Validates the geometry: a power-of-two bucket count in
+    /// [64, 2^20], width in [1 ps, 2^20 ps], and a span that fits `u64`
+    /// time arithmetic.
+    fn validate(self) {
+        assert!(
+            self.num_buckets.is_power_of_two() && (64..=1 << 20).contains(&self.num_buckets),
+            "wheel bucket count must be a power of two in [64, 2^20], got {}",
+            self.num_buckets
+        );
+        assert!(
+            self.width_log2 <= 20,
+            "wheel bucket width must be at most 2^20 ps, got 2^{}",
+            self.width_log2
+        );
+    }
+
+    /// The bucket window width in picoseconds.
+    pub fn width_ps(self) -> u64 {
+        1 << self.width_log2
+    }
+
+    /// The total near-future span the wheel covers, in picoseconds.
+    pub fn span_ps(self) -> u64 {
+        (self.num_buckets as u64) << self.width_log2
+    }
+}
+
+impl Default for WheelGeometry {
+    fn default() -> Self {
+        WheelGeometry::DEFAULT
+    }
+}
 
 /// An event queue ordered by `(time, sequence)`.
 ///
@@ -69,7 +173,13 @@ pub struct EventQueue<E> {
     /// `(time, seq)` whenever non-empty; other buckets are unsorted.
     buckets: Box<[Vec<Entry<E>>]>,
     /// One bit per bucket: set iff the bucket is non-empty.
-    occupancy: [u64; BITMAP_WORDS],
+    occupancy: Box<[u64]>,
+    /// `num_buckets - 1`: bucket index mask.
+    bucket_mask: usize,
+    /// log2 of the bucket window width in picoseconds.
+    width_log2: u32,
+    /// `num_buckets × width`: the wheel's near-future span.
+    span_ps: u64,
     /// Index of the bucket currently being drained.
     cursor: usize,
     /// Window start (ps, aligned to the bucket width) of `buckets[cursor]`.
@@ -78,7 +188,10 @@ pub struct EventQueue<E> {
     near_count: usize,
     /// Events earlier than `epoch` (API-permitted, kernel never does this).
     past: BinaryHeap<Entry<E>>,
-    /// Events at or beyond `epoch + SPAN_PS`.
+    /// Bulk-built side run, sorted descending by `(time, seq)` (earliest
+    /// at the back); drained front-to-front against the other tiers.
+    staged: Vec<Entry<E>>,
+    /// Events at or beyond `epoch + span`.
     overflow: BinaryHeap<Entry<E>>,
     /// Cached `overflow` minimum time (`u64::MAX` when empty), so the
     /// per-advance promotion check is one compare instead of a heap peek.
@@ -121,31 +234,54 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-#[inline]
-fn bucket_of(time_ps: u64) -> usize {
-    ((time_ps >> BUCKET_WIDTH_LOG2) as usize) & (NUM_BUCKETS - 1)
-}
-
-#[inline]
-fn align_down(time_ps: u64) -> u64 {
-    time_ps & !(BUCKET_WIDTH_PS - 1)
-}
-
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default wheel geometry.
     pub fn new() -> Self {
+        Self::with_geometry(WheelGeometry::DEFAULT)
+    }
+
+    /// Creates an empty queue with the given wheel geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is out of range: the bucket count must be a
+    /// power of two in [64, 2^20] and the width at most 2^20 ps.
+    pub fn with_geometry(geometry: WheelGeometry) -> Self {
+        geometry.validate();
         EventQueue {
-            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
-            occupancy: [0; BITMAP_WORDS],
+            buckets: (0..geometry.num_buckets).map(|_| Vec::new()).collect(),
+            occupancy: vec![0u64; geometry.num_buckets / 64].into_boxed_slice(),
+            bucket_mask: geometry.num_buckets - 1,
+            width_log2: geometry.width_log2,
+            span_ps: geometry.span_ps(),
             cursor: 0,
             epoch: 0,
             near_count: 0,
             past: BinaryHeap::new(),
+            staged: Vec::new(),
             overflow: BinaryHeap::new(),
             overflow_min: u64::MAX,
             next_seq: 0,
             scheduled_total: 0,
         }
+    }
+
+    /// The wheel geometry this queue was built with.
+    pub fn geometry(&self) -> WheelGeometry {
+        WheelGeometry {
+            num_buckets: self.bucket_mask + 1,
+            width_log2: self.width_log2,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, time_ps: u64) -> usize {
+        ((time_ps >> self.width_log2) as usize) & self.bucket_mask
+    }
+
+    #[inline]
+    fn align_down(&self, time_ps: u64) -> u64 {
+        time_ps & !((1u64 << self.width_log2) - 1)
     }
 
     /// Inserts `event` at absolute time `time`.
@@ -156,11 +292,15 @@ impl<E> EventQueue<E> {
         let entry = Entry { time, seq, event };
         let t = time.as_ps();
 
-        if self.is_empty() {
-            // Re-anchor the wheel on the first event after a drain so the
-            // span is always used fully.
-            self.epoch = align_down(t);
-            self.cursor = bucket_of(t);
+        if self.near_count == 0 && t >= self.epoch {
+            // The wheel is idle (fresh queue, fully drained, or only
+            // past/staged events pending): re-anchor it on this event so
+            // the span is always used fully. Overflow is empty whenever
+            // the wheel is (pops promote on drain), so moving the epoch
+            // forward strands nothing.
+            debug_assert!(self.overflow.is_empty());
+            self.epoch = self.align_down(t);
+            self.cursor = self.bucket_of(t);
             self.buckets[self.cursor].push(entry);
             self.set_bit(self.cursor);
             self.near_count = 1;
@@ -171,8 +311,8 @@ impl<E> EventQueue<E> {
             self.past.push(entry);
             return;
         }
-        if t - self.epoch < SPAN_PS {
-            let b = bucket_of(t);
+        if t - self.epoch < self.span_ps {
+            let b = self.bucket_of(t);
             let bucket = &mut self.buckets[b];
             if b == self.cursor && !bucket.is_empty() {
                 // The draining bucket stays sorted descending by
@@ -186,29 +326,76 @@ impl<E> EventQueue<E> {
             }
             self.set_bit(b);
             self.near_count += 1;
-            // "Wheel empty with the cursor on an empty bucket" cannot
-            // coexist with a non-empty queue: pops drain the past tier
-            // before touching the wheel, so the wheel can only empty once
-            // `past` is empty, and an empty queue re-anchors above.
-            debug_assert!(!self.buckets[self.cursor].is_empty());
         } else {
             self.overflow_min = self.overflow_min.min(t);
             self.overflow.push(entry);
             // A non-empty overflow implies a drainable wheel front: the
-            // queue was non-empty (handled above) and a non-empty queue
-            // always has a wheel event (pops drain the past tier first),
-            // so the front invariant already holds.
+            // wheel was non-empty (the anchor path above handles an idle
+            // wheel), so the front invariant already holds.
             debug_assert!(self.near_count > 0);
         }
     }
 
+    /// Bulk-inserts a batch of events, preserving iteration order for
+    /// same-instant ties (exactly as the equivalent sequence of
+    /// [`EventQueue::push`] calls would).
+    ///
+    /// The batch is sorted once into a pre-ordered side run instead of
+    /// dispatching every event through the wheel/overflow tiers — the
+    /// build path for drivers that stage a large far-future schedule up
+    /// front, where thousands of events would otherwise each take the
+    /// overflow-heap detour on the way in *and* out (2.8× on the
+    /// `fill_then_drain` build benchmark). The run merges lazily with the
+    /// other tiers at pop time.
+    pub fn extend(&mut self, batch: impl IntoIterator<Item = (SimTime, E)>) {
+        let iter = batch.into_iter();
+        self.staged.reserve(iter.size_hint().0);
+        for (time, event) in iter {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.scheduled_total += 1;
+            self.staged.push(Entry { time, seq, event });
+        }
+        // (time, seq) pairs are unique, so an unstable sort is
+        // deterministic. Descending: the earliest entry pops from the back.
+        self.staged
+            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+    }
+
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // Past events are strictly earlier than every wheel or overflow
-        // event (all tiers are disjoint in time), so drain them first.
-        if let Some(e) = self.past.pop() {
-            return Some((e.time, e.event));
+        if self.past.is_empty() && self.staged.is_empty() {
+            return self.pop_wheel();
         }
+        self.pop_merged(SimTime::MAX)
+    }
+
+    /// Removes and returns the earliest event if its time is at or before
+    /// `horizon` — the kernel's fused peek-and-pop, one probe per event
+    /// instead of two.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.past.is_empty() && self.staged.is_empty() {
+            // Hot path: everything lives in the wheel tiers.
+            let bucket = &mut self.buckets[self.cursor];
+            return match bucket.last() {
+                None => None,
+                Some(e) if e.time > horizon => None,
+                Some(_) => {
+                    let e = bucket.pop().expect("non-empty bucket");
+                    self.near_count -= 1;
+                    if bucket.is_empty() {
+                        self.clear_bit(self.cursor);
+                        self.ensure_front();
+                    }
+                    Some((e.time, e.event))
+                }
+            };
+        }
+        self.pop_merged(horizon)
+    }
+
+    /// Pops the earliest wheel event (requires empty past/staged tiers).
+    fn pop_wheel(&mut self) -> Option<(SimTime, E)> {
         if self.near_count == 0 {
             debug_assert!(self.overflow.is_empty());
             return None;
@@ -225,45 +412,56 @@ impl<E> EventQueue<E> {
         Some((e.time, e.event))
     }
 
-    /// Removes and returns the earliest event if its time is at or before
-    /// `horizon` — the kernel's fused peek-and-pop, one probe per event
-    /// instead of two.
-    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        if let Some(e) = self.past.peek() {
-            if e.time > horizon {
-                return None;
-            }
-            let e = self.past.pop().expect("peeked entry vanished");
-            return Some((e.time, e.event));
+    /// Pops the earliest event across all four tiers, bounded by
+    /// `horizon`. The cold path, taken only while the past or staged tier
+    /// is non-empty.
+    fn pop_merged(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        // The wheel front bounds the overflow tier (overflow ≥ epoch +
+        // span > every wheel event, and overflow is empty when the wheel
+        // is), so the global minimum is among these three tier fronts.
+        let wheel = self.buckets[self.cursor].last().map(|e| e.key());
+        let past = self.past.peek().map(|e| e.key());
+        let staged = self.staged.last().map(|e| e.key());
+        let best = [wheel, past, staged].into_iter().flatten().min()?;
+        if best.0 > horizon {
+            return None;
         }
-        let bucket = &mut self.buckets[self.cursor];
-        match bucket.last() {
-            None => None,
-            Some(e) if e.time > horizon => None,
-            Some(_) => {
-                let e = bucket.pop().expect("non-empty bucket");
-                self.near_count -= 1;
-                if bucket.is_empty() {
-                    self.clear_bit(self.cursor);
-                    self.ensure_front();
-                }
-                Some((e.time, e.event))
+        let e = if staged == Some(best) {
+            self.staged.pop().expect("staged front vanished")
+        } else if past == Some(best) {
+            self.past.pop().expect("past front vanished")
+        } else {
+            let bucket = &mut self.buckets[self.cursor];
+            let e = bucket.pop().expect("wheel front vanished");
+            self.near_count -= 1;
+            if bucket.is_empty() {
+                self.clear_bit(self.cursor);
+                self.ensure_front();
             }
-        }
+            e
+        };
+        Some((e.time, e.event))
     }
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        if let Some(e) = self.past.peek() {
-            return Some(e.time);
-        }
         // The cursor bucket is sorted descending, so its minimum is last.
-        self.buckets[self.cursor].last().map(|e| e.time)
+        let wheel = self.buckets[self.cursor].last().map(|e| e.key());
+        if self.past.is_empty() && self.staged.is_empty() {
+            return wheel.map(|k| k.0);
+        }
+        let past = self.past.peek().map(|e| e.key());
+        let staged = self.staged.last().map(|e| e.key());
+        [wheel, past, staged]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|k| k.0)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.near_count + self.past.len() + self.overflow.len()
+        self.near_count + self.past.len() + self.staged.len() + self.overflow.len()
     }
 
     /// True if no events are pending.
@@ -298,21 +496,21 @@ impl<E> EventQueue<E> {
             // everything now within the span.
             let t = self.overflow_min;
             debug_assert!(t >= self.epoch);
-            self.epoch = align_down(t);
-            self.cursor = bucket_of(t);
+            self.epoch = self.align_down(t);
+            self.cursor = self.bucket_of(t);
             self.promote_overflow();
             self.sort_cursor_bucket();
             return;
         }
         if self.buckets[self.cursor].is_empty() {
             let next = self.next_occupied_after(self.cursor);
-            let dist = (next.wrapping_sub(self.cursor)) & (NUM_BUCKETS - 1);
-            self.epoch += (dist as u64) << BUCKET_WIDTH_LOG2;
+            let dist = (next.wrapping_sub(self.cursor)) & self.bucket_mask;
+            self.epoch += (dist as u64) << self.width_log2;
             self.cursor = next;
             // Advancing the epoch may bring far-future events into range;
             // they land at the tail of the ring (ring distance ≥
-            // NUM_BUCKETS − dist > 0), never in the new cursor bucket.
-            if self.overflow_min - self.epoch < SPAN_PS {
+            // num_buckets − dist > 0), never in the new cursor bucket.
+            if self.overflow_min - self.epoch < self.span_ps {
                 self.promote_overflow();
             }
             self.sort_cursor_bucket();
@@ -325,12 +523,12 @@ impl<E> EventQueue<E> {
         while let Some(min) = self.overflow.peek() {
             let t = min.time.as_ps();
             debug_assert!(t >= self.epoch);
-            if t - self.epoch >= SPAN_PS {
+            if t - self.epoch >= self.span_ps {
                 self.overflow_min = t;
                 return;
             }
             let entry = self.overflow.pop().expect("peeked entry vanished");
-            let b = bucket_of(t);
+            let b = self.bucket_of(t);
             self.buckets[b].push(entry);
             self.set_bit(b);
             self.near_count += 1;
@@ -347,16 +545,19 @@ impl<E> EventQueue<E> {
     /// The next non-empty bucket strictly after `start` in ring order.
     /// Requires at least one set occupancy bit.
     fn next_occupied_after(&self, start: usize) -> usize {
-        let begin = (start + 1) & (NUM_BUCKETS - 1);
+        let begin = (start + 1) & self.bucket_mask;
+        // The word count is a power of two (num_buckets ≥ 64 is), so the
+        // circular walk wraps with a mask, not a division.
+        let word_mask = self.occupancy.len() - 1;
         let mut word = begin / 64;
         // Mask off bits below `begin` within its word, then walk words
         // circularly; the search wraps back over `start`'s word if needed.
         let mut bits = self.occupancy[word] & (!0u64 << (begin % 64));
-        for _ in 0..=BITMAP_WORDS {
+        for _ in 0..=word_mask + 1 {
             if bits != 0 {
                 return word * 64 + bits.trailing_zeros() as usize;
             }
-            word = (word + 1) % BITMAP_WORDS;
+            word = (word + 1) & word_mask;
             bits = self.occupancy[word];
         }
         unreachable!("next_occupied_after called on an empty wheel");
@@ -372,9 +573,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
+            .field("geometry", &self.geometry())
             .field("pending", &self.len())
             .field("near", &self.near_count)
             .field("past", &self.past.len())
+            .field("staged", &self.staged.len())
             .field("overflow", &self.overflow.len())
             .field("scheduled_total", &self.scheduled_total)
             .finish()
@@ -384,6 +587,9 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const SPAN_PS: u64 = WheelGeometry::DEFAULT.num_buckets as u64 * 32;
+    const BUCKET_WIDTH_PS: u64 = 32;
 
     /// The reference implementation the calendar queue must match: the
     /// previous `BinaryHeap` core with an explicit sequence tiebreak.
@@ -613,6 +819,192 @@ mod tests {
             assert_eq!(q.pop().unwrap().1, round + 1000);
             assert_eq!(q.pop().unwrap().1, round);
             assert!(q.is_empty());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry
+    // ------------------------------------------------------------------
+
+    /// The mesh heuristic must reproduce the tuned default for the 4×4
+    /// probe (and every mesh the historical repro goldens cover), with
+    /// the paper's 180 ps minimum stage delay.
+    #[test]
+    fn mesh_heuristic_reproduces_default_for_small_meshes() {
+        for nodes in [16usize, 36, 64] {
+            assert_eq!(
+                WheelGeometry::for_mesh(nodes, 180),
+                WheelGeometry::DEFAULT,
+                "heuristic must give the tuned default for {nodes}-node meshes"
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_heuristic_scales_buckets_with_nodes() {
+        let g16 = WheelGeometry::for_mesh(256, 180);
+        let g32 = WheelGeometry::for_mesh(1024, 180);
+        assert_eq!(g16.num_buckets, 8192);
+        assert_eq!(g32.num_buckets, 32_768);
+        assert_eq!(g16.width_log2, 5, "width is timing-, not size-, driven");
+        assert_eq!(g32.width_log2, 5);
+        // Derated worst-case timing widens the window one notch.
+        assert_eq!(WheelGeometry::for_mesh(16, 277).width_log2, 6);
+        // The cap holds for absurd sizes.
+        assert_eq!(WheelGeometry::for_mesh(1 << 20, 180).num_buckets, 32_768);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_geometry_rejected() {
+        let _ = EventQueue::<u32>::with_geometry(WheelGeometry {
+            num_buckets: 1000,
+            width_log2: 5,
+        });
+    }
+
+    /// Identical schedules through maximally different geometries must
+    /// pop identically (order is a pure function of `(time, seq)`).
+    #[test]
+    fn divergent_geometries_pop_identically() {
+        let geoms = [
+            WheelGeometry::DEFAULT,
+            WheelGeometry {
+                num_buckets: 64,
+                width_log2: 0,
+            },
+            WheelGeometry {
+                num_buckets: 8192,
+                width_log2: 10,
+            },
+        ];
+        let mut queues: Vec<EventQueue<u64>> = geoms
+            .iter()
+            .map(|&g| EventQueue::with_geometry(g))
+            .collect();
+        let mut r = RefQueue::new();
+        let mut rng = crate::rng::SimRng::new(0x6E0);
+        let mut now = 0u64;
+        for i in 0..20_000u64 {
+            let t = SimTime::from_ps(now + rng.gen_range(100_000));
+            for q in &mut queues {
+                q.push(t, i);
+            }
+            r.push(t, i);
+            if rng.gen_range(3) != 0 {
+                let want = r.pop();
+                for q in &mut queues {
+                    assert_eq!(q.pop(), want, "geometry divergence at step {i}");
+                }
+                if let Some((t, _)) = want {
+                    now = t.as_ps();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk build (`extend`)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn extend_orders_like_pushes() {
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let mut rng = crate::rng::SimRng::new(0xB01C);
+        let batch: Vec<(SimTime, u64)> = (0..4096)
+            .map(|i| (SimTime::from_ps(rng.gen_range(40 * SPAN_PS)), i))
+            .collect();
+        q.extend(batch.iter().copied());
+        for &(t, v) in &batch {
+            r.push(t, v);
+        }
+        assert_eq!(q.len(), 4096);
+        assert_eq!(q.scheduled_total(), 4096);
+        loop {
+            let got = q.pop();
+            assert_eq!(got, r.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn extend_ties_keep_batch_order_against_pushes() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ps(77);
+        q.push(t, 0u32);
+        q.extend([(t, 1), (t, 2)]);
+        q.push(t, 3);
+        for want in 0..=3 {
+            assert_eq!(q.pop(), Some((t, want)));
+        }
+    }
+
+    #[test]
+    fn staged_run_merges_with_every_tier() {
+        let mut q = EventQueue::new();
+        // Anchor the wheel high so past, wheel, overflow and staged all
+        // hold events simultaneously.
+        q.push(SimTime::from_ps(2 * SPAN_PS), 100u64); // wheel (anchor)
+        q.push(SimTime::from_ps(2 * SPAN_PS + 10 * SPAN_PS), 101); // overflow
+        q.push(SimTime::from_ps(5), 102); // past
+        q.extend([
+            (SimTime::from_ps(1), 103),            // before past front
+            (SimTime::from_ps(2 * SPAN_PS), 104),  // ties wheel anchor (later seq)
+            (SimTime::from_ps(3 * SPAN_PS), 105),  // between wheel and overflow
+            (SimTime::from_ps(50 * SPAN_PS), 106), // beyond overflow
+        ]);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![103, 102, 100, 104, 105, 101, 106]);
+    }
+
+    #[test]
+    fn extend_matches_reference_under_interleaved_churn() {
+        let mut rng = crate::rng::SimRng::new(0xBA7C);
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let mut now = 0u64;
+        let mut i = 0u64;
+        for _ in 0..2_000 {
+            match rng.gen_range(4) {
+                0 => {
+                    // A setup-style batch of far-future events.
+                    let batch: Vec<(SimTime, u64)> = (0..rng.gen_range(30))
+                        .map(|_| {
+                            i += 1;
+                            (SimTime::from_ps(now + rng.gen_range(30 * SPAN_PS)), i)
+                        })
+                        .collect();
+                    q.extend(batch.iter().copied());
+                    for &(t, v) in &batch {
+                        r.push(t, v);
+                    }
+                }
+                1 | 2 => {
+                    i += 1;
+                    let t = SimTime::from_ps(now + rng.gen_range(3_000));
+                    q.push(t, i);
+                    r.push(t, i);
+                }
+                _ => {
+                    let got = q.pop();
+                    assert_eq!(got, r.pop());
+                    if let Some((t, _)) = got {
+                        now = t.as_ps();
+                    }
+                }
+            }
+            assert_eq!(q.peek_time(), r.heap.peek().map(|e| e.time));
+            assert_eq!(q.len(), r.heap.len());
+        }
+        loop {
+            let got = q.pop();
+            assert_eq!(got, r.pop());
+            if got.is_none() {
+                break;
+            }
         }
     }
 }

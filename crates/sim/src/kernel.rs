@@ -1,6 +1,6 @@
 //! The simulation kernel: event dispatch loop and scheduling context.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, WheelGeometry};
 use crate::time::{SimDuration, SimTime};
 
 /// A complete simulated system.
@@ -99,14 +99,34 @@ pub struct Kernel<M: Model> {
 }
 
 impl<M: Model> Kernel<M> {
-    /// Creates a kernel for `model` at time zero with an empty queue.
+    /// Creates a kernel for `model` at time zero with an empty queue of
+    /// the default wheel geometry.
     pub fn new(model: M) -> Self {
+        Self::with_geometry(model, WheelGeometry::DEFAULT)
+    }
+
+    /// Creates a kernel whose event queue uses `geometry` — chosen per
+    /// scenario via [`WheelGeometry::for_mesh`] (delivery order, and thus
+    /// every simulation result, is geometry-independent; only throughput
+    /// changes).
+    pub fn with_geometry(model: M, geometry: WheelGeometry) -> Self {
         Kernel {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_geometry(geometry),
             now: SimTime::ZERO,
             processed: 0,
         }
+    }
+
+    /// Bulk-schedules a batch of `(delay, event)` pairs relative to the
+    /// current time — the kernel-level entry to the bulk build path for
+    /// drivers that stage large schedules up front (see
+    /// [`EventQueue::extend`]; the standard scenarios schedule
+    /// incrementally and do not use it).
+    pub fn schedule_batch(&mut self, batch: impl IntoIterator<Item = (SimDuration, M::Event)>) {
+        let now = self.now;
+        self.queue
+            .extend(batch.into_iter().map(|(d, ev)| (now + d, ev)));
     }
 
     /// The current simulation time.
@@ -122,6 +142,11 @@ impl<M: Model> Kernel<M> {
     /// Number of events currently pending.
     pub fn events_pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The wheel geometry of the event queue.
+    pub fn queue_geometry(&self) -> WheelGeometry {
+        self.queue.geometry()
     }
 
     /// Shared access to the model.

@@ -43,8 +43,8 @@ mod rng;
 mod time;
 mod trace;
 
-pub use event::EventQueue;
-pub use fifo::Fifo;
+pub use event::{EventQueue, WheelGeometry};
+pub use fifo::{Fifo, InlineFifo};
 pub use kernel::{Ctx, Kernel, Model, RunOutcome};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

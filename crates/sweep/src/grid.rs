@@ -113,11 +113,11 @@ impl SweepSpec {
     }
 
     /// The full characterization grid the weekly CI run executes: 4×4
-    /// and 8×8 meshes, idle→saturating BE, with and without GS
-    /// foreground, three seeds.
+    /// through 16×16 meshes (the mesh-scaling axis), idle→saturating BE,
+    /// with and without GS foreground, three seeds.
     pub fn full() -> Self {
         SweepSpec {
-            meshes: vec![(4, 4), (8, 8)],
+            meshes: vec![(4, 4), (8, 8), (16, 16)],
             gs_conns: vec![0, 4],
             be_gaps_ns: vec![None, Some(1000), Some(300), Some(100), Some(50)],
             gs_periods_ns: vec![12],

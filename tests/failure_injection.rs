@@ -136,10 +136,13 @@ fn forged_ack_words_are_ignored() {
 #[test]
 fn unprogrammed_vc_panics_with_diagnosis() {
     let result = std::panic::catch_unwind(|| {
-        let mut router =
-            mango::core::Router::new(RouterId::new(1, 1), mango::core::RouterConfig::paper());
+        let (mut router, mut bufs) = mango::core::Router::standalone(
+            RouterId::new(1, 1),
+            mango::core::RouterConfig::paper(),
+        );
         let mut act = Vec::new();
         router.on_link_flit(
+            &mut bufs,
             mango::sim::SimTime::ZERO,
             Direction::West,
             mango::core::LinkFlit {
@@ -155,7 +158,7 @@ fn unprogrammed_vc_panics_with_diagnosis() {
         let pending = std::mem::take(&mut act);
         for a in pending {
             if let mango::core::RouterAction::Internal { event, .. } = a {
-                router.on_internal(mango::sim::SimTime::ZERO, event, &mut act);
+                router.on_internal(&mut bufs, mango::sim::SimTime::ZERO, event, &mut act);
             }
         }
     });
