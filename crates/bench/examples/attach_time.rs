@@ -1,0 +1,33 @@
+//! Background-attach cost probe: wall time to attach the uniform-random
+//! BE background to an idle mesh (the setup cost the computed-pattern
+//! redesign takes from O(N²) to O(N) at N nodes).
+//!
+//! Run with: `cargo run --release -p mango_bench --example attach_time [SIDE ...]`
+
+use mango::net::NocSim;
+use mango::sim::SimDuration;
+use mango_bench::add_be_background;
+use std::time::Instant;
+
+fn main() {
+    let sides: Vec<u8> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("mesh side"))
+        .collect();
+    let sides = if sides.is_empty() {
+        vec![8, 16, 32]
+    } else {
+        sides
+    };
+    for side in sides {
+        // Best of 5: attach is setup-path, but keep the probe noise-proof.
+        let mut best = f64::MAX;
+        for seed in 0..5 {
+            let mut sim = NocSim::paper_mesh(side, side, seed);
+            let start = Instant::now();
+            add_be_background(&mut sim, SimDuration::from_ns(300));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!("{side}x{side}: attach best {:.3} ms", best * 1e3);
+    }
+}

@@ -15,7 +15,7 @@
 use mango::core::RouterId;
 use mango::hw::Table;
 use mango::net::{
-    BeFlowSpec, EmitWindow, MeasureBound, Pattern, Phase, ScenarioMetrics, ScenarioSpec,
+    EmitWindow, Phase, ScenarioMetrics, ScenarioSpec, SpatialPattern, TemporalSpec, TrafficSpec,
 };
 use mango::sim::SimDuration;
 use mango_sweep::{run_parallel, SweepArgs};
@@ -23,38 +23,40 @@ use std::time::Instant;
 
 /// Latency-vs-hops point: one BE flow across an idle 16×1 line.
 fn hop_scenario(hops: u8, limit: u64) -> ScenarioSpec {
-    let mut spec = ScenarioSpec::mesh(16, 1, 21);
-    spec.measure = MeasureBound::ToQuiescence;
-    spec.be.push(BeFlowSpec {
-        src: RouterId::new(0, 0),
-        dests: vec![RouterId::new(hops, 0)],
-        payload_words: 3,
-        pattern: Pattern::cbr(SimDuration::from_ns(100)),
-        name: "hops".into(),
-        window: EmitWindow {
-            limit: Some(limit),
-            ..Default::default()
-        },
-        phase: Phase::Measure,
-    });
-    spec
+    ScenarioSpec::mesh(16, 1, 21)
+        .measure_to_quiescence()
+        .traffic(
+            TrafficSpec::new(
+                SpatialPattern::FixedPool(vec![RouterId::new(hops, 0)]),
+                TemporalSpec::cbr(SimDuration::from_ns(100)),
+            )
+            .from_node(RouterId::new(0, 0))
+            .payload(3)
+            .named("hops")
+            .phase(Phase::Measure)
+            .window(EmitWindow {
+                limit: Some(limit),
+                ..Default::default()
+            }),
+        )
 }
 
 /// Fan-in fairness: four saturating senders into one sink on a 3×3 mesh.
 fn fair_scenario(senders: &[RouterId], sink: RouterId) -> ScenarioSpec {
-    let mut spec = ScenarioSpec::mesh(3, 3, 23);
-    spec.warmup = SimDuration::from_us(5);
-    spec.measure = MeasureBound::For(SimDuration::from_us(150));
+    let mut spec = ScenarioSpec::mesh(3, 3, 23)
+        .warmup(SimDuration::from_us(5))
+        .measure_for(SimDuration::from_us(150));
     for s in senders {
-        spec.be.push(BeFlowSpec {
-            src: *s,
-            dests: vec![sink],
-            payload_words: 3,
-            pattern: Pattern::cbr(SimDuration::from_ns(8)),
-            name: format!("from-{s}"),
-            window: EmitWindow::default(),
-            phase: Phase::Measure,
-        });
+        spec = spec.traffic(
+            TrafficSpec::new(
+                SpatialPattern::FixedPool(vec![sink]),
+                TemporalSpec::cbr(SimDuration::from_ns(8)),
+            )
+            .from_node(*s)
+            .payload(3)
+            .named(format!("from-{s}"))
+            .phase(Phase::Measure),
+        );
     }
     spec
 }

@@ -40,6 +40,7 @@ fn main() {
         meshes: vec![(4, 4)],
         gs_conns: vec![1],
         be_gaps_ns: be_gaps.to_vec(),
+        patterns: vec![mango::net::PatternKind::Uniform],
         gs_periods_ns: vec![12], // ~83 Mf/s, inside the floor
         measures_us: vec![150],
         seeds: vec![55],

@@ -84,6 +84,7 @@ fn main() {
                         height: spec.height,
                         gs_conns: 0,
                         be_gap_ns: Some(gaps[id].as_ps() / 1000),
+                        pattern: mango::net::PatternKind::Uniform,
                         gs_period_ns: 0,
                         measure_us: sweep.measure.as_ps() / 1_000_000,
                         seed: spec.seed,

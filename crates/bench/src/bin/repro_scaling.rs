@@ -19,11 +19,10 @@
 //! closed-form, so that part is parallelism for uniformity with the
 //! simulation sweeps, not for speed.)
 
-use mango::core::RouterConfig;
 use mango::hw::area::{AreaModel, RouterParams};
 use mango::hw::power::PowerModel;
 use mango::hw::Table;
-use mango::net::{BeBackgroundSpec, MeasureBound, Pattern, Phase, ScenarioSpec};
+use mango::net::{Phase, ScenarioSpec, TemporalSpec, TrafficSpec};
 use mango::sim::SimDuration;
 use mango_sweep::{auto_gs_pairs, run_parallel, SweepArgs};
 use std::time::Instant;
@@ -34,34 +33,24 @@ use std::time::Instant;
 /// `measure_us` (larger meshes get shorter windows to bound runtime; the
 /// per-node event density is size-independent, so rates stay comparable).
 fn scaling_spec(side: u8, measure_us: u64) -> ScenarioSpec {
-    let gs = auto_gs_pairs(side, side, 2)
-        .into_iter()
-        .enumerate()
-        .map(|(i, (src, dst))| mango::net::GsFlowSpec {
+    let mut spec = ScenarioSpec::mesh(side, side, 77)
+        .warmup(SimDuration::from_us(2))
+        .measure_for(SimDuration::from_us(measure_us));
+    for (i, (src, dst)) in auto_gs_pairs(side, side, 2).into_iter().enumerate() {
+        spec = spec.gs_flow(mango::net::GsFlowSpec {
             src,
             dst,
-            pattern: Pattern::cbr(SimDuration::from_ns(12)),
+            pattern: TemporalSpec::cbr(SimDuration::from_ns(12)),
             name: format!("gs-{i}"),
             window: Default::default(),
             phase: Phase::Measure,
-        })
-        .collect();
-    ScenarioSpec {
-        width: side,
-        height: side,
-        router_cfg: RouterConfig::paper(),
-        seed: 77,
-        warmup: SimDuration::from_us(2),
-        measure: MeasureBound::For(SimDuration::from_us(measure_us)),
-        gs,
-        be: Vec::new(),
-        background: Some(BeBackgroundSpec {
-            pattern: Pattern::poisson(SimDuration::from_ns(300)),
-            payload_words: 4,
-            name_prefix: "bg-".into(),
-            phase: Phase::Setup,
-        }),
+        });
     }
+    spec.traffic(
+        TrafficSpec::uniform_poisson(SimDuration::from_ns(300))
+            .payload(4)
+            .named("bg-"),
+    )
 }
 
 fn main() {

@@ -12,15 +12,18 @@
 //! byte-identical for every `--threads` value — see the `mango_sweep`
 //! crate docs for the determinism contract.
 
+use mango::net::PatternKind;
 use mango_sweep::{run_sweep, write_csv, write_json, RuntimeInfo, SweepArgs, SweepSpec};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--smoke | --full] [--mesh WxH[,WxH..]] [--gs N[,N..]]\n\
-         \x20            [--be-gap idle|NS[,..]] [--period NS[,..]] [--measure US[,..]]\n\
-         \x20            [--seeds S[,S..]] [--warmup US] [--payload WORDS]\n\
-         \x20            [--threads N] [--list] [--csv PATH] [--json PATH]"
+        "usage: sweep [--smoke | --pattern-smoke | --full] [--mesh WxH[,WxH..]]\n\
+         \x20            [--gs N[,N..]] [--be-gap idle|NS[,..]] [--pattern NAME[,..]]\n\
+         \x20            [--period NS[,..]] [--measure US[,..]] [--seeds S[,S..]]\n\
+         \x20            [--warmup US] [--payload WORDS]\n\
+         \x20            [--threads N] [--list] [--csv PATH] [--json PATH]\n\
+         patterns: uniform transpose bitcomp bitrev tornado hotspot neighbour"
     );
     std::process::exit(2);
 }
@@ -39,8 +42,15 @@ fn parse_list<T>(value: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> 
 
 fn main() {
     let args = SweepArgs::from_env();
+    // Grid choice is resolved before the dimension flags so the CLI is
+    // order-independent: `--mesh 8x8 --pattern-smoke` and
+    // `--pattern-smoke --mesh 8x8` both start from the pattern-smoke
+    // grid and then apply the override.
+    let pattern_smoke = args.rest.iter().any(|a| a == "--pattern-smoke");
     let mut spec = if args.smoke {
         SweepSpec::smoke()
+    } else if pattern_smoke {
+        SweepSpec::pattern_smoke()
     } else {
         SweepSpec::full()
     };
@@ -55,6 +65,10 @@ fn main() {
         };
         match flag.as_str() {
             "--full" => full = true,
+            "--pattern-smoke" => {} // consumed in the pre-scan above
+            "--pattern" => {
+                spec.patterns = parse_list(value(), "pattern", PatternKind::parse);
+            }
             "--mesh" => {
                 spec.meshes = parse_list(value(), "mesh", |s| {
                     let (w, h) = s.split_once('x')?;
@@ -87,17 +101,35 @@ fn main() {
             }
         }
     }
-    if args.smoke && full {
-        eprintln!("error: --smoke and --full are mutually exclusive");
+    if [args.smoke, pattern_smoke, full]
+        .iter()
+        .filter(|&&f| f)
+        .count()
+        > 1
+    {
+        eprintln!("error: --smoke, --pattern-smoke and --full are mutually exclusive");
         usage();
     }
     if spec.is_empty() {
         eprintln!("error: the grid is empty (an empty dimension)");
         std::process::exit(2);
     }
+    // Reject structurally impossible pattern/mesh pairings at the CLI
+    // (transpose on a non-square mesh, bit-reverse off powers of two)
+    // instead of panicking deep inside a worker thread.
+    for &(w, h) in &spec.meshes {
+        for &p in &spec.patterns {
+            if let Err(e) = p.spatial(w, h).validate(&mango::net::Grid::new(w, h)) {
+                eprintln!("error: pattern {p} on a {w}x{h} mesh: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let grid_name = if args.smoke {
         "smoke"
+    } else if pattern_smoke {
+        "pattern-smoke"
     } else if full || args.rest.is_empty() {
         "full"
     } else {

@@ -6,7 +6,7 @@
 //! This library holds the experiment set-ups they share.
 
 use mango::core::RouterId;
-use mango::net::{EmitWindow, NocSim, Pattern};
+use mango::net::{EmitWindow, NocSim, Pattern, SpatialPattern};
 use mango::sim::SimDuration;
 
 /// Result of driving one GS connection under a given environment.
@@ -155,13 +155,16 @@ pub fn mixed_mesh_geom(
 }
 
 /// Adds uniform-random BE background traffic at `mean_gap` per node.
+///
+/// Destinations are computed per emission ([`SpatialPattern`]), so the
+/// attach is O(N) in mesh size — no materialized pools — while drawing
+/// the exact RNG sequence the historical pool-based path did.
 pub fn add_be_background(sim: &mut NocSim, mean_gap: SimDuration) {
     let all: Vec<RouterId> = sim.network().grid().ids().collect();
-    for node in all.clone() {
-        let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
-        sim.add_be_source(
+    for node in all {
+        sim.add_traffic_source(
             node,
-            dests,
+            SpatialPattern::UniformRandom,
             4,
             Pattern::poisson(mean_gap),
             format!("bg-{node}"),

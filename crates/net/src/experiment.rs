@@ -7,9 +7,9 @@
 //! measurement window, deliveries counted in-window and latency sampled
 //! for in-window injections only.
 
-use crate::scenario::{BeBackgroundSpec, MeasureBound, Phase, ScenarioSpec};
+use crate::scenario::{ScenarioSpec, TrafficSpec};
 use crate::sim::{EmitWindow, NocSim};
-use crate::traffic::Pattern;
+use crate::traffic::TemporalSpec;
 use mango_core::{RouterConfig, RouterId};
 use mango_sim::SimDuration;
 
@@ -65,22 +65,16 @@ impl BeSweep {
     /// per-node rate = 1/gap). The point seed mixes the gap into the base
     /// seed so each load level gets an independent random stream.
     pub fn scenario(&self, gap: SimDuration) -> ScenarioSpec {
-        ScenarioSpec {
-            width: self.width,
-            height: self.height,
-            router_cfg: self.router_cfg.clone(),
-            seed: self.seed ^ gap.as_ps(),
-            warmup: self.warmup,
-            measure: MeasureBound::For(self.measure),
-            gs: Vec::new(),
-            be: Vec::new(),
-            background: Some(BeBackgroundSpec {
-                pattern: Pattern::poisson(gap),
-                payload_words: self.payload_words,
-                name_prefix: "sweep-".into(),
-                phase: Phase::Setup,
-            }),
-        }
+        let mut spec = ScenarioSpec::mesh(self.width, self.height, self.seed ^ gap.as_ps())
+            .warmup(self.warmup)
+            .measure_for(self.measure)
+            .traffic(
+                TrafficSpec::uniform_poisson(gap)
+                    .payload(self.payload_words)
+                    .named("sweep-"),
+            );
+        spec.router_cfg = self.router_cfg.clone();
+        spec
     }
 
     /// Runs one point of [`BeSweep::scenario`].
@@ -120,7 +114,7 @@ pub fn gs_depth_throughput(depth: usize, seed: u64) -> f64 {
     sim.begin_measurement();
     let flow = sim.add_gs_source(
         conn,
-        Pattern::cbr(SimDuration::from_ns(1)),
+        TemporalSpec::cbr(SimDuration::from_ns(1)),
         "depth",
         EmitWindow::default(),
     );

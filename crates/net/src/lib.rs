@@ -57,9 +57,11 @@ pub use relay::{RelayTable, RelayTicket};
 pub use route::{xy_header, xy_path, xy_route, RouteError};
 pub use scenario::{
     BeBackgroundSpec, BeFlowSpec, FlowKind, FlowMetric, GsFlowSpec, MeasureBound, Phase,
-    PreparedScenario, ScenarioMetrics, ScenarioSpec,
+    PreparedScenario, ScenarioMetrics, ScenarioSpec, TrafficSpec,
 };
 pub use sim::{EmitWindow, NocSim};
 pub use stats::{FlowStats, Histogram, LatencyRecorder, NetStats};
 pub use topology::Grid;
-pub use traffic::{Pattern, Source, SourceKind};
+pub use traffic::{
+    Pattern, PatternKind, PatternState, Source, SourceKind, SpatialPattern, TemporalSpec,
+};

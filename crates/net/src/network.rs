@@ -607,16 +607,22 @@ impl Network {
                 let source = &mut self.sources[idx];
                 let SourceKind::Be {
                     router,
-                    ref dests,
+                    ref spatial,
                     payload_words,
                 } = source.kind
                 else {
                     unreachable!()
                 };
-                let dest = *source
-                    .rng
-                    .choose(dests)
-                    .expect("BE source needs at least one destination");
+                // Destination computed per emission — allocation-free for
+                // every computed pattern. `None` (a self-loop or off-mesh
+                // mapping, see [`SpatialPattern::pick`]) skips the
+                // emission slot but keeps the tick cadence.
+                let Some(dest) = spatial.pick(router, &self.grid, &mut source.rng) else {
+                    if let Some(next) = self.sources[idx].schedule_next(now) {
+                        ctx.schedule_at(next, NetEvent::SourceTick { idx });
+                    }
+                    return;
+                };
                 let mut payload = std::mem::take(&mut self.payload_scratch);
                 payload.clear();
                 payload.extend(0..payload_words as u32);

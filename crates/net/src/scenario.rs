@@ -1,12 +1,32 @@
 //! Declarative experiment scenarios.
 //!
 //! A [`ScenarioSpec`] is a complete, self-contained description of one
-//! simulation run: mesh geometry, GS connections with their sources, BE
-//! flows, uniform-random background traffic, warmup and measurement
+//! simulation run: mesh geometry, GS connections with their sources, and
+//! a list of composable [`TrafficSpec`] traffic models (spatial ×
+//! temporal — see [`crate::traffic`]), plus warmup and measurement
 //! phases. [`ScenarioSpec::run`] builds a fresh [`NocSim`], executes the
 //! scenario and returns typed [`ScenarioMetrics`] — so a scenario can be
 //! shipped to a worker thread and run with **zero shared state**, which
 //! is what makes parameter sweeps embarrassingly parallel.
+//!
+//! Specs compose fluently:
+//!
+//! ```
+//! use mango_net::{ScenarioSpec, SpatialPattern, TemporalSpec, TrafficSpec};
+//! use mango_core::RouterId;
+//! use mango_sim::SimDuration;
+//!
+//! let spec = ScenarioSpec::mesh(4, 4, 7)
+//!     .warmup(SimDuration::from_us(5))
+//!     .measure_for(SimDuration::from_us(20))
+//!     .gs(RouterId::new(0, 0), RouterId::new(3, 3), TemporalSpec::cbr(SimDuration::from_ns(12)))
+//!     .traffic(TrafficSpec::new(
+//!         SpatialPattern::Transpose,
+//!         TemporalSpec::poisson(SimDuration::from_ns(300)),
+//!     ));
+//! let metrics = spec.run();
+//! assert!(metrics.gs(0).delivered > 0);
+//! ```
 //!
 //! # Determinism contract
 //!
@@ -24,8 +44,10 @@
 //! 1. build the mesh from `(width, height, router_cfg, seed)`;
 //! 2. open every GS connection in `gs` order, then settle programming
 //!    traffic (skipped when there are no connections);
-//! 3. attach [`Phase::Setup`] sources: GS flows in `gs` order, explicit
-//!    BE flows in `be` order, then background sources in grid-id order;
+//! 3. attach [`Phase::Setup`] sources: GS flows in `gs` order, legacy
+//!    explicit BE flows in `be` order, then [`TrafficSpec`]s in `traffic`
+//!    order (a distributed spec attaches one source per node in grid-id
+//!    order), then the legacy `background` shim;
 //! 4. run for `warmup` (skipped when zero);
 //! 5. begin the measurement window;
 //! 6. attach [`Phase::Measure`] sources in the same within-phase order;
@@ -33,14 +55,18 @@
 //!
 //! This sequence reproduces, step for step, what the original repro
 //! binaries did imperatively — their outputs are bit-identical to a
-//! hand-rolled `NocSim` driven the same way.
+//! hand-rolled [`NocSim`] driven the same way. In particular a
+//! [`SpatialPattern::UniformRandom`] traffic spec draws the **exact RNG
+//! sequence** of the historical materialized-pool background, so
+//! recorded goldens survive the traffic-model redesign byte for byte
+//! (pinned by this module's tests).
 
 use crate::conn::ConnState;
 use crate::na::NaConfig;
 use crate::network::Network;
 use crate::sim::{EmitWindow, NocSim};
 use crate::topology::Grid;
-use crate::traffic::Pattern;
+use crate::traffic::{SpatialPattern, TemporalSpec};
 use mango_core::{RouterConfig, RouterId};
 use mango_sim::{RunOutcome, SimDuration};
 
@@ -70,7 +96,7 @@ pub struct GsFlowSpec {
     /// Connection destination router.
     pub dst: RouterId,
     /// Emission pattern.
-    pub pattern: Pattern,
+    pub pattern: TemporalSpec,
     /// Flow name in the statistics registry.
     pub name: String,
     /// Emission bounds.
@@ -79,7 +105,94 @@ pub struct GsFlowSpec {
     pub phase: Phase,
 }
 
-/// An explicit BE packet flow.
+/// One composable traffic model: a [`SpatialPattern`] (where packets go)
+/// × a [`TemporalSpec`] (when they are emitted).
+///
+/// With `src: None` the spec is **distributed**: one source per mesh
+/// node (in grid-id order), each named `{name_prefix}{node}` — the shape
+/// of background interference. With `src: Some(node)` it is a single
+/// point source named `name_prefix` verbatim — the shape of an explicit
+/// probe flow.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// `None` = one source per node; `Some` = a single point source.
+    pub src: Option<RouterId>,
+    /// Destination model (computed per emission).
+    pub spatial: SpatialPattern,
+    /// Emission timing.
+    pub temporal: TemporalSpec,
+    /// Payload words per packet (flits = payload + header).
+    pub payload_words: usize,
+    /// Attachment phase.
+    pub phase: Phase,
+    /// Emission bounds.
+    pub window: EmitWindow,
+    /// Flow-name prefix; distributed specs append the node id
+    /// (e.g. `"bg-"` → `"bg-(1,2)"`), point sources use it verbatim.
+    pub name_prefix: String,
+}
+
+impl TrafficSpec {
+    /// A distributed `spatial × temporal` traffic model with the
+    /// conventional defaults: 4 payload words, [`Phase::Setup`],
+    /// unbounded emission window, `"bg-"` name prefix.
+    pub fn new(spatial: SpatialPattern, temporal: TemporalSpec) -> Self {
+        TrafficSpec {
+            src: None,
+            spatial,
+            temporal,
+            payload_words: 4,
+            phase: Phase::Setup,
+            window: EmitWindow::default(),
+            name_prefix: "bg-".into(),
+        }
+    }
+
+    /// Uniform-random background at the given mean Poisson gap — the
+    /// classic interference workload, one call.
+    pub fn uniform_poisson(mean_gap: SimDuration) -> Self {
+        TrafficSpec::new(
+            SpatialPattern::UniformRandom,
+            TemporalSpec::poisson(mean_gap),
+        )
+    }
+
+    /// Turns the spec into a single point source at `src` (named by the
+    /// prefix verbatim).
+    pub fn from_node(mut self, src: RouterId) -> Self {
+        self.src = Some(src);
+        self
+    }
+
+    /// Sets the payload words per packet.
+    pub fn payload(mut self, words: usize) -> Self {
+        self.payload_words = words;
+        self
+    }
+
+    /// Sets the attachment phase.
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the emission window.
+    pub fn window(mut self, window: EmitWindow) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the flow-name prefix.
+    pub fn named(mut self, prefix: impl Into<String>) -> Self {
+        self.name_prefix = prefix.into();
+        self
+    }
+}
+
+/// An explicit BE packet flow — the legacy pre-[`TrafficSpec`] shape,
+/// kept for one PR while call sites migrate
+/// (`TrafficSpec::new(SpatialPattern::FixedPool(dests), pattern)
+/// .from_node(src)` is the replacement).
 #[derive(Debug, Clone)]
 pub struct BeFlowSpec {
     /// Source router.
@@ -89,7 +202,7 @@ pub struct BeFlowSpec {
     /// Payload words per packet.
     pub payload_words: usize,
     /// Emission pattern.
-    pub pattern: Pattern,
+    pub pattern: TemporalSpec,
     /// Flow name in the statistics registry.
     pub name: String,
     /// Emission bounds.
@@ -98,12 +211,14 @@ pub struct BeFlowSpec {
     pub phase: Phase,
 }
 
-/// Uniform-random all-to-all BE background traffic: one source per node,
-/// destinations drawn uniformly from every other node.
+/// Uniform-random all-to-all BE background traffic — the legacy
+/// pre-[`TrafficSpec`] shape, kept for one PR
+/// (`TrafficSpec::new(SpatialPattern::UniformRandom, pattern)` is the
+/// replacement and draws the identical RNG sequence).
 #[derive(Debug, Clone)]
 pub struct BeBackgroundSpec {
     /// Per-node emission pattern.
-    pub pattern: Pattern,
+    pub pattern: TemporalSpec,
     /// Payload words per packet.
     pub payload_words: usize,
     /// Flow-name prefix; the node id is appended (e.g. `"bg-"` →
@@ -130,15 +245,20 @@ pub struct ScenarioSpec {
     pub measure: MeasureBound,
     /// GS connections with sources.
     pub gs: Vec<GsFlowSpec>,
-    /// Explicit BE flows.
+    /// Composable traffic models, attached in order.
+    pub traffic: Vec<TrafficSpec>,
+    /// Legacy explicit BE flows.
+    #[deprecated(note = "use `traffic` with a `FixedPool` point source")]
     pub be: Vec<BeFlowSpec>,
-    /// Optional uniform-random background traffic.
+    /// Legacy uniform-random background.
+    #[deprecated(note = "use `traffic` with `SpatialPattern::UniformRandom`")]
     pub background: Option<BeBackgroundSpec>,
 }
 
 impl ScenarioSpec {
     /// A scenario skeleton on a `width × height` paper mesh: no traffic,
     /// no warmup, fixed measurement span.
+    #[allow(deprecated)]
     pub fn mesh(width: u8, height: u8, seed: u64) -> Self {
         ScenarioSpec {
             width,
@@ -148,9 +268,60 @@ impl ScenarioSpec {
             warmup: SimDuration::ZERO,
             measure: MeasureBound::For(SimDuration::from_us(100)),
             gs: Vec::new(),
+            traffic: Vec::new(),
             be: Vec::new(),
             background: None,
         }
+    }
+
+    // --------------------------------------------------------------
+    // Fluent builder surface
+    // --------------------------------------------------------------
+
+    /// Sets the warmup span.
+    pub fn warmup(mut self, span: SimDuration) -> Self {
+        self.warmup = span;
+        self
+    }
+
+    /// Measures for a fixed span.
+    pub fn measure_for(mut self, span: SimDuration) -> Self {
+        self.measure = MeasureBound::For(span);
+        self
+    }
+
+    /// Measures until the event queue drains (bounded sources required).
+    pub fn measure_to_quiescence(mut self) -> Self {
+        self.measure = MeasureBound::ToQuiescence;
+        self
+    }
+
+    /// Adds a GS connection `src → dst` with a source following
+    /// `temporal`, auto-named `gs-N`, attached at measurement start.
+    /// Use [`ScenarioSpec::gs_flow`] for full control.
+    pub fn gs(mut self, src: RouterId, dst: RouterId, temporal: TemporalSpec) -> Self {
+        let name = format!("gs-{}", self.gs.len());
+        self.gs.push(GsFlowSpec {
+            src,
+            dst,
+            pattern: temporal,
+            name,
+            window: EmitWindow::default(),
+            phase: Phase::Measure,
+        });
+        self
+    }
+
+    /// Adds a fully specified GS flow.
+    pub fn gs_flow(mut self, flow: GsFlowSpec) -> Self {
+        self.gs.push(flow);
+        self
+    }
+
+    /// Adds a composable traffic model.
+    pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic.push(spec);
+        self
     }
 
     /// Builds the simulation, executes every phase and collects metrics.
@@ -328,6 +499,50 @@ impl PreparedScenario {
         }
     }
 
+    /// Attaches one [`TrafficSpec`]: a point source, or one source per
+    /// node in grid-id order for distributed specs. An associated
+    /// function over the destructured fields so [`attach_phase`]:
+    /// [`Self::attach_phase`] can iterate the spec it borrows from
+    /// without cloning it.
+    fn attach_traffic(
+        sim: &mut NocSim,
+        flows: &mut Vec<(u32, FlowKind)>,
+        be_flows: &mut Vec<usize>,
+        background_flows: &mut Vec<usize>,
+        t: &TrafficSpec,
+    ) {
+        match t.src {
+            Some(src) => {
+                let f = sim.add_traffic_source(
+                    src,
+                    t.spatial.clone(),
+                    t.payload_words,
+                    t.temporal,
+                    t.name_prefix.clone(),
+                    t.window,
+                );
+                be_flows.push(flows.len());
+                flows.push((f, FlowKind::Be));
+            }
+            None => {
+                for i in 0..sim.network().grid().len() {
+                    let node = sim.network().grid().id_at(i);
+                    let f = sim.add_traffic_source(
+                        node,
+                        t.spatial.clone(),
+                        t.payload_words,
+                        t.temporal,
+                        format!("{}{node}", t.name_prefix),
+                        t.window,
+                    );
+                    background_flows.push(flows.len());
+                    flows.push((f, FlowKind::Be));
+                }
+            }
+        }
+    }
+
+    #[allow(deprecated)]
     fn attach_phase(&mut self, phase: Phase) {
         let PreparedScenario {
             spec,
@@ -340,7 +555,7 @@ impl PreparedScenario {
         } = self;
         for (g, c) in spec.gs.iter().zip(conns.iter()) {
             if g.phase == phase {
-                let f = sim.add_gs_source(*c, g.pattern.clone(), g.name.clone(), g.window);
+                let f = sim.add_gs_source(*c, g.pattern, g.name.clone(), g.window);
                 gs_flows.push(flows.len());
                 flows.push((f, FlowKind::Gs));
             }
@@ -351,7 +566,7 @@ impl PreparedScenario {
                     b.src,
                     b.dests.clone(),
                     b.payload_words,
-                    b.pattern.clone(),
+                    b.pattern,
                     b.name.clone(),
                     b.window,
                 );
@@ -359,22 +574,26 @@ impl PreparedScenario {
                 flows.push((f, FlowKind::Be));
             }
         }
+        for t in &spec.traffic {
+            if t.phase == phase {
+                Self::attach_traffic(sim, flows, be_flows, background_flows, t);
+            }
+        }
         if let Some(bg) = &spec.background {
             if bg.phase == phase {
-                let all: Vec<RouterId> = sim.network().grid().ids().collect();
-                for node in all.clone() {
-                    let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
-                    let f = sim.add_be_source(
-                        node,
-                        dests,
-                        bg.payload_words,
-                        bg.pattern.clone(),
-                        format!("{}{node}", bg.name_prefix),
-                        EmitWindow::default(),
-                    );
-                    background_flows.push(flows.len());
-                    flows.push((f, FlowKind::Be));
-                }
+                // The legacy shim rides the computed uniform pattern —
+                // same RNG stream order, same per-emission draws as the
+                // historical materialized pools.
+                let shim = TrafficSpec {
+                    src: None,
+                    spatial: SpatialPattern::UniformRandom,
+                    temporal: bg.pattern,
+                    payload_words: bg.payload_words,
+                    phase: bg.phase,
+                    window: EmitWindow::default(),
+                    name_prefix: bg.name_prefix.clone(),
+                };
+                Self::attach_traffic(sim, flows, be_flows, background_flows, &shim);
             }
         }
     }
@@ -423,9 +642,11 @@ pub struct ScenarioMetrics {
     pub flows: Vec<FlowMetric>,
     /// Indices into `flows` for GS sources, in spec order.
     pub gs_flows: Vec<usize>,
-    /// Indices into `flows` for explicit BE flows, in spec order.
+    /// Indices into `flows` for point-source BE flows (legacy `be` and
+    /// single-source [`TrafficSpec`]s), in spec order.
     pub be_flows: Vec<usize>,
-    /// Indices into `flows` for background sources, in grid-id order.
+    /// Indices into `flows` for distributed traffic sources, in
+    /// attachment (spec, then grid-id) order.
     pub background_flows: Vec<usize>,
     /// Total kernel events processed (simulator effort).
     pub events: u64,
@@ -445,7 +666,7 @@ impl ScenarioMetrics {
         &self.flows[self.gs_flows[i]]
     }
 
-    /// Metrics for the `i`-th explicit BE flow of the spec.
+    /// Metrics for the `i`-th point-source BE flow of the spec.
     ///
     /// # Panics
     ///
@@ -454,7 +675,7 @@ impl ScenarioMetrics {
         &self.flows[self.be_flows[i]]
     }
 
-    /// Every BE-class flow (explicit and background), in attachment order.
+    /// Every BE-class flow (point and distributed), in attachment order.
     pub fn be_all(&self) -> impl Iterator<Item = &FlowMetric> {
         self.flows.iter().filter(|f| f.kind == FlowKind::Be)
     }
@@ -523,7 +744,7 @@ impl ScenarioMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::Pattern;
+    use crate::traffic::PatternKind;
 
     /// `ScenarioSpec` and every type a sweep worker moves across threads
     /// must stay `Send` — this is the compile-time contract the parallel
@@ -532,36 +753,37 @@ mod tests {
     fn scenario_types_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<ScenarioSpec>();
+        assert_send::<TrafficSpec>();
         assert_send::<ScenarioMetrics>();
         assert_send::<NocSim>();
     }
 
     fn fig8_like(seed: u64) -> ScenarioSpec {
-        let mut spec = ScenarioSpec::mesh(4, 4, seed);
-        spec.warmup = SimDuration::from_us(5);
-        spec.measure = MeasureBound::For(SimDuration::from_us(30));
-        spec.gs.push(GsFlowSpec {
-            src: RouterId::new(0, 0),
-            dst: RouterId::new(3, 3),
-            pattern: Pattern::cbr(SimDuration::from_ns(12)),
-            name: "gs".into(),
-            window: EmitWindow::default(),
-            phase: Phase::Measure,
-        });
-        spec.background = Some(BeBackgroundSpec {
-            pattern: Pattern::poisson(SimDuration::from_ns(300)),
-            payload_words: 4,
-            name_prefix: "be-".into(),
-            phase: Phase::Setup,
-        });
-        spec
+        ScenarioSpec::mesh(4, 4, seed)
+            .warmup(SimDuration::from_us(5))
+            .measure_for(SimDuration::from_us(30))
+            .gs_flow(GsFlowSpec {
+                src: RouterId::new(0, 0),
+                dst: RouterId::new(3, 3),
+                pattern: TemporalSpec::cbr(SimDuration::from_ns(12)),
+                name: "gs".into(),
+                window: EmitWindow::default(),
+                phase: Phase::Measure,
+            })
+            .traffic(
+                TrafficSpec::uniform_poisson(SimDuration::from_ns(300))
+                    .payload(4)
+                    .named("be-"),
+            )
     }
 
     #[test]
     fn scenario_matches_imperative_construction() {
         // The scenario runner must reproduce a hand-driven NocSim
-        // bit-for-bit; this is the backbone of the "rewritten binaries
-        // emit identical output" guarantee.
+        // bit-for-bit — and the computed UniformRandom pattern must draw
+        // the exact RNG sequence of the legacy materialized pools. This
+        // is the golden test behind "rewritten binaries emit identical
+        // output through the traffic-model redesign".
         let spec = fig8_like(55);
         let m = spec.run();
 
@@ -573,12 +795,14 @@ mod tests {
         let all: Vec<RouterId> = sim.network().grid().ids().collect();
         let mut be = Vec::new();
         for node in all.clone() {
+            // The legacy path: materialize all-but-self, pick via
+            // `choose` — byte-compatible with the computed pattern.
             let dests: Vec<_> = all.iter().copied().filter(|d| *d != node).collect();
             be.push(sim.add_be_source(
                 node,
                 dests,
                 4,
-                Pattern::poisson(SimDuration::from_ns(300)),
+                TemporalSpec::poisson(SimDuration::from_ns(300)),
                 format!("be-{node}"),
                 EmitWindow::default(),
             ));
@@ -587,7 +811,7 @@ mod tests {
         sim.begin_measurement();
         let gs = sim.add_gs_source(
             conn,
-            Pattern::cbr(SimDuration::from_ns(12)),
+            TemporalSpec::cbr(SimDuration::from_ns(12)),
             "gs",
             EmitWindow::default(),
         );
@@ -609,6 +833,31 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_background_shim_matches_traffic_spec() {
+        // The deprecated `background` field and the TrafficSpec uniform
+        // pattern must be the same experiment, bit for bit.
+        let mut legacy = ScenarioSpec::mesh(4, 4, 55)
+            .warmup(SimDuration::from_us(5))
+            .measure_for(SimDuration::from_us(30));
+        legacy.background = Some(BeBackgroundSpec {
+            pattern: TemporalSpec::poisson(SimDuration::from_ns(300)),
+            payload_words: 4,
+            name_prefix: "be-".into(),
+            phase: Phase::Setup,
+        });
+        let modern = ScenarioSpec::mesh(4, 4, 55)
+            .warmup(SimDuration::from_us(5))
+            .measure_for(SimDuration::from_us(30))
+            .traffic(
+                TrafficSpec::uniform_poisson(SimDuration::from_ns(300))
+                    .payload(4)
+                    .named("be-"),
+            );
+        assert_eq!(legacy.run(), modern.run());
+    }
+
+    #[test]
     fn identical_specs_produce_identical_metrics() {
         let a = fig8_like(7).run();
         let b = fig8_like(7).run();
@@ -616,24 +865,71 @@ mod tests {
     }
 
     #[test]
+    fn builder_composes_gs_and_patterned_traffic() {
+        let spec = ScenarioSpec::mesh(4, 4, 3)
+            .warmup(SimDuration::from_us(2))
+            .measure_for(SimDuration::from_us(10))
+            .gs(
+                RouterId::new(0, 0),
+                RouterId::new(3, 3),
+                TemporalSpec::cbr(SimDuration::from_ns(12)),
+            )
+            .traffic(TrafficSpec::new(
+                SpatialPattern::Transpose,
+                TemporalSpec::poisson(SimDuration::from_ns(500)),
+            ));
+        assert_eq!(spec.gs[0].name, "gs-0");
+        let m = spec.run();
+        assert!(m.gs(0).delivered > 0, "GS stream flows");
+        // Transpose background: 12 of 16 nodes are off-diagonal senders.
+        assert_eq!(m.background_flows.len(), 16);
+        let active = m
+            .background_flows
+            .iter()
+            .filter(|&&i| m.flows[i].injected > 0)
+            .count();
+        assert_eq!(active, 12, "diagonal transpose sources skip themselves");
+    }
+
+    #[test]
+    fn every_pattern_kind_runs_on_a_mesh() {
+        for kind in PatternKind::ALL {
+            let m = ScenarioSpec::mesh(4, 4, 9)
+                .measure_for(SimDuration::from_us(5))
+                .traffic(TrafficSpec::new(
+                    kind.spatial(4, 4),
+                    TemporalSpec::poisson(SimDuration::from_ns(500)),
+                ))
+                .run();
+            assert!(
+                m.be_delivered() > 0,
+                "pattern {kind} delivered nothing on 4x4"
+            );
+        }
+    }
+
+    #[test]
     fn quiescence_scenario_with_bounded_source_drains() {
-        let mut spec = ScenarioSpec::mesh(4, 1, 21);
-        spec.measure = MeasureBound::ToQuiescence;
-        spec.be.push(BeFlowSpec {
-            src: RouterId::new(0, 0),
-            dests: vec![RouterId::new(3, 0)],
-            payload_words: 3,
-            pattern: Pattern::cbr(SimDuration::from_ns(100)),
-            name: "hops".into(),
-            window: EmitWindow {
-                limit: Some(20),
-                ..Default::default()
-            },
-            phase: Phase::Measure,
-        });
+        let spec = ScenarioSpec::mesh(4, 1, 21)
+            .measure_to_quiescence()
+            .traffic(
+                TrafficSpec::new(
+                    SpatialPattern::FixedPool(vec![RouterId::new(3, 0)]),
+                    TemporalSpec::cbr(SimDuration::from_ns(100)),
+                )
+                .from_node(RouterId::new(0, 0))
+                .payload(3)
+                .named("hops")
+                .phase(Phase::Measure)
+                .window(EmitWindow {
+                    limit: Some(20),
+                    ..Default::default()
+                }),
+            );
         let m = spec.run();
         assert_eq!(m.outcome, RunOutcome::Quiescent);
         assert_eq!(m.be(0).injected, 20);
         assert_eq!(m.be(0).delivered, 20);
+        assert_eq!(m.be(0).name, "hops");
     }
 }

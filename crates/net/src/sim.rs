@@ -7,7 +7,7 @@ use crate::na::NaConfig;
 use crate::network::{NetEvent, Network};
 use crate::stats::FlowStats;
 use crate::topology::Grid;
-use crate::traffic::{Pattern, Source, SourceKind};
+use crate::traffic::{PatternState, Source, SourceKind, SpatialPattern, TemporalSpec};
 use mango_core::{ConnectionId, RouterConfig, RouterId};
 use mango_sim::{Kernel, RunOutcome, SimDuration, SimRng, SimTime, WheelGeometry};
 
@@ -273,7 +273,7 @@ impl NocSim {
     pub fn add_gs_source(
         &mut self,
         conn: ConnectionId,
-        pattern: Pattern,
+        pattern: TemporalSpec,
         name: impl Into<String>,
         window: EmitWindow,
     ) -> u32 {
@@ -301,6 +301,7 @@ impl NocSim {
                 iface: record.tx_iface,
             },
             pattern,
+            state: PatternState::default(),
             flow,
             start,
             stop: window.stop_at,
@@ -314,18 +315,49 @@ impl NocSim {
         flow
     }
 
-    /// Attaches a BE packet source; returns its flow id. Destinations are
-    /// picked uniformly from `dests` (repeat an entry to weight it).
+    /// Attaches a BE packet source with an explicit destination pool
+    /// (picked uniformly per emission; repeat an entry to weight it) —
+    /// the legacy surface, equivalent to [`SpatialPattern::FixedPool`]
+    /// via [`NocSim::add_traffic_source`].
     pub fn add_be_source(
         &mut self,
         src: RouterId,
         dests: Vec<RouterId>,
         payload_words: usize,
-        pattern: Pattern,
+        pattern: TemporalSpec,
         name: impl Into<String>,
         window: EmitWindow,
     ) -> u32 {
-        assert!(!dests.is_empty(), "BE source needs destinations");
+        self.add_traffic_source(
+            src,
+            SpatialPattern::FixedPool(dests),
+            payload_words,
+            pattern,
+            name,
+            window,
+        )
+    }
+
+    /// Attaches a BE packet source whose destinations `spatial` computes
+    /// per emission; returns its flow id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern fails [`SpatialPattern::validate`] for this
+    /// mesh (empty pool, off-mesh targets, transpose on a non-square
+    /// mesh, ...).
+    pub fn add_traffic_source(
+        &mut self,
+        src: RouterId,
+        spatial: SpatialPattern,
+        payload_words: usize,
+        pattern: TemporalSpec,
+        name: impl Into<String>,
+        window: EmitWindow,
+    ) -> u32 {
+        spatial
+            .validate(self.network().grid())
+            .unwrap_or_else(|e| panic!("BE source at {src}: {e}"));
         let rng = self.fork_rng();
         let now = self.kernel.now();
         let net = self.kernel.model_mut();
@@ -334,10 +366,11 @@ impl NocSim {
         let idx = net.add_source(Source {
             kind: SourceKind::Be {
                 router: src,
-                dests,
+                spatial,
                 payload_words,
             },
             pattern,
+            state: PatternState::default(),
             flow,
             start,
             stop: window.stop_at,
@@ -494,7 +527,7 @@ mod tests {
         sim.begin_measurement();
         let flow = sim.add_gs_source(
             id,
-            Pattern::cbr(SimDuration::from_ns(10)),
+            TemporalSpec::cbr(SimDuration::from_ns(10)),
             "test-gs",
             EmitWindow {
                 limit: Some(100),
@@ -517,7 +550,7 @@ mod tests {
             RouterId::new(0, 0),
             vec![RouterId::new(2, 2)],
             4,
-            Pattern::cbr(SimDuration::from_ns(50)),
+            TemporalSpec::cbr(SimDuration::from_ns(50)),
             "test-be",
             EmitWindow {
                 limit: Some(50),

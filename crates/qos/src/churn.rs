@@ -729,4 +729,27 @@ mod tests {
         assert!(m.setup_max_ns() >= m.setup_quantile_ns(0.99));
         assert!(m.setup_quantile_ns(0.99) >= m.setup_quantile_ns(0.5));
     }
+
+    #[test]
+    fn churn_runs_over_patterned_backgrounds() {
+        // The base scenario accepts any composable TrafficSpec — churn
+        // under hotspot interference (BE fan-in converging on the mesh
+        // centre, where many programming packets also cross) must still
+        // admit, stream within bounds, and tear down cleanly.
+        use mango_net::{SpatialPattern, TemporalSpec, TrafficSpec};
+        for spatial in [
+            SpatialPattern::hotspot(vec![mango_core::RouterId::new(2, 2)], 0.7),
+            SpatialPattern::Transpose,
+        ] {
+            let mut spec = small_spec(23);
+            spec.base = spec.base.traffic(TrafficSpec::new(
+                spatial,
+                TemporalSpec::poisson(SimDuration::from_ns(400)),
+            ));
+            let m = spec.run();
+            assert!(m.admitted > 0);
+            assert!(m.closed > 0);
+            assert_eq!(m.bound_violations(), 0, "guarantees hold under hotspot");
+        }
+    }
 }

@@ -5,33 +5,29 @@
 //! load cannot perturb GS in Fig. 8.
 
 use mango_core::{RouterConfig, RouterId};
-use mango_net::{
-    BeBackgroundSpec, EmitWindow, GsFlowSpec, MeasureBound, NaConfig, Pattern, Phase, ScenarioSpec,
-};
+use mango_net::{EmitWindow, GsFlowSpec, NaConfig, Phase, ScenarioSpec, TemporalSpec, TrafficSpec};
 use mango_qos::report_for;
 use mango_sim::SimDuration;
 
 /// The Fig. 8 setup: one GS stream (0,0)→(3,3) at 12 ns per flit, BE
 /// background from every node at `be_gap` mean.
 fn fig8(seed: u64, be_gap_ns: u64) -> ScenarioSpec {
-    let mut spec = ScenarioSpec::mesh(4, 4, seed);
-    spec.warmup = SimDuration::from_us(5);
-    spec.measure = MeasureBound::For(SimDuration::from_us(40));
-    spec.gs.push(GsFlowSpec {
-        src: RouterId::new(0, 0),
-        dst: RouterId::new(3, 3),
-        pattern: Pattern::cbr(SimDuration::from_ns(12)),
-        name: "gs".into(),
-        window: EmitWindow::default(),
-        phase: Phase::Measure,
-    });
-    spec.background = Some(BeBackgroundSpec {
-        pattern: Pattern::poisson(SimDuration::from_ns(be_gap_ns)),
-        payload_words: 4,
-        name_prefix: "be-".into(),
-        phase: Phase::Setup,
-    });
-    spec
+    ScenarioSpec::mesh(4, 4, seed)
+        .warmup(SimDuration::from_us(5))
+        .measure_for(SimDuration::from_us(40))
+        .gs_flow(GsFlowSpec {
+            src: RouterId::new(0, 0),
+            dst: RouterId::new(3, 3),
+            pattern: TemporalSpec::cbr(SimDuration::from_ns(12)),
+            name: "gs".into(),
+            window: EmitWindow::default(),
+            phase: Phase::Measure,
+        })
+        .traffic(
+            TrafficSpec::uniform_poisson(SimDuration::from_ns(be_gap_ns))
+                .payload(4)
+                .named("be-"),
+        )
 }
 
 #[test]

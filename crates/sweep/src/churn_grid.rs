@@ -4,7 +4,7 @@
 
 use crate::runner::run_parallel;
 use mango_hw::Table;
-use mango_net::{BeBackgroundSpec, MeasureBound, Pattern, Phase, ScenarioSpec};
+use mango_net::{PatternKind, ScenarioSpec, TemporalSpec, TrafficSpec};
 use mango_qos::{ChurnMetrics, ChurnSpec, RejectReason};
 use mango_sim::SimDuration;
 use std::fmt;
@@ -31,6 +31,9 @@ pub struct ChurnSweepSpec {
     pub max_requests: u64,
     /// Per-node BE Poisson background mean gap, ns (`None` = idle).
     pub be_gap_ns: Option<u64>,
+    /// Spatial pattern of the BE background (any [`TrafficSpec`] works
+    /// on a churn base scenario; this knob covers the named axis).
+    pub be_pattern: PatternKind,
     /// Fraction of link capacity reservable by GS connections.
     pub max_gs_frac_milli: u32,
 }
@@ -46,6 +49,7 @@ impl Default for ChurnSweepSpec {
             horizon_us: 200,
             max_requests: 10_000,
             be_gap_ns: None,
+            be_pattern: PatternKind::Uniform,
             max_gs_frac_milli: 875,
         }
     }
@@ -99,6 +103,7 @@ impl ChurnSweepSpec {
             horizon_us: 120,
             max_requests: 80,
             be_gap_ns: None,
+            be_pattern: PatternKind::Uniform,
             max_gs_frac_milli: 875,
         }
     }
@@ -118,6 +123,7 @@ impl ChurnSweepSpec {
             horizon_us: 300,
             max_requests: 400,
             be_gap_ns: Some(1000),
+            be_pattern: PatternKind::Uniform,
             max_gs_frac_milli: 875,
         }
     }
@@ -165,14 +171,18 @@ impl ChurnSweepSpec {
 
     /// The [`ChurnSpec`] for one grid point.
     pub fn churn_spec(&self, job: &ChurnJob) -> ChurnSpec {
-        let mut base = ScenarioSpec::mesh(job.width, job.height, job.seed);
-        base.measure = MeasureBound::For(SimDuration::from_us(self.horizon_us));
-        base.background = self.be_gap_ns.map(|gap| BeBackgroundSpec {
-            pattern: Pattern::poisson(SimDuration::from_ns(gap)),
-            payload_words: 4,
-            name_prefix: "bg-".into(),
-            phase: Phase::Setup,
-        });
+        let mut base = ScenarioSpec::mesh(job.width, job.height, job.seed)
+            .measure_for(SimDuration::from_us(self.horizon_us));
+        if let Some(gap) = self.be_gap_ns {
+            base = base.traffic(
+                TrafficSpec::new(
+                    self.be_pattern.spatial(job.width, job.height),
+                    TemporalSpec::poisson(SimDuration::from_ns(gap)),
+                )
+                .payload(4)
+                .named("bg-"),
+            );
+        }
         let holding_mean = SimDuration::from_us(job.holding_us);
         ChurnSpec {
             base,

@@ -1,9 +1,9 @@
 //! Declarative sweep grids: dimensions, expansion and job→scenario
 //! mapping.
 
-use mango_core::{RouterConfig, RouterId};
+use mango_core::RouterId;
 use mango_net::{
-    BeBackgroundSpec, EmitWindow, GsFlowSpec, MeasureBound, Pattern, Phase, ScenarioSpec,
+    EmitWindow, GsFlowSpec, PatternKind, Phase, ScenarioSpec, TemporalSpec, TrafficSpec,
 };
 use mango_sim::SimDuration;
 
@@ -21,6 +21,9 @@ pub struct SweepSpec {
     pub gs_conns: Vec<u32>,
     /// Per-node BE Poisson mean gaps in ns; `None` = BE idle.
     pub be_gaps_ns: Vec<Option<u64>>,
+    /// Spatial patterns of the BE background (ignored by idle jobs, but
+    /// still a grid dimension).
+    pub patterns: Vec<PatternKind>,
     /// GS source CBR periods in ns (ignored by jobs with zero GS
     /// connections, but still a grid dimension).
     pub gs_periods_ns: Vec<u64>,
@@ -44,6 +47,7 @@ impl Default for SweepSpec {
             meshes: vec![(4, 4)],
             gs_conns: vec![0],
             be_gaps_ns: vec![Some(300)],
+            patterns: vec![PatternKind::Uniform],
             gs_periods_ns: vec![12],
             measures_us: vec![100],
             seeds: vec![1],
@@ -68,6 +72,8 @@ pub struct SweepJob {
     pub gs_conns: u32,
     /// Per-node BE mean gap, ns (`None` = idle).
     pub be_gap_ns: Option<u64>,
+    /// Spatial pattern of the BE background.
+    pub pattern: PatternKind,
     /// GS CBR period, ns.
     pub gs_period_ns: u64,
     /// Measurement window, µs.
@@ -80,13 +86,14 @@ impl std::fmt::Display for SweepJob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job {}: {}x{} gs={} be_gap={} period={} measure={} seed={}",
+            "job {}: {}x{} gs={} be_gap={} pattern={} period={} measure={} seed={}",
             self.id,
             self.width,
             self.height,
             self.gs_conns,
             self.be_gap_ns
                 .map_or_else(|| "idle".into(), |g| g.to_string()),
+            self.pattern,
             self.gs_period_ns,
             self.measure_us,
             self.seed
@@ -103,9 +110,28 @@ impl SweepSpec {
             meshes: vec![(4, 4)],
             gs_conns: vec![0, 2],
             be_gaps_ns: vec![Some(300), Some(100)],
+            patterns: vec![PatternKind::Uniform],
             gs_periods_ns: vec![12],
             measures_us: vec![20],
             seeds: vec![1, 2],
+            warmup_us: 5,
+            payload_words: 4,
+            mix_gap_into_seed: false,
+        }
+    }
+
+    /// The pattern smoke grid the CI determinism gate diffs alongside
+    /// the classic smoke grid: one hotspot and one transpose point under
+    /// a GS foreground on a 4×4 mesh, 20 µs windows.
+    pub fn pattern_smoke() -> Self {
+        SweepSpec {
+            meshes: vec![(4, 4)],
+            gs_conns: vec![1],
+            be_gaps_ns: vec![Some(300)],
+            patterns: vec![PatternKind::Hotspot, PatternKind::Transpose],
+            gs_periods_ns: vec![12],
+            measures_us: vec![20],
+            seeds: vec![1],
             warmup_us: 5,
             payload_words: 4,
             mix_gap_into_seed: false,
@@ -120,6 +146,7 @@ impl SweepSpec {
             meshes: vec![(4, 4), (8, 8), (16, 16)],
             gs_conns: vec![0, 4],
             be_gaps_ns: vec![None, Some(1000), Some(300), Some(100), Some(50)],
+            patterns: vec![PatternKind::Uniform],
             gs_periods_ns: vec![12],
             measures_us: vec![100],
             seeds: vec![1, 2, 3],
@@ -134,6 +161,7 @@ impl SweepSpec {
         self.meshes.len()
             * self.gs_conns.len()
             * self.be_gaps_ns.len()
+            * self.patterns.len()
             * self.gs_periods_ns.len()
             * self.measures_us.len()
             * self.seeds.len()
@@ -145,36 +173,40 @@ impl SweepSpec {
     }
 
     /// Expands the grid to jobs in a fixed nesting order — mesh
-    /// outermost, then GS count, BE gap, GS period, measure window, seed
-    /// innermost. Job ids are ordinals in this order; the order **is**
-    /// the output order of every writer, so it is part of the
-    /// determinism contract.
+    /// outermost, then GS count, BE gap, spatial pattern, GS period,
+    /// measure window, seed innermost. Job ids are ordinals in this
+    /// order; the order **is** the output order of every writer, so it
+    /// is part of the determinism contract. (A single-pattern grid
+    /// expands to the same job ids as the pre-pattern-axis grids.)
     pub fn expand(&self) -> Vec<SweepJob> {
         let mut jobs = Vec::with_capacity(self.len());
         for &(width, height) in &self.meshes {
             for &gs_conns in &self.gs_conns {
                 for &be_gap_ns in &self.be_gaps_ns {
-                    for &gs_period_ns in &self.gs_periods_ns {
-                        for &measure_us in &self.measures_us {
-                            for &base_seed in &self.seeds {
-                                let seed = if self.mix_gap_into_seed {
-                                    base_seed
-                                        ^ be_gap_ns
-                                            .map(|ns| SimDuration::from_ns(ns).as_ps())
-                                            .unwrap_or(0)
-                                } else {
-                                    base_seed
-                                };
-                                jobs.push(SweepJob {
-                                    id: jobs.len(),
-                                    width,
-                                    height,
-                                    gs_conns,
-                                    be_gap_ns,
-                                    gs_period_ns,
-                                    measure_us,
-                                    seed,
-                                });
+                    for &pattern in &self.patterns {
+                        for &gs_period_ns in &self.gs_periods_ns {
+                            for &measure_us in &self.measures_us {
+                                for &base_seed in &self.seeds {
+                                    let seed = if self.mix_gap_into_seed {
+                                        base_seed
+                                            ^ be_gap_ns
+                                                .map(|ns| SimDuration::from_ns(ns).as_ps())
+                                                .unwrap_or(0)
+                                    } else {
+                                        base_seed
+                                    };
+                                    jobs.push(SweepJob {
+                                        id: jobs.len(),
+                                        width,
+                                        height,
+                                        gs_conns,
+                                        be_gap_ns,
+                                        pattern,
+                                        gs_period_ns,
+                                        measure_us,
+                                        seed,
+                                    });
+                                }
                             }
                         }
                     }
@@ -186,36 +218,36 @@ impl SweepSpec {
 
     /// The [`ScenarioSpec`] for one grid point: GS connections opened
     /// during setup with CBR sources attached at measurement start, BE
-    /// background present from setup (so warmup loads the network).
+    /// background with the job's spatial pattern present from setup (so
+    /// warmup loads the network).
     pub fn scenario(&self, job: &SweepJob) -> ScenarioSpec {
-        let gs = auto_gs_pairs(job.width, job.height, job.gs_conns)
+        let mut spec = ScenarioSpec::mesh(job.width, job.height, job.seed)
+            .warmup(SimDuration::from_us(self.warmup_us))
+            .measure_for(SimDuration::from_us(job.measure_us));
+        for (i, (src, dst)) in auto_gs_pairs(job.width, job.height, job.gs_conns)
             .into_iter()
             .enumerate()
-            .map(|(i, (src, dst))| GsFlowSpec {
+        {
+            spec = spec.gs_flow(GsFlowSpec {
                 src,
                 dst,
-                pattern: Pattern::cbr(SimDuration::from_ns(job.gs_period_ns)),
+                pattern: TemporalSpec::cbr(SimDuration::from_ns(job.gs_period_ns)),
                 name: format!("gs-{i}"),
                 window: EmitWindow::default(),
                 phase: Phase::Measure,
-            })
-            .collect();
-        ScenarioSpec {
-            width: job.width,
-            height: job.height,
-            router_cfg: RouterConfig::paper(),
-            seed: job.seed,
-            warmup: SimDuration::from_us(self.warmup_us),
-            measure: MeasureBound::For(SimDuration::from_us(job.measure_us)),
-            gs,
-            be: Vec::new(),
-            background: job.be_gap_ns.map(|gap| BeBackgroundSpec {
-                pattern: Pattern::poisson(SimDuration::from_ns(gap)),
-                payload_words: self.payload_words,
-                name_prefix: "bg-".into(),
-                phase: Phase::Setup,
-            }),
+            });
         }
+        if let Some(gap) = job.be_gap_ns {
+            spec = spec.traffic(
+                TrafficSpec::new(
+                    job.pattern.spatial(job.width, job.height),
+                    TemporalSpec::poisson(SimDuration::from_ns(gap)),
+                )
+                .payload(self.payload_words)
+                .named("bg-"),
+            );
+        }
+        spec
     }
 }
 
@@ -303,11 +335,38 @@ mod tests {
                 height: 4,
                 gs_conns: 0,
                 be_gap_ns: Some(300),
+                pattern: PatternKind::Uniform,
                 gs_period_ns: 12,
                 measure_us: 100,
                 seed: 1,
             }
         );
+    }
+
+    #[test]
+    fn pattern_axis_expands_between_gap_and_period() {
+        let spec = SweepSpec {
+            be_gaps_ns: vec![Some(300), Some(100)],
+            patterns: vec![PatternKind::Uniform, PatternKind::Transpose],
+            seeds: vec![1, 2],
+            ..Default::default()
+        };
+        assert_eq!(spec.len(), 2 * 2 * 2);
+        let jobs = spec.expand();
+        // Seed innermost, then pattern, then gap.
+        assert_eq!(jobs[0].pattern, PatternKind::Uniform);
+        assert_eq!(jobs[2].pattern, PatternKind::Transpose);
+        assert_eq!(jobs[0].be_gap_ns, jobs[2].be_gap_ns);
+        assert_eq!(jobs[4].be_gap_ns, Some(100));
+        assert!(jobs[0].to_string().contains("pattern=uniform"));
+    }
+
+    #[test]
+    fn pattern_smoke_covers_hotspot_and_transpose() {
+        let jobs = SweepSpec::pattern_smoke().expand();
+        assert!(jobs.iter().any(|j| j.pattern == PatternKind::Hotspot));
+        assert!(jobs.iter().any(|j| j.pattern == PatternKind::Transpose));
+        assert!(jobs.len() <= 4, "pattern smoke must stay CI-fast");
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl SweepRecord {
 
     /// The CSV column names, matching [`SweepRecord::csv_row`].
     pub fn csv_header() -> &'static str {
-        "job_id,width,height,gs_conns,be_gap_ns,gs_period_ns,measure_us,seed,\
+        "job_id,width,height,gs_conns,be_gap_ns,pattern,gs_period_ns,measure_us,seed,\
          events,gs_delivered,gs_throughput_m,gs_mean_ns,gs_p99_ns,gs_max_ns,\
          be_injected,be_delivered,be_throughput_m,be_mean_ns,be_p99_ns"
     }
@@ -91,12 +91,13 @@ impl SweepRecord {
     pub fn csv_row(&self) -> String {
         let j = &self.job;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             j.id,
             j.width,
             j.height,
             j.gs_conns,
             j.be_gap_ns.map_or(String::from(""), |g| g.to_string()),
+            j.pattern,
             j.gs_period_ns,
             j.measure_us,
             j.seed,
@@ -120,7 +121,8 @@ impl SweepRecord {
         let j = &self.job;
         format!(
             "{{\"job_id\":{},\"width\":{},\"height\":{},\"gs_conns\":{},\
-             \"be_gap_ns\":{},\"gs_period_ns\":{},\"measure_us\":{},\"seed\":{},\
+             \"be_gap_ns\":{},\"pattern\":\"{}\",\"gs_period_ns\":{},\
+             \"measure_us\":{},\"seed\":{},\
              \"events\":{},\"gs_delivered\":{},\"gs_throughput_m\":{},\
              \"gs_mean_ns\":{},\"gs_p99_ns\":{},\"gs_max_ns\":{},\
              \"be_injected\":{},\"be_delivered\":{},\"be_throughput_m\":{},\
@@ -130,6 +132,7 @@ impl SweepRecord {
             j.height,
             j.gs_conns,
             j.be_gap_ns.map_or(String::from("null"), |g| g.to_string()),
+            j.pattern,
             j.gs_period_ns,
             j.measure_us,
             j.seed,
@@ -233,6 +236,7 @@ pub fn summary_table(records: &[SweepRecord]) -> Table {
         "mesh",
         "GS",
         "BE gap [ns]",
+        "pattern",
         "seed",
         "events",
         "GS [Mf/s]",
@@ -247,6 +251,7 @@ pub fn summary_table(records: &[SweepRecord]) -> Table {
             format!("{}x{}", j.width, j.height),
             j.gs_conns.to_string(),
             j.be_gap_ns.map_or("idle".into(), |g| g.to_string()),
+            j.pattern.to_string(),
             j.seed.to_string(),
             r.events.to_string(),
             format!("{:.2}", r.gs_throughput_m),
@@ -276,7 +281,8 @@ mod tests {
         let header_cols = SweepRecord::csv_header().split(',').count();
         let row_cols = records[0].csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 19);
+        assert_eq!(header_cols, 20);
+        assert!(records[0].csv_row().contains(",uniform,"));
     }
 
     #[test]
