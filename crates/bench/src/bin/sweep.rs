@@ -13,7 +13,7 @@
 //! crate docs for the determinism contract.
 
 use mango::net::PatternKind;
-use mango_sweep::{run_sweep, write_csv, write_json, RuntimeInfo, SweepArgs, SweepSpec};
+use mango_sweep::{run_sweep_graceful, write_csv, write_json, RuntimeInfo, SweepArgs, SweepSpec};
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -153,7 +153,10 @@ fn main() {
         args.threads
     );
     let start = Instant::now();
-    let records = run_sweep(&spec, args.threads);
+    // Graceful degradation: a panicking grid point is reported and
+    // dropped; the rest of the grid still produces its records.
+    let run = run_sweep_graceful(&spec, args.threads);
+    let records = run.records;
     let wall = start.elapsed().as_secs_f64();
     let runtime = RuntimeInfo {
         threads: args.threads,
@@ -171,6 +174,16 @@ fn main() {
         runtime.events_per_sec() / 1e6
     );
 
+    if !run.failed.is_empty() {
+        println!(
+            "\n{} job(s) FAILED (dropped from the results):",
+            run.failed.len()
+        );
+        for (_, job) in &run.failed {
+            println!("  {job}");
+        }
+    }
+
     if let Some(path) = &args.csv {
         write_csv(path, &records).expect("write CSV");
         println!("wrote {}", path.display());
@@ -178,5 +191,8 @@ fn main() {
     if let Some(path) = &args.json {
         write_json(path, &records, &runtime).expect("write JSON");
         println!("wrote {}", path.display());
+    }
+    if !run.failed.is_empty() {
+        std::process::exit(1);
     }
 }

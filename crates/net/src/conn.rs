@@ -101,8 +101,10 @@ pub struct ConnRecord {
     pub opened_at: Option<SimTime>,
     /// When the last teardown ack returned (resources released).
     pub closed_at: Option<SimTime>,
-    /// Ack tokens still outstanding.
-    outstanding: Vec<u16>,
+    /// Ack tokens still outstanding, each with the path index (1-based
+    /// hop count from the source) of the router that owes the ack — the
+    /// mapping force-close uses to tell confirmed from unconfirmed hops.
+    outstanding: Vec<(u16, u8)>,
 }
 
 impl ConnRecord {
@@ -180,6 +182,29 @@ pub struct ClosePlan {
     pub config_packets: Vec<Vec<Flit>>,
 }
 
+/// Result of a forced (out-of-band) teardown after a fault.
+///
+/// Unlike [`ClosePlan`], no config packets are generated: the network is
+/// assumed unable to deliver them (or their acks) reliably. Resources
+/// whose remote router state is known-clean are released for reuse;
+/// resources whose router-table entries may still be programmed are
+/// quarantined instead, so a later open can never double-program a
+/// half-torn-down entry.
+#[derive(Debug, Clone)]
+pub struct ForceClosePlan {
+    /// The force-closed connection's id.
+    pub id: ConnectionId,
+    /// Clears to apply directly at the source router (empty when a prior
+    /// in-band close already wiped the source entries).
+    pub local_writes: Vec<ProgWrite>,
+    /// NA TX interface to force-unbind, if still bound.
+    pub tx_iface: Option<u8>,
+    /// Hop VCs returned to the free pool.
+    pub released_hops: usize,
+    /// Hop VCs moved to the quarantine mask.
+    pub quarantined_hops: usize,
+}
+
 /// Allocates and tracks GS connections over one grid.
 #[derive(Debug)]
 pub struct ConnectionManager {
@@ -195,6 +220,14 @@ pub struct ConnectionManager {
     tx_used: HashMap<RouterId, u16>,
     /// Bitmask of used local GS (delivery) interfaces per router.
     rx_used: HashMap<RouterId, u16>,
+    /// VCs a forced teardown could not confirm clean: the router-table
+    /// entries may still be programmed, so the allocator must skip them.
+    /// Quarantined bits are *not* counted by [`Self::nothing_reserved`] —
+    /// force-close returns the budget exactly and parks the hazard here.
+    vc_quarantined: HashMap<(RouterId, Direction), u16>,
+    /// Local GS interfaces whose delivery-side unlock entry may still be
+    /// programmed after a forced teardown.
+    rx_quarantined: HashMap<RouterId, u16>,
 }
 
 impl ConnectionManager {
@@ -211,6 +244,8 @@ impl ConnectionManager {
             vc_used: HashMap::new(),
             tx_used: HashMap::new(),
             rx_used: HashMap::new(),
+            vc_quarantined: HashMap::new(),
+            rx_quarantined: HashMap::new(),
         }
     }
 
@@ -309,9 +344,12 @@ impl ConnectionManager {
         let hops = dirs.len();
 
         // Dry-run allocation: find everything before committing.
+        // Quarantined bits count as taken here but are tracked apart
+        // from the used masks, so only the fresh bit is committed below.
         let mut vcs = Vec::with_capacity(hops);
         for (i, &d) in dirs.iter().enumerate() {
-            let mut mask = self.vc_used.get(&(path[i], d)).copied().unwrap_or(0);
+            let mut mask = self.vc_used.get(&(path[i], d)).copied().unwrap_or(0)
+                | self.vc_quarantined.get(&(path[i], d)).copied().unwrap_or(0);
             match Self::alloc_bit(&mut mask, self.gs_vcs) {
                 Some(vc) => vcs.push(VcId(vc)),
                 None => return Err(ConnError::NoFreeVc(path[i], d)),
@@ -321,7 +359,8 @@ impl ConnectionManager {
         let Some(tx_iface) = Self::alloc_bit(&mut tx_mask, self.local_ifaces) else {
             return Err(ConnError::NoFreeTxIface(src));
         };
-        let mut rx_mask = self.rx_used.get(&dst).copied().unwrap_or(0);
+        let mut rx_mask = self.rx_used.get(&dst).copied().unwrap_or(0)
+            | self.rx_quarantined.get(&dst).copied().unwrap_or(0);
         let Some(rx_iface) = Self::alloc_bit(&mut rx_mask, self.local_ifaces) else {
             return Err(ConnError::NoFreeRxIface(dst));
         };
@@ -331,7 +370,7 @@ impl ConnectionManager {
             *self.vc_used.entry((path[i], d)).or_insert(0) |= 1 << vcs[i].0;
         }
         self.tx_used.insert(src, tx_mask);
-        self.rx_used.insert(dst, rx_mask);
+        *self.rx_used.entry(dst).or_insert(0) |= 1 << rx_iface;
 
         let id = ConnectionId(self.next_id);
         self.next_id += 1;
@@ -393,7 +432,7 @@ impl ConnectionManager {
             }
             let token = self.next_token;
             self.next_token = self.next_token.wrapping_add(1).max(1);
-            outstanding.push(token);
+            outstanding.push((token, i as u8));
             self.tokens.insert(token, id);
             let plan = AckPlan {
                 token,
@@ -496,7 +535,7 @@ impl ConnectionManager {
             }
             let token = self.next_token;
             self.next_token = self.next_token.wrapping_add(1).max(1);
-            outstanding.push(token);
+            outstanding.push((token, i as u8));
             self.tokens.insert(token, id);
             let plan = AckPlan {
                 token,
@@ -553,7 +592,7 @@ impl ConnectionManager {
     ) -> Option<(ConnectionId, ConnState)> {
         let id = self.tokens.remove(&token)?;
         let conn = self.conns.get_mut(&id).expect("token maps to connection");
-        conn.outstanding.retain(|&t| t != token);
+        conn.outstanding.retain(|&(t, _)| t != token);
         if !conn.outstanding.is_empty() {
             return None;
         }
@@ -571,6 +610,147 @@ impl ConnectionManager {
             }
             s => panic!("ack for connection in state {s:?}"),
         }
+    }
+
+    /// Marks one VC on a directed link unusable without charging it to
+    /// any connection's budget — used when a stuck-at fault wedges the
+    /// buffer itself rather than a teardown leaving it programmed.
+    pub fn quarantine_vc(&mut self, router: RouterId, dir: Direction, vc: VcId) {
+        *self.vc_quarantined.entry((router, dir)).or_insert(0) |= 1 << vc.0;
+    }
+
+    /// Number of quarantined resources (hop VCs plus RX interfaces).
+    /// Zero after a run means every teardown completed cleanly in-band.
+    pub fn quarantined_count(&self) -> usize {
+        self.vc_quarantined
+            .values()
+            .chain(self.rx_quarantined.values())
+            .map(|m| m.count_ones() as usize)
+            .sum()
+    }
+
+    /// Forcibly tears down a connection without any in-band traffic, for
+    /// use when the network can no longer deliver teardown packets (or
+    /// their acks) to every router on the path.
+    ///
+    /// Every budget bit the connection held is returned exactly — after
+    /// force-closing all connections, [`Self::nothing_reserved`] holds.
+    /// Hops whose router-table entries are not known clean move to the
+    /// quarantine masks instead of the free pool:
+    ///
+    /// - interrupted while `Closing`: hops whose clear-ack returned are
+    ///   clean (released); hops still owing an ack are quarantined;
+    /// - interrupted while `Opening` or `Open`: every remote hop may
+    ///   hold programmed entries (no clears were ever sent), so all are
+    ///   quarantined; hop 0 lives at the source router, which the caller
+    ///   wipes via the returned `local_writes`, so it is released.
+    ///
+    /// Idempotent: force-closing a `Closed` connection is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if `id` is unknown.
+    pub fn force_close(
+        &mut self,
+        grid: &Grid,
+        id: ConnectionId,
+        now: SimTime,
+    ) -> Result<ForceClosePlan, ConnError> {
+        let conn = self.conns.get(&id).ok_or(ConnError::Unknown(id))?;
+        if conn.state == ConnState::Closed {
+            return Ok(ForceClosePlan {
+                id,
+                local_writes: Vec::new(),
+                tx_iface: None,
+                released_hops: 0,
+                quarantined_hops: 0,
+            });
+        }
+        let prior = conn.state;
+        let path = conn.path(grid);
+        let hops = conn.hops();
+        let dirs = conn.dirs.clone();
+        let vcs = conn.vcs.clone();
+        let (src, dst) = (conn.src, conn.dst);
+        let (tx_iface, rx_iface) = (conn.tx_iface, conn.rx_iface);
+        let outstanding = conn.outstanding.clone();
+
+        // Late acks for dropped tokens must be ignored, not processed.
+        for &(t, _) in &outstanding {
+            self.tokens.remove(&t);
+        }
+        let unconfirmed: std::collections::HashSet<u8> =
+            outstanding.iter().map(|&(_, i)| i).collect();
+
+        // Hop i's steer/unlock entries live at router path[i]; its VC bit
+        // is keyed (path[i], dirs[i]).
+        let mut released = 0usize;
+        let mut quarantined = 0usize;
+        for i in 0..hops {
+            let key = (path[i], dirs[i]);
+            let bit = 1u16 << vcs[i].0;
+            let used = self.vc_used.get_mut(&key).expect("allocated link mask");
+            *used &= !bit;
+            let clean = match prior {
+                ConnState::Closing => !unconfirmed.contains(&(i as u8)),
+                _ => i == 0,
+            };
+            if clean {
+                released += 1;
+            } else {
+                *self.vc_quarantined.entry(key).or_insert(0) |= bit;
+                quarantined += 1;
+            }
+        }
+
+        // The TX interface is local to the source NA and always
+        // reclaimable; the RX interface's unlock entry sits at the
+        // destination and follows the same clean/quarantine rule.
+        if let Some(mask) = self.tx_used.get_mut(&src) {
+            *mask &= !(1 << tx_iface);
+        }
+        if let Some(mask) = self.rx_used.get_mut(&dst) {
+            *mask &= !(1 << rx_iface);
+        }
+        let rx_clean = prior == ConnState::Closing && !unconfirmed.contains(&(hops as u8));
+        if !rx_clean {
+            *self.rx_quarantined.entry(dst).or_insert(0) |= 1 << rx_iface;
+        }
+
+        // A prior in-band close already wiped the source entries and
+        // surrendered the TX binding; otherwise hand both to the caller.
+        let (local_writes, unbind_tx) = if prior == ConnState::Closing {
+            (Vec::new(), None)
+        } else {
+            (
+                vec![
+                    ProgWrite::ClearUnlock {
+                        buffer: GsBufferRef::Net {
+                            dir: dirs[0],
+                            vc: vcs[0],
+                        },
+                    },
+                    ProgWrite::ClearSteer {
+                        dir: dirs[0],
+                        vc: vcs[0],
+                    },
+                ],
+                Some(tx_iface),
+            )
+        };
+
+        let conn = self.conns.get_mut(&id).expect("record checked above");
+        conn.state = ConnState::Closed;
+        conn.closed_at = Some(now);
+        conn.outstanding.clear();
+
+        Ok(ForceClosePlan {
+            id,
+            local_writes,
+            tx_iface: unbind_tx,
+            released_hops: released,
+            quarantined_hops: quarantined,
+        })
     }
 
     fn release(&mut self, id: ConnectionId, grid: &Grid) {
@@ -664,7 +844,7 @@ mod tests {
             .open(&g, &mut rl, RouterId::new(0, 0), RouterId::new(2, 0))
             .unwrap();
         let conn = m.get(plan.id).unwrap();
-        let tokens: Vec<u16> = conn.outstanding.clone();
+        let tokens: Vec<u16> = conn.outstanding.iter().map(|&(t, _)| t).collect();
         assert_eq!(tokens.len(), 2);
         assert_eq!(
             m.on_ack(tokens[0], &g, SimTime::ZERO),
@@ -690,13 +870,13 @@ mod tests {
         let dst = RouterId::new(1, 0);
         let plan = m.open(&g, &mut rl, src, dst).unwrap();
         let tokens = m.get(plan.id).unwrap().outstanding.clone();
-        for t in tokens {
+        for (t, _) in tokens {
             m.on_ack(t, &g, SimTime::ZERO);
         }
         let close = m.close(&g, &mut rl, plan.id).unwrap();
         assert_eq!(close.config_packets.len(), 1);
         let tokens = m.get(plan.id).unwrap().outstanding.clone();
-        for t in tokens {
+        for (t, _) in tokens {
             m.on_ack(t, &g, SimTime::ZERO);
         }
         assert_eq!(m.state(plan.id), Some(ConnState::Closed));
@@ -728,6 +908,86 @@ mod tests {
             m.open(&g, &mut rl, r, r),
             Err(ConnError::Route(RouteError::SameRouter(_)))
         ));
+    }
+
+    #[test]
+    fn force_close_open_connection_quarantines_remote_hops() {
+        let (g, mut m, mut rl) = setup();
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(2, 0);
+        let plan = m.open(&g, &mut rl, src, dst).unwrap();
+        for (t, _) in m.get(plan.id).unwrap().outstanding.clone() {
+            m.on_ack(t, &g, SimTime::ZERO);
+        }
+        let fc = m.force_close(&g, plan.id, SimTime::ZERO).unwrap();
+        assert_eq!(m.state(plan.id), Some(ConnState::Closed));
+        // Hop 0 cleared via local writes; hop 1 (router (1,0)) still
+        // holds programmed entries and is quarantined, as is the RX
+        // interface at the destination.
+        assert_eq!(fc.released_hops, 1);
+        assert_eq!(fc.quarantined_hops, 1);
+        assert_eq!(fc.local_writes.len(), 2);
+        assert_eq!(fc.tx_iface, Some(plan.tx_iface));
+        assert_eq!(m.quarantined_count(), 2);
+        assert!(m.nothing_reserved(), "budgets returned exactly");
+        // Idempotent.
+        let again = m.force_close(&g, plan.id, SimTime::ZERO).unwrap();
+        assert_eq!(again.released_hops + again.quarantined_hops, 0);
+        assert!(again.local_writes.is_empty());
+    }
+
+    #[test]
+    fn force_close_mid_closing_releases_acked_hops_only() {
+        let (g, mut m, mut rl) = setup();
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(2, 0);
+        let plan = m.open(&g, &mut rl, src, dst).unwrap();
+        for (t, _) in m.get(plan.id).unwrap().outstanding.clone() {
+            m.on_ack(t, &g, SimTime::ZERO);
+        }
+        m.close(&g, &mut rl, plan.id).unwrap();
+        // Ack only router (1,0) (path index 1); the destination's clear
+        // ack never arrives.
+        let pending = m.get(plan.id).unwrap().outstanding.clone();
+        let (t, idx) = pending.iter().copied().find(|&(_, i)| i == 1).unwrap();
+        assert_eq!(idx, 1);
+        m.on_ack(t, &g, SimTime::ZERO);
+        let fc = m.force_close(&g, plan.id, SimTime::ZERO).unwrap();
+        // Hops 0 and 1 confirmed clean; the destination hop and RX
+        // interface are quarantined.
+        assert_eq!(fc.released_hops, 2);
+        assert_eq!(fc.quarantined_hops, 0);
+        assert!(fc.local_writes.is_empty(), "in-band close wiped source");
+        assert_eq!(fc.tx_iface, None);
+        assert_eq!(m.quarantined_count(), 1, "only the RX iface");
+        assert!(m.nothing_reserved());
+        // A late ack for the dropped token is ignored.
+        let (late, _) = pending.iter().copied().find(|&(_, i)| i == 2).unwrap();
+        assert!(!m.known_token(late));
+        assert_eq!(m.on_ack(late, &g, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn quarantined_vcs_are_skipped_by_the_allocator() {
+        let (g, mut m, mut rl) = setup();
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(1, 0);
+        m.quarantine_vc(src, Direction::East, VcId(0));
+        let plan = m.open(&g, &mut rl, src, dst).unwrap();
+        assert_eq!(
+            m.get(plan.id).unwrap().vcs[0],
+            VcId(1),
+            "allocator must skip the quarantined VC 0"
+        );
+        // Quarantine shrinks the pool: with 2 VCs and one quarantined,
+        // a second connection on the same link is refused.
+        let mut m2 = ConnectionManager::new(2, 4);
+        m2.quarantine_vc(src, Direction::East, VcId(1));
+        m2.open(&g, &mut rl, src, dst).unwrap();
+        assert_eq!(
+            m2.open(&g, &mut rl, src, dst).unwrap_err(),
+            ConnError::NoFreeVc(src, Direction::East)
+        );
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Deterministic fault injection: seeded schedules of link/router failures
+//! applied at simulated times via kernel events.
+//!
+//! # Failure semantics: blackhole with live flow control
+//!
+//! A failed element *loses data but keeps its handshake wires honest*: a
+//! flit dropped at a dead link vanishes, and the feedback the downstream
+//! router would have produced for it — the GS unlock toggle, the BE
+//! credit — is synthesized after a deterministic delay. Exactly one piece
+//! of feedback exists per flit (real if it crossed, spoofed if it
+//! dropped), so upstream shareboxes and BE credit counters keep draining
+//! and the healthy part of the mesh never wedges behind a fault. This is
+//! the fail-stop model of a link whose receiver burned out but whose
+//! low-level flow-control loop is locally regenerated (or, equivalently,
+//! an optimistic model that keeps recovery *reachable*: in-band teardown
+//! and reprogramming traffic still flows over surviving links).
+//!
+//! Consequences worth knowing:
+//!
+//! * a BE packet cut mid-wormhole leaves its prefix stranded in the
+//!   destination's reassembly buffer — faulted runs terminate on a time
+//!   horizon, not on quiescence;
+//! * flaky links drop **BE traffic per packet** (the drop decision is
+//!   made at the header and held to the end-of-packet flit, preserving
+//!   wormhole framing) and **GS traffic per flit**, each with the
+//!   schedule's own RNG stream — scenario traffic draws are untouched, so
+//!   installing an empty schedule is byte-identical to no schedule;
+//! * a dead router blackholes everything addressed to it (flits, unlocks,
+//!   credits, NA activity) and its local sources fall silent.
+//!
+//! Detection and recovery live above this layer: watchdogs in
+//! [`crate::network::Network`] declare a connection broken when its flits
+//! stop progressing, and the QoS recovery controller (in `mango_qos`)
+//! tears down, re-admits over surviving links and re-validates bounds.
+
+use crate::topology::Grid;
+use mango_core::{Direction, RouterId, VcId};
+use mango_sim::{SimRng, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop of one directed link: every flit sent across it from the
+    /// fault time on is dropped (with spoofed feedback, see module docs).
+    LinkDown {
+        /// Sending router.
+        from: RouterId,
+        /// Link direction.
+        dir: Direction,
+    },
+    /// A flaky window on one directed link: from the event time until
+    /// `until`, GS flits drop with probability `drop_prob` each and BE
+    /// packets drop whole with probability `drop_prob`.
+    LinkFlaky {
+        /// Sending router.
+        from: RouterId,
+        /// Link direction.
+        dir: Direction,
+        /// End of the drop window.
+        until: SimTime,
+        /// Per-flit (GS) / per-packet (BE) drop probability.
+        drop_prob: f64,
+    },
+    /// Fail-stop of a whole router: all eight adjacent directed links go
+    /// down, pending router work is discarded and its sources fall
+    /// silent.
+    RouterDown {
+        /// The router.
+        id: RouterId,
+    },
+    /// One GS virtual-channel buffer stops latching: flits steered into
+    /// it vanish (with spoofed unlocks). The VC must be quarantined from
+    /// reallocation by the recovery layer.
+    StuckVc {
+        /// Router owning the buffer.
+        router: RouterId,
+        /// The buffer's output port.
+        dir: Direction,
+        /// The buffer's VC index.
+        vc: VcId,
+    },
+}
+
+/// A fault applied at a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A seeded, deterministic schedule of faults.
+///
+/// The seed drives only fault-local randomness (flaky-link drop draws);
+/// installing a schedule never perturbs traffic RNG streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed for the schedule's private RNG stream.
+    pub seed: u64,
+    /// The fault events (any order; installation sorts by time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (installing it changes nothing).
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends a fault event; returns `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Generates `count` random link faults over `grid`, deterministically
+    /// from `seed`: fault times uniform in `[window_start, window_end)`,
+    /// a mix of fail-stop and flaky links chosen from the schedule RNG.
+    /// Used by the resilience sweep axis.
+    pub fn random_links(
+        grid: &Grid,
+        seed: u64,
+        count: usize,
+        window_start: SimTime,
+        window_end: SimTime,
+    ) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x5EED_FA17);
+        let span = window_end.since(window_start).as_ps().max(1);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Draw a directed link that exists on the grid.
+            let (from, dir) = loop {
+                let from = grid.id_at(rng.gen_index(grid.len()));
+                let dir = Direction::ALL[rng.gen_index(4)];
+                if grid.neighbor(from, dir).is_some() {
+                    break (from, dir);
+                }
+            };
+            let at = window_start + mango_sim::SimDuration::from_ps(rng.gen_range(span));
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::LinkDown { from, dir }
+            } else {
+                FaultKind::LinkFlaky {
+                    from,
+                    dir,
+                    until: at + mango_sim::SimDuration::from_ps(rng.gen_range(span)),
+                    drop_prob: 0.5,
+                }
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        FaultSchedule { seed, events }
+    }
+
+    /// Checks every event references on-grid elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first bad event.
+    pub fn validate(&self, grid: &Grid) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev.kind {
+                FaultKind::LinkDown { from, dir } | FaultKind::LinkFlaky { from, dir, .. } => {
+                    if grid.neighbor(from, dir).is_none() {
+                        return Err(format!("event {i}: link {from}->{dir} leaves the grid"));
+                    }
+                }
+                FaultKind::RouterDown { id } => {
+                    if !grid.contains(id) {
+                        return Err(format!("event {i}: router {id} outside the grid"));
+                    }
+                }
+                FaultKind::StuckVc { router, .. } => {
+                    if !grid.contains(router) {
+                        return Err(format!("event {i}: router {router} outside the grid"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Drop/spoof counters, readable after a faulted run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// GS flits blackholed at faulted elements.
+    pub gs_flits_dropped: u64,
+    /// BE flits blackholed at faulted elements.
+    pub be_flits_dropped: u64,
+    /// GS unlock toggles synthesized for dropped flits.
+    pub spoofed_unlocks: u64,
+    /// BE credits synthesized for dropped flits.
+    pub spoofed_credits: u64,
+    /// BE packets never injected because no surviving route existed.
+    pub be_route_drops: u64,
+    /// Acknowledgment legs dropped for want of a surviving route.
+    pub ack_route_drops: u64,
+    /// Relay segments dropped for want of a surviving route.
+    pub relay_route_drops: u64,
+}
+
+/// Per-link flaky-window tracker. BE framing (`in_packet`/`dropping`) is
+/// followed from the first BE flit that ever crosses the link, so the
+/// header of every packet is identified exactly and drops are
+/// packet-atomic.
+#[derive(Debug, Clone, Copy)]
+struct FlakyLink {
+    from_t: SimTime,
+    until: SimTime,
+    drop_prob: f64,
+    in_packet: bool,
+    dropping: bool,
+}
+
+/// Live fault state owned by the network (present only after
+/// `install_faults`; its absence is the healthy-mesh fast path).
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    events: Vec<FaultEvent>,
+    rng: SimRng,
+    flaky: HashMap<(RouterId, Direction), FlakyLink>,
+    stuck: HashSet<(RouterId, Direction, VcId)>,
+    dead: Vec<bool>,
+}
+
+impl FaultState {
+    /// Builds the state and returns the (index-ordered) application times
+    /// the caller must schedule `NetEvent::Fault { idx }` at.
+    pub(crate) fn install(schedule: FaultSchedule, grid: &Grid) -> (Self, Vec<SimTime>) {
+        schedule
+            .validate(grid)
+            .unwrap_or_else(|e| panic!("invalid fault schedule: {e}"));
+        let mut events = schedule.events;
+        // Stable sort: same-time events apply in schedule order.
+        events.sort_by_key(|e| e.at);
+        let mut flaky = HashMap::new();
+        for ev in &events {
+            if let FaultKind::LinkFlaky {
+                from,
+                dir,
+                until,
+                drop_prob,
+            } = ev.kind
+            {
+                // Register the framing tracker up front (windows on the
+                // same link merge to the widest span / last probability).
+                flaky
+                    .entry((from, dir))
+                    .and_modify(|f: &mut FlakyLink| {
+                        f.from_t = f.from_t.min(ev.at);
+                        f.until = f.until.max(until);
+                        f.drop_prob = drop_prob;
+                    })
+                    .or_insert(FlakyLink {
+                        from_t: ev.at,
+                        until,
+                        drop_prob,
+                        in_packet: false,
+                        dropping: false,
+                    });
+            }
+        }
+        let times = events.iter().map(|e| e.at).collect();
+        (
+            FaultState {
+                events,
+                rng: SimRng::new(schedule.seed),
+                flaky,
+                stuck: HashSet::new(),
+                dead: vec![false; grid.len()],
+            },
+            times,
+        )
+    }
+
+    /// The fault event at `idx` (application order).
+    pub(crate) fn event(&self, idx: usize) -> FaultEvent {
+        self.events[idx]
+    }
+
+    /// Marks a router dead.
+    pub(crate) fn mark_dead(&mut self, index: usize) {
+        self.dead[index] = true;
+    }
+
+    /// Marks a VC buffer stuck.
+    pub(crate) fn mark_stuck(&mut self, router: RouterId, dir: Direction, vc: VcId) {
+        self.stuck.insert((router, dir, vc));
+    }
+
+    /// True if the router at dense `index` has failed.
+    pub(crate) fn is_dead(&self, index: usize) -> bool {
+        self.dead[index]
+    }
+
+    /// True if the buffer is stuck.
+    pub(crate) fn is_stuck(&self, router: RouterId, dir: Direction, vc: VcId) -> bool {
+        !self.stuck.is_empty() && self.stuck.contains(&(router, dir, vc))
+    }
+
+    /// Flaky-window decision for a **GS** flit crossing `(from, dir)` at
+    /// `now`: true to drop.
+    pub(crate) fn flaky_drops_gs(&mut self, from: RouterId, dir: Direction, now: SimTime) -> bool {
+        match self.flaky.get(&(from, dir)) {
+            Some(f) if now >= f.from_t && now < f.until => {
+                let p = f.drop_prob;
+                self.rng.gen_bool(p)
+            }
+            _ => false,
+        }
+    }
+
+    /// Flaky-window decision for a **BE** flit crossing `(from, dir)` at
+    /// `now`: updates wormhole framing and returns true to drop. Drops
+    /// are packet-atomic: decided at the header, held until end of
+    /// packet.
+    pub(crate) fn flaky_drops_be(
+        &mut self,
+        from: RouterId,
+        dir: Direction,
+        now: SimTime,
+        eop: bool,
+    ) -> bool {
+        let Some(f) = self.flaky.get_mut(&(from, dir)) else {
+            return false;
+        };
+        let header = !f.in_packet;
+        if header {
+            let in_window = now >= f.from_t && now < f.until;
+            let p = f.drop_prob;
+            f.dropping = in_window && self.rng.gen_bool(p);
+        }
+        let f = self.flaky.get_mut(&(from, dir)).expect("present above");
+        let drop = f.dropping;
+        f.in_packet = !eop;
+        if eop {
+            f.dropping = false;
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_builder_and_validation() {
+        let grid = Grid::new(4, 4);
+        let sched = FaultSchedule::new(7)
+            .with(
+                SimTime::from_ns(100),
+                FaultKind::LinkDown {
+                    from: RouterId::new(1, 1),
+                    dir: Direction::East,
+                },
+            )
+            .with(
+                SimTime::from_ns(200),
+                FaultKind::RouterDown {
+                    id: RouterId::new(2, 2),
+                },
+            );
+        assert_eq!(sched.events.len(), 2);
+        sched.validate(&grid).unwrap();
+        let bad = FaultSchedule::new(7).with(
+            SimTime::ZERO,
+            FaultKind::LinkDown {
+                from: RouterId::new(0, 0),
+                dir: Direction::West,
+            },
+        );
+        assert!(bad.validate(&grid).is_err());
+    }
+
+    #[test]
+    fn random_link_schedules_are_deterministic_and_on_grid() {
+        let grid = Grid::new(8, 8);
+        let a = FaultSchedule::random_links(
+            &grid,
+            42,
+            16,
+            SimTime::from_ns(10),
+            SimTime::from_ns(1000),
+        );
+        let b = FaultSchedule::random_links(
+            &grid,
+            42,
+            16,
+            SimTime::from_ns(10),
+            SimTime::from_ns(1000),
+        );
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.events.len(), 16);
+        a.validate(&grid).unwrap();
+        for ev in &a.events {
+            assert!(ev.at >= SimTime::from_ns(10));
+            assert!(ev.at < SimTime::from_ns(1000));
+        }
+        let c = FaultSchedule::random_links(
+            &grid,
+            43,
+            16,
+            SimTime::from_ns(10),
+            SimTime::from_ns(1000),
+        );
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn install_sorts_events_and_registers_flaky_windows() {
+        let grid = Grid::new(3, 3);
+        let sched = FaultSchedule::new(1)
+            .with(
+                SimTime::from_ns(500),
+                FaultKind::RouterDown {
+                    id: RouterId::new(1, 1),
+                },
+            )
+            .with(
+                SimTime::from_ns(100),
+                FaultKind::LinkFlaky {
+                    from: RouterId::new(0, 0),
+                    dir: Direction::East,
+                    until: SimTime::from_ns(300),
+                    drop_prob: 1.0,
+                },
+            );
+        let (state, times) = FaultState::install(sched, &grid);
+        assert_eq!(
+            times,
+            vec![SimTime::from_ns(100), SimTime::from_ns(500)],
+            "application order is time order"
+        );
+        assert_eq!(state.flaky.len(), 1);
+        assert!(matches!(state.event(1).kind, FaultKind::RouterDown { .. }));
+    }
+
+    #[test]
+    fn flaky_be_drops_are_packet_atomic() {
+        let grid = Grid::new(2, 1);
+        let from = RouterId::new(0, 0);
+        let sched = FaultSchedule::new(9).with(
+            SimTime::from_ns(100),
+            FaultKind::LinkFlaky {
+                from,
+                dir: Direction::East,
+                until: SimTime::from_ns(10_000),
+                drop_prob: 1.0,
+            },
+        );
+        let (mut state, _) = FaultState::install(sched, &grid);
+        let t_before = SimTime::from_ns(10);
+        // A packet fully before the window passes.
+        assert!(!state.flaky_drops_be(from, Direction::East, t_before, false));
+        assert!(!state.flaky_drops_be(from, Direction::East, t_before, false));
+        assert!(!state.flaky_drops_be(from, Direction::East, t_before, true));
+        // A packet whose header lands in the window (p = 1) drops whole,
+        // including flits past the window end.
+        let t_in = SimTime::from_ns(200);
+        assert!(state.flaky_drops_be(from, Direction::East, t_in, false));
+        assert!(state.flaky_drops_be(from, Direction::East, t_in, false));
+        assert!(state.flaky_drops_be(from, Direction::East, SimTime::from_ns(20_000), true));
+        // Framing reset: the next packet (outside the window) passes.
+        let t_after = SimTime::from_ns(30_000);
+        assert!(!state.flaky_drops_be(from, Direction::East, t_after, true));
+    }
+
+    #[test]
+    fn gs_flaky_draws_respect_window() {
+        let grid = Grid::new(2, 1);
+        let from = RouterId::new(0, 0);
+        let sched = FaultSchedule::new(11).with(
+            SimTime::from_ns(100),
+            FaultKind::LinkFlaky {
+                from,
+                dir: Direction::East,
+                until: SimTime::from_ns(200),
+                drop_prob: 1.0,
+            },
+        );
+        let (mut state, _) = FaultState::install(sched, &grid);
+        assert!(!state.flaky_drops_gs(from, Direction::East, SimTime::from_ns(50)));
+        assert!(state.flaky_drops_gs(from, Direction::East, SimTime::from_ns(150)));
+        assert!(!state.flaky_drops_gs(from, Direction::East, SimTime::from_ns(250)));
+        // Unrelated links never draw.
+        assert!(!state.flaky_drops_gs(RouterId::new(1, 0), Direction::West, SimTime::from_ns(150)));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod conn;
 pub mod experiment;
+pub mod fault;
 pub mod na;
 pub mod network;
 pub mod ocp;
@@ -50,11 +51,12 @@ pub mod traffic;
 
 pub use conn::{walk_dirs, ConnError, ConnRecord, ConnState, ConnectionManager};
 pub use experiment::{BeSweep, LoadPoint};
+pub use fault::{FaultCounters, FaultEvent, FaultKind, FaultSchedule};
 pub use na::{Na, NaConfig};
-pub use network::{AppPacket, NaApp, NetEvent, Network, Node};
+pub use network::{AppPacket, BrokenConn, NaApp, NetEvent, Network, Node};
 pub use ocp::{OcpMessage, OcpSlave};
 pub use relay::{RelayTable, RelayTicket};
-pub use route::{xy_header, xy_path, xy_route, RouteError};
+pub use route::{route_avoiding, xy_header, xy_path, xy_route, RouteError};
 pub use scenario::{
     BeBackgroundSpec, BeFlowSpec, FlowKind, FlowMetric, GsFlowSpec, MeasureBound, Phase,
     PreparedScenario, ScenarioMetrics, ScenarioSpec, TrafficSpec,

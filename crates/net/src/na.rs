@@ -140,6 +140,17 @@ impl Na {
         );
     }
 
+    /// Releases TX interface `iface` unconditionally, discarding any
+    /// queued flits and the lock state — the forced-teardown path after
+    /// a fault, when the first-hop sharebox may never unlock again.
+    /// Returns the number of flits discarded. No-op when already
+    /// unbound (forced teardown must be idempotent).
+    pub fn force_unbind_tx(&mut self, iface: u8) -> usize {
+        self.tx[iface as usize]
+            .take()
+            .map_or(0, |tx| tx.queue.len())
+    }
+
     fn tx_mut(&mut self, iface: u8) -> &mut GsTxIface {
         self.tx[iface as usize]
             .as_mut()

@@ -8,14 +8,15 @@
 //! single-borrow and the simulation deterministic.
 
 use crate::conn::{ConnectionManager, OpenPlan};
+use crate::fault::{FaultCounters, FaultKind, FaultSchedule, FaultState};
 use crate::na::{Na, NaConfig};
 use crate::relay::{self, RelayTable, RelayTicket};
 use crate::stats::NetStats;
 use crate::topology::Grid;
 use crate::traffic::{Source, SourceKind};
 use mango_core::{
-    prog, Direction, Flit, GsArena, InternalEvent, LinkFlit, Router, RouterAction, RouterConfig,
-    RouterId, VcId,
+    prog, ConnectionId, Direction, Flit, GsArena, GsBufferRef, InternalEvent, LinkFlit, Router,
+    RouterAction, RouterConfig, RouterId, Steer, UpstreamRef, VcId,
 };
 use mango_sim::{Ctx, Model, SimDuration, SimTime};
 
@@ -78,6 +79,17 @@ pub enum NetEvent {
         /// Index into the source table.
         idx: usize,
     },
+    /// A scheduled fault strikes (index into the installed schedule's
+    /// application order).
+    Fault {
+        /// Fault event index.
+        idx: usize,
+    },
+    /// A connection watchdog fires (index into the watchdog table).
+    Watchdog {
+        /// Watchdog index.
+        idx: usize,
+    },
 }
 
 /// A node: one router plus its network adapter.
@@ -135,6 +147,40 @@ pub struct Network {
     flit_scratch: Vec<Flit>,
     router_cfg: RouterConfig,
     na_cfg: NaConfig,
+    /// Live fault state; `None` (the default) is the healthy fast path —
+    /// no schedule installed means bit-identical behavior to a build
+    /// without the fault subsystem.
+    faults: Option<Box<FaultState>>,
+    /// Drop/spoof counters (also counts route-failure drops, which can
+    /// only occur once links are masked out).
+    counters: FaultCounters,
+    /// Stream watchdogs for broken-connection detection.
+    watchdogs: Vec<Watchdog>,
+    /// Connections declared broken by a watchdog, awaiting collection by
+    /// the recovery controller.
+    broken: Vec<BrokenConn>,
+}
+
+/// A stream watchdog: declares its connection broken when the flow's
+/// delivered count stops advancing between firings.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    conn: ConnectionId,
+    flow: u32,
+    timeout: SimDuration,
+    last_delivered: u64,
+    armed: bool,
+}
+
+/// A watchdog verdict: which connection broke, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokenConn {
+    /// The broken connection.
+    pub conn: ConnectionId,
+    /// The flow its watchdog monitored.
+    pub flow: u32,
+    /// When the watchdog declared it broken.
+    pub detected_at: SimTime,
 }
 
 impl Network {
@@ -174,6 +220,10 @@ impl Network {
             flit_scratch: Vec::new(),
             router_cfg,
             na_cfg,
+            faults: None,
+            counters: FaultCounters::default(),
+            watchdogs: Vec::new(),
+            broken: Vec::new(),
         }
     }
 
@@ -260,6 +310,21 @@ impl Network {
         self.conn.close(&self.grid, &mut self.relays, id)
     }
 
+    /// Plans a forced, out-of-band teardown (see
+    /// [`ConnectionManager::force_close`]); the caller applies the local
+    /// writes and unbinds the NA interface.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the connection is unknown.
+    pub fn plan_force_close(
+        &mut self,
+        id: mango_core::ConnectionId,
+        now: mango_sim::SimTime,
+    ) -> Result<crate::conn::ForceClosePlan, crate::conn::ConnError> {
+        self.conn.force_close(&self.grid, id, now)
+    }
+
     /// The node at `id`.
     pub fn node(&self, id: RouterId) -> &Node {
         &self.nodes[self.grid.index(id)]
@@ -293,6 +358,277 @@ impl Network {
         &self.sources
     }
 
+    /// Silences every traffic source feeding `flow` (recovery: stop
+    /// streaming into a broken connection before tearing it down).
+    pub fn stop_sources_of_flow(&mut self, flow: u32) {
+        for s in &mut self.sources {
+            if s.flow == flow {
+                s.done = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and detection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault schedule and returns the application times, in
+    /// event-index order; the caller must schedule a
+    /// [`NetEvent::Fault`]`{ idx }` at each (see
+    /// `NocSim::install_faults`). Only one schedule per network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule is already installed or the schedule
+    /// references off-grid elements.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) -> Vec<SimTime> {
+        assert!(self.faults.is_none(), "fault schedule already installed");
+        let (state, times) = FaultState::install(schedule, &self.grid);
+        self.faults = Some(Box::new(state));
+        times
+    }
+
+    /// Drop/spoof counters (all zero while the mesh is healthy).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Registers a stream watchdog on `conn`'s traffic `flow` and returns
+    /// its index; the caller must schedule the first
+    /// [`NetEvent::Watchdog`]`{ idx }` after `timeout` (see
+    /// `NocSim::arm_watchdog`). The watchdog re-arms itself while the
+    /// flow's delivered count keeps advancing and declares the connection
+    /// broken the first time a whole timeout passes without progress.
+    pub fn add_watchdog(&mut self, conn: ConnectionId, flow: u32, timeout: SimDuration) -> usize {
+        let last_delivered = self.stats.flow(flow).delivered;
+        self.watchdogs.push(Watchdog {
+            conn,
+            flow,
+            timeout,
+            last_delivered,
+            armed: true,
+        });
+        self.watchdogs.len() - 1
+    }
+
+    /// Disarms every watchdog monitoring `conn` (recovery in progress —
+    /// silence duplicate verdicts until the replacement path is armed).
+    pub fn disarm_watchdogs(&mut self, conn: ConnectionId) {
+        for w in &mut self.watchdogs {
+            if w.conn == conn {
+                w.armed = false;
+            }
+        }
+    }
+
+    /// Drains the list of connections declared broken by watchdogs.
+    pub fn take_broken(&mut self) -> Vec<BrokenConn> {
+        std::mem::take(&mut self.broken)
+    }
+
+    fn on_watchdog(&mut self, idx: usize, ctx: &mut Ctx<NetEvent>) {
+        let w = self.watchdogs[idx];
+        if !w.armed {
+            return;
+        }
+        let delivered = self.stats.flow(w.flow).delivered;
+        if delivered > w.last_delivered {
+            self.watchdogs[idx].last_delivered = delivered;
+            ctx.schedule(w.timeout, NetEvent::Watchdog { idx });
+        } else {
+            self.watchdogs[idx].armed = false;
+            self.broken.push(BrokenConn {
+                conn: w.conn,
+                flow: w.flow,
+                detected_at: ctx.now(),
+            });
+        }
+    }
+
+    /// Applies fault event `idx` of the installed schedule.
+    fn apply_fault(&mut self, idx: usize) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        let ev = faults.event(idx);
+        match ev.kind {
+            FaultKind::LinkDown { from, dir } => self.grid.fail_link(from, dir),
+            // Flaky windows are tracked from installation; the kernel
+            // event marks the application time for observability, the
+            // drop decisions themselves are purely time-gated.
+            FaultKind::LinkFlaky { .. } => {}
+            FaultKind::RouterDown { id } => {
+                faults.mark_dead(self.grid.index(id));
+                self.grid.fail_router(id);
+                for s in &mut self.sources {
+                    let at = match s.kind {
+                        SourceKind::Gs { router, .. } => router,
+                        SourceKind::Be { router, .. } => router,
+                    };
+                    if at == id {
+                        s.done = true;
+                    }
+                }
+            }
+            FaultKind::StuckVc { router, dir, vc } => faults.mark_stuck(router, dir, vc),
+        }
+    }
+
+    /// Decides whether a flit leaving `from` toward `dir` is blackholed
+    /// by a fault; if so, synthesizes the flow-control feedback the
+    /// downstream router would have produced (see [`crate::fault`] module
+    /// docs) and returns `true`. Only called with faults installed.
+    fn blackhole_flit(
+        &mut self,
+        from: RouterId,
+        dir: Direction,
+        to: RouterId,
+        lf: &LinkFlit,
+        base_delay: SimDuration,
+        ctx: &mut Ctx<NetEvent>,
+    ) -> bool {
+        let now = ctx.now();
+        let hard_down = !self.grid.link_up(from, dir);
+        let faults = self.faults.as_mut().expect("caller checked");
+        let drop = match lf.steer {
+            // BE framing must advance on every flit crossing a
+            // flaky-tracked link, dropped or not.
+            Steer::BeUnit => {
+                let flaky = faults.flaky_drops_be(from, dir, now, lf.flit.eop);
+                hard_down || flaky
+            }
+            Steer::GsBuffer { dir: bd, vc } => {
+                hard_down || faults.is_stuck(to, bd, vc) || faults.flaky_drops_gs(from, dir, now)
+            }
+            Steer::LocalGs { .. } => hard_down || faults.flaky_drops_gs(from, dir, now),
+        };
+        if !drop {
+            return false;
+        }
+        // The spoofed feedback departs where the real feedback would
+        // have: after the flit's forward path plus the downstream
+        // handling and the return trip.
+        let t = &self.router_cfg.timing;
+        let back_extra = self.grid.link_extra(to, dir.opposite());
+        match lf.steer {
+            Steer::BeUnit => {
+                self.counters.be_flits_dropped += 1;
+                self.counters.spoofed_credits += 1;
+                let delay = base_delay + t.hop_forward + t.credit_return + back_extra;
+                ctx.schedule(delay, NetEvent::Credit { to: from, dir });
+            }
+            Steer::GsBuffer { dir: bd, vc } => {
+                self.counters.gs_flits_dropped += 1;
+                let delay = base_delay + t.buffer_advance + t.unlock_path + back_extra;
+                self.spoof_unlock(from, dir, to, GsBufferRef::Net { dir: bd, vc }, delay, ctx);
+            }
+            Steer::LocalGs { iface } => {
+                self.counters.gs_flits_dropped += 1;
+                let delay = base_delay + t.buffer_advance + t.unlock_path + back_extra;
+                self.spoof_unlock(from, dir, to, GsBufferRef::Local { iface }, delay, ctx);
+            }
+        }
+        true
+    }
+
+    /// Synthesizes the unlock toggle the receiver would have sent for a
+    /// GS flit that was blackholed on its way into `buffer` at
+    /// `receiver`. The unlock wire is read from the receiver's own
+    /// connection table — exactly the mapping the real unlock would have
+    /// used; if the entry is already torn down, no feedback is owed.
+    fn spoof_unlock(
+        &mut self,
+        sender: RouterId,
+        dir: Direction,
+        receiver: RouterId,
+        buffer: GsBufferRef,
+        delay: SimDuration,
+        ctx: &mut Ctx<NetEvent>,
+    ) {
+        let table = self.nodes[self.grid.index(receiver)].router.table();
+        if let Some(UpstreamRef::Link { wire, .. }) = table.unlock(buffer) {
+            self.counters.spoofed_unlocks += 1;
+            ctx.schedule(
+                delay,
+                NetEvent::Unlock {
+                    to: sender,
+                    dir,
+                    wire,
+                },
+            );
+        }
+    }
+
+    /// Absorbs events addressed to a dead router (router fail-stop). A
+    /// flit already in flight when the router died still owes its sender
+    /// feedback — spoofed here; everything else vanishes silently.
+    fn absorbed_by_dead_router(&mut self, event: &NetEvent, ctx: &mut Ctx<NetEvent>) -> bool {
+        let target = match event {
+            NetEvent::Router { id, .. }
+            | NetEvent::NaGsInject { id, .. }
+            | NetEvent::NaBeInject { id }
+            | NetEvent::NaGsConsumed { id, .. } => *id,
+            NetEvent::LinkFlit { to, .. }
+            | NetEvent::Unlock { to, .. }
+            | NetEvent::Credit { to, .. } => *to,
+            _ => return false,
+        };
+        let dead = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.is_dead(self.grid.index(target)));
+        if !dead {
+            return false;
+        }
+        if let NetEvent::LinkFlit { to, from, lf } = event {
+            let sender = self
+                .grid
+                .neighbor(*to, *from)
+                .expect("link flits come from neighbors");
+            let t = &self.router_cfg.timing;
+            let back_extra = self.grid.link_extra(*to, *from);
+            match lf.steer {
+                Steer::BeUnit => {
+                    self.counters.be_flits_dropped += 1;
+                    self.counters.spoofed_credits += 1;
+                    let delay = t.hop_forward + t.credit_return + back_extra;
+                    ctx.schedule(
+                        delay,
+                        NetEvent::Credit {
+                            to: sender,
+                            dir: from.opposite(),
+                        },
+                    );
+                }
+                Steer::GsBuffer { dir: bd, vc } => {
+                    self.counters.gs_flits_dropped += 1;
+                    let delay = t.buffer_advance + t.unlock_path + back_extra;
+                    self.spoof_unlock(
+                        sender,
+                        from.opposite(),
+                        *to,
+                        GsBufferRef::Net { dir: bd, vc },
+                        delay,
+                        ctx,
+                    );
+                }
+                Steer::LocalGs { iface } => {
+                    self.counters.gs_flits_dropped += 1;
+                    let delay = t.buffer_advance + t.unlock_path + back_extra;
+                    self.spoof_unlock(
+                        sender,
+                        from.opposite(),
+                        *to,
+                        GsBufferRef::Local { iface },
+                        delay,
+                        ctx,
+                    );
+                }
+            }
+        }
+        true
+    }
+
     /// The router stage delays driving the event model.
     pub fn router_timing(&self) -> &mango_hw::RouterTiming {
         &self.router_cfg.timing
@@ -316,7 +652,7 @@ impl Network {
         now: SimTime,
     ) -> bool {
         let mut flits = std::mem::take(&mut self.flit_scratch);
-        relay::build_segmented_packet_into(
+        if relay::build_segmented_packet_into(
             &self.grid,
             &mut self.relays,
             src,
@@ -325,7 +661,14 @@ impl Network {
             false,
             &mut flits,
         )
-        .unwrap_or_else(|e| panic!("BE packet route failed: {e}"));
+        .is_err()
+        {
+            // Typed degradation: a masked-out link (or a degenerate pair)
+            // drops the packet instead of aborting the process.
+            self.counters.be_route_drops += 1;
+            self.flit_scratch = flits;
+            return false;
+        }
         if let Some(flow) = flow {
             let seq = self.stats.on_inject(flow);
             for f in &mut flits {
@@ -364,6 +707,11 @@ impl Network {
                         .neighbor(id, *dir)
                         .unwrap_or_else(|| panic!("{id}: flit sent off-grid toward {dir}"));
                     let extra = self.grid.link_extra(id, *dir);
+                    if self.faults.is_some()
+                        && self.blackhole_flit(id, *dir, to, lf, *delay + extra, ctx)
+                    {
+                        continue;
+                    }
                     ctx.schedule(
                         *delay + extra,
                         NetEvent::LinkFlit {
@@ -505,8 +853,16 @@ impl Network {
         token: u16,
         ctx: &mut Ctx<NetEvent>,
     ) {
-        let header = relay::ack_leg_header(&self.grid, from, target)
-            .unwrap_or_else(|e| panic!("ack leg route failed: {e}"));
+        let header = match relay::ack_leg_header(&self.grid, from, target) {
+            Ok(h) => h,
+            Err(_) => {
+                // No surviving route back to the source: the ack is lost
+                // and the open/close will be resolved by its watchdog or
+                // poll deadline instead of a process abort.
+                self.counters.ack_route_drops += 1;
+                return;
+            }
+        };
         let mut flits = std::mem::take(&mut self.flit_scratch);
         mango_core::build_be_packet_into(header, &[prog::ack_word(token)], false, &mut flits);
         let idx = self.grid.index(from);
@@ -531,7 +887,7 @@ impl Network {
         payload.clear();
         payload.extend(packet[2..].iter().map(|f| f.data));
         let mut flits = std::mem::take(&mut self.flit_scratch);
-        relay::build_segmented_packet_into(
+        if relay::build_segmented_packet_into(
             &self.grid,
             &mut self.relays,
             from,
@@ -540,7 +896,15 @@ impl Network {
             ticket.config,
             &mut flits,
         )
-        .unwrap_or_else(|e| panic!("relay segment route failed: {e}"));
+        .is_err()
+        {
+            // The fault set cut every remaining route: the relayed packet
+            // is dropped here (its ticket was already consumed).
+            self.counters.relay_route_drops += 1;
+            self.flit_scratch = flits;
+            self.payload_scratch = payload;
+            return;
+        }
         // Copy metadata: header from header, and the tail (payload, plus
         // the fresh continuation word if the route relays again) from the
         // incoming tail, aligned at the packet ends.
@@ -641,6 +1005,9 @@ impl Model for Network {
 
     fn handle(&mut self, event: NetEvent, ctx: &mut Ctx<NetEvent>) {
         let now = ctx.now();
+        if self.faults.is_some() && self.absorbed_by_dead_router(&event, ctx) {
+            return;
+        }
         match event {
             NetEvent::Router { id, ev } => {
                 self.call_router(id, ctx, |r, bufs, act| r.on_internal(bufs, now, ev, act))
@@ -677,6 +1044,8 @@ impl Model for Network {
                 });
             }
             NetEvent::SourceTick { idx } => self.on_source_tick(idx, ctx),
+            NetEvent::Fault { idx } => self.apply_fault(idx),
+            NetEvent::Watchdog { idx } => self.on_watchdog(idx, ctx),
         }
     }
 

@@ -29,9 +29,9 @@
 //! already exists for final delivery) re-launches the ack toward the
 //! connection source — see `Network::on_be_packet`.
 
-use crate::route::{xy_len, xy_segment_header, RouteError};
+use crate::route::{route_avoiding, xy_len, xy_segment_header, RouteError};
 use crate::topology::Grid;
-use mango_core::{build_be_packet_into, BeHeader, Flit, RouterId, MAX_BE_HOPS};
+use mango_core::{build_be_packet_into, BeHeader, Direction, Flit, RouterId, MAX_BE_HOPS};
 use std::collections::HashMap;
 
 /// Magic prefix of a relay continuation word (`"RL"` in the top bytes);
@@ -136,6 +136,9 @@ pub fn build_segmented_packet_into(
     config: bool,
     flits: &mut Vec<Flit>,
 ) -> Result<(), RouteError> {
+    if !grid.all_links_up() {
+        return build_avoiding_packet_into(grid, relays, src, dst, payload, config, flits);
+    }
     let links = xy_len(grid, src, dst)?;
     if links <= MAX_BE_HOPS {
         let header = xy_segment_header(src, dst, links);
@@ -146,6 +149,38 @@ pub fn build_segmented_packet_into(
     let ticket = relays.issue(dst, config);
     flits.clear();
     flits.push(Flit::be(header.0, false));
+    flits.push(Flit::be(relay_word(ticket), payload.is_empty()).with_relay(true));
+    for (i, &word) in payload.iter().enumerate() {
+        flits.push(Flit::be(word, i + 1 == payload.len()));
+    }
+    Ok(())
+}
+
+/// The faulted-mesh slow path of [`build_segmented_packet_into`]: routes
+/// over surviving links via [`route_avoiding`] (which still prefers the
+/// XY route when it survives). Detours are simple shortest paths, so any
+/// ≤15-link prefix is a valid single-header segment; longer detours relay
+/// exactly as long XY routes do.
+fn build_avoiding_packet_into(
+    grid: &Grid,
+    relays: &mut RelayTable,
+    src: RouterId,
+    dst: RouterId,
+    payload: &[u32],
+    config: bool,
+    flits: &mut Vec<Flit>,
+) -> Result<(), RouteError> {
+    let dirs = route_avoiding(grid, src, dst)?;
+    let header = |segment: &[Direction]| {
+        BeHeader::from_route(segment).expect("BFS paths are simple and within capacity")
+    };
+    if dirs.len() <= MAX_BE_HOPS {
+        build_be_packet_into(header(&dirs), payload, config, flits);
+        return Ok(());
+    }
+    let ticket = relays.issue(dst, config);
+    flits.clear();
+    flits.push(Flit::be(header(&dirs[..MAX_BE_HOPS]).0, false));
     flits.push(Flit::be(relay_word(ticket), payload.is_empty()).with_relay(true));
     for (i, &word) in payload.iter().enumerate() {
         flits.push(Flit::be(word, i + 1 == payload.len()));
@@ -181,6 +216,11 @@ pub fn build_segmented_packet(
 ///
 /// Propagates route-computation failures.
 pub fn ack_leg_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHeader, RouteError> {
+    if !grid.all_links_up() {
+        let dirs = route_avoiding(grid, src, dst)?;
+        let leg = dirs.len().min(MAX_BE_HOPS);
+        return Ok(BeHeader::from_route(&dirs[..leg]).expect("BFS paths are simple"));
+    }
     let links = xy_len(grid, src, dst)?;
     Ok(xy_segment_header(src, dst, links.min(MAX_BE_HOPS)))
 }
@@ -264,6 +304,57 @@ mod tests {
         );
         assert!(flits.last().unwrap().eop);
         assert!(flits[..4].iter().all(|f| !f.eop));
+    }
+
+    #[test]
+    fn faulted_mesh_builds_detour_packets() {
+        let mut g = Grid::new(4, 2);
+        g.fail_link(RouterId::new(1, 0), mango_core::Direction::East);
+        let mut relays = RelayTable::new();
+        let mut flits = Vec::new();
+        build_segmented_packet_into(
+            &g,
+            &mut relays,
+            RouterId::new(0, 0),
+            RouterId::new(3, 0),
+            &[9],
+            false,
+            &mut flits,
+        )
+        .unwrap();
+        assert_eq!(relays.in_flight(), 0, "5-link detour fits one header");
+        // Walk the header: it must end in a local delivery at (3,0)
+        // without crossing the failed link.
+        let mut header = BeHeader(flits[0].data);
+        let mut cur = RouterId::new(0, 0);
+        let mut from = None;
+        loop {
+            let (dest, next) = header.route(from);
+            match dest {
+                mango_core::BeDest::Net(dir) => {
+                    assert!(g.link_up(cur, dir), "crossed dead link {cur}->{dir}");
+                    from = Some(dir.opposite());
+                    cur = g.neighbor(cur, dir).unwrap();
+                    header = next;
+                }
+                mango_core::BeDest::Local => break,
+            }
+        }
+        assert_eq!(cur, RouterId::new(3, 0));
+
+        // A partitioned pair surfaces the typed error.
+        let mut cut = Grid::new(2, 1);
+        cut.fail_link(RouterId::new(0, 0), mango_core::Direction::East);
+        let err = build_segmented_packet_into(
+            &cut,
+            &mut relays,
+            RouterId::new(0, 0),
+            RouterId::new(1, 0),
+            &[],
+            false,
+            &mut flits,
+        );
+        assert!(matches!(err, Err(RouteError::Unreachable { .. })));
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub enum RouteError {
     OffGrid(RouterId),
     /// The route is longer than a BE header can encode.
     TooLong(usize),
+    /// No path over surviving links connects the endpoints (fault
+    /// partition).
+    Unreachable {
+        /// Route source.
+        src: RouterId,
+        /// Route destination.
+        dst: RouterId,
+    },
 }
 
 impl std::fmt::Display for RouteError {
@@ -26,6 +34,9 @@ impl std::fmt::Display for RouteError {
             RouteError::OffGrid(r) => write!(f, "router {r} outside the grid"),
             RouteError::TooLong(n) => {
                 write!(f, "route of {n} links exceeds the {MAX_BE_HOPS}-hop limit")
+            }
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "no surviving path from {src} to {dst}")
             }
         }
     }
@@ -142,6 +153,77 @@ pub fn xy_segment_header(src: RouterId, dst: RouterId, links: usize) -> BeHeader
     BeHeader(word << (32 - used))
 }
 
+/// Computes a route from `src` to `dst` avoiding failed links.
+///
+/// On a healthy mesh this is exactly [`xy_route`] (bit-identical headers
+/// downstream). With faults present it first checks whether the XY route
+/// survives; if not, it falls back to a deterministic breadth-first search
+/// over up-links (FIFO queue, [`Direction::ALL`] expansion order), which
+/// finds a shortest surviving path independent of HashMap iteration order.
+///
+/// # Errors
+///
+/// Fails on degenerate endpoints as [`xy_route`] does, or with
+/// [`RouteError::Unreachable`] when the fault set disconnects the pair.
+pub fn route_avoiding(
+    grid: &Grid,
+    src: RouterId,
+    dst: RouterId,
+) -> Result<Vec<Direction>, RouteError> {
+    if grid.all_links_up() {
+        return xy_route(grid, src, dst);
+    }
+    let xy = xy_route(grid, src, dst)?;
+    let mut cur = src;
+    let mut xy_survives = true;
+    for &dir in &xy {
+        if !grid.link_up(cur, dir) {
+            xy_survives = false;
+            break;
+        }
+        cur = grid.neighbor(cur, dir).expect("XY route stays inside");
+    }
+    if xy_survives {
+        return Ok(xy);
+    }
+    // BFS over surviving links: `from[i]` records the direction used to
+    // first reach router-index `i`, and the predecessor is implied.
+    let mut from: Vec<Option<Direction>> = vec![None; grid.len()];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(cur) = queue.pop_front() {
+        if cur == dst {
+            break;
+        }
+        for dir in Direction::ALL {
+            if !grid.link_up(cur, dir) {
+                continue;
+            }
+            let next = grid.neighbor(cur, dir).expect("link_up implies on-grid");
+            if next == src || from[grid.index(next)].is_some() {
+                continue;
+            }
+            from[grid.index(next)] = Some(dir);
+            queue.push_back(next);
+        }
+    }
+    if from[grid.index(dst)].is_none() {
+        return Err(RouteError::Unreachable { src, dst });
+    }
+    // Walk predecessors back from the destination.
+    let mut dirs = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let dir = from[grid.index(cur)].expect("reached routers have a parent");
+        dirs.push(dir);
+        cur = grid
+            .neighbor(cur, dir.opposite())
+            .expect("parent is on-grid");
+    }
+    dirs.reverse();
+    Ok(dirs)
+}
+
 /// The routers an XY route visits, including both endpoints.
 pub fn xy_path(grid: &Grid, src: RouterId, dst: RouterId) -> Result<Vec<RouterId>, RouteError> {
     let route = xy_route(grid, src, dst)?;
@@ -245,6 +327,75 @@ mod tests {
         let g = Grid::new(17, 2);
         let err = xy_header(&g, RouterId::new(0, 0), RouterId::new(16, 0));
         assert_eq!(err, Err(RouteError::TooLong(16)));
+    }
+
+    #[test]
+    fn route_avoiding_matches_xy_on_healthy_mesh() {
+        let g = Grid::new(5, 5);
+        for src in g.ids() {
+            for dst in g.ids() {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(
+                    route_avoiding(&g, src, dst).unwrap(),
+                    xy_route(&g, src, dst).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_a_dead_link() {
+        let mut g = Grid::new(4, 1);
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(3, 0);
+        g.fail_link(RouterId::new(1, 0), East);
+        let dirs = route_avoiding(&g, src, dst);
+        // A 4×1 strip has no detour: the cut partitions it.
+        assert_eq!(dirs, Err(RouteError::Unreachable { src, dst }));
+
+        let mut g = Grid::new(4, 2);
+        g.fail_link(RouterId::new(1, 0), East);
+        let dirs = route_avoiding(&g, src, dst).unwrap();
+        // The detour drops one row and climbs back: still shortest
+        // (5 links) and it never crosses the failed link.
+        assert_eq!(dirs.len(), 5);
+        let mut cur = src;
+        for &d in &dirs {
+            assert!(g.link_up(cur, d), "route crosses dead link {cur}->{d}");
+            cur = g.neighbor(cur, d).unwrap();
+        }
+        assert_eq!(cur, dst);
+    }
+
+    #[test]
+    fn route_avoiding_keeps_surviving_xy_route_under_unrelated_faults() {
+        let mut g = Grid::new(4, 4);
+        g.fail_link(RouterId::new(3, 3), North);
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(2, 1);
+        assert_eq!(
+            route_avoiding(&g, src, dst).unwrap(),
+            xy_route(&g, src, dst).unwrap(),
+            "unrelated fault must not perturb the route"
+        );
+    }
+
+    #[test]
+    fn route_avoiding_around_dead_router() {
+        let mut g = Grid::new(3, 3);
+        g.fail_router(RouterId::new(1, 0));
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(2, 0);
+        let dirs = route_avoiding(&g, src, dst).unwrap();
+        assert_eq!(dirs.len(), 4, "detour through row 1");
+        let mut cur = src;
+        for &d in &dirs {
+            cur = g.neighbor(cur, d).unwrap();
+            assert_ne!(cur, RouterId::new(1, 0), "route visits the dead router");
+        }
+        assert_eq!(cur, dst);
     }
 
     /// The allocation-free segment builder must reproduce the reference

@@ -3,8 +3,9 @@
 //! traffic, running warmup/measurement phases and reading statistics.
 
 use crate::conn::{ConnError, ConnState};
+use crate::fault::FaultSchedule;
 use crate::na::NaConfig;
-use crate::network::{NetEvent, Network};
+use crate::network::{BrokenConn, NetEvent, Network};
 use crate::stats::FlowStats;
 use crate::topology::Grid;
 use crate::traffic::{PatternState, Source, SourceKind, SpatialPattern, TemporalSpec};
@@ -131,6 +132,54 @@ impl NocSim {
     }
 
     // ------------------------------------------------------------------
+    // Faults and detection
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault schedule: each event is applied at
+    /// its simulated time via a kernel event, so fault runs preserve the
+    /// 1-vs-N-thread byte-identity contract. One schedule per simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule is already installed, the schedule references
+    /// off-grid elements, or an event time is already in the past.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        let now = self.kernel.now();
+        let times = self.kernel.model_mut().install_faults(schedule);
+        for (idx, at) in times.into_iter().enumerate() {
+            assert!(at >= now, "fault event {idx} at {at} is in the past");
+            self.kernel.schedule(at.since(now), NetEvent::Fault { idx });
+        }
+    }
+
+    /// Arms a stream watchdog on `conn`'s traffic `flow`: if a whole
+    /// `timeout` passes without the flow's delivered count advancing, the
+    /// connection is declared broken and surfaces in
+    /// [`NocSim::take_broken`]. A sound timeout for a CBR stream of
+    /// period `p` with worst-case latency bound `b` is `p + 2b` — a
+    /// healthy stream's inter-delivery gap never exceeds `p + b`.
+    pub fn arm_watchdog(
+        &mut self,
+        conn: mango_core::ConnectionId,
+        flow: u32,
+        timeout: SimDuration,
+    ) {
+        let idx = self.kernel.model_mut().add_watchdog(conn, flow, timeout);
+        self.kernel.schedule(timeout, NetEvent::Watchdog { idx });
+    }
+
+    /// Drains the connections watchdogs have declared broken.
+    pub fn take_broken(&mut self) -> Vec<BrokenConn> {
+        self.kernel.model_mut().take_broken()
+    }
+
+    /// Silences every traffic source feeding `flow` (first step of
+    /// tearing down a broken connection).
+    pub fn stop_flow(&mut self, flow: u32) {
+        self.kernel.model_mut().stop_sources_of_flow(flow);
+    }
+
+    // ------------------------------------------------------------------
     // Connections
     // ------------------------------------------------------------------
 
@@ -223,6 +272,33 @@ impl NocSim {
                 .schedule(delay, NetEvent::NaBeInject { id: src });
         }
         Ok(())
+    }
+
+    /// Forcibly tears down a connection without in-band traffic — the
+    /// recovery path when a fault leaves part of the route unreachable
+    /// or an in-band close times out. Applies the source-router clears,
+    /// force-unbinds the NA interface (discarding stranded flits) and
+    /// returns the plan describing what was released vs quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the connection is unknown.
+    pub fn force_close_connection(
+        &mut self,
+        id: ConnectionId,
+    ) -> Result<crate::conn::ForceClosePlan, ConnError> {
+        let now = self.kernel.now();
+        let net = self.kernel.model_mut();
+        let plan = net.plan_force_close(id, now)?;
+        let src = net.connections().get(id).expect("planned above").src;
+        let node = net.node_mut(src);
+        if !plan.local_writes.is_empty() {
+            node.router.program(&plan.local_writes);
+        }
+        if let Some(iface) = plan.tx_iface {
+            node.na.force_unbind_tx(iface);
+        }
+        Ok(plan)
     }
 
     /// The lifecycle state of a connection.

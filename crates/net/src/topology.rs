@@ -9,7 +9,7 @@
 
 use mango_core::{Direction, RouterId};
 use mango_sim::SimDuration;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A rectangular mesh of routers.
 #[derive(Debug, Clone)]
@@ -21,6 +21,9 @@ pub struct Grid {
     link_extra: HashMap<(RouterId, Direction), SimDuration>,
     /// Extra forward delay applied to every link.
     default_extra: SimDuration,
+    /// Directed links currently failed (fault injection); routing, relay
+    /// and admission all consult this mask. Empty on a healthy mesh.
+    down_links: HashSet<(RouterId, Direction)>,
 }
 
 impl Grid {
@@ -36,6 +39,7 @@ impl Grid {
             height,
             link_extra: HashMap::new(),
             default_extra: SimDuration::ZERO,
+            down_links: HashSet::new(),
         }
     }
 
@@ -93,6 +97,62 @@ impl Grid {
             .get(&(from, dir))
             .copied()
             .unwrap_or(self.default_extra)
+    }
+
+    /// True if the directed link leaving `from` toward `dir` is healthy.
+    ///
+    /// Links that leave the grid are reported as down (there is no link
+    /// there at all), so `link_up` can double as a "may I route this way"
+    /// predicate in BFS loops.
+    #[inline]
+    pub fn link_up(&self, from: RouterId, dir: Direction) -> bool {
+        // Healthy meshes (the common case) never touch the set; this
+        // lookup sits on routing and admission paths.
+        if self.down_links.is_empty() {
+            return self.neighbor(from, dir).is_some();
+        }
+        self.neighbor(from, dir).is_some() && !self.down_links.contains(&(from, dir))
+    }
+
+    /// True if no link has been failed (the healthy-mesh fast path).
+    #[inline]
+    pub fn all_links_up(&self) -> bool {
+        self.down_links.is_empty()
+    }
+
+    /// Marks one directed link as failed. Both directions of a physical
+    /// channel fail separately; call twice for a full channel cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link leaves the grid.
+    pub fn fail_link(&mut self, from: RouterId, dir: Direction) {
+        assert!(
+            self.neighbor(from, dir).is_some(),
+            "link {from}->{dir} leaves the grid"
+        );
+        self.down_links.insert((from, dir));
+    }
+
+    /// Restores a previously failed directed link.
+    pub fn restore_link(&mut self, from: RouterId, dir: Direction) {
+        self.down_links.remove(&(from, dir));
+    }
+
+    /// Fails every directed link touching `id` (router fail-stop): the
+    /// four outgoing links and the four incoming ones.
+    pub fn fail_router(&mut self, id: RouterId) {
+        for dir in Direction::ALL {
+            if let Some(n) = self.neighbor(id, dir) {
+                self.down_links.insert((id, dir));
+                self.down_links.insert((n, dir.opposite()));
+            }
+        }
+    }
+
+    /// Number of directed links currently failed.
+    pub fn failed_links(&self) -> usize {
+        self.down_links.len()
     }
 
     /// True if `id` lies within the grid.
@@ -187,5 +247,52 @@ mod tests {
     #[should_panic(expected = "dimensions must be positive")]
     fn zero_dimension_rejected() {
         let _ = Grid::new(0, 3);
+    }
+
+    #[test]
+    fn link_mask_defaults_to_all_up() {
+        let g = Grid::new(3, 3);
+        assert!(g.all_links_up());
+        assert_eq!(g.failed_links(), 0);
+        assert!(g.link_up(RouterId::new(0, 0), Direction::East));
+        // Off-grid "links" read as down even on a healthy mesh.
+        assert!(!g.link_up(RouterId::new(0, 0), Direction::North));
+    }
+
+    #[test]
+    fn fail_and_restore_one_direction() {
+        let mut g = Grid::new(3, 3);
+        let a = RouterId::new(0, 0);
+        g.fail_link(a, Direction::East);
+        assert!(!g.link_up(a, Direction::East));
+        // The reverse direction is a separate link and stays up.
+        assert!(g.link_up(RouterId::new(1, 0), Direction::West));
+        assert!(!g.all_links_up());
+        g.restore_link(a, Direction::East);
+        assert!(g.link_up(a, Direction::East));
+        assert!(g.all_links_up());
+    }
+
+    #[test]
+    fn fail_router_cuts_all_adjacent_links() {
+        let mut g = Grid::new(3, 3);
+        let mid = RouterId::new(1, 1);
+        g.fail_router(mid);
+        for dir in Direction::ALL {
+            assert!(!g.link_up(mid, dir), "outgoing {dir}");
+            let n = g.neighbor(mid, dir).unwrap();
+            assert!(!g.link_up(n, dir.opposite()), "incoming from {n}");
+        }
+        // 4 outgoing + 4 incoming directed links.
+        assert_eq!(g.failed_links(), 8);
+        // Links not touching the dead router are unaffected.
+        assert!(g.link_up(RouterId::new(0, 0), Direction::East));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the grid")]
+    fn off_grid_fail_link_rejected() {
+        let mut g = Grid::new(2, 2);
+        g.fail_link(RouterId::new(0, 0), Direction::West);
     }
 }

@@ -47,18 +47,26 @@ pub enum RejectReason {
     /// No free local GS interface at the destination.
     NoRxIface,
     /// No path with a free VC and sufficient residual bandwidth on
-    /// every link (XY and BFS fallback both failed).
+    /// every surviving link (XY and BFS fallback both failed — a
+    /// partitioned mesh reports this too).
     NoPath,
+    /// Admission succeeded but opening the connection through the
+    /// network failed; the reservation was returned. Distinct from
+    /// [`RejectReason::NoPath`]: the controller believed capacity
+    /// existed, the network disagreed (e.g. a fault landed between the
+    /// decision and the programming traffic).
+    OpenFailed,
 }
 
 impl RejectReason {
     /// All reasons, in reporting order.
-    pub const ALL: [RejectReason; 5] = [
+    pub const ALL: [RejectReason; 6] = [
         RejectReason::SameRouter,
         RejectReason::Unguaranteeable,
         RejectReason::NoTxIface,
         RejectReason::NoRxIface,
         RejectReason::NoPath,
+        RejectReason::OpenFailed,
     ];
 
     /// The reason's slot in [`RejectReason::ALL`] — the index shared by
@@ -70,6 +78,7 @@ impl RejectReason {
             RejectReason::NoTxIface => 2,
             RejectReason::NoRxIface => 3,
             RejectReason::NoPath => 4,
+            RejectReason::OpenFailed => 5,
         }
     }
 
@@ -81,6 +90,7 @@ impl RejectReason {
             RejectReason::NoTxIface => "no-tx-iface",
             RejectReason::NoRxIface => "no-rx-iface",
             RejectReason::NoPath => "no-path",
+            RejectReason::OpenFailed => "open-failed",
         }
     }
 }
@@ -191,6 +201,9 @@ impl AdmissionController {
     }
 
     fn link_admits(&self, from: RouterId, dir: Direction, rate_fps: u64) -> bool {
+        if !self.grid.link_up(from, dir) {
+            return false;
+        }
         let i = self.link_index(from, dir);
         self.free_vcs[i] > 0 && self.residual_fps[i] >= rate_fps
     }
@@ -350,6 +363,37 @@ impl AdmissionController {
         self.rx_free[self.grid.index(adm.dst)] += 1;
     }
 
+    /// Marks the directed link `from → dir` failed: [`link_admits`] and
+    /// the BFS fallback skip it from now on. The controller mirrors the
+    /// network's link-state mask — the caller must apply the same fault
+    /// to both (the recovery engine does this when a scheduled fault
+    /// fires).
+    ///
+    /// [`link_admits`]: Self::request
+    pub fn fail_link(&mut self, from: RouterId, dir: Direction) {
+        self.grid.fail_link(from, dir);
+    }
+
+    /// Marks every link adjacent to `id` failed (a router fail-stop cuts
+    /// all eight directed links around it). Requests from or to the dead
+    /// router deterministically reject with [`RejectReason::NoPath`].
+    pub fn fail_router(&mut self, id: RouterId) {
+        self.grid.fail_router(id);
+    }
+
+    /// Shrinks the VC pool of `from → dir` by one: a stuck-at fault has
+    /// wedged one of the link's VC buffers, so one fewer connection fits
+    /// even though the link itself still carries traffic.
+    pub fn mark_stuck_vc(&mut self, from: RouterId, dir: Direction) {
+        let i = self.link_index(from, dir);
+        self.free_vcs[i] = self.free_vcs[i].saturating_sub(1);
+    }
+
+    /// Number of directed links currently marked failed.
+    pub fn failed_links(&self) -> usize {
+        self.grid.failed_links()
+    }
+
     /// A snapshot of every budget counter, for exact state comparison in
     /// tests (leak detection).
     pub fn snapshot(&self) -> (Vec<u8>, Vec<u64>, Vec<u8>, Vec<u8>) {
@@ -498,6 +542,43 @@ mod tests {
         for (i, r) in RejectReason::ALL.iter().enumerate() {
             assert_eq!(r.index(), i);
         }
+    }
+
+    #[test]
+    fn failed_link_forces_detour_or_no_path() {
+        // 3×1 line: the dead link partitions the mesh.
+        let mut c = controller(3, 1);
+        c.fail_link(RouterId::new(1, 0), Direction::East);
+        assert_eq!(c.request(&req(0, 0, 2, 0, 20)), Err(RejectReason::NoPath));
+
+        // 3×2: a detour through the second row survives.
+        let mut c = controller(3, 2);
+        c.fail_link(RouterId::new(1, 0), Direction::East);
+        let adm = c.request(&req(0, 0, 2, 0, 20)).unwrap();
+        assert!(!adm.xy, "XY crosses the dead link");
+        assert_eq!(adm.hops(), 4, "shortest detour adds two links");
+        assert_eq!(c.failed_links(), 1);
+    }
+
+    #[test]
+    fn failed_router_rejects_endpoints_and_reroutes_transit() {
+        let mut c = controller(3, 3);
+        c.fail_router(RouterId::new(1, 0));
+        // The dead router is unreachable as an endpoint...
+        assert_eq!(c.request(&req(0, 0, 1, 0, 20)), Err(RejectReason::NoPath));
+        // ...and transit traffic detours around it.
+        let adm = c.request(&req(0, 0, 2, 0, 20)).unwrap();
+        assert!(!adm.xy);
+        assert_eq!(adm.hops(), 4);
+    }
+
+    #[test]
+    fn stuck_vcs_shrink_the_pool_until_no_path() {
+        let mut c = controller(2, 1);
+        for _ in 0..7 {
+            c.mark_stuck_vc(RouterId::new(0, 0), Direction::East);
+        }
+        assert_eq!(c.request(&req(0, 0, 1, 0, 20)), Err(RejectReason::NoPath));
     }
 
     #[test]

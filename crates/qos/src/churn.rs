@@ -427,26 +427,38 @@ impl<'a> Engine<'a> {
                 // teardown acks can drain before collection.
                 let latest_close = self.t_end - self.spec.drain_margin * 2;
                 let close_at = (now + holding).min(latest_close);
-                let conn = prepared
+                match prepared
                     .sim_mut()
                     .open_connection_along(src, dst, &admission.dirs)
-                    .unwrap_or_else(|e| {
-                        panic!("admission accepted {src}->{dst} but open failed: {e}")
-                    });
-                outcome.hops = admission.hops();
-                outcome.xy = admission.xy;
-                outcome.bound_ns = admission.report.worst_latency_ns();
-                let live_idx = self.live.len();
-                self.live.push(Live {
-                    outcome_idx,
-                    conn,
-                    admission,
-                    stream_stop: close_at - self.spec.drain_margin,
-                    flow: None,
-                    metric_idx: None,
-                });
-                self.push(now + self.poll_gap, Action::PollOpen(live_idx));
-                self.push(close_at, Action::Close(live_idx));
+                {
+                    Ok(conn) => {
+                        outcome.hops = admission.hops();
+                        outcome.xy = admission.xy;
+                        outcome.bound_ns = admission.report.worst_latency_ns();
+                        let live_idx = self.live.len();
+                        self.live.push(Live {
+                            outcome_idx,
+                            conn,
+                            admission,
+                            stream_stop: close_at - self.spec.drain_margin,
+                            flow: None,
+                            metric_idx: None,
+                        });
+                        self.push(now + self.poll_gap, Action::PollOpen(live_idx));
+                        self.push(close_at, Action::Close(live_idx));
+                    }
+                    Err(_) => {
+                        // The controller believed capacity existed but
+                        // the network disagreed — a fault can land
+                        // between the decision and the programming
+                        // traffic. Return the reservation exactly and
+                        // record a typed rejection instead of tearing
+                        // the whole run down.
+                        self.admission.release(&admission);
+                        outcome.rejected = Some(RejectReason::OpenFailed);
+                        self.rejected_by[RejectReason::OpenFailed.index()] += 1;
+                    }
+                }
             }
             Err(reason) => {
                 outcome.rejected = Some(reason);

@@ -19,7 +19,13 @@
 //!   open→stream→close connection workload over any base
 //!   [`mango_net::ScenarioSpec`], driving the real in-band BE
 //!   programming packets, and measures setup latency, rejection rate,
-//!   programming overhead and observed-vs-bound latency.
+//!   programming overhead and observed-vs-bound latency;
+//! * [`recovery`] — [`recovery::RecoverySpec`] injects a deterministic
+//!   [`mango_net::FaultSchedule`], detects broken GS connections with
+//!   in-network watchdogs, and heals them: teardown (in-band where
+//!   possible, force-close with quarantine where not), re-admission
+//!   over surviving links with capped exponential backoff, and
+//!   re-validation against the recomputed degraded-path bound.
 //!
 //! # Example
 //!
@@ -66,7 +72,9 @@
 pub mod admission;
 pub mod bound;
 pub mod churn;
+pub mod recovery;
 
 pub use admission::{Admission, AdmissionController, ConnRequest, RejectReason};
 pub use bound::{report_for, GuaranteeReport, ServiceModel};
 pub use churn::{ChurnMetrics, ChurnSpec, ConnOutcome};
+pub use recovery::{RecoveryMetrics, RecoveryOutcome, RecoveryRecord, RecoverySpec};

@@ -1,0 +1,802 @@
+//! Self-healing GS connections: watchdog detection, teardown, and
+//! re-admission with capped exponential backoff over the surviving
+//! links.
+//!
+//! The engine layers a set of *managed* GS connections over a base
+//! [`ScenarioSpec`], arms a watchdog on each (timeout `period + 2 ×
+//! worst-case latency` — a healthy conforming stream can never pause
+//! longer), installs a deterministic [`FaultSchedule`], and drives the
+//! recovery lifecycle for every connection the watchdogs report broken:
+//!
+//! 1. **detect** — the in-network watchdog fires ([`mango_net::NocSim::take_broken`]);
+//! 2. **release** — stop the source, let in-flight flits drain one
+//!    latency bound, tear the circuit down in-band where the network
+//!    still reaches every path router, force-close (quarantining
+//!    unconfirmed hops) where it does not, and return the admission
+//!    budgets exactly;
+//! 3. **re-admit** — re-request the connection through the
+//!    [`AdmissionController`], whose link mask mirrors the fired
+//!    faults, so path search is restricted to surviving links (XY if it
+//!    survives, BFS detour otherwise), retrying with capped exponential
+//!    backoff plus deterministic jitter;
+//! 4. **re-validate** — recompute the analytical bound for the new
+//!    (possibly longer) path, re-arm the watchdog with the new timeout,
+//!    and stream again; the harness asserts observed ≤ bound on every
+//!    surviving connection.
+//!
+//! Every step is a pure function of the spec: the action queue is
+//! ordered by `(time, insertion seq)`, backoff jitter forks from
+//! `recovery_seed`, and fault application times come from the schedule
+//! — so recovery traces are byte-identical across thread counts.
+
+use crate::admission::{Admission, AdmissionController, ConnRequest, RejectReason};
+use mango_core::{ConnectionId, RouterId};
+use mango_net::{
+    ConnState, EmitWindow, FaultCounters, FaultKind, FaultSchedule, FlowKind, MeasureBound,
+    Pattern, PreparedScenario, ScenarioMetrics, ScenarioSpec,
+};
+use mango_sim::{SimDuration, SimRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A fault-injection + recovery experiment: a base scenario, a set of
+/// managed GS connections with watchdogs, and a fault schedule whose
+/// times are offsets **from measurement start**.
+#[derive(Debug, Clone)]
+pub struct RecoverySpec {
+    /// The base scenario. `measure` must be [`MeasureBound::For`].
+    pub base: ScenarioSpec,
+    /// Managed GS connections (opened before measurement, watchdogged).
+    pub managed: Vec<(RouterId, RouterId)>,
+    /// CBR emission period of each managed stream.
+    pub gs_period: SimDuration,
+    /// Fault schedule; each event's `at` is an offset from measurement
+    /// start (the engine shifts it onto the simulation clock).
+    pub faults: FaultSchedule,
+    /// Seed of the backoff-jitter stream.
+    pub recovery_seed: u64,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+    /// Re-admission attempts before giving up on a broken connection.
+    pub max_retries: u32,
+    /// Deadline for one in-band teardown (or reopen) to settle before
+    /// the engine force-closes and moves on.
+    pub op_timeout: SimDuration,
+    /// Fraction of link capacity reservable by GS connections.
+    pub max_gs_frac: f64,
+}
+
+impl RecoverySpec {
+    /// A recovery skeleton on a `width × height` paper mesh.
+    pub fn mesh(width: u8, height: u8, seed: u64) -> Self {
+        let mut base = ScenarioSpec::mesh(width, height, seed);
+        base.measure = MeasureBound::For(SimDuration::from_us(100));
+        RecoverySpec {
+            base,
+            managed: Vec::new(),
+            gs_period: SimDuration::from_ns(15),
+            faults: FaultSchedule::new(seed ^ 0xFA_17),
+            recovery_seed: seed ^ 0x4EC0,
+            backoff_base: SimDuration::from_ns(200),
+            backoff_cap: SimDuration::from_us(4),
+            max_retries: 6,
+            op_timeout: SimDuration::from_us(5),
+            max_gs_frac: 0.875,
+        }
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.measure` is not [`MeasureBound::For`], a managed
+    /// stream does not conform to the service model (no bound → no
+    /// watchdog timeout), or the base scenario itself is infeasible.
+    pub fn run(&self) -> RecoveryMetrics {
+        let MeasureBound::For(horizon) = self.base.measure else {
+            panic!("recovery needs a fixed measurement window");
+        };
+        let mut prepared = self.base.prepare();
+        let mut engine = Engine::new(self, &mut prepared, horizon);
+        engine.arm(&mut prepared);
+        engine.run(prepared)
+    }
+}
+
+/// How one broken connection's recovery ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Re-admitted over a path of the original length.
+    Recovered,
+    /// Re-admitted, but only a longer path survived.
+    ReroutedLongerPath,
+    /// Admission refused on every retry (no surviving capacity).
+    Rejected,
+    /// The window closed (or retries ran out) before service returned.
+    PermanentlyDegraded,
+}
+
+impl RecoveryOutcome {
+    /// Stable short name for CSV columns and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryOutcome::Recovered => "recovered",
+            RecoveryOutcome::ReroutedLongerPath => "rerouted-longer-path",
+            RecoveryOutcome::Rejected => "rejected",
+            RecoveryOutcome::PermanentlyDegraded => "permanently-degraded",
+        }
+    }
+}
+
+/// The recovery story of one managed connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRecord {
+    /// Index into [`RecoverySpec::managed`].
+    pub idx: usize,
+    /// Source router.
+    pub src: RouterId,
+    /// Destination router.
+    pub dst: RouterId,
+    /// Links of the original admitted path.
+    pub old_hops: usize,
+    /// Links of the recovered path (0 until recovered).
+    pub new_hops: usize,
+    /// Analytical latency bound on the original path, ns.
+    pub pre_bound_ns: Option<f64>,
+    /// Analytical latency bound on the recovered path, ns.
+    pub post_bound_ns: Option<f64>,
+    /// When the watchdog detected the break (`None` = never broke).
+    pub detected_at: Option<SimTime>,
+    /// When the recovered stream's circuit reopened.
+    pub recovered_at: Option<SimTime>,
+    /// Detection → reopen latency.
+    pub recovery_latency: Option<SimDuration>,
+    /// Re-admission attempts spent.
+    pub attempts: u32,
+    /// Whether teardown needed a force-close (in-band close impossible
+    /// or timed out).
+    pub forced_close: bool,
+    /// How the recovery ended (`None` = the connection never broke).
+    pub outcome: Option<RecoveryOutcome>,
+    /// Flits lost on the broken stream (injected − delivered).
+    pub flits_lost: u64,
+    /// Worst observed latency on the recovered stream, ns.
+    pub post_observed_max_ns: Option<f64>,
+}
+
+impl RecoveryRecord {
+    /// True when the recovered stream violated its recomputed bound —
+    /// the degraded-guarantee contract failed.
+    pub fn violates_post_bound(&self) -> bool {
+        match (self.post_observed_max_ns, self.post_bound_ns) {
+            (Some(obs), Some(bound)) => obs > bound,
+            _ => false,
+        }
+    }
+}
+
+/// Everything a recovery run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryMetrics {
+    /// The base scenario's metrics (managed streams included).
+    pub scenario: ScenarioMetrics,
+    /// Per-managed-connection records, in spec order.
+    pub records: Vec<RecoveryRecord>,
+    /// Break events the watchdogs reported. A connection can break
+    /// again after healing (its new path dies too), so this can exceed
+    /// the per-connection outcome counts below.
+    pub broken: u64,
+    /// Recovered over an equal-length path.
+    pub recovered: u64,
+    /// Recovered over a longer path.
+    pub rerouted: u64,
+    /// Refused by admission on every retry.
+    pub rejected: u64,
+    /// Still without service at window end.
+    pub degraded: u64,
+    /// Teardowns that needed a force-close.
+    pub forced_closes: u64,
+    /// Resources quarantined by forced teardowns (conn-manager view).
+    pub quarantined: usize,
+    /// The network's fault/drop/spoof counters.
+    pub fault_counters: FaultCounters,
+}
+
+impl RecoveryMetrics {
+    /// Recovered streams whose observed worst latency exceeded the
+    /// recomputed bound (must be zero: the degraded-guarantee check).
+    pub fn post_bound_violations(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.violates_post_bound())
+            .count() as u64
+    }
+
+    /// Recovery latencies (detection → reopen), in record order.
+    pub fn recovery_latencies(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.records.iter().filter_map(|r| r.recovery_latency)
+    }
+}
+
+/// Recovery steps; ordered so equal-time actions replay in insertion
+/// order via the `(time, seq)` heap key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Step {
+    /// Apply due faults to the admission mask; collect broken conns.
+    Scan,
+    /// Begin teardown of managed connection `i` (post-drain).
+    Teardown(usize),
+    /// Wait for managed connection `i`'s in-band teardown.
+    PollTorn(usize),
+    /// Re-request managed connection `i` through admission.
+    Reopen(usize),
+    /// Wait for managed connection `i`'s reopened circuit.
+    PollReopened(usize),
+}
+
+/// Live state of one managed connection.
+#[derive(Debug)]
+struct Managed {
+    src: RouterId,
+    dst: RouterId,
+    conn: ConnectionId,
+    admission: Admission,
+    flow: u32,
+    deadline: Option<SimTime>,
+}
+
+struct Engine<'a> {
+    spec: &'a RecoverySpec,
+    horizon: SimDuration,
+    t_start: SimTime,
+    t_end: SimTime,
+    scan_gap: SimDuration,
+    poll_gap: SimDuration,
+    admission: AdmissionController,
+    queue: BinaryHeap<Reverse<(SimTime, u64, Step)>>,
+    seq: u64,
+    jitter: SimRng,
+    managed: Vec<Managed>,
+    by_conn: HashMap<ConnectionId, usize>,
+    records: Vec<RecoveryRecord>,
+    attempts: Vec<u32>,
+    /// Metric indices of streams to fold into records at collection:
+    /// `(managed idx, metric idx, is_post_recovery)`.
+    tracked: Vec<(usize, usize, bool)>,
+    /// Fault times (sim clock) not yet applied to the admission mask.
+    fault_due: Vec<(SimTime, FaultKind)>,
+    fault_next: usize,
+    broken: u64,
+    forced_closes: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(spec: &'a RecoverySpec, prepared: &mut PreparedScenario, horizon: SimDuration) -> Self {
+        let sim = prepared.sim();
+        let net = sim.network();
+        let mut admission = AdmissionController::new(
+            net.grid().clone(),
+            net.router_cfg(),
+            net.na_cfg(),
+            spec.max_gs_frac,
+        );
+        for (flow, conn) in spec.base.gs.iter().zip(prepared.connections()) {
+            let record = net
+                .connections()
+                .get(*conn)
+                .expect("static connection has a record");
+            let rate = AdmissionController::rate_fps(flow.pattern.mean_gap());
+            admission.reserve_existing(record.src, &record.dirs.clone(), rate);
+        }
+        Engine {
+            spec,
+            horizon,
+            t_start: SimTime::ZERO,
+            t_end: SimTime::ZERO + horizon,
+            scan_gap: SimDuration::from_ns(200),
+            poll_gap: SimDuration::from_ns(100),
+            admission,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            jitter: SimRng::new(spec.recovery_seed),
+            managed: Vec::new(),
+            by_conn: HashMap::new(),
+            records: Vec::new(),
+            attempts: Vec::new(),
+            tracked: Vec::new(),
+            fault_due: Vec::new(),
+            fault_next: 0,
+            broken: 0,
+            forced_closes: 0,
+        }
+    }
+
+    fn push(&mut self, t: SimTime, step: Step) {
+        self.queue.push(Reverse((t, self.seq, step)));
+        self.seq += 1;
+    }
+
+    /// Opens the managed connections, attaches their streams, arms the
+    /// watchdogs, installs the (shifted) fault schedule, and starts the
+    /// measurement window.
+    fn arm(&mut self, prepared: &mut PreparedScenario) {
+        // Admit and open every managed connection before measurement.
+        for (i, &(src, dst)) in self.spec.managed.iter().enumerate() {
+            let req = ConnRequest {
+                src,
+                dst,
+                period: self.spec.gs_period,
+            };
+            let adm = self
+                .admission
+                .request(&req)
+                .unwrap_or_else(|r| panic!("managed connection {i} inadmissible: {r}"));
+            let conn = prepared
+                .sim_mut()
+                .open_connection_along(src, dst, &adm.dirs)
+                .expect("admitted path opens on a healthy mesh");
+            self.records.push(RecoveryRecord {
+                idx: i,
+                src,
+                dst,
+                old_hops: adm.hops(),
+                new_hops: 0,
+                pre_bound_ns: adm.report.worst_latency_ns(),
+                post_bound_ns: None,
+                detected_at: None,
+                recovered_at: None,
+                recovery_latency: None,
+                attempts: 0,
+                forced_close: false,
+                outcome: None,
+                flits_lost: 0,
+                post_observed_max_ns: None,
+            });
+            self.attempts.push(0);
+            self.managed.push(Managed {
+                src,
+                dst,
+                conn,
+                admission: adm,
+                flow: 0,
+                deadline: None,
+            });
+            self.by_conn.insert(conn, i);
+        }
+        prepared
+            .sim_mut()
+            .wait_connections_settled()
+            .expect("managed connections settle on a healthy mesh");
+        prepared.start_measurement();
+
+        let now = prepared.sim().now();
+        self.t_start = now;
+        self.t_end = now + self.horizon;
+
+        // Streams + watchdogs.
+        for i in 0..self.managed.len() {
+            let conn = self.managed[i].conn;
+            let flow = prepared.sim_mut().add_gs_source(
+                conn,
+                Pattern::cbr(self.spec.gs_period),
+                format!("managed-{i}"),
+                EmitWindow::default(),
+            );
+            let metric_idx = prepared.track_flow(flow, FlowKind::Gs);
+            self.tracked.push((i, metric_idx, false));
+            self.managed[i].flow = flow;
+            let timeout = self.watchdog_timeout(&self.managed[i].admission);
+            prepared.sim_mut().arm_watchdog(conn, flow, timeout);
+        }
+
+        // Shift the schedule onto the simulation clock and install it;
+        // keep a copy so the admission mask tracks the fired faults.
+        let mut shifted = FaultSchedule::new(self.spec.faults.seed);
+        for ev in &self.spec.faults.events {
+            let at = now + SimDuration::from_ps(ev.at.as_ps());
+            shifted = shifted.with(at, ev.kind);
+            self.fault_due.push((at, ev.kind));
+        }
+        self.fault_due.sort_by_key(|&(t, _)| t);
+        if !shifted.events.is_empty() {
+            prepared.sim_mut().install_faults(shifted);
+        }
+        self.push(now + self.scan_gap, Step::Scan);
+    }
+
+    /// Sound watchdog timeout: a conforming stream delivers at least one
+    /// flit per `period + 2 × bound` (one inter-emission gap, plus the
+    /// bound twice covers any jitter between a fast and a slow flit).
+    fn watchdog_timeout(&self, adm: &Admission) -> SimDuration {
+        let bound = adm
+            .report
+            .worst_latency
+            .expect("managed streams must conform (a watchdog needs a bound)");
+        self.spec.gs_period + bound * 2
+    }
+
+    fn backoff(&mut self, attempt: u32) -> SimDuration {
+        let exp = self.spec.backoff_base * 2u64.saturating_pow(attempt.min(16));
+        let capped = exp.min(self.spec.backoff_cap);
+        // Deterministic jitter in [0, base/2): decorrelates retries
+        // without breaking replay.
+        let span = (self.spec.backoff_base.as_ps() / 2).max(1);
+        capped + SimDuration::from_ps(self.jitter.gen_range(span))
+    }
+
+    fn run(mut self, mut prepared: PreparedScenario) -> RecoveryMetrics {
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t >= self.t_end {
+                break;
+            }
+            let Reverse((t, _, step)) = self.queue.pop().expect("peeked");
+            let now = prepared.sim().now();
+            if t > now {
+                prepared.sim_mut().run_for(t.since(now));
+            }
+            match step {
+                Step::Scan => self.on_scan(&mut prepared),
+                Step::Teardown(i) => self.on_teardown(&mut prepared, i),
+                Step::PollTorn(i) => self.on_poll_torn(&mut prepared, i),
+                Step::Reopen(i) => self.on_reopen(&mut prepared, i),
+                Step::PollReopened(i) => self.on_poll_reopened(&mut prepared, i),
+            }
+        }
+        let now = prepared.sim().now();
+        if self.t_end > now {
+            prepared.sim_mut().run_for(self.t_end.since(now));
+        }
+        self.collect(prepared)
+    }
+
+    fn on_scan(&mut self, prepared: &mut PreparedScenario) {
+        let now = prepared.sim().now();
+        // Mirror fired faults into the admission mask so re-admission
+        // only considers surviving links.
+        while self.fault_next < self.fault_due.len() && self.fault_due[self.fault_next].0 <= now {
+            let (_, kind) = self.fault_due[self.fault_next];
+            self.fault_next += 1;
+            match kind {
+                FaultKind::LinkDown { from, dir } => self.admission.fail_link(from, dir),
+                FaultKind::RouterDown { id } => self.admission.fail_router(id),
+                FaultKind::StuckVc { router, dir, .. } => self.admission.mark_stuck_vc(router, dir),
+                // Flaky links stay admissible: they still carry traffic
+                // and heal when the window closes; a recovery routed
+                // over one may simply break and recover again.
+                FaultKind::LinkFlaky { .. } => {}
+            }
+        }
+
+        for broken in prepared.sim_mut().take_broken() {
+            let Some(&i) = self.by_conn.get(&broken.conn) else {
+                continue; // not a managed connection
+            };
+            self.broken += 1;
+            let rec = &mut self.records[i];
+            rec.detected_at = Some(broken.detected_at);
+            // Stop the source; give in-flight flits one bound to drain
+            // (spoofed feedback keeps the queues moving even across the
+            // dead link), then tear down.
+            prepared.sim_mut().stop_flow(broken.flow);
+            let drain = self.managed[i]
+                .admission
+                .report
+                .worst_latency
+                .expect("managed streams conform");
+            self.push(now + drain, Step::Teardown(i));
+        }
+
+        self.push(now + self.scan_gap, Step::Scan);
+    }
+
+    fn on_teardown(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        let conn = self.managed[i].conn;
+        match prepared.sim().connection_state(conn) {
+            Some(ConnState::Open) => match prepared.sim_mut().close_connection(conn) {
+                Ok(()) => {
+                    self.managed[i].deadline = Some(now + self.spec.op_timeout);
+                    self.push(now + self.poll_gap, Step::PollTorn(i));
+                }
+                Err(_) => {
+                    // The close plan itself is unroutable (partition or
+                    // dead router on every return path): force-close.
+                    self.force_close(prepared, i);
+                    self.schedule_reopen(prepared, i);
+                }
+            },
+            Some(ConnState::Closed) => self.schedule_reopen(prepared, i),
+            // Opening/Closing (or unknown): wait for the transition.
+            _ => {
+                self.managed[i].deadline = Some(now + self.spec.op_timeout);
+                self.push(now + self.poll_gap, Step::PollTorn(i));
+            }
+        }
+    }
+
+    fn on_poll_torn(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        match prepared.sim().connection_state(self.managed[i].conn) {
+            Some(ConnState::Closed) => {
+                self.admission.release(&self.managed[i].admission.clone());
+                self.schedule_reopen(prepared, i);
+            }
+            _ if self.managed[i].deadline.is_some_and(|d| now >= d) => {
+                // In-band teardown wedged (acks lost to the fault):
+                // force-close and quarantine the unconfirmed hops.
+                self.force_close(prepared, i);
+                self.schedule_reopen(prepared, i);
+            }
+            Some(ConnState::Open) => {
+                // Teardown not issued yet (we got here via the Opening
+                // wait): issue it now.
+                self.on_teardown(prepared, i);
+            }
+            _ => self.push(now + self.poll_gap, Step::PollTorn(i)),
+        }
+    }
+
+    fn force_close(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let conn = self.managed[i].conn;
+        prepared
+            .sim_mut()
+            .force_close_connection(conn)
+            .expect("managed connection is known");
+        self.admission.release(&self.managed[i].admission.clone());
+        self.records[i].forced_close = true;
+        self.forced_closes += 1;
+    }
+
+    fn schedule_reopen(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        let delay = self.backoff(self.attempts[i]);
+        self.push(now + delay, Step::Reopen(i));
+    }
+
+    fn on_reopen(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        self.attempts[i] += 1;
+        self.records[i].attempts = self.attempts[i];
+        let req = ConnRequest {
+            src: self.managed[i].src,
+            dst: self.managed[i].dst,
+            period: self.spec.gs_period,
+        };
+        match self.admission.request(&req) {
+            Ok(adm) => {
+                match prepared
+                    .sim_mut()
+                    .open_connection_along(req.src, req.dst, &adm.dirs)
+                {
+                    Ok(conn) => {
+                        self.by_conn.remove(&self.managed[i].conn);
+                        self.by_conn.insert(conn, i);
+                        self.managed[i].conn = conn;
+                        self.managed[i].admission = adm;
+                        self.managed[i].deadline = Some(now + self.spec.op_timeout);
+                        self.push(now + self.poll_gap, Step::PollReopened(i));
+                    }
+                    Err(_) => {
+                        // Quarantined VCs can make the manager refuse a
+                        // path admission still believes in; count as a
+                        // failed attempt and back off.
+                        self.admission.release(&adm);
+                        self.retry_or_give_up(prepared, i, RecoveryOutcome::PermanentlyDegraded);
+                    }
+                }
+            }
+            Err(RejectReason::NoPath) | Err(RejectReason::OpenFailed) => {
+                self.retry_or_give_up(prepared, i, RecoveryOutcome::Rejected);
+            }
+            Err(_) => {
+                // Interface/rate rejections will not heal with time.
+                self.records[i].outcome = Some(RecoveryOutcome::Rejected);
+            }
+        }
+    }
+
+    fn retry_or_give_up(
+        &mut self,
+        prepared: &mut PreparedScenario,
+        i: usize,
+        give_up: RecoveryOutcome,
+    ) {
+        if self.attempts[i] < self.spec.max_retries {
+            self.schedule_reopen(prepared, i);
+        } else {
+            self.records[i].outcome = Some(give_up);
+        }
+    }
+
+    fn on_poll_reopened(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        match prepared.sim().connection_state(self.managed[i].conn) {
+            Some(ConnState::Open) => {
+                let rec = &mut self.records[i];
+                rec.recovered_at = Some(now);
+                rec.recovery_latency =
+                    Some(now.since(rec.detected_at.expect("recovery implies detection")));
+                rec.new_hops = self.managed[i].admission.hops();
+                rec.post_bound_ns = self.managed[i].admission.report.worst_latency_ns();
+                rec.outcome = Some(if rec.new_hops > rec.old_hops {
+                    RecoveryOutcome::ReroutedLongerPath
+                } else {
+                    RecoveryOutcome::Recovered
+                });
+                // Re-validate: stream over the new path under a freshly
+                // armed watchdog with the recomputed timeout.
+                let conn = self.managed[i].conn;
+                let flow = prepared.sim_mut().add_gs_source(
+                    conn,
+                    Pattern::cbr(self.spec.gs_period),
+                    format!("recovered-{i}-{}", self.attempts[i]),
+                    EmitWindow::default(),
+                );
+                let metric_idx = prepared.track_flow(flow, FlowKind::Gs);
+                self.tracked.push((i, metric_idx, true));
+                self.managed[i].flow = flow;
+                let timeout = self.watchdog_timeout(&self.managed[i].admission);
+                prepared.sim_mut().arm_watchdog(conn, flow, timeout);
+            }
+            _ if self.managed[i].deadline.is_some_and(|d| now >= d) => {
+                // The reopen's programming traffic was itself eaten by
+                // a fault: force-close the half-open circuit and retry.
+                self.force_close(prepared, i);
+                self.retry_or_give_up(prepared, i, RecoveryOutcome::PermanentlyDegraded);
+            }
+            _ => self.push(now + self.poll_gap, Step::PollReopened(i)),
+        }
+    }
+
+    fn collect(mut self, prepared: PreparedScenario) -> RecoveryMetrics {
+        let quarantined = prepared.sim().network().connections().quarantined_count();
+        let fault_counters = prepared.sim().network().fault_counters();
+        let scenario = prepared.finish(mango_sim::RunOutcome::HorizonReached);
+        for &(i, metric_idx, post) in &self.tracked {
+            let f = &scenario.flows[metric_idx];
+            let rec = &mut self.records[i];
+            if post {
+                rec.post_observed_max_ns = f.max_ns;
+            } else if rec.detected_at.is_some() {
+                rec.flits_lost = f.injected.saturating_sub(f.delivered);
+            }
+        }
+        // A break with no outcome by window end is a degradation.
+        let mut recovered = 0;
+        let mut rerouted = 0;
+        let mut rejected = 0;
+        let mut degraded = 0;
+        for rec in &mut self.records {
+            if rec.detected_at.is_some() && rec.outcome.is_none() {
+                rec.outcome = Some(RecoveryOutcome::PermanentlyDegraded);
+            }
+            match rec.outcome {
+                Some(RecoveryOutcome::Recovered) => recovered += 1,
+                Some(RecoveryOutcome::ReroutedLongerPath) => rerouted += 1,
+                Some(RecoveryOutcome::Rejected) => rejected += 1,
+                Some(RecoveryOutcome::PermanentlyDegraded) => degraded += 1,
+                None => {}
+            }
+        }
+        RecoveryMetrics {
+            scenario,
+            records: self.records,
+            broken: self.broken,
+            recovered,
+            rerouted,
+            rejected,
+            degraded,
+            forced_closes: self.forced_closes,
+            quarantined,
+            fault_counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mango_core::Direction;
+
+    fn spec(seed: u64) -> RecoverySpec {
+        let mut s = RecoverySpec::mesh(4, 4, seed);
+        s.base.measure = MeasureBound::For(SimDuration::from_us(60));
+        s.managed = vec![
+            (RouterId::new(0, 0), RouterId::new(3, 0)),
+            (RouterId::new(0, 3), RouterId::new(3, 3)),
+        ];
+        s
+    }
+
+    #[test]
+    fn healthy_run_never_breaks() {
+        let m = spec(3).run();
+        assert_eq!(m.broken, 0);
+        assert!(m.records.iter().all(|r| r.outcome.is_none()));
+        assert_eq!(m.forced_closes, 0);
+        assert_eq!(m.quarantined, 0);
+        assert_eq!(m.post_bound_violations(), 0);
+    }
+
+    #[test]
+    fn killed_link_detects_reroutes_and_revalidates() {
+        let mut s = spec(5);
+        // Kill the middle link of the first managed connection's XY
+        // path 10 µs into the window.
+        s.faults = FaultSchedule::new(1).with(
+            SimTime::ZERO + SimDuration::from_us(10),
+            FaultKind::LinkDown {
+                from: RouterId::new(1, 0),
+                dir: Direction::East,
+            },
+        );
+        let m = s.run();
+        assert_eq!(m.broken, 1, "exactly the faulted connection breaks");
+        let rec = &m.records[0];
+        assert!(rec.detected_at.is_some(), "watchdog must fire");
+        assert_eq!(
+            rec.outcome,
+            Some(RecoveryOutcome::ReroutedLongerPath),
+            "the 3-hop row path is dead; the detour is longer: {rec:?}"
+        );
+        assert!(rec.new_hops > rec.old_hops);
+        assert!(rec.recovery_latency.is_some());
+        assert!(rec.flits_lost > 0, "flits crossing the dead link vanish");
+        assert!(
+            rec.post_bound_ns.unwrap() > rec.pre_bound_ns.unwrap(),
+            "longer path → larger recomputed bound"
+        );
+        assert_eq!(m.post_bound_violations(), 0, "degraded guarantee holds");
+        // The untouched second connection never breaks.
+        assert!(m.records[1].outcome.is_none());
+        let c = m.fault_counters;
+        assert!(c.gs_flits_dropped > 0);
+        assert!(c.spoofed_unlocks > 0, "blackhole feedback kept flowing");
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let build = || {
+            let mut s = spec(9);
+            s.faults = FaultSchedule::new(2).with(
+                SimTime::ZERO + SimDuration::from_us(8),
+                FaultKind::LinkDown {
+                    from: RouterId::new(1, 0),
+                    dir: Direction::East,
+                },
+            );
+            s
+        };
+        let a = build().run();
+        let b = build().run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(
+            a.fault_counters.gs_flits_dropped,
+            b.fault_counters.gs_flits_dropped
+        );
+    }
+
+    #[test]
+    fn partition_rejects_after_retries() {
+        let mut s = RecoverySpec::mesh(2, 1, 11);
+        s.base.measure = MeasureBound::For(SimDuration::from_us(80));
+        s.managed = vec![(RouterId::new(0, 0), RouterId::new(1, 0))];
+        s.max_retries = 3;
+        // The only link dies: no surviving path exists at all.
+        s.faults = FaultSchedule::new(3).with(
+            SimTime::ZERO + SimDuration::from_us(10),
+            FaultKind::LinkDown {
+                from: RouterId::new(0, 0),
+                dir: Direction::East,
+            },
+        );
+        let m = s.run();
+        assert_eq!(m.broken, 1);
+        assert_eq!(m.records[0].outcome, Some(RecoveryOutcome::Rejected));
+        assert_eq!(m.records[0].attempts, 3, "retries are capped");
+        assert_eq!(m.post_bound_violations(), 0);
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`churn_grid::ChurnSweepSpec`] — churn axes (arrival rate ×
 //!   holding time × offered GS load) over [`mango_qos::ChurnSpec`]
 //!   connection-churn experiments, with their own typed records;
+//! * [`fault_grid::FaultSweepSpec`] — resilience axes (fault count ×
+//!   BE pattern × background load) over [`mango_qos::RecoverySpec`]
+//!   fault-injection + self-healing experiments, recording the
+//!   recovery-outcome census per point;
 //! * [`cli`] — the shared `--threads N` / `--smoke` / `--list` /
 //!   `--csv` / `--json` argument surface of the sweep binaries.
 //!
@@ -50,6 +54,7 @@
 
 pub mod churn_grid;
 pub mod cli;
+pub mod fault_grid;
 pub mod grid;
 pub mod record;
 pub mod runner;
@@ -58,6 +63,12 @@ pub use churn_grid::{
     churn_summary_table, run_churn_sweep, write_churn_csv, ChurnJob, ChurnRecord, ChurnSweepSpec,
 };
 pub use cli::SweepArgs;
+pub use fault_grid::{
+    fault_summary_table, run_fault_sweep, write_fault_csv, FaultJob, FaultRecord, FaultSweepSpec,
+};
 pub use grid::{auto_gs_pairs, SweepJob, SweepSpec};
 pub use record::{write_csv, write_json, RuntimeInfo, SweepRecord};
-pub use runner::{default_threads, run_parallel, run_sweep};
+pub use runner::{
+    default_threads, run_parallel, run_parallel_graceful, run_sweep, run_sweep_graceful,
+    GracefulRun, SweepRun,
+};

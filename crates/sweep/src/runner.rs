@@ -1,7 +1,10 @@
-//! The deterministic fan-out: scoped worker threads over a job list.
+//! The deterministic fan-out: scoped worker threads over a job list,
+//! with per-job panic isolation so one crashing point cannot take down
+//! a whole grid.
 
-use crate::grid::SweepSpec;
+use crate::grid::{SweepJob, SweepSpec};
 use crate::record::SweepRecord;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The default worker count: the host's available parallelism.
@@ -11,73 +14,150 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs `f` over every job on `threads` workers and returns the results
-/// **in job order** — element `i` of the output is `f(i, &jobs[i])`, no
-/// matter which worker computed it or when it finished.
+/// The outcome of a graceful fan-out: per-job results, with panicked
+/// jobs recorded instead of propagated.
+#[derive(Debug)]
+pub struct GracefulRun<R> {
+    /// Element `i` is `Some(f(i, &jobs[i]))`, or `None` when that job's
+    /// closure panicked.
+    pub results: Vec<Option<R>>,
+    /// Indices of jobs whose closure panicked, ascending.
+    pub failed: Vec<usize>,
+}
+
+/// Runs `f` over every job on `threads` workers, catching panics
+/// per job: a crashing point yields `None` in its slot (and its index
+/// in `failed`) while the rest of the grid completes normally.
 ///
-/// Workers claim jobs from a shared atomic counter (dynamic load
-/// balancing: a slow 16×16 point does not hold up a queue of 4×4
+/// Results come back **in job order** — element `i` of the output is
+/// `f(i, &jobs[i])`, no matter which worker computed it or when it
+/// finished. Workers claim jobs from a shared atomic counter (dynamic
+/// load balancing: a slow 16×16 point does not hold up a queue of 4×4
 /// points), tag each result with its job index, and the merge step
 /// reorders into expansion order. `f` must be a pure function of
 /// `(index, job)` for the sweep determinism contract to hold.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker.
-pub fn run_parallel<J, R, F>(jobs: &[J], threads: usize, f: F) -> Vec<R>
+pub fn run_parallel_graceful<J, R, F>(jobs: &[J], threads: usize, f: F) -> GracefulRun<R>
 where
     J: Sync,
     R: Send,
     F: Fn(usize, &J) -> R + Sync,
 {
     let threads = threads.max(1).min(jobs.len().max(1));
-    if threads == 1 {
-        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
-    }
+    // AssertUnwindSafe: `f` is a pure function of (index, job) under
+    // the determinism contract, so a panic leaves no state worth
+    // poisoning on our side.
+    let call = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i]))).ok();
 
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs.len());
-    slots.resize_with(jobs.len(), || None);
+    let results: Vec<Option<R>> = if threads == 1 {
+        (0..jobs.len()).map(call).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Option<R>>> = Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            return done;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    let call = &call;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                return done;
+                            }
+                            done.push((i, call(i)));
                         }
-                        done.push((i, f(i, &jobs[i])));
-                    }
+                    })
                 })
-            })
-            .collect();
-        for handle in handles {
-            for (i, r) in handle.join().expect("sweep worker panicked") {
-                debug_assert!(slots[i].is_none(), "job {i} ran twice");
-                slots[i] = Some(r);
+                .collect();
+            for handle in handles {
+                // Worker threads cannot panic (every job is caught);
+                // a join failure here is a harness bug, not a job bug.
+                for (i, r) in handle.join().expect("sweep worker thread died") {
+                    debug_assert!(slots[i].is_none(), "job {i} ran twice");
+                    slots[i] = Some(r);
+                }
             }
-        }
-    });
+        });
 
-    slots
-        .into_iter()
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never ran")))
+            .collect()
+    };
+
+    let failed = results
+        .iter()
         .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never ran")))
+        .filter_map(|(i, r)| r.is_none().then_some(i))
+        .collect();
+    GracefulRun { results, failed }
+}
+
+/// Runs `f` over every job on `threads` workers and returns the results
+/// **in job order** (see [`run_parallel_graceful`] for the scheduling
+/// contract). This is the strict variant: any job panic aborts the
+/// sweep.
+///
+/// # Panics
+///
+/// Propagates a panic from any job, naming the failed job indices.
+pub fn run_parallel<J, R, F>(jobs: &[J], threads: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let run = run_parallel_graceful(jobs, threads, f);
+    if !run.failed.is_empty() {
+        panic!("sweep worker panicked on job(s) {:?}", run.failed);
+    }
+    run.results
+        .into_iter()
+        .map(|r| r.expect("no job failed"))
         .collect()
+}
+
+/// A sweep grid run to completion with per-job panic isolation.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Records of the jobs that completed, in expansion order (failed
+    /// jobs are simply absent).
+    pub records: Vec<SweepRecord>,
+    /// Jobs that panicked: `(expansion index, job)` pairs, ascending.
+    pub failed: Vec<(usize, SweepJob)>,
 }
 
 /// Expands `spec` to its job grid and runs every job on `threads`
 /// workers, returning one [`SweepRecord`] per job in expansion order.
+///
+/// # Panics
+///
+/// Propagates a panic from any job; use [`run_sweep_graceful`] to keep
+/// the rest of the grid when single points crash.
 pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepRecord> {
     let jobs = spec.expand();
     run_parallel(&jobs, threads, |_, job| {
         SweepRecord::measure(job.clone(), &spec.scenario(job).run())
     })
+}
+
+/// Like [`run_sweep`], but a panicking point is dropped from the
+/// results and reported in [`SweepRun::failed`] instead of aborting the
+/// whole grid — the graceful-degradation mode the sweep CLI uses.
+pub fn run_sweep_graceful(spec: &SweepSpec, threads: usize) -> SweepRun {
+    let jobs = spec.expand();
+    let run = run_parallel_graceful(&jobs, threads, |_, job| {
+        SweepRecord::measure(job.clone(), &spec.scenario(job).run())
+    });
+    let failed = run.failed.iter().map(|&i| (i, jobs[i].clone())).collect();
+    SweepRun {
+        records: run.results.into_iter().flatten().collect(),
+        failed,
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +212,26 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn graceful_run_finishes_the_grid_around_failures() {
+        let jobs: Vec<u32> = (0..16).collect();
+        for threads in [1, 4] {
+            let run = run_parallel_graceful(&jobs, threads, |i, &j| {
+                if i % 5 == 2 {
+                    panic!("job {i} crashed");
+                }
+                j * 10
+            });
+            assert_eq!(run.failed, vec![2, 7, 12], "threads = {threads}");
+            for (i, r) in run.results.iter().enumerate() {
+                if i % 5 == 2 {
+                    assert!(r.is_none());
+                } else {
+                    assert_eq!(*r, Some(jobs[i] * 10), "job {i} must survive");
+                }
+            }
+        }
     }
 }

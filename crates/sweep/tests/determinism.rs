@@ -2,7 +2,7 @@
 //! a pure function of the job list, independent of worker count and
 //! scheduling.
 
-use mango_sweep::{run_parallel, SweepSpec};
+use mango_sweep::{run_parallel, FaultSweepSpec, SweepSpec};
 use proptest::prelude::*;
 
 proptest! {
@@ -79,4 +79,41 @@ fn real_sweep_records_match_across_worker_counts() {
             "threads = {threads}"
         );
     }
+}
+
+/// Fault injection + recovery rides the same contract: the same
+/// `FaultSchedule` seed yields byte-identical recovery records (break
+/// counts, outcomes, latencies, CSV rows) at 1 and 4 workers — the
+/// whole detect → teardown → re-admit → re-validate cycle is a pure
+/// function of the spec.
+#[test]
+fn fault_recovery_records_match_across_worker_counts() {
+    let spec = FaultSweepSpec {
+        fault_counts: vec![0, 4],
+        seeds: vec![3, 4],
+        horizon_us: 50,
+        ..Default::default()
+    };
+    let baseline = mango_sweep::run_fault_sweep(&spec, 1);
+    assert_eq!(baseline.len(), 4);
+    assert!(
+        baseline.iter().any(|r| r.broken > 0),
+        "the faulted points must demonstrate a break"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            mango_sweep::run_fault_sweep(&spec, threads),
+            baseline,
+            "threads = {threads}"
+        );
+    }
+    let rows: Vec<String> = baseline
+        .iter()
+        .map(mango_sweep::FaultRecord::csv_row)
+        .collect();
+    let again: Vec<String> = mango_sweep::run_fault_sweep(&spec, 4)
+        .iter()
+        .map(mango_sweep::FaultRecord::csv_row)
+        .collect();
+    assert_eq!(rows, again, "CSV rows must be byte-identical");
 }

@@ -1,0 +1,169 @@
+//! Fault-recovery invariants: whatever sequence of faults, teardowns
+//! and reroutes hits the admission controller and the connection
+//! manager, every reserved budget comes back exactly — no leaks, no
+//! double frees — and force-closed state is quarantined, not lost.
+
+use mango::core::{Direction, RouterConfig, RouterId};
+use mango::net::{Grid, NaConfig};
+use mango::qos::{AdmissionController, ConnRequest};
+use mango::sim::SimDuration;
+use proptest::prelude::*;
+
+const SIDE: u8 = 4;
+
+fn controller() -> AdmissionController {
+    AdmissionController::new(
+        Grid::new(SIDE, SIDE),
+        &RouterConfig::paper(),
+        &NaConfig::paper(),
+        0.875,
+    )
+}
+
+fn router() -> impl Strategy<Value = RouterId> {
+    (0..SIDE, 0..SIDE).prop_map(|(x, y)| RouterId::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Admit a batch of connections, kill arbitrary links, then put
+    /// every survivor through the recovery cycle (release → re-request
+    /// over the surviving links → release again). The controller's
+    /// budget counters must land back on the pristine snapshot: faults
+    /// mask links out of the path search, they never consume budget.
+    #[test]
+    fn fault_teardown_reroute_returns_budgets_exactly(
+        pairs in prop::collection::vec((router(), router()), 1..8),
+        faults in prop::collection::vec((router(), 0usize..4), 0..6),
+        period_ns in 12u64..40,
+    ) {
+        let mut ctl = controller();
+        let pristine = ctl.snapshot();
+        let period = SimDuration::from_ns(period_ns);
+
+        // Phase 1: admit whatever fits.
+        let mut held = Vec::new();
+        for (src, dst) in pairs {
+            if src == dst {
+                continue;
+            }
+            if let Ok(adm) = ctl.request(&ConnRequest { src, dst, period }) {
+                held.push(adm);
+            }
+        }
+
+        // Phase 2: the fabric breaks (only links that exist can fail).
+        let grid = Grid::new(SIDE, SIDE);
+        for (from, d) in faults {
+            let dir = Direction::ALL[d];
+            if grid.neighbor(from, dir).is_some() {
+                ctl.fail_link(from, dir);
+            }
+        }
+
+        // Phase 3: teardown + reroute every held connection over the
+        // surviving links; some re-requests fail (partition), and that
+        // must not leak either.
+        let mut rerouted = Vec::new();
+        for adm in held {
+            let req = ConnRequest { src: adm.src, dst: adm.dst, period };
+            ctl.release(&adm);
+            if let Ok(again) = ctl.request(&req) {
+                rerouted.push(again);
+            }
+        }
+
+        // Phase 4: drain. Every budget counter is exactly pristine.
+        for adm in rerouted {
+            ctl.release(&adm);
+        }
+        prop_assert_eq!(ctl.snapshot(), pristine);
+    }
+
+    /// Releasing in any interleaving (not just LIFO) is exact: admit,
+    /// fault, then release in an arbitrary order.
+    #[test]
+    fn release_order_is_irrelevant(
+        pairs in prop::collection::vec((router(), router()), 2..6),
+        faults in prop::collection::vec((router(), 0usize..4), 0..4),
+        release_seed in any::<u64>(),
+    ) {
+        let mut ctl = controller();
+        let pristine = ctl.snapshot();
+        let period = SimDuration::from_ns(15);
+        let mut held = Vec::new();
+        for (src, dst) in pairs {
+            if src == dst {
+                continue;
+            }
+            if let Ok(adm) = ctl.request(&ConnRequest { src, dst, period }) {
+                held.push(adm);
+            }
+        }
+        let grid = Grid::new(SIDE, SIDE);
+        for (from, d) in faults {
+            let dir = Direction::ALL[d];
+            if grid.neighbor(from, dir).is_some() {
+                ctl.fail_link(from, dir);
+            }
+        }
+        // A deterministic shuffle of the release order.
+        let mut order: Vec<usize> = (0..held.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, (release_seed as usize).wrapping_mul(i) % (i + 1));
+        }
+        for i in order {
+            ctl.release(&held[i]);
+        }
+        prop_assert_eq!(ctl.snapshot(), pristine);
+    }
+}
+
+/// The connection-manager side of the same contract: force-closing an
+/// Open connection (the partition path — no in-band teardown possible)
+/// returns every budget bit exactly, quarantines the remote router
+/// state it could not prove clean, and leaves the fabric usable.
+#[test]
+fn force_close_returns_budgets_and_quarantines() {
+    for seed in 0..8u64 {
+        let mut sim = mango::net::NocSim::paper_mesh(4, 4, 1000 + seed);
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(3, 0);
+        let other = (RouterId::new(0, 3), RouterId::new(3, 3));
+
+        let a = sim.open_connection(src, dst).expect("idle mesh admits");
+        let b = sim
+            .open_connection(other.0, other.1)
+            .expect("disjoint row admits");
+        sim.wait_connections_settled().expect("programming settles");
+
+        // Partition-style teardown: no in-band close, straight to
+        // force-close for both.
+        let plan_a = sim.force_close_connection(a).expect("force-close a");
+        let plan_b = sim.force_close_connection(b).expect("force-close b");
+        // Open connections cannot prove remote hops clean.
+        assert!(plan_a.quarantined_hops > 0, "seed {seed}");
+        assert!(plan_b.quarantined_hops > 0, "seed {seed}");
+
+        let conns = sim.network().connections();
+        assert!(
+            conns.nothing_reserved(),
+            "seed {seed}: budgets must return exactly"
+        );
+        assert!(
+            conns.quarantined_count() > 0,
+            "seed {seed}: unproven remote state must be quarantined"
+        );
+
+        // The fabric stays usable: a fresh connection on the same rows
+        // still opens (quarantine shrinks the pool, it does not wedge
+        // the mesh).
+        let again = sim
+            .open_connection(src, dst)
+            .expect("VCs remain after quarantine");
+        sim.wait_connections_settled().expect("reopen settles");
+        sim.close_connection(again).expect("in-band close");
+        sim.wait_connections_settled().expect("close settles");
+    }
+}
