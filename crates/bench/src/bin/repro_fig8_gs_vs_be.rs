@@ -38,6 +38,7 @@ fn main() {
     // (0,0)→(3,3) six-hop stream the figure tags.
     let spec = SweepSpec {
         meshes: vec![(4, 4)],
+        topologies: Vec::new(),
         gs_conns: vec![1],
         be_gaps_ns: be_gaps.to_vec(),
         patterns: vec![mango::net::PatternKind::Uniform],

@@ -80,6 +80,7 @@ fn main() {
                 SweepRecord::measure(
                     SweepJob {
                         id,
+                        topology: spec.topology_spec(),
                         width: spec.width,
                         height: spec.height,
                         gs_conns: 0,

@@ -36,7 +36,8 @@ fn scaling_spec(side: u8, measure_us: u64) -> ScenarioSpec {
     let mut spec = ScenarioSpec::mesh(side, side, 77)
         .warmup(SimDuration::from_us(2))
         .measure_for(SimDuration::from_us(measure_us));
-    for (i, (src, dst)) in auto_gs_pairs(side, side, 2).into_iter().enumerate() {
+    let grid = mango::net::Grid::new(side, side);
+    for (i, (src, dst)) in auto_gs_pairs(&grid, 2).into_iter().enumerate() {
         spec = spec.gs_flow(mango::net::GsFlowSpec {
             src,
             dst,

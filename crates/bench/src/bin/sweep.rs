@@ -19,11 +19,13 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--smoke | --pattern-smoke | --full] [--mesh WxH[,WxH..]]\n\
-         \x20            [--gs N[,N..]] [--be-gap idle|NS[,..]] [--pattern NAME[,..]]\n\
-         \x20            [--period NS[,..]] [--measure US[,..]] [--seeds S[,S..]]\n\
-         \x20            [--warmup US] [--payload WORDS]\n\
+         \x20            [--topology NAME[,..]] [--gs N[,N..]] [--be-gap idle|NS[,..]]\n\
+         \x20            [--pattern NAME[,..]] [--period NS[,..]] [--measure US[,..]]\n\
+         \x20            [--seeds S[,S..]] [--warmup US] [--payload WORDS]\n\
          \x20            [--threads N] [--list] [--csv PATH] [--json PATH]\n\
-         patterns: uniform transpose bitcomp bitrev tornado hotspot neighbour"
+         patterns: uniform transpose bitcomp bitrev tornado hotspot neighbour\n\
+         topologies: meshWxH torusWxH chipletCXxCYxNWxNH (e.g. chiplet2x2x4x4);\n\
+         \x20           --topology replaces the --mesh axis"
     );
     std::process::exit(2);
 }
@@ -75,6 +77,9 @@ fn main() {
                     Some((w.parse().ok()?, h.parse().ok()?))
                 });
             }
+            "--topology" => {
+                spec.topologies = parse_list(value(), "topology", mango::net::TopologySpec::parse);
+            }
             "--gs" => spec.gs_conns = parse_list(value(), "GS count", |s| s.parse().ok()),
             "--be-gap" => {
                 spec.be_gaps_ns = parse_list(value(), "BE gap", |s| match s {
@@ -114,13 +119,17 @@ fn main() {
         eprintln!("error: the grid is empty (an empty dimension)");
         std::process::exit(2);
     }
-    // Reject structurally impossible pattern/mesh pairings at the CLI
-    // (transpose on a non-square mesh, bit-reverse off powers of two)
-    // instead of panicking deep inside a worker thread.
-    for &(w, h) in &spec.meshes {
+    // Reject structurally impossible pattern/topology pairings at the
+    // CLI (transpose on a non-square grid, bit-reverse off powers of
+    // two) instead of panicking deep inside a worker thread.
+    for topo in spec.topology_axis() {
+        let (w, h) = topo.dims();
         for &p in &spec.patterns {
-            if let Err(e) = p.spatial(w, h).validate(&mango::net::Grid::new(w, h)) {
-                eprintln!("error: pattern {p} on a {w}x{h} mesh: {e}");
+            if let Err(e) = p
+                .spatial(w, h)
+                .validate(&mango::net::Grid::from_spec(&topo))
+            {
+                eprintln!("error: pattern {p} on {topo}: {e}");
                 std::process::exit(2);
             }
         }

@@ -158,6 +158,45 @@ impl FaultSchedule {
         FaultSchedule { seed, events }
     }
 
+    /// Generates `count` random fail-stop faults **targeting die-to-die
+    /// boundary links only** (chiplet topologies), deterministically from
+    /// `seed`. D2D links are the physically weakest channels — bump
+    /// bonds, interposer wires — so the resilience track stresses them
+    /// directly. Links are drawn uniformly (with replacement) from
+    /// [`Grid::boundary_links`]; fault times uniform in
+    /// `[window_start, window_end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no boundary links (monolithic mesh or
+    /// torus).
+    pub fn random_boundary_links(
+        grid: &Grid,
+        seed: u64,
+        count: usize,
+        window_start: SimTime,
+        window_end: SimTime,
+    ) -> Self {
+        let boundary = grid.boundary_links();
+        assert!(
+            !boundary.is_empty(),
+            "topology {} has no D2D boundary links to fault",
+            grid.spec().name()
+        );
+        let mut rng = SimRng::new(seed ^ 0x5EED_FA17);
+        let span = window_end.since(window_start).as_ps().max(1);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (from, dir) = boundary[rng.gen_index(boundary.len())];
+            let at = window_start + mango_sim::SimDuration::from_ps(rng.gen_range(span));
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::LinkDown { from, dir },
+            });
+        }
+        FaultSchedule { seed, events }
+    }
+
     /// Checks every event references on-grid elements.
     ///
     /// # Errors
@@ -412,6 +451,42 @@ mod tests {
             SimTime::from_ns(1000),
         );
         assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn boundary_schedules_target_only_d2d_links() {
+        let grid = Grid::from_spec(&crate::TopologySpec::chiplet(2, 2, 4, 4));
+        let a = FaultSchedule::random_boundary_links(
+            &grid,
+            5,
+            8,
+            SimTime::from_ns(10),
+            SimTime::from_ns(1000),
+        );
+        let b = FaultSchedule::random_boundary_links(
+            &grid,
+            5,
+            8,
+            SimTime::from_ns(10),
+            SimTime::from_ns(1000),
+        );
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.events.len(), 8);
+        a.validate(&grid).unwrap();
+        for ev in &a.events {
+            let FaultKind::LinkDown { from, dir } = ev.kind else {
+                panic!("boundary schedules are fail-stop only");
+            };
+            assert!(grid.is_boundary_link(from, dir), "{from}->{dir} not D2D");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no D2D boundary links")]
+    fn boundary_schedule_rejects_monolithic_grids() {
+        let grid = Grid::new(4, 4);
+        let _ =
+            FaultSchedule::random_boundary_links(&grid, 1, 1, SimTime::ZERO, SimTime::from_ns(1));
     }
 
     #[test]

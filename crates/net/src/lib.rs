@@ -63,7 +63,7 @@ pub use scenario::{
 };
 pub use sim::{EmitWindow, NocSim};
 pub use stats::{FlowStats, Histogram, LatencyRecorder, NetStats};
-pub use topology::Grid;
+pub use topology::{d2d_extra_default, Grid, TopologySpec};
 pub use traffic::{
     Pattern, PatternKind, PatternState, Source, SourceKind, SpatialPattern, TemporalSpec,
 };

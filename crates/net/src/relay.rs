@@ -141,11 +141,11 @@ pub fn build_segmented_packet_into(
     }
     let links = xy_len(grid, src, dst)?;
     if links <= MAX_BE_HOPS {
-        let header = xy_segment_header(src, dst, links);
+        let header = xy_segment_header(grid, src, dst, links);
         build_be_packet_into(header, payload, config, flits);
         return Ok(());
     }
-    let header = xy_segment_header(src, dst, MAX_BE_HOPS);
+    let header = xy_segment_header(grid, src, dst, MAX_BE_HOPS);
     let ticket = relays.issue(dst, config);
     flits.clear();
     flits.push(Flit::be(header.0, false));
@@ -222,7 +222,7 @@ pub fn ack_leg_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHea
         return Ok(BeHeader::from_route(&dirs[..leg]).expect("BFS paths are simple"));
     }
     let links = xy_len(grid, src, dst)?;
-    Ok(xy_segment_header(src, dst, links.min(MAX_BE_HOPS)))
+    Ok(xy_segment_header(grid, src, dst, links.min(MAX_BE_HOPS)))
 }
 
 #[cfg(test)]

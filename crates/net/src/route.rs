@@ -3,7 +3,11 @@
 //!
 //! XY routes move fully in X first, then in Y. On a mesh this admits no
 //! cyclic channel dependencies, so BE worm-hole routing cannot deadlock and
-//! GS connection paths never cross themselves.
+//! GS connection paths never cross themselves. The axis legs themselves
+//! come from [`Grid::axis_legs`], so the same code routes a torus (each
+//! axis takes the shorter way round, ≤ ⌈k/2⌉ hops) and a chiplet mesh
+//! (plain global XY — the D2D boundary affects delay, not direction)
+//! without any coordinate arithmetic here.
 
 use crate::topology::Grid;
 use mango_core::{BeHeader, Direction, RouterId, MAX_BE_HOPS};
@@ -59,31 +63,17 @@ pub fn xy_route(grid: &Grid, src: RouterId, dst: RouterId) -> Result<Vec<Directi
     if src == dst {
         return Err(RouteError::SameRouter(src));
     }
-    let mut route = Vec::new();
-    let (mut x, mut y) = (src.x, src.y);
-    while x != dst.x {
-        if x < dst.x {
-            route.push(Direction::East);
-            x += 1;
-        } else {
-            route.push(Direction::West);
-            x -= 1;
-        }
-    }
-    while y != dst.y {
-        if y < dst.y {
-            route.push(Direction::South);
-            y += 1;
-        } else {
-            route.push(Direction::North);
-            y -= 1;
-        }
+    let legs = grid.axis_legs(src, dst);
+    let mut route = Vec::with_capacity(legs.iter().map(|&(_, n)| n as usize).sum());
+    for (dir, hops) in legs {
+        route.extend(std::iter::repeat_n(dir, hops as usize));
     }
     Ok(route)
 }
 
-/// The XY route's link count — the Manhattan distance, computed without
-/// materializing the route.
+/// The XY route's link count — the Manhattan distance on a mesh, the
+/// shorter-way-round modular distance per axis on a torus — computed
+/// without materializing the route.
 ///
 /// # Errors
 ///
@@ -98,7 +88,11 @@ pub fn xy_len(grid: &Grid, src: RouterId, dst: RouterId) -> Result<usize, RouteE
     if src == dst {
         return Err(RouteError::SameRouter(src));
     }
-    Ok(src.x.abs_diff(dst.x) as usize + src.y.abs_diff(dst.y) as usize)
+    Ok(grid
+        .axis_legs(src, dst)
+        .iter()
+        .map(|&(_, n)| n as usize)
+        .sum())
 }
 
 /// Builds a BE source-routing header for the XY route from `src` to `dst`.
@@ -112,7 +106,7 @@ pub fn xy_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHeader, 
     if links > MAX_BE_HOPS {
         return Err(RouteError::TooLong(links));
     }
-    Ok(xy_segment_header(src, dst, links))
+    Ok(xy_segment_header(grid, src, dst, links))
 }
 
 /// The BE header for the first `links` links of the XY route from `src`
@@ -122,20 +116,10 @@ pub fn xy_header(grid: &Grid, src: RouterId, dst: RouterId) -> Result<BeHeader, 
 ///
 /// Endpoints must be validated (distinct, on-grid) and `links` must be in
 /// `1..=min(route length, MAX_BE_HOPS)`; use [`xy_len`] first.
-pub fn xy_segment_header(src: RouterId, dst: RouterId, links: usize) -> BeHeader {
-    let dx = src.x.abs_diff(dst.x) as usize;
-    let dy = src.y.abs_diff(dst.y) as usize;
+pub fn xy_segment_header(grid: &Grid, src: RouterId, dst: RouterId, links: usize) -> BeHeader {
+    let [(xdir, dx), (ydir, dy)] = grid.axis_legs(src, dst);
+    let (dx, dy) = (dx as usize, dy as usize);
     debug_assert!((1..=(dx + dy).min(MAX_BE_HOPS)).contains(&links));
-    let xdir = if src.x < dst.x {
-        Direction::East
-    } else {
-        Direction::West
-    };
-    let ydir = if src.y < dst.y {
-        Direction::South
-    } else {
-        Direction::North
-    };
     // XY: the x-run precedes the y-run; the delivery code is the U-turn
     // against the last travel direction (see `BeHeader::from_route`).
     let x_links = links.min(dx);
@@ -415,12 +399,73 @@ mod tests {
                 for links in 1..=route.len().min(MAX_BE_HOPS) {
                     let want = BeHeader::from_route(&route[..links]).unwrap();
                     assert_eq!(
-                        xy_segment_header(src, dst, links),
+                        xy_segment_header(&g, src, dst, links),
                         want,
                         "{src}->{dst} truncated to {links}"
                     );
                 }
             }
         }
+    }
+
+    #[test]
+    fn torus_routes_wrap_the_short_way() {
+        let g = Grid::from_spec(&crate::TopologySpec::torus(8, 8));
+        // 0 → 7 east is 7 hops; the wrap west is 1.
+        assert_eq!(
+            xy_route(&g, RouterId::new(0, 2), RouterId::new(7, 2)).unwrap(),
+            vec![West]
+        );
+        // Both axes wrap: (1,1) → (7,7) is 2 west + 2 north through the
+        // seams, not 6+6 across the middle.
+        assert_eq!(
+            xy_route(&g, RouterId::new(1, 1), RouterId::new(7, 7)).unwrap(),
+            vec![West, West, North, North]
+        );
+        assert_eq!(xy_len(&g, RouterId::new(1, 1), RouterId::new(7, 7)), Ok(4));
+        // Routes stay in-topology and reach the destination.
+        let mut cur = RouterId::new(1, 1);
+        for d in xy_route(&g, cur, RouterId::new(7, 7)).unwrap() {
+            cur = g.neighbor(cur, d).unwrap();
+        }
+        assert_eq!(cur, RouterId::new(7, 7));
+    }
+
+    #[test]
+    fn torus_segment_headers_match_reference_for_all_pairs() {
+        let g = Grid::from_spec(&crate::TopologySpec::torus(6, 5));
+        for src in g.ids() {
+            for dst in g.ids() {
+                if src == dst {
+                    continue;
+                }
+                let route = xy_route(&g, src, dst).unwrap();
+                assert_eq!(xy_len(&g, src, dst).unwrap(), route.len());
+                for links in 1..=route.len().min(MAX_BE_HOPS) {
+                    let want = BeHeader::from_route(&route[..links]).unwrap();
+                    assert_eq!(
+                        xy_segment_header(&g, src, dst, links),
+                        want,
+                        "{src}->{dst} truncated to {links}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_avoiding_detours_on_a_torus() {
+        let mut g = Grid::from_spec(&crate::TopologySpec::torus(4, 4));
+        let src = RouterId::new(0, 0);
+        let dst = RouterId::new(3, 0);
+        // The short way is the single wrap link west; kill it.
+        g.fail_link(src, West);
+        let dirs = route_avoiding(&g, src, dst).unwrap();
+        let mut cur = src;
+        for &d in &dirs {
+            assert!(g.link_up(cur, d), "route crosses dead link {cur}->{d}");
+            cur = g.neighbor(cur, d).unwrap();
+        }
+        assert_eq!(cur, dst);
     }
 }

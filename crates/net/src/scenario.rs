@@ -65,7 +65,7 @@ use crate::conn::ConnState;
 use crate::na::NaConfig;
 use crate::network::Network;
 use crate::sim::{EmitWindow, NocSim};
-use crate::topology::Grid;
+use crate::topology::{Grid, TopologySpec};
 use crate::traffic::{SpatialPattern, TemporalSpec};
 use mango_core::{RouterConfig, RouterId};
 use mango_sim::{RunOutcome, SimDuration};
@@ -235,6 +235,10 @@ pub struct ScenarioSpec {
     pub width: u8,
     /// Mesh height.
     pub height: u8,
+    /// Topology override: `None` compiles a plain `width × height` mesh
+    /// (the historical behavior); `Some` compiles the spec (torus,
+    /// chiplet mesh-of-meshes) and `width`/`height` mirror its dims.
+    pub topology: Option<TopologySpec>,
     /// Router configuration for every node.
     pub router_cfg: RouterConfig,
     /// Simulation seed (every source stream forks from it).
@@ -263,6 +267,7 @@ impl ScenarioSpec {
         ScenarioSpec {
             width,
             height,
+            topology: None,
             router_cfg: RouterConfig::paper(),
             seed,
             warmup: SimDuration::ZERO,
@@ -272,6 +277,27 @@ impl ScenarioSpec {
             be: Vec::new(),
             background: None,
         }
+    }
+
+    /// A scenario skeleton on an arbitrary topology (torus, chiplet
+    /// mesh-of-meshes): [`ScenarioSpec::mesh`] generalized through
+    /// [`TopologySpec`]. `width`/`height` mirror the compiled dims so
+    /// existing coordinate-based traffic specs keep working.
+    pub fn on_topology(spec: TopologySpec, seed: u64) -> Self {
+        let (width, height) = spec.dims();
+        ScenarioSpec {
+            topology: Some(spec),
+            ..Self::mesh(width, height, seed)
+        }
+    }
+
+    /// The topology this scenario compiles: the explicit spec, or the
+    /// default `width × height` mesh.
+    pub fn topology_spec(&self) -> TopologySpec {
+        self.topology.unwrap_or(TopologySpec::Mesh {
+            width: self.width,
+            height: self.height,
+        })
     }
 
     // --------------------------------------------------------------
@@ -351,7 +377,7 @@ impl ScenarioSpec {
     pub fn prepare(&self) -> PreparedScenario {
         let mut sim = NocSim::new(
             Network::new(
-                Grid::new(self.width, self.height),
+                Grid::from_spec(&self.topology_spec()),
                 self.router_cfg.clone(),
                 NaConfig::paper(),
             ),

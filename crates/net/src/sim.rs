@@ -84,6 +84,19 @@ impl NocSim {
         )
     }
 
+    /// Any [`crate::TopologySpec`] (torus, chiplet mesh-of-meshes) with
+    /// the paper's routers and default NAs.
+    pub fn paper_topology(spec: &crate::TopologySpec, seed: u64) -> Self {
+        NocSim::new(
+            Network::new(
+                Grid::from_spec(spec),
+                RouterConfig::paper(),
+                NaConfig::paper(),
+            ),
+            seed,
+        )
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.kernel.now()

@@ -229,7 +229,7 @@ impl SpatialPattern {
                 (d != src && grid.contains(d)).then_some(d)
             }
             SpatialPattern::BitComplement => {
-                let d = RouterId::new(grid.width() - 1 - src.x, grid.height() - 1 - src.y);
+                let d = grid.mirror(src);
                 (d != src).then_some(d)
             }
             SpatialPattern::BitReverse => {

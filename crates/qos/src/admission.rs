@@ -296,6 +296,17 @@ impl AdmissionController {
             }
         };
 
+        // The bound composes over the concrete path's per-link extras
+        // (D2D boundaries, pipelined links): a slow link can stretch the
+        // service interval past the requested period even when the
+        // homogeneous pre-check above passed.
+        let report = self
+            .model
+            .report_along(&self.grid, req.src, &dirs, req.period);
+        if !report.conforming {
+            return Err(RejectReason::Unguaranteeable);
+        }
+
         // Commit.
         let mut cur = req.src;
         for &d in &dirs {
@@ -306,8 +317,6 @@ impl AdmissionController {
         }
         self.tx_free[self.grid.index(req.src)] -= 1;
         self.rx_free[self.grid.index(req.dst)] -= 1;
-
-        let report = self.model.report(dirs.len(), req.period);
         Ok(Admission {
             src: req.src,
             dst: req.dst,
@@ -579,6 +588,46 @@ mod tests {
             c.mark_stuck_vc(RouterId::new(0, 0), Direction::East);
         }
         assert_eq!(c.request(&req(0, 0, 1, 0, 20)), Err(RejectReason::NoPath));
+    }
+
+    #[test]
+    fn chiplet_paths_compose_extras_into_the_admitted_bound() {
+        use mango_net::TopologySpec;
+        let grid = Grid::from_spec(&TopologySpec::chiplet(2, 1, 2, 2));
+        let mut c = AdmissionController::new(
+            grid.clone(),
+            &RouterConfig::paper(),
+            &NaConfig::paper(),
+            0.875,
+        );
+        // (0,0) → (3,0) crosses the die seam between columns 1 and 2.
+        let adm = c.request(&req(0, 0, 3, 0, 20)).unwrap();
+        assert!(adm.xy);
+        let homogeneous = ServiceModel::new(&RouterConfig::paper(), &NaConfig::paper())
+            .report(3, SimDuration::from_ns(20));
+        assert_eq!(
+            adm.report.worst_latency.unwrap(),
+            homogeneous.worst_latency.unwrap() + mango_net::d2d_extra_default(),
+            "one D2D crossing adds exactly its forward extra to the bound"
+        );
+
+        // A path whose slowest link stretches the interval past the
+        // period is rejected, not admitted with a broken bound.
+        let mut slow = Grid::new(2, 1);
+        slow.set_link_extra(
+            RouterId::new(0, 0),
+            Direction::East,
+            SimDuration::from_ns(20),
+        );
+        let mut c =
+            AdmissionController::new(slow, &RouterConfig::paper(), &NaConfig::paper(), 0.875);
+        let before = c.snapshot();
+        // vc_loop 1.75 + 2×20 = 41.75 ns interval > 20 ns period.
+        assert_eq!(
+            c.request(&req(0, 0, 1, 0, 20)),
+            Err(RejectReason::Unguaranteeable)
+        );
+        assert_eq!(c.snapshot(), before, "rejection reserves nothing");
     }
 
     #[test]

@@ -29,8 +29,8 @@
 //! and by `repro_churn` — is `observed max ≤ bound` for every admitted,
 //! rate-conforming connection.
 
-use mango_core::{ArbiterKind, RouterConfig};
-use mango_net::NaConfig;
+use mango_core::{ArbiterKind, Direction, RouterConfig, RouterId};
+use mango_net::{Grid, NaConfig};
 use mango_sim::SimDuration;
 
 /// The per-hop service model shared by every connection of one network
@@ -84,9 +84,20 @@ impl ServiceModel {
     /// stays backlogged: the arbitration round, floored by the VC
     /// control loop. `None` when the arbiter is unbounded.
     pub fn service_interval(&self) -> Option<SimDuration> {
+        self.service_interval_with_extra(SimDuration::ZERO)
+    }
+
+    /// [`ServiceModel::service_interval`] when the slowest link of the
+    /// path adds `extra` forward pipeline delay (heterogeneous links,
+    /// D2D boundaries). The share-based VC control loop closes over the
+    /// link *and back* — the unlock feedback crosses the reverse
+    /// direction of the same channel — so the loop stretches by 2×extra
+    /// on that link; the arbitration round is unaffected (the arbiter is
+    /// local to the sending router).
+    pub fn service_interval_with_extra(&self, extra: SimDuration) -> Option<SimDuration> {
         let grants = self.grant_bound?;
         let round = self.arb_decision + self.link_cycle * grants;
-        Some(round.max(self.vc_loop))
+        Some(round.max(self.vc_loop + extra * 2))
     }
 
     /// Guaranteed bandwidth of one connection, Mflit/s (zero when the
@@ -104,17 +115,36 @@ impl ServiceModel {
     }
 
     /// The guarantee report for a connection of `hops` links streaming
-    /// one flit per `period`.
+    /// one flit per `period`, on a path of homogeneous zero-extra links.
     pub fn report(&self, hops: usize, period: SimDuration) -> GuaranteeReport {
+        self.report_with_extras(hops, SimDuration::ZERO, SimDuration::ZERO, period)
+    }
+
+    /// The guarantee report for a connection of `hops` links whose path
+    /// carries heterogeneous extra link delays (pipelined long links,
+    /// chiplet D2D boundaries): `extra_total` is the sum of per-link
+    /// extras along the path (pure forward latency, paid once per link)
+    /// and `extra_max` is the largest single-link extra (the bandwidth
+    /// bottleneck — the VC control loop on that link stretches by twice
+    /// the extra, see [`ServiceModel::service_interval_with_extra`]).
+    ///
+    /// With both extras zero this reduces bit-exactly to
+    /// [`ServiceModel::report`].
+    pub fn report_with_extras(
+        &self,
+        hops: usize,
+        extra_total: SimDuration,
+        extra_max: SimDuration,
+        period: SimDuration,
+    ) -> GuaranteeReport {
         let requested_mfps = period.as_rate_mhz();
-        let guaranteed_mfps = self.guaranteed_mfps();
-        let conforming = self
-            .service_interval()
-            .is_some_and(|interval| period >= interval);
+        let service_interval = self.service_interval_with_extra(extra_max);
+        let guaranteed_mfps = service_interval.map_or(0.0, |i| i.as_rate_mhz());
+        let conforming = service_interval.is_some_and(|interval| period >= interval);
         // Sound only for conforming sources: a faster source grows its
         // NA queue without bound and no per-flit latency bound exists.
         let worst_latency = if conforming {
-            let interval = self.service_interval().expect("conforming implies bounded");
+            let interval = service_interval.expect("conforming implies bounded");
             let per_hop = self.per_hop().expect("conforming implies bounded");
             Some(
                 // NA queue: at most one service interval ahead of us.
@@ -123,6 +153,9 @@ impl ServiceModel {
                     + self.sync_delay + self.hop_forward + self.buffer_advance
                     // Every link: arbitration round + forward path.
                     + per_hop * hops as u64
+                    // Heterogeneous links: each extra pipeline stage is
+                    // paid once on the forward traversal.
+                    + extra_total
                     // Delivery: the NA's receive slot may be mid-consume.
                     + self.consume_delay,
             )
@@ -135,10 +168,48 @@ impl ServiceModel {
             requested_mfps,
             guaranteed_mfps,
             conforming,
-            service_interval: self.service_interval(),
+            service_interval,
             worst_latency,
         }
     }
+
+    /// The guarantee report for the concrete path `src` + `dirs` over
+    /// `grid`: walks the path accumulating its per-link extras and
+    /// composes the bound via [`ServiceModel::report_with_extras`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path walks off the grid.
+    pub fn report_along(
+        &self,
+        grid: &Grid,
+        src: RouterId,
+        dirs: &[Direction],
+        period: SimDuration,
+    ) -> GuaranteeReport {
+        let (extra_total, extra_max) = path_extras(grid, src, dirs);
+        self.report_with_extras(dirs.len(), extra_total, extra_max, period)
+    }
+}
+
+/// The `(total, max)` extra link delay along the path `src` + `dirs`.
+///
+/// # Panics
+///
+/// Panics if the path walks off the grid.
+pub fn path_extras(grid: &Grid, src: RouterId, dirs: &[Direction]) -> (SimDuration, SimDuration) {
+    let mut total = SimDuration::ZERO;
+    let mut max = SimDuration::ZERO;
+    let mut cur = src;
+    for &dir in dirs {
+        let extra = grid.link_extra(cur, dir);
+        total += extra;
+        max = max.max(extra);
+        cur = grid
+            .neighbor(cur, dir)
+            .unwrap_or_else(|| panic!("path leaves the grid at {cur}->{dir}"));
+    }
+    (total, max)
 }
 
 /// The analytical guarantees of one GS connection.
@@ -286,5 +357,73 @@ mod tests {
         let r = model().report(1, SimDuration::from_ns(12));
         assert!(r.admits_observation(22.888));
         assert!(!r.admits_observation(22.889));
+    }
+
+    #[test]
+    fn zero_extras_reduce_to_the_homogeneous_report() {
+        let m = model();
+        for hops in [1, 3, 7, 14] {
+            assert_eq!(
+                m.report_with_extras(
+                    hops,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    SimDuration::from_ns(12)
+                ),
+                m.report(hops, SimDuration::from_ns(12)),
+            );
+        }
+    }
+
+    /// The canonical 2 ns D2D extra stretches the VC loop to 1750 +
+    /// 2×2000 = 5750 ps — still under the 10 314 ps fair-share round, so
+    /// bandwidth is unchanged and the bound grows by exactly the summed
+    /// forward extras.
+    #[test]
+    fn d2d_extras_add_forward_latency_without_costing_bandwidth() {
+        let m = model();
+        let d2d = SimDuration::from_ns(2);
+        // 3 hops, two of them die crossings.
+        let r = m.report_with_extras(3, d2d * 2, d2d, SimDuration::from_ns(12));
+        assert!(r.conforming);
+        assert_eq!(r.service_interval.unwrap().as_ps(), 10_314);
+        assert_eq!(r.worst_latency.unwrap().as_ps(), 45_776 + 4_000);
+    }
+
+    /// A slow enough link drags the service interval itself: the VC loop
+    /// closes over the link and back, so 5 ns of extra wire means 1750 +
+    /// 2×5000 = 11 750 ps between grants — the bandwidth bottleneck.
+    #[test]
+    fn slow_links_throttle_the_service_interval() {
+        let m = model();
+        let slow = SimDuration::from_ns(5);
+        let r = m.report_with_extras(2, slow, slow, SimDuration::from_ns(12));
+        assert_eq!(r.service_interval.unwrap().as_ps(), 11_750);
+        assert!(r.conforming, "12 ns period still fits 11.75 ns interval");
+        assert!(r.guaranteed_mfps < m.guaranteed_mfps());
+        // And a period inside the stretched interval stops conforming.
+        let r = m.report_with_extras(2, slow, slow, SimDuration::from_ns(11));
+        assert!(!r.conforming);
+        assert_eq!(r.worst_latency, None);
+    }
+
+    #[test]
+    fn report_along_walks_the_actual_path_extras() {
+        use mango_net::TopologySpec;
+        let g = mango_net::Grid::from_spec(&TopologySpec::chiplet(2, 1, 2, 2));
+        let m = model();
+        // (1,0) -E-> (2,0) crosses the die seam; (2,0) -E-> (3,0) does not.
+        let dirs = [Direction::East, Direction::East];
+        let along = m.report_along(&g, RouterId::new(1, 0), &dirs, SimDuration::from_ns(12));
+        let manual = m.report_with_extras(
+            2,
+            mango_net::d2d_extra_default(),
+            mango_net::d2d_extra_default(),
+            SimDuration::from_ns(12),
+        );
+        assert_eq!(along, manual);
+        let (total, max) = path_extras(&g, RouterId::new(1, 0), &dirs);
+        assert_eq!(total, mango_net::d2d_extra_default());
+        assert_eq!(max, mango_net::d2d_extra_default());
     }
 }

@@ -75,6 +75,6 @@ pub mod churn;
 pub mod recovery;
 
 pub use admission::{Admission, AdmissionController, ConnRequest, RejectReason};
-pub use bound::{report_for, GuaranteeReport, ServiceModel};
+pub use bound::{path_extras, report_for, GuaranteeReport, ServiceModel};
 pub use churn::{ChurnMetrics, ChurnSpec, ConnOutcome};
 pub use recovery::{RecoveryMetrics, RecoveryOutcome, RecoveryRecord, RecoverySpec};

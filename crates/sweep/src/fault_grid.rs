@@ -198,10 +198,10 @@ impl FaultSweepSpec {
                 .named("bg-"),
             );
         }
-        spec.managed = auto_gs_pairs(job.width, job.height, job.gs_conns);
+        let grid = Grid::new(job.width, job.height);
+        spec.managed = auto_gs_pairs(&grid, job.gs_conns);
         spec.gs_period = SimDuration::from_ns(self.gs_period_ns);
         spec.max_gs_frac = f64::from(self.max_gs_frac_milli) / 1000.0;
-        let grid = Grid::new(job.width, job.height);
         spec.faults = FaultSchedule::random_links(
             &grid,
             job.seed,

@@ -3,7 +3,8 @@
 
 use mango_core::RouterId;
 use mango_net::{
-    EmitWindow, GsFlowSpec, PatternKind, Phase, ScenarioSpec, TemporalSpec, TrafficSpec,
+    EmitWindow, Grid, GsFlowSpec, PatternKind, Phase, ScenarioSpec, TemporalSpec, TopologySpec,
+    TrafficSpec,
 };
 use mango_sim::SimDuration;
 
@@ -17,6 +18,10 @@ use mango_sim::SimDuration;
 pub struct SweepSpec {
     /// Mesh geometries `(width, height)`.
     pub meshes: Vec<(u8, u8)>,
+    /// Topology axis override: empty (the default) derives plain meshes
+    /// from `meshes`; non-empty replaces the mesh axis with these specs
+    /// (torus, chiplet mesh-of-meshes — see [`TopologySpec::parse`]).
+    pub topologies: Vec<TopologySpec>,
     /// GS connection counts (auto-placed via [`auto_gs_pairs`]).
     pub gs_conns: Vec<u32>,
     /// Per-node BE Poisson mean gaps in ns; `None` = BE idle.
@@ -45,6 +50,7 @@ impl Default for SweepSpec {
     fn default() -> Self {
         SweepSpec {
             meshes: vec![(4, 4)],
+            topologies: Vec::new(),
             gs_conns: vec![0],
             be_gaps_ns: vec![Some(300)],
             patterns: vec![PatternKind::Uniform],
@@ -59,14 +65,16 @@ impl Default for SweepSpec {
 }
 
 /// One expanded grid point. `Display` prints the `--list` line:
-/// `job 3: 8x8 gs=4 be_gap=300 period=12 measure=100 seed=2`.
+/// `job 3: mesh8x8 gs=4 be_gap=300 period=12 measure=100 seed=2`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepJob {
     /// Ordinal in expansion order (the CSV row order).
     pub id: usize,
-    /// Mesh width.
+    /// The topology of this grid point.
+    pub topology: TopologySpec,
+    /// Grid width (mirrors `topology.dims()`, kept for CSV columns).
     pub width: u8,
-    /// Mesh height.
+    /// Grid height (mirrors `topology.dims()`).
     pub height: u8,
     /// GS connections to open.
     pub gs_conns: u32,
@@ -86,10 +94,9 @@ impl std::fmt::Display for SweepJob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job {}: {}x{} gs={} be_gap={} pattern={} period={} measure={} seed={}",
+            "job {}: {} gs={} be_gap={} pattern={} period={} measure={} seed={}",
             self.id,
-            self.width,
-            self.height,
+            self.topology.name(),
             self.gs_conns,
             self.be_gap_ns
                 .map_or_else(|| "idle".into(), |g| g.to_string()),
@@ -108,6 +115,7 @@ impl SweepSpec {
     pub fn smoke() -> Self {
         SweepSpec {
             meshes: vec![(4, 4)],
+            topologies: Vec::new(),
             gs_conns: vec![0, 2],
             be_gaps_ns: vec![Some(300), Some(100)],
             patterns: vec![PatternKind::Uniform],
@@ -126,6 +134,7 @@ impl SweepSpec {
     pub fn pattern_smoke() -> Self {
         SweepSpec {
             meshes: vec![(4, 4)],
+            topologies: Vec::new(),
             gs_conns: vec![1],
             be_gaps_ns: vec![Some(300)],
             patterns: vec![PatternKind::Hotspot, PatternKind::Transpose],
@@ -144,6 +153,7 @@ impl SweepSpec {
     pub fn full() -> Self {
         SweepSpec {
             meshes: vec![(4, 4), (8, 8), (16, 16)],
+            topologies: Vec::new(),
             gs_conns: vec![0, 4],
             be_gaps_ns: vec![None, Some(1000), Some(300), Some(100), Some(50)],
             patterns: vec![PatternKind::Uniform],
@@ -156,9 +166,22 @@ impl SweepSpec {
         }
     }
 
+    /// The effective topology axis: the explicit `topologies` override,
+    /// or plain meshes derived from `meshes`.
+    pub fn topology_axis(&self) -> Vec<TopologySpec> {
+        if self.topologies.is_empty() {
+            self.meshes
+                .iter()
+                .map(|&(width, height)| TopologySpec::Mesh { width, height })
+                .collect()
+        } else {
+            self.topologies.clone()
+        }
+    }
+
     /// Number of grid points (product of dimension sizes).
     pub fn len(&self) -> usize {
-        self.meshes.len()
+        self.topology_axis().len()
             * self.gs_conns.len()
             * self.be_gaps_ns.len()
             * self.patterns.len()
@@ -180,7 +203,8 @@ impl SweepSpec {
     /// expands to the same job ids as the pre-pattern-axis grids.)
     pub fn expand(&self) -> Vec<SweepJob> {
         let mut jobs = Vec::with_capacity(self.len());
-        for &(width, height) in &self.meshes {
+        for topology in self.topology_axis() {
+            let (width, height) = topology.dims();
             for &gs_conns in &self.gs_conns {
                 for &be_gap_ns in &self.be_gaps_ns {
                     for &pattern in &self.patterns {
@@ -197,6 +221,7 @@ impl SweepSpec {
                                     };
                                     jobs.push(SweepJob {
                                         id: jobs.len(),
+                                        topology,
                                         width,
                                         height,
                                         gs_conns,
@@ -221,13 +246,11 @@ impl SweepSpec {
     /// background with the job's spatial pattern present from setup (so
     /// warmup loads the network).
     pub fn scenario(&self, job: &SweepJob) -> ScenarioSpec {
-        let mut spec = ScenarioSpec::mesh(job.width, job.height, job.seed)
+        let mut spec = ScenarioSpec::on_topology(job.topology, job.seed)
             .warmup(SimDuration::from_us(self.warmup_us))
             .measure_for(SimDuration::from_us(job.measure_us));
-        for (i, (src, dst)) in auto_gs_pairs(job.width, job.height, job.gs_conns)
-            .into_iter()
-            .enumerate()
-        {
+        let grid = Grid::from_spec(&job.topology);
+        for (i, (src, dst)) in auto_gs_pairs(&grid, job.gs_conns).into_iter().enumerate() {
             spec = spec.gs_flow(GsFlowSpec {
                 src,
                 dst,
@@ -253,28 +276,30 @@ impl SweepSpec {
 
 /// Deterministic GS connection placement for auto-generated grid points:
 /// node `k` (row-major order) connects to its point reflection through
-/// the mesh center, skipping self-pairs (the center of an odd×odd mesh).
-/// The first `n` such crossing diagonals load the mesh bisection — the
-/// natural stress placement for guarantee-envelope sweeps.
+/// the grid center ([`Grid::mirror`]), skipping self-pairs (the center
+/// of an odd×odd grid). The first `n` such crossing diagonals load the
+/// bisection — the natural stress placement for guarantee-envelope
+/// sweeps; on a chiplet topology they all cross die boundaries.
 ///
 /// # Panics
 ///
-/// Panics if the mesh has fewer than `n` valid pairs.
-pub fn auto_gs_pairs(width: u8, height: u8, n: u32) -> Vec<(RouterId, RouterId)> {
+/// Panics if the grid has fewer than `n` valid pairs.
+pub fn auto_gs_pairs(grid: &Grid, n: u32) -> Vec<(RouterId, RouterId)> {
     let mut pairs = Vec::with_capacity(n as usize);
-    for k in 0..u32::from(width) * u32::from(height) {
+    for id in grid.ids() {
         if pairs.len() as u32 == n {
             break;
         }
-        let (x, y) = ((k % u32::from(width)) as u8, (k / u32::from(width)) as u8);
-        let (mx, my) = (width - 1 - x, height - 1 - y);
-        if (x, y) != (mx, my) {
-            pairs.push((RouterId::new(x, y), RouterId::new(mx, my)));
+        let mirror = grid.mirror(id);
+        if id != mirror {
+            pairs.push((id, mirror));
         }
     }
     assert!(
         pairs.len() as u32 == n,
-        "mesh {width}x{height} cannot host {n} auto-placed GS connections"
+        "grid {}x{} cannot host {n} auto-placed GS connections",
+        grid.width(),
+        grid.height()
     );
     pairs
 }
@@ -331,6 +356,7 @@ mod tests {
             jobs[0],
             SweepJob {
                 id: 0,
+                topology: TopologySpec::mesh(4, 4),
                 width: 4,
                 height: 4,
                 gs_conns: 0,
@@ -384,21 +410,40 @@ mod tests {
 
     #[test]
     fn auto_pairs_cross_the_mesh_center() {
-        let pairs = auto_gs_pairs(4, 4, 4);
+        let pairs = auto_gs_pairs(&Grid::new(4, 4), 4);
         assert_eq!(pairs[0], (RouterId::new(0, 0), RouterId::new(3, 3)),);
         assert_eq!(pairs.len(), 4);
         for (s, d) in pairs {
             assert_ne!(s, d);
         }
         // Odd×odd center is skipped, not self-paired.
-        let odd = auto_gs_pairs(3, 3, 8);
+        let odd = auto_gs_pairs(&Grid::new(3, 3), 8);
         assert!(odd.iter().all(|(s, d)| s != d));
     }
 
     #[test]
     #[should_panic(expected = "cannot host")]
     fn too_many_auto_pairs_panics() {
-        auto_gs_pairs(2, 2, 5);
+        auto_gs_pairs(&Grid::new(2, 2), 5);
+    }
+
+    #[test]
+    fn topology_axis_overrides_the_mesh_axis() {
+        let spec = SweepSpec {
+            meshes: vec![(4, 4)],
+            topologies: vec![TopologySpec::torus(4, 4), TopologySpec::chiplet(2, 2, 2, 2)],
+            seeds: vec![1, 2],
+            ..Default::default()
+        };
+        assert_eq!(spec.len(), 2 * 2, "topology axis replaces meshes");
+        let jobs = spec.expand();
+        assert_eq!(jobs[0].topology, TopologySpec::torus(4, 4));
+        assert_eq!(jobs[0].width, 4);
+        assert_eq!(jobs[2].topology, TopologySpec::chiplet(2, 2, 2, 2));
+        assert!(jobs[2].to_string().contains("chiplet2x2x2x2"));
+        // A meshes-only grid still prints the classic mesh name.
+        let jobs = SweepSpec::default().expand();
+        assert!(jobs[0].to_string().contains("mesh4x4"));
     }
 
     #[test]

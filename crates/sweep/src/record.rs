@@ -80,7 +80,7 @@ impl SweepRecord {
 
     /// The CSV column names, matching [`SweepRecord::csv_row`].
     pub fn csv_header() -> &'static str {
-        "job_id,width,height,gs_conns,be_gap_ns,pattern,gs_period_ns,measure_us,seed,\
+        "job_id,topology,width,height,gs_conns,be_gap_ns,pattern,gs_period_ns,measure_us,seed,\
          events,gs_delivered,gs_throughput_m,gs_mean_ns,gs_p99_ns,gs_max_ns,\
          be_injected,be_delivered,be_throughput_m,be_mean_ns,be_p99_ns"
     }
@@ -91,8 +91,9 @@ impl SweepRecord {
     pub fn csv_row(&self) -> String {
         let j = &self.job;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             j.id,
+            j.topology.name(),
             j.width,
             j.height,
             j.gs_conns,
@@ -120,7 +121,7 @@ impl SweepRecord {
     pub fn to_json(&self) -> String {
         let j = &self.job;
         format!(
-            "{{\"job_id\":{},\"width\":{},\"height\":{},\"gs_conns\":{},\
+            "{{\"job_id\":{},\"topology\":\"{}\",\"width\":{},\"height\":{},\"gs_conns\":{},\
              \"be_gap_ns\":{},\"pattern\":\"{}\",\"gs_period_ns\":{},\
              \"measure_us\":{},\"seed\":{},\
              \"events\":{},\"gs_delivered\":{},\"gs_throughput_m\":{},\
@@ -128,6 +129,7 @@ impl SweepRecord {
              \"be_injected\":{},\"be_delivered\":{},\"be_throughput_m\":{},\
              \"be_mean_ns\":{},\"be_p99_ns\":{}}}",
             j.id,
+            j.topology.name(),
             j.width,
             j.height,
             j.gs_conns,
@@ -233,7 +235,7 @@ pub fn write_json(
 pub fn summary_table(records: &[SweepRecord]) -> Table {
     let mut t = Table::new(vec![
         "job",
-        "mesh",
+        "topology",
         "GS",
         "BE gap [ns]",
         "pattern",
@@ -248,7 +250,7 @@ pub fn summary_table(records: &[SweepRecord]) -> Table {
         let j = &r.job;
         t.add_row(vec![
             j.id.to_string(),
-            format!("{}x{}", j.width, j.height),
+            j.topology.name(),
             j.gs_conns.to_string(),
             j.be_gap_ns.map_or("idle".into(), |g| g.to_string()),
             j.pattern.to_string(),
@@ -281,8 +283,9 @@ mod tests {
         let header_cols = SweepRecord::csv_header().split(',').count();
         let row_cols = records[0].csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 20);
+        assert_eq!(header_cols, 21);
         assert!(records[0].csv_row().contains(",uniform,"));
+        assert!(records[0].csv_row().contains(",mesh4x4,"));
     }
 
     #[test]

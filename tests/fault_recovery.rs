@@ -167,3 +167,144 @@ fn force_close_returns_budgets_and_quarantines() {
         sim.wait_connections_settled().expect("close settles");
     }
 }
+
+/// A cross-chiplet connection whose seam link dies reroutes over the
+/// surviving D2D link, and the recomputed bound stays path-aware: the
+/// detour still pays exactly one D2D crossing. Cutting the last seam
+/// link partitions the package and admission reports [`RejectReason::NoPath`].
+#[test]
+fn cross_chiplet_connection_reroutes_around_a_dead_boundary_link() {
+    use mango::net::{d2d_extra_default, TopologySpec};
+    use mango::qos::{report_for, RejectReason};
+
+    // 2×1 chiplets of 2×2 nodes: a 4×2 package whose single x-seam
+    // between columns 1|2 is crossed by exactly two eastward links.
+    let grid = Grid::from_spec(&TopologySpec::chiplet(2, 1, 2, 2));
+    let mut ctl = AdmissionController::new(
+        grid.clone(),
+        &RouterConfig::paper(),
+        &NaConfig::paper(),
+        0.875,
+    );
+    let period = SimDuration::from_ns(20);
+    let req = ConnRequest {
+        src: RouterId::new(0, 0),
+        dst: RouterId::new(3, 0),
+        period,
+    };
+    let flat = |hops| report_for(&RouterConfig::paper(), &NaConfig::paper(), hops, period);
+    let d2d = d2d_extra_default();
+
+    let adm = ctl.request(&req).expect("pristine package admits");
+    assert_eq!(adm.hops(), 3);
+    assert!(adm.xy);
+    assert_eq!(
+        adm.report.worst_latency.unwrap(),
+        flat(3).worst_latency.unwrap() + d2d,
+        "the admitted bound pays exactly one D2D crossing"
+    );
+
+    // The seam link under the XY route dies; teardown + re-admission
+    // must find the detour over the surviving seam link at (1,1).
+    ctl.fail_link(RouterId::new(1, 0), Direction::East);
+    ctl.release(&adm);
+    let healed = ctl.request(&req).expect("the second seam link survives");
+    assert!(!healed.xy);
+    assert_eq!(healed.hops(), 5);
+    assert_eq!(
+        healed.report.worst_latency.unwrap(),
+        flat(5).worst_latency.unwrap() + d2d,
+        "the detour still pays exactly one D2D crossing"
+    );
+
+    // Cutting the last seam link disconnects the chips: no amount of
+    // detouring crosses a severed package boundary.
+    ctl.fail_link(RouterId::new(1, 1), Direction::East);
+    ctl.release(&healed);
+    assert_eq!(ctl.request(&req).unwrap_err(), RejectReason::NoPath);
+}
+
+/// The full recovery engine on a partitioned package: both seam links
+/// die under the only cross-die stream. No reroute exists, so the
+/// outcome is a clean rejection/degradation — never a bound violation.
+#[test]
+fn partitioned_chiplets_degrade_instead_of_violating_bounds() {
+    use mango::net::{FaultKind, FaultSchedule, MeasureBound, ScenarioSpec, TopologySpec};
+    use mango::qos::{RecoveryOutcome, RecoverySpec};
+    use mango::sim::SimTime;
+
+    let mut spec = RecoverySpec::mesh(4, 2, 9);
+    spec.base = ScenarioSpec::on_topology(TopologySpec::chiplet(2, 1, 2, 2), 9);
+    spec.base.measure = MeasureBound::For(SimDuration::from_us(40));
+    spec.managed = vec![(RouterId::new(0, 0), RouterId::new(3, 0))];
+    spec.gs_period = SimDuration::from_ns(20);
+    let at = SimTime::ZERO + SimDuration::from_us(5);
+    spec.faults = FaultSchedule::new(9 ^ 0xFA_17)
+        .with(
+            at,
+            FaultKind::LinkDown {
+                from: RouterId::new(1, 0),
+                dir: Direction::East,
+            },
+        )
+        .with(
+            at,
+            FaultKind::LinkDown {
+                from: RouterId::new(1, 1),
+                dir: Direction::East,
+            },
+        );
+    let m = spec.run();
+    assert_eq!(m.broken, 1, "the cross-die stream must break");
+    let victim = &m.records[0];
+    assert!(
+        matches!(
+            victim.outcome,
+            Some(RecoveryOutcome::Rejected | RecoveryOutcome::PermanentlyDegraded)
+        ),
+        "a severed package cannot heal: {victim:?}"
+    );
+    assert_eq!(m.post_bound_violations(), 0);
+}
+
+/// Randomized seam faults from [`FaultSchedule::random_boundary_links`]
+/// hit only D2D links, and whatever they break the engine either heals
+/// or degrades cleanly — recomputed bounds hold in every outcome.
+#[test]
+fn random_boundary_faults_never_violate_recomputed_bounds() {
+    use mango::net::{FaultSchedule, MeasureBound, ScenarioSpec, TopologySpec};
+    use mango::qos::RecoverySpec;
+    use mango::sim::SimTime;
+
+    for seed in [3u64, 17, 41] {
+        let topo = TopologySpec::chiplet(2, 2, 2, 2);
+        let grid = Grid::from_spec(&topo);
+        let mut spec = RecoverySpec::mesh(4, 4, seed);
+        spec.base = ScenarioSpec::on_topology(topo, seed);
+        spec.base.measure = MeasureBound::For(SimDuration::from_us(40));
+        // Both managed streams cross a die seam.
+        spec.managed = vec![
+            (RouterId::new(0, 0), RouterId::new(3, 3)),
+            (RouterId::new(0, 3), RouterId::new(3, 0)),
+        ];
+        spec.gs_period = SimDuration::from_ns(20);
+        spec.faults = FaultSchedule::random_boundary_links(
+            &grid,
+            seed,
+            2,
+            SimTime::ZERO + SimDuration::from_us(5),
+            SimTime::ZERO + SimDuration::from_us(15),
+        );
+        let m = spec.run();
+        assert_eq!(
+            m.post_bound_violations(),
+            0,
+            "seed {seed}: a recomputed bound was violated"
+        );
+        for r in &m.records {
+            if r.recovered_at.is_some() {
+                assert!(r.outcome.is_some(), "seed {seed}: healed without outcome");
+            }
+        }
+    }
+}

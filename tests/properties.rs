@@ -458,3 +458,102 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Topology properties: mesh, torus, chiplet
+// ---------------------------------------------------------------------
+
+fn topology_spec() -> impl Strategy<Value = mango::net::TopologySpec> {
+    use mango::net::TopologySpec;
+    prop_oneof![
+        (1u8..7, 1u8..7).prop_map(|(w, h)| TopologySpec::mesh(w, h)),
+        (2u8..8, 2u8..8).prop_map(|(w, h)| TopologySpec::torus(w, h)),
+        (1u8..4, 1u8..4, 1u8..5, 1u8..5)
+            .prop_map(|(cx, cy, nw, nh)| TopologySpec::chiplet(cx, cy, nw, nh)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stepping across any link (mesh edge, torus wrap, D2D seam) and
+    /// stepping back along the opposite direction lands on the origin:
+    /// `neighbor` is involutive on every topology. (BFS detours and
+    /// spoofed VC feedback both rely on reverse links existing.)
+    #[test]
+    fn neighbor_is_involutive_on_every_topology(
+        spec in topology_spec(),
+        dir in direction(),
+    ) {
+        let grid = mango::net::Grid::from_spec(&spec);
+        for id in grid.ids() {
+            if let Some(n) = grid.neighbor(id, dir) {
+                prop_assert!(grid.contains(n), "{spec}: {id}->{dir} left the grid");
+                prop_assert_eq!(grid.neighbor(n, dir.opposite()), Some(id));
+            }
+        }
+    }
+
+    /// Generated XY routes stay on the topology hop by hop and end at
+    /// the destination, for arbitrary specs and endpoint pairs.
+    #[test]
+    fn xy_routes_stay_in_topology_and_reach_dst(
+        spec in topology_spec(),
+        src_i in 0usize..256,
+        dst_i in 0usize..256,
+    ) {
+        let grid = mango::net::Grid::from_spec(&spec);
+        let src = grid.id_at(src_i % grid.len());
+        let dst = grid.id_at(dst_i % grid.len());
+        prop_assume!(src != dst);
+        let route = mango::net::xy_route(&grid, src, dst).unwrap();
+        let mut cur = src;
+        for &dir in &route {
+            cur = match grid.neighbor(cur, dir) {
+                Some(n) => n,
+                None => return Err(TestCaseError::fail(format!(
+                    "{spec}: route {src}->{dst} leaves the grid at {cur}->{dir}"
+                ))),
+            };
+        }
+        prop_assert_eq!(cur, dst);
+    }
+
+    /// Torus XY routing takes the shorter way around each ring: never
+    /// more than ⌈k/2⌉ hops per axis on a k-ary ring.
+    #[test]
+    fn torus_routes_at_most_half_the_ring_per_axis(
+        w in 2u8..9,
+        h in 2u8..9,
+        src_i in 0usize..256,
+        dst_i in 0usize..256,
+    ) {
+        let spec = mango::net::TopologySpec::torus(w, h);
+        let grid = mango::net::Grid::from_spec(&spec);
+        let src = grid.id_at(src_i % grid.len());
+        let dst = grid.id_at(dst_i % grid.len());
+        prop_assume!(src != dst);
+        let route = mango::net::xy_route(&grid, src, dst).unwrap();
+        let x_hops = route
+            .iter()
+            .filter(|d| matches!(d, Direction::East | Direction::West))
+            .count();
+        let y_hops = route.len() - x_hops;
+        prop_assert!(
+            x_hops <= (w as usize).div_ceil(2),
+            "{spec}: {x_hops} x-hops on a {w}-ring"
+        );
+        prop_assert!(
+            y_hops <= (h as usize).div_ceil(2),
+            "{spec}: {y_hops} y-hops on a {h}-ring"
+        );
+    }
+
+    /// Topology names round-trip through the parser for every
+    /// generatable spec (the sweep CLI's `--topology` contract).
+    #[test]
+    fn topology_names_round_trip(spec in topology_spec()) {
+        let name = spec.name();
+        prop_assert_eq!(mango::net::TopologySpec::parse(&name), Some(spec));
+    }
+}
