@@ -9,7 +9,15 @@
 //! re-validates the stream against the recomputed degraded-path bound.
 //!
 //! Run with: `cargo run --release -p mango_bench --bin repro_faults`
-//! `[-- --threads N] [--smoke] [--list] [--csv PATH]`
+//! `[-- --threads N] [--smoke] [--list] [--csv PATH] [--telemetry-out DIR]`
+//!
+//! `--telemetry-out DIR` runs the targeted experiment with the telemetry
+//! sink active and writes its metrics, epoch time series and Chrome
+//! trace into DIR. Per-flit journey tracing is left off here — the
+//! interesting track is the *connection recovery* one, where each
+//! managed connection's detect → teardown → re-admit → reopen lifecycle
+//! appears as instants plus one closing `recover` span (load
+//! `trace.json` at <https://ui.perfetto.dev>).
 //!
 //! Everything on stdout is deterministic and byte-diffed in CI against
 //! `tests/golden/repro_faults_smoke.txt` at 1 and 4 worker threads;
@@ -19,13 +27,15 @@
 
 use mango::core::{Direction, RouterConfig, RouterId};
 use mango::hw::Table;
+use mango::net::TelemetryConfig;
 use mango::net::{
     FaultKind, FaultSchedule, MeasureBound, NaConfig, PatternKind, TemporalSpec, TrafficSpec,
 };
 use mango::qos::{report_for, RecoveryOutcome, RecoverySpec};
 use mango::sim::{SimDuration, SimTime};
 use mango_sweep::{
-    fault_summary_table, run_fault_sweep, write_fault_csv, FaultSweepSpec, SweepArgs,
+    fault_summary_table, run_fault_sweep, write_fault_csv, write_telemetry_dir, FaultSweepSpec,
+    SweepArgs,
 };
 use std::time::Instant;
 
@@ -95,7 +105,17 @@ fn main() {
     );
 
     let start = Instant::now();
-    let m = spec.run();
+    let m = if let Some(dir) = &args.telemetry_out {
+        let cfg = TelemetryConfig {
+            trace_flits: false, // recovery lifecycle is the track of interest
+            ..Default::default()
+        };
+        let (m, report) = spec.run_with_telemetry(cfg);
+        write_telemetry_dir(dir, &[report]).expect("write telemetry");
+        m
+    } else {
+        spec.run()
+    };
     let targeted_wall = start.elapsed();
 
     // Per-connection recovery census.

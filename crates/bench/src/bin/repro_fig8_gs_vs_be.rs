@@ -4,16 +4,21 @@
 //! idle to saturation, while BE latency degrades.
 //!
 //! Run with: `cargo run --release -p mango_bench --bin repro_fig8_gs_vs_be`
-//! `[-- --threads N] [--smoke] [--csv PATH] [--json PATH]`
+//! `[-- --threads N] [--smoke] [--csv PATH] [--json PATH] [--telemetry-out DIR]`
 //!
 //! The BE load axis is a [`SweepSpec`] grid: one GS connection
 //! (0,0)→(3,3) at 12 ns CBR against a BE background dimension, fanned
 //! out across worker threads and merged in job order.
+//! `--telemetry-out DIR` additionally collects per-job telemetry
+//! (metrics, epoch time series, flit-journey Chrome trace) and writes
+//! it into DIR — byte-identical for any `--threads` value.
 
 use mango::hw::Table;
-use mango::net::ScenarioMetrics;
+use mango::net::{ScenarioMetrics, TelemetryConfig};
+use mango::telemetry::TelemetryReport;
 use mango_sweep::{
-    run_parallel, write_csv, write_json, RuntimeInfo, SweepArgs, SweepRecord, SweepSpec,
+    run_parallel, write_csv, write_json, write_telemetry_dir, RuntimeInfo, SweepArgs, SweepRecord,
+    SweepSpec,
 };
 use std::time::Instant;
 
@@ -51,9 +56,29 @@ fn main() {
     };
     let jobs = spec.expand();
     let start = Instant::now();
-    let metrics: Vec<ScenarioMetrics> =
-        run_parallel(&jobs, args.threads, |_, job| spec.scenario(job).run());
+    let telemetry = args.telemetry_out.is_some();
+    let results: Vec<(ScenarioMetrics, Option<TelemetryReport>)> =
+        run_parallel(&jobs, args.threads, |_, job| {
+            let scenario = spec.scenario(job);
+            if !telemetry {
+                return (scenario.run(), None);
+            }
+            let mut prepared = scenario.prepare();
+            prepared
+                .sim_mut()
+                .enable_telemetry(TelemetryConfig::default());
+            prepared.start_measurement();
+            let outcome = prepared.run_to_bound();
+            let report = prepared.sim_mut().take_telemetry();
+            (prepared.finish(outcome), Some(report))
+        });
     let wall = start.elapsed().as_secs_f64();
+    if let Some(dir) = &args.telemetry_out {
+        let reports: Vec<TelemetryReport> = results.iter().filter_map(|(_, r)| r.clone()).collect();
+        write_telemetry_dir(dir, &reports).expect("write telemetry");
+        println!("telemetry written to {}\n", dir.display());
+    }
+    let metrics: Vec<ScenarioMetrics> = results.into_iter().map(|(m, _)| m).collect();
 
     println!("GS independence from BE load (Fig. 8): 6-hop GS stream at 83 Mflit/s\n");
     let rows: Vec<Row> = jobs

@@ -4,21 +4,30 @@
 //! roadmap track is measured in.
 //!
 //! Usage:
-//! `sim_rate [simulated_us] [repeats] [--mesh N] [--buckets B] [--width-log2 W] [--json]`
+//! `sim_rate [simulated_us] [repeats] [--mesh N] [--buckets B] [--width-log2 W] [--json] [--profile] [--telemetry]`
 //! (defaults: 50 µs × 5 on a 4×4 mesh). `--mesh N` runs the same mixed
 //! workload on an N×N mesh — the mesh-scaling probe. `--buckets` /
 //! `--width-log2` override the event-wheel geometry (default: the
 //! per-scenario heuristic) for wheel-geometry validation sweeps; results
 //! are geometry-independent, only the rate moves. `--json` emits one
 //! machine-readable object on stdout so CI can record the rate without
-//! scraping logs.
+//! scraping logs. `--profile` turns on kernel self-profiling and prints
+//! per-event-kind dispatch counts plus wheel-occupancy statistics after
+//! the last run (profiling adds a little per-dispatch work, so rates
+//! measured with it are not comparable to unprofiled ones).
+//! `--telemetry` activates the telemetry sink (metrics + epoch samplers,
+//! flit tracing off) — the sampler-overhead probe: compare its rate to a
+//! plain run of the same workload.
 
+use mango::net::TelemetryConfig;
 use mango::sim::{SimDuration, WheelGeometry};
 use mango_bench::mixed_mesh_geom;
 use std::time::Instant;
 
 fn main() {
     let mut json = false;
+    let mut profile = false;
+    let mut telemetry = false;
     let mut mesh: u8 = 4;
     let mut buckets: Option<usize> = None;
     let mut width_log2: Option<u32> = None;
@@ -27,7 +36,7 @@ fn main() {
     fn usage() -> ! {
         eprintln!(
             "usage: sim_rate [simulated_us] [repeats] [--mesh N] \
-             [--buckets B] [--width-log2 W] [--json]"
+             [--buckets B] [--width-log2 W] [--json] [--profile] [--telemetry]"
         );
         std::process::exit(2);
     }
@@ -40,6 +49,8 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--profile" => profile = true,
+            "--telemetry" => telemetry = true,
             "--mesh" => mesh = flag_val(&mut args),
             "--buckets" => buckets = Some(flag_val(&mut args)),
             "--width-log2" => width_log2 = Some(flag_val(&mut args)),
@@ -71,9 +82,19 @@ fn main() {
     }
     let mut best = f64::MIN;
     let mut runs = Vec::new();
+    let mut last_profile = None;
     for run in 0..repeats {
         let mut sim = mixed_mesh_geom(mesh, mesh, 99, geometry);
         assert_eq!(sim.wheel_geometry(), geom, "banner geometry out of sync");
+        if profile {
+            sim.enable_kernel_profiling();
+        }
+        if telemetry {
+            sim.enable_telemetry(TelemetryConfig {
+                trace_flits: false,
+                ..Default::default()
+            });
+        }
         let setup_events = sim.events_processed();
         let start = Instant::now();
         sim.run_for(SimDuration::from_us(sim_us));
@@ -93,6 +114,31 @@ fn main() {
                 rate / 1e6
             );
         }
+        if profile {
+            last_profile = sim.kernel_profile().cloned();
+        }
+    }
+    if let Some(p) = &last_profile {
+        let total = p.samples().max(1);
+        println!("kernel profile ({} dispatches):", p.samples());
+        for (name, count) in p.kind_counts() {
+            if count > 0 {
+                println!(
+                    "  {name:<16} {count:>10}  ({:5.1}%)",
+                    count as f64 * 100.0 / total as f64
+                );
+            }
+        }
+        println!(
+            "  queue length     mean {:.1}  max {}",
+            p.queue_len_mean(),
+            p.queue_len_max()
+        );
+        println!(
+            "  occupied buckets mean {:.1}  max {}",
+            p.occupied_buckets_mean(),
+            p.occupied_buckets_max()
+        );
     }
     if json {
         println!(

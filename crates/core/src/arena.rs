@@ -410,6 +410,39 @@ impl GsArena {
         self.lo_unshare[slot].is_none() && self.lo_len[slot] == 0
     }
 
+    /// Total flits currently stored in the arena, across every
+    /// unsharebox and buffer ring of every slot — the telemetry
+    /// sampler's GS occupancy gauge.
+    pub fn buffered_flits(&self) -> usize {
+        let vc: usize = self.vc_unshare.iter().filter(|u| u.is_some()).count()
+            + self.vc_len.iter().map(|&l| l as usize).sum::<usize>();
+        let lo: usize = self.lo_unshare.iter().filter(|u| u.is_some()).count()
+            + self.lo_len.iter().map(|&l| l as usize).sum::<usize>();
+        vc + lo
+    }
+
+    /// Flits carrying instrumentation flow metadata currently stored in
+    /// the arena — one term of the debug flit-conservation walk.
+    pub fn flow_flits(&self) -> u64 {
+        let mut n = 0u64;
+        let flow = |f: &Flit| u64::from(f.flow() != u32::MAX);
+        for slot in 0..self.vc_unshare.len() {
+            n += self.vc_unshare[slot].as_ref().map_or(0, flow);
+            let (head, len) = (self.vc_head[slot] as usize, self.vc_len[slot] as usize);
+            for i in 0..len {
+                n += flow(&self.vc_flits[slot * self.depth + (head + i) % self.depth]);
+            }
+        }
+        for slot in 0..self.lo_unshare.len() {
+            n += self.lo_unshare[slot].as_ref().map_or(0, flow);
+            let (head, len) = (self.lo_head[slot] as usize, self.lo_len[slot] as usize);
+            for i in 0..len {
+                n += flow(&self.lo_flits[slot * self.depth + (head + i) % self.depth]);
+            }
+        }
+        n
+    }
+
     /// True if none of the router's slots (based at `slots`) hold a flit.
     pub fn router_is_empty(&self, slots: RouterSlots) -> bool {
         let vc0 = slots.vc_base as usize;

@@ -6,6 +6,7 @@ use crate::be::{BeInput, BeUnit};
 use crate::events::{InternalEvent, RouterAction};
 use crate::flit::Flit;
 use crate::packet::{BeDest, BeHeader};
+use crate::trace::TraceDetail;
 
 impl Router {
     pub(super) fn be_arrive(&mut self, input: BeInput, flit: Flit, act: &mut Vec<RouterAction>) {
@@ -48,7 +49,10 @@ impl Router {
         header_flit.data = rotated.0;
         st.in_progress = Some(dest);
         self.tracer
-            .record(self.now, "be.route", || format!("{input} -> {dest}"));
+            .record(self.now, "be.route", || TraceDetail::BeRoute {
+                input,
+                dest,
+            });
         self.be_try_output(dest, act);
     }
 

@@ -66,7 +66,8 @@ use crate::ids::{Direction, GsBufferRef, RouterId, VcId};
 use crate::stats::RouterStats;
 use crate::steer::Steer;
 use crate::table::ConnectionTable;
-use mango_sim::{SimTime, Tracer};
+use crate::trace::RouterTracer;
+use mango_sim::SimTime;
 use std::collections::VecDeque;
 
 /// One MANGO router.
@@ -95,7 +96,7 @@ pub struct Router {
     stats: RouterStats,
     /// Mirror of the last event timestamp, for tracing.
     now: SimTime,
-    tracer: Tracer,
+    tracer: RouterTracer,
 }
 
 impl std::fmt::Debug for Router {
@@ -139,7 +140,7 @@ impl Router {
             cfg,
             stats: RouterStats::default(),
             now: SimTime::ZERO,
-            tracer: Tracer::Off,
+            tracer: RouterTracer::Off,
         }
     }
 
@@ -192,20 +193,50 @@ impl Router {
     /// collects grant/unlock/BE-routing records for debugging).
     pub fn set_tracing(&mut self, enabled: bool) {
         self.tracer = if enabled {
-            Tracer::collecting()
+            RouterTracer::collecting()
         } else {
-            Tracer::Off
+            RouterTracer::Off
         };
     }
 
     /// The collected trace.
-    pub fn tracer(&self) -> &Tracer {
+    pub fn tracer(&self) -> &RouterTracer {
         &self.tracer
     }
 
     /// True if no flit is stored or in flight anywhere in this router.
     pub fn is_quiescent(&self, bufs: &GsArena) -> bool {
         bufs.router_is_empty(self.slots) && !self.be.has_work() && self.prog_tx.is_empty()
+    }
+
+    /// Total BE flits staged inside this router (input latches, output
+    /// stages, staged programming acks) — the telemetry sampler's BE
+    /// depth gauge.
+    pub fn be_flits_buffered(&self) -> usize {
+        self.be.inputs.iter().map(|i| i.latch.len()).sum::<usize>()
+            + self.be.outputs.iter().map(|o| o.buf.len()).sum::<usize>()
+            + self.prog_tx.len()
+    }
+
+    /// Flow-carrying flits staged inside this router's BE unit — one
+    /// term of the debug flit-conservation walk (GS flits live in the
+    /// shared arena, see [`GsArena::flow_flits`]).
+    pub fn flow_flits_buffered(&self) -> u64 {
+        let flow = |f: &Flit| u64::from(f.flow() != u32::MAX);
+        self.be
+            .inputs
+            .iter()
+            .flat_map(|i| i.latch.iter())
+            .map(flow)
+            .sum::<u64>()
+            + self
+                .be
+                .outputs
+                .iter()
+                .flat_map(|o| o.buf.iter())
+                .map(flow)
+                .sum::<u64>()
+            + self.prog_tx.iter().map(flow).sum::<u64>()
     }
 
     // ------------------------------------------------------------------

@@ -9,6 +9,7 @@ use crate::flit::LinkFlit;
 use crate::ids::{Direction, GsBufferRef, VcId};
 use crate::packet::BeDest;
 use crate::steer::Steer;
+use crate::trace::TraceDetail;
 
 impl Router {
     /// Re-derives the ready bit for GS VC `vc` on output `dir`; must run
@@ -110,7 +111,12 @@ impl Router {
                 self.update_gs_ready(bufs, dir, vc);
                 self.stats.gs_grants[d] += 1;
                 self.tracer
-                    .record(self.now, "gs.grant", || format!("{dir}/{vc} {flit}"));
+                    .record(self.now, "gs.grant", || TraceDetail::GsGrant {
+                        dir,
+                        vc,
+                        flow: flit.flow(),
+                        seq: flit.seq(),
+                    });
                 act.push(RouterAction::SendFlit {
                     dir,
                     lf: LinkFlit { steer, flit },
@@ -127,7 +133,7 @@ impl Router {
                 self.update_be_ready(dir);
                 self.stats.be_grants[d] += 1;
                 self.tracer
-                    .record(self.now, "be.grant", || format!("{dir} {flit}"));
+                    .record(self.now, "be.grant", || TraceDetail::BeGrant { dir });
                 act.push(RouterAction::SendFlit {
                     dir,
                     lf: LinkFlit {

@@ -1,0 +1,97 @@
+//! Copyable trace details for router-level tracing.
+//!
+//! [`mango_sim::Tracer`] is generic over its detail payload; the router
+//! records this compact enum instead of formatting a `String` per
+//! record, so an enabled tracer never allocates per event. Rendering to
+//! text happens only when a test or tool actually displays the trace.
+
+use crate::be::BeInput;
+use crate::ids::{Direction, GsBufferRef, VcId};
+use crate::packet::BeDest;
+use std::fmt;
+
+/// Structured detail of one router trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// A GS flit won link arbitration at an output port.
+    GsGrant {
+        /// Output port.
+        dir: Direction,
+        /// Granted VC.
+        vc: VcId,
+        /// Instrumented flow id (`u32::MAX` when uninstrumented).
+        flow: u32,
+        /// Per-flow sequence number.
+        seq: u64,
+    },
+    /// A BE flit won link arbitration at an output port.
+    BeGrant {
+        /// Output port.
+        dir: Direction,
+    },
+    /// A VC buffer sent its unlock upstream.
+    Unlock {
+        /// The buffer that unlocked.
+        buffer: GsBufferRef,
+    },
+    /// The BE unit routed a packet head to an output.
+    BeRoute {
+        /// Arbitrated input.
+        input: BeInput,
+        /// Chosen output (network port or local delivery).
+        dest: BeDest,
+    },
+    /// The programming interface consumed a configuration packet.
+    ProgPacket {
+        /// Payload length in words.
+        words: u16,
+    },
+}
+
+impl fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDetail::GsGrant { dir, vc, flow, seq } => {
+                write!(f, "{dir}/{vc} flow={flow} seq={seq}")
+            }
+            TraceDetail::BeGrant { dir } => write!(f, "{dir}"),
+            TraceDetail::Unlock { buffer } => write!(f, "{buffer}"),
+            TraceDetail::BeRoute { input, dest } => write!(f, "{input} -> {dest}"),
+            TraceDetail::ProgPacket { words } => write!(f, "{words} words"),
+        }
+    }
+}
+
+/// The tracer type routers carry: [`mango_sim::Tracer`] specialized to
+/// [`TraceDetail`].
+pub type RouterTracer = mango_sim::Tracer<TraceDetail>;
+
+/// A recorded router trace event.
+pub type RouterTraceEvent = mango_sim::TraceEvent<TraceDetail>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn details_render_like_the_historical_strings() {
+        assert_eq!(
+            TraceDetail::Unlock {
+                buffer: GsBufferRef::Net {
+                    dir: Direction::East,
+                    vc: VcId(1)
+                }
+            }
+            .to_string(),
+            "E/vc1"
+        );
+        assert_eq!(
+            TraceDetail::BeRoute {
+                input: BeInput::LocalNa,
+                dest: BeDest::Net(Direction::North)
+            }
+            .to_string(),
+            format!("{} -> {}", BeInput::LocalNa, Direction::North)
+        );
+    }
+}

@@ -57,3 +57,4 @@ pub use mango_hw as hw;
 pub use mango_net as net;
 pub use mango_qos as qos;
 pub use mango_sim as sim;
+pub use mango_telemetry as telemetry;

@@ -46,6 +46,7 @@ pub mod route;
 pub mod scenario;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod topology;
 pub mod traffic;
 
@@ -63,6 +64,7 @@ pub use scenario::{
 };
 pub use sim::{EmitWindow, NocSim};
 pub use stats::{FlowStats, Histogram, LatencyRecorder, NetStats};
+pub use telemetry::{TelemetryConfig, TelemetrySink, TelemetryState, EPOCH_COLUMNS};
 pub use topology::{d2d_extra_default, Grid, TopologySpec};
 pub use traffic::{
     Pattern, PatternKind, PatternState, Source, SourceKind, SpatialPattern, TemporalSpec,

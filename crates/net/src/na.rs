@@ -274,6 +274,38 @@ impl Na {
         }
     }
 
+    /// Total GS flits queued across all bound TX interfaces (telemetry
+    /// sampler gauge).
+    pub fn gs_queued_total(&self) -> usize {
+        self.tx.iter().flatten().map(|t| t.queue.len()).sum()
+    }
+
+    /// Flow-carrying flits held anywhere in this NA (GS TX queues, BE
+    /// TX queue, BE reassembly buffer) — one term of the debug
+    /// flit-conservation walk.
+    pub fn flow_flits(&self) -> u64 {
+        let flow = |f: &Flit| u64::from(f.flow() != u32::MAX);
+        self.tx
+            .iter()
+            .flatten()
+            .flat_map(|t| t.queue.iter())
+            .map(flow)
+            .sum::<u64>()
+            + self.be_tx.iter().map(flow).sum::<u64>()
+            + self.rx_asm.iter().map(flow).sum::<u64>()
+    }
+
+    /// Flow-carrying flits queued on one GS TX interface — read before a
+    /// forced unbind so the discarded flits can be accounted as dropped.
+    pub fn gs_queue_flow_flits(&self, iface: u8) -> u64 {
+        self.tx[iface as usize].as_ref().map_or(0, |t| {
+            t.queue
+                .iter()
+                .map(|f| u64::from(f.flow() != u32::MAX))
+                .sum()
+        })
+    }
+
     /// True if nothing is queued or half-assembled in this NA.
     pub fn is_quiescent(&self) -> bool {
         self.tx

@@ -12,6 +12,9 @@ use crate::fault::{FaultCounters, FaultKind, FaultSchedule, FaultState};
 use crate::na::{Na, NaConfig};
 use crate::relay::{self, RelayTable, RelayTicket};
 use crate::stats::NetStats;
+use crate::telemetry::{
+    TelemetryConfig, TelemetrySink, TelemetryState, TRACE_PID_FLITS, TRACE_PID_RECOVERY,
+};
 use crate::topology::Grid;
 use crate::traffic::{Source, SourceKind};
 use mango_core::{
@@ -19,6 +22,7 @@ use mango_core::{
     RouterAction, RouterConfig, RouterId, Steer, UpstreamRef, VcId,
 };
 use mango_sim::{Ctx, Model, SimDuration, SimTime};
+use mango_telemetry::{EvName, Sample, TelemetryReport};
 
 /// An event in the network simulation.
 #[derive(Debug, Clone)]
@@ -90,6 +94,9 @@ pub enum NetEvent {
         /// Watchdog index.
         idx: usize,
     },
+    /// The telemetry epoch sampler fires: snapshot one time-series row
+    /// and re-arm (self-rescheduling while other events remain).
+    TelemetrySample,
 }
 
 /// A node: one router plus its network adapter.
@@ -159,6 +166,27 @@ pub struct Network {
     /// Connections declared broken by a watchdog, awaiting collection by
     /// the recovery controller.
     broken: Vec<BrokenConn>,
+    /// Telemetry sink; `Off` (the default) keeps every hook to a single
+    /// branch so untelemetered runs stay byte- and perf-identical.
+    telemetry: TelemetrySink,
+    /// Debug-build flit-conservation ledger (flow-carrying flits only).
+    #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+    cons: Conservation,
+}
+
+/// Debug-only conservation ledger: every flow-carrying flit in the
+/// system is either in a buffer (found by walking arena/router/NA state)
+/// or inside a scheduled event (`wire`). `outstanding` tracks entries
+/// minus exits (deliveries and fault drops), so at any event boundary
+/// `outstanding == buffered + wire`.
+#[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+#[derive(Debug, Default, Clone, Copy)]
+struct Conservation {
+    /// Flow-carrying flits injected and not yet delivered or dropped.
+    outstanding: i64,
+    /// Flow-carrying flits inside scheduled events (`LinkFlit`,
+    /// router-internal `BeMoved`).
+    wire: i64,
 }
 
 /// A stream watchdog: declares its connection broken when the flow's
@@ -224,6 +252,9 @@ impl Network {
             counters: FaultCounters::default(),
             watchdogs: Vec::new(),
             broken: Vec::new(),
+            telemetry: TelemetrySink::Off,
+            #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+            cons: Conservation::default(),
         }
     }
 
@@ -393,6 +424,349 @@ impl Network {
         self.counters
     }
 
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Activates the telemetry sink. The caller arms the epoch sampler
+    /// via [`Network::telemetry_sampler_rearm`] and schedules the
+    /// returned cadence (see `NocSim::enable_telemetry`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if telemetry is already active.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        assert!(!self.telemetry.is_active(), "telemetry already enabled");
+        self.telemetry = TelemetrySink::Active(TelemetryState::new(cfg));
+    }
+
+    /// The telemetry sink.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Detaches the sink and finalizes it into a report (metric totals
+    /// are filled from the statistics registries at this point). Returns
+    /// `None` if telemetry was never enabled. The sink reverts to `Off`.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let mut st = match std::mem::take(&mut self.telemetry) {
+            TelemetrySink::Off => return None,
+            TelemetrySink::Active(st) => st,
+        };
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        for (_, f) in self.stats.flows() {
+            injected += f.injected;
+            delivered += f.delivered;
+        }
+        let m = &mut st.metrics;
+        for (name, value) in [
+            ("flits.injected", injected),
+            ("flits.delivered", delivered),
+            ("flits.in_flight", self.stats.in_flight()),
+            ("faults.gs_dropped", self.counters.gs_flits_dropped),
+            ("faults.be_dropped", self.counters.be_flits_dropped),
+            ("faults.spoofed_unlocks", self.counters.spoofed_unlocks),
+            ("faults.spoofed_credits", self.counters.spoofed_credits),
+            ("faults.be_route_drops", self.counters.be_route_drops),
+            ("faults.relay_route_drops", self.counters.relay_route_drops),
+            ("faults.ack_route_drops", self.counters.ack_route_drops),
+            ("trace.flit_events", st.flit_events as u64),
+            ("trace.flit_events_dropped", st.flit_events_dropped),
+        ] {
+            let id = m.counter(name);
+            m.set_counter(id, value);
+        }
+        Some(st.into_report())
+    }
+
+    /// Records a lifecycle span on the recovery track (no-op while the
+    /// sink is off) — the cold-path hook the QoS recovery engine uses.
+    #[cold]
+    #[inline(never)]
+    pub fn telemetry_span(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<EvName>,
+        start: SimTime,
+        end: SimTime,
+        tid: u32,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if let Some(st) = self.telemetry.state_mut() {
+            st.trace.span(
+                cat,
+                name,
+                start.as_ps(),
+                end.as_ps(),
+                TRACE_PID_RECOVERY,
+                tid,
+                args,
+            );
+        }
+    }
+
+    /// Records an instant on the recovery track (no-op while off).
+    #[cold]
+    #[inline(never)]
+    pub fn telemetry_instant(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<EvName>,
+        at: SimTime,
+        tid: u32,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        if let Some(st) = self.telemetry.state_mut() {
+            st.trace
+                .instant(cat, name, at.as_ps(), TRACE_PID_RECOVERY, tid, args);
+        }
+    }
+
+    /// Sets a registered gauge (no-op while off).
+    #[cold]
+    #[inline(never)]
+    pub fn telemetry_gauge(&mut self, name: &'static str, value: i64) {
+        if let Some(st) = self.telemetry.state_mut() {
+            let id = st.metrics.gauge(name);
+            st.metrics.set_gauge(id, value);
+        }
+    }
+
+    /// Adds to a registered counter (no-op while off).
+    #[cold]
+    #[inline(never)]
+    pub fn telemetry_counter_add(&mut self, name: &'static str, n: u64) {
+        if let Some(st) = self.telemetry.state_mut() {
+            let id = st.metrics.counter(name);
+            st.metrics.inc(id, n);
+        }
+    }
+
+    /// One epoch sampler firing: append a snapshot row, then re-arm
+    /// unless this sampler is the only thing keeping the simulation
+    /// alive (`ctx.pending() == 0` right after the pop).
+    #[cold]
+    #[inline(never)]
+    fn on_telemetry_sample(&mut self, ctx: &mut Ctx<NetEvent>) {
+        let TelemetrySink::Active(_) = self.telemetry else {
+            return;
+        };
+        let now = ctx.now();
+        let (mut injected, mut delivered) = (0u64, 0u64);
+        for (_, f) in self.stats.flows() {
+            injected += f.injected;
+            delivered += f.delivered;
+        }
+        let gs_buffered = self.arena.buffered_flits() as u64;
+        let mut be_buffered = 0u64;
+        let mut na_gs = 0u64;
+        let mut na_be = 0u64;
+        for node in &self.nodes {
+            be_buffered += node.router.be_flits_buffered() as u64;
+            na_gs += node.na.gs_queued_total() as u64;
+            na_be += node.na.be_backlog() as u64;
+        }
+        // Link utilization in exact micro-units (integer math: grants ×
+        // link-cycle ÷ elapsed), aggregated over every directed link.
+        let elapsed = now.as_ps() as u128;
+        let cycle = self.router_cfg.timing.link_cycle.as_ps() as u128;
+        let mut links = 0u128;
+        let mut util_sum = 0u128;
+        let mut util_max = 0u64;
+        for node in &self.nodes {
+            let id = node.router.id();
+            for dir in Direction::ALL {
+                if self.grid.neighbor(id, dir).is_none() {
+                    continue;
+                }
+                links += 1;
+                let util = (node.router.stats().grants(dir.index()) as u128 * cycle * 1_000_000)
+                    .checked_div(elapsed)
+                    .unwrap_or(0) as u64;
+                util_sum += util as u128;
+                util_max = util_max.max(util);
+            }
+        }
+        let util_mean = util_sum.checked_div(links).unwrap_or(0) as u64;
+        let (gs_dropped, be_dropped) = (
+            self.counters.gs_flits_dropped,
+            self.counters.be_flits_dropped,
+        );
+        let st = self.telemetry.state_mut().expect("checked active");
+        st.epochs.push(vec![
+            Sample::Micro(now.as_ps()),
+            Sample::U64(injected),
+            Sample::U64(delivered),
+            Sample::U64(injected - delivered),
+            Sample::U64(gs_buffered),
+            Sample::U64(be_buffered),
+            Sample::U64(na_gs),
+            Sample::U64(na_be),
+            Sample::Micro(util_mean),
+            Sample::Micro(util_max),
+            Sample::U64(gs_dropped),
+            Sample::U64(be_dropped),
+        ]);
+        st.sampler_armed = ctx.pending() > 0;
+        if st.sampler_armed {
+            ctx.schedule(st.cfg.sample_every, NetEvent::TelemetrySample);
+        }
+    }
+
+    /// Marks the epoch sampler armed and returns the cadence to schedule
+    /// the next [`NetEvent::TelemetrySample`] at — or `None` when
+    /// telemetry is off or a sampler event is already pending. The run
+    /// harness calls this at every run-segment start so a sampler that
+    /// let an idle queue drain (e.g. during a warmup with no setup-phase
+    /// traffic) revives once sources attach.
+    pub fn telemetry_sampler_rearm(&mut self) -> Option<SimDuration> {
+        let st = self.telemetry.state_mut()?;
+        if st.sampler_armed {
+            return None;
+        }
+        st.sampler_armed = true;
+        Some(st.cfg.sample_every)
+    }
+
+    /// Records a per-hop grant instant for an instrumented flit.
+    #[cold]
+    #[inline(never)]
+    fn t9n_hop(&mut self, now: SimTime, id: RouterId, dir: Direction, flit: &Flit) {
+        let Some(st) = self.telemetry.state_mut() else {
+            return;
+        };
+        if !st.cfg.trace_flits || !st.reserve_flit_event() {
+            return;
+        }
+        st.trace.instant(
+            "hop",
+            "hop",
+            now.as_ps(),
+            TRACE_PID_FLITS,
+            flit.flow(),
+            vec![
+                ("seq", flit.seq()),
+                ("x", id.x as u64),
+                ("y", id.y as u64),
+                ("dir", dir.index() as u64),
+            ],
+        );
+    }
+
+    /// Records a relay re-injection instant for an instrumented BE
+    /// packet crossing a chiplet boundary.
+    #[cold]
+    #[inline(never)]
+    fn t9n_relay(&mut self, now: SimTime, id: RouterId, flit: &Flit) {
+        let Some(st) = self.telemetry.state_mut() else {
+            return;
+        };
+        if !st.cfg.trace_flits || !st.reserve_flit_event() {
+            return;
+        }
+        st.trace.instant(
+            "hop",
+            "relay",
+            now.as_ps(),
+            TRACE_PID_FLITS,
+            flit.flow(),
+            vec![("seq", flit.seq()), ("x", id.x as u64), ("y", id.y as u64)],
+        );
+    }
+
+    /// Records an end-to-end journey span for a delivered flit/packet
+    /// and feeds the latency histogram.
+    #[cold]
+    #[inline(never)]
+    fn t9n_deliver(&mut self, name: &'static str, now: SimTime, flit: &Flit, gs: bool) {
+        let Some(st) = self.telemetry.state_mut() else {
+            return;
+        };
+        let latency_ns = now.since(flit.injected_at()).as_ps() / 1000;
+        let hist = if gs {
+            st.hist_gs_latency
+        } else {
+            st.hist_be_latency
+        };
+        st.metrics.observe(hist, latency_ns);
+        if !st.cfg.trace_flits || !st.reserve_flit_event() {
+            return;
+        }
+        st.trace.span(
+            "flit",
+            name,
+            flit.injected_at().as_ps(),
+            now.as_ps(),
+            TRACE_PID_FLITS,
+            flit.flow(),
+            vec![("seq", flit.seq())],
+        );
+    }
+
+    /// Records a fault-drop instant for an instrumented flit.
+    #[cold]
+    #[inline(never)]
+    fn t9n_drop(&mut self, now: SimTime, id: RouterId, dir: Direction, flit: &Flit) {
+        let Some(st) = self.telemetry.state_mut() else {
+            return;
+        };
+        if !st.cfg.trace_flits || !st.reserve_flit_event() {
+            return;
+        }
+        st.trace.instant(
+            "fault",
+            "drop",
+            now.as_ps(),
+            TRACE_PID_FLITS,
+            flit.flow(),
+            vec![
+                ("seq", flit.seq()),
+                ("x", id.x as u64),
+                ("y", id.y as u64),
+                ("dir", dir.index() as u64),
+            ],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Debug flit-conservation ledger
+    // ------------------------------------------------------------------
+
+    /// Asserts the flit-conservation invariant: every flow-carrying flit
+    /// ever injected is delivered, fault-dropped, buffered somewhere, or
+    /// inside a scheduled event. Call between events (e.g. after a run).
+    /// Compiled to a no-op in release builds and under `lean-flit`.
+    pub fn debug_check_conservation(&self) {
+        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+        {
+            let buffered: i64 = self.arena.flow_flits() as i64
+                + self
+                    .nodes
+                    .iter()
+                    .map(|n| n.router.flow_flits_buffered() + n.na.flow_flits())
+                    .sum::<u64>() as i64;
+            assert_eq!(
+                self.cons.outstanding,
+                buffered + self.cons.wire,
+                "flit conservation violated: outstanding {} != buffered {} + wire {}",
+                self.cons.outstanding,
+                buffered,
+                self.cons.wire,
+            );
+        }
+    }
+
+    /// Accounts flow-carrying flits discarded outside the event loop
+    /// (forced NA unbind during recovery). No-op in release/lean builds.
+    pub fn debug_note_discarded(&mut self, n: u64) {
+        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+        {
+            self.cons.outstanding -= n as i64;
+        }
+        #[cfg(any(not(debug_assertions), feature = "lean-flit"))]
+        let _ = n;
+    }
+
     /// Registers a stream watchdog on `conn`'s traffic `flow` and returns
     /// its index; the caller must schedule the first
     /// [`NetEvent::Watchdog`]`{ idx }` after `timeout` (see
@@ -505,6 +879,10 @@ impl Network {
         if !drop {
             return false;
         }
+        if self.telemetry.is_active() && lf.flit.flow() != u32::MAX {
+            let flit = lf.flit;
+            self.t9n_drop(now, from, dir, &flit);
+        }
         // The spoofed feedback departs where the real feedback would
         // have: after the flit's forward path plus the downstream
         // handling and the return trip.
@@ -580,7 +958,28 @@ impl Network {
         if !dead {
             return false;
         }
+        // Flits vanishing into the dead router leave both the wire and
+        // the conservation ledger (counted as fault losses below).
+        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+        match event {
+            NetEvent::LinkFlit { lf, .. } if lf.flit.flow() != u32::MAX => {
+                self.cons_wire(-1);
+                self.cons_exit(1);
+            }
+            NetEvent::Router {
+                ev: InternalEvent::BeMoved { flit, .. },
+                ..
+            } if flit.flow() != u32::MAX => {
+                self.cons_wire(-1);
+                self.cons_exit(1);
+            }
+            _ => {}
+        }
         if let NetEvent::LinkFlit { to, from, lf } = event {
+            if self.telemetry.is_active() && lf.flit.flow() != u32::MAX {
+                let flit = lf.flit;
+                self.t9n_drop(ctx.now(), *to, *from, &flit);
+            }
             let sender = self
                 .grid
                 .neighbor(*to, *from)
@@ -674,6 +1073,8 @@ impl Network {
             for f in &mut flits {
                 *f = f.with_meta(now, seq, flow);
             }
+            #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+            self.cons_enter(flits.len() as u64);
         }
         let idx = self.grid.index(src);
         let inject = self.nodes[idx].na.enqueue_be(flits.iter().copied());
@@ -699,6 +1100,12 @@ impl Network {
         for action in actions {
             match action {
                 RouterAction::Internal { delay, event } => {
+                    #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                    if let InternalEvent::BeMoved { flit, .. } = event {
+                        if flit.flow() != u32::MAX {
+                            self.cons_wire(1);
+                        }
+                    }
                     ctx.schedule(*delay, NetEvent::Router { id, ev: *event });
                 }
                 RouterAction::SendFlit { dir, lf, delay } => {
@@ -710,7 +1117,19 @@ impl Network {
                     if self.faults.is_some()
                         && self.blackhole_flit(id, *dir, to, lf, *delay + extra, ctx)
                     {
+                        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                        if lf.flit.flow() != u32::MAX {
+                            self.cons_exit(1);
+                        }
                         continue;
+                    }
+                    #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                    if lf.flit.flow() != u32::MAX {
+                        self.cons_wire(1);
+                    }
+                    if self.telemetry.is_active() && lf.flit.flow() != u32::MAX {
+                        let flit = lf.flit;
+                        self.t9n_hop(ctx.now(), id, *dir, &flit);
                     }
                     ctx.schedule(
                         *delay + extra,
@@ -758,6 +1177,12 @@ impl Network {
                             flit.injected_at(),
                             ctx.now(),
                         );
+                        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                        self.cons_exit(1);
+                        if self.telemetry.is_active() {
+                            let flit = *flit;
+                            self.t9n_deliver("gs", ctx.now(), &flit, true);
+                        }
                     }
                     // The core consumes the flit, then frees the delivery
                     // slot.
@@ -768,6 +1193,10 @@ impl Network {
                     let idx = self.grid.index(id);
                     let mut packet = std::mem::take(&mut self.packet_scratch);
                     if self.nodes[idx].na.be_deliver(*flit, &mut packet) {
+                        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                        self.cons_exit(
+                            packet.iter().filter(|f| f.flow() != u32::MAX).count() as u64
+                        );
                         self.on_be_packet(id, &packet, ctx);
                     }
                     self.packet_scratch = packet;
@@ -832,6 +1261,9 @@ impl Network {
         if header.flow() != u32::MAX {
             self.stats
                 .on_deliver(header.flow(), header.seq(), header.injected_at(), ctx.now());
+            if self.telemetry.is_active() {
+                self.t9n_deliver("be", ctx.now(), &header, false);
+            }
         }
         let idx = self.grid.index(id);
         // Take the app out so it can borrow `self` for responses.
@@ -916,6 +1348,12 @@ impl Network {
         }
         let hdr = &packet[0];
         flits[0] = flits[0].with_meta(hdr.injected_at(), hdr.seq(), hdr.flow());
+        #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+        self.cons_enter(flits.iter().filter(|f| f.flow() != u32::MAX).count() as u64);
+        if self.telemetry.is_active() && hdr.flow() != u32::MAX {
+            let hdr = *hdr;
+            self.t9n_relay(ctx.now(), from, &hdr);
+        }
         let idx = self.grid.index(from);
         if self.nodes[idx].na.enqueue_be(flits.iter().copied()) {
             ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id: from });
@@ -959,6 +1397,8 @@ impl Network {
             SourceKind::Gs { router, iface, .. } => {
                 let seq = self.stats.on_inject(flow);
                 let flit = Flit::gs(seq as u32).with_meta(now, seq, flow);
+                #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                self.cons_enter(1);
                 let node = self.grid.index(router);
                 if self.nodes[node].na.enqueue_gs(iface, flit) {
                     ctx.schedule(
@@ -1000,6 +1440,22 @@ impl Network {
     }
 }
 
+#[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+impl Network {
+    #[inline]
+    fn cons_enter(&mut self, n: u64) {
+        self.cons.outstanding += n as i64;
+    }
+    #[inline]
+    fn cons_exit(&mut self, n: u64) {
+        self.cons.outstanding -= n as i64;
+    }
+    #[inline]
+    fn cons_wire(&mut self, d: i64) {
+        self.cons.wire += d;
+    }
+}
+
 impl Model for Network {
     type Event = NetEvent;
 
@@ -1010,11 +1466,23 @@ impl Model for Network {
         }
         match event {
             NetEvent::Router { id, ev } => {
+                #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                if let InternalEvent::BeMoved { flit, .. } = &ev {
+                    if flit.flow() != u32::MAX {
+                        self.cons_wire(-1);
+                    }
+                }
                 self.call_router(id, ctx, |r, bufs, act| r.on_internal(bufs, now, ev, act))
             }
-            NetEvent::LinkFlit { to, from, lf } => self.call_router(to, ctx, |r, bufs, act| {
-                r.on_link_flit(bufs, now, from, lf, act)
-            }),
+            NetEvent::LinkFlit { to, from, lf } => {
+                #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
+                if lf.flit.flow() != u32::MAX {
+                    self.cons_wire(-1);
+                }
+                self.call_router(to, ctx, |r, bufs, act| {
+                    r.on_link_flit(bufs, now, from, lf, act)
+                })
+            }
             NetEvent::Unlock { to, dir, wire } => self.call_router(to, ctx, |r, bufs, act| {
                 r.on_unlock(bufs, now, dir, wire, act)
             }),
@@ -1046,6 +1514,39 @@ impl Model for Network {
             NetEvent::SourceTick { idx } => self.on_source_tick(idx, ctx),
             NetEvent::Fault { idx } => self.apply_fault(idx),
             NetEvent::Watchdog { idx } => self.on_watchdog(idx, ctx),
+            NetEvent::TelemetrySample => self.on_telemetry_sample(ctx),
+        }
+    }
+
+    fn event_kind_names(&self) -> &'static [&'static str] {
+        &[
+            "router",
+            "link_flit",
+            "unlock",
+            "credit",
+            "na_gs_inject",
+            "na_be_inject",
+            "na_gs_consumed",
+            "source_tick",
+            "fault",
+            "watchdog",
+            "telemetry",
+        ]
+    }
+
+    fn event_kind(&self, event: &NetEvent) -> usize {
+        match event {
+            NetEvent::Router { .. } => 0,
+            NetEvent::LinkFlit { .. } => 1,
+            NetEvent::Unlock { .. } => 2,
+            NetEvent::Credit { .. } => 3,
+            NetEvent::NaGsInject { .. } => 4,
+            NetEvent::NaBeInject { .. } => 5,
+            NetEvent::NaGsConsumed { .. } => 6,
+            NetEvent::SourceTick { .. } => 7,
+            NetEvent::Fault { .. } => 8,
+            NetEvent::Watchdog { .. } => 9,
+            NetEvent::TelemetrySample => 10,
         }
     }
 

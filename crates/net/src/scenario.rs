@@ -493,6 +493,9 @@ impl PreparedScenario {
 
     /// Collects the final metrics.
     pub fn finish(self, outcome: RunOutcome) -> ScenarioMetrics {
+        // Every flit ever injected must be delivered, fault-dropped, or
+        // still buffered/in flight — checked in debug builds only.
+        self.sim.network().debug_check_conservation();
         let window = self.sim.measured_window();
         let flow_metrics = self
             .flows
@@ -508,6 +511,8 @@ impl PreparedScenario {
                     latency_count: s.latency.count(),
                     throughput_m: s.throughput_mfps(window),
                     mean_ns: s.latency.mean().map(|d| d.as_ns_f64()),
+                    p50_ns: s.latency.quantile(0.5).map(|d| d.as_ns_f64()),
+                    p95_ns: s.latency.quantile(0.95).map(|d| d.as_ns_f64()),
                     p99_ns: s.latency.quantile(0.99).map(|d| d.as_ns_f64()),
                     max_ns: s.latency.max().map(|d| d.as_ns_f64()),
                     jitter_ns: s.latency.jitter().map(|d| d.as_ns_f64()),
@@ -653,6 +658,10 @@ pub struct FlowMetric {
     pub throughput_m: f64,
     /// Mean in-window latency, ns.
     pub mean_ns: Option<f64>,
+    /// Median in-window latency, ns.
+    pub p50_ns: Option<f64>,
+    /// 95th-percentile in-window latency, ns.
+    pub p95_ns: Option<f64>,
     /// 99th-percentile in-window latency, ns.
     pub p99_ns: Option<f64>,
     /// Worst in-window latency, ns.
@@ -754,6 +763,16 @@ impl ScenarioMetrics {
     /// Worst per-flow p99 BE latency, ns.
     pub fn be_p99_worst_ns(&self) -> f64 {
         self.be_all().filter_map(|f| f.p99_ns).fold(0.0, f64::max)
+    }
+
+    /// Worst per-flow median BE latency, ns.
+    pub fn be_p50_worst_ns(&self) -> f64 {
+        self.be_all().filter_map(|f| f.p50_ns).fold(0.0, f64::max)
+    }
+
+    /// Worst per-flow p95 BE latency, ns.
+    pub fn be_p95_worst_ns(&self) -> f64 {
+        self.be_all().filter_map(|f| f.p95_ns).fold(0.0, f64::max)
     }
 
     /// Total BE packets injected (including warmup).

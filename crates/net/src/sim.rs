@@ -7,10 +7,12 @@ use crate::fault::FaultSchedule;
 use crate::na::NaConfig;
 use crate::network::{BrokenConn, NetEvent, Network};
 use crate::stats::FlowStats;
+use crate::telemetry::TelemetryConfig;
 use crate::topology::Grid;
 use crate::traffic::{PatternState, Source, SourceKind, SpatialPattern, TemporalSpec};
 use mango_core::{ConnectionId, RouterConfig, RouterId};
-use mango_sim::{Kernel, RunOutcome, SimDuration, SimRng, SimTime, WheelGeometry};
+use mango_sim::{Kernel, KernelProfile, RunOutcome, SimDuration, SimRng, SimTime, WheelGeometry};
+use mango_telemetry::TelemetryReport;
 
 /// Emission bounds for a traffic source.
 #[derive(Debug, Clone, Copy, Default)]
@@ -124,24 +126,72 @@ impl NocSim {
 
     /// Runs for `span` of simulated time.
     pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        self.rearm_telemetry_sampler();
         self.kernel.run_for(span)
     }
 
     /// Runs until the event queue drains; reports stall (deadlock) if
     /// flits remain stuck.
     pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.rearm_telemetry_sampler();
         self.kernel.run_to_quiescence()
     }
 
     /// Runs with an event budget (livelock backstop for tests).
     pub fn run_with_budget(&mut self, horizon: SimTime, budget: u64) -> RunOutcome {
+        self.rearm_telemetry_sampler();
         self.kernel.run_with_budget(horizon, budget)
+    }
+
+    /// Revives the epoch sampler if telemetry is active and the previous
+    /// sampler let an empty queue drain (it refuses to keep an otherwise
+    /// idle simulation alive). Called at every run-segment start so epoch
+    /// coverage never depends on which phase carries traffic.
+    fn rearm_telemetry_sampler(&mut self) {
+        if let Some(cadence) = self.kernel.model_mut().telemetry_sampler_rearm() {
+            self.kernel.schedule(cadence, NetEvent::TelemetrySample);
+        }
     }
 
     /// Schedules a raw network event — a hook for tests that drive the
     /// model below the public traffic API (e.g. hand-built BE routes).
     pub fn schedule_raw(&mut self, delay: SimDuration, event: NetEvent) {
         self.kernel.schedule(delay, event);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Turns on telemetry collection and arms the epoch sampler (one
+    /// [`NetEvent::TelemetrySample`] per `cfg.sample_every`, riding the
+    /// ordinary event wheel so output is deterministic at any thread
+    /// count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if telemetry is already enabled.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.kernel.model_mut().enable_telemetry(cfg);
+        self.rearm_telemetry_sampler();
+    }
+
+    /// Detaches the collected telemetry as a finalized report, folding
+    /// in end-of-run counters. Returns an empty report if telemetry was
+    /// never enabled.
+    pub fn take_telemetry(&mut self) -> TelemetryReport {
+        self.kernel.model_mut().take_telemetry().unwrap_or_default()
+    }
+
+    /// Turns on kernel self-profiling (per-event-type dispatch counts and
+    /// wheel-occupancy stats; see [`KernelProfile`]).
+    pub fn enable_kernel_profiling(&mut self) {
+        self.kernel.enable_profiling();
+    }
+
+    /// The kernel self-profile, if profiling was enabled.
+    pub fn kernel_profile(&self) -> Option<&KernelProfile> {
+        self.kernel.profile()
     }
 
     // ------------------------------------------------------------------
@@ -309,7 +359,11 @@ impl NocSim {
             node.router.program(&plan.local_writes);
         }
         if let Some(iface) = plan.tx_iface {
+            // Flits still queued on the interface are discarded by the
+            // unbind — square the conservation ledger first (cold path).
+            let discarded = node.na.gs_queue_flow_flits(iface);
             node.na.force_unbind_tx(iface);
+            net.debug_note_discarded(discarded);
         }
         Ok(plan)
     }

@@ -1,0 +1,200 @@
+//! Run-time observability for network simulations.
+//!
+//! The network carries a [`TelemetrySink`]: `Off` (the default) costs one
+//! enum-discriminant branch per hook and collects nothing; `Active` holds
+//! a [`TelemetryState`] — a typed metrics registry, an epoch time-series
+//! sampled by a self-rescheduling kernel event, and a Chrome-trace
+//! (Perfetto-loadable) span log of flit journeys and recovery lifecycle
+//! events.
+//!
+//! Everything recorded is a pure function of simulated state and time, so
+//! telemetry output is byte-identical at any worker-thread count (threads
+//! partition *jobs*, never one kernel).
+
+use mango_sim::SimDuration;
+use mango_telemetry::{ChromeTrace, EpochSeries, HistId, MetricsRegistry, TelemetryReport};
+
+/// Chrome-trace process id for flit-journey events (`tid` = flow id).
+pub const TRACE_PID_FLITS: u32 = 1;
+/// Chrome-trace process id for connection/recovery lifecycle events
+/// (`tid` = connection id).
+pub const TRACE_PID_RECOVERY: u32 = 2;
+
+/// Configuration for an activated telemetry sink.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Epoch sampler cadence — one [`crate::network::NetEvent::TelemetrySample`]
+    /// snapshot row per interval.
+    pub sample_every: SimDuration,
+    /// Record per-flit journey spans and per-hop instants in the Chrome
+    /// trace (recovery lifecycle spans are always recorded while active).
+    pub trace_flits: bool,
+    /// Deterministic cap on recorded flit trace events; once reached,
+    /// further flit events are counted but not stored.
+    pub max_trace_events: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_every: SimDuration::from_ns(1000),
+            trace_flits: true,
+            max_trace_events: 100_000,
+        }
+    }
+}
+
+/// Live telemetry collection state (see the module docs).
+#[derive(Debug)]
+pub struct TelemetryState {
+    /// Configuration it was enabled with.
+    pub cfg: TelemetryConfig,
+    /// Typed counters/gauges/histograms, finalized into the report.
+    pub metrics: MetricsRegistry,
+    /// The epoch sampler's time series.
+    pub epochs: EpochSeries,
+    /// Flit-journey and recovery spans.
+    pub trace: ChromeTrace,
+    /// Flit trace events recorded so far (capped by
+    /// `cfg.max_trace_events`).
+    pub flit_events: usize,
+    /// Flit trace events dropped after the cap was hit.
+    pub flit_events_dropped: u64,
+    /// Whether a [`crate::network::NetEvent::TelemetrySample`] is
+    /// currently scheduled. The sampler lets the queue drain rather than
+    /// keep an idle simulation alive, so the harness re-arms it (via
+    /// [`crate::network::Network::telemetry_sampler_rearm`]) whenever a
+    /// run segment starts.
+    pub sampler_armed: bool,
+    /// End-to-end GS flit latency histogram (nanoseconds).
+    pub hist_gs_latency: HistId,
+    /// End-to-end BE packet latency histogram (nanoseconds).
+    pub hist_be_latency: HistId,
+}
+
+/// Epoch time-series columns, in order (see the sampler arm of
+/// [`crate::network::Network`]'s event handler for the semantics).
+pub const EPOCH_COLUMNS: &[&str] = &[
+    "t_us",
+    "injected",
+    "delivered",
+    "in_flight",
+    "gs_buffered",
+    "be_buffered",
+    "na_gs_queued",
+    "na_be_backlog",
+    "link_util_mean",
+    "link_util_max",
+    "gs_dropped",
+    "be_dropped",
+];
+
+impl TelemetryState {
+    /// Fresh state for `cfg`, with the fixed epoch columns and named
+    /// trace tracks in place.
+    pub fn new(cfg: TelemetryConfig) -> Box<Self> {
+        let mut trace = ChromeTrace::default();
+        trace.name_track(TRACE_PID_FLITS, None, "flit journeys");
+        trace.name_track(TRACE_PID_RECOVERY, None, "connection recovery");
+        let mut metrics = MetricsRegistry::default();
+        let hist_gs_latency = metrics.histogram("gs.latency_ns");
+        let hist_be_latency = metrics.histogram("be.latency_ns");
+        Box::new(TelemetryState {
+            cfg,
+            metrics,
+            epochs: EpochSeries::new(EPOCH_COLUMNS.iter().map(|c| c.to_string()).collect()),
+            trace,
+            flit_events: 0,
+            flit_events_dropped: 0,
+            sampler_armed: false,
+            hist_gs_latency,
+            hist_be_latency,
+        })
+    }
+
+    /// Reserves one flit trace event against the cap; returns `false`
+    /// (and counts the drop) once the cap is reached.
+    pub fn reserve_flit_event(&mut self) -> bool {
+        if self.flit_events < self.cfg.max_trace_events {
+            self.flit_events += 1;
+            true
+        } else {
+            self.flit_events_dropped += 1;
+            false
+        }
+    }
+
+    /// Finalizes into a [`TelemetryReport`].
+    pub fn into_report(self) -> TelemetryReport {
+        TelemetryReport {
+            metrics: self.metrics,
+            epochs: self.epochs,
+            trace: self.trace,
+        }
+    }
+}
+
+/// The network's telemetry attachment point: `Off` is the zero-overhead
+/// default.
+#[derive(Debug, Default)]
+pub enum TelemetrySink {
+    /// Telemetry disabled; every hook is a single branch.
+    #[default]
+    Off,
+    /// Telemetry active.
+    Active(Box<TelemetryState>),
+}
+
+impl TelemetrySink {
+    /// True when collecting.
+    pub fn is_active(&self) -> bool {
+        matches!(self, TelemetrySink::Active(_))
+    }
+
+    /// The live state, if active.
+    pub fn state_mut(&mut self) -> Option<&mut TelemetryState> {
+        match self {
+            TelemetrySink::Off => None,
+            TelemetrySink::Active(s) => Some(s),
+        }
+    }
+
+    /// Shared view of the live state, if active.
+    pub fn state(&self) -> Option<&TelemetryState> {
+        match self {
+            TelemetrySink::Off => None,
+            TelemetrySink::Active(s) => Some(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_defaults_off() {
+        let sink = TelemetrySink::default();
+        assert!(!sink.is_active());
+        assert!(sink.state().is_none());
+    }
+
+    #[test]
+    fn flit_event_cap_is_enforced() {
+        let mut st = TelemetryState::new(TelemetryConfig {
+            max_trace_events: 2,
+            ..Default::default()
+        });
+        assert!(st.reserve_flit_event());
+        assert!(st.reserve_flit_event());
+        assert!(!st.reserve_flit_event());
+        assert_eq!(st.flit_events, 2);
+        assert_eq!(st.flit_events_dropped, 1);
+    }
+
+    #[test]
+    fn epoch_columns_match_state() {
+        let st = TelemetryState::new(TelemetryConfig::default());
+        assert_eq!(st.epochs.columns().len(), EPOCH_COLUMNS.len());
+    }
+}

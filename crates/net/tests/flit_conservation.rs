@@ -1,0 +1,81 @@
+//! Property test for the flit-conservation invariant: across traffic
+//! patterns, temporal shapes and random fault schedules, every
+//! flow-carrying flit ever injected is delivered, fault-dropped, or
+//! still buffered/in flight when the run ends. The ledger itself lives
+//! in `mango_net::network` (debug builds only) and is asserted by
+//! [`PreparedScenario::finish`]; this test drives it through randomized
+//! scenarios so an unbalanced accounting site fails loudly.
+
+use mango_core::RouterId;
+use mango_net::{FaultSchedule, ScenarioSpec, SpatialPattern, TemporalSpec, TrafficSpec};
+use mango_sim::SimDuration;
+use proptest::prelude::*;
+
+fn pattern_for(variant: u8) -> SpatialPattern {
+    match variant % 5 {
+        0 => SpatialPattern::UniformRandom,
+        1 => SpatialPattern::Transpose,
+        2 => SpatialPattern::BitComplement,
+        3 => SpatialPattern::Tornado,
+        _ => SpatialPattern::NearestNeighbour,
+    }
+}
+
+fn temporal_for(variant: u8, gap_ns: u64) -> TemporalSpec {
+    match variant % 3 {
+        0 => TemporalSpec::cbr(SimDuration::from_ns(gap_ns)),
+        1 => TemporalSpec::poisson(SimDuration::from_ns(gap_ns)),
+        _ => TemporalSpec::on_off(
+            4,
+            SimDuration::from_ns(gap_ns),
+            SimDuration::from_ns(gap_ns * 3),
+        ),
+    }
+}
+
+proptest! {
+    // Each case is a full simulation — keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any pattern × temporal shape × fault schedule: the conservation
+    /// ledger balances at the end of the run (asserted inside
+    /// `finish()` in debug builds; this test is vacuous in release).
+    #[test]
+    fn injected_flits_are_conserved(
+        spatial in 0u8..5,
+        temporal in 0u8..3,
+        side in 2u8..5,
+        gap_ns in 30u64..200,
+        seed in 0u64..1000,
+        fault_count in 0usize..4,
+    ) {
+        let far = RouterId::new(side - 1, side - 1);
+        let spec = ScenarioSpec::mesh(side, side, seed)
+            .warmup(SimDuration::from_ns(200))
+            .measure_for(SimDuration::from_us(3))
+            .gs(RouterId::new(0, 0), far, TemporalSpec::cbr(SimDuration::from_ns(gap_ns)))
+            .traffic(
+                TrafficSpec::new(pattern_for(spatial), temporal_for(temporal, gap_ns))
+                    .payload(3)
+                    .named("cons-"),
+            );
+        let mut prepared = spec.prepare();
+        if fault_count > 0 {
+            let now = prepared.sim().now();
+            let schedule = FaultSchedule::random_links(
+                prepared.sim().network().grid(),
+                seed,
+                fault_count,
+                now + SimDuration::from_ns(500),
+                now + SimDuration::from_us(2),
+            );
+            prepared.sim_mut().install_faults(schedule);
+        }
+        prepared.start_measurement();
+        let outcome = prepared.run_to_bound();
+        // `finish` asserts the ledger: injected == delivered + dropped
+        // + buffered + in flight.
+        let metrics = prepared.finish(outcome);
+        prop_assert!(metrics.flows.len() >= 2);
+    }
+}

@@ -34,6 +34,19 @@ pub struct ConnRequest {
     pub period: SimDuration,
 }
 
+/// Aggregate admission headroom over the links still up — see
+/// [`AdmissionController::budget_summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSummary {
+    /// Total free GS VCs across up links.
+    pub free_vcs: u64,
+    /// Minimum residual reservable bandwidth over up links,
+    /// flits/second (0 when no link is up).
+    pub residual_fps_min: u64,
+    /// Directed links currently up.
+    pub up_links: u64,
+}
+
 /// Why a request was refused. Rejection is a *service answer*, not an
 /// error: the caller may retry later or at a lower rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -403,6 +416,33 @@ impl AdmissionController {
         self.grid.failed_links()
     }
 
+    /// Aggregate headroom over links still up: total free GS VCs, the
+    /// minimum residual bandwidth (the binding constraint for the next
+    /// admission), and the up-link count. This is what the recovery
+    /// engine exports as telemetry gauges.
+    pub fn budget_summary(&self) -> BudgetSummary {
+        let mut s = BudgetSummary {
+            free_vcs: 0,
+            residual_fps_min: u64::MAX,
+            up_links: 0,
+        };
+        for id in self.grid.ids() {
+            for dir in Direction::ALL {
+                if self.grid.neighbor(id, dir).is_none() || !self.grid.link_up(id, dir) {
+                    continue;
+                }
+                let i = self.link_index(id, dir);
+                s.free_vcs += u64::from(self.free_vcs[i]);
+                s.residual_fps_min = s.residual_fps_min.min(self.residual_fps[i]);
+                s.up_links += 1;
+            }
+        }
+        if s.up_links == 0 {
+            s.residual_fps_min = 0;
+        }
+        s
+    }
+
     /// A snapshot of every budget counter, for exact state comparison in
     /// tests (leak detection).
     pub fn snapshot(&self) -> (Vec<u8>, Vec<u64>, Vec<u8>, Vec<u8>) {
@@ -434,6 +474,35 @@ mod tests {
             dst: RouterId::new(dx, dy),
             period: SimDuration::from_ns(period_ns),
         }
+    }
+
+    #[test]
+    fn budget_summary_tracks_admissions_and_faults() {
+        let mut c = controller(3, 3);
+        let fresh = c.budget_summary();
+        // 3×3 mesh: 12 undirected edges → 24 directed links.
+        assert_eq!(fresh.up_links, 24);
+        assert!(fresh.free_vcs > 0);
+        assert!(fresh.residual_fps_min > 0);
+
+        // A two-hop admission debits one VC per hop and lowers the
+        // residual minimum by the reserved rate.
+        let adm = c.request(&req(0, 0, 2, 0, 20)).unwrap();
+        let debited = c.budget_summary();
+        assert_eq!(debited.up_links, 24, "admissions never take links down");
+        assert_eq!(debited.free_vcs, fresh.free_vcs - adm.hops() as u64);
+        assert!(debited.residual_fps_min < fresh.residual_fps_min);
+
+        // Release restores the budgets exactly.
+        c.release(&adm);
+        assert_eq!(c.budget_summary(), fresh);
+
+        // A failed link leaves the aggregate (both its VCs and its
+        // residual stop counting).
+        c.fail_link(RouterId::new(0, 0), Direction::East);
+        let faulted = c.budget_summary();
+        assert_eq!(faulted.up_links, 23);
+        assert!(faulted.free_vcs < fresh.free_vcs);
     }
 
     #[test]

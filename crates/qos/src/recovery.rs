@@ -33,9 +33,10 @@ use crate::admission::{Admission, AdmissionController, ConnRequest, RejectReason
 use mango_core::{ConnectionId, RouterId};
 use mango_net::{
     ConnState, EmitWindow, FaultCounters, FaultKind, FaultSchedule, FlowKind, MeasureBound,
-    Pattern, PreparedScenario, ScenarioMetrics, ScenarioSpec,
+    Pattern, PreparedScenario, ScenarioMetrics, ScenarioSpec, TelemetryConfig,
 };
 use mango_sim::{SimDuration, SimRng, SimTime};
+use mango_telemetry::TelemetryReport;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -95,12 +96,34 @@ impl RecoverySpec {
     /// stream does not conform to the service model (no bound → no
     /// watchdog timeout), or the base scenario itself is infeasible.
     pub fn run(&self) -> RecoveryMetrics {
+        self.run_inner(None).0
+    }
+
+    /// Like [`RecoverySpec::run`], but with the telemetry sink active for
+    /// the whole experiment: the returned report carries the metrics
+    /// registry, the epoch time series, and — most usefully here — the
+    /// Chrome-trace recovery track with the detect → teardown →
+    /// re-admit → reopen lifecycle of every managed connection.
+    pub fn run_with_telemetry(&self, cfg: TelemetryConfig) -> (RecoveryMetrics, TelemetryReport) {
+        let (metrics, report) = self.run_inner(Some(cfg));
+        (metrics, report.expect("telemetry was enabled"))
+    }
+
+    fn run_inner(
+        &self,
+        cfg: Option<TelemetryConfig>,
+    ) -> (RecoveryMetrics, Option<TelemetryReport>) {
         let MeasureBound::For(horizon) = self.base.measure else {
             panic!("recovery needs a fixed measurement window");
         };
         let mut prepared = self.base.prepare();
+        if let Some(cfg) = cfg {
+            prepared.sim_mut().enable_telemetry(cfg);
+        }
         let mut engine = Engine::new(self, &mut prepared, horizon);
         engine.arm(&mut prepared);
+        // Baseline budgets before any fault or churn moves them.
+        engine.record_admission_gauges(&mut prepared);
         engine.run(prepared)
     }
 }
@@ -426,7 +449,7 @@ impl<'a> Engine<'a> {
         capped + SimDuration::from_ps(self.jitter.gen_range(span))
     }
 
-    fn run(mut self, mut prepared: PreparedScenario) -> RecoveryMetrics {
+    fn run(mut self, mut prepared: PreparedScenario) -> (RecoveryMetrics, Option<TelemetryReport>) {
         while let Some(&Reverse((t, _, _))) = self.queue.peek() {
             if t >= self.t_end {
                 break;
@@ -448,13 +471,36 @@ impl<'a> Engine<'a> {
         if self.t_end > now {
             prepared.sim_mut().run_for(self.t_end.since(now));
         }
-        self.collect(prepared)
+        // Detach the report before `finish` consumes the simulation.
+        let report = prepared.sim_mut().network_mut().take_telemetry();
+        (self.collect(prepared), report)
+    }
+
+    /// Exports the admission controller's aggregate headroom as gauges
+    /// — the residual-budget view of the telemetry report. Called after
+    /// every operation that moves the budgets (fault masking, release,
+    /// re-admission), so the report's final values reflect the end
+    /// state of the run.
+    fn record_admission_gauges(&self, prepared: &mut PreparedScenario) {
+        let net = prepared.sim_mut().network_mut();
+        if !net.telemetry().is_active() {
+            return;
+        }
+        let s = self.admission.budget_summary();
+        net.telemetry_gauge("admission.free_vcs", s.free_vcs as i64);
+        net.telemetry_gauge("admission.residual_fps_min", s.residual_fps_min as i64);
+        net.telemetry_gauge("admission.up_links", s.up_links as i64);
+        net.telemetry_gauge(
+            "admission.failed_links",
+            self.admission.failed_links() as i64,
+        );
     }
 
     fn on_scan(&mut self, prepared: &mut PreparedScenario) {
         let now = prepared.sim().now();
         // Mirror fired faults into the admission mask so re-admission
         // only considers surviving links.
+        let applied_from = self.fault_next;
         while self.fault_next < self.fault_due.len() && self.fault_due[self.fault_next].0 <= now {
             let (_, kind) = self.fault_due[self.fault_next];
             self.fault_next += 1;
@@ -468,6 +514,9 @@ impl<'a> Engine<'a> {
                 FaultKind::LinkFlaky { .. } => {}
             }
         }
+        if self.fault_next != applied_from {
+            self.record_admission_gauges(prepared);
+        }
 
         for broken in prepared.sim_mut().take_broken() {
             let Some(&i) = self.by_conn.get(&broken.conn) else {
@@ -476,6 +525,13 @@ impl<'a> Engine<'a> {
             self.broken += 1;
             let rec = &mut self.records[i];
             rec.detected_at = Some(broken.detected_at);
+            prepared.sim_mut().network_mut().telemetry_instant(
+                "recovery",
+                "detect",
+                broken.detected_at,
+                i as u32,
+                vec![("flow", u64::from(broken.flow))],
+            );
             // Stop the source; give in-flight flits one bound to drain
             // (spoofed feedback keeps the queues moving even across the
             // dead link), then tear down.
@@ -493,6 +549,13 @@ impl<'a> Engine<'a> {
 
     fn on_teardown(&mut self, prepared: &mut PreparedScenario, i: usize) {
         let now = prepared.sim().now();
+        prepared.sim_mut().network_mut().telemetry_instant(
+            "recovery",
+            "teardown",
+            now,
+            i as u32,
+            Vec::new(),
+        );
         let conn = self.managed[i].conn;
         match prepared.sim().connection_state(conn) {
             Some(ConnState::Open) => match prepared.sim_mut().close_connection(conn) {
@@ -521,6 +584,7 @@ impl<'a> Engine<'a> {
         match prepared.sim().connection_state(self.managed[i].conn) {
             Some(ConnState::Closed) => {
                 self.admission.release(&self.managed[i].admission.clone());
+                self.record_admission_gauges(prepared);
                 self.schedule_reopen(prepared, i);
             }
             _ if self.managed[i].deadline.is_some_and(|d| now >= d) => {
@@ -539,12 +603,21 @@ impl<'a> Engine<'a> {
     }
 
     fn force_close(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        prepared.sim_mut().network_mut().telemetry_instant(
+            "recovery",
+            "force_close",
+            now,
+            i as u32,
+            Vec::new(),
+        );
         let conn = self.managed[i].conn;
         prepared
             .sim_mut()
             .force_close_connection(conn)
             .expect("managed connection is known");
         self.admission.release(&self.managed[i].admission.clone());
+        self.record_admission_gauges(prepared);
         self.records[i].forced_close = true;
         self.forced_closes += 1;
     }
@@ -566,6 +639,13 @@ impl<'a> Engine<'a> {
         };
         match self.admission.request(&req) {
             Ok(adm) => {
+                prepared.sim_mut().network_mut().telemetry_instant(
+                    "recovery",
+                    "readmit",
+                    now,
+                    i as u32,
+                    vec![("attempt", u64::from(self.attempts[i]))],
+                );
                 match prepared
                     .sim_mut()
                     .open_connection_along(req.src, req.dst, &adm.dirs)
@@ -576,6 +656,7 @@ impl<'a> Engine<'a> {
                         self.managed[i].conn = conn;
                         self.managed[i].admission = adm;
                         self.managed[i].deadline = Some(now + self.spec.op_timeout);
+                        self.record_admission_gauges(prepared);
                         self.push(now + self.poll_gap, Step::PollReopened(i));
                     }
                     Err(_) => {
@@ -583,6 +664,7 @@ impl<'a> Engine<'a> {
                         // path admission still believes in; count as a
                         // failed attempt and back off.
                         self.admission.release(&adm);
+                        self.record_admission_gauges(prepared);
                         self.retry_or_give_up(prepared, i, RecoveryOutcome::PermanentlyDegraded);
                     }
                 }
@@ -625,6 +707,17 @@ impl<'a> Engine<'a> {
                 } else {
                     RecoveryOutcome::Recovered
                 });
+                // One span per healed break: detect → circuit reopen.
+                let detected = rec.detected_at.expect("recovery implies detection");
+                let (attempts, hops) = (self.attempts[i], rec.new_hops);
+                prepared.sim_mut().network_mut().telemetry_span(
+                    "recovery",
+                    "recover",
+                    detected,
+                    now,
+                    i as u32,
+                    vec![("attempts", u64::from(attempts)), ("hops", hops as u64)],
+                );
                 // Re-validate: stream over the new path under a freshly
                 // armed watchdog with the recomputed timeout.
                 let conn = self.managed[i].conn;
@@ -777,6 +870,36 @@ mod tests {
             a.fault_counters.gs_flits_dropped,
             b.fault_counters.gs_flits_dropped
         );
+    }
+
+    #[test]
+    fn telemetry_reports_admission_budget_gauges() {
+        let mut s = spec(5);
+        s.faults = FaultSchedule::new(1).with(
+            SimTime::ZERO + SimDuration::from_us(10),
+            FaultKind::LinkDown {
+                from: RouterId::new(1, 0),
+                dir: Direction::East,
+            },
+        );
+        let (m, report) = s.run_with_telemetry(TelemetryConfig {
+            trace_flits: false,
+            ..Default::default()
+        });
+        assert_eq!(m.broken, 1);
+        let names = report.metrics.gauge_names();
+        let get = |n: &str| {
+            let i = names
+                .iter()
+                .position(|&g| g == n)
+                .unwrap_or_else(|| panic!("gauge {n} missing from {names:?}"));
+            report.metrics.gauge_values()[i]
+        };
+        assert_eq!(get("admission.failed_links"), 1);
+        // 4×4 mesh: 48 directed links, one taken down by the fault.
+        assert_eq!(get("admission.up_links"), 47);
+        assert!(get("admission.free_vcs") > 0);
+        assert!(get("admission.residual_fps_min") > 0);
     }
 
     #[test]

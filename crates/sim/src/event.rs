@@ -474,6 +474,13 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
+    /// Number of non-empty wheel buckets (excludes the past/staged/overflow
+    /// tiers). A kernel-profiler statistic: together with [`len`](Self::len)
+    /// it shows how densely the near-future window is populated.
+    pub fn occupied_buckets(&self) -> usize {
+        self.occupancy.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
     #[inline]
     fn set_bit(&mut self, bucket: usize) {
         self.occupancy[bucket / 64] |= 1u64 << (bucket % 64);

@@ -25,6 +25,20 @@ pub trait Model {
     fn quiescent(&self) -> bool {
         true
     }
+
+    /// Display names for the event kinds reported by
+    /// [`Model::event_kind`], indexed by kind. Used only by the kernel
+    /// profiler ([`Kernel::enable_profiling`]).
+    fn event_kind_names(&self) -> &'static [&'static str] {
+        &["event"]
+    }
+
+    /// Classifies an event into a kind index (`< event_kind_names().len()`)
+    /// for per-kind dispatch counts in the kernel profiler. The default
+    /// lumps everything into one kind.
+    fn event_kind(&self, _event: &Self::Event) -> usize {
+        0
+    }
 }
 
 /// Scheduling context handed to [`Model::handle`].
@@ -59,6 +73,14 @@ impl<'a, E> Ctx<'a, E> {
         );
         self.queue.push(at, event);
     }
+
+    /// Number of events currently pending in the queue (not counting the
+    /// one being handled). Lets a self-rescheduling housekeeping event
+    /// (e.g. a telemetry sampler) stop when it is the only thing keeping
+    /// the simulation alive.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
 }
 
 impl<'a, E> std::fmt::Debug for Ctx<'a, E> {
@@ -88,6 +110,87 @@ impl RunOutcome {
     }
 }
 
+/// Kernel self-profiling data: per-event-kind dispatch counts and event
+/// queue occupancy statistics, sampled at every dispatch.
+///
+/// Collected only when [`Kernel::enable_profiling`] has been called;
+/// otherwise the hot loop pays a single branch on a `None`.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    kind_names: &'static [&'static str],
+    kind_counts: Vec<u64>,
+    queue_len_sum: u128,
+    queue_len_max: usize,
+    occupied_sum: u128,
+    occupied_max: usize,
+    samples: u64,
+}
+
+impl KernelProfile {
+    fn new(kind_names: &'static [&'static str]) -> Self {
+        KernelProfile {
+            kind_names,
+            kind_counts: vec![0; kind_names.len()],
+            queue_len_sum: 0,
+            queue_len_max: 0,
+            occupied_sum: 0,
+            occupied_max: 0,
+            samples: 0,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, kind: usize, queue_len: usize, occupied: usize) {
+        self.kind_counts[kind] += 1;
+        self.queue_len_sum += queue_len as u128;
+        self.queue_len_max = self.queue_len_max.max(queue_len);
+        self.occupied_sum += occupied as u128;
+        self.occupied_max = self.occupied_max.max(occupied);
+        self.samples += 1;
+    }
+
+    /// `(name, dispatch count)` per event kind, in kind-index order.
+    pub fn kind_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_names
+            .iter()
+            .copied()
+            .zip(self.kind_counts.iter().copied())
+    }
+
+    /// Number of dispatches sampled.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean pending-event count observed at dispatch.
+    pub fn queue_len_mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.queue_len_sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Maximum pending-event count observed at dispatch.
+    pub fn queue_len_max(&self) -> usize {
+        self.queue_len_max
+    }
+
+    /// Mean number of occupied wheel buckets observed at dispatch.
+    pub fn occupied_buckets_mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.occupied_sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Maximum number of occupied wheel buckets observed at dispatch.
+    pub fn occupied_buckets_max(&self) -> usize {
+        self.occupied_max
+    }
+}
+
 /// The discrete-event simulation kernel.
 ///
 /// Owns the model and the event queue and runs the dispatch loop.
@@ -96,6 +199,7 @@ pub struct Kernel<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     processed: u64,
+    profile: Option<Box<KernelProfile>>,
 }
 
 impl<M: Model> Kernel<M> {
@@ -115,7 +219,20 @@ impl<M: Model> Kernel<M> {
             queue: EventQueue::with_geometry(geometry),
             now: SimTime::ZERO,
             processed: 0,
+            profile: None,
         }
+    }
+
+    /// Turns on kernel self-profiling: per-kind dispatch counts (via
+    /// [`Model::event_kind`]) and queue occupancy statistics. Resets any
+    /// previously collected profile.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Box::new(KernelProfile::new(self.model.event_kind_names())));
+    }
+
+    /// The collected profile, if [`Kernel::enable_profiling`] was called.
+    pub fn profile(&self) -> Option<&KernelProfile> {
+        self.profile.as_deref()
     }
 
     /// Bulk-schedules a batch of `(delay, event)` pairs relative to the
@@ -220,6 +337,9 @@ impl<M: Model> Kernel<M> {
             remaining -= 1;
             debug_assert!(t >= self.now, "event queue delivered out of order");
             self.now = t;
+            if self.profile.is_some() {
+                self.record_profile_sample(&ev);
+            }
             let mut ctx = Ctx {
                 now: t,
                 queue: &mut self.queue,
@@ -227,6 +347,17 @@ impl<M: Model> Kernel<M> {
             self.model.handle(ev, &mut ctx);
             self.processed += 1;
         }
+    }
+
+    /// One profiler sample, outlined so the dispatch loop carries only
+    /// the `is_some` branch — `event_kind` dispatch and the wheel
+    /// occupancy scan must not bloat the hot path they measure.
+    #[cold]
+    #[inline(never)]
+    fn record_profile_sample(&mut self, ev: &M::Event) {
+        let kind = self.model.event_kind(ev);
+        let p = self.profile.as_deref_mut().expect("checked by caller");
+        p.record(kind, self.queue.len(), self.queue.occupied_buckets());
     }
 
     /// The outcome when the queue drained: advance the clock to a finite
@@ -394,6 +525,29 @@ mod tests {
         let mut k = Kernel::new(Bad);
         k.schedule(SimDuration::from_ps(5), ());
         k.run_to_quiescence();
+    }
+
+    #[test]
+    fn profiling_counts_every_dispatch() {
+        let mut k = kernel(5);
+        k.enable_profiling();
+        k.run_to_quiescence();
+        let p = k.profile().expect("profiling enabled");
+        assert_eq!(p.samples(), 6);
+        let counts: Vec<_> = p.kind_counts().collect();
+        assert_eq!(counts, vec![("event", 6)]);
+        // Ping-pong keeps at most one event pending; occupancy stats are
+        // sampled after the pop, so everything is tiny but well-defined.
+        assert!(p.queue_len_max() <= 1);
+        assert!(p.queue_len_mean() <= 1.0);
+        assert!(p.occupied_buckets_max() <= 1);
+    }
+
+    #[test]
+    fn profiling_off_collects_nothing() {
+        let mut k = kernel(5);
+        k.run_to_quiescence();
+        assert!(k.profile().is_none());
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod trace;
 
 pub use event::{EventQueue, WheelGeometry};
 pub use fifo::{Fifo, InlineFifo};
-pub use kernel::{Ctx, Kernel, Model, RunOutcome};
+pub use kernel::{Ctx, Kernel, KernelProfile, Model, RunOutcome};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};

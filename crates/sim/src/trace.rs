@@ -1,24 +1,31 @@
 //! Lightweight event tracing for debugging simulations.
 //!
 //! Tracing is off by default and costs one branch per record call. When
-//! enabled it collects `(time, tag, detail)` tuples that tests and examples
-//! can dump or assert on.
+//! enabled it collects `(time, tag, detail)` tuples that tests and
+//! examples can dump or assert on.
+//!
+//! The detail payload is a caller-chosen `Copy` type — model crates
+//! define a compact enum of trace details instead of formatting a
+//! `String` per record, so an enabled tracer allocates only for the
+//! growing event `Vec`, never per record. The closure API survives the
+//! redesign: `detail` is still lazy and is never evaluated while the
+//! tracer is `Off`.
 
 use crate::time::SimTime;
 use std::fmt;
 
-/// One recorded trace entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
+/// One recorded trace entry with a copyable detail payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent<D = ()> {
     /// When the event happened.
     pub time: SimTime,
     /// A short static category, e.g. `"link.grant"`.
     pub tag: &'static str,
-    /// Free-form detail.
-    pub detail: String,
+    /// Structured detail, defined by the tracing model.
+    pub detail: D,
 }
 
-impl fmt::Display for TraceEvent {
+impl<D: fmt::Display> fmt::Display for TraceEvent<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {}: {}", self.time, self.tag, self.detail)
     }
@@ -26,15 +33,15 @@ impl fmt::Display for TraceEvent {
 
 /// A trace sink: either disabled or collecting into memory.
 #[derive(Debug, Default)]
-pub enum Tracer {
+pub enum Tracer<D = ()> {
     /// Discard all records (the default).
     #[default]
     Off,
     /// Collect records in memory.
-    Collect(Vec<TraceEvent>),
+    Collect(Vec<TraceEvent<D>>),
 }
 
-impl Tracer {
+impl<D> Tracer<D> {
     /// Creates a collecting tracer.
     pub fn collecting() -> Self {
         Tracer::Collect(Vec::new())
@@ -46,8 +53,10 @@ impl Tracer {
     }
 
     /// Records an event if collecting. `detail` is only evaluated when
-    /// enabled, so hot paths pass a closure.
-    pub fn record(&mut self, time: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+    /// enabled, so hot paths pass a closure producing the copyable
+    /// detail value.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, tag: &'static str, detail: impl FnOnce() -> D) {
         if let Tracer::Collect(events) = self {
             events.push(TraceEvent {
                 time,
@@ -58,7 +67,7 @@ impl Tracer {
     }
 
     /// All collected events (empty slice when disabled).
-    pub fn events(&self) -> &[TraceEvent] {
+    pub fn events(&self) -> &[TraceEvent<D>] {
         match self {
             Tracer::Off => &[],
             Tracer::Collect(events) => events,
@@ -66,7 +75,7 @@ impl Tracer {
     }
 
     /// Events matching `tag`.
-    pub fn events_tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+    pub fn events_tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent<D>> {
         self.events().iter().filter(move |e| e.tag == tag)
     }
 
@@ -82,13 +91,29 @@ impl Tracer {
 mod tests {
     use super::*;
 
+    /// The shape model crates use: a compact copyable detail enum.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Detail {
+        Grant { vc: u8 },
+        Note(&'static str),
+    }
+
+    impl fmt::Display for Detail {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Detail::Grant { vc } => write!(f, "vc {vc}"),
+                Detail::Note(s) => f.write_str(s),
+            }
+        }
+    }
+
     #[test]
-    fn off_tracer_discards_and_skips_formatting() {
-        let mut t = Tracer::Off;
+    fn off_tracer_discards_and_skips_evaluation() {
+        let mut t: Tracer<Detail> = Tracer::Off;
         let mut evaluated = false;
         t.record(SimTime::ZERO, "x", || {
             evaluated = true;
-            String::new()
+            Detail::Note("never")
         });
         assert!(!evaluated, "detail closure must not run when disabled");
         assert!(t.events().is_empty());
@@ -98,20 +123,30 @@ mod tests {
     #[test]
     fn collecting_tracer_keeps_records_in_order() {
         let mut t = Tracer::collecting();
-        t.record(SimTime::from_ps(1), "a", || "one".into());
-        t.record(SimTime::from_ps(2), "b", || "two".into());
+        t.record(SimTime::from_ps(1), "a", || Detail::Note("one"));
+        t.record(SimTime::from_ps(2), "b", || Detail::Grant { vc: 2 });
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].tag, "a");
-        assert_eq!(t.events()[1].detail, "two");
+        assert_eq!(t.events()[1].detail, Detail::Grant { vc: 2 });
         assert!(t.is_enabled());
     }
 
     #[test]
-    fn tag_filter_and_clear() {
+    fn detail_events_are_copy() {
         let mut t = Tracer::collecting();
-        t.record(SimTime::ZERO, "keep", || "1".into());
-        t.record(SimTime::ZERO, "drop", || "2".into());
-        t.record(SimTime::ZERO, "keep", || "3".into());
+        t.record(SimTime::ZERO, "a", || Detail::Grant { vc: 1 });
+        // A TraceEvent over a Copy detail is itself Copy.
+        let ev = t.events()[0];
+        let again = ev;
+        assert_eq!(ev, again);
+    }
+
+    #[test]
+    fn tag_filter_and_clear() {
+        let mut t: Tracer<&'static str> = Tracer::collecting();
+        t.record(SimTime::ZERO, "keep", || "1");
+        t.record(SimTime::ZERO, "drop", || "2");
+        t.record(SimTime::ZERO, "keep", || "3");
         assert_eq!(t.events_tagged("keep").count(), 2);
         t.clear();
         assert!(t.events().is_empty());
@@ -123,7 +158,7 @@ mod tests {
         let ev = TraceEvent {
             time: SimTime::from_ps(1500),
             tag: "link.grant",
-            detail: "vc 3".into(),
+            detail: Detail::Grant { vc: 3 },
         };
         assert_eq!(ev.to_string(), "[1.500 ns] link.grant: vc 3");
     }

@@ -239,6 +239,10 @@ pub struct ChurnRecord {
     pub worst_bound_ratio: f64,
     /// Programming packets processed by all routers.
     pub prog_packets: u64,
+    /// Median setup latency, ns.
+    pub setup_p50_ns: f64,
+    /// 95th-percentile setup latency, ns.
+    pub setup_p95_ns: f64,
 }
 
 fn reason_count(m: &ChurnMetrics, reason: RejectReason) -> u64 {
@@ -269,6 +273,8 @@ impl ChurnRecord {
             bound_violations: m.bound_violations(),
             worst_bound_ratio: m.worst_bound_ratio(),
             prog_packets: m.prog_packets,
+            setup_p50_ns: m.setup_quantile_ns(0.5),
+            setup_p95_ns: m.setup_quantile_ns(0.95),
             job,
         }
     }
@@ -278,7 +284,8 @@ impl ChurnRecord {
         "job_id,width,height,arrival_gap_ns,holding_us,gs_period_ns,seed,\
          events,requests,admitted,rejected,rej_no_tx,rej_no_rx,rej_no_path,\
          closed,detoured,setup_mean_ns,setup_p99_ns,setup_max_ns,\
-         churn_delivered,bound_violations,worst_bound_ratio,prog_packets"
+         churn_delivered,bound_violations,worst_bound_ratio,prog_packets,\
+         setup_p50_ns,setup_p95_ns"
     }
 
     /// One CSV row (floats in shortest round-trip form, as
@@ -286,7 +293,7 @@ impl ChurnRecord {
     pub fn csv_row(&self) -> String {
         let j = &self.job;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             j.id,
             j.width,
             j.height,
@@ -310,6 +317,8 @@ impl ChurnRecord {
             self.bound_violations,
             self.worst_bound_ratio,
             self.prog_packets,
+            self.setup_p50_ns,
+            self.setup_p95_ns,
         )
     }
 }
@@ -424,7 +433,7 @@ mod tests {
         assert_eq!(records.len(), 1);
         let header_cols = ChurnRecord::csv_header().split(',').count();
         assert_eq!(records[0].csv_row().split(',').count(), header_cols);
-        assert_eq!(header_cols, 23);
+        assert_eq!(header_cols, 25);
         assert!(records[0].requests > 0);
         assert_eq!(records[0].bound_violations, 0);
     }

@@ -1,7 +1,8 @@
 //! The shared command-line surface of the sweep binaries:
-//! `--threads N`, `--smoke`, `--list`, `--csv PATH`, `--json PATH`.
+//! `--threads N`, `--smoke`, `--list`, `--csv PATH`, `--json PATH`,
+//! `--telemetry-out DIR`.
 //!
-//! No external argument-parsing dependency: the grammar is five flags.
+//! No external argument-parsing dependency: the grammar is six flags.
 //! Binary-specific flags are returned unparsed in [`SweepArgs::rest`].
 
 use crate::runner::default_threads;
@@ -21,6 +22,11 @@ pub struct SweepArgs {
     pub csv: Option<PathBuf>,
     /// Write records as JSON to this path (`--json PATH`).
     pub json: Option<PathBuf>,
+    /// Collect run-time telemetry and write `metrics.csv`, `epochs.csv`
+    /// and `trace.json` into this directory (`--telemetry-out DIR`).
+    /// Honoured by the binaries that collect telemetry (see each
+    /// binary's usage line).
+    pub telemetry_out: Option<PathBuf>,
     /// Arguments the common parser did not consume, in original order.
     pub rest: Vec<String>,
 }
@@ -40,6 +46,7 @@ impl SweepArgs {
             list: false,
             csv: None,
             json: None,
+            telemetry_out: None,
             rest: Vec::new(),
         };
         let mut args = args.peekable();
@@ -57,6 +64,13 @@ impl SweepArgs {
                 "--list" => out.list = true,
                 "--csv" => out.csv = Some(args.next().ok_or("--csv needs a path")?.into()),
                 "--json" => out.json = Some(args.next().ok_or("--json needs a path")?.into()),
+                "--telemetry-out" => {
+                    out.telemetry_out = Some(
+                        args.next()
+                            .ok_or("--telemetry-out needs a directory")?
+                            .into(),
+                    );
+                }
                 _ => out.rest.push(arg),
             }
         }
@@ -71,7 +85,8 @@ impl SweepArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "common flags: [--threads N] [--smoke] [--list] [--csv PATH] [--json PATH]"
+                    "common flags: [--threads N] [--smoke] [--list] [--csv PATH] [--json PATH] \
+                     [--telemetry-out DIR]"
                 );
                 std::process::exit(2);
             }

@@ -251,12 +251,24 @@ pub struct FaultRecord {
     pub be_dropped: u64,
     /// GS unlock toggles synthesized for dropped flits.
     pub spoofed_unlocks: u64,
+    /// Median detect→recover latency, ns (log-bucket histogram).
+    pub recovery_p50_ns: u64,
+    /// 95th-percentile detect→recover latency, ns.
+    pub recovery_p95_ns: u64,
+    /// 99th-percentile detect→recover latency, ns.
+    pub recovery_p99_ns: u64,
 }
 
 impl FaultRecord {
     /// Builds the record for `job` from its recovery metrics.
     pub fn measure(job: FaultJob, m: &RecoveryMetrics) -> Self {
         let lats: Vec<f64> = m.recovery_latencies().map(|d| d.as_ns_f64()).collect();
+        // Percentiles come from the deterministic log-bucket histogram
+        // (integer math — no float ordering in the CSV contract).
+        let mut hist = mango_telemetry::LogHistogram::new();
+        for d in m.recovery_latencies() {
+            hist.record(d.as_ps() / 1000);
+        }
         FaultRecord {
             events: m.scenario.events,
             broken: m.broken,
@@ -277,6 +289,9 @@ impl FaultRecord {
             gs_dropped: m.fault_counters.gs_flits_dropped,
             be_dropped: m.fault_counters.be_flits_dropped,
             spoofed_unlocks: m.fault_counters.spoofed_unlocks,
+            recovery_p50_ns: hist.quantile_permille(500).unwrap_or(0),
+            recovery_p95_ns: hist.quantile_permille(950).unwrap_or(0),
+            recovery_p99_ns: hist.quantile_permille(990).unwrap_or(0),
             job,
         }
     }
@@ -286,7 +301,8 @@ impl FaultRecord {
         "job_id,width,height,faults,gs_conns,be_gap_ns,pattern,seed,\
          events,broken,recovered,rerouted,rejected,degraded,forced_closes,\
          quarantined,flits_lost,recovery_mean_ns,recovery_max_ns,\
-         bound_violations,gs_dropped,be_dropped,spoofed_unlocks"
+         bound_violations,gs_dropped,be_dropped,spoofed_unlocks,\
+         recovery_p50_ns,recovery_p95_ns,recovery_p99_ns"
     }
 
     /// One CSV row (floats in shortest round-trip form, as
@@ -294,7 +310,7 @@ impl FaultRecord {
     pub fn csv_row(&self) -> String {
         let j = &self.job;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             j.id,
             j.width,
             j.height,
@@ -318,6 +334,9 @@ impl FaultRecord {
             self.gs_dropped,
             self.be_dropped,
             self.spoofed_unlocks,
+            self.recovery_p50_ns,
+            self.recovery_p95_ns,
+            self.recovery_p99_ns,
         )
     }
 }
@@ -425,7 +444,7 @@ mod tests {
         assert_eq!(r.bound_violations, 0);
         let header_cols = FaultRecord::csv_header().split(',').count();
         assert_eq!(r.csv_row().split(',').count(), header_cols);
-        assert_eq!(header_cols, 23);
+        assert_eq!(header_cols, 26);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod fault_grid;
 pub mod grid;
 pub mod record;
 pub mod runner;
+pub mod telemetry_out;
 
 pub use churn_grid::{
     churn_summary_table, run_churn_sweep, write_churn_csv, ChurnJob, ChurnRecord, ChurnSweepSpec,
@@ -72,3 +73,4 @@ pub use runner::{
     default_threads, run_parallel, run_parallel_graceful, run_sweep, run_sweep_graceful,
     GracefulRun, SweepRun,
 };
+pub use telemetry_out::write_telemetry_dir;

@@ -37,6 +37,14 @@ pub struct SweepRecord {
     pub be_mean_ns: f64,
     /// Worst per-flow p99 BE latency, ns.
     pub be_p99_ns: f64,
+    /// Worst per-flow median GS latency, ns.
+    pub gs_p50_ns: f64,
+    /// Worst per-flow p95 GS latency, ns.
+    pub gs_p95_ns: f64,
+    /// Worst per-flow median BE latency, ns.
+    pub be_p50_ns: f64,
+    /// Worst per-flow p95 BE latency, ns.
+    pub be_p95_ns: f64,
 }
 
 impl SweepRecord {
@@ -74,6 +82,18 @@ impl SweepRecord {
             be_throughput_m: m.be_throughput_m(),
             be_mean_ns: m.be_weighted_mean_ns(),
             be_p99_ns: m.be_p99_worst_ns(),
+            gs_p50_ns: m
+                .gs_flows
+                .iter()
+                .filter_map(|i| gs(i).p50_ns)
+                .fold(0.0, f64::max),
+            gs_p95_ns: m
+                .gs_flows
+                .iter()
+                .filter_map(|i| gs(i).p95_ns)
+                .fold(0.0, f64::max),
+            be_p50_ns: m.be_p50_worst_ns(),
+            be_p95_ns: m.be_p95_worst_ns(),
             job,
         }
     }
@@ -82,7 +102,8 @@ impl SweepRecord {
     pub fn csv_header() -> &'static str {
         "job_id,topology,width,height,gs_conns,be_gap_ns,pattern,gs_period_ns,measure_us,seed,\
          events,gs_delivered,gs_throughput_m,gs_mean_ns,gs_p99_ns,gs_max_ns,\
-         be_injected,be_delivered,be_throughput_m,be_mean_ns,be_p99_ns"
+         be_injected,be_delivered,be_throughput_m,be_mean_ns,be_p99_ns,\
+         gs_p50_ns,gs_p95_ns,be_p50_ns,be_p95_ns"
     }
 
     /// One CSV row. Floats print with Rust's shortest round-trip
@@ -91,7 +112,7 @@ impl SweepRecord {
     pub fn csv_row(&self) -> String {
         let j = &self.job;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             j.id,
             j.topology.name(),
             j.width,
@@ -113,6 +134,10 @@ impl SweepRecord {
             self.be_throughput_m,
             self.be_mean_ns,
             self.be_p99_ns,
+            self.gs_p50_ns,
+            self.gs_p95_ns,
+            self.be_p50_ns,
+            self.be_p95_ns,
         )
     }
 
@@ -127,7 +152,8 @@ impl SweepRecord {
              \"events\":{},\"gs_delivered\":{},\"gs_throughput_m\":{},\
              \"gs_mean_ns\":{},\"gs_p99_ns\":{},\"gs_max_ns\":{},\
              \"be_injected\":{},\"be_delivered\":{},\"be_throughput_m\":{},\
-             \"be_mean_ns\":{},\"be_p99_ns\":{}}}",
+             \"be_mean_ns\":{},\"be_p99_ns\":{},\
+             \"gs_p50_ns\":{},\"gs_p95_ns\":{},\"be_p50_ns\":{},\"be_p95_ns\":{}}}",
             j.id,
             j.topology.name(),
             j.width,
@@ -149,6 +175,10 @@ impl SweepRecord {
             json_f64(self.be_throughput_m),
             json_f64(self.be_mean_ns),
             json_f64(self.be_p99_ns),
+            json_f64(self.gs_p50_ns),
+            json_f64(self.gs_p95_ns),
+            json_f64(self.be_p50_ns),
+            json_f64(self.be_p95_ns),
         )
     }
 }
@@ -283,7 +313,7 @@ mod tests {
         let header_cols = SweepRecord::csv_header().split(',').count();
         let row_cols = records[0].csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 21);
+        assert_eq!(header_cols, 25);
         assert!(records[0].csv_row().contains(",uniform,"));
         assert!(records[0].csv_row().contains(",mesh4x4,"));
     }

@@ -1,0 +1,88 @@
+//! Writer for per-job [`TelemetryReport`]s collected across a sweep.
+//!
+//! Reports arrive in job order (the [`crate::runner::run_parallel`]
+//! contract), so every file written here is byte-identical for any
+//! worker-thread count:
+//!
+//! - `metrics.csv` — one row per metric per job, `job` column first;
+//! - `epochs.csv` — the concatenated epoch time series, `job` column
+//!   first;
+//! - `trace.json` — a single Chrome-trace/Perfetto JSON array with each
+//!   job's tracks remapped to a disjoint pid range.
+
+use mango_telemetry::{ChromeTrace, MetricsRegistry, TelemetryReport};
+use std::path::Path;
+
+/// Pid stride between jobs in the merged `trace.json` (the per-run pids
+/// are small fixed constants, so 16 keeps jobs disjoint with room for
+/// more tracks).
+pub const TRACE_PID_STRIDE: u32 = 16;
+
+/// Writes `metrics.csv`, `epochs.csv` and `trace.json` for `reports`
+/// (one per job, job order) into `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_telemetry_dir(dir: &Path, reports: &[TelemetryReport]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+
+    let mut metrics = String::from("job,");
+    metrics.push_str(MetricsRegistry::csv_header());
+    metrics.push('\n');
+    for (i, r) in reports.iter().enumerate() {
+        r.metrics.render_csv(&format!("{i},"), &mut metrics);
+    }
+    std::fs::write(dir.join("metrics.csv"), metrics)?;
+
+    let mut epochs = String::new();
+    if let Some(first) = reports.first() {
+        first.epochs.render_header("job,", &mut epochs);
+    }
+    for (i, r) in reports.iter().enumerate() {
+        r.epochs.render_rows(&format!("{i},"), &mut epochs);
+    }
+    std::fs::write(dir.join("epochs.csv"), epochs)?;
+
+    let mut merged = ChromeTrace::new();
+    for (i, r) in reports.iter().enumerate() {
+        merged.absorb(&r.trace, i as u32 * TRACE_PID_STRIDE);
+    }
+    let mut json = String::new();
+    merged.render_json(&mut json);
+    std::fs::write(dir.join("trace.json"), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mango_telemetry::{EpochSeries, Sample};
+
+    fn report(job: u64) -> TelemetryReport {
+        let mut r = TelemetryReport::default();
+        let c = r.metrics.counter("flits.injected");
+        r.metrics.set_counter(c, job * 10);
+        r.epochs = EpochSeries::new(vec!["t_us".into(), "injected".into()]);
+        r.epochs.push(vec![Sample::U64(1), Sample::U64(job)]);
+        r.trace
+            .instant("hop", "hop", 1000, 1, job as u32, Vec::new());
+        r
+    }
+
+    #[test]
+    fn files_are_deterministic_and_job_prefixed() {
+        let dir = std::env::temp_dir().join(format!("mango_t9n_{}", std::process::id()));
+        write_telemetry_dir(&dir, &[report(1), report(2)]).unwrap();
+        let metrics = std::fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        assert!(metrics.starts_with("job,metric,kind,"));
+        assert!(metrics.contains("0,flits.injected,counter,10"));
+        assert!(metrics.contains("1,flits.injected,counter,20"));
+        let epochs = std::fs::read_to_string(dir.join("epochs.csv")).unwrap();
+        assert_eq!(epochs, "job,t_us,injected\n0,1,1\n1,1,2\n");
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        // Two jobs, pid 1 and 1 + stride.
+        assert!(trace.contains("\"pid\":1"));
+        assert!(trace.contains(&format!("\"pid\":{}", 1 + TRACE_PID_STRIDE)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,282 @@
+//! Chrome-trace (Perfetto-loadable) JSON export.
+//!
+//! The writer emits the JSON object form of the [Trace Event Format]
+//! (`{"traceEvents": [...]}`): complete spans (`ph:"X"`), thread-scoped
+//! instants (`ph:"i"`) and name metadata (`ph:"M"`). Timestamps are
+//! microseconds; we render picosecond sim time as a fixed-point decimal
+//! with six fractional digits, so output is exact and byte-stable —
+//! no float formatting in the pipeline.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+/// An event name: static for hot-path records, owned for cold ones
+/// (e.g. per-connection recovery spans).
+#[derive(Debug, Clone)]
+pub enum EvName {
+    /// A static name (no allocation on record).
+    Static(&'static str),
+    /// An owned name.
+    Owned(String),
+}
+
+impl EvName {
+    fn as_str(&self) -> &str {
+        match self {
+            EvName::Static(s) => s,
+            EvName::Owned(s) => s,
+        }
+    }
+}
+
+impl From<&'static str> for EvName {
+    fn from(s: &'static str) -> Self {
+        EvName::Static(s)
+    }
+}
+
+impl From<String> for EvName {
+    fn from(s: String) -> Self {
+        EvName::Owned(s)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ph {
+    /// Complete span with duration (ps).
+    Span(u64),
+    /// Thread-scoped instant.
+    Instant,
+    /// Metadata (process/thread name); the name is in `args.name`.
+    Meta,
+}
+
+/// One trace event.
+#[derive(Debug, Clone)]
+struct ChromeEvent {
+    name: EvName,
+    cat: &'static str,
+    ph: Ph,
+    ts_ps: u64,
+    pid: u32,
+    tid: u32,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// An in-memory Chrome trace under construction.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records a complete span `[start_ps, end_ps]` on track
+    /// `(pid, tid)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<EvName>,
+        start_ps: u64,
+        end_ps: u64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat,
+            ph: Ph::Span(end_ps.saturating_sub(start_ps)),
+            ts_ps: start_ps,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Records a thread-scoped instant.
+    pub fn instant(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<EvName>,
+        ts_ps: u64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat,
+            ph: Ph::Instant,
+            ts_ps,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Names a process track (`tid == 0`) or a thread track.
+    pub fn name_track(&mut self, pid: u32, tid: Option<u32>, name: impl Into<EvName>) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat: "__metadata",
+            ph: Ph::Meta,
+            ts_ps: 0,
+            pid,
+            tid: tid.unwrap_or(0),
+            args: Vec::new(),
+        });
+    }
+
+    /// Appends another trace's events, remapping its `pid`s by `pid_base`
+    /// — how per-job traces from a sweep merge into one file without
+    /// track collisions.
+    pub fn absorb(&mut self, other: &ChromeTrace, pid_base: u32) {
+        for ev in &other.events {
+            let mut ev = ev.clone();
+            ev.pid += pid_base;
+            self.events.push(ev);
+        }
+    }
+
+    /// Renders the trace as a Chrome JSON object, appended to `out`.
+    pub fn render_json(&self, out: &mut String) {
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            if let Ph::Meta = ev.ph {
+                // Metadata events name the track; the payload carries
+                // the track's display name.
+                let kind = if ev.tid == 0 {
+                    "process_name"
+                } else {
+                    "thread_name"
+                };
+                let _ = write!(out, "{{\"name\":\"{kind}\",\"ph\":\"M\",\"ts\":0");
+                let _ = write!(out, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
+                out.push_str(",\"args\":{\"name\":\"");
+                push_escaped(out, ev.name.as_str());
+                out.push_str("\"}}");
+                continue;
+            }
+            out.push_str("{\"name\":\"");
+            push_escaped(out, ev.name.as_str());
+            let _ = write!(out, "\",\"cat\":\"{}\"", ev.cat);
+            match ev.ph {
+                Ph::Span(dur_ps) => {
+                    out.push_str(",\"ph\":\"X\",\"ts\":");
+                    push_us(out, ev.ts_ps);
+                    out.push_str(",\"dur\":");
+                    push_us(out, dur_ps);
+                }
+                Ph::Instant => {
+                    out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                    push_us(out, ev.ts_ps);
+                }
+                Ph::Meta => unreachable!("handled above"),
+            }
+            let _ = write!(out, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (k, (name, v)) in ev.args.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{name}\":{v}");
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+    }
+}
+
+/// Renders picoseconds as microseconds with six exact fractional digits.
+fn push_us(out: &mut String, ps: u64) {
+    let _ = write!(out, "{}.{:06}", ps / 1_000_000, ps % 1_000_000);
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_render_exact_microseconds() {
+        let mut t = ChromeTrace::new();
+        t.name_track(1, None, "flits");
+        t.span(
+            "flit",
+            "journey",
+            1_500_000,
+            3_500_000,
+            1,
+            7,
+            vec![("hops", 3)],
+        );
+        t.instant("flit", "grant", 2_000_000, 1, 7, vec![]);
+        let mut out = String::new();
+        t.render_json(&mut out);
+        assert!(out.contains("\"ph\":\"M\""), "metadata present: {out}");
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("\"ts\":1.500000,\"dur\":2.000000"));
+        assert!(out.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":2.000000"));
+        assert!(out.contains("\"args\":{\"hops\":3}"));
+        // Balanced JSON braces/brackets.
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+    }
+
+    #[test]
+    fn absorb_remaps_pids() {
+        let mut a = ChromeTrace::new();
+        a.instant("x", "e", 0, 1, 0, vec![]);
+        let mut b = ChromeTrace::new();
+        b.instant("x", "e", 0, 1, 0, vec![]);
+        a.absorb(&b, 100);
+        let mut out = String::new();
+        a.render_json(&mut out);
+        assert!(out.contains("\"pid\":1,"));
+        assert!(out.contains("\"pid\":101,"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.instant("c", String::from("a\"b\\c"), 0, 1, 1, vec![]);
+        let mut out = String::new();
+        t.render_json(&mut out);
+        assert!(out.contains("a\\\"b\\\\c"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Epoch time-series: fixed-cadence snapshots rendered as CSV.
+//!
+//! A sampler (scheduled as an ordinary kernel event, so its timing is
+//! part of the deterministic event order) appends one row per epoch.
+//! Values are stored as integers or micro-unit fixed-point — no float
+//! formatting ambiguity — and rendered in insertion order, making the
+//! CSV byte-identical for any worker-thread count.
+
+use std::fmt::Write as _;
+
+/// One cell of an epoch row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sample {
+    /// An unsigned integral sample (counts, depths, picoseconds).
+    U64(u64),
+    /// A signed integral sample (gauges).
+    I64(i64),
+    /// A ratio in micro-units (1_000_000 = 1.0), rendered as a decimal
+    /// with exactly six fractional digits.
+    Micro(u64),
+}
+
+impl Sample {
+    fn render(&self, out: &mut String) {
+        match self {
+            Sample::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Sample::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Sample::Micro(v) => {
+                let _ = write!(out, "{}.{:06}", v / 1_000_000, v % 1_000_000);
+            }
+        }
+    }
+}
+
+/// A growing table of epoch snapshots with a fixed column set.
+#[derive(Debug, Clone, Default)]
+pub struct EpochSeries {
+    columns: Vec<String>,
+    rows: Vec<Vec<Sample>>,
+}
+
+impl EpochSeries {
+    /// A series with the given column names (the time column is the
+    /// caller's first column by convention).
+    pub fn new(columns: Vec<String>) -> Self {
+        EpochSeries {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity does not match the column set.
+    pub fn push(&mut self, row: Vec<Sample>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "epoch row arity mismatch: {} values for {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no epochs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Renders the header (with an optional prefix such as `"job_id,"`)
+    /// appended to `out`.
+    pub fn render_header(&self, prefix: &str, out: &mut String) {
+        out.push_str(prefix);
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+    }
+
+    /// Renders all rows appended to `out`, each prefixed by `prefix`.
+    pub fn render_rows(&self, prefix: &str, out: &mut String) {
+        for row in &self.rows {
+            out.push_str(prefix);
+            for (i, s) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                s.render(out);
+            }
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fixed_point_deterministically() {
+        let mut s = EpochSeries::new(vec!["t_ns".into(), "util".into(), "depth".into()]);
+        s.push(vec![
+            Sample::U64(1000),
+            Sample::Micro(123_456),
+            Sample::I64(-2),
+        ]);
+        s.push(vec![
+            Sample::U64(2000),
+            Sample::Micro(1_000_000),
+            Sample::I64(0),
+        ]);
+        let mut out = String::new();
+        s.render_header("job,", &mut out);
+        s.render_rows("7,", &mut out);
+        assert_eq!(
+            out,
+            "job,t_ns,util,depth\n7,1000,0.123456,-2\n7,2000,1.000000,0\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut s = EpochSeries::new(vec!["a".into(), "b".into()]);
+        s.push(vec![Sample::U64(1)]);
+    }
+}

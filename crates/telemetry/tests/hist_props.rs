@@ -1,0 +1,48 @@
+//! Property tests for the log-bucket histogram: bucket containment over
+//! arbitrary values, merge associativity over arbitrary splits, and
+//! insertion-order independence of percentile extraction.
+
+use mango_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_value_lands_in_its_own_bucket(v in any::<u64>()) {
+        let h = LogHistogram::new();
+        let i = h.bucket_index(v);
+        prop_assert!(h.bucket_low(i) <= v);
+        prop_assert!(v <= h.bucket_high(i));
+    }
+
+    #[test]
+    fn merge_matches_single_recording(
+        a in proptest::collection::vec(any::<u64>(), 0..50),
+        b in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let mut ha = LogHistogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = LogHistogram::new();
+        for &v in &b { hb.record(v); }
+        ha.merge(&hb);
+
+        let mut all = LogHistogram::new();
+        for &v in a.iter().chain(&b) { all.record(v); }
+        prop_assert_eq!(ha, all);
+    }
+
+    #[test]
+    fn percentiles_ignore_insertion_order(
+        vals in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+        q in 0u32..1001,
+    ) {
+        let mut fwd = LogHistogram::new();
+        for &v in &vals { fwd.record(v); }
+        let vals: Vec<u64> = vals.into_iter().rev().collect();
+        let mut rev = LogHistogram::new();
+        for &v in &vals { rev.record(v); }
+        prop_assert_eq!(fwd.quantile_permille(q), rev.quantile_permille(q));
+        // The quantile is always within the recorded range.
+        let p = fwd.quantile_permille(q).unwrap();
+        prop_assert!(p <= fwd.max().unwrap());
+    }
+}
