@@ -17,17 +17,95 @@
 //! measured with it are not comparable to unprofiled ones).
 //! `--telemetry` activates the telemetry sink (metrics + epoch samplers,
 //! flit tracing off) — the sampler-overhead probe: compare its rate to a
-//! plain run of the same workload.
+//! plain run of the same workload. `--region-block` turns on
+//! region-blocked event scheduling (results are byte-identical either
+//! way; this probes the scan-grouping overhead and reports per-region
+//! dispatch counts). On meshes other than 4×4 a 4×4 reference is timed
+//! in the same invocation, and the per-event cost ratio against it is
+//! reported (`ratio_vs_4x4` — the cache-bounded-scaling headline).
 
 use mango::net::TelemetryConfig;
 use mango::sim::{SimDuration, WheelGeometry};
 use mango_bench::mixed_mesh_geom;
 use std::time::Instant;
 
+struct RunConfig {
+    mesh: u8,
+    sim_us: u64,
+    repeats: u64,
+    geometry: Option<WheelGeometry>,
+    profile: bool,
+    telemetry: bool,
+    region_block: bool,
+}
+
+struct RunResult {
+    best: f64,
+    runs: Vec<String>,
+    profile: Option<mango::sim::KernelProfile>,
+    regions: Vec<u64>,
+}
+
+/// Times `repeats` fresh runs of the mixed workload; returns the best
+/// rate, per-run records, and the last run's profile/region census.
+fn measure(cfg: &RunConfig, quiet: bool) -> RunResult {
+    let mut best = f64::MIN;
+    let mut runs = Vec::new();
+    let mut last_profile = None;
+    let mut regions = Vec::new();
+    for run in 0..cfg.repeats {
+        let mut sim = mixed_mesh_geom(cfg.mesh, cfg.mesh, 99, cfg.geometry);
+        if cfg.profile {
+            sim.enable_kernel_profiling();
+        }
+        if cfg.telemetry {
+            sim.enable_telemetry(TelemetryConfig {
+                trace_flits: false,
+                ..Default::default()
+            });
+        }
+        if cfg.region_block {
+            sim.enable_region_blocking();
+        }
+        let setup_events = sim.events_processed();
+        let start = Instant::now();
+        sim.run_for(SimDuration::from_us(cfg.sim_us));
+        let wall = start.elapsed().as_secs_f64();
+        let events = sim.events_processed() - setup_events;
+        let rate = events as f64 / wall;
+        best = best.max(rate);
+        runs.push(format!(
+            "{{\"events\":{events},\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}}",
+            wall * 1e3,
+            rate
+        ));
+        if !quiet {
+            println!(
+                "  run {run}: {events} events in {:.1} ms  ->  {:.2} Mevents/s",
+                wall * 1e3,
+                rate / 1e6
+            );
+        }
+        if cfg.profile {
+            last_profile = sim.kernel_profile().cloned();
+        }
+        if cfg.region_block {
+            regions = sim.region_dispatch_counts().to_vec();
+        }
+    }
+    RunResult {
+        best,
+        runs,
+        profile: last_profile,
+        regions,
+    }
+}
+
 fn main() {
     let mut json = false;
     let mut profile = false;
     let mut telemetry = false;
+    let mut region_block = false;
     let mut mesh: u8 = 4;
     let mut buckets: Option<usize> = None;
     let mut width_log2: Option<u32> = None;
@@ -36,7 +114,8 @@ fn main() {
     fn usage() -> ! {
         eprintln!(
             "usage: sim_rate [simulated_us] [repeats] [--mesh N] \
-             [--buckets B] [--width-log2 W] [--json] [--profile] [--telemetry]"
+             [--buckets B] [--width-log2 W] [--json] [--profile] [--telemetry] \
+             [--region-block]"
         );
         std::process::exit(2);
     }
@@ -51,6 +130,7 @@ fn main() {
             "--json" => json = true,
             "--profile" => profile = true,
             "--telemetry" => telemetry = true,
+            "--region-block" => region_block = true,
             "--mesh" => mesh = flag_val(&mut args),
             "--buckets" => buckets = Some(flag_val(&mut args)),
             "--width-log2" => width_log2 = Some(flag_val(&mut args)),
@@ -75,50 +155,39 @@ fn main() {
     if !json {
         println!(
             "mixed {mesh}x{mesh} mesh, {sim_us} us simulated, {repeats} runs, \
-             wheel {}x{} ps",
+             wheel {}x{} ps{}",
             geom.num_buckets,
-            geom.width_ps()
+            geom.width_ps(),
+            if region_block { ", region-blocked" } else { "" }
         );
     }
-    let mut best = f64::MIN;
-    let mut runs = Vec::new();
-    let mut last_profile = None;
-    for run in 0..repeats {
-        let mut sim = mixed_mesh_geom(mesh, mesh, 99, geometry);
-        assert_eq!(sim.wheel_geometry(), geom, "banner geometry out of sync");
-        if profile {
-            sim.enable_kernel_profiling();
-        }
-        if telemetry {
-            sim.enable_telemetry(TelemetryConfig {
-                trace_flits: false,
-                ..Default::default()
-            });
-        }
-        let setup_events = sim.events_processed();
-        let start = Instant::now();
-        sim.run_for(SimDuration::from_us(sim_us));
-        let wall = start.elapsed().as_secs_f64();
-        let events = sim.events_processed() - setup_events;
-        let rate = events as f64 / wall;
-        best = best.max(rate);
-        runs.push(format!(
-            "{{\"events\":{events},\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}}",
-            wall * 1e3,
-            rate
-        ));
-        if !json {
-            println!(
-                "  run {run}: {events} events in {:.1} ms  ->  {:.2} Mevents/s",
-                wall * 1e3,
-                rate / 1e6
-            );
-        }
-        if profile {
-            last_profile = sim.kernel_profile().cloned();
-        }
-    }
-    if let Some(p) = &last_profile {
+    let cfg = RunConfig {
+        mesh,
+        sim_us,
+        repeats,
+        geometry,
+        profile,
+        telemetry,
+        region_block,
+    };
+    let result = measure(&cfg, json);
+    let best = result.best;
+    let per_event_ns = 1e9 / best;
+    // The scaling headline: per-event cost relative to a 4x4 run of the
+    // same workload, timed in this invocation so both sides see the same
+    // machine state. 1.0 on the 4x4 itself.
+    let ratio_vs_4x4 = if mesh == 4 {
+        1.0
+    } else {
+        let ref_cfg = RunConfig {
+            mesh: 4,
+            geometry: None,
+            ..cfg
+        };
+        let ref_best = measure(&ref_cfg, true).best;
+        (1e9 / best) / (1e9 / ref_best)
+    };
+    if let Some(p) = &result.profile {
         let total = p.samples().max(1);
         println!("kernel profile ({} dispatches):", p.samples());
         for (name, count) in p.kind_counts() {
@@ -141,17 +210,43 @@ fn main() {
         );
     }
     if json {
+        let regions = result
+            .regions
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         println!(
             "{{\"scenario\":\"mixed_{mesh}x{mesh}\",\"mesh\":{mesh},\"sim_us\":{sim_us},\
              \"repeats\":{repeats},\"wheel_buckets\":{},\"wheel_width_ps\":{},\
-             \"runs\":[{}],\"best_events_per_sec\":{:.0},\"best_mevents_per_sec\":{:.2}}}",
+             \"region_block\":{region_block},\"region_dispatch\":[{regions}],\
+             \"runs\":[{}],\"best_events_per_sec\":{:.0},\"best_mevents_per_sec\":{:.2},\
+             \"per_event_ns\":{:.1},\"ratio_vs_4x4\":{:.3}}}",
             geom.num_buckets,
             geom.width_ps(),
-            runs.join(","),
+            result.runs.join(","),
             best,
-            best / 1e6
+            best / 1e6,
+            per_event_ns,
+            ratio_vs_4x4
         );
     } else {
-        println!("best: {:.2} Mevents/s", best / 1e6);
+        if region_block && !result.regions.is_empty() {
+            let total: u64 = result.regions.iter().sum();
+            println!(
+                "region dispatch ({} regions, last run):",
+                result.regions.len()
+            );
+            for (r, c) in result.regions.iter().enumerate() {
+                println!(
+                    "  region {r:<3} {c:>10}  ({:5.1}%)",
+                    *c as f64 * 100.0 / total.max(1) as f64
+                );
+            }
+        }
+        println!(
+            "best: {:.2} Mevents/s  ({per_event_ns:.0} ns/event, {ratio_vs_4x4:.2}x vs 4x4)",
+            best / 1e6
+        );
     }
 }

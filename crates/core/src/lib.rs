@@ -32,7 +32,8 @@
 //! };
 //! use mango_sim::SimTime;
 //!
-//! let (mut router, mut bufs) = Router::standalone(RouterId::new(0, 0), RouterConfig::paper());
+//! let (mut router, mut bufs, mut be) =
+//!     Router::standalone(RouterId::new(0, 0), RouterConfig::paper());
 //! router.program(&[
 //!     ProgWrite::SetSteer {
 //!         dir: Direction::East,
@@ -47,6 +48,7 @@
 //! let mut actions = Vec::new();
 //! router.on_link_flit(
 //!     &mut bufs,
+//!     &mut be,
 //!     SimTime::ZERO,
 //!     Direction::West,
 //!     LinkFlit {
@@ -63,6 +65,7 @@
 pub mod arb;
 pub mod arena;
 pub mod be;
+pub mod be_arena;
 pub mod config;
 pub mod events;
 pub mod flit;
@@ -79,6 +82,7 @@ pub mod vc;
 pub use arb::{ArbiterImpl, ArbiterKind, LinkArbiter, LinkSlot};
 pub use arena::{GsArena, RouterSlots};
 pub use be::BeInput;
+pub use be_arena::{BeArena, BeSlots};
 pub use config::RouterConfig;
 pub use events::{InternalEvent, RouterAction};
 pub use flit::{Flit, FlitMeta, LinkFlit};

@@ -11,12 +11,14 @@
 //! # Buffer ownership
 //!
 //! The router holds **no flit storage of its own**: its GS VC buffers and
-//! local-interface buffers live in the environment-owned [`GsArena`] (one
-//! flat slab for the whole mesh), and the router addresses its slots via
-//! the [`RouterSlots`] bases handed out at construction. Every `on_*`
-//! call therefore receives `&mut GsArena` alongside the action sink. The
-//! BE unit's latches, the connection table and the statistics stay inside
-//! the router — they are cold relative to the per-flit GS path.
+//! local-interface buffers live in the environment-owned [`GsArena`], and
+//! its BE latches, output stages and arbitration locks live in the
+//! equally environment-owned [`BeArena`] (one flat slab each for the
+//! whole mesh). The router addresses its slots via the [`RouterSlots`] /
+//! [`BeSlots`] bases handed out at construction; every `on_*` call
+//! receives `&mut GsArena` and `&mut BeArena` alongside the action sink.
+//! Only the connection table, the programming queues and the statistics
+//! stay inside the router — they are cold relative to the per-flit path.
 //!
 //! # Module layout
 //!
@@ -58,7 +60,8 @@ pub use prog_io::source_hop_writes;
 
 use crate::arb::ArbiterImpl;
 use crate::arena::{GsArena, RouterSlots};
-use crate::be::{BeInput, BeUnit};
+use crate::be::BeInput;
+use crate::be_arena::{BeArena, BeSlots};
 use crate::config::RouterConfig;
 use crate::events::{InternalEvent, RouterAction};
 use crate::flit::{Flit, LinkFlit};
@@ -69,11 +72,15 @@ use crate::table::ConnectionTable;
 use crate::trace::RouterTracer;
 use mango_sim::SimTime;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One MANGO router.
 pub struct Router {
     id: RouterId,
-    cfg: RouterConfig,
+    /// Shared configuration — one allocation per network, so the timing
+    /// fields every router reads on every event live on the same (always
+    /// hot) cache lines instead of being duplicated 144 bytes per router.
+    cfg: Arc<RouterConfig>,
     table: ConnectionTable,
     /// Arena bases of this router's GS buffers (storage lives in the
     /// network-owned [`GsArena`]).
@@ -89,10 +96,14 @@ pub struct Router {
     /// Enum-dispatched link arbiters, one per output port — flat in the
     /// struct, no heap or vtable on the grant path.
     arbiters: [ArbiterImpl; 4],
-    be: BeUnit,
+    /// Arena base of this router's BE unit (storage lives in the
+    /// network-owned [`BeArena`]).
+    be_slots: BeSlots,
     /// Staging queue of acknowledgment flits awaiting space in the BE
     /// unit's programming-interface input latch.
     prog_tx: VecDeque<Flit>,
+    /// Programming-interface receive buffer (config payload words).
+    prog_rx: Vec<u32>,
     stats: RouterStats,
     /// Mirror of the last event timestamp, for tracing.
     now: SimTime,
@@ -115,8 +126,14 @@ impl Router {
     /// # Panics
     ///
     /// Panics if the configuration fails [`RouterConfig::validate`] or
-    /// does not match the arena's dimensions.
-    pub fn new_in(id: RouterId, cfg: RouterConfig, arena: &mut GsArena) -> Self {
+    /// does not match either arena's dimensions.
+    pub fn new_in(
+        id: RouterId,
+        cfg: impl Into<Arc<RouterConfig>>,
+        arena: &mut GsArena,
+        be_arena: &mut BeArena,
+    ) -> Self {
+        let cfg = cfg.into();
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid router config: {e}"));
         assert!(
@@ -125,8 +142,15 @@ impl Router {
                 && arena.depth() == cfg.buffer_depth(),
             "arena dimensions do not match the router config"
         );
+        assert!(
+            be_arena.input_depth() == cfg.be_input_depth
+                && be_arena.output_depth() == cfg.be_output_depth
+                && be_arena.credits_max() == cfg.be_link_credits,
+            "BE arena dimensions do not match the router config"
+        );
         let gs_vcs = cfg.gs_vcs();
         let slots = arena.add_router();
+        let be_slots = be_arena.add_router();
         Router {
             id,
             table: ConnectionTable::new(gs_vcs, cfg.local_gs_ifaces()),
@@ -135,8 +159,9 @@ impl Router {
             ready: [0; 4],
             arb_pending: [false; 4],
             arbiters: std::array::from_fn(|_| ArbiterImpl::new(cfg.arbiter, gs_vcs)),
-            be: BeUnit::new(cfg.be_input_depth, cfg.be_output_depth, cfg.be_link_credits),
+            be_slots,
             prog_tx: VecDeque::new(),
+            prog_rx: Vec::new(),
             cfg,
             stats: RouterStats::default(),
             now: SimTime::ZERO,
@@ -144,9 +169,9 @@ impl Router {
         }
     }
 
-    /// Creates a router together with a private single-router arena —
+    /// Creates a router together with private single-router arenas —
     /// the standalone form unit tests and examples drive directly.
-    pub fn standalone(id: RouterId, cfg: RouterConfig) -> (Self, GsArena) {
+    pub fn standalone(id: RouterId, cfg: RouterConfig) -> (Self, GsArena, BeArena) {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid router config: {e}"));
         let mut arena = GsArena::new(
@@ -155,8 +180,10 @@ impl Router {
             cfg.buffer_depth(),
             cfg.na_rx_depth,
         );
-        let router = Router::new_in(id, cfg, &mut arena);
-        (router, arena)
+        let mut be_arena =
+            BeArena::new(cfg.be_input_depth, cfg.be_output_depth, cfg.be_link_credits);
+        let router = Router::new_in(id, cfg, &mut arena, &mut be_arena);
+        (router, arena, be_arena)
     }
 
     /// The router's position.
@@ -172,6 +199,11 @@ impl Router {
     /// The arena bases of this router's GS buffers.
     pub fn slots(&self) -> RouterSlots {
         self.slots
+    }
+
+    /// The arena base of this router's BE unit.
+    pub fn be_slots(&self) -> BeSlots {
+        self.be_slots
     }
 
     /// The connection table (read access for tests/tools).
@@ -205,38 +237,26 @@ impl Router {
     }
 
     /// True if no flit is stored or in flight anywhere in this router.
-    pub fn is_quiescent(&self, bufs: &GsArena) -> bool {
-        bufs.router_is_empty(self.slots) && !self.be.has_work() && self.prog_tx.is_empty()
+    pub fn is_quiescent(&self, bufs: &GsArena, be: &BeArena) -> bool {
+        bufs.router_is_empty(self.slots)
+            && !be.has_work(self.be_slots)
+            && self.prog_tx.is_empty()
+            && self.prog_rx.is_empty()
     }
 
     /// Total BE flits staged inside this router (input latches, output
     /// stages, staged programming acks) — the telemetry sampler's BE
     /// depth gauge.
-    pub fn be_flits_buffered(&self) -> usize {
-        self.be.inputs.iter().map(|i| i.latch.len()).sum::<usize>()
-            + self.be.outputs.iter().map(|o| o.buf.len()).sum::<usize>()
-            + self.prog_tx.len()
+    pub fn be_flits_buffered(&self, be: &BeArena) -> usize {
+        be.flits_buffered(self.be_slots) + self.prog_tx.len()
     }
 
     /// Flow-carrying flits staged inside this router's BE unit — one
     /// term of the debug flit-conservation walk (GS flits live in the
     /// shared arena, see [`GsArena::flow_flits`]).
-    pub fn flow_flits_buffered(&self) -> u64 {
+    pub fn flow_flits_buffered(&self, be: &BeArena) -> u64 {
         let flow = |f: &Flit| u64::from(f.flow() != u32::MAX);
-        self.be
-            .inputs
-            .iter()
-            .flat_map(|i| i.latch.iter())
-            .map(flow)
-            .sum::<u64>()
-            + self
-                .be
-                .outputs
-                .iter()
-                .flat_map(|o| o.buf.iter())
-                .map(flow)
-                .sum::<u64>()
-            + self.prog_tx.iter().map(flow).sum::<u64>()
+        be.flow_flits(self.be_slots) + self.prog_tx.iter().map(flow).sum::<u64>()
     }
 
     // ------------------------------------------------------------------
@@ -248,6 +268,7 @@ impl Router {
     pub fn on_link_flit(
         &mut self,
         bufs: &mut GsArena,
+        be: &mut BeArena,
         now: SimTime,
         from: Direction,
         lf: LinkFlit,
@@ -270,7 +291,7 @@ impl Router {
             }
             Steer::BeUnit => {
                 self.stats.be_flits_in[from.index()] += 1;
-                self.be_arrive(BeInput::Net(from), lf.flit, act);
+                self.be_arrive(be, BeInput::Net(from), lf.flit, act);
             }
         }
     }
@@ -280,6 +301,7 @@ impl Router {
     pub fn on_unlock(
         &mut self,
         bufs: &mut GsArena,
+        _be: &mut BeArena,
         now: SimTime,
         dir: Direction,
         wire: VcId,
@@ -296,13 +318,14 @@ impl Router {
     pub fn on_credit(
         &mut self,
         _bufs: &mut GsArena,
+        be: &mut BeArena,
         now: SimTime,
         dir: Direction,
         act: &mut Vec<RouterAction>,
     ) {
         self.now = now;
-        self.be.outputs[dir.index()].add_credit();
-        self.update_be_ready(dir);
+        be.out_add_credit(be.out_slot(self.be_slots, dir));
+        self.update_be_ready(be, dir);
         self.kick_arb(dir, act);
     }
 
@@ -317,6 +340,7 @@ impl Router {
     pub fn on_local_gs_inject(
         &mut self,
         bufs: &mut GsArena,
+        _be: &mut BeArena,
         now: SimTime,
         steer: Steer,
         flit: Flit,
@@ -337,13 +361,14 @@ impl Router {
     pub fn on_local_be_inject(
         &mut self,
         _bufs: &mut GsArena,
+        be: &mut BeArena,
         now: SimTime,
         flit: Flit,
         act: &mut Vec<RouterAction>,
     ) {
         self.now = now;
         self.stats.be_injected += 1;
-        self.be_arrive(BeInput::LocalNa, flit, act);
+        self.be_arrive(be, BeInput::LocalNa, flit, act);
     }
 
     /// The local NA finished consuming a delivered GS flit on `iface`,
@@ -351,6 +376,7 @@ impl Router {
     pub fn on_local_gs_consume(
         &mut self,
         bufs: &mut GsArena,
+        _be: &mut BeArena,
         now: SimTime,
         iface: u8,
         act: &mut Vec<RouterAction>,
@@ -365,6 +391,7 @@ impl Router {
     pub fn on_internal(
         &mut self,
         bufs: &mut GsArena,
+        be: &mut BeArena,
         now: SimTime,
         ev: InternalEvent,
         act: &mut Vec<RouterAction>,
@@ -374,14 +401,16 @@ impl Router {
             InternalEvent::GsAdvance { buffer } => self.gs_advance(bufs, buffer, act),
             InternalEvent::LinkFree { dir } => {
                 self.link_busy[dir.index()] = false;
-                self.try_grant(bufs, dir, act);
+                self.try_grant(bufs, be, dir, act);
             }
             InternalEvent::ArbDecide { dir } => {
                 self.arb_pending[dir.index()] = false;
-                self.try_grant(bufs, dir, act);
+                self.try_grant(bufs, be, dir, act);
             }
-            InternalEvent::BeRouted { input } => self.be_routed(input, act),
-            InternalEvent::BeMoved { input, dest, flit } => self.be_moved(input, dest, flit, act),
+            InternalEvent::BeRouted { input } => self.be_routed(be, input, act),
+            InternalEvent::BeMoved { input, dest, flit } => {
+                self.be_moved(be, input, dest, flit, act)
+            }
         }
     }
 

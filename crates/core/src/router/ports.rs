@@ -4,6 +4,7 @@
 use super::Router;
 use crate::arb::LinkSlot;
 use crate::arena::GsArena;
+use crate::be_arena::BeArena;
 use crate::events::{InternalEvent, RouterAction};
 use crate::flit::LinkFlit;
 use crate::ids::{Direction, GsBufferRef, VcId};
@@ -28,7 +29,7 @@ impl Router {
 
     /// The ready mask recomputed from scratch — the debug cross-check for
     /// the incremental mask (compiled out of release arbitration).
-    pub(super) fn rederive_ready(&self, bufs: &GsArena, dir: Direction) -> u16 {
+    pub(super) fn rederive_ready(&self, bufs: &GsArena, be: &BeArena, dir: Direction) -> u16 {
         let d = dir.index();
         let mut mask: u16 = 0;
         for vc in 0..self.cfg.gs_vcs() {
@@ -36,7 +37,7 @@ impl Router {
                 mask |= 1 << vc;
             }
         }
-        if self.be.outputs[d].link_ready() {
+        if be.out_link_ready(be.out_slot(self.be_slots, dir)) {
             mask |= 1 << self.cfg.gs_vcs();
         }
         mask
@@ -46,10 +47,10 @@ impl Router {
     /// transition that can change the BE output's `link_ready` (stage
     /// push, grant, credit return).
     #[inline]
-    pub(super) fn update_be_ready(&mut self, dir: Direction) {
+    pub(super) fn update_be_ready(&mut self, be: &BeArena, dir: Direction) {
         let d = dir.index();
         let bit = 1u16 << self.cfg.gs_vcs();
-        if self.be.outputs[d].link_ready() {
+        if be.out_link_ready(be.out_slot(self.be_slots, dir)) {
             self.ready[d] |= bit;
         } else {
             self.ready[d] &= !bit;
@@ -77,6 +78,7 @@ impl Router {
     pub(super) fn try_grant(
         &mut self,
         bufs: &mut GsArena,
+        be: &mut BeArena,
         dir: Direction,
         act: &mut Vec<RouterAction>,
     ) {
@@ -87,7 +89,7 @@ impl Router {
         let ready = self.ready[d];
         debug_assert_eq!(
             ready,
-            self.rederive_ready(bufs, dir),
+            self.rederive_ready(bufs, be, dir),
             "incremental ready mask out of sync on {dir}"
         );
         if ready == 0 {
@@ -127,10 +129,10 @@ impl Router {
                 self.gs_try_advance(bufs, GsBufferRef::Net { dir, vc }, act);
             }
             LinkSlot::Be => {
-                let out = &mut self.be.outputs[d];
-                let flit = out.buf.pop().expect("BE slot ready implies staged flit");
-                out.credits -= 1;
-                self.update_be_ready(dir);
+                let out = be.out_slot(self.be_slots, dir);
+                let flit = be.out_pop(out).expect("BE slot ready implies staged flit");
+                be.out_take_credit(out);
+                self.update_be_ready(be, dir);
                 self.stats.be_grants[d] += 1;
                 self.tracer
                     .record(self.now, "be.grant", || TraceDetail::BeGrant { dir });
@@ -144,7 +146,7 @@ impl Router {
                 });
                 // Output stage drained: the input holding this output may
                 // push its next flit.
-                self.be_try_output(BeDest::Net(dir), act);
+                self.be_try_output(be, BeDest::Net(dir), act);
             }
         }
     }

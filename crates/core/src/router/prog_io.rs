@@ -3,6 +3,7 @@
 //! connection layer uses.
 
 use super::Router;
+use crate::be_arena::BeArena;
 use crate::events::RouterAction;
 use crate::flit::Flit;
 use crate::ids::{Direction, GsBufferRef, UpstreamRef, VcId};
@@ -30,7 +31,12 @@ impl Router {
 
     /// Applies a received configuration payload and emits the requested
     /// acknowledgment packet.
-    pub(super) fn prog_consume(&mut self, words: &[u32], act: &mut Vec<RouterAction>) {
+    pub(super) fn prog_consume(
+        &mut self,
+        be: &mut BeArena,
+        words: &[u32],
+        act: &mut Vec<RouterAction>,
+    ) {
         self.stats.prog_packets += 1;
         self.tracer
             .record(self.now, "prog.packet", || TraceDetail::ProgPacket {
@@ -48,7 +54,7 @@ impl Router {
                     let flits =
                         build_be_packet(plan.return_header, &[prog::ack_word(plan.token)], false);
                     self.prog_tx.extend(flits);
-                    self.prog_pump(act);
+                    self.prog_pump(be, act);
                 }
             }
             Err(_) => self.stats.prog_errors += 1,
@@ -57,19 +63,27 @@ impl Router {
 
     /// Test/tool access to apply a programming payload as if it had
     /// arrived in a config packet.
-    pub fn prog_inject(&mut self, _now: SimTime, words: &[u32], act: &mut Vec<RouterAction>) {
+    pub fn prog_inject(
+        &mut self,
+        be: &mut BeArena,
+        _now: SimTime,
+        words: &[u32],
+        act: &mut Vec<RouterAction>,
+    ) {
         // `words` is the payload exactly as a config packet would deliver
         // it (route header already consumed by the BE path).
-        self.prog_consume(words, act);
+        self.prog_consume(be, words, act);
     }
 
     /// Moves staged acknowledgment flits into the BE unit's programming
     /// input while it has space. Called when acks are generated and when
     /// the Prog latch drains.
-    pub(super) fn prog_pump(&mut self, act: &mut Vec<RouterAction>) {
-        while !self.prog_tx.is_empty() && !self.be.input(crate::be::BeInput::Prog).latch.is_full() {
+    pub(super) fn prog_pump(&mut self, be: &mut BeArena, act: &mut Vec<RouterAction>) {
+        while !self.prog_tx.is_empty()
+            && !be.in_is_full(be.in_slot(self.be_slots, crate::be::BeInput::Prog))
+        {
             let flit: Flit = self.prog_tx.pop_front().expect("checked non-empty");
-            self.be_arrive(crate::be::BeInput::Prog, flit, act);
+            self.be_arrive(be, crate::be::BeInput::Prog, flit, act);
         }
     }
 }

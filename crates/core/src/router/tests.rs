@@ -8,7 +8,7 @@ use crate::ids::UpstreamRef;
 use crate::packet::{build_be_packet, BeHeader};
 use crate::prog::{self, ProgWrite};
 
-fn router() -> (Router, GsArena) {
+fn router() -> (Router, GsArena, BeArena) {
     Router::standalone(RouterId::new(1, 1), RouterConfig::paper())
 }
 
@@ -36,7 +36,12 @@ fn program_hop(r: &mut Router, from: Direction, out: Direction, vc: VcId, next: 
 /// immediately in time order (delays collapsed), external actions are
 /// collected. Good enough for single-router semantics tests; timing
 /// behaviour is tested at the network level.
-fn drain(r: &mut Router, bufs: &mut GsArena, mut pending: Vec<RouterAction>) -> Vec<RouterAction> {
+fn drain(
+    r: &mut Router,
+    bufs: &mut GsArena,
+    be: &mut BeArena,
+    mut pending: Vec<RouterAction>,
+) -> Vec<RouterAction> {
     let mut external = Vec::new();
     let mut guard = 0;
     while let Some(action) = pending.first().cloned() {
@@ -46,7 +51,7 @@ fn drain(r: &mut Router, bufs: &mut GsArena, mut pending: Vec<RouterAction>) -> 
         match action {
             A::Internal { event, .. } => {
                 let mut out = Vec::new();
-                r.on_internal(bufs, SimTime::ZERO, event, &mut out);
+                r.on_internal(bufs, be, SimTime::ZERO, event, &mut out);
                 pending.extend(out);
             }
             other => external.push(other),
@@ -57,7 +62,7 @@ fn drain(r: &mut Router, bufs: &mut GsArena, mut pending: Vec<RouterAction>) -> 
 
 #[test]
 fn gs_flit_forwards_with_new_steering_and_unlocks_upstream() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     let next = Steer::GsBuffer {
         dir: Direction::East,
         vc: VcId(4),
@@ -67,6 +72,7 @@ fn gs_flit_forwards_with_new_steering_and_unlocks_upstream() {
     let mut act = Vec::new();
     r.on_link_flit(
         &mut bufs,
+        &mut be,
         SimTime::ZERO,
         Direction::West,
         LinkFlit {
@@ -78,7 +84,7 @@ fn gs_flit_forwards_with_new_steering_and_unlocks_upstream() {
         },
         &mut act,
     );
-    let external = drain(&mut r, &mut bufs, act);
+    let external = drain(&mut r, &mut bufs, &mut be, act);
 
     // Expect: an unlock back toward West (wire 2) and the flit out East
     // with the next-hop steering.
@@ -106,7 +112,7 @@ fn gs_flit_forwards_with_new_steering_and_unlocks_upstream() {
 
 #[test]
 fn second_flit_waits_for_unlock() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     let next = Steer::GsBuffer {
         dir: Direction::East,
         vc: VcId(0),
@@ -121,8 +127,15 @@ fn second_flit_waits_for_unlock() {
     };
 
     let mut act = Vec::new();
-    r.on_link_flit(&mut bufs, SimTime::ZERO, Direction::West, arrival, &mut act);
-    let ext1 = drain(&mut r, &mut bufs, act);
+    r.on_link_flit(
+        &mut bufs,
+        &mut be,
+        SimTime::ZERO,
+        Direction::West,
+        arrival,
+        &mut act,
+    );
+    let ext1 = drain(&mut r, &mut bufs, &mut be, act);
     assert_eq!(
         ext1.iter()
             .filter(|a| matches!(a, A::SendFlit { .. }))
@@ -135,6 +148,7 @@ fn second_flit_waits_for_unlock() {
     let mut act = Vec::new();
     r.on_link_flit(
         &mut bufs,
+        &mut be,
         SimTime::ZERO,
         Direction::West,
         LinkFlit {
@@ -143,7 +157,7 @@ fn second_flit_waits_for_unlock() {
         },
         &mut act,
     );
-    let ext2 = drain(&mut r, &mut bufs, act);
+    let ext2 = drain(&mut r, &mut bufs, &mut be, act);
     assert!(ext2.iter().all(|a| !matches!(a, A::SendFlit { .. })));
     assert!(ext2.iter().any(|a| matches!(
         a,
@@ -155,8 +169,15 @@ fn second_flit_waits_for_unlock() {
 
     // Unlock arrives: flit 2 goes out.
     let mut act = Vec::new();
-    r.on_unlock(&mut bufs, SimTime::ZERO, Direction::East, VcId(0), &mut act);
-    let ext3 = drain(&mut r, &mut bufs, act);
+    r.on_unlock(
+        &mut bufs,
+        &mut be,
+        SimTime::ZERO,
+        Direction::East,
+        VcId(0),
+        &mut act,
+    );
+    let ext3 = drain(&mut r, &mut bufs, &mut be, act);
     let sent: Vec<_> = ext3
         .iter()
         .filter_map(|a| match a {
@@ -169,7 +190,7 @@ fn second_flit_waits_for_unlock() {
 
 #[test]
 fn local_delivery_and_end_to_end_backpressure() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     // Deliver to local iface 1; connection enters from North.
     r.program(&[ProgWrite::SetUnlock {
         buffer: GsBufferRef::Local { iface: 1 },
@@ -184,8 +205,15 @@ fn local_delivery_and_end_to_end_backpressure() {
     };
 
     let mut act = Vec::new();
-    r.on_link_flit(&mut bufs, SimTime::ZERO, Direction::North, lf(1), &mut act);
-    let ext = drain(&mut r, &mut bufs, act);
+    r.on_link_flit(
+        &mut bufs,
+        &mut be,
+        SimTime::ZERO,
+        Direction::North,
+        lf(1),
+        &mut act,
+    );
+    let ext = drain(&mut r, &mut bufs, &mut be, act);
     assert!(ext
         .iter()
         .any(|a| matches!(a, A::DeliverGs { iface: 1, flit } if flit.data == 1)));
@@ -193,22 +221,36 @@ fn local_delivery_and_end_to_end_backpressure() {
     // NA has one rx slot (paper default) and has not consumed: flit 2
     // advances into the buffer (unlock) but is not delivered.
     let mut act = Vec::new();
-    r.on_link_flit(&mut bufs, SimTime::ZERO, Direction::North, lf(2), &mut act);
-    let ext = drain(&mut r, &mut bufs, act);
+    r.on_link_flit(
+        &mut bufs,
+        &mut be,
+        SimTime::ZERO,
+        Direction::North,
+        lf(2),
+        &mut act,
+    );
+    let ext = drain(&mut r, &mut bufs, &mut be, act);
     assert!(ext.iter().all(|a| !matches!(a, A::DeliverGs { .. })));
 
     // Flit 3 parks in the unsharebox: no unlock goes upstream — the
     // stall propagates back, which is the inherent end-to-end flow
     // control of Sec. 6.
     let mut act = Vec::new();
-    r.on_link_flit(&mut bufs, SimTime::ZERO, Direction::North, lf(3), &mut act);
-    let ext = drain(&mut r, &mut bufs, act);
+    r.on_link_flit(
+        &mut bufs,
+        &mut be,
+        SimTime::ZERO,
+        Direction::North,
+        lf(3),
+        &mut act,
+    );
+    let ext = drain(&mut r, &mut bufs, &mut be, act);
     assert!(ext.iter().all(|a| !matches!(a, A::SendUnlock { .. })));
 
     // NA consumes: flit 2 delivers, flit 3 advances, unlock resumes.
     let mut act = Vec::new();
-    r.on_local_gs_consume(&mut bufs, SimTime::ZERO, 1, &mut act);
-    let ext = drain(&mut r, &mut bufs, act);
+    r.on_local_gs_consume(&mut bufs, &mut be, SimTime::ZERO, 1, &mut act);
+    let ext = drain(&mut r, &mut bufs, &mut be, act);
     assert!(ext
         .iter()
         .any(|a| matches!(a, A::DeliverGs { flit, .. } if flit.data == 2)));
@@ -217,7 +259,7 @@ fn local_delivery_and_end_to_end_backpressure() {
 
 #[test]
 fn na_injection_flows_to_link() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     r.program(&[
         ProgWrite::SetSteer {
             dir: Direction::South,
@@ -235,6 +277,7 @@ fn na_injection_flows_to_link() {
     let mut act = Vec::new();
     r.on_local_gs_inject(
         &mut bufs,
+        &mut be,
         SimTime::ZERO,
         Steer::GsBuffer {
             dir: Direction::South,
@@ -243,7 +286,7 @@ fn na_injection_flows_to_link() {
         Flit::gs(0x77),
         &mut act,
     );
-    let ext = drain(&mut r, &mut bufs, act);
+    let ext = drain(&mut r, &mut bufs, &mut be, act);
     assert!(ext.iter().any(|a| matches!(a, A::NaUnlock { iface: 2 })));
     assert!(ext.iter().any(
         |a| matches!(a, A::SendFlit { dir: Direction::South, lf, .. } if lf.flit.data == 0x77)
@@ -253,10 +296,11 @@ fn na_injection_flows_to_link() {
 #[test]
 #[should_panic(expected = "unprogrammed GS buffer")]
 fn flit_on_unprogrammed_vc_panics() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     let mut act = Vec::new();
     r.on_link_flit(
         &mut bufs,
+        &mut be,
         SimTime::ZERO,
         Direction::West,
         LinkFlit {
@@ -268,7 +312,7 @@ fn flit_on_unprogrammed_vc_panics() {
         },
         &mut act,
     );
-    drain(&mut r, &mut bufs, act);
+    drain(&mut r, &mut bufs, &mut be, act);
 }
 
 /// Drains actions like [`drain`], additionally acting as an
@@ -278,6 +322,7 @@ fn flit_on_unprogrammed_vc_panics() {
 fn drain_with_credits(
     r: &mut Router,
     bufs: &mut GsArena,
+    be: &mut BeArena,
     pending: Vec<RouterAction>,
 ) -> Vec<RouterAction> {
     let mut external = Vec::new();
@@ -286,12 +331,12 @@ fn drain_with_credits(
     while !todo.is_empty() {
         guard += 1;
         assert!(guard < 10_000, "router action storm");
-        let ext = drain(r, bufs, todo);
+        let ext = drain(r, bufs, be, todo);
         todo = Vec::new();
         for a in ext {
             if let A::SendFlit { dir, .. } = &a {
                 let mut act = Vec::new();
-                r.on_credit(bufs, SimTime::ZERO, *dir, &mut act);
+                r.on_credit(bufs, be, SimTime::ZERO, *dir, &mut act);
                 todo.extend(act);
             }
             external.push(a);
@@ -302,7 +347,7 @@ fn drain_with_credits(
 
 #[test]
 fn be_packet_forwards_toward_header_direction() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     // Two-link route: East, East (delivery code appended by builder).
     let header = BeHeader::from_route(&[Direction::East, Direction::East]).unwrap();
     let flits = build_be_packet(header, &[0x11, 0x22], false);
@@ -312,6 +357,7 @@ fn be_packet_forwards_toward_header_direction() {
         let mut act = Vec::new();
         r.on_link_flit(
             &mut bufs,
+            &mut be,
             SimTime::ZERO,
             Direction::West,
             LinkFlit {
@@ -320,7 +366,7 @@ fn be_packet_forwards_toward_header_direction() {
             },
             &mut act,
         );
-        external.extend(drain_with_credits(&mut r, &mut bufs, act));
+        external.extend(drain_with_credits(&mut r, &mut bufs, &mut be, act));
     }
     let sent: Vec<_> = external
         .iter()
@@ -354,7 +400,7 @@ fn be_packet_forwards_toward_header_direction() {
 
 #[test]
 fn be_uturn_code_delivers_locally() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     let header = BeHeader::from_route(&[Direction::East]).unwrap();
     let flits = build_be_packet(header, &[0xAA], false);
     let mut external = Vec::new();
@@ -368,6 +414,7 @@ fn be_uturn_code_delivers_locally() {
         let mut act = Vec::new();
         r.on_link_flit(
             &mut bufs,
+            &mut be,
             SimTime::ZERO,
             Direction::West,
             LinkFlit {
@@ -376,7 +423,7 @@ fn be_uturn_code_delivers_locally() {
             },
             &mut act,
         );
-        external.extend(drain(&mut r, &mut bufs, act));
+        external.extend(drain(&mut r, &mut bufs, &mut be, act));
     }
     let delivered: Vec<u32> = external
         .iter()
@@ -392,7 +439,7 @@ fn be_uturn_code_delivers_locally() {
 
 #[test]
 fn config_packet_programs_table_and_acks() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     let writes = vec![ProgWrite::SetSteer {
         dir: Direction::North,
         vc: VcId(1),
@@ -421,6 +468,7 @@ fn config_packet_programs_table_and_acks() {
         let mut act = Vec::new();
         r.on_link_flit(
             &mut bufs,
+            &mut be,
             SimTime::ZERO,
             Direction::East,
             LinkFlit {
@@ -429,7 +477,7 @@ fn config_packet_programs_table_and_acks() {
             },
             &mut act,
         );
-        external.extend(drain(&mut r, &mut bufs, act));
+        external.extend(drain(&mut r, &mut bufs, &mut be, act));
     }
     // Table programmed.
     assert_eq!(
@@ -458,24 +506,24 @@ fn config_packet_programs_table_and_acks() {
 
 #[test]
 fn malformed_config_packet_counts_error_and_is_dropped() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     let mut act = Vec::new();
-    r.prog_inject(SimTime::ZERO, &[0xF000_0000], &mut act);
+    r.prog_inject(&mut be, SimTime::ZERO, &[0xF000_0000], &mut act);
     assert_eq!(r.stats().prog_errors, 1);
-    assert!(drain(&mut r, &mut bufs, act).is_empty());
+    assert!(drain(&mut r, &mut bufs, &mut be, act).is_empty());
 }
 
 #[test]
 fn be_credit_exhaustion_throttles_link() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     // Fill the East BE output: credits = 2 by default.
     let header = BeHeader::from_route(&[Direction::East; 3]).unwrap();
     let flits = build_be_packet(header, &[1, 2, 3, 4, 5], false);
     let mut external = Vec::new();
     for f in &flits[..4] {
         let mut act = Vec::new();
-        r.on_local_be_inject(&mut bufs, SimTime::ZERO, *f, &mut act);
-        external.extend(drain(&mut r, &mut bufs, act));
+        r.on_local_be_inject(&mut bufs, &mut be, SimTime::ZERO, *f, &mut act);
+        external.extend(drain(&mut r, &mut bufs, &mut be, act));
     }
     let sent = external
         .iter()
@@ -485,8 +533,8 @@ fn be_credit_exhaustion_throttles_link() {
 
     // A credit from downstream releases the next flit.
     let mut act = Vec::new();
-    r.on_credit(&mut bufs, SimTime::ZERO, Direction::East, &mut act);
-    let ext = drain(&mut r, &mut bufs, act);
+    r.on_credit(&mut bufs, &mut be, SimTime::ZERO, Direction::East, &mut act);
+    let ext = drain(&mut r, &mut bufs, &mut be, act);
     assert_eq!(
         ext.iter()
             .filter(|a| matches!(a, A::SendFlit { .. }))
@@ -497,7 +545,7 @@ fn be_credit_exhaustion_throttles_link() {
 
 #[test]
 fn be_outputs_arbitrate_fairly_and_keep_packet_coherency() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     // Two 2-flit packets from North and South, both heading East, with
     // interleaved arrival.
     let header = BeHeader::from_route(&[Direction::East, Direction::East]).unwrap();
@@ -509,6 +557,7 @@ fn be_outputs_arbitrate_fairly_and_keep_packet_coherency() {
             let mut act = Vec::new();
             r.on_link_flit(
                 &mut bufs,
+                &mut be,
                 SimTime::ZERO,
                 src,
                 LinkFlit {
@@ -517,7 +566,7 @@ fn be_outputs_arbitrate_fairly_and_keep_packet_coherency() {
                 },
                 &mut act,
             );
-            external.extend(drain_with_credits(&mut r, &mut bufs, act));
+            external.extend(drain_with_credits(&mut r, &mut bufs, &mut be, act));
         }
     }
     let sent: Vec<(u32, bool)> = external
@@ -538,13 +587,14 @@ fn be_outputs_arbitrate_fairly_and_keep_packet_coherency() {
 
 #[test]
 fn tracing_records_the_flit_lifecycle() {
-    let (mut r, mut bufs) = router();
+    let (mut r, mut bufs, mut be) = router();
     r.set_tracing(true);
     let next = Steer::LocalGs { iface: 0 };
     program_hop(&mut r, Direction::West, Direction::East, VcId(1), next);
     let mut act = Vec::new();
     r.on_link_flit(
         &mut bufs,
+        &mut be,
         SimTime::ZERO,
         Direction::West,
         LinkFlit {
@@ -556,7 +606,7 @@ fn tracing_records_the_flit_lifecycle() {
         },
         &mut act,
     );
-    drain(&mut r, &mut bufs, act);
+    drain(&mut r, &mut bufs, &mut be, act);
     let tags: Vec<&str> = r.tracer().events().iter().map(|e| e.tag).collect();
     assert!(tags.contains(&"vc.unlock"), "unlock traced: {tags:?}");
     assert!(tags.contains(&"gs.grant"), "grant traced: {tags:?}");
@@ -567,8 +617,8 @@ fn tracing_records_the_flit_lifecycle() {
 
 #[test]
 fn quiescence_reflects_stored_flits() {
-    let (mut r, mut bufs) = router();
-    assert!(r.is_quiescent(&bufs));
+    let (mut r, mut bufs, mut be) = router();
+    assert!(r.is_quiescent(&bufs, &be));
     program_hop(
         &mut r,
         Direction::West,
@@ -579,6 +629,7 @@ fn quiescence_reflects_stored_flits() {
     let mut act = Vec::new();
     r.on_link_flit(
         &mut bufs,
+        &mut be,
         SimTime::ZERO,
         Direction::West,
         LinkFlit {
@@ -591,7 +642,7 @@ fn quiescence_reflects_stored_flits() {
         &mut act,
     );
     // Flit now in flight inside the router.
-    assert!(!r.is_quiescent(&bufs));
+    assert!(!r.is_quiescent(&bufs, &be));
 }
 
 #[test]
@@ -605,13 +656,15 @@ fn standalone_router_and_shared_arena_agree() {
         cfg.buffer_depth(),
         cfg.na_rx_depth,
     );
-    let mut r0 = Router::new_in(RouterId::new(0, 0), cfg.clone(), &mut arena);
-    let r1 = Router::new_in(RouterId::new(1, 0), cfg, &mut arena);
+    let mut be_arena = BeArena::new(cfg.be_input_depth, cfg.be_output_depth, cfg.be_link_credits);
+    let mut r0 = Router::new_in(RouterId::new(0, 0), cfg.clone(), &mut arena, &mut be_arena);
+    let r1 = Router::new_in(RouterId::new(1, 0), cfg, &mut arena, &mut be_arena);
     let next = Steer::LocalGs { iface: 0 };
     program_hop(&mut r0, Direction::West, Direction::East, VcId(0), next);
     let mut act = Vec::new();
     r0.on_link_flit(
         &mut arena,
+        &mut be_arena,
         SimTime::ZERO,
         Direction::West,
         LinkFlit {
@@ -624,6 +677,9 @@ fn standalone_router_and_shared_arena_agree() {
         &mut act,
     );
     // Flit sits in r0's unsharebox; r1's slots are untouched.
-    assert!(!r0.is_quiescent(&arena), "flit stored in r0");
-    assert!(r1.is_quiescent(&arena), "neighbor slots untouched");
+    assert!(!r0.is_quiescent(&arena, &be_arena), "flit stored in r0");
+    assert!(
+        r1.is_quiescent(&arena, &be_arena),
+        "neighbor slots untouched"
+    );
 }

@@ -16,17 +16,21 @@ use crate::steer::Steer;
 use std::fmt;
 
 /// Per-router connection state: steering entries and unlock-wire mappings.
+///
+/// Both maps live in flat per-router allocations (two, instead of one
+/// `Vec` per port) so a steer lookup on the flit-forwarding hot path
+/// touches a single predictable cache line per router.
 #[derive(Debug, Clone)]
 pub struct ConnectionTable {
     gs_vcs: usize,
     local_ifaces: usize,
-    /// `steer[dir][vc]`: steering bits appended to flits leaving on
-    /// (network output `dir`, VC `vc`).
-    steer: [Vec<Option<Steer>>; 4],
-    /// Unlock mapping for network-output VC buffers: `unlock_net[dir][vc]`.
-    unlock_net: [Vec<Option<UpstreamRef>>; 4],
-    /// Unlock mapping for local GS interface buffers.
-    unlock_local: Vec<Option<UpstreamRef>>,
+    /// `steer[dir * gs_vcs + vc]`: steering bits appended to flits
+    /// leaving on (network output `dir`, VC `vc`).
+    steer: Vec<Option<Steer>>,
+    /// Unlock mappings: network-output VC buffers at
+    /// `[dir * gs_vcs + vc]`, then `local_ifaces` local GS interface
+    /// entries at the tail.
+    unlock: Vec<Option<UpstreamRef>>,
 }
 
 /// Errors from table programming operations.
@@ -60,10 +64,19 @@ impl ConnectionTable {
         ConnectionTable {
             gs_vcs,
             local_ifaces,
-            steer: std::array::from_fn(|_| vec![None; gs_vcs]),
-            unlock_net: std::array::from_fn(|_| vec![None; gs_vcs]),
-            unlock_local: vec![None; local_ifaces],
+            steer: vec![None; 4 * gs_vcs],
+            unlock: vec![None; 4 * gs_vcs + local_ifaces],
         }
+    }
+
+    #[inline]
+    fn net_idx(&self, dir: Direction, vc: VcId) -> usize {
+        dir.index() * self.gs_vcs + vc.index()
+    }
+
+    #[inline]
+    fn local_idx(&self, iface: u8) -> usize {
+        4 * self.gs_vcs + iface as usize
     }
 
     fn check_vc(&self, vc: VcId) -> Result<(), TableError> {
@@ -89,7 +102,8 @@ impl ConnectionTable {
     /// Fails if `vc` is out of range or the entry is occupied.
     pub fn set_steer(&mut self, dir: Direction, vc: VcId, steer: Steer) -> Result<(), TableError> {
         self.check_vc(vc)?;
-        let slot = &mut self.steer[dir.index()][vc.index()];
+        let idx = self.net_idx(dir, vc);
+        let slot = &mut self.steer[idx];
         if slot.is_some() {
             return Err(TableError::Occupied(format!("steer {dir}/{vc}")));
         }
@@ -104,13 +118,18 @@ impl ConnectionTable {
     /// Fails if `vc` is out of range.
     pub fn clear_steer(&mut self, dir: Direction, vc: VcId) -> Result<(), TableError> {
         self.check_vc(vc)?;
-        self.steer[dir.index()][vc.index()] = None;
+        let idx = self.net_idx(dir, vc);
+        self.steer[idx] = None;
         Ok(())
     }
 
     /// The steering bits for (`dir`, `vc`), if programmed.
+    #[inline]
     pub fn steer(&self, dir: Direction, vc: VcId) -> Option<Steer> {
-        self.steer[dir.index()].get(vc.index()).copied().flatten()
+        if vc.index() >= self.gs_vcs {
+            return None;
+        }
+        self.steer[self.net_idx(dir, vc)]
     }
 
     /// Programs the unlock-wire mapping for a GS buffer.
@@ -123,16 +142,17 @@ impl ConnectionTable {
         buffer: GsBufferRef,
         upstream: UpstreamRef,
     ) -> Result<(), TableError> {
-        let slot = match buffer {
+        let idx = match buffer {
             GsBufferRef::Net { dir, vc } => {
                 self.check_vc(vc)?;
-                &mut self.unlock_net[dir.index()][vc.index()]
+                self.net_idx(dir, vc)
             }
             GsBufferRef::Local { iface } => {
                 self.check_iface(iface)?;
-                &mut self.unlock_local[iface as usize]
+                self.local_idx(iface)
             }
         };
+        let slot = &mut self.unlock[idx];
         if slot.is_some() {
             return Err(TableError::Occupied(format!("unlock {buffer}")));
         }
@@ -146,48 +166,48 @@ impl ConnectionTable {
     ///
     /// Fails if the buffer reference is out of range.
     pub fn clear_unlock(&mut self, buffer: GsBufferRef) -> Result<(), TableError> {
-        match buffer {
+        let idx = match buffer {
             GsBufferRef::Net { dir, vc } => {
                 self.check_vc(vc)?;
-                self.unlock_net[dir.index()][vc.index()] = None;
+                self.net_idx(dir, vc)
             }
             GsBufferRef::Local { iface } => {
                 self.check_iface(iface)?;
-                self.unlock_local[iface as usize] = None;
+                self.local_idx(iface)
             }
-        }
+        };
+        self.unlock[idx] = None;
         Ok(())
     }
 
     /// The unlock mapping for a GS buffer, if programmed.
+    #[inline]
     pub fn unlock(&self, buffer: GsBufferRef) -> Option<UpstreamRef> {
-        match buffer {
-            GsBufferRef::Net { dir, vc } => self.unlock_net[dir.index()]
-                .get(vc.index())
-                .copied()
-                .flatten(),
-            GsBufferRef::Local { iface } => {
-                self.unlock_local.get(iface as usize).copied().flatten()
+        let idx = match buffer {
+            GsBufferRef::Net { dir, vc } => {
+                if vc.index() >= self.gs_vcs {
+                    return None;
+                }
+                self.net_idx(dir, vc)
             }
-        }
+            GsBufferRef::Local { iface } => {
+                if iface as usize >= self.local_ifaces {
+                    return None;
+                }
+                self.local_idx(iface)
+            }
+        };
+        self.unlock[idx]
     }
 
     /// Number of programmed steering entries (for stats/tests).
     pub fn steer_entries(&self) -> usize {
-        self.steer
-            .iter()
-            .map(|v| v.iter().filter(|e| e.is_some()).count())
-            .sum()
+        self.steer.iter().filter(|e| e.is_some()).count()
     }
 
     /// Number of programmed unlock entries (for stats/tests).
     pub fn unlock_entries(&self) -> usize {
-        let net: usize = self
-            .unlock_net
-            .iter()
-            .map(|v| v.iter().filter(|e| e.is_some()).count())
-            .sum();
-        net + self.unlock_local.iter().filter(|e| e.is_some()).count()
+        self.unlock.iter().filter(|e| e.is_some()).count()
     }
 }
 

@@ -39,6 +39,7 @@ pub mod conn;
 pub mod experiment;
 pub mod fault;
 pub mod na;
+pub mod na_arena;
 pub mod network;
 pub mod ocp;
 pub mod relay;
@@ -54,6 +55,7 @@ pub use conn::{walk_dirs, ConnError, ConnRecord, ConnState, ConnectionManager};
 pub use experiment::{BeSweep, LoadPoint};
 pub use fault::{FaultCounters, FaultEvent, FaultKind, FaultSchedule};
 pub use na::{Na, NaConfig};
+pub use na_arena::NaArena;
 pub use network::{AppPacket, BrokenConn, NaApp, NetEvent, Network, Node};
 pub use ocp::{OcpMessage, OcpSlave};
 pub use relay::{RelayTable, RelayTicket};

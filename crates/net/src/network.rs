@@ -9,7 +9,8 @@
 
 use crate::conn::{ConnectionManager, OpenPlan};
 use crate::fault::{FaultCounters, FaultKind, FaultSchedule, FaultState};
-use crate::na::{Na, NaConfig};
+use crate::na::NaConfig;
+use crate::na_arena::NaArena;
 use crate::relay::{self, RelayTable, RelayTicket};
 use crate::stats::NetStats;
 use crate::telemetry::{
@@ -18,8 +19,8 @@ use crate::telemetry::{
 use crate::topology::Grid;
 use crate::traffic::{Source, SourceKind};
 use mango_core::{
-    prog, ConnectionId, Direction, Flit, GsArena, GsBufferRef, InternalEvent, LinkFlit, Router,
-    RouterAction, RouterConfig, RouterId, Steer, UpstreamRef, VcId,
+    prog, BeArena, ConnectionId, Direction, Flit, GsArena, GsBufferRef, InternalEvent, LinkFlit,
+    Router, RouterAction, RouterConfig, RouterId, Steer, UpstreamRef, VcId,
 };
 use mango_sim::{Ctx, Model, SimDuration, SimTime};
 use mango_telemetry::{EvName, Sample, TelemetryReport};
@@ -96,16 +97,22 @@ pub enum NetEvent {
     },
     /// The telemetry epoch sampler fires: snapshot one time-series row
     /// and re-arm (self-rescheduling while other events remain).
-    TelemetrySample,
+    TelemetrySample {
+        /// Which telemetry activation this sampler belongs to. A stale
+        /// sampler event left in the queue by [`Network::take_telemetry`]
+        /// carries the old generation and is ignored (and not re-armed)
+        /// instead of starting a second sampler chain that would
+        /// double-count epochs and profiled dispatches.
+        generation: u32,
+    },
 }
 
-/// A node: one router plus its network adapter.
+/// A node: one router. The network adapter's hot state lives in the
+/// network-owned [`NaArena`]; address it through [`Network::na`].
 #[derive(Debug)]
 pub struct Node {
     /// The router.
     pub router: Router,
-    /// The network adapter.
-    pub na: Na,
 }
 
 /// An application packet produced by an [`NaApp`].
@@ -138,6 +145,8 @@ pub struct Network {
     /// Flat storage for every router's GS buffers (one slab for the
     /// mesh; routers address it via their [`mango_core::RouterSlots`]).
     arena: GsArena,
+    be_arena: BeArena,
+    na: NaArena,
     /// Live relay tickets for BE packets beyond the 15-hop header.
     relays: RelayTable,
     sources: Vec<Source>,
@@ -169,6 +178,9 @@ pub struct Network {
     /// Telemetry sink; `Off` (the default) keeps every hook to a single
     /// branch so untelemetered runs stay byte- and perf-identical.
     telemetry: TelemetrySink,
+    /// Bumped on every [`Network::enable_telemetry`]; sampler events
+    /// tagged with older generations are stale chains and are dropped.
+    telemetry_generation: u32,
     /// Debug-build flit-conservation ledger (flow-carrying flits only).
     #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
     cons: Conservation,
@@ -225,11 +237,20 @@ impl Network {
             router_cfg.na_rx_depth,
             grid.len(),
         );
+        let mut be_arena = BeArena::with_capacity(
+            router_cfg.be_input_depth,
+            router_cfg.be_output_depth,
+            router_cfg.be_link_credits,
+            grid.len(),
+        );
+        let na = NaArena::new(router_cfg.local_gs_ifaces(), na_cfg.clone(), grid.len());
+        // One shared config allocation for the whole mesh: every router's
+        // per-event timing reads hit the same cache lines.
+        let shared_cfg = std::sync::Arc::new(router_cfg.clone());
         let nodes: Vec<Node> = grid
             .ids()
             .map(|id| Node {
-                router: Router::new_in(id, router_cfg.clone(), &mut arena),
-                na: Na::new(router_cfg.local_gs_ifaces(), na_cfg.clone()),
+                router: Router::new_in(id, shared_cfg.clone(), &mut arena, &mut be_arena),
             })
             .collect();
         let apps = (0..nodes.len()).map(|_| None).collect();
@@ -238,6 +259,8 @@ impl Network {
             grid,
             nodes,
             arena,
+            be_arena,
+            na,
             relays: RelayTable::new(),
             sources: Vec::new(),
             stats: NetStats::new(),
@@ -253,6 +276,7 @@ impl Network {
             watchdogs: Vec::new(),
             broken: Vec::new(),
             telemetry: TelemetrySink::Off,
+            telemetry_generation: 0,
             #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
             cons: Conservation::default(),
         }
@@ -296,6 +320,21 @@ impl Network {
     /// The shared GS buffer arena.
     pub fn arena(&self) -> &GsArena {
         &self.arena
+    }
+
+    /// The shared BE latch/steering arena.
+    pub fn be_arena(&self) -> &BeArena {
+        &self.be_arena
+    }
+
+    /// The shared NA state arena (indexed by row-major node).
+    pub fn na(&self) -> &NaArena {
+        &self.na
+    }
+
+    /// Mutable NA arena access (harness: binding, raw injection).
+    pub fn na_mut(&mut self) -> &mut NaArena {
+        &mut self.na
     }
 
     /// Plans a connection open along the default XY route (see
@@ -437,7 +476,8 @@ impl Network {
     /// Panics if telemetry is already active.
     pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
         assert!(!self.telemetry.is_active(), "telemetry already enabled");
-        self.telemetry = TelemetrySink::Active(TelemetryState::new(cfg));
+        self.telemetry_generation = self.telemetry_generation.wrapping_add(1);
+        self.telemetry = TelemetrySink::Active(TelemetryState::new(cfg, self.telemetry_generation));
     }
 
     /// The telemetry sink.
@@ -453,11 +493,7 @@ impl Network {
             TelemetrySink::Off => return None,
             TelemetrySink::Active(st) => st,
         };
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        for (_, f) in self.stats.flows() {
-            injected += f.injected;
-            delivered += f.delivered;
-        }
+        let (injected, delivered) = self.stats.totals();
         let m = &mut st.metrics;
         for (name, value) in [
             ("flits.injected", injected),
@@ -547,24 +583,25 @@ impl Network {
     /// alive (`ctx.pending() == 0` right after the pop).
     #[cold]
     #[inline(never)]
-    fn on_telemetry_sample(&mut self, ctx: &mut Ctx<NetEvent>) {
-        let TelemetrySink::Active(_) = self.telemetry else {
-            return;
-        };
-        let now = ctx.now();
-        let (mut injected, mut delivered) = (0u64, 0u64);
-        for (_, f) in self.stats.flows() {
-            injected += f.injected;
-            delivered += f.delivered;
+    fn on_telemetry_sample(&mut self, generation: u32, ctx: &mut Ctx<NetEvent>) {
+        // A sampler from a previous activation (left pending across
+        // `take_telemetry` + `enable_telemetry`) must neither snapshot
+        // nor re-arm — otherwise two chains run at once and every epoch
+        // and profiled sampler dispatch is counted twice.
+        match &self.telemetry {
+            TelemetrySink::Active(st) if st.generation == generation => {}
+            _ => return,
         }
+        let now = ctx.now();
+        let (injected, delivered) = self.stats.totals();
         let gs_buffered = self.arena.buffered_flits() as u64;
         let mut be_buffered = 0u64;
         let mut na_gs = 0u64;
         let mut na_be = 0u64;
-        for node in &self.nodes {
-            be_buffered += node.router.be_flits_buffered() as u64;
-            na_gs += node.na.gs_queued_total() as u64;
-            na_be += node.na.be_backlog() as u64;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            be_buffered += node.router.be_flits_buffered(&self.be_arena) as u64;
+            na_gs += self.na.gs_queued_total(idx) as u64;
+            na_be += self.na.be_backlog(idx) as u64;
         }
         // Link utilization in exact micro-units (integer math: grants ×
         // link-cycle ÷ elapsed), aggregated over every directed link.
@@ -609,23 +646,26 @@ impl Network {
         ]);
         st.sampler_armed = ctx.pending() > 0;
         if st.sampler_armed {
-            ctx.schedule(st.cfg.sample_every, NetEvent::TelemetrySample);
+            ctx.schedule(
+                st.cfg.sample_every,
+                NetEvent::TelemetrySample { generation },
+            );
         }
     }
 
-    /// Marks the epoch sampler armed and returns the cadence to schedule
-    /// the next [`NetEvent::TelemetrySample`] at — or `None` when
-    /// telemetry is off or a sampler event is already pending. The run
-    /// harness calls this at every run-segment start so a sampler that
-    /// let an idle queue drain (e.g. during a warmup with no setup-phase
-    /// traffic) revives once sources attach.
-    pub fn telemetry_sampler_rearm(&mut self) -> Option<SimDuration> {
+    /// Marks the epoch sampler armed and returns the cadence and
+    /// generation to schedule the next [`NetEvent::TelemetrySample`]
+    /// with — or `None` when telemetry is off or a sampler event is
+    /// already pending. The run harness calls this at every run-segment
+    /// start so a sampler that let an idle queue drain (e.g. during a
+    /// warmup with no setup-phase traffic) revives once sources attach.
+    pub fn telemetry_sampler_rearm(&mut self) -> Option<(SimDuration, u32)> {
         let st = self.telemetry.state_mut()?;
         if st.sampler_armed {
             return None;
         }
         st.sampler_armed = true;
-        Some(st.cfg.sample_every)
+        Some((st.cfg.sample_every, st.generation))
     }
 
     /// Records a per-hop grant instant for an instrumented flit.
@@ -743,7 +783,10 @@ impl Network {
                 + self
                     .nodes
                     .iter()
-                    .map(|n| n.router.flow_flits_buffered() + n.na.flow_flits())
+                    .enumerate()
+                    .map(|(i, n)| {
+                        n.router.flow_flits_buffered(&self.be_arena) + self.na.flow_flits(i)
+                    })
                     .sum::<u64>() as i64;
             assert_eq!(
                 self.cons.outstanding,
@@ -774,7 +817,7 @@ impl Network {
     /// flow's delivered count keeps advancing and declares the connection
     /// broken the first time a whole timeout passes without progress.
     pub fn add_watchdog(&mut self, conn: ConnectionId, flow: u32, timeout: SimDuration) -> usize {
-        let last_delivered = self.stats.flow(flow).delivered;
+        let last_delivered = self.stats.delivered(flow);
         self.watchdogs.push(Watchdog {
             conn,
             flow,
@@ -805,7 +848,7 @@ impl Network {
         if !w.armed {
             return;
         }
-        let delivered = self.stats.flow(w.flow).delivered;
+        let delivered = self.stats.delivered(w.flow);
         if delivered > w.last_delivered {
             self.watchdogs[idx].last_delivered = delivered;
             ctx.schedule(w.timeout, NetEvent::Watchdog { idx });
@@ -1077,7 +1120,7 @@ impl Network {
             self.cons_enter(flits.len() as u64);
         }
         let idx = self.grid.index(src);
-        let inject = self.nodes[idx].na.enqueue_be(flits.iter().copied());
+        let inject = self.na.enqueue_be(idx, flits.iter().copied());
         self.flit_scratch = flits;
         inject
     }
@@ -1086,12 +1129,17 @@ impl Network {
         &mut self,
         id: RouterId,
         ctx: &mut Ctx<NetEvent>,
-        f: impl FnOnce(&mut Router, &mut GsArena, &mut Vec<RouterAction>),
+        f: impl FnOnce(&mut Router, &mut GsArena, &mut BeArena, &mut Vec<RouterAction>),
     ) {
         let mut buf = std::mem::take(&mut self.scratch);
         buf.clear();
         let idx = self.grid.index(id);
-        f(&mut self.nodes[idx].router, &mut self.arena, &mut buf);
+        f(
+            &mut self.nodes[idx].router,
+            &mut self.arena,
+            &mut self.be_arena,
+            &mut buf,
+        );
         self.process_actions(id, &buf, ctx);
         self.scratch = buf;
     }
@@ -1192,7 +1240,7 @@ impl Network {
                 RouterAction::DeliverBe { flit } => {
                     let idx = self.grid.index(id);
                     let mut packet = std::mem::take(&mut self.packet_scratch);
-                    if self.nodes[idx].na.be_deliver(*flit, &mut packet) {
+                    if self.na.be_deliver(idx, *flit, &mut packet) {
                         #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
                         self.cons_exit(
                             packet.iter().filter(|f| f.flow() != u32::MAX).count() as u64
@@ -1203,7 +1251,7 @@ impl Network {
                 }
                 RouterAction::NaUnlock { iface } => {
                     let idx = self.grid.index(id);
-                    if self.nodes[idx].na.gs_unlocked(*iface) {
+                    if self.na.gs_unlocked(idx, *iface) {
                         ctx.schedule(
                             self.inject_delay(),
                             NetEvent::NaGsInject { id, iface: *iface },
@@ -1212,7 +1260,7 @@ impl Network {
                 }
                 RouterAction::NaCredit => {
                     let idx = self.grid.index(id);
-                    if self.nodes[idx].na.be_credit() {
+                    if self.na.be_credit(idx) {
                         ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id });
                     }
                 }
@@ -1298,7 +1346,7 @@ impl Network {
         let mut flits = std::mem::take(&mut self.flit_scratch);
         mango_core::build_be_packet_into(header, &[prog::ack_word(token)], false, &mut flits);
         let idx = self.grid.index(from);
-        if self.nodes[idx].na.enqueue_be(flits.iter().copied()) {
+        if self.na.enqueue_be(idx, flits.iter().copied()) {
             ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id: from });
         }
         self.flit_scratch = flits;
@@ -1355,7 +1403,7 @@ impl Network {
             self.t9n_relay(ctx.now(), from, &hdr);
         }
         let idx = self.grid.index(from);
-        if self.nodes[idx].na.enqueue_be(flits.iter().copied()) {
+        if self.na.enqueue_be(idx, flits.iter().copied()) {
             ctx.schedule(self.inject_delay(), NetEvent::NaBeInject { id: from });
         }
         self.flit_scratch = flits;
@@ -1400,7 +1448,7 @@ impl Network {
                 #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
                 self.cons_enter(1);
                 let node = self.grid.index(router);
-                if self.nodes[node].na.enqueue_gs(iface, flit) {
+                if self.na.enqueue_gs(node, iface, flit) {
                     ctx.schedule(
                         self.inject_delay(),
                         NetEvent::NaGsInject { id: router, iface },
@@ -1472,49 +1520,51 @@ impl Model for Network {
                         self.cons_wire(-1);
                     }
                 }
-                self.call_router(id, ctx, |r, bufs, act| r.on_internal(bufs, now, ev, act))
+                self.call_router(id, ctx, |r, bufs, be, act| {
+                    r.on_internal(bufs, be, now, ev, act)
+                })
             }
             NetEvent::LinkFlit { to, from, lf } => {
                 #[cfg(all(debug_assertions, not(feature = "lean-flit")))]
                 if lf.flit.flow() != u32::MAX {
                     self.cons_wire(-1);
                 }
-                self.call_router(to, ctx, |r, bufs, act| {
-                    r.on_link_flit(bufs, now, from, lf, act)
+                self.call_router(to, ctx, |r, bufs, be, act| {
+                    r.on_link_flit(bufs, be, now, from, lf, act)
                 })
             }
-            NetEvent::Unlock { to, dir, wire } => self.call_router(to, ctx, |r, bufs, act| {
-                r.on_unlock(bufs, now, dir, wire, act)
+            NetEvent::Unlock { to, dir, wire } => self.call_router(to, ctx, |r, bufs, be, act| {
+                r.on_unlock(bufs, be, now, dir, wire, act)
             }),
-            NetEvent::Credit { to, dir } => {
-                self.call_router(to, ctx, |r, bufs, act| r.on_credit(bufs, now, dir, act))
-            }
+            NetEvent::Credit { to, dir } => self.call_router(to, ctx, |r, bufs, be, act| {
+                r.on_credit(bufs, be, now, dir, act)
+            }),
             NetEvent::NaGsInject { id, iface } => {
                 let idx = self.grid.index(id);
-                let (steer, flit) = self.nodes[idx].na.take_gs(iface);
-                self.call_router(id, ctx, |r, bufs, act| {
-                    r.on_local_gs_inject(bufs, now, steer, flit, act)
+                let (steer, flit) = self.na.take_gs(idx, iface);
+                self.call_router(id, ctx, |r, bufs, be, act| {
+                    r.on_local_gs_inject(bufs, be, now, steer, flit, act)
                 });
             }
             NetEvent::NaBeInject { id } => {
                 let idx = self.grid.index(id);
-                let (flit, more) = self.nodes[idx].na.take_be();
+                let (flit, more) = self.na.take_be(idx);
                 if more {
                     ctx.schedule(self.na_cfg.be_inject_gap, NetEvent::NaBeInject { id });
                 }
-                self.call_router(id, ctx, |r, bufs, act| {
-                    r.on_local_be_inject(bufs, now, flit, act)
+                self.call_router(id, ctx, |r, bufs, be, act| {
+                    r.on_local_be_inject(bufs, be, now, flit, act)
                 });
             }
             NetEvent::NaGsConsumed { id, iface } => {
-                self.call_router(id, ctx, |r, bufs, act| {
-                    r.on_local_gs_consume(bufs, now, iface, act)
+                self.call_router(id, ctx, |r, bufs, be, act| {
+                    r.on_local_gs_consume(bufs, be, now, iface, act)
                 });
             }
             NetEvent::SourceTick { idx } => self.on_source_tick(idx, ctx),
             NetEvent::Fault { idx } => self.apply_fault(idx),
             NetEvent::Watchdog { idx } => self.on_watchdog(idx, ctx),
-            NetEvent::TelemetrySample => self.on_telemetry_sample(ctx),
+            NetEvent::TelemetrySample { generation } => self.on_telemetry_sample(generation, ctx),
         }
     }
 
@@ -1546,14 +1596,14 @@ impl Model for Network {
             NetEvent::SourceTick { .. } => 7,
             NetEvent::Fault { .. } => 8,
             NetEvent::Watchdog { .. } => 9,
-            NetEvent::TelemetrySample => 10,
+            NetEvent::TelemetrySample { .. } => 10,
         }
     }
 
     fn quiescent(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|n| n.router.is_quiescent(&self.arena) && n.na.is_quiescent())
+        self.nodes.iter().enumerate().all(|(i, n)| {
+            n.router.is_quiescent(&self.arena, &self.be_arena) && self.na.is_quiescent(i)
+        })
     }
 }
 

@@ -32,7 +32,6 @@
 use crate::route::{route_avoiding, xy_len, xy_segment_header, RouteError};
 use crate::topology::Grid;
 use mango_core::{build_be_packet_into, BeHeader, Direction, Flit, RouterId, MAX_BE_HOPS};
-use std::collections::HashMap;
 
 /// Magic prefix of a relay continuation word (`"RL"` in the top bytes);
 /// the low 16 bits carry the ticket id. Continuation words are recognized
@@ -70,10 +69,17 @@ pub struct RelayTicket {
 /// fresh ticket for the next segment). The registry holds only routing
 /// facts — the payload itself always travels in the packet, so relaying
 /// costs the honest number of flit-hops.
+/// Ticket state is a flat slab plus a free list rather than a hash map:
+/// the live set is small and ids dense (they start at 0 and recycle), so
+/// `take` on the relay hot path is one bounds check and one indexed
+/// load, and `issue` pops the free list in O(1) with no hashing.
 #[derive(Debug, Default)]
 pub struct RelayTable {
-    next: u16,
-    live: HashMap<u16, RelayTicket>,
+    /// Ticket slots, indexed by id; `None` = released or never issued.
+    live: Vec<Option<RelayTicket>>,
+    /// Released ids available for reuse (LIFO keeps the id range dense).
+    free: Vec<u16>,
+    in_flight: usize,
 }
 
 impl RelayTable {
@@ -84,32 +90,43 @@ impl RelayTable {
 
     /// Issues a ticket for a packet ultimately bound for `dst`.
     ///
-    /// Ids are 16-bit and reused after release; long runs wrap the
-    /// counter, so allocation skips over ids still live in flight.
+    /// Ids are 16-bit and reused after release (LIFO), so the slab stays
+    /// as small as the peak number of tickets simultaneously in flight.
     ///
     /// # Panics
     ///
     /// Panics only if all 65 536 ids are simultaneously in flight.
     pub fn issue(&mut self, dst: RouterId, config: bool) -> u16 {
-        for _ in 0..=u16::MAX {
-            let id = self.next;
-            self.next = self.next.wrapping_add(1);
-            if let std::collections::hash_map::Entry::Vacant(e) = self.live.entry(id) {
-                e.insert(RelayTicket { dst, config });
-                return id;
+        let ticket = RelayTicket { dst, config };
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                assert!(
+                    self.live.len() <= u16::MAX as usize,
+                    "relay ticket id space exhausted in flight"
+                );
+                self.live.push(None);
+                (self.live.len() - 1) as u16
             }
-        }
-        panic!("relay ticket id space exhausted in flight");
+        };
+        debug_assert!(self.live[id as usize].is_none());
+        self.live[id as usize] = Some(ticket);
+        self.in_flight += 1;
+        id
     }
 
     /// Consumes a live ticket.
     pub fn take(&mut self, ticket: u16) -> Option<RelayTicket> {
-        self.live.remove(&ticket)
+        let slot = self.live.get_mut(ticket as usize)?;
+        let t = slot.take()?;
+        self.free.push(ticket);
+        self.in_flight -= 1;
+        Some(t)
     }
 
     /// Tickets currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.live.len()
+        self.in_flight
     }
 }
 

@@ -257,6 +257,10 @@ pub struct ScenarioSpec {
     /// Legacy uniform-random background.
     #[deprecated(note = "use `traffic` with `SpatialPattern::UniformRandom`")]
     pub background: Option<BeBackgroundSpec>,
+    /// Turn on region-blocked event scheduling for the measurement run
+    /// (scan-order grouping + per-region dispatch census; results are
+    /// byte-identical either way — see [`NocSim::enable_region_blocking`]).
+    pub region_block: bool,
 }
 
 impl ScenarioSpec {
@@ -276,6 +280,7 @@ impl ScenarioSpec {
             traffic: Vec::new(),
             be: Vec::new(),
             background: None,
+            region_block: false,
         }
     }
 
@@ -303,6 +308,12 @@ impl ScenarioSpec {
     // --------------------------------------------------------------
     // Fluent builder surface
     // --------------------------------------------------------------
+
+    /// Turns on region-blocked event scheduling for the measurement run.
+    pub fn region_block(mut self) -> Self {
+        self.region_block = true;
+        self
+    }
 
     /// Sets the warmup span.
     pub fn warmup(mut self, span: SimDuration) -> Self {
@@ -468,6 +479,11 @@ impl PreparedScenario {
         }
         self.sim.begin_measurement();
         self.attach_phase(Phase::Measure);
+        // After every source is registered, so the source->region
+        // snapshot is complete.
+        if self.spec.region_block {
+            self.sim.enable_region_blocking();
+        }
     }
 
     /// Runs the measurement phase to the spec's [`MeasureBound`].

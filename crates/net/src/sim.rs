@@ -148,8 +148,9 @@ impl NocSim {
     /// idle simulation alive). Called at every run-segment start so epoch
     /// coverage never depends on which phase carries traffic.
     fn rearm_telemetry_sampler(&mut self) {
-        if let Some(cadence) = self.kernel.model_mut().telemetry_sampler_rearm() {
-            self.kernel.schedule(cadence, NetEvent::TelemetrySample);
+        if let Some((cadence, generation)) = self.kernel.model_mut().telemetry_sampler_rearm() {
+            self.kernel
+                .schedule(cadence, NetEvent::TelemetrySample { generation });
         }
     }
 
@@ -192,6 +193,58 @@ impl NocSim {
     /// The kernel self-profile, if profiling was enabled.
     pub fn kernel_profile(&self) -> Option<&KernelProfile> {
         self.kernel.profile()
+    }
+
+    /// Turns on region-blocked event scheduling: within each staged time
+    /// window the queue scans events grouped by mesh region (die on
+    /// chiplet topologies, 8×8 tile otherwise — see [`Grid::region_of`])
+    /// and counts dispatches per region. Delivery order is untouched, so
+    /// every output stays byte-identical with the feature on or off; the
+    /// scan grouping is the shard layout a parallel dispatcher would use.
+    ///
+    /// Call after the scenario's traffic sources are registered: the
+    /// source→region map is snapshotted here, and ticks of sources added
+    /// later are attributed to region 0.
+    pub fn enable_region_blocking(&mut self) {
+        let grid = self.network().grid().clone();
+        let source_region: Vec<u32> = self
+            .network()
+            .sources()
+            .iter()
+            .map(|s| {
+                let router = match s.kind {
+                    SourceKind::Gs { router, .. } => router,
+                    SourceKind::Be { router, .. } => router,
+                };
+                grid.region_of(router)
+            })
+            .collect();
+        self.kernel.set_region_fn(move |ev: &NetEvent| match *ev {
+            NetEvent::Router { id, .. }
+            | NetEvent::NaGsInject { id, .. }
+            | NetEvent::NaBeInject { id }
+            | NetEvent::NaGsConsumed { id, .. } => grid.region_of(id),
+            NetEvent::LinkFlit { to, .. }
+            | NetEvent::Unlock { to, .. }
+            | NetEvent::Credit { to, .. } => grid.region_of(to),
+            NetEvent::SourceTick { idx } => source_region.get(idx).copied().unwrap_or(0),
+            // Global bookkeeping events pin to region 0 (they would run on
+            // the coordinating shard).
+            NetEvent::Fault { .. }
+            | NetEvent::Watchdog { .. }
+            | NetEvent::TelemetrySample { .. } => 0,
+        });
+    }
+
+    /// True if region-blocked scheduling is on.
+    pub fn region_blocking(&self) -> bool {
+        self.kernel.region_blocking()
+    }
+
+    /// Events dispatched per region since [`NocSim::enable_region_blocking`],
+    /// indexed by region (see [`Grid::region_of`]).
+    pub fn region_dispatch_counts(&self) -> &[u64] {
+        self.kernel.region_dispatch_counts()
     }
 
     // ------------------------------------------------------------------
@@ -287,14 +340,13 @@ impl NocSim {
     /// bind the NA interface, launch the config packets.
     fn issue_open_plan(&mut self, src: RouterId, plan: crate::conn::OpenPlan) -> ConnectionId {
         let net = self.kernel.model_mut();
-        let node = net.node_mut(src);
-        node.router.program(&plan.local_writes);
-        node.na.bind_tx(plan.tx_iface, plan.tx_steer);
+        let idx = net.grid().index(src);
+        net.node_mut(src).router.program(&plan.local_writes);
+        net.na_mut().bind_tx(idx, plan.tx_iface, plan.tx_steer);
         let delay = net.inject_delay();
         let mut need_kick = false;
         for packet in plan.config_packets {
-            let node = net.node_mut(src);
-            if node.na.enqueue_be(packet) {
+            if net.na_mut().enqueue_be(idx, packet) {
                 need_kick = true;
             }
         }
@@ -319,14 +371,13 @@ impl NocSim {
             .expect("connection exists")
             .clone();
         let src = record.src;
-        let node = net.node_mut(src);
-        node.router.program(&plan.local_writes);
-        node.na.unbind_tx(plan.tx_iface);
+        let idx = net.grid().index(src);
+        net.node_mut(src).router.program(&plan.local_writes);
+        net.na_mut().unbind_tx(idx, plan.tx_iface);
         let delay = net.inject_delay();
         let mut need_kick = false;
         for packet in plan.config_packets {
-            let node = net.node_mut(src);
-            if node.na.enqueue_be(packet) {
+            if net.na_mut().enqueue_be(idx, packet) {
                 need_kick = true;
             }
         }
@@ -354,15 +405,15 @@ impl NocSim {
         let net = self.kernel.model_mut();
         let plan = net.plan_force_close(id, now)?;
         let src = net.connections().get(id).expect("planned above").src;
-        let node = net.node_mut(src);
+        let idx = net.grid().index(src);
         if !plan.local_writes.is_empty() {
-            node.router.program(&plan.local_writes);
+            net.node_mut(src).router.program(&plan.local_writes);
         }
         if let Some(iface) = plan.tx_iface {
             // Flits still queued on the interface are discarded by the
             // unbind — square the conservation ledger first (cold path).
-            let discarded = node.na.gs_queue_flow_flits(iface);
-            node.na.force_unbind_tx(iface);
+            let discarded = net.na().gs_queue_flow_flits(idx, iface);
+            net.na_mut().force_unbind_tx(idx, iface);
             net.debug_note_discarded(discarded);
         }
         Ok(plan)
@@ -562,8 +613,8 @@ impl NocSim {
         self.now().since(start)
     }
 
-    /// Statistics for a flow.
-    pub fn flow(&self, flow: u32) -> &FlowStats {
+    /// Statistics for a flow (owned snapshot).
+    pub fn flow(&self, flow: u32) -> FlowStats {
         self.network().stats().flow(flow)
     }
 
@@ -723,5 +774,96 @@ mod tests {
         let id2 = sim.open_connection(src, dst).unwrap();
         sim.wait_connections_settled().unwrap();
         assert_eq!(sim.connection_state(id2), Some(ConnState::Open));
+    }
+
+    /// Re-enabling telemetry after `take_telemetry` must not leave the
+    /// previous activation's sampler chain running: a stale
+    /// `TelemetrySample` still pending in the queue carries the old
+    /// generation and must neither snapshot nor re-arm. Before the
+    /// generation tag, the second activation sampled at double cadence
+    /// (two chains) and the kernel profile double-counted sampler
+    /// dispatches.
+    #[test]
+    fn telemetry_reenable_does_not_double_sample() {
+        let mut sim = NocSim::paper_mesh(3, 3, 5);
+        sim.add_be_source(
+            RouterId::new(0, 0),
+            vec![RouterId::new(2, 2)],
+            4,
+            TemporalSpec::cbr(SimDuration::from_ns(100)),
+            "bg",
+            EmitWindow::default(),
+        );
+        sim.enable_telemetry(TelemetryConfig {
+            trace_flits: false,
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_us(10));
+        let first = sim.take_telemetry();
+        assert!(!first.epochs.is_empty(), "first activation must sample");
+
+        // The first activation's next sampler event is still pending.
+        sim.enable_telemetry(TelemetryConfig {
+            trace_flits: false,
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_us(10));
+        let second = sim.take_telemetry();
+        assert_eq!(
+            second.epochs.len(),
+            first.epochs.len(),
+            "re-enabled telemetry must sample at single cadence (no stale chain)"
+        );
+    }
+
+    /// Region blocking changes the scan order, never the results: an
+    /// identically-seeded run with it on must reproduce every statistic
+    /// of the plain run, and the per-region census must account for
+    /// every dispatched event.
+    #[test]
+    fn region_blocking_preserves_results() {
+        let run = |region_block: bool| {
+            let mut sim = NocSim::paper_mesh(9, 9, 77);
+            let flow = sim.add_be_source(
+                RouterId::new(0, 0),
+                vec![RouterId::new(8, 8), RouterId::new(8, 0)],
+                4,
+                TemporalSpec::cbr(SimDuration::from_ns(40)),
+                "rb-probe",
+                EmitWindow {
+                    limit: Some(120),
+                    ..Default::default()
+                },
+            );
+            if region_block {
+                sim.enable_region_blocking();
+            }
+            sim.begin_measurement();
+            let outcome = sim.run_to_quiescence();
+            assert_eq!(outcome, RunOutcome::Quiescent);
+            let census: u64 = sim.region_dispatch_counts().iter().sum();
+            (sim.flow(flow), sim.events_processed(), census, sim.now())
+        };
+        let (plain, plain_events, _, plain_end) = run(false);
+        let (blocked, blocked_events, census, blocked_end) = run(true);
+        assert_eq!(blocked.injected, plain.injected);
+        assert_eq!(blocked.delivered, plain.delivered);
+        assert_eq!(blocked.latency.mean(), plain.latency.mean());
+        assert_eq!(blocked_events, plain_events, "same event trajectory");
+        assert_eq!(blocked_end, plain_end, "same end time");
+        assert_eq!(census, blocked_events, "census covers every dispatch");
+        // A 9x9 mesh spans 2x2 tiles of 8x8 — four regions; a cross-mesh
+        // route must charge dispatches to more than one of them.
+        let counts = {
+            let mut sim = NocSim::paper_mesh(9, 9, 77);
+            sim.enable_region_blocking();
+            assert!(sim.region_blocking());
+            assert_eq!(sim.network().grid().regions(), 4);
+            sim.send_be(RouterId::new(8, 8), RouterId::new(0, 0), &[1, 2], None);
+            sim.run_to_quiescence();
+            sim.region_dispatch_counts().to_vec()
+        };
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        assert!(active >= 2, "cross-mesh route spans regions: {counts:?}");
     }
 }

@@ -180,7 +180,10 @@ impl fmt::Display for LatencyRecorder {
     }
 }
 
-/// Statistics for one traffic flow (a GS connection or a BE stream).
+/// Statistics for one traffic flow (a GS connection or a BE stream) — an
+/// owned snapshot assembled from the registry's slabs by
+/// [`NetStats::flow`]. Reporting-path only; the counters themselves live
+/// in [`NetStats`]' struct-of-arrays storage.
 #[derive(Debug, Clone)]
 pub struct FlowStats {
     /// Human-readable flow name.
@@ -191,7 +194,6 @@ pub struct FlowStats {
     pub delivered: u64,
     /// Out-of-order or gap events detected via sequence numbers.
     pub sequence_errors: u64,
-    next_seq: u64,
     /// End-to-end flit latency during the measurement window.
     pub latency: LatencyRecorder,
     /// Deliveries during the measurement window.
@@ -199,18 +201,6 @@ pub struct FlowStats {
 }
 
 impl FlowStats {
-    fn new(name: String) -> Self {
-        FlowStats {
-            name,
-            injected: 0,
-            delivered: 0,
-            sequence_errors: 0,
-            next_seq: 0,
-            latency: LatencyRecorder::new(),
-            delivered_measured: 0,
-        }
-    }
-
     /// Delivered throughput in flits/s over the measurement window.
     pub fn throughput_fps(&self, window: SimDuration) -> f64 {
         if window.is_zero() {
@@ -227,13 +217,32 @@ impl FlowStats {
 
 /// Central statistics registry for a simulated network.
 ///
-/// Flow ids are dense (`0..n` in registration order), so per-flow state
-/// lives in a `Vec` — `on_inject`/`on_deliver` run for every instrumented
-/// flit and must stay an index away, not a hash away.
+/// Flow ids are dense (`0..n` in registration order) and the hot
+/// counters live in parallel slabs, one entry per flow:
+/// `on_inject`/`on_deliver` run for every instrumented flit, so bumping
+/// a counter touches a dense `u64` array, not a scattered per-flow
+/// struct dragging its name and histogram into the cache line. The cold
+/// state (names, latency recorders) sits in separate vectors the hot
+/// path never reads.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    flows: Vec<FlowStats>,
+    names: Vec<String>,
+    /// Per-flow hot counters, one 40-byte block per flow so an
+    /// inject/deliver touches a single cache line (the latency
+    /// recorders, with their histograms, stay out-of-line).
+    hot: Vec<FlowHot>,
+    latency: Vec<LatencyRecorder>,
     measure_start: Option<SimTime>,
+}
+
+/// The per-flow counters updated on the packet hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowHot {
+    injected: u64,
+    delivered: u64,
+    sequence_errors: u64,
+    next_seq: u64,
+    delivered_measured: u64,
 }
 
 impl NetStats {
@@ -244,8 +253,10 @@ impl NetStats {
 
     /// Registers a flow and returns its id.
     pub fn register_flow(&mut self, name: impl Into<String>) -> u32 {
-        let id = self.flows.len() as u32;
-        self.flows.push(FlowStats::new(name.into()));
+        let id = self.names.len() as u32;
+        self.names.push(name.into());
+        self.hot.push(FlowHot::default());
+        self.latency.push(LatencyRecorder::new());
         id
     }
 
@@ -253,9 +264,11 @@ impl NetStats {
     /// throughput only accumulate after this.
     pub fn begin_measurement(&mut self, now: SimTime) {
         self.measure_start = Some(now);
-        for flow in &mut self.flows {
-            flow.latency.reset();
-            flow.delivered_measured = 0;
+        for r in &mut self.latency {
+            r.reset();
+        }
+        for h in &mut self.hot {
+            h.delivered_measured = 0;
         }
     }
 
@@ -264,12 +277,20 @@ impl NetStats {
         self.measure_start
     }
 
+    #[inline]
+    fn check(&self, flow: u32) -> usize {
+        let i = flow as usize;
+        assert!(i < self.names.len(), "unregistered flow id {flow}");
+        i
+    }
+
     /// Records an injection for `flow`. Returns the per-flow sequence
     /// number to stamp on the flit.
     pub fn on_inject(&mut self, flow: u32) -> u64 {
-        let f = self.flow_mut(flow);
-        let seq = f.injected;
-        f.injected += 1;
+        let i = self.check(flow);
+        let h = &mut self.hot[i];
+        let seq = h.injected;
+        h.injected += 1;
         seq
     }
 
@@ -281,49 +302,65 @@ impl NetStats {
     /// flows whose queueing delay exceeds the window still report their
     /// true service rate).
     pub fn on_deliver(&mut self, flow: u32, seq: u64, injected_at: SimTime, now: SimTime) {
+        let i = self.check(flow);
         let measuring = self.measure_start.is_some();
         let fresh = self.measure_start.is_some_and(|s| injected_at >= s);
-        let f = self.flow_mut(flow);
-        f.delivered += 1;
-        if seq != f.next_seq {
-            f.sequence_errors += 1;
+        let h = &mut self.hot[i];
+        h.delivered += 1;
+        if seq != h.next_seq {
+            h.sequence_errors += 1;
         }
-        f.next_seq = seq + 1;
-        if fresh {
-            f.latency.record(now.since(injected_at));
-        }
+        h.next_seq = seq + 1;
         if measuring {
-            f.delivered_measured += 1;
+            h.delivered_measured += 1;
+        }
+        if fresh {
+            self.latency[i].record(now.since(injected_at));
         }
     }
 
-    #[inline]
-    fn flow_mut(&mut self, flow: u32) -> &mut FlowStats {
-        self.flows
-            .get_mut(flow as usize)
-            .unwrap_or_else(|| panic!("unregistered flow id {flow}"))
+    /// The statistics for `flow`, assembled into an owned snapshot
+    /// (reporting path; the counters live in the slabs).
+    pub fn flow(&self, flow: u32) -> FlowStats {
+        let i = self.check(flow);
+        let h = &self.hot[i];
+        FlowStats {
+            name: self.names[i].clone(),
+            injected: h.injected,
+            delivered: h.delivered,
+            sequence_errors: h.sequence_errors,
+            latency: self.latency[i].clone(),
+            delivered_measured: h.delivered_measured,
+        }
     }
 
-    /// The statistics for `flow`.
-    pub fn flow(&self, flow: u32) -> &FlowStats {
-        self.flows
-            .get(flow as usize)
-            .unwrap_or_else(|| panic!("unregistered flow id {flow}"))
-    }
-
-    /// All flows in id order.
-    pub fn flows(&self) -> Vec<(u32, &FlowStats)> {
-        self.flows
-            .iter()
-            .enumerate()
-            .map(|(k, f)| (k as u32, f))
+    /// All flows in id order (owned snapshots).
+    pub fn flows(&self) -> Vec<(u32, FlowStats)> {
+        (0..self.names.len() as u32)
+            .map(|k| (k, self.flow(k)))
             .collect()
+    }
+
+    /// Delivered count of one flow — the cheap accessor for in-loop
+    /// consumers (watchdogs) that must not clone a histogram.
+    pub fn delivered(&self, flow: u32) -> u64 {
+        self.hot[self.check(flow)].delivered
+    }
+
+    /// `(injected, delivered)` summed over all flows — the telemetry
+    /// sampler gauge, read every epoch without snapshotting.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.hot.iter().map(|h| h.injected).sum(),
+            self.hot.iter().map(|h| h.delivered).sum(),
+        )
     }
 
     /// Sum of `injected − delivered` over all flows: flits still inside
     /// the network (or lost, which the tests rule out).
     pub fn in_flight(&self) -> u64 {
-        self.flows.iter().map(|f| f.injected - f.delivered).sum()
+        let (injected, delivered) = self.totals();
+        injected - delivered
     }
 }
 

@@ -66,6 +66,10 @@ pub struct TelemetryState {
     /// [`crate::network::Network::telemetry_sampler_rearm`]) whenever a
     /// run segment starts.
     pub sampler_armed: bool,
+    /// Which [`crate::network::Network::enable_telemetry`] activation
+    /// this state belongs to; sampler events tagged with a different
+    /// generation are stale and ignored.
+    pub generation: u32,
     /// End-to-end GS flit latency histogram (nanoseconds).
     pub hist_gs_latency: HistId,
     /// End-to-end BE packet latency histogram (nanoseconds).
@@ -92,7 +96,7 @@ pub const EPOCH_COLUMNS: &[&str] = &[
 impl TelemetryState {
     /// Fresh state for `cfg`, with the fixed epoch columns and named
     /// trace tracks in place.
-    pub fn new(cfg: TelemetryConfig) -> Box<Self> {
+    pub fn new(cfg: TelemetryConfig, generation: u32) -> Box<Self> {
         let mut trace = ChromeTrace::default();
         trace.name_track(TRACE_PID_FLITS, None, "flit journeys");
         trace.name_track(TRACE_PID_RECOVERY, None, "connection recovery");
@@ -107,6 +111,7 @@ impl TelemetryState {
             flit_events: 0,
             flit_events_dropped: 0,
             sampler_armed: false,
+            generation,
             hist_gs_latency,
             hist_be_latency,
         })
@@ -181,10 +186,13 @@ mod tests {
 
     #[test]
     fn flit_event_cap_is_enforced() {
-        let mut st = TelemetryState::new(TelemetryConfig {
-            max_trace_events: 2,
-            ..Default::default()
-        });
+        let mut st = TelemetryState::new(
+            TelemetryConfig {
+                max_trace_events: 2,
+                ..Default::default()
+            },
+            1,
+        );
         assert!(st.reserve_flit_event());
         assert!(st.reserve_flit_event());
         assert!(!st.reserve_flit_event());
@@ -194,7 +202,7 @@ mod tests {
 
     #[test]
     fn epoch_columns_match_state() {
-        let st = TelemetryState::new(TelemetryConfig::default());
+        let st = TelemetryState::new(TelemetryConfig::default(), 1);
         assert_eq!(st.epochs.columns().len(), EPOCH_COLUMNS.len());
     }
 }

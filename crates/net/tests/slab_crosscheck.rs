@@ -1,0 +1,218 @@
+//! Property-based cross-check of the slab-backed BE hot state against
+//! the retained reference state machine.
+//!
+//! The `BeArena` packs each router's BE metadata into one 64-byte block
+//! and keeps flits in router-major slabs; `BeUnit` remains the
+//! documented per-router reference. Proptest drives both through
+//! identical arbitrary op sequences — over *two* routers, so a layout
+//! bug that lets one router's block bleed into its neighbour's is
+//! caught — and every observable must agree after every op. This is the
+//! property-test form of the in-crate LCG cross-checks (`mango_core`'s
+//! `arena_matches_reference_be_unit`), with shrinking: a failing
+//! sequence minimizes to the shortest op list that splits the two
+//! implementations.
+
+use mango_core::be::BeUnit;
+use mango_core::{BeArena, BeDest, BeInput, Direction, Flit};
+use proptest::prelude::*;
+
+/// One generated operation against a router's BE state.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    InPush(BeInput, u32),
+    InPop(BeInput),
+    InSetProgress(BeInput, Option<BeDest>),
+    InSetRouting(BeInput, bool),
+    InSetMoving(BeInput, bool),
+    OutPush(Direction, u32),
+    OutPop(Direction),
+    OutTakeOrAddCredit(Direction),
+    OutLock(Direction, Option<BeInput>, usize),
+    LocalLock(Option<BeInput>, usize),
+}
+
+fn input_strategy() -> impl Strategy<Value = BeInput> {
+    (0usize..6).prop_map(|i| BeInput::ALL[i])
+}
+
+fn dir_strategy() -> impl Strategy<Value = Direction> {
+    (0usize..4).prop_map(|i| Direction::ALL[i])
+}
+
+fn dest_strategy() -> impl Strategy<Value = Option<BeDest>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(BeDest::Local)),
+        dir_strategy().prop_map(|d| Some(BeDest::Net(d))),
+    ]
+}
+
+fn lock_strategy() -> impl Strategy<Value = Option<BeInput>> {
+    prop_oneof![Just(None), input_strategy().prop_map(Some)]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (input_strategy(), any::<u32>()).prop_map(|(i, t)| Op::InPush(i, t)),
+        input_strategy().prop_map(Op::InPop),
+        (input_strategy(), dest_strategy()).prop_map(|(i, d)| Op::InSetProgress(i, d)),
+        (input_strategy(), any::<bool>()).prop_map(|(i, b)| Op::InSetRouting(i, b)),
+        (input_strategy(), any::<bool>()).prop_map(|(i, b)| Op::InSetMoving(i, b)),
+        (dir_strategy(), any::<u32>()).prop_map(|(d, t)| Op::OutPush(d, t)),
+        dir_strategy().prop_map(Op::OutPop),
+        dir_strategy().prop_map(Op::OutTakeOrAddCredit),
+        (dir_strategy(), lock_strategy(), 0usize..6).prop_map(|(d, l, rr)| Op::OutLock(d, l, rr)),
+        (lock_strategy(), 0usize..6).prop_map(|(l, rr)| Op::LocalLock(l, rr)),
+    ]
+}
+
+fn flit(tag: u32) -> Flit {
+    Flit::be(tag, tag.is_multiple_of(3))
+}
+
+/// All BE destination codes the contender mask is defined over.
+const DESTS: [BeDest; 5] = [
+    BeDest::Local,
+    BeDest::Net(Direction::North),
+    BeDest::Net(Direction::East),
+    BeDest::Net(Direction::South),
+    BeDest::Net(Direction::West),
+];
+
+/// Applies `op` to both implementations, then asserts every observable
+/// of `router`'s slots agrees with the reference.
+fn apply_and_check(arena: &mut BeArena, slots: mango_core::BeSlots, unit: &mut BeUnit, op: Op) {
+    match op {
+        Op::InPush(input, tag) => {
+            if !unit.input(input).latch.is_full() {
+                unit.input_mut(input).latch.push(flit(tag));
+                arena.in_push(arena.in_slot(slots, input), flit(tag));
+            }
+        }
+        Op::InPop(input) => {
+            assert_eq!(
+                unit.input_mut(input).latch.pop(),
+                arena.in_pop(arena.in_slot(slots, input))
+            );
+        }
+        Op::InSetProgress(input, dest) => {
+            unit.input_mut(input).in_progress = dest;
+            arena.set_in_progress(arena.in_slot(slots, input), dest);
+        }
+        Op::InSetRouting(input, on) => {
+            unit.input_mut(input).routing = on;
+            arena.set_in_routing(arena.in_slot(slots, input), on);
+        }
+        Op::InSetMoving(input, on) => {
+            unit.input_mut(input).moving = on;
+            arena.set_in_moving(arena.in_slot(slots, input), on);
+        }
+        Op::OutPush(dir, tag) => {
+            if !unit.outputs[dir.index()].buf.is_full() {
+                unit.outputs[dir.index()].buf.push(flit(tag));
+                arena.out_push(arena.out_slot(slots, dir), flit(tag));
+            }
+        }
+        Op::OutPop(dir) => {
+            assert_eq!(
+                unit.outputs[dir.index()].buf.pop(),
+                arena.out_pop(arena.out_slot(slots, dir))
+            );
+        }
+        Op::OutTakeOrAddCredit(dir) => {
+            let slot = arena.out_slot(slots, dir);
+            if unit.outputs[dir.index()].credits > 0 {
+                unit.outputs[dir.index()].credits -= 1;
+                arena.out_take_credit(slot);
+            } else {
+                unit.outputs[dir.index()].add_credit();
+                arena.out_add_credit(slot);
+            }
+        }
+        Op::OutLock(dir, lock, rr) => {
+            unit.outputs[dir.index()].locked_to = lock;
+            unit.outputs[dir.index()].rr = rr;
+            let slot = arena.out_slot(slots, dir);
+            arena.set_out_locked_to(slot, lock);
+            arena.set_out_rr(slot, rr);
+        }
+        Op::LocalLock(lock, rr) => {
+            unit.local_out.locked_to = lock;
+            unit.local_out.rr = rr;
+            arena.set_local_locked_to(slots, lock);
+            arena.set_local_rr(slots, rr);
+        }
+    }
+
+    for i in BeInput::ALL {
+        let s = arena.in_slot(slots, i);
+        let r = unit.input(i);
+        assert_eq!(arena.in_len(s), r.latch.len());
+        assert_eq!(arena.in_is_empty(s), r.latch.is_empty());
+        assert_eq!(arena.in_is_full(s), r.latch.is_full());
+        assert_eq!(arena.in_progress(s), r.in_progress);
+        assert_eq!(arena.in_routing(s), r.routing);
+        assert_eq!(arena.in_moving(s), r.moving);
+        assert_eq!(arena.in_needs_routing(s), r.needs_routing());
+        assert_eq!(arena.in_can_move(s), r.can_move());
+    }
+    for d in Direction::ALL {
+        let s = arena.out_slot(slots, d);
+        let r = &unit.outputs[d.index()];
+        assert_eq!(arena.out_len(s), r.buf.len());
+        assert_eq!(arena.out_is_full(s), r.buf.is_full());
+        assert_eq!(arena.out_credits(s), r.credits);
+        assert_eq!(arena.out_link_ready(s), r.link_ready());
+        assert_eq!(arena.out_locked_to(s), r.locked_to);
+        assert_eq!(arena.out_rr(s), r.rr);
+    }
+    assert_eq!(arena.local_locked_to(slots), unit.local_out.locked_to);
+    assert_eq!(arena.local_rr(slots), unit.local_out.rr);
+    for dest in DESTS {
+        assert_eq!(arena.contender_mask(slots, dest), unit.contender_mask(dest));
+    }
+    assert_eq!(arena.has_work(slots), unit.has_work());
+    assert_eq!(
+        arena.flits_buffered(slots),
+        unit.inputs.iter().map(|i| i.latch.len()).sum::<usize>()
+            + unit.outputs.iter().map(|o| o.buf.len()).sum::<usize>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two routers in one slab, each mirrored by its own reference unit;
+    /// the interleaved op streams must leave both routers' observable
+    /// state identical to their references at every step.
+    #[test]
+    fn be_slab_matches_reference_state_machine(
+        ops in proptest::collection::vec((0usize..2, op_strategy()), 1..400),
+        dims in prop_oneof![
+            Just((2usize, 2usize, 2usize)),
+            Just((4, 4, 4)),
+            Just((1, 2, 1)),
+            Just((3, 1, 2)),
+        ],
+    ) {
+        let (in_depth, out_depth, credits) = dims;
+        let mut arena = BeArena::with_capacity(in_depth, out_depth, credits, 2);
+        let slots = [arena.add_router(), arena.add_router()];
+        let mut units = [
+            BeUnit::new(in_depth, out_depth, credits),
+            BeUnit::new(in_depth, out_depth, credits),
+        ];
+        for (router, op) in ops {
+            apply_and_check(&mut arena, slots[router], &mut units[router], op);
+            // The untouched router must be unaffected by its neighbour.
+            let other = 1 - router;
+            let routing = units[other].input(BeInput::Prog).routing;
+            apply_and_check(
+                &mut arena,
+                slots[other],
+                &mut units[other],
+                Op::InSetRouting(BeInput::Prog, routing),
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Records BENCH_scaling.json: the mesh-scaling baseline of the mixed
+# `sim_rate` probe — events, best rate, per-event cost and the
+# per-event ratio against the 4x4 point, for the default flit layout
+# (4x4/8x8/16x16/32x32) and the lean-flit capacity build
+# (4x4/16x16/32x32). The checked-in copy is a point-in-time record from
+# the container it was produced on (host in the file); the weekly sweep
+# workflow refreshes it on the CI host, where run-to-run noise is lower.
+#
+# Usage: scripts/record_scaling_baseline.sh
+#   SIM_US (default 20) and REPEATS (default 3) override the window.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_scaling.json
+sim_us=${SIM_US:-20}
+repeats=${REPEATS:-3}
+
+cargo build --release -q -p mango_bench --bin sim_rate
+default_rows=$(for m in 4 8 16 32; do
+  target/release/sim_rate "$sim_us" "$repeats" --mesh "$m" --json
+done | paste -sd, -)
+
+# The lean-flit build gets its own target dir so it does not thrash the
+# default build cache.
+cargo build --release -q -p mango_bench --features lean-flit \
+  --bin sim_rate --target-dir target/lean
+lean_rows=$(for m in 4 16 32; do
+  target/lean/release/sim_rate "$sim_us" "$repeats" --mesh "$m" --json
+done | paste -sd, -)
+
+jq -n \
+  --argjson default "[$default_rows]" \
+  --argjson lean "[$lean_rows]" \
+  --arg host "$(uname -sm), $(nproc) core(s)" \
+  --argjson sim_us "$sim_us" \
+  --argjson repeats "$repeats" \
+  '{
+    probe: "sim_rate mixed mesh workload (4 GS conns + uniform BE)",
+    methodology: "best of REPEATS fresh runs per mesh; 4x4 reference timed in the same invocation for ratio_vs_4x4",
+    host: $host,
+    sim_us: $sim_us,
+    repeats: $repeats,
+    default_flit: $default,
+    lean_flit: $lean
+  }' > "$out"
+
+echo "wrote $out:" >&2
+jq -r '.default_flit[] | "  \(.mesh)x\(.mesh): \(.best_mevents_per_sec) Mev/s, \(.per_event_ns) ns/event, \(.ratio_vs_4x4)x vs 4x4"' "$out" >&2

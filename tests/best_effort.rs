@@ -131,7 +131,8 @@ fn send_raw_route(sim: &mut NocSim, src: RouterId, route: &[Direction], len: usi
     let payload: Vec<u32> = (0..len as u32).collect();
     let flits = mango::core::build_be_packet(header, &payload, false);
     let delay = sim.network().inject_delay();
-    let need = sim.network_mut().node_mut(src).na.enqueue_be(flits);
+    let src_idx = sim.network().grid().index(src);
+    let need = sim.network_mut().na_mut().enqueue_be(src_idx, flits);
     if need {
         // Mirror NocSim::send_be's scheduling.
         let ev = NetEvent::NaBeInject { id: src };

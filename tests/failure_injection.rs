@@ -12,7 +12,8 @@ fn send_config_packet(sim: &mut NocSim, src: RouterId, dst: RouterId, payload: &
     let header = xy_header(sim.network().grid(), src, dst).expect("route");
     let flits = build_be_packet(header, payload, true);
     let delay = sim.network().inject_delay();
-    if sim.network_mut().node_mut(src).na.enqueue_be(flits) {
+    let src_idx = sim.network().grid().index(src);
+    if sim.network_mut().na_mut().enqueue_be(src_idx, flits) {
         sim.schedule_raw(delay, mango::net::NetEvent::NaBeInject { id: src });
     }
 }
@@ -111,7 +112,8 @@ fn forged_ack_words_are_ignored() {
         let header = BeHeader::from_route(&[Direction::West, Direction::West]).unwrap();
         let flits = build_be_packet(header, &[0xAC00_0000 | token], false);
         let delay = sim.network().inject_delay();
-        if sim.network_mut().node_mut(dst).na.enqueue_be(flits) {
+        let dst_idx = sim.network().grid().index(dst);
+        if sim.network_mut().na_mut().enqueue_be(dst_idx, flits) {
             sim.schedule_raw(delay, mango::net::NetEvent::NaBeInject { id: dst });
         }
     }
@@ -136,13 +138,14 @@ fn forged_ack_words_are_ignored() {
 #[test]
 fn unprogrammed_vc_panics_with_diagnosis() {
     let result = std::panic::catch_unwind(|| {
-        let (mut router, mut bufs) = mango::core::Router::standalone(
+        let (mut router, mut bufs, mut be) = mango::core::Router::standalone(
             RouterId::new(1, 1),
             mango::core::RouterConfig::paper(),
         );
         let mut act = Vec::new();
         router.on_link_flit(
             &mut bufs,
+            &mut be,
             mango::sim::SimTime::ZERO,
             Direction::West,
             mango::core::LinkFlit {
@@ -158,7 +161,13 @@ fn unprogrammed_vc_panics_with_diagnosis() {
         let pending = std::mem::take(&mut act);
         for a in pending {
             if let mango::core::RouterAction::Internal { event, .. } = a {
-                router.on_internal(&mut bufs, mango::sim::SimTime::ZERO, event, &mut act);
+                router.on_internal(
+                    &mut bufs,
+                    &mut be,
+                    mango::sim::SimTime::ZERO,
+                    event,
+                    &mut act,
+                );
             }
         }
     });

@@ -238,7 +238,8 @@ fn slow_consumer_backpressures_source() {
     // or in the (tiny) in-network buffers.
     let s = sim.flow(flow);
     let in_network = s.injected - s.delivered;
-    let src_queue = sim.network().node(RouterId::new(0, 0)).na.gs_queue_len(0) as u64;
+    let src_idx = sim.network().grid().index(RouterId::new(0, 0));
+    let src_queue = sim.network().na().gs_queue_len(src_idx, 0) as u64;
     // Per hop at most 2 flits + NA slot + in-flight: the network holds
     // only a handful — the rest waits at the source.
     assert!(
