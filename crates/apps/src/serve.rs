@@ -1,0 +1,821 @@
+//! The app lifecycle engine: whole application instances arriving,
+//! placing, opening their full GS connection set, streaming, and
+//! departing — the serving workload behind the capacity curves.
+//!
+//! This is the application-level analogue of [`mango_qos::churn`]: where
+//! churn opens one connection per request, serving opens a whole
+//! [`TaskGraph`]'s edge set per arrival, **all-or-nothing** — if any
+//! edge fails admission, its latency bound, or the in-band open, every
+//! prior admission of that instance is returned exactly and the
+//! instance counts as rejected (typed by [`AppRejectReason`]). Admitted
+//! instances stream per-edge CBR through real GS connections set up by
+//! in-band BE programming packets, then tear everything down on their
+//! exponential departure, returning every budget integer-exactly.
+//!
+//! # Determinism
+//!
+//! A [`ServingSpec`] run is a pure function of the spec: `(time, seq)`
+//! ordered action queue, RNG streams forked from `serve_seed`, and the
+//! placers are deterministic — so sweep CSVs are byte-identical at any
+//! worker count.
+
+use crate::graph::TaskGraph;
+use crate::place::PlacerKind;
+use mango_core::ConnectionId;
+use mango_net::{
+    ConnState, EmitWindow, FlowKind, MeasureBound, Pattern, PreparedScenario, ScenarioMetrics,
+    ScenarioSpec, TelemetryConfig,
+};
+use mango_qos::{Admission, AdmissionController, BudgetSnapshot, ConnRequest, RejectReason};
+use mango_sim::{SimDuration, SimRng, SimTime};
+use mango_telemetry::TelemetryReport;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Why a whole app instance was refused service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppRejectReason {
+    /// An edge failed admission (the controller's reason).
+    Admission(RejectReason),
+    /// Every edge admitted, but one's analytical worst case exceeded
+    /// its required latency bound.
+    BoundExceeded,
+    /// Admission succeeded but an in-band open failed; everything was
+    /// rolled back.
+    OpenFailed,
+}
+
+impl AppRejectReason {
+    /// Stable short name for CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppRejectReason::Admission(_) => "admission",
+            AppRejectReason::BoundExceeded => "bound-exceeded",
+            AppRejectReason::OpenFailed => "open-failed",
+        }
+    }
+}
+
+/// A complete serving experiment: a base scenario plus the app-instance
+/// workload layered on it.
+#[derive(Debug, Clone)]
+pub struct ServingSpec {
+    /// The base scenario. `measure` must be [`MeasureBound::For`].
+    pub base: ScenarioSpec,
+    /// The application every instance runs.
+    pub graph: TaskGraph,
+    /// Placement strategy for each arriving instance.
+    pub placer: PlacerKind,
+    /// Seed of the engine's random streams (arrivals, holdings, placer)
+    /// — independent of `base.seed`.
+    pub serve_seed: u64,
+    /// Mean gap between instance arrivals (Poisson).
+    pub arrival_gap: SimDuration,
+    /// Mean instance lifetime (exponential), arrival → teardown.
+    pub holding_mean: SimDuration,
+    /// Floor on lifetimes (must exceed `2 × drain_margin`).
+    pub holding_min: SimDuration,
+    /// How long before teardown the streams stop (teardown requires
+    /// quiet circuits).
+    pub drain_margin: SimDuration,
+    /// Hard cap on offered instances.
+    pub max_apps: u64,
+    /// Fraction of link capacity reservable by GS connections.
+    pub max_gs_frac: f64,
+}
+
+impl ServingSpec {
+    /// A serving skeleton: `graph` instances arriving on a base
+    /// scenario, moderate rates, 30 µs mean lifetime.
+    pub fn new(base: ScenarioSpec, graph: TaskGraph, placer: PlacerKind) -> Self {
+        ServingSpec {
+            serve_seed: base.seed ^ 0x5E41_11CE,
+            base,
+            graph,
+            placer,
+            arrival_gap: SimDuration::from_us(5),
+            holding_mean: SimDuration::from_us(30),
+            holding_min: SimDuration::from_us(8),
+            drain_margin: SimDuration::from_us(1),
+            max_apps: u64::MAX,
+            max_gs_frac: 0.875,
+        }
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.measure` is not [`MeasureBound::For`], if the
+    /// margins are inconsistent, or if the graph fails
+    /// [`TaskGraph::validate`].
+    pub fn run(&self) -> ServingMetrics {
+        let (metrics, _) = self.run_inner(None);
+        metrics
+    }
+
+    /// Like [`ServingSpec::run`], with the telemetry sink active: the
+    /// report carries the `admission.*` residual gauges, refreshed on
+    /// every app open and close.
+    pub fn run_with_telemetry(&self, cfg: TelemetryConfig) -> (ServingMetrics, TelemetryReport) {
+        let (metrics, report) = self.run_inner(Some(cfg));
+        (metrics, report.expect("telemetry was enabled"))
+    }
+
+    fn run_inner(&self, cfg: Option<TelemetryConfig>) -> (ServingMetrics, Option<TelemetryReport>) {
+        let MeasureBound::For(horizon) = self.base.measure else {
+            panic!("serving needs a fixed measurement window");
+        };
+        assert!(
+            self.holding_min > self.drain_margin * 2,
+            "holding_min must exceed twice the drain margin"
+        );
+        assert!(
+            horizon > self.holding_min + self.drain_margin * 2,
+            "the serving window must outlast one minimum hold plus drain"
+        );
+        self.graph.validate().expect("serving graph is well-formed");
+        let mut prepared = self.base.prepare();
+        if let Some(cfg) = cfg {
+            prepared.sim_mut().enable_telemetry(cfg);
+        }
+        prepared.start_measurement();
+        let engine = Engine::new(self, &mut prepared, horizon);
+        engine.record_admission_gauges(&mut prepared);
+        engine.run(prepared)
+    }
+}
+
+/// The fate of one offered app instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppOutcome {
+    /// Instance ordinal (arrival order).
+    pub app: u64,
+    /// When the instance arrived.
+    pub requested_at: SimTime,
+    /// `None` = served; `Some` = why the whole instance was refused.
+    pub rejected: Option<AppRejectReason>,
+    /// Inter-node GS connections the instance opened (co-located edges
+    /// need none).
+    pub conns: usize,
+    /// Total path links over the instance's admitted connections.
+    pub hops: usize,
+    /// Lifetime drawn for the instance.
+    pub holding: SimDuration,
+    /// Arrival → last connection open-acked.
+    pub setup: Option<SimDuration>,
+    /// Flits injected across the instance's streams.
+    pub injected: u64,
+    /// Flits delivered across the instance's streams.
+    pub delivered: u64,
+    /// Streamed edges whose observed max latency exceeded their
+    /// admitted analytical bound (the guarantee contract: must be 0).
+    pub bound_violations: u32,
+    /// Worst observed/bound latency ratio over the instance's edges.
+    pub worst_bound_ratio: f64,
+    /// Teardown of every connection completed inside the window.
+    pub closed: bool,
+}
+
+/// Everything a serving run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingMetrics {
+    /// The base scenario's metrics (per-edge serving streams included).
+    pub scenario: ScenarioMetrics,
+    /// Per-instance outcomes, in arrival order.
+    pub apps: Vec<AppOutcome>,
+    /// Instances offered.
+    pub offered: u64,
+    /// Instances fully admitted and opened.
+    pub admitted: u64,
+    /// Instances refused at admission, by controller reason
+    /// (indexed as [`RejectReason::ALL`]).
+    pub rejected_admission: [u64; RejectReason::ALL.len()],
+    /// Instances refused because an edge broke its latency bound.
+    pub rejected_bound: u64,
+    /// Instances rolled back because an in-band open failed.
+    pub rejected_open: u64,
+    /// Instances whose teardown completed inside the window.
+    pub closed: u64,
+    /// Most instances simultaneously live.
+    pub peak_live: u64,
+    /// Programming packets processed by all routers.
+    pub prog_packets: u64,
+    /// The admission budgets returned exactly to their post-static
+    /// state once every served instance closed (leak detection; only
+    /// meaningful when `admitted == closed`).
+    pub budgets_clean: bool,
+}
+
+impl ServingMetrics {
+    /// Total refused instances.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_admission.iter().sum::<u64>() + self.rejected_bound + self.rejected_open
+    }
+
+    /// Streamed edges whose observation exceeded their bound — must be
+    /// zero whenever guarantees hold.
+    pub fn bound_violations(&self) -> u64 {
+        self.apps
+            .iter()
+            .map(|a| u64::from(a.bound_violations))
+            .sum()
+    }
+
+    /// Worst observed/bound ratio over every streamed edge.
+    pub fn worst_bound_ratio(&self) -> f64 {
+        self.apps
+            .iter()
+            .map(|a| a.worst_bound_ratio)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean setup latency over served instances, ns.
+    pub fn setup_mean_ns(&self) -> f64 {
+        let (sum, n) = self
+            .apps
+            .iter()
+            .filter_map(|a| a.setup)
+            .fold((0u128, 0u64), |(s, n), d| (s + d.as_ps() as u128, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64 / 1000.0
+        }
+    }
+
+    /// Worst setup latency, ns.
+    pub fn setup_max_ns(&self) -> f64 {
+        self.apps
+            .iter()
+            .filter_map(|a| a.setup)
+            .map(|d| d.as_ns_f64())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// What one engine action does (`(time, seq)`-ordered heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    Arrive,
+    PollOpen(usize),
+    Close(usize),
+    PollClosed(usize),
+}
+
+/// One streamed edge of a live instance.
+#[derive(Debug)]
+struct EdgeConn {
+    conn: ConnectionId,
+    admission: Admission,
+    flow_metric: Option<usize>,
+}
+
+/// Internal per-served-instance state.
+#[derive(Debug)]
+struct LiveApp {
+    outcome_idx: usize,
+    edges: Vec<EdgeConn>,
+    stream_stop: SimTime,
+    streams_attached: bool,
+}
+
+struct Engine<'a> {
+    spec: &'a ServingSpec,
+    t_end: SimTime,
+    arrival_cutoff: SimTime,
+    poll_gap: SimDuration,
+    admission: AdmissionController,
+    /// Budgets right after the static base reservations — the baseline
+    /// `budgets_clean` compares against at collection.
+    clean: BudgetSnapshot,
+    queue: BinaryHeap<Reverse<(SimTime, u64, Action)>>,
+    seq: u64,
+    arrivals: SimRng,
+    holdings: SimRng,
+    placements: SimRng,
+    outcomes: Vec<AppOutcome>,
+    live: Vec<LiveApp>,
+    offered: u64,
+    rejected_admission: [u64; RejectReason::ALL.len()],
+    rejected_bound: u64,
+    rejected_open: u64,
+    closed: u64,
+    live_now: u64,
+    peak_live: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(spec: &'a ServingSpec, prepared: &mut PreparedScenario, horizon: SimDuration) -> Self {
+        let sim = prepared.sim();
+        let now = sim.now();
+        let net = sim.network();
+        let admission = AdmissionController::new(
+            net.grid().clone(),
+            net.router_cfg(),
+            net.na_cfg(),
+            spec.max_gs_frac,
+        );
+        let t_end = now + horizon;
+        let reserve = spec.holding_min + spec.drain_margin * 2;
+        let arrival_cutoff = t_end - reserve;
+        let rng = SimRng::new(spec.serve_seed);
+        // Pre-size the hot-path bookkeeping for the expected offered
+        // load: thousands of instances must not regrow the queue or the
+        // outcome tables mid-run (the churn engine got the same
+        // treatment — see its module docs).
+        let expected = (horizon.as_ps() / spec.arrival_gap.as_ps().max(1) + 16)
+            .min(spec.max_apps.saturating_mul(2)) as usize;
+        let mut engine = Engine {
+            spec,
+            t_end,
+            arrival_cutoff,
+            poll_gap: SimDuration::from_ns(100),
+            clean: BudgetSnapshot::default(),
+            queue: BinaryHeap::with_capacity(expected * 4 + 64),
+            seq: 0,
+            arrivals: rng.fork(0),
+            holdings: rng.fork(1),
+            placements: rng.fork(2),
+            outcomes: Vec::with_capacity(expected),
+            live: Vec::with_capacity(expected),
+            offered: 0,
+            rejected_admission: [0; RejectReason::ALL.len()],
+            rejected_bound: 0,
+            rejected_open: 0,
+            closed: 0,
+            live_now: 0,
+            peak_live: 0,
+            admission,
+        };
+        // Static connections of the base scenario already hold budgets.
+        for (flow, conn) in spec.base.gs.iter().zip(prepared.connections()) {
+            let record = prepared
+                .sim()
+                .network()
+                .connections()
+                .get(*conn)
+                .expect("static connection has a record");
+            let rate = AdmissionController::rate_fps(flow.pattern.mean_gap());
+            let (src, dirs) = (record.src, record.dirs.clone());
+            engine.admission.reserve_existing(src, &dirs, rate);
+        }
+        let clean = std::mem::take(&mut engine.clean);
+        let mut clean = clean;
+        engine.admission.save_budgets_into(&mut clean);
+        engine.clean = clean;
+        let first = now + engine.next_arrival_gap();
+        if first < engine.arrival_cutoff && spec.max_apps > 0 {
+            engine.push(first, Action::Arrive);
+        }
+        engine
+    }
+
+    fn push(&mut self, t: SimTime, action: Action) {
+        self.queue.push(Reverse((t, self.seq, action)));
+        self.seq += 1;
+    }
+
+    fn next_arrival_gap(&mut self) -> SimDuration {
+        let ps = self.arrivals.gen_exp(self.spec.arrival_gap.as_ps() as f64);
+        SimDuration::from_ps(ps.round().max(1.0) as u64)
+    }
+
+    fn draw_holding(&mut self) -> SimDuration {
+        let ps = self.holdings.gen_exp(self.spec.holding_mean.as_ps() as f64);
+        SimDuration::from_ps(ps.round().max(1.0) as u64).max(self.spec.holding_min)
+    }
+
+    fn record_admission_gauges(&self, prepared: &mut PreparedScenario) {
+        let net = prepared.sim_mut().network_mut();
+        if !net.telemetry().is_active() {
+            return;
+        }
+        let s = self.admission.budget_summary();
+        net.telemetry_gauge("admission.free_vcs", s.free_vcs as i64);
+        net.telemetry_gauge("admission.residual_fps_min", s.residual_fps_min as i64);
+        net.telemetry_gauge("admission.up_links", s.up_links as i64);
+        net.telemetry_gauge("admission.apps_live", self.live_now as i64);
+    }
+
+    fn run(mut self, mut prepared: PreparedScenario) -> (ServingMetrics, Option<TelemetryReport>) {
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t >= self.t_end {
+                break;
+            }
+            let Reverse((t, _, action)) = self.queue.pop().expect("peeked");
+            let now = prepared.sim().now();
+            if t > now {
+                prepared.sim_mut().run_for(t.since(now));
+            }
+            match action {
+                Action::Arrive => self.on_arrive(&mut prepared),
+                Action::PollOpen(i) => self.on_poll_open(&mut prepared, i),
+                Action::Close(i) => self.on_close(&mut prepared, i),
+                Action::PollClosed(i) => self.on_poll_closed(&mut prepared, i),
+            }
+        }
+        let now = prepared.sim().now();
+        if self.t_end > now {
+            prepared.sim_mut().run_for(self.t_end.since(now));
+        }
+        // Detach the report before `finish` consumes the simulation.
+        let report = prepared.sim_mut().network_mut().take_telemetry();
+        (self.collect(prepared), report)
+    }
+
+    /// Admits and opens one whole instance, all-or-nothing: on any
+    /// failure every prior admission and opened connection of the
+    /// instance is returned/forced closed exactly.
+    fn on_arrive(&mut self, prepared: &mut PreparedScenario) {
+        let now = prepared.sim().now();
+        let app = self.offered;
+        self.offered += 1;
+        let holding = self.draw_holding();
+        let outcome_idx = self.outcomes.len();
+        let mut outcome = AppOutcome {
+            app,
+            requested_at: now,
+            rejected: None,
+            conns: 0,
+            hops: 0,
+            holding,
+            setup: None,
+            injected: 0,
+            delivered: 0,
+            bound_violations: 0,
+            worst_bound_ratio: 0.0,
+            closed: false,
+        };
+
+        let placement = self.spec.placer.place(
+            &self.spec.graph,
+            &mut self.admission,
+            self.placements.next_u64(),
+        );
+
+        // Commit pass: request every inter-node edge in declaration
+        // order; roll back exactly on the first failure.
+        let mut admissions: Vec<Admission> = Vec::with_capacity(self.spec.graph.edges.len());
+        let mut reject: Option<AppRejectReason> = None;
+        for e in &self.spec.graph.edges {
+            let (src, dst) = (placement.assign[e.from], placement.assign[e.to]);
+            if src == dst {
+                continue;
+            }
+            let req = ConnRequest {
+                src,
+                dst,
+                period: TaskGraph::period(e.rate_fps),
+            };
+            match self.admission.request(&req) {
+                Ok(adm) => {
+                    let within = match (e.bound_ns, adm.report.worst_latency_ns()) {
+                        (Some(bound), Some(worst)) => worst <= bound as f64,
+                        (Some(_), None) => false,
+                        (None, _) => true,
+                    };
+                    if within {
+                        admissions.push(adm);
+                    } else {
+                        self.admission.release(&adm);
+                        reject = Some(AppRejectReason::BoundExceeded);
+                        break;
+                    }
+                }
+                Err(reason) => {
+                    reject = Some(AppRejectReason::Admission(reason));
+                    break;
+                }
+            }
+        }
+        if reject.is_none() {
+            // Open pass: real in-band programming packets per edge.
+            let mut edges: Vec<EdgeConn> = Vec::with_capacity(admissions.len());
+            for adm in admissions.drain(..) {
+                match prepared
+                    .sim_mut()
+                    .open_connection_along(adm.src, adm.dst, &adm.dirs)
+                {
+                    Ok(conn) => edges.push(EdgeConn {
+                        conn,
+                        admission: adm,
+                        flow_metric: None,
+                    }),
+                    Err(_) => {
+                        // Roll the whole instance back: force-close the
+                        // partially opened set and return every budget.
+                        for opened in &edges {
+                            prepared
+                                .sim_mut()
+                                .force_close_connection(opened.conn)
+                                .expect("partially opened connection force-closes");
+                        }
+                        self.admission.release(&adm);
+                        reject = Some(AppRejectReason::OpenFailed);
+                        break;
+                    }
+                }
+            }
+            if reject.is_some() {
+                for opened in &edges {
+                    self.admission.release(&opened.admission);
+                }
+            } else {
+                let latest_close = self.t_end - self.spec.drain_margin * 2;
+                let close_at = (now + holding).min(latest_close);
+                outcome.conns = edges.len();
+                outcome.hops = edges.iter().map(|e| e.admission.hops()).sum();
+                let live_idx = self.live.len();
+                self.live.push(LiveApp {
+                    outcome_idx,
+                    edges,
+                    stream_stop: close_at - self.spec.drain_margin,
+                    streams_attached: false,
+                });
+                self.live_now += 1;
+                self.peak_live = self.peak_live.max(self.live_now);
+                self.push(now + self.poll_gap, Action::PollOpen(live_idx));
+                self.push(close_at, Action::Close(live_idx));
+                self.record_admission_gauges(prepared);
+            }
+        } else {
+            for adm in admissions.drain(..) {
+                self.admission.release(&adm);
+            }
+        }
+        match reject {
+            Some(AppRejectReason::Admission(reason)) => {
+                self.rejected_admission[reason.index()] += 1;
+            }
+            Some(AppRejectReason::BoundExceeded) => self.rejected_bound += 1,
+            Some(AppRejectReason::OpenFailed) => self.rejected_open += 1,
+            None => {}
+        }
+        outcome.rejected = reject;
+        self.outcomes.push(outcome);
+
+        if self.offered < self.spec.max_apps {
+            let next = prepared.sim().now() + self.next_arrival_gap();
+            if next < self.arrival_cutoff {
+                self.push(next, Action::Arrive);
+            }
+        }
+    }
+
+    fn on_poll_open(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        let any_opening = self.live[i]
+            .edges
+            .iter()
+            .any(|e| prepared.sim().connection_state(e.conn) == Some(ConnState::Opening));
+        if any_opening {
+            self.push(now + self.poll_gap, Action::PollOpen(i));
+            return;
+        }
+        // Every connection is past Opening: the instance's setup spans
+        // arrival → the latest open-ack. As in churn, a racing Close
+        // may already have consumed the Open state; `opened_at`
+        // survives, so the sample stays exact.
+        let requested_at = self.outcomes[self.live[i].outcome_idx].requested_at;
+        let setup = self.live[i]
+            .edges
+            .iter()
+            .map(|e| {
+                prepared
+                    .sim()
+                    .network()
+                    .connections()
+                    .get(e.conn)
+                    .and_then(|r| r.opened_at)
+                    .expect("past Opening implies opened_at is stamped")
+            })
+            .max()
+            .map(|t| t.since(requested_at));
+        self.outcomes[self.live[i].outcome_idx].setup = setup;
+        if self.live[i].streams_attached {
+            return;
+        }
+        self.live[i].streams_attached = true;
+        let stream_stop = self.live[i].stream_stop;
+        if now + SimDuration::from_ns(1) >= stream_stop {
+            return;
+        }
+        let app = self.outcomes[self.live[i].outcome_idx].app;
+        for k in 0..self.live[i].edges.len() {
+            let conn = self.live[i].edges[k].conn;
+            if prepared.sim().connection_state(conn) != Some(ConnState::Open) {
+                continue;
+            }
+            let period = TaskGraph::period(self.live[i].edges[k].admission.rate_fps);
+            let window = EmitWindow {
+                stop_at: Some(stream_stop),
+                ..Default::default()
+            };
+            let flow = prepared.sim_mut().add_gs_source(
+                conn,
+                Pattern::cbr(period),
+                format!("app{app}-e{k}"),
+                window,
+            );
+            let metric_idx = prepared.track_flow(flow, FlowKind::Gs);
+            self.live[i].edges[k].flow_metric = Some(metric_idx);
+        }
+    }
+
+    fn on_close(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        let any_opening = self.live[i]
+            .edges
+            .iter()
+            .any(|e| prepared.sim().connection_state(e.conn) == Some(ConnState::Opening));
+        if any_opening {
+            // Slow setup outlived the lifetime: tear down as soon as
+            // the whole circuit set finishes opening.
+            self.push(now + self.poll_gap, Action::Close(i));
+            return;
+        }
+        for k in 0..self.live[i].edges.len() {
+            let conn = self.live[i].edges[k].conn;
+            match prepared.sim().connection_state(conn) {
+                Some(ConnState::Open) => {
+                    prepared
+                        .sim_mut()
+                        .close_connection(conn)
+                        .expect("open connection closes");
+                }
+                state => panic!("connection {state:?} at app teardown time"),
+            }
+        }
+        self.push(now + self.poll_gap, Action::PollClosed(i));
+    }
+
+    fn on_poll_closed(&mut self, prepared: &mut PreparedScenario, i: usize) {
+        let now = prepared.sim().now();
+        let all_closed = self.live[i]
+            .edges
+            .iter()
+            .all(|e| prepared.sim().connection_state(e.conn) == Some(ConnState::Closed));
+        if !all_closed {
+            self.push(now + self.poll_gap, Action::PollClosed(i));
+            return;
+        }
+        for e in &self.live[i].edges {
+            self.admission.release(&e.admission);
+        }
+        self.outcomes[self.live[i].outcome_idx].closed = true;
+        self.closed += 1;
+        self.live_now -= 1;
+        self.record_admission_gauges(prepared);
+    }
+
+    fn collect(mut self, prepared: PreparedScenario) -> ServingMetrics {
+        let prog_packets = prepared
+            .sim()
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| n.router.stats().prog_packets)
+            .sum();
+        let mut end = BudgetSnapshot::default();
+        self.admission.save_budgets_into(&mut end);
+        let budgets_clean = end == self.clean;
+        let scenario = prepared.finish(mango_sim::RunOutcome::HorizonReached);
+        for live in &self.live {
+            let outcome = &mut self.outcomes[live.outcome_idx];
+            for e in &live.edges {
+                let Some(idx) = e.flow_metric else { continue };
+                let f = &scenario.flows[idx];
+                outcome.injected += f.injected;
+                outcome.delivered += f.delivered;
+                if let (Some(obs), Some(bound)) = (f.max_ns, e.admission.report.worst_latency_ns())
+                {
+                    if obs > bound {
+                        outcome.bound_violations += 1;
+                    }
+                    if bound > 0.0 {
+                        outcome.worst_bound_ratio = outcome.worst_bound_ratio.max(obs / bound);
+                    }
+                }
+            }
+        }
+        let admitted = self.live.len() as u64;
+        ServingMetrics {
+            scenario,
+            apps: self.outcomes,
+            offered: self.offered,
+            admitted,
+            rejected_admission: self.rejected_admission,
+            rejected_bound: self.rejected_bound,
+            rejected_open: self.rejected_open,
+            closed: self.closed,
+            peak_live: self.peak_live,
+            prog_packets,
+            budgets_clean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    fn small_spec(seed: u64) -> ServingSpec {
+        let base = ScenarioSpec::mesh(4, 4, seed).measure_for(SimDuration::from_us(60));
+        let mut spec = ServingSpec::new(base, graph::pipeline(4, 10_000_000), PlacerKind::Greedy);
+        spec.arrival_gap = SimDuration::from_us(3);
+        spec.holding_mean = SimDuration::from_us(10);
+        spec.holding_min = SimDuration::from_us(4);
+        spec.max_apps = 20;
+        spec
+    }
+
+    #[test]
+    fn serving_opens_streams_and_closes_cleanly() {
+        let m = small_spec(3).run();
+        assert!(m.offered >= 10, "expected a busy window: {}", m.offered);
+        assert!(m.admitted > 0);
+        assert!(m.closed > 0, "teardowns must complete inside the window");
+        assert!(m.prog_packets > 0, "programming traffic is real packets");
+        assert_eq!(m.bound_violations(), 0);
+        let streamed: Vec<_> = m.apps.iter().filter(|a| a.delivered > 0).collect();
+        assert!(!streamed.is_empty(), "some instances must stream");
+        for a in streamed {
+            assert_eq!(a.injected, a.delivered, "GS delivery is lossless");
+        }
+        if m.admitted == m.closed {
+            assert!(m.budgets_clean, "all instances closed yet budgets leaked");
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let a = small_spec(7).run();
+        let b = small_spec(7).run();
+        assert_eq!(a.apps, b.apps);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.prog_packets, b.prog_packets);
+    }
+
+    #[test]
+    fn saturating_arrivals_reject_whole_instances() {
+        let base = ScenarioSpec::mesh(3, 3, 11).measure_for(SimDuration::from_us(60));
+        let mut spec = ServingSpec::new(base, graph::vopd(), PlacerKind::Greedy);
+        spec.arrival_gap = SimDuration::from_us(1);
+        spec.holding_mean = SimDuration::from_us(60);
+        spec.holding_min = SimDuration::from_us(25);
+        spec.max_apps = 30;
+        let m = spec.run();
+        assert!(m.admitted > 0, "the first instances fit: {m:?}");
+        assert!(
+            m.rejected() > 0,
+            "a 3x3 mesh cannot hold 30 concurrent VOPDs: {:?}",
+            (m.offered, m.admitted)
+        );
+        assert_eq!(m.bound_violations(), 0);
+        // All-or-nothing: a rejected instance opened no connections.
+        for a in &m.apps {
+            if a.rejected.is_some() {
+                assert_eq!(a.conns, 0, "app {} leaked connections", a.app);
+                assert_eq!(a.delivered, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_serves_at_least_as_many_as_greedy() {
+        let build = |placer| {
+            let base = ScenarioSpec::mesh(4, 4, 19).measure_for(SimDuration::from_us(70));
+            let mut spec = ServingSpec::new(base, graph::mwd(), placer);
+            spec.arrival_gap = SimDuration::from_us(2);
+            spec.holding_mean = SimDuration::from_us(50);
+            spec.holding_min = SimDuration::from_us(15);
+            spec.max_apps = 12;
+            spec
+        };
+        let g = build(PlacerKind::Greedy).run();
+        let a = build(PlacerKind::Anneal { iters: 24 }).run();
+        assert!(
+            a.admitted >= g.admitted,
+            "annealing admitted {} < greedy {}",
+            a.admitted,
+            g.admitted
+        );
+        assert_eq!(a.bound_violations() + g.bound_violations(), 0);
+    }
+
+    #[test]
+    fn gauges_exported_when_telemetry_active() {
+        let mut spec = small_spec(5);
+        spec.max_apps = 6;
+        let (m, report) = spec.run_with_telemetry(TelemetryConfig::default());
+        assert!(m.admitted > 0);
+        let names = report.metrics.gauge_names();
+        assert!(
+            names.contains(&"admission.free_vcs"),
+            "admission gauges missing from {names:?}"
+        );
+        assert!(names.contains(&"admission.apps_live"));
+    }
+}

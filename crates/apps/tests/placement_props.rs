@@ -1,0 +1,144 @@
+//! Properties tying the placement optimizer to the real admission
+//! controller. The placer's claim is strong: a score of zero failures
+//! is a *proof* that the whole connection set admits right now, because
+//! scoring commits every edge through the same controller, in the same
+//! order, with the same bound check the serving engine replays later.
+//! These properties pin that equivalence down, plus the exact-budget-
+//! return and cross-thread-determinism contracts the capacity sweeps
+//! rely on.
+
+use mango_apps::{graph, AnnealingPlacer, Placement, Placer, PlacerKind, TaskGraph};
+use mango_net::{Grid, NaConfig};
+use mango_qos::{AdmissionController, ConnRequest};
+use mango_sim::SimRng;
+use proptest::prelude::*;
+
+fn controller(width: u8, height: u8) -> AdmissionController {
+    AdmissionController::new(
+        Grid::new(width, height),
+        &mango_core::RouterConfig::paper(),
+        &NaConfig::paper(),
+        0.875,
+    )
+}
+
+/// A small task graph drawn from every generator family.
+fn make_graph(kind: u8, n: usize, rate: u64, seed: u64) -> TaskGraph {
+    match kind % 4 {
+        0 => graph::pipeline(n.max(2), rate),
+        1 => graph::fork_join(n % 4 + 1, rate),
+        2 => graph::stencil(2 + n % 2, 2, rate),
+        _ => graph::random_dag(n.max(2), rate, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An optimizer-accepted placement (zero failures) admits fully
+    /// through a real controller — every inter-node edge, in
+    /// declaration order, within its latency bound — and releasing the
+    /// admissions in *any* order, with probes interleaved, returns the
+    /// budgets exactly to idle.
+    #[test]
+    fn admissible_placements_admit_fully_and_release_exactly(
+        width in 3u8..6,
+        height in 3u8..6,
+        kind in 0u8..4,
+        n in 2usize..8,
+        rate in 5_000_000u64..60_000_000,
+        gseed in 0u64..1000,
+        anneal in any::<bool>(),
+        seed in 0u64..1000,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let g = make_graph(kind, n, rate, gseed);
+        let mut ctl = controller(width, height);
+        let idle = ctl.snapshot();
+        let placer = if anneal {
+            PlacerKind::Anneal { iters: 16 }
+        } else {
+            PlacerKind::Greedy
+        };
+        let placement = placer.place(&g, &mut ctl, seed);
+        prop_assert!(ctl.nothing_reserved(), "placement must be a dry run");
+        prop_assert_eq!(ctl.snapshot(), idle.clone());
+        prop_assume!(placement.admissible());
+
+        // Replay exactly as the serving engine's commit pass does.
+        let mut held = Vec::new();
+        for e in &g.edges {
+            let (src, dst) = (placement.assign[e.from], placement.assign[e.to]);
+            if src == dst {
+                continue;
+            }
+            let req = ConnRequest { src, dst, period: TaskGraph::period(e.rate_fps) };
+            let adm = match ctl.request(&req) {
+                Ok(adm) => adm,
+                Err(reason) => {
+                    return Err(TestCaseError::fail(format!(
+                        "edge {}->{} of an admissible placement refused: {reason:?}",
+                        e.from, e.to
+                    )));
+                }
+            };
+            if let (Some(bound), Some(worst)) = (e.bound_ns, adm.report.worst_latency_ns()) {
+                let within = worst <= bound as f64;
+                prop_assert!(within, "admissible placement broke a latency bound");
+            }
+            held.push(adm);
+        }
+
+        // Depart in a shuffled order, probing between releases: budgets
+        // must return exactly to idle regardless of the interleaving.
+        let mut shuffle = SimRng::new(shuffle_seed);
+        let mut order: Vec<usize> = (0..held.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, shuffle.gen_index(i + 1));
+        }
+        for idx in order {
+            let probe = ConnRequest {
+                src: mango_core::RouterId::new(0, 0),
+                dst: mango_core::RouterId::new(width - 1, height - 1),
+                period: TaskGraph::period(rate),
+            };
+            let _ = ctl.probe(&probe);
+            ctl.release(&held[idx]);
+        }
+        prop_assert!(ctl.nothing_reserved(), "departure leaked budgets");
+        prop_assert_eq!(ctl.snapshot(), idle);
+    }
+
+    /// The annealing placer is byte-deterministic for a fixed seed, no
+    /// matter how many threads compute it concurrently — the guarantee
+    /// behind the sweep's identical CSVs at `--threads 1` vs `4`.
+    #[test]
+    fn annealing_is_byte_deterministic_across_threads(
+        width in 3u8..6,
+        height in 3u8..6,
+        kind in 0u8..4,
+        n in 2usize..8,
+        rate in 5_000_000u64..40_000_000,
+        gseed in 0u64..500,
+        seed in 0u64..500,
+    ) {
+        let g = make_graph(kind, n, rate, gseed);
+        let solve = || {
+            let mut ctl = controller(width, height);
+            AnnealingPlacer { iters: 24 }.place(&g, &mut ctl, seed)
+        };
+        let reference = format!("{:?}", solve());
+        for workers in [2usize, 4] {
+            let results: Vec<Placement> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers).map(|_| s.spawn(solve)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                prop_assert_eq!(format!("{r:?}"), reference.clone());
+            }
+        }
+    }
+}

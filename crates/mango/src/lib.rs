@@ -14,6 +14,9 @@
 //!   traffic generation, measurement and the [`net::NocSim`] harness;
 //! * [`qos`] — analytical guarantee bounds, admission control and
 //!   connection-churn workloads;
+//! * [`apps`] — application serving: task graphs, placement optimizers
+//!   scoring through the admission controller, and whole-app lifecycle
+//!   (arrive → place → admit → open → stream → close);
 //! * [`baseline`] — the Fig. 3 blocking router and the ÆTHEREAL-style
 //!   TDM comparator.
 //!
@@ -51,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub use mango_apps as apps;
 pub use mango_baseline as baseline;
 pub use mango_core as core;
 pub use mango_hw as hw;

@@ -141,8 +141,21 @@ impl Admission {
     }
 }
 
+/// A saved copy of every budget counter, for exact save/restore around
+/// speculative admission sequences (the placement optimizer's dry-run
+/// trials). Obtain one with [`AdmissionController::save_budgets_into`];
+/// the buffers are reused across saves, so a placer scoring thousands of
+/// candidate mappings allocates only once.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BudgetSnapshot {
+    free_vcs: Vec<u8>,
+    residual_fps: Vec<u64>,
+    tx_free: Vec<u8>,
+    rx_free: Vec<u8>,
+}
+
 /// Tracks residual GS budgets for one mesh and answers requests.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AdmissionController {
     grid: Grid,
     model: ServiceModel,
@@ -154,6 +167,14 @@ pub struct AdmissionController {
     tx_free: Vec<u8>,
     /// Free local GS interfaces per node.
     rx_free: Vec<u8>,
+    /// What `free_vcs` looks like with nothing admitted — the baseline
+    /// [`Self::nothing_reserved`] compares against. Stuck-VC faults
+    /// shrink a pool permanently, so they lower the baseline too.
+    pristine_vcs: Vec<u8>,
+    /// Per-link reservable-bandwidth budget with nothing admitted.
+    budget_fps: u64,
+    /// Per-node interface budget with nothing admitted.
+    full_ifaces: u8,
     /// BFS scratch: predecessor direction per node (None = unvisited).
     bfs_from: Vec<Option<Direction>>,
 }
@@ -182,9 +203,18 @@ impl AdmissionController {
             residual_fps: vec![budget_fps; nodes * 4],
             tx_free: vec![cfg.local_gs_ifaces() as u8; nodes],
             rx_free: vec![cfg.local_gs_ifaces() as u8; nodes],
+            pristine_vcs: vec![cfg.gs_vcs() as u8; nodes * 4],
+            budget_fps,
+            full_ifaces: cfg.local_gs_ifaces() as u8,
             bfs_from: vec![None; nodes],
             grid,
         }
+    }
+
+    /// The grid the controller budgets over (including its link-state
+    /// mask — failed links are reflected here).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
     }
 
     /// The per-hop service model the controller's guarantees use.
@@ -283,6 +313,29 @@ impl AdmissionController {
     /// Returns the (deterministic) [`RejectReason`] without reserving
     /// anything.
     pub fn request(&mut self, req: &ConnRequest) -> Result<Admission, RejectReason> {
+        let adm = self.decide(req)?;
+        self.commit(&adm);
+        Ok(adm)
+    }
+
+    /// Answers a request **without reserving anything** — the dry-run
+    /// the placement optimizer scores candidate mappings with. The
+    /// returned [`Admission`] is exactly what [`Self::request`] would
+    /// grant for the same request against the same state (same path,
+    /// same bound); the budgets are untouched either way, so
+    /// probe-then-request equals request alone (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// The same deterministic [`RejectReason`]s as [`Self::request`].
+    pub fn probe(&mut self, req: &ConnRequest) -> Result<Admission, RejectReason> {
+        self.decide(req)
+    }
+
+    /// The decision logic shared by [`Self::request`] and
+    /// [`Self::probe`]: path search + bound composition, no commit.
+    /// `&mut self` only for the BFS scratch buffer.
+    fn decide(&mut self, req: &ConnRequest) -> Result<Admission, RejectReason> {
         if req.src == req.dst {
             return Err(RejectReason::SameRouter);
         }
@@ -320,16 +373,6 @@ impl AdmissionController {
             return Err(RejectReason::Unguaranteeable);
         }
 
-        // Commit.
-        let mut cur = req.src;
-        for &d in &dirs {
-            let i = self.link_index(cur, d);
-            self.free_vcs[i] -= 1;
-            self.residual_fps[i] -= rate_fps;
-            cur = self.grid.neighbor(cur, d).expect("path stays on grid");
-        }
-        self.tx_free[self.grid.index(req.src)] -= 1;
-        self.rx_free[self.grid.index(req.dst)] -= 1;
         Ok(Admission {
             src: req.src,
             dst: req.dst,
@@ -338,6 +381,19 @@ impl AdmissionController {
             report,
             dirs,
         })
+    }
+
+    /// Debits every budget a decided admission consumes.
+    fn commit(&mut self, adm: &Admission) {
+        let mut cur = adm.src;
+        for &d in &adm.dirs {
+            let i = self.link_index(cur, d);
+            self.free_vcs[i] -= 1;
+            self.residual_fps[i] -= adm.rate_fps;
+            cur = self.grid.neighbor(cur, d).expect("path stays on grid");
+        }
+        self.tx_free[self.grid.index(adm.src)] -= 1;
+        self.rx_free[self.grid.index(adm.dst)] -= 1;
     }
 
     /// Debits budgets for a connection that already exists outside the
@@ -409,6 +465,50 @@ impl AdmissionController {
     pub fn mark_stuck_vc(&mut self, from: RouterId, dir: Direction) {
         let i = self.link_index(from, dir);
         self.free_vcs[i] = self.free_vcs[i].saturating_sub(1);
+        // The pool is permanently smaller: the idle baseline shrinks
+        // with it, so `nothing_reserved` stays meaningful under faults.
+        self.pristine_vcs[i] = self.pristine_vcs[i].saturating_sub(1);
+    }
+
+    /// True when no budget is currently reserved: every VC pool, every
+    /// link's bandwidth and every interface counter sits at its idle
+    /// baseline (the construction state, adjusted for stuck-VC faults).
+    /// The leak-detection invariant: after any admit→release history
+    /// this must hold again.
+    pub fn nothing_reserved(&self) -> bool {
+        self.free_vcs == self.pristine_vcs
+            && self.residual_fps.iter().all(|&r| r == self.budget_fps)
+            && self.tx_free.iter().all(|&t| t == self.full_ifaces)
+            && self.rx_free.iter().all(|&r| r == self.full_ifaces)
+    }
+
+    /// Copies every budget counter into `snap`, reusing its buffers
+    /// (allocation-free after the first save). Pair with
+    /// [`Self::restore_budgets`] to bracket speculative admission
+    /// sequences — the placement optimizer's scoring trials.
+    pub fn save_budgets_into(&self, snap: &mut BudgetSnapshot) {
+        snap.free_vcs.clone_from(&self.free_vcs);
+        snap.residual_fps.clone_from(&self.residual_fps);
+        snap.tx_free.clone_from(&self.tx_free);
+        snap.rx_free.clone_from(&self.rx_free);
+    }
+
+    /// Restores every budget counter from `snap` — the exact state at
+    /// the matching [`Self::save_budgets_into`], byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was saved from a different-sized controller.
+    pub fn restore_budgets(&mut self, snap: &BudgetSnapshot) {
+        assert_eq!(
+            snap.free_vcs.len(),
+            self.free_vcs.len(),
+            "snapshot belongs to a different controller"
+        );
+        self.free_vcs.clone_from(&snap.free_vcs);
+        self.residual_fps.clone_from(&snap.residual_fps);
+        self.tx_free.clone_from(&snap.tx_free);
+        self.rx_free.clone_from(&snap.rx_free);
     }
 
     /// Number of directed links currently marked failed.
@@ -697,6 +797,59 @@ mod tests {
             Err(RejectReason::Unguaranteeable)
         );
         assert_eq!(c.snapshot(), before, "rejection reserves nothing");
+    }
+
+    #[test]
+    fn probe_is_side_effect_free_and_matches_request() {
+        let mut c = controller(4, 4);
+        let before = c.snapshot();
+        let probed = c.probe(&req(0, 0, 3, 2, 15)).unwrap();
+        assert_eq!(c.snapshot(), before, "probe reserves nothing");
+        assert!(c.nothing_reserved());
+        let granted = c.request(&req(0, 0, 3, 2, 15)).unwrap();
+        assert_eq!(probed, granted, "probe answers exactly what request grants");
+        assert!(!c.nothing_reserved());
+
+        // Rejected probes leave nothing reserved either.
+        assert_eq!(c.probe(&req(1, 1, 1, 1, 15)), Err(RejectReason::SameRouter));
+        assert_eq!(
+            c.probe(&req(0, 0, 3, 3, 3)),
+            Err(RejectReason::Unguaranteeable)
+        );
+        c.release(&granted);
+        assert!(c.nothing_reserved(), "release restores the idle baseline");
+    }
+
+    #[test]
+    fn snapshot_save_restore_brackets_speculative_commits() {
+        let mut c = controller(4, 4);
+        let mut snap = BudgetSnapshot::default();
+        c.save_budgets_into(&mut snap);
+        let before = c.snapshot();
+        // A speculative trial: commit three connections, then rewind.
+        c.request(&req(0, 0, 3, 3, 15)).unwrap();
+        c.request(&req(1, 0, 2, 3, 20)).unwrap();
+        c.request(&req(3, 0, 0, 3, 20)).unwrap();
+        assert_ne!(c.snapshot(), before);
+        c.restore_budgets(&snap);
+        assert_eq!(c.snapshot(), before, "restore is exact");
+        assert!(c.nothing_reserved());
+    }
+
+    #[test]
+    fn nothing_reserved_tracks_stuck_vcs() {
+        let mut c = controller(2, 2);
+        assert!(c.nothing_reserved());
+        // A stuck VC shrinks the pool permanently; the baseline follows.
+        c.mark_stuck_vc(RouterId::new(0, 0), Direction::East);
+        assert!(
+            c.nothing_reserved(),
+            "a smaller pool with nothing admitted is still idle"
+        );
+        let adm = c.request(&req(0, 0, 1, 0, 20)).unwrap();
+        assert!(!c.nothing_reserved());
+        c.release(&adm);
+        assert!(c.nothing_reserved());
     }
 
     #[test]

@@ -23,14 +23,33 @@
 //! source streams, and all bookkeeping is integer/fixed-order. Sweeping
 //! churn points in parallel therefore produces byte-identical CSVs for
 //! any worker count.
+//!
+//! # Scale
+//!
+//! The engine's hot-path bookkeeping — the action heap and the
+//! outcome/live tables — is pre-sized from the expected offered load
+//! (`window / arrival_gap`, capped by `max_requests`), so a point
+//! offering thousands of requests schedules arrivals without regrowing
+//! any container mid-run. The per-arrival path allocates only what the
+//! workload itself needs (the admitted path's direction vector and the
+//! stream name).
+//!
+//! # Telemetry
+//!
+//! [`ChurnSpec::run_with_telemetry`] additionally exports the admission
+//! controller's residual budgets (`admission.free_vcs`,
+//! `admission.residual_fps_min`, `admission.up_links`) as gauges,
+//! refreshed on every budget movement — commit, open-failure rollback,
+//! and teardown release.
 
 use crate::admission::{Admission, AdmissionController, ConnRequest, RejectReason};
 use mango_core::{ConnectionId, RouterId};
 use mango_net::{
     ConnState, EmitWindow, FlowKind, MeasureBound, Pattern, PreparedScenario, ScenarioMetrics,
-    ScenarioSpec,
+    ScenarioSpec, TelemetryConfig,
 };
 use mango_sim::{SimDuration, SimRng, SimTime};
+use mango_telemetry::TelemetryReport;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -92,6 +111,22 @@ impl ChurnSpec {
     /// margins are inconsistent (`holding_min ≤ 2 × drain_margin`), or
     /// if the base scenario itself is infeasible.
     pub fn run(&self) -> ChurnMetrics {
+        self.run_inner(None).0
+    }
+
+    /// Runs the experiment with telemetry capture: the scenario's usual
+    /// instrumentation plus `admission.*` residual-budget gauges,
+    /// refreshed on every commit, rollback and release.
+    ///
+    /// # Panics
+    ///
+    /// As [`ChurnSpec::run`].
+    pub fn run_with_telemetry(&self, cfg: TelemetryConfig) -> (ChurnMetrics, TelemetryReport) {
+        let (metrics, report) = self.run_inner(Some(cfg));
+        (metrics, report.expect("telemetry was enabled"))
+    }
+
+    fn run_inner(&self, cfg: Option<TelemetryConfig>) -> (ChurnMetrics, Option<TelemetryReport>) {
         let MeasureBound::For(horizon) = self.base.measure else {
             panic!("churn needs a fixed measurement window");
         };
@@ -104,8 +139,14 @@ impl ChurnSpec {
             "the churn window must outlast one minimum hold plus drain"
         );
         let mut prepared = self.base.prepare();
+        if let Some(cfg) = cfg {
+            prepared.sim_mut().enable_telemetry(cfg);
+        }
         prepared.start_measurement();
-        Engine::new(self, &mut prepared, horizon).run(prepared)
+        let engine = Engine::new(self, &mut prepared, horizon);
+        // Baseline budgets (static reservations already debited).
+        engine.record_admission_gauges(&mut prepared);
+        engine.run(prepared)
     }
 }
 
@@ -304,20 +345,25 @@ impl<'a> Engine<'a> {
         let reserve = spec.holding_min + spec.drain_margin * 2;
         let arrival_cutoff = t_end - reserve;
         let rng = SimRng::new(spec.churn_seed);
+        // Pre-size the hot-path bookkeeping for the expected offered
+        // load so high-rate points (thousands of requests per window)
+        // never regrow the heap or the outcome tables mid-run.
+        let expected = (horizon.as_ps() / spec.arrival_gap.as_ps().max(1) + 16)
+            .min(spec.max_requests.saturating_mul(2)) as usize;
         let mut engine = Engine {
             spec,
             t_end,
             arrival_cutoff,
             poll_gap: SimDuration::from_ns(100),
             admission,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(expected * 4 + 64),
             seq: 0,
             arrivals: rng.fork(0),
             holdings: rng.fork(1),
             places: rng.fork(2),
             nodes: net.grid().ids().collect(),
-            outcomes: Vec::new(),
-            live: Vec::new(),
+            outcomes: Vec::with_capacity(expected),
+            live: Vec::with_capacity(expected),
             requests: 0,
             rejected_by: [0; RejectReason::ALL.len()],
             closed: 0,
@@ -369,7 +415,7 @@ impl<'a> Engine<'a> {
         (src, dst)
     }
 
-    fn run(mut self, mut prepared: PreparedScenario) -> ChurnMetrics {
+    fn run(mut self, mut prepared: PreparedScenario) -> (ChurnMetrics, Option<TelemetryReport>) {
         while let Some(&Reverse((t, _, _))) = self.queue.peek() {
             if t >= self.t_end {
                 break;
@@ -391,7 +437,28 @@ impl<'a> Engine<'a> {
         if self.t_end > now {
             prepared.sim_mut().run_for(self.t_end.since(now));
         }
-        self.collect(prepared)
+        // Detach the report before `finish` consumes the simulation.
+        let report = prepared.sim_mut().network_mut().take_telemetry();
+        (self.collect(prepared), report)
+    }
+
+    /// Exports the admission controller's aggregate headroom as gauges.
+    /// Called whenever the budgets move — commit, open-failure
+    /// rollback, teardown release — so the telemetry report tracks the
+    /// residual-capacity envelope of the churn workload.
+    fn record_admission_gauges(&self, prepared: &mut PreparedScenario) {
+        let net = prepared.sim_mut().network_mut();
+        if !net.telemetry().is_active() {
+            return;
+        }
+        let s = self.admission.budget_summary();
+        net.telemetry_gauge("admission.free_vcs", s.free_vcs as i64);
+        net.telemetry_gauge("admission.residual_fps_min", s.residual_fps_min as i64);
+        net.telemetry_gauge("admission.up_links", s.up_links as i64);
+        net.telemetry_gauge(
+            "admission.conns_live",
+            (self.live.len() - self.closed as usize) as i64,
+        );
     }
 
     fn on_arrive(&mut self, prepared: &mut PreparedScenario) {
@@ -446,6 +513,7 @@ impl<'a> Engine<'a> {
                         });
                         self.push(now + self.poll_gap, Action::PollOpen(live_idx));
                         self.push(close_at, Action::Close(live_idx));
+                        self.record_admission_gauges(prepared);
                     }
                     Err(_) => {
                         // The controller believed capacity existed but
@@ -457,6 +525,7 @@ impl<'a> Engine<'a> {
                         self.admission.release(&admission);
                         outcome.rejected = Some(RejectReason::OpenFailed);
                         self.rejected_by[RejectReason::OpenFailed.index()] += 1;
+                        self.record_admission_gauges(prepared);
                     }
                 }
             }
@@ -542,6 +611,7 @@ impl<'a> Engine<'a> {
                 self.admission.release(&self.live[i].admission);
                 self.outcomes[self.live[i].outcome_idx].closed = true;
                 self.closed += 1;
+                self.record_admission_gauges(prepared);
             }
             Some(ConnState::Closing) => {
                 self.push(now + self.poll_gap, Action::PollClosed(i));
@@ -727,6 +797,38 @@ mod tests {
             }
         }
         assert_eq!(m.bound_violations(), 0);
+    }
+
+    #[test]
+    fn churn_gauges_track_budget_movement() {
+        let mut spec = small_spec(9);
+        spec.max_requests = 12;
+        let (m, report) = spec.run_with_telemetry(TelemetryConfig {
+            trace_flits: false,
+            ..Default::default()
+        });
+        assert!(m.admitted > 0);
+        let names = report.metrics.gauge_names();
+        let get = |n: &str| {
+            let i = names
+                .iter()
+                .position(|&g| g == n)
+                .unwrap_or_else(|| panic!("gauge {n} missing from {names:?}"));
+            report.metrics.gauge_values()[i]
+        };
+        assert!(get("admission.free_vcs") > 0);
+        assert!(get("admission.residual_fps_min") > 0);
+        // 4×4 mesh: 48 directed links, none failed under churn.
+        assert_eq!(get("admission.up_links"), 48);
+        assert_eq!(get("admission.conns_live"), (m.admitted - m.closed) as i64);
+        // The telemetry path cannot perturb the workload itself.
+        let plain = {
+            let mut p = small_spec(9);
+            p.max_requests = 12;
+            p.run()
+        };
+        assert_eq!(plain.conns, m.conns);
+        assert_eq!(plain.prog_packets, m.prog_packets);
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub mod bound;
 pub mod churn;
 pub mod recovery;
 
-pub use admission::{Admission, AdmissionController, BudgetSummary, ConnRequest, RejectReason};
+pub use admission::{
+    Admission, AdmissionController, BudgetSnapshot, BudgetSummary, ConnRequest, RejectReason,
+};
 pub use bound::{path_extras, report_for, GuaranteeReport, ServiceModel};
 pub use churn::{ChurnMetrics, ChurnSpec, ConnOutcome};
 pub use recovery::{RecoveryMetrics, RecoveryOutcome, RecoveryRecord, RecoverySpec};

@@ -1,0 +1,128 @@
+//! Properties of the admission dry-run API: `probe` must answer exactly
+//! what `request` would grant without moving a single budget counter.
+//! The placement optimizer scores thousands of candidate mappings
+//! through `probe` (and snapshot/restore brackets), so any divergence
+//! between the dry run and the real decision would admit placements the
+//! controller later refuses — the failure mode this suite pins down.
+
+use mango_core::RouterId;
+use mango_net::{Grid, NaConfig};
+use mango_qos::{AdmissionController, BudgetSnapshot, ConnRequest};
+use mango_sim::SimDuration;
+use proptest::prelude::*;
+
+fn controller(width: u8, height: u8) -> AdmissionController {
+    AdmissionController::new(
+        Grid::new(width, height),
+        &mango_core::RouterConfig::paper(),
+        &NaConfig::paper(),
+        0.875,
+    )
+}
+
+fn node(i: u32, width: u8, height: u8) -> RouterId {
+    let n = u32::from(width) * u32::from(height);
+    let i = i % n;
+    RouterId::new((i % u32::from(width)) as u8, (i / u32::from(width)) as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Over any request history (some admitted, some rejected, some
+    /// released), probing before requesting changes nothing: the probe
+    /// answer equals the request answer, and the post-request state
+    /// equals what a request alone would have produced.
+    #[test]
+    fn probe_then_request_equals_request_alone(
+        width in 2u8..7,
+        height in 2u8..7,
+        reqs in prop::collection::vec((0u32..64, 0u32..64, 12u64..40), 1..24),
+    ) {
+        let mut probed = controller(width, height);
+        let mut plain = controller(width, height);
+        let mut held = Vec::new();
+        for (a, b, period_ns) in reqs {
+            let req = ConnRequest {
+                src: node(a, width, height),
+                dst: node(b, width, height),
+                period: SimDuration::from_ns(period_ns),
+            };
+            let answer = probed.probe(&req);
+            let committed = probed.request(&req);
+            prop_assert_eq!(&answer, &committed);
+            let alone = plain.request(&req);
+            prop_assert_eq!(&committed, &alone);
+            prop_assert_eq!(probed.snapshot(), plain.snapshot());
+            if let Ok(adm) = committed {
+                held.push(adm);
+            }
+        }
+        // Releasing everything returns both controllers to idle.
+        for adm in &held {
+            probed.release(adm);
+            plain.release(adm);
+        }
+        prop_assert!(probed.nothing_reserved());
+        prop_assert_eq!(probed.snapshot(), plain.snapshot());
+    }
+
+    /// A rejected probe reserves nothing, on a fresh controller and
+    /// after arbitrary prior traffic alike.
+    #[test]
+    fn rejected_probes_leave_nothing_reserved(
+        width in 2u8..6,
+        height in 2u8..6,
+        same in 0u32..36,
+        fast_pair in (0u32..36, 0u32..36),
+    ) {
+        let mut c = controller(width, height);
+        // SameRouter rejection.
+        let here = node(same, width, height);
+        let same_router = ConnRequest {
+            src: here,
+            dst: here,
+            period: SimDuration::from_ns(20),
+        };
+        let refused = c.probe(&same_router).is_err();
+        prop_assert!(refused, "same-router probe must be refused");
+        prop_assert!(c.nothing_reserved(), "SameRouter probe reserved budgets");
+        // Unguaranteeable rejection: 3 ns is below any service interval.
+        let (a, b) = fast_pair;
+        let req = ConnRequest {
+            src: node(a, width, height),
+            dst: node(b, width, height),
+            period: SimDuration::from_ns(3),
+        };
+        if req.src != req.dst {
+            let refused = c.probe(&req).is_err();
+            prop_assert!(refused, "3 ns probe must be unguaranteeable");
+        }
+        prop_assert!(c.nothing_reserved(), "rejected probe reserved budgets");
+    }
+
+    /// Save → speculative commits → restore is exact, for any trial
+    /// sequence — the bracket the placer's scoring loop relies on.
+    #[test]
+    fn snapshot_restore_is_exact_around_any_trial(
+        width in 2u8..6,
+        height in 2u8..6,
+        trial in prop::collection::vec((0u32..36, 0u32..36, 12u64..40), 1..12),
+    ) {
+        let mut c = controller(width, height);
+        let mut snap = BudgetSnapshot::default();
+        c.save_budgets_into(&mut snap);
+        let before = c.snapshot();
+        for (a, b, period_ns) in trial {
+            let req = ConnRequest {
+                src: node(a, width, height),
+                dst: node(b, width, height),
+                period: SimDuration::from_ns(period_ns),
+            };
+            let _ = c.request(&req);
+        }
+        c.restore_budgets(&snap);
+        prop_assert_eq!(c.snapshot(), before);
+        prop_assert!(c.nothing_reserved());
+    }
+}

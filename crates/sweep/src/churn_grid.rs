@@ -110,9 +110,10 @@ impl ChurnSweepSpec {
 
     /// The `repro_churn` characterization grid: an 8×8 mesh under BE
     /// background, sweeping arrival rate × holding time. The fast-
-    /// arrival points issue well over 200 open/close requests; the
-    /// long-holding points exhaust link budgets and demonstrate
-    /// rejections.
+    /// arrival points issue well over 1000 open/close requests (the
+    /// engine's bookkeeping is pre-sized, so scale costs no mid-run
+    /// regrowth); the long-holding points exhaust link budgets and
+    /// demonstrate rejections.
     pub fn repro() -> Self {
         ChurnSweepSpec {
             meshes: vec![(8, 8)],
@@ -121,7 +122,7 @@ impl ChurnSweepSpec {
             gs_periods_ns: vec![15],
             seeds: vec![1],
             horizon_us: 300,
-            max_requests: 400,
+            max_requests: 1500,
             be_gap_ns: Some(1000),
             be_pattern: PatternKind::Uniform,
             max_gs_frac_milli: 875,

@@ -58,6 +58,7 @@ pub mod fault_grid;
 pub mod grid;
 pub mod record;
 pub mod runner;
+pub mod serving_grid;
 pub mod telemetry_out;
 
 pub use churn_grid::{
@@ -72,5 +73,9 @@ pub use record::{write_csv, write_json, RuntimeInfo, SweepRecord};
 pub use runner::{
     default_threads, run_parallel, run_parallel_graceful, run_sweep, run_sweep_graceful,
     GracefulRun, SweepRun,
+};
+pub use serving_grid::{
+    capacity_curves, run_serving_sweep, serving_summary_table, write_serving_csv, ServingJob,
+    ServingRecord, ServingSweepSpec,
 };
 pub use telemetry_out::write_telemetry_dir;
