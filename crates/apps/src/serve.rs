@@ -492,7 +492,8 @@ impl<'a> Engine<'a> {
         if reject.is_none() {
             // Open pass: real in-band programming packets per edge.
             let mut edges: Vec<EdgeConn> = Vec::with_capacity(admissions.len());
-            for adm in admissions.drain(..) {
+            let mut pending = admissions.drain(..);
+            for adm in pending.by_ref() {
                 match prepared
                     .sim_mut()
                     .open_connection_along(adm.src, adm.dst, &adm.dirs)
@@ -516,6 +517,11 @@ impl<'a> Engine<'a> {
                         break;
                     }
                 }
+            }
+            // Admissions the open pass never reached must be returned
+            // too, or their budgets leak for the rest of the run.
+            for adm in pending {
+                self.admission.release(&adm);
             }
             if reject.is_some() {
                 for opened in &edges {
@@ -803,6 +809,51 @@ mod tests {
             g.admitted
         );
         assert_eq!(a.bound_violations() + g.bound_violations(), 0);
+    }
+
+    #[test]
+    fn open_failure_releases_every_admission() {
+        // Quarantine every GS VC in the fabric after the base scenario
+        // prepares. The admission controller cannot see quarantine, so
+        // each arriving instance admits its full edge set and then fails
+        // the very first in-band open — the OpenFailed rollback path with
+        // a non-empty tail of never-opened admissions. Those tail budgets
+        // must be returned exactly (this leaked before: the drain's
+        // unvisited remainder was dropped without release).
+        let spec = small_spec(5);
+        let MeasureBound::For(horizon) = spec.base.measure else {
+            unreachable!("small_spec uses a fixed window");
+        };
+        let mut prepared = spec.base.prepare();
+        prepared.start_measurement();
+        {
+            let sim = prepared.sim_mut();
+            let grid = sim.network().grid().clone();
+            let gs_vcs = sim.network().router_cfg().gs_vcs();
+            let conns = sim.network_mut().connections_mut();
+            for idx in 0..grid.len() {
+                let from = grid.id_at(idx);
+                for dir in mango_core::Direction::ALL {
+                    if grid.neighbor(from, dir).is_some() {
+                        for vc in 0..gs_vcs {
+                            conns.quarantine_vc(from, dir, mango_core::VcId(vc as u8));
+                        }
+                    }
+                }
+            }
+        }
+        let engine = Engine::new(&spec, &mut prepared, horizon);
+        let (m, _) = engine.run(prepared);
+        assert!(m.rejected_open > 0, "opens must fail: {m:?}");
+        assert_eq!(m.admitted, 0, "nothing can open on a quarantined mesh");
+        assert!(
+            m.budgets_clean,
+            "OpenFailed rollback must return every admission, including \
+             the never-opened tail"
+        );
+        for a in &m.apps {
+            assert_eq!(a.conns, 0, "app {} leaked connections", a.app);
+        }
     }
 
     #[test]
